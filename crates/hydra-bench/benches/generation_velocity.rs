@@ -1,0 +1,68 @@
+//! Experiment E4 — dynamic generation velocity (the Figure 4 rows/s slider and
+//! the paper's "velocity can be closely regulated" claim).
+//!
+//! Measures (a) the raw, unthrottled tuple-generation throughput of the
+//! dynamic generator, (b) execution of a join query over the dataless
+//! database vs. over a fully materialized copy, and prints how closely the
+//! governor tracks several target velocities.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hydra_bench::{regenerate, retail_package};
+use hydra_engine::database::Database;
+use hydra_engine::exec::Executor;
+use hydra_query::plan::LogicalPlan;
+
+fn bench_generation_velocity(c: &mut Criterion) {
+    let package = retail_package(32, 30_000);
+    let result = regenerate(&package);
+    let generator = result.generator();
+    let dataless = result.dataless_database();
+    let schema = result.schema.clone();
+    let rows = result.summary.relation("store_sales").unwrap().total_rows;
+
+    // Velocity-tracking table (not a timing bench: the run time is the target).
+    println!("[E4] velocity regulation on store_sales ({rows} rows):");
+    for target in [10_000.0, 100_000.0, 1_000_000.0] {
+        let stats = generator
+            .generate_with_velocity("store_sales", Some(target), Some(20_000))
+            .unwrap();
+        println!(
+            "[E4]   target {:>9.0} rows/s  ->  achieved {:>9.0} rows/s ({} rows)",
+            target, stats.achieved_rows_per_sec, stats.rows
+        );
+    }
+    let unthrottled = generator.generate_with_velocity("store_sales", None, None).unwrap();
+    println!(
+        "[E4]   unthrottled          ->  achieved {:>9.0} rows/s ({} rows)",
+        unthrottled.achieved_rows_per_sec, unthrottled.rows
+    );
+
+    let mut group = c.benchmark_group("E4_generation_velocity");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(rows));
+    group.bench_function("stream_store_sales_unthrottled", |b| {
+        b.iter(|| generator.stream("store_sales").unwrap().count());
+    });
+
+    // Dataless vs materialized query execution.
+    let query = package.workload.entries[0].query.clone();
+    let plan = LogicalPlan::from_query(&query).unwrap();
+    let mut materialized = Database::empty(schema.clone());
+    for table in schema.table_names() {
+        let mem = generator.materialize(table).unwrap();
+        materialized.table_mut(table).unwrap().load_unchecked(mem.rows().to_vec());
+    }
+    group.bench_function("query_on_dataless_database", |b| {
+        b.iter(|| Executor::new(&dataless).run(&plan).unwrap().rows.len());
+    });
+    group.bench_function("query_on_materialized_database", |b| {
+        b.iter(|| Executor::new(&materialized).run(&plan).unwrap().rows.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation_velocity);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment E3 — LP complexity: region partitioning vs. grid partitioning.
+//!
+//! Paper claim (§2): the region-partitioning LP encoding has a number of
+//! variables "several orders of magnitude smaller" than DataSynth's
+//! grid-partitioning, and is in fact the minimum-variable encoding.
+//!
+//! The bench partitions the fact relation's attribute space under both
+//! encodings for growing per-relation constraint counts and prints the
+//! variable counts (the paper's table), while Criterion times the region
+//! partitioning itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_partition::grid::GridPartition;
+use hydra_partition::interval::Interval;
+use hydra_partition::nbox::NBox;
+use hydra_partition::region::RegionPartitioner;
+use hydra_partition::space::AttributeSpace;
+
+/// Builds a d-dimensional space with `k` range constraints per dimension
+/// (random-ish but deterministic placement), mimicking a fact relation whose
+/// workload filters several dimensions' reference axes.
+fn constraint_set(dims: usize, per_dim: usize) -> (AttributeSpace, Vec<Vec<NBox>>) {
+    let space = AttributeSpace::new(
+        (0..dims).map(|i| (format!("axis{i}"), Interval::new(0, 10_000))).collect(),
+    );
+    let mut constraints = Vec::new();
+    for axis in 0..dims {
+        for j in 0..per_dim {
+            // Deterministic pseudo-random placement.
+            let start = ((j * 2_654_435_761 + axis * 40_503) % 9_000) as i64;
+            let width = (200 + (j * 97 + axis * 31) % 1_800) as i64;
+            let b = space.box_from_intervals(vec![(
+                format!("axis{axis}").as_str(),
+                Interval::new(start, (start + width).min(10_000)),
+            )]);
+            constraints.push(vec![b]);
+        }
+    }
+    (space, constraints)
+}
+
+fn bench_lp_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_lp_complexity");
+    group.sample_size(10);
+    println!("[E3] dims  constraints  region vars (HYDRA)  grid vars (DataSynth)  ratio");
+    for &(dims, per_dim) in &[(2usize, 8usize), (3, 8), (4, 8), (4, 16), (5, 16)] {
+        let (space, constraints) = constraint_set(dims, per_dim);
+        let grid = GridPartition::build(space.clone(), &constraints).unwrap();
+        let mut partitioner = RegionPartitioner::new(space.clone());
+        for cs in &constraints {
+            partitioner = partitioner.add_constraint_union(cs.clone());
+        }
+        let regions = partitioner.partition().unwrap();
+        println!(
+            "[E3] {:>4}  {:>11}  {:>19}  {:>21}  {:>6.1e}",
+            dims,
+            constraints.len(),
+            regions.num_variables(),
+            grid.num_cells(),
+            grid.num_cells() as f64 / regions.num_variables() as f64
+        );
+        group.bench_with_input(
+            BenchmarkId::new("region_partitioning", format!("d{dims}_k{}", constraints.len())),
+            &(space, constraints),
+            |b, (space, constraints)| {
+                b.iter(|| {
+                    let mut p = RegionPartitioner::new(space.clone());
+                    for cs in constraints {
+                        p = p.add_constraint_union(cs.clone());
+                    }
+                    p.partition().unwrap().num_variables()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_complexity);
+criterion_main!(benches);

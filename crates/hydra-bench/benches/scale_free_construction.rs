@@ -1,0 +1,48 @@
+//! Experiment E8 — data-scale-free summary construction.
+//!
+//! Paper claim (§1/§2): summary construction cost depends on the *workload*,
+//! not on the data volume.  The bench fixes the 131-query workload and varies
+//! only the simulated database size (via the metadata row counts); the
+//! construction time per scale should stay flat while the regenerable volume
+//! grows by orders of magnitude.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_bench::{retail_package_131, row_targets};
+use hydra_core::vendor::{HydraConfig, VendorSite};
+
+fn bench_scale_free_construction(c: &mut Criterion) {
+    let package = retail_package_131();
+    let base_targets = row_targets(&package);
+
+    let mut group = c.benchmark_group("E8_scale_free_construction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_secs(1));
+    println!("[E8] simulated volume multiplier | regenerable rows | construction is benched below");
+    for &multiplier in &[1u64, 1_000_000] {
+        let targets: std::collections::BTreeMap<String, u64> = base_targets
+            .iter()
+            .map(|(t, r)| (t.clone(), r.saturating_mul(multiplier)))
+            .collect();
+        let total: u64 = targets.values().sum();
+        println!("[E8] {:>28} | {:>16}", multiplier, total);
+        let config = HydraConfig {
+            row_target_override: Some(targets),
+            compare_aqps: false,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(multiplier),
+            &config,
+            |b, config| {
+                let vendor = VendorSite::new(config.clone());
+                b.iter(|| vendor.regenerate(&package).unwrap().summary.total_rows());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_free_construction);
+criterion_main!(benches);

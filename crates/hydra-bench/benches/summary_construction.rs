@@ -1,0 +1,39 @@
+//! Experiment E1 — summary construction cost vs. workload size.
+//!
+//! Paper claim (§2): "the summary for a large workload of 131 distinct queries
+//! on the TPC-DS database was generated in less than 2 minutes on a vanilla
+//! computing platform, occupying only a few KB of space".
+//!
+//! This bench measures vendor-side summary construction (preprocessing + LP
+//! formulation + solving + alignment + verification) for workloads of 16, 64
+//! and 131 queries, and prints the summary sizes alongside.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_bench::{regenerate, retail_package};
+
+fn bench_summary_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_summary_construction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_secs(1));
+    for &queries in &[16usize, 131] {
+        let package = retail_package(queries, hydra_bench::BENCH_FACT_ROWS);
+        // Report the paper's companion metric (summary size) once per size.
+        let result = regenerate(&package);
+        println!(
+            "[E1] queries={queries:>3}  construction={:>8.1} ms  summary={:>6.1} KB  LP vars={}  LP constraints={}",
+            result.build_report.total_time.as_secs_f64() * 1e3,
+            result.summary.size_bytes() as f64 / 1024.0,
+            result.build_report.total_lp_variables(),
+            result.build_report.total_lp_constraints(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(queries), &package, |b, package| {
+            b.iter(|| regenerate(package));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_summary_construction);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Column domains.
+//!
+//! Region partitioning (in `hydra-partition`) operates over a normalized
+//! integer axis per column.  The [`Domain`] of a column declares the span of
+//! that axis: integer ranges, scaled doubles, or a categorical dictionary.
+//! The domain also tells the tuple generator how to decode a normalized
+//! coordinate back into a concrete [`Value`].
+
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale used when normalizing double-valued domains onto the
+/// integer axis (two decimal digits of precision, ample for predicate
+/// boundaries in analytic workloads).
+pub const DOUBLE_SCALE: f64 = 100.0;
+
+/// The domain (active value range) of a column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Integers in the half-open range `[min, max)`.
+    Integer { min: i64, max: i64 },
+    /// Doubles in the half-open range `[min, max)`, normalized with
+    /// [`DOUBLE_SCALE`].
+    Double { min: f64, max: f64 },
+    /// A categorical dictionary; the normalized axis is the index into the
+    /// dictionary (sorted order is the dictionary order given here).
+    Categorical { values: Vec<String> },
+    /// Boolean domain (normalized to `{0, 1}`).
+    Boolean,
+}
+
+impl Domain {
+    /// Integer domain `[min, max)`.
+    pub fn integer(min: i64, max: i64) -> Self {
+        Domain::Integer { min, max }
+    }
+
+    /// Double domain `[min, max)`.
+    pub fn double(min: f64, max: f64) -> Self {
+        Domain::Double { min, max }
+    }
+
+    /// Categorical domain over the given dictionary.
+    pub fn categorical<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Domain::Categorical {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The width of the normalized integer axis: number of addressable points.
+    pub fn normalized_width(&self) -> i64 {
+        let (lo, hi) = self.normalized_bounds();
+        hi - lo
+    }
+
+    /// Bounds `[lo, hi)` of the normalized integer axis for this domain.
+    pub fn normalized_bounds(&self) -> (i64, i64) {
+        match self {
+            Domain::Integer { min, max } => (*min, *max),
+            Domain::Double { min, max } => (
+                (min * DOUBLE_SCALE).floor() as i64,
+                (max * DOUBLE_SCALE).ceil() as i64,
+            ),
+            Domain::Categorical { values } => (0, values.len() as i64),
+            Domain::Boolean => (0, 2),
+        }
+    }
+
+    /// Maps a concrete value onto the normalized integer axis.
+    ///
+    /// Returns `None` for NULLs, for categorical values not in the dictionary,
+    /// and for values of the wrong class.
+    pub fn normalize(&self, value: &Value) -> Option<i64> {
+        match (self, value) {
+            (Domain::Integer { .. }, v) => v.as_i64(),
+            (Domain::Double { .. }, v) => v.as_f64().map(|x| (x * DOUBLE_SCALE).floor() as i64),
+            (Domain::Categorical { values }, Value::Varchar(s)) => {
+                values.iter().position(|v| v == s).map(|i| i as i64)
+            }
+            (Domain::Boolean, Value::Boolean(b)) => Some(i64::from(*b)),
+            (Domain::Boolean, Value::Integer(i)) => Some(i64::from(*i != 0)),
+            _ => None,
+        }
+    }
+
+    /// Decodes a normalized coordinate back into a concrete value.
+    ///
+    /// Coordinates outside the domain are clamped into it so the tuple
+    /// generator always produces in-domain values.
+    pub fn denormalize(&self, coord: i64) -> Value {
+        match self {
+            Domain::Integer { min, max } => {
+                Value::Integer(coord.clamp(*min, (*max - 1).max(*min)))
+            }
+            Domain::Double { .. } => Value::Double(coord as f64 / DOUBLE_SCALE),
+            Domain::Categorical { values } => {
+                if values.is_empty() {
+                    Value::Null
+                } else {
+                    let idx = coord.clamp(0, values.len() as i64 - 1) as usize;
+                    Value::Varchar(values[idx].clone())
+                }
+            }
+            Domain::Boolean => Value::Boolean(coord != 0),
+        }
+    }
+
+    /// True if the normalized axis of this domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.normalized_width() <= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_domain_normalization() {
+        let d = Domain::integer(10, 20);
+        assert_eq!(d.normalized_bounds(), (10, 20));
+        assert_eq!(d.normalized_width(), 10);
+        assert_eq!(d.normalize(&Value::Integer(15)), Some(15));
+        assert_eq!(d.denormalize(15), Value::Integer(15));
+        assert_eq!(d.denormalize(99), Value::Integer(19)); // clamped
+        assert_eq!(d.normalize(&Value::Null), None);
+    }
+
+    #[test]
+    fn double_domain_normalization() {
+        let d = Domain::double(0.0, 10.0);
+        assert_eq!(d.normalized_bounds(), (0, 1000));
+        assert_eq!(d.normalize(&Value::Double(2.5)), Some(250));
+        assert_eq!(d.denormalize(250), Value::Double(2.5));
+    }
+
+    #[test]
+    fn categorical_domain_normalization() {
+        let d = Domain::categorical(["Books", "Music", "Women"]);
+        assert_eq!(d.normalized_width(), 3);
+        assert_eq!(d.normalize(&Value::str("Music")), Some(1));
+        assert_eq!(d.normalize(&Value::str("Unknown")), None);
+        assert_eq!(d.denormalize(1), Value::str("Music"));
+        assert_eq!(d.denormalize(7), Value::str("Women")); // clamped
+    }
+
+    #[test]
+    fn boolean_domain() {
+        let d = Domain::Boolean;
+        assert_eq!(d.normalized_width(), 2);
+        assert_eq!(d.normalize(&Value::Boolean(true)), Some(1));
+        assert_eq!(d.normalize(&Value::Integer(0)), Some(0));
+        assert_eq!(d.denormalize(0), Value::Boolean(false));
+    }
+
+    #[test]
+    fn empty_domain() {
+        assert!(Domain::integer(5, 5).is_empty());
+        assert!(!Domain::integer(5, 6).is_empty());
+        assert_eq!(Domain::categorical(Vec::<String>::new()).denormalize(0), Value::Null);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Domain::categorical(["a", "b"]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Domain = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

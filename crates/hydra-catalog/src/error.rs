@@ -1,0 +1,59 @@
+//! Error type for catalog operations.
+
+use std::fmt;
+
+/// Errors raised while constructing or querying a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table name was referenced that does not exist in the schema.
+    UnknownTable(String),
+    /// A column was referenced that does not exist in the named table.
+    UnknownColumn { table: String, column: String },
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// A column with this name already exists in the table.
+    DuplicateColumn { table: String, column: String },
+    /// A foreign key references a non-existent table or column.
+    InvalidForeignKey { table: String, detail: String },
+    /// A table was declared without a primary key.
+    MissingPrimaryKey(String),
+    /// A value did not match the declared column type.
+    TypeMismatch { column: String, expected: String, got: String },
+    /// Statistics were requested for a column that has none recorded.
+    MissingStatistics { table: String, column: String },
+    /// Generic invalid-argument error.
+    Invalid(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            CatalogError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            CatalogError::DuplicateTable(t) => write!(f, "duplicate table `{t}`"),
+            CatalogError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column `{column}` in table `{table}`")
+            }
+            CatalogError::InvalidForeignKey { table, detail } => {
+                write!(f, "invalid foreign key on table `{table}`: {detail}")
+            }
+            CatalogError::MissingPrimaryKey(t) => {
+                write!(f, "table `{t}` has no primary key")
+            }
+            CatalogError::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch on column `{column}`: expected {expected}, got {got}")
+            }
+            CatalogError::MissingStatistics { table, column } => {
+                write!(f, "no statistics recorded for `{table}`.`{column}`")
+            }
+            CatalogError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// Convenience result alias used across the crate.
+pub type CatalogResult<T> = Result<T, CatalogError>;

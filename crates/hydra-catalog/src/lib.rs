@@ -1,0 +1,50 @@
+//! # hydra-catalog
+//!
+//! Schema catalog, value model, column statistics and metadata transfer for the
+//! HYDRA dynamic data regenerator.
+//!
+//! This crate is the foundation of the workspace: every other crate speaks in
+//! terms of the [`Schema`], [`Table`], [`Column`], [`Value`] and statistics
+//! types defined here.
+//!
+//! The paper's client site ships three things to the vendor: the *schema*, the
+//! *metadata* (row counts, most-common values, equi-depth histograms — what
+//! PostgreSQL keeps in `pg_stats`) and the *query workload with annotated
+//! plans*.  The first two live in this crate (see [`metadata::DatabaseMetadata`]);
+//! the third lives in `hydra-query`.
+//!
+//! ## Example
+//!
+//! ```
+//! use hydra_catalog::schema::{SchemaBuilder, ColumnBuilder};
+//! use hydra_catalog::types::DataType;
+//! use hydra_catalog::domain::Domain;
+//!
+//! let schema = SchemaBuilder::new("toy")
+//!     .table("T", |t| {
+//!         t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
+//!          .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+//!     })
+//!     .table("R", |t| {
+//!         t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
+//!          .column(ColumnBuilder::new("T_fk", DataType::BigInt).references("T", "T_pk"))
+//!     })
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(schema.tables().len(), 2);
+//! assert_eq!(schema.table("R").unwrap().foreign_keys().len(), 1);
+//! ```
+
+pub mod domain;
+pub mod error;
+pub mod metadata;
+pub mod schema;
+pub mod stats;
+pub mod types;
+
+pub use domain::Domain;
+pub use error::{CatalogError, CatalogResult};
+pub use metadata::{DatabaseMetadata, TableMetadata};
+pub use schema::{Column, ColumnBuilder, ColumnRef, ForeignKey, Schema, SchemaBuilder, Table};
+pub use stats::{ColumnStatistics, EquiDepthHistogram, TableStatistics};
+pub use types::{DataType, Value};

@@ -1,0 +1,134 @@
+//! Database metadata: the CODD-style package of schema + statistics that the
+//! client ships to the vendor (together with the workload AQPs, which live in
+//! `hydra-query`).
+//!
+//! The paper uses the metadata-transfer functionality of CODD to make sure the
+//! vendor's optimizer sees the same statistics as the client's, and therefore
+//! picks the same plans.  Here the metadata is a plain serializable value that
+//! the vendor installs into its own catalog.
+
+use crate::error::CatalogResult;
+use crate::schema::Schema;
+use crate::stats::{ColumnStatistics, TableStatistics};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Metadata for a single table (row count + column statistics).
+pub type TableMetadata = TableStatistics;
+
+/// The full metadata package for a database: schema plus per-table statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatabaseMetadata {
+    /// The relational schema.
+    pub schema: Schema,
+    /// Statistics per table name.
+    pub tables: BTreeMap<String, TableMetadata>,
+}
+
+impl DatabaseMetadata {
+    /// Creates metadata with no statistics yet.
+    pub fn new(schema: Schema) -> Self {
+        DatabaseMetadata { schema, tables: BTreeMap::new() }
+    }
+
+    /// Sets the statistics for a table.
+    pub fn set_table(&mut self, table: impl Into<String>, stats: TableMetadata) {
+        self.tables.insert(table.into(), stats);
+    }
+
+    /// Row count of a table (0 if unknown).
+    pub fn row_count(&self, table: &str) -> u64 {
+        self.tables.get(table).map(|t| t.row_count).unwrap_or(0)
+    }
+
+    /// Statistics for a specific column, if recorded.
+    pub fn column_stats(&self, table: &str, column: &str) -> Option<&ColumnStatistics> {
+        self.tables.get(table).and_then(|t| t.columns.get(column))
+    }
+
+    /// Total number of rows across all tables (the "volume" of the database).
+    pub fn total_rows(&self) -> u64 {
+        self.tables.values().map(|t| t.row_count).sum()
+    }
+
+    /// Serializes the metadata package to JSON (the transfer format used by
+    /// the demo's client interface).
+    pub fn to_json(&self) -> CatalogResult<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| crate::error::CatalogError::Invalid(format!("serialize metadata: {e}")))
+    }
+
+    /// Parses a metadata package from JSON.
+    pub fn from_json(json: &str) -> CatalogResult<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| crate::error::CatalogError::Invalid(format!("parse metadata: {e}")))
+    }
+
+    /// Produces a copy of this metadata scaled so that every table's row count
+    /// is multiplied by `factor`.  Used by scenario construction to model
+    /// extrapolated ("what-if") database sizes without touching any data.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut out = self.clone();
+        for stats in out.tables.values_mut() {
+            stats.row_count = (stats.row_count as f64 * factor).round() as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnBuilder, SchemaBuilder};
+    use crate::types::{DataType, Value};
+
+    fn meta() -> DatabaseMetadata {
+        let schema = SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("i_manager_id", DataType::BigInt))
+            })
+            .build()
+            .unwrap();
+        let mut md = DatabaseMetadata::new(schema);
+        let mut ts = TableStatistics::with_row_count(18000);
+        ts.add_column(
+            "i_manager_id",
+            ColumnStatistics::profile(&[Value::Integer(40), Value::Integer(91)], 2, 2),
+        );
+        md.set_table("item", ts);
+        md
+    }
+
+    #[test]
+    fn row_counts_and_lookup() {
+        let md = meta();
+        assert_eq!(md.row_count("item"), 18000);
+        assert_eq!(md.row_count("missing"), 0);
+        assert_eq!(md.total_rows(), 18000);
+        assert!(md.column_stats("item", "i_manager_id").is_some());
+        assert!(md.column_stats("item", "zzz").is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let md = meta();
+        let json = md.to_json().unwrap();
+        let back = DatabaseMetadata::from_json(&json).unwrap();
+        assert_eq!(md, back);
+    }
+
+    #[test]
+    fn scaling() {
+        let md = meta();
+        let big = md.scaled(1000.0);
+        assert_eq!(big.row_count("item"), 18_000_000);
+        // Schema untouched.
+        assert_eq!(big.schema, md.schema);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(DatabaseMetadata::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,591 @@
+//! Relational schema model: tables, columns, keys, and a builder API.
+
+use crate::domain::Domain;
+use crate::error::{CatalogError, CatalogResult};
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fully qualified reference to a column (`table.column`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Creates a new column reference.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef { table: table.into(), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// A foreign-key constraint: `column` of the owning table references
+/// `referenced_table.referenced_column`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Name of the referencing column in the owning table.
+    pub column: String,
+    /// Name of the referenced (dimension) table.
+    pub referenced_table: String,
+    /// Name of the referenced column (must be that table's primary key).
+    pub referenced_column: String,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Logical data type.
+    pub data_type: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+    /// Declared active domain, if known.  Columns without a domain cannot be
+    /// used as partitioning axes but can still be carried through generation.
+    pub domain: Option<Domain>,
+}
+
+impl Column {
+    /// Returns the domain, or a sensible default derived from the data type.
+    pub fn domain_or_default(&self) -> Domain {
+        if let Some(d) = &self.domain {
+            return d.clone();
+        }
+        match self.data_type {
+            DataType::Boolean => Domain::Boolean,
+            DataType::Double => Domain::double(0.0, 1_000_000.0),
+            _ => Domain::integer(0, 1_000_000),
+        }
+    }
+}
+
+/// Builder for a [`Column`].
+#[derive(Debug, Clone)]
+pub struct ColumnBuilder {
+    name: String,
+    data_type: DataType,
+    nullable: bool,
+    domain: Option<Domain>,
+    primary_key: bool,
+    references: Option<(String, String)>,
+}
+
+impl ColumnBuilder {
+    /// Starts building a column with the given name and type.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnBuilder {
+            name: name.into(),
+            data_type,
+            nullable: false,
+            domain: None,
+            primary_key: false,
+            references: None,
+        }
+    }
+
+    /// Marks the column as nullable.
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+
+    /// Declares the active domain of the column.
+    pub fn domain(mut self, domain: Domain) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// Marks this column as (part of) the table's primary key.
+    pub fn primary_key(mut self) -> Self {
+        self.primary_key = true;
+        self
+    }
+
+    /// Declares a foreign key from this column to `table.column`.
+    pub fn references(mut self, table: impl Into<String>, column: impl Into<String>) -> Self {
+        self.references = Some((table.into(), column.into()));
+        self
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name (unique within the schema).
+    pub name: String,
+    columns: Vec<Column>,
+    primary_key: Vec<String>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Table {
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Returns the positional index of a column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The primary-key column names (usually a single surrogate key).
+    pub fn primary_key(&self) -> &[String] {
+        &self.primary_key
+    }
+
+    /// The first primary-key column, if the table has one.
+    pub fn primary_key_column(&self) -> Option<&str> {
+        self.primary_key.first().map(String::as_str)
+    }
+
+    /// Foreign keys declared on this table.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Returns the foreign key declared on the given column, if any.
+    pub fn foreign_key_on(&self, column: &str) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| fk.column == column)
+    }
+
+    /// True if the named column is (part of) the primary key.
+    pub fn is_primary_key(&self, column: &str) -> bool {
+        self.primary_key.iter().any(|c| c == column)
+    }
+
+    /// True if the named column is a foreign key.
+    pub fn is_foreign_key(&self, column: &str) -> bool {
+        self.foreign_key_on(column).is_some()
+    }
+
+    /// Replaces the declared domain of a column (used e.g. by the
+    /// anonymization layer, which renames categorical dictionaries).
+    /// Returns `false` when the column does not exist.
+    pub fn set_column_domain(&mut self, column: &str, domain: Domain) -> bool {
+        match self.columns.iter_mut().find(|c| c.name == column) {
+            Some(c) => {
+                c.domain = Some(domain);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Names of the non-key "payload" columns (neither PK nor FK).
+    pub fn attribute_columns(&self) -> Vec<&Column> {
+        self.columns
+            .iter()
+            .filter(|c| !self.is_primary_key(&c.name) && !self.is_foreign_key(&c.name))
+            .collect()
+    }
+}
+
+/// A relational schema: a set of tables with key constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Schema (database) name.
+    pub name: String,
+    tables: BTreeMap<String, Table>,
+    /// Table names in declaration order.
+    order: Vec<String>,
+}
+
+impl Schema {
+    /// All tables in declaration order.
+    pub fn tables(&self) -> Vec<&Table> {
+        self.order.iter().filter_map(|n| self.tables.get(n)).collect()
+    }
+
+    /// Table names in declaration order.
+    pub fn table_names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable lookup of a table (used by the anonymization layer).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Looks up a table, returning a catalog error when missing.
+    pub fn require_table(&self, name: &str) -> CatalogResult<&Table> {
+        self.table(name).ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks up a column, returning a catalog error when missing.
+    pub fn require_column(&self, table: &str, column: &str) -> CatalogResult<&Column> {
+        let t = self.require_table(table)?;
+        t.column(column).ok_or_else(|| CatalogError::UnknownColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        })
+    }
+
+    /// Returns the tables in *referential topological order*: a table appears
+    /// only after every table it references via a foreign key.
+    ///
+    /// HYDRA processes dimensions before facts so that the deterministic
+    /// alignment of a dimension is known when the fact LP is formulated.
+    pub fn topological_order(&self) -> CatalogResult<Vec<&Table>> {
+        let mut visited: BTreeMap<&str, u8> = BTreeMap::new(); // 0 unseen, 1 visiting, 2 done
+        let mut out = Vec::new();
+
+        fn visit<'a>(
+            schema: &'a Schema,
+            name: &'a str,
+            visited: &mut BTreeMap<&'a str, u8>,
+            out: &mut Vec<&'a Table>,
+        ) -> CatalogResult<()> {
+            match visited.get(name) {
+                Some(2) => return Ok(()),
+                Some(1) => {
+                    return Err(CatalogError::Invalid(format!(
+                        "cycle in foreign-key graph involving table `{name}`"
+                    )))
+                }
+                _ => {}
+            }
+            visited.insert(name, 1);
+            let table = schema.require_table(name)?;
+            for fk in table.foreign_keys() {
+                if fk.referenced_table != name {
+                    visit(schema, &fk.referenced_table, visited, out)?;
+                }
+            }
+            visited.insert(name, 2);
+            out.push(table);
+            Ok(())
+        }
+
+        for name in &self.order {
+            visit(self, name, &mut visited, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// All tables that reference the given table through a foreign key.
+    pub fn referencing_tables(&self, referenced: &str) -> Vec<&Table> {
+        self.tables()
+            .into_iter()
+            .filter(|t| t.foreign_keys().iter().any(|fk| fk.referenced_table == referenced))
+            .collect()
+    }
+}
+
+/// Builder for a [`Table`], used inside [`SchemaBuilder::table`].
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    columns: Vec<ColumnBuilder>,
+}
+
+impl TableBuilder {
+    /// Adds a column to the table.
+    pub fn column(mut self, column: ColumnBuilder) -> Self {
+        self.columns.push(column);
+        self
+    }
+}
+
+/// Builder for a [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    name: String,
+    tables: Vec<(String, TableBuilder)>,
+}
+
+impl SchemaBuilder {
+    /// Starts building a schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder { name: name.into(), tables: Vec::new() }
+    }
+
+    /// Adds a table; the closure configures its columns.
+    pub fn table(mut self, name: impl Into<String>, f: impl FnOnce(TableBuilder) -> TableBuilder) -> Self {
+        self.tables.push((name.into(), f(TableBuilder::default())));
+        self
+    }
+
+    /// Validates and produces the schema.
+    ///
+    /// Validation checks: unique table and column names, every table has a
+    /// primary key, and foreign keys reference existing primary-key columns.
+    pub fn build(self) -> CatalogResult<Schema> {
+        let mut tables: BTreeMap<String, Table> = BTreeMap::new();
+        let mut order = Vec::new();
+
+        for (tname, tb) in &self.tables {
+            if tables.contains_key(tname) {
+                return Err(CatalogError::DuplicateTable(tname.clone()));
+            }
+            let mut columns = Vec::new();
+            let mut primary_key = Vec::new();
+            let mut foreign_keys = Vec::new();
+            for cb in &tb.columns {
+                if columns.iter().any(|c: &Column| c.name == cb.name) {
+                    return Err(CatalogError::DuplicateColumn {
+                        table: tname.clone(),
+                        column: cb.name.clone(),
+                    });
+                }
+                if cb.primary_key {
+                    primary_key.push(cb.name.clone());
+                }
+                if let Some((rt, rc)) = &cb.references {
+                    foreign_keys.push(ForeignKey {
+                        column: cb.name.clone(),
+                        referenced_table: rt.clone(),
+                        referenced_column: rc.clone(),
+                    });
+                }
+                columns.push(Column {
+                    name: cb.name.clone(),
+                    data_type: cb.data_type.clone(),
+                    nullable: cb.nullable,
+                    domain: cb.domain.clone(),
+                });
+            }
+            if primary_key.is_empty() {
+                return Err(CatalogError::MissingPrimaryKey(tname.clone()));
+            }
+            order.push(tname.clone());
+            tables.insert(
+                tname.clone(),
+                Table { name: tname.clone(), columns, primary_key, foreign_keys },
+            );
+        }
+
+        // Validate foreign keys against the assembled table map.
+        for table in tables.values() {
+            for fk in table.foreign_keys() {
+                let target = tables.get(&fk.referenced_table).ok_or_else(|| {
+                    CatalogError::InvalidForeignKey {
+                        table: table.name.clone(),
+                        detail: format!("referenced table `{}` does not exist", fk.referenced_table),
+                    }
+                })?;
+                if target.column(&fk.referenced_column).is_none() {
+                    return Err(CatalogError::InvalidForeignKey {
+                        table: table.name.clone(),
+                        detail: format!(
+                            "referenced column `{}`.`{}` does not exist",
+                            fk.referenced_table, fk.referenced_column
+                        ),
+                    });
+                }
+                if !target.is_primary_key(&fk.referenced_column) {
+                    return Err(CatalogError::InvalidForeignKey {
+                        table: table.name.clone(),
+                        detail: format!(
+                            "referenced column `{}`.`{}` is not a primary key",
+                            fk.referenced_table, fk.referenced_column
+                        ),
+                    });
+                }
+            }
+        }
+
+        Ok(Schema { name: self.name, tables, order })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_schema() -> Schema {
+        // The Figure 1a schema from the paper:
+        //   R(R_pk, S_fk, T_fk)   S(S_pk, A, B)   T(T_pk, C)
+        SchemaBuilder::new("toy")
+            .table("S", |t| {
+                t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)))
+            })
+            .table("T", |t| {
+                t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+            })
+            .table("R", |t| {
+                t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("S_fk", DataType::BigInt).references("S", "S_pk"))
+                    .column(ColumnBuilder::new("T_fk", DataType::BigInt).references("T", "T_pk"))
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_toy_schema() {
+        let schema = toy_schema();
+        assert_eq!(schema.tables().len(), 3);
+        let r = schema.table("R").unwrap();
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.primary_key_column(), Some("R_pk"));
+        assert_eq!(r.foreign_keys().len(), 2);
+        assert!(r.is_foreign_key("S_fk"));
+        assert!(!r.is_foreign_key("R_pk"));
+        assert_eq!(r.attribute_columns().len(), 0);
+        let s = schema.table("S").unwrap();
+        assert_eq!(s.attribute_columns().len(), 2);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let schema = toy_schema();
+        assert!(schema.require_column("S", "A").is_ok());
+        assert!(matches!(
+            schema.require_column("S", "Z"),
+            Err(CatalogError::UnknownColumn { .. })
+        ));
+        assert!(matches!(schema.require_table("X"), Err(CatalogError::UnknownTable(_))));
+        assert_eq!(schema.table("S").unwrap().column_index("B"), Some(2));
+    }
+
+    #[test]
+    fn topological_order_puts_dimensions_first() {
+        let schema = toy_schema();
+        let order: Vec<&str> = schema
+            .topological_order()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        let r_pos = order.iter().position(|n| *n == "R").unwrap();
+        let s_pos = order.iter().position(|n| *n == "S").unwrap();
+        let t_pos = order.iter().position(|n| *n == "T").unwrap();
+        assert!(s_pos < r_pos);
+        assert!(t_pos < r_pos);
+    }
+
+    #[test]
+    fn referencing_tables() {
+        let schema = toy_schema();
+        let refs = schema.referencing_tables("S");
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].name, "R");
+        assert!(schema.referencing_tables("R").is_empty());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let err = SchemaBuilder::new("bad")
+            .table("A", |t| t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key()))
+            .table("A", |t| t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateTable(_)));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = SchemaBuilder::new("bad")
+            .table("A", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("id", DataType::BigInt))
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn missing_primary_key_rejected() {
+        let err = SchemaBuilder::new("bad")
+            .table("A", |t| t.column(ColumnBuilder::new("x", DataType::BigInt)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::MissingPrimaryKey(_)));
+    }
+
+    #[test]
+    fn dangling_foreign_key_rejected() {
+        let err = SchemaBuilder::new("bad")
+            .table("A", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("b_fk", DataType::BigInt).references("B", "id"))
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidForeignKey { .. }));
+    }
+
+    #[test]
+    fn fk_must_reference_primary_key() {
+        let err = SchemaBuilder::new("bad")
+            .table("B", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("x", DataType::BigInt))
+            })
+            .table("A", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("b_fk", DataType::BigInt).references("B", "x"))
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidForeignKey { .. }));
+    }
+
+    #[test]
+    fn cycle_detection_in_topological_order() {
+        let schema = SchemaBuilder::new("cyc")
+            .table("A", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("b_fk", DataType::BigInt).references("B", "id"))
+            })
+            .table("B", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("a_fk", DataType::BigInt).references("A", "id"))
+            })
+            .build()
+            .unwrap();
+        assert!(schema.topological_order().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let schema = toy_schema();
+        let json = serde_json::to_string(&schema).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(schema, back);
+    }
+
+    #[test]
+    fn column_ref_display() {
+        let c = ColumnRef::new("item", "i_category");
+        assert_eq!(c.to_string(), "item.i_category");
+    }
+
+    #[test]
+    fn domain_or_default() {
+        let schema = toy_schema();
+        let col = schema.require_column("S", "A").unwrap();
+        assert_eq!(col.domain_or_default(), Domain::integer(0, 100));
+        let pk = schema.require_column("S", "S_pk").unwrap();
+        assert_eq!(pk.domain_or_default(), Domain::integer(0, 1_000_000));
+    }
+}

@@ -1,0 +1,217 @@
+//! Column and table statistics.
+//!
+//! The client site profiles its warehouse the way PostgreSQL's `ANALYZE`
+//! does: per-column most-common values (MCVs) and equi-depth histograms, plus
+//! per-table row counts.  These statistics ride along in the transfer package
+//! and drive both the metadata screens of the original demo and the default
+//! value spreads used when a column is not constrained by the workload.
+
+use crate::error::{CatalogError, CatalogResult};
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An equi-depth (equi-height) histogram: bucket boundaries such that each
+/// bucket holds approximately the same number of rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EquiDepthHistogram {
+    /// Bucket boundaries, ascending.  `k+1` boundaries describe `k` buckets;
+    /// bucket `i` covers `[bounds[i], bounds[i+1])` (last bucket is closed).
+    pub bounds: Vec<Value>,
+    /// Number of rows per bucket (approximately equal by construction).
+    pub depth: u64,
+}
+
+impl EquiDepthHistogram {
+    /// Builds an equi-depth histogram with (up to) `buckets` buckets from a
+    /// slice of values.  NULLs are ignored.  Values need not be sorted.
+    pub fn build(values: &[Value], buckets: usize) -> Self {
+        let mut sorted: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        if sorted.is_empty() || buckets == 0 {
+            return EquiDepthHistogram::default();
+        }
+        sorted.sort();
+        let n = sorted.len();
+        let buckets = buckets.min(n);
+        let depth = (n as f64 / buckets as f64).ceil() as u64;
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for b in 0..buckets {
+            let idx = (b as f64 * n as f64 / buckets as f64).floor() as usize;
+            bounds.push(sorted[idx].clone());
+        }
+        bounds.push(sorted[n - 1].clone());
+        bounds.dedup();
+        EquiDepthHistogram { bounds, depth }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// True if the histogram carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+}
+
+/// Per-column statistics, mirroring PostgreSQL's `pg_stats` row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStatistics {
+    /// Number of distinct non-NULL values observed.
+    pub n_distinct: u64,
+    /// Fraction of rows that are NULL in this column.
+    pub null_fraction: f64,
+    /// Most common values with their frequency (fraction of rows), descending.
+    pub most_common: Vec<(Value, f64)>,
+    /// Equi-depth histogram over the non-MCV values.
+    pub histogram: EquiDepthHistogram,
+    /// Observed minimum value.
+    pub min: Option<Value>,
+    /// Observed maximum value.
+    pub max: Option<Value>,
+}
+
+impl ColumnStatistics {
+    /// Profiles a column from its raw values.
+    ///
+    /// * `mcv_limit` — how many most-common values to keep.
+    /// * `histogram_buckets` — target number of equi-depth buckets.
+    pub fn profile(values: &[Value], mcv_limit: usize, histogram_buckets: usize) -> Self {
+        let total = values.len() as f64;
+        let mut counts: BTreeMap<&Value, u64> = BTreeMap::new();
+        let mut nulls = 0u64;
+        for v in values {
+            if v.is_null() {
+                nulls += 1;
+            } else {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let n_distinct = counts.len() as u64;
+        let mut by_freq: Vec<(&Value, u64)> = counts.iter().map(|(v, c)| (*v, *c)).collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let most_common: Vec<(Value, f64)> = by_freq
+            .iter()
+            .take(mcv_limit)
+            .map(|(v, c)| ((*v).clone(), if total > 0.0 { *c as f64 / total } else { 0.0 }))
+            .collect();
+        let min = counts.keys().next().map(|v| (*v).clone());
+        let max = counts.keys().next_back().map(|v| (*v).clone());
+        ColumnStatistics {
+            n_distinct,
+            null_fraction: if total > 0.0 { nulls as f64 / total } else { 0.0 },
+            most_common,
+            histogram: EquiDepthHistogram::build(values, histogram_buckets),
+            min,
+            max,
+        }
+    }
+}
+
+/// Per-table statistics: row count plus per-column statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TableStatistics {
+    /// Number of rows in the table.
+    pub row_count: u64,
+    /// Statistics per column name.
+    pub columns: BTreeMap<String, ColumnStatistics>,
+}
+
+impl TableStatistics {
+    /// Creates table statistics with just a row count (no column detail).
+    pub fn with_row_count(row_count: u64) -> Self {
+        TableStatistics { row_count, columns: BTreeMap::new() }
+    }
+
+    /// Adds statistics for one column.
+    pub fn add_column(&mut self, name: impl Into<String>, stats: ColumnStatistics) {
+        self.columns.insert(name.into(), stats);
+    }
+
+    /// Fetches statistics for a column, as a catalog error when missing.
+    pub fn column(&self, table: &str, column: &str) -> CatalogResult<&ColumnStatistics> {
+        self.columns.get(column).ok_or_else(|| CatalogError::MissingStatistics {
+            table: table.to_string(),
+            column: column.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|v| Value::Integer(*v)).collect()
+    }
+
+    #[test]
+    fn histogram_of_uniform_values() {
+        let values = ints(&(0..100).collect::<Vec<_>>());
+        let h = EquiDepthHistogram::build(&values, 4);
+        assert_eq!(h.bucket_count(), 4);
+        assert_eq!(h.bounds.first(), Some(&Value::Integer(0)));
+        assert_eq!(h.bounds.last(), Some(&Value::Integer(99)));
+        assert_eq!(h.depth, 25);
+    }
+
+    #[test]
+    fn histogram_ignores_nulls_and_handles_empty() {
+        let h = EquiDepthHistogram::build(&[Value::Null, Value::Null], 4);
+        assert!(h.is_empty());
+        let h = EquiDepthHistogram::build(&[], 4);
+        assert!(h.is_empty());
+        assert_eq!(h.bucket_count(), 0);
+    }
+
+    #[test]
+    fn histogram_with_fewer_values_than_buckets() {
+        let h = EquiDepthHistogram::build(&ints(&[5, 1]), 10);
+        assert!(h.bucket_count() <= 2);
+        assert_eq!(h.bounds.first(), Some(&Value::Integer(1)));
+    }
+
+    #[test]
+    fn profile_computes_mcvs_and_bounds() {
+        let mut values = ints(&[7; 50]);
+        values.extend(ints(&(0..50).collect::<Vec<_>>()));
+        values.push(Value::Null);
+        let stats = ColumnStatistics::profile(&values, 3, 8);
+        assert_eq!(stats.most_common[0].0, Value::Integer(7));
+        assert!(stats.most_common[0].1 > 0.4);
+        assert_eq!(stats.min, Some(Value::Integer(0)));
+        assert_eq!(stats.max, Some(Value::Integer(49)));
+        assert!(stats.null_fraction > 0.0);
+        assert_eq!(stats.n_distinct, 50);
+        assert_eq!(stats.most_common.len(), 3);
+    }
+
+    #[test]
+    fn profile_of_empty_column() {
+        let stats = ColumnStatistics::profile(&[], 3, 8);
+        assert_eq!(stats.n_distinct, 0);
+        assert_eq!(stats.null_fraction, 0.0);
+        assert!(stats.most_common.is_empty());
+        assert_eq!(stats.min, None);
+    }
+
+    #[test]
+    fn table_statistics_lookup() {
+        let mut ts = TableStatistics::with_row_count(100);
+        ts.add_column("a", ColumnStatistics::profile(&ints(&[1, 2, 3]), 2, 2));
+        assert!(ts.column("t", "a").is_ok());
+        assert!(matches!(
+            ts.column("t", "b"),
+            Err(CatalogError::MissingStatistics { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let stats = ColumnStatistics::profile(&ints(&[1, 1, 2, 3]), 2, 2);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ColumnStatistics = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+}

@@ -1,0 +1,341 @@
+//! Scalar value model and data types shared by every HYDRA component.
+//!
+//! HYDRA regenerates *volumetrically similar* data: what matters is where each
+//! value falls with respect to the workload's predicate boundaries, not the
+//! exact bit pattern.  The value model is therefore deliberately small:
+//! 64-bit integers, doubles, strings (dictionary-encodable), booleans, dates
+//! (days since epoch) and NULL.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical data type of a column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 32-bit signed integer (stored as i64 internally).
+    Integer,
+    /// 64-bit signed integer.
+    BigInt,
+    /// 64-bit IEEE-754 floating point.
+    Double,
+    /// Variable-length string with an optional maximum length.
+    Varchar(Option<u32>),
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+    /// Boolean.
+    Boolean,
+}
+
+impl DataType {
+    /// Returns `true` if values of this type are ordered numerics
+    /// (integers, doubles and dates all normalize to a numeric axis).
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            DataType::Integer | DataType::BigInt | DataType::Double | DataType::Date
+        )
+    }
+
+    /// Returns `true` for string-valued types.
+    pub fn is_textual(&self) -> bool {
+        matches!(self, DataType::Varchar(_))
+    }
+
+    /// Human-readable SQL-ish name, used in error messages and reports.
+    pub fn sql_name(&self) -> String {
+        match self {
+            DataType::Integer => "INTEGER".to_string(),
+            DataType::BigInt => "BIGINT".to_string(),
+            DataType::Double => "DOUBLE".to_string(),
+            DataType::Varchar(Some(n)) => format!("VARCHAR({n})"),
+            DataType::Varchar(None) => "VARCHAR".to_string(),
+            DataType::Date => "DATE".to_string(),
+            DataType::Boolean => "BOOLEAN".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sql_name())
+    }
+}
+
+/// A scalar value.
+///
+/// `Value` implements a *total* order (`Ord`) so it can be used as a key in
+/// sorted containers: NULL sorts first, then booleans, integers/dates,
+/// doubles, and strings.  Cross-class comparisons between integers and doubles
+/// compare numerically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean value.
+    Boolean(bool),
+    /// Integer value (covers `Integer`, `BigInt` and `Date` columns).
+    Integer(i64),
+    /// Double value.
+    Double(f64),
+    /// String value.
+    Varchar(String),
+}
+
+impl Value {
+    /// Constructs a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Varchar(s.into())
+    }
+
+    /// Returns the integer payload if this is an integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(v) => Some(*v),
+            Value::Boolean(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Returns a numeric (f64) view of the value if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Integer(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            Value::Boolean(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Rough byte footprint of the value, used for summary size accounting.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Boolean(_) => 1,
+            Value::Integer(_) => 8,
+            Value::Double(_) => 8,
+            Value::Varchar(s) => s.len(),
+        }
+    }
+
+    /// Class rank used to build the total order across value classes.
+    fn class_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Boolean(_) => 1,
+            Value::Integer(_) => 2,
+            Value::Double(_) => 2, // numerics compare together
+            Value::Varchar(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Boolean(a), Boolean(b)) => a.cmp(b),
+            (Integer(a), Integer(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Integer(a), Double(b)) => {
+                (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal)
+            }
+            (Double(a), Integer(b)) => {
+                a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
+            }
+            (Varchar(a), Varchar(b)) => a.cmp(b),
+            (a, b) => a.class_rank().cmp(&b.class_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Boolean(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Integer(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Value::Double(v) => {
+                // Hash doubles through their bit pattern; integral doubles hash
+                // like the corresponding integer so Integer(2) == Double(2.0)
+                // implies equal hashes.
+                if v.fract() == 0.0 && v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64
+                {
+                    2u8.hash(state);
+                    (*v as i64).hash(state);
+                } else {
+                    3u8.hash(state);
+                    v.to_bits().hash(state);
+                }
+            }
+            Value::Varchar(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Integer(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Varchar(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Integer(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Integer(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Varchar(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Varchar(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn data_type_names() {
+        assert_eq!(DataType::Integer.sql_name(), "INTEGER");
+        assert_eq!(DataType::Varchar(Some(12)).sql_name(), "VARCHAR(12)");
+        assert_eq!(DataType::Varchar(None).sql_name(), "VARCHAR");
+        assert!(DataType::Date.is_numeric());
+        assert!(DataType::Varchar(None).is_textual());
+        assert!(!DataType::Boolean.is_numeric());
+    }
+
+    #[test]
+    fn value_ordering_within_class() {
+        assert!(Value::Integer(1) < Value::Integer(2));
+        assert!(Value::str("apple") < Value::str("banana"));
+        assert!(Value::Double(1.5) < Value::Double(2.5));
+        assert!(Value::Boolean(false) < Value::Boolean(true));
+    }
+
+    #[test]
+    fn value_ordering_across_numeric_classes() {
+        assert_eq!(Value::Integer(2), Value::Double(2.0));
+        assert!(Value::Integer(2) < Value::Double(2.5));
+        assert!(Value::Double(1.5) < Value::Integer(2));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Integer(i64::MIN));
+        assert!(Value::Null < Value::str(""));
+        assert!(Value::Null < Value::Boolean(false));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Integer(2)), hash_of(&Value::Double(2.0)));
+        assert_eq!(hash_of(&Value::str("x")), hash_of(&Value::Varchar("x".into())));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Integer(3));
+        assert_eq!(Value::from(3i64), Value::Integer(3));
+        assert_eq!(Value::from(true).as_i64(), Some(1));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Value::Null.byte_size(), 1);
+        assert_eq!(Value::Integer(7).byte_size(), 8);
+        assert_eq!(Value::str("abcd").byte_size(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let vals = vec![
+            Value::Null,
+            Value::Integer(42),
+            Value::Double(2.25),
+            Value::str("Music"),
+            Value::Boolean(true),
+        ];
+        let json = serde_json::to_string(&vals).unwrap();
+        let back: Vec<Value> = serde_json::from_str(&json).unwrap();
+        assert_eq!(vals, back);
+    }
+}

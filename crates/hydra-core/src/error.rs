@@ -1,0 +1,59 @@
+//! Error type for the end-to-end pipeline.
+
+use hydra_engine::error::EngineError;
+use hydra_query::error::QueryError;
+use hydra_summary::error::SummaryError;
+use std::fmt;
+
+/// Errors raised by the client/vendor pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HydraError {
+    /// Query planning or AQP processing failed.
+    Query(QueryError),
+    /// Query execution failed.
+    Engine(EngineError),
+    /// Summary construction failed.
+    Summary(SummaryError),
+    /// (De)serialization of the transfer package failed.
+    Transfer(String),
+    /// A what-if scenario was infeasible and strict mode was requested.
+    InfeasibleScenario(String),
+    /// Generic invalid input.
+    Invalid(String),
+}
+
+impl fmt::Display for HydraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HydraError::Query(e) => write!(f, "query error: {e}"),
+            HydraError::Engine(e) => write!(f, "engine error: {e}"),
+            HydraError::Summary(e) => write!(f, "summary error: {e}"),
+            HydraError::Transfer(msg) => write!(f, "transfer error: {msg}"),
+            HydraError::InfeasibleScenario(msg) => write!(f, "infeasible scenario: {msg}"),
+            HydraError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HydraError {}
+
+impl From<QueryError> for HydraError {
+    fn from(e: QueryError) -> Self {
+        HydraError::Query(e)
+    }
+}
+
+impl From<EngineError> for HydraError {
+    fn from(e: EngineError) -> Self {
+        HydraError::Engine(e)
+    }
+}
+
+impl From<SummaryError> for HydraError {
+    fn from(e: SummaryError) -> Self {
+        HydraError::Summary(e)
+    }
+}
+
+/// Convenience result alias.
+pub type HydraResult<T> = Result<T, HydraError>;

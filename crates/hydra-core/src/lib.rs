@@ -1,0 +1,60 @@
+//! # hydra-core
+//!
+//! The public face of the HYDRA reproduction: the end-to-end
+//! client-site → vendor-site pipeline of the paper's architecture (Figure 2).
+//!
+//! * [`client::ClientSite`] — profiles the customer warehouse (schema,
+//!   metadata, statistics), executes the query workload to obtain annotated
+//!   query plans, and packages everything for transfer, optionally through an
+//!   anonymization layer.
+//! * [`transfer::TransferPackage`] — the JSON-serializable information
+//!   synopsis shipped from client to vendor.
+//! * [`vendor::VendorSite`] — the vendor-side regenerator: preprocesses the
+//!   AQPs into per-relation constraints, formulates and solves the LPs,
+//!   builds the database summary, verifies volumetric similarity, and exposes
+//!   the dataless database for dynamic regeneration during query execution.
+//! * [`scenario`] — "what-if" scenario construction: inject or scale
+//!   cardinality annotations, check feasibility, and build summaries for
+//!   extrapolated (up to exabyte-row-count) environments.
+//! * [`report`] — human-readable regeneration-quality reports (the vendor
+//!   screens of the original demo).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hydra_core::client::ClientSite;
+//! use hydra_core::vendor::{HydraConfig, VendorSite};
+//! use hydra_workload::{generate_client_database, DataGenConfig, retail_row_targets,
+//!                      retail_schema, WorkloadGenConfig, WorkloadGenerator};
+//!
+//! // Client site: a small retail warehouse and an 8-query workload.
+//! let schema = retail_schema();
+//! let mut targets = retail_row_targets(0.005);
+//! targets.insert("store_sales".to_string(), 2_000);
+//! targets.insert("web_sales".to_string(), 500);
+//! let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+//! let queries = WorkloadGenerator::new(schema.clone(),
+//!     WorkloadGenConfig { num_queries: 8, ..Default::default() }).generate();
+//! let client = ClientSite::new(db);
+//! let package = client.prepare_package(&queries, false).unwrap();
+//!
+//! // Vendor site: regenerate and verify.
+//! let result = VendorSite::new(HydraConfig::default()).regenerate(&package).unwrap();
+//! assert!(result.accuracy.fraction_within(0.10) > 0.9);
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod pipeline;
+pub mod report;
+pub mod scenario;
+pub mod transfer;
+pub mod vendor;
+
+pub use client::ClientSite;
+pub use error::{HydraError, HydraResult};
+pub use pipeline::{run_end_to_end, EndToEndResult};
+pub use report::{AqpEdgeComparison, QueryAqpComparison, RegenerationReport};
+pub use scenario::{Scenario, ScenarioResult};
+pub use transfer::TransferPackage;
+pub use vendor::{HydraConfig, RegenerationResult, VendorSite};

@@ -1,0 +1,77 @@
+//! One-call end-to-end pipeline, used by the examples and benches.
+
+use crate::client::ClientSite;
+use crate::error::HydraResult;
+use crate::transfer::TransferPackage;
+use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
+use hydra_engine::database::Database;
+use hydra_query::query::SpjQuery;
+use std::time::{Duration, Instant};
+
+/// The outcome of a full client → vendor run.
+#[derive(Debug, Clone)]
+pub struct EndToEndResult {
+    /// The transfer package the client produced.
+    pub package: TransferPackage,
+    /// The vendor-side regeneration result.
+    pub regeneration: RegenerationResult,
+    /// Time spent at the client (profiling + workload execution).
+    pub client_time: Duration,
+    /// Time spent at the vendor (preprocessing through verification).
+    pub vendor_time: Duration,
+}
+
+/// Runs the full pipeline: profile the client database, execute the workload,
+/// ship the package, regenerate at the vendor.
+pub fn run_end_to_end(
+    client_db: Database,
+    queries: &[SpjQuery],
+    config: HydraConfig,
+    anonymize: bool,
+) -> HydraResult<EndToEndResult> {
+    let client_start = Instant::now();
+    let client = ClientSite::new(client_db);
+    let package = client.prepare_package(queries, anonymize)?;
+    let client_time = client_start.elapsed();
+
+    let vendor_start = Instant::now();
+    let vendor = VendorSite::new(config);
+    let regeneration = vendor.regenerate(&package)?;
+    let vendor_time = vendor_start.elapsed();
+
+    Ok(EndToEndResult { package, regeneration, client_time, vendor_time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_workload::{
+        generate_client_database, retail_row_targets, retail_schema, DataGenConfig,
+        WorkloadGenConfig, WorkloadGenerator,
+    };
+
+    #[test]
+    fn end_to_end_helper_runs() {
+        let schema = retail_schema();
+        let mut targets = retail_row_targets(0.005);
+        targets.insert("store_sales".to_string(), 1_000);
+        targets.insert("web_sales".to_string(), 300);
+        let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+        let queries = WorkloadGenerator::new(
+            schema,
+            WorkloadGenConfig { num_queries: 5, ..Default::default() },
+        )
+        .generate();
+        let result = run_end_to_end(
+            db,
+            &queries,
+            HydraConfig { compare_aqps: false, ..Default::default() },
+            false,
+        )
+        .unwrap();
+        assert_eq!(result.package.query_count(), 5);
+        assert!(result.regeneration.accuracy.fraction_within(0.1) > 0.8);
+        assert!(result.client_time > Duration::ZERO);
+        assert!(result.vendor_time > Duration::ZERO);
+    }
+}

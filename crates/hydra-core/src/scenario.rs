@@ -1,0 +1,242 @@
+//! Scenario construction ("what-if" regeneration).
+//!
+//! The vendor can pro-actively simulate anticipated client environments by
+//! injecting cardinality annotations into the original AQPs — e.g. scaling
+//! everything by 10⁶ to model an exabyte-era warehouse, or stressing one
+//! relation far beyond its observed size.  HYDRA verifies that the synthetic
+//! assignments are feasible (the per-relation LPs admit a solution) and, if
+//! so, builds the regeneration summary.  Because summary construction is
+//! data-scale-free, this costs the same regardless of the simulated volume.
+
+use crate::error::{HydraError, HydraResult};
+use crate::transfer::TransferPackage;
+use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
+use hydra_lp::solver::{LpSolver, SolveStatus};
+use std::collections::BTreeMap;
+
+/// A what-if scenario: how to distort the observed workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Uniform scale factor applied to every cardinality annotation and every
+    /// table row count.
+    pub scale_factor: f64,
+    /// Per-relation row-count overrides applied after scaling (absolute
+    /// values, e.g. "make store_sales a trillion rows").
+    pub row_overrides: BTreeMap<String, u64>,
+    /// Per-edge cardinality overrides applied after scaling, keyed by
+    /// `(query name, pre-order edge index)`.
+    pub cardinality_overrides: BTreeMap<(String, usize), u64>,
+    /// When `true`, an infeasible scenario is an error; when `false`, the
+    /// least-violation summary is built and the violation is reported.
+    pub strict: bool,
+}
+
+impl Scenario {
+    /// A pure scale-up/down scenario.
+    pub fn scaled(name: impl Into<String>, scale_factor: f64) -> Self {
+        Scenario {
+            name: name.into(),
+            scale_factor,
+            row_overrides: BTreeMap::new(),
+            cardinality_overrides: BTreeMap::new(),
+            strict: false,
+        }
+    }
+
+    /// Adds an absolute row-count override for one relation.
+    pub fn with_row_override(mut self, table: impl Into<String>, rows: u64) -> Self {
+        self.row_overrides.insert(table.into(), rows);
+        self
+    }
+
+    /// Adds a cardinality override for one annotated edge.
+    pub fn with_cardinality_override(
+        mut self,
+        query: impl Into<String>,
+        edge_index: usize,
+        cardinality: u64,
+    ) -> Self {
+        self.cardinality_overrides.insert((query.into(), edge_index), cardinality);
+        self
+    }
+
+    /// Requires the scenario to be exactly feasible.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Applies the scenario to a transfer package, producing the distorted
+    /// package that the vendor pipeline will regenerate from.
+    pub fn apply(&self, package: &TransferPackage) -> TransferPackage {
+        let mut out = package.clone();
+        // Scale metadata row counts, then apply overrides.
+        out.metadata = out.metadata.scaled(self.scale_factor);
+        for (table, rows) in &self.row_overrides {
+            if let Some(stats) = out.metadata.tables.get_mut(table) {
+                stats.row_count = *rows;
+            } else {
+                let mut stats = hydra_catalog::stats::TableStatistics::default();
+                stats.row_count = *rows;
+                out.metadata.tables.insert(table.clone(), stats);
+            }
+        }
+        // Scale AQP annotations, then apply per-edge overrides.
+        for entry in out.workload.entries.iter_mut() {
+            if let Some(aqp) = entry.aqp.as_mut() {
+                aqp.scale_cardinalities(self.scale_factor);
+                let mut index = 0usize;
+                aqp.root.for_each_mut(&mut |node| {
+                    if let Some(card) =
+                        self.cardinality_overrides.get(&(entry.query.name.clone(), index))
+                    {
+                        node.cardinality = *card;
+                    }
+                    index += 1;
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The outcome of constructing a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that was constructed.
+    pub scenario_name: String,
+    /// Whether every relation's LP was exactly feasible.
+    pub feasible: bool,
+    /// Total LP violation across relations (0 when feasible).
+    pub total_violation: f64,
+    /// The regeneration result (summary, reports, dataless database).
+    pub regeneration: RegenerationResult,
+}
+
+/// Constructs a what-if scenario: applies the distortion, verifies
+/// feasibility, and builds the summary.
+pub fn construct_scenario(
+    scenario: &Scenario,
+    package: &TransferPackage,
+    mut config: HydraConfig,
+) -> HydraResult<ScenarioResult> {
+    let distorted = scenario.apply(package);
+
+    // Feasibility verification: use a strict solver first when requested.
+    if scenario.strict {
+        let mut strict_config = config.clone();
+        strict_config.builder.solver = LpSolver::strict();
+        strict_config.compare_aqps = false;
+        let vendor = VendorSite::new(strict_config);
+        if let Err(e) = vendor.regenerate(&distorted) {
+            return Err(HydraError::InfeasibleScenario(format!(
+                "scenario `{}` is infeasible: {e}",
+                scenario.name
+            )));
+        }
+    }
+
+    // Build with the (recovering) configured solver.
+    config.builder.solver = LpSolver::default();
+    let vendor = VendorSite::new(config);
+    let regeneration = vendor.regenerate(&distorted)?;
+    let feasible = regeneration
+        .build_report
+        .relations
+        .iter()
+        .all(|r| r.lp.status == SolveStatus::Feasible);
+    let total_violation =
+        regeneration.build_report.relations.iter().map(|r| r.lp.total_violation).sum();
+    Ok(ScenarioResult {
+        scenario_name: scenario.name.clone(),
+        feasible,
+        total_violation,
+        regeneration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientSite;
+    use hydra_workload::{
+        generate_client_database, retail_row_targets, retail_schema, DataGenConfig,
+        WorkloadGenConfig, WorkloadGenerator,
+    };
+
+    fn package() -> TransferPackage {
+        let schema = retail_schema();
+        let mut targets = retail_row_targets(0.005);
+        targets.insert("store_sales".to_string(), 1_500);
+        targets.insert("web_sales".to_string(), 400);
+        let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+        let queries = WorkloadGenerator::new(
+            schema,
+            WorkloadGenConfig { num_queries: 6, ..Default::default() },
+        )
+        .generate();
+        ClientSite::new(db).prepare_package(&queries, false).unwrap()
+    }
+
+    fn config() -> HydraConfig {
+        HydraConfig { compare_aqps: false, ..Default::default() }
+    }
+
+    #[test]
+    fn scaled_scenario_preserves_feasibility() {
+        let package = package();
+        let scenario = Scenario::scaled("x100", 100.0);
+        let result = construct_scenario(&scenario, &package, config()).unwrap();
+        assert!(result.feasible, "uniform scaling must stay feasible");
+        assert_eq!(
+            result.regeneration.summary.relation("store_sales").unwrap().total_rows,
+            150_000
+        );
+        // Construction is scale-free: the summary stays small even though the
+        // simulated database is 100x larger.
+        assert!(result.regeneration.summary.size_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    fn extreme_extrapolation_is_cheap() {
+        // An "exabyte era" extrapolation: a billion times the observed volume.
+        let package = package();
+        let scenario = Scenario::scaled("exabyte", 1e9);
+        let result = construct_scenario(&scenario, &package, config()).unwrap();
+        let ss = result.regeneration.summary.relation("store_sales").unwrap();
+        assert_eq!(ss.total_rows, 1_500_000_000_000);
+        assert!(result.regeneration.summary.size_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    fn contradictory_injection_is_detected() {
+        let package = package();
+        // Make one query's root claim more rows than the fact table has.
+        let query_name = package.workload.entries[0].query.name.clone();
+        let scenario = Scenario::scaled("broken", 1.0)
+            .with_cardinality_override(query_name, 0, 10_000_000)
+            .strict();
+        let err = construct_scenario(&scenario, &package, config()).unwrap_err();
+        assert!(matches!(err, HydraError::InfeasibleScenario(_)));
+
+        // Without strict mode the scenario builds with a recorded violation.
+        let scenario = Scenario::scaled("broken", 1.0).with_cardinality_override(
+            package.workload.entries[0].query.name.clone(),
+            0,
+            10_000_000,
+        );
+        let result = construct_scenario(&scenario, &package, config()).unwrap();
+        assert!(!result.feasible);
+        assert!(result.total_violation > 0.0);
+    }
+
+    #[test]
+    fn row_override_changes_one_relation() {
+        let package = package();
+        let scenario = Scenario::scaled("stress-item", 1.0).with_row_override("item", 500_000);
+        let result = construct_scenario(&scenario, &package, config()).unwrap();
+        assert_eq!(result.regeneration.summary.relation("item").unwrap().total_rows, 500_000);
+    }
+}

@@ -1,0 +1,90 @@
+//! The client → vendor transfer package.
+//!
+//! The package carries exactly what the paper's client interface ships: the
+//! schema, the metadata (row counts, per-column statistics) and the query
+//! workload with its annotated plans.  It serializes to JSON — the format the
+//! original demo uses for execution plans — so it can be inspected, stored, or
+//! sent across an anonymization layer.
+
+use crate::error::{HydraError, HydraResult};
+use hydra_catalog::metadata::DatabaseMetadata;
+use hydra_query::workload::QueryWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Everything the vendor needs to regenerate the client's database behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferPackage {
+    /// Schema + per-table statistics (the CODD-style metadata transfer).
+    pub metadata: DatabaseMetadata,
+    /// The query workload with annotated plans.
+    pub workload: QueryWorkload,
+}
+
+impl TransferPackage {
+    /// Creates a package.
+    pub fn new(metadata: DatabaseMetadata, workload: QueryWorkload) -> Self {
+        TransferPackage { metadata, workload }
+    }
+
+    /// Serializes the package to pretty JSON.
+    pub fn to_json(&self) -> HydraResult<String> {
+        serde_json::to_string_pretty(self).map_err(|e| HydraError::Transfer(e.to_string()))
+    }
+
+    /// Parses a package from JSON.
+    pub fn from_json(json: &str) -> HydraResult<Self> {
+        serde_json::from_str(json).map_err(|e| HydraError::Transfer(e.to_string()))
+    }
+
+    /// Size of the JSON encoding in bytes (what actually crosses the wire —
+    /// compare against the size of the client database it stands in for).
+    pub fn transfer_size_bytes(&self) -> HydraResult<usize> {
+        Ok(self.to_json()?.len())
+    }
+
+    /// Number of queries in the workload.
+    pub fn query_count(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// Total number of annotated plan edges.
+    pub fn annotated_edges(&self) -> usize {
+        self.workload.total_annotated_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::stats::TableStatistics;
+    use hydra_catalog::types::DataType;
+
+    fn package() -> TransferPackage {
+        let schema = SchemaBuilder::new("db")
+            .table("t", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+            })
+            .build()
+            .unwrap();
+        let mut metadata = DatabaseMetadata::new(schema);
+        metadata.set_table("t", TableStatistics::with_row_count(100));
+        TransferPackage::new(metadata, QueryWorkload::new())
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = package();
+        let json = p.to_json().unwrap();
+        let back = TransferPackage::from_json(&json).unwrap();
+        assert_eq!(p, back);
+        assert!(p.transfer_size_bytes().unwrap() > 0);
+        assert_eq!(p.query_count(), 0);
+        assert_eq!(p.annotated_edges(), 0);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(TransferPackage::from_json("{oops").is_err());
+    }
+}

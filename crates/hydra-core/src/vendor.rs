@@ -1,0 +1,240 @@
+//! The vendor site: regeneration from a transfer package.
+//!
+//! Mirrors the paper's architecture: Preprocessor → LP Formulator → solver →
+//! Summary Generator → referential post-processing, followed by verification
+//! and (on demand) dynamic tuple generation through the dataless database.
+
+use crate::error::HydraResult;
+use crate::report::{build_aqp_comparisons, QueryAqpComparison, RegenerationReport};
+use crate::transfer::TransferPackage;
+use hydra_datagen::dataless::DatalessDatabase;
+use hydra_datagen::generator::DynamicGenerator;
+use hydra_summary::builder::{SummaryBuildReport, SummaryBuilder, SummaryBuilderConfig};
+use hydra_summary::summary::DatabaseSummary;
+use hydra_summary::verify::{verify_summary, VolumetricAccuracyReport};
+use std::collections::BTreeMap;
+
+/// Configuration of the vendor-side regeneration.
+#[derive(Debug, Clone)]
+pub struct HydraConfig {
+    /// Summary-builder configuration (LP solver, alignment strategy, …).
+    pub builder: SummaryBuilderConfig,
+    /// Optional override of per-relation row targets (used by scenario
+    /// construction; `None` = use the client's row counts).
+    pub row_target_override: Option<BTreeMap<String, u64>>,
+    /// Whether to execute the workload against the regenerated (dataless)
+    /// database and produce per-query AQP comparisons.  Costs one execution
+    /// of the workload; enabled by default.
+    pub compare_aqps: bool,
+}
+
+impl Default for HydraConfig {
+    fn default() -> Self {
+        HydraConfig {
+            builder: SummaryBuilderConfig::default(),
+            row_target_override: None,
+            compare_aqps: true,
+        }
+    }
+}
+
+impl HydraConfig {
+    /// A cheaper configuration that skips re-executing the workload on the
+    /// regenerated database.
+    pub fn without_aqp_comparison() -> Self {
+        HydraConfig { compare_aqps: false, ..Default::default() }
+    }
+}
+
+/// The outcome of a regeneration run.
+#[derive(Debug, Clone)]
+pub struct RegenerationResult {
+    /// The database summary (the deliverable of the vendor pipeline).
+    pub summary: DatabaseSummary,
+    /// Per-relation LP / construction statistics.
+    pub build_report: SummaryBuildReport,
+    /// Volumetric-constraint accuracy of the summary.
+    pub accuracy: VolumetricAccuracyReport,
+    /// Per-query AQP comparisons (original vs. regenerated cardinalities),
+    /// present when [`HydraConfig::compare_aqps`] is set.
+    pub aqp_comparisons: Vec<QueryAqpComparison>,
+    /// The schema the summary regenerates.
+    pub schema: hydra_catalog::schema::Schema,
+}
+
+impl RegenerationResult {
+    /// A dataless database over the summary (dynamic regeneration).
+    pub fn dataless_database(&self) -> DatalessDatabase {
+        DatalessDatabase::new(self.schema.clone(), self.summary.clone())
+    }
+
+    /// A dynamic generator over the summary (streams / velocity control).
+    pub fn generator(&self) -> DynamicGenerator {
+        DynamicGenerator::new(self.schema.clone(), self.summary.clone())
+    }
+
+    /// The consolidated report (build + accuracy + AQP comparisons).
+    pub fn report(&self) -> RegenerationReport {
+        RegenerationReport {
+            build: self.build_report.clone(),
+            accuracy: self.accuracy.clone(),
+            aqp_comparisons: self.aqp_comparisons.clone(),
+            summary_bytes: self.summary.size_bytes(),
+            regenerated_rows: self.summary.total_rows(),
+        }
+    }
+}
+
+/// The vendor-side driver.
+#[derive(Debug, Clone, Default)]
+pub struct VendorSite {
+    /// Configuration.
+    pub config: HydraConfig,
+}
+
+impl VendorSite {
+    /// Creates a vendor site with the given configuration.
+    pub fn new(config: HydraConfig) -> Self {
+        VendorSite { config }
+    }
+
+    /// Runs the full regeneration pipeline on a transfer package.
+    pub fn regenerate(&self, package: &TransferPackage) -> HydraResult<RegenerationResult> {
+        let schema = package.metadata.schema.clone();
+
+        // Preprocessor: AQPs → per-relation volumetric constraints.
+        let constraints_by_table = package.workload.constraints_by_table()?;
+
+        // Row targets: the client's row counts unless a scenario overrides them.
+        let row_targets: BTreeMap<String, u64> = match &self.config.row_target_override {
+            Some(overrides) => overrides.clone(),
+            None => schema
+                .table_names()
+                .iter()
+                .map(|t| (t.clone(), package.metadata.row_count(t)))
+                .collect(),
+        };
+
+        // LP formulation, solving, deterministic alignment, post-processing.
+        let builder = SummaryBuilder::new(self.config.builder.clone());
+        let (summary, build_report) = builder.build(
+            &schema,
+            &row_targets,
+            &constraints_by_table,
+            Some(&package.metadata),
+        )?;
+
+        // Verification against every volumetric constraint.
+        let accuracy = verify_summary(&summary, &constraints_by_table)?;
+
+        // Optional: execute the workload on the dataless database and compare
+        // the regenerated AQPs with the originals (Figure 4, bottom right).
+        let aqp_comparisons = if self.config.compare_aqps {
+            let dataless = DatalessDatabase::new(schema.clone(), summary.clone());
+            build_aqp_comparisons(&dataless, &package.workload)?
+        } else {
+            Vec::new()
+        };
+
+        Ok(RegenerationResult {
+            summary,
+            build_report,
+            accuracy,
+            aqp_comparisons,
+            schema,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientSite;
+    use hydra_workload::{
+        generate_client_database, retail_row_targets, retail_schema, DataGenConfig,
+        WorkloadGenConfig, WorkloadGenerator,
+    };
+
+    fn small_package() -> TransferPackage {
+        let schema = retail_schema();
+        let mut targets = retail_row_targets(0.005);
+        targets.insert("store_sales".to_string(), 2_000);
+        targets.insert("web_sales".to_string(), 600);
+        let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+        let queries = WorkloadGenerator::new(
+            schema,
+            WorkloadGenConfig { num_queries: 10, ..Default::default() },
+        )
+        .generate();
+        ClientSite::new(db).prepare_package(&queries, false).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_regeneration_quality() {
+        let package = small_package();
+        let vendor = VendorSite::new(HydraConfig::default());
+        let result = vendor.regenerate(&package).unwrap();
+
+        // Row counts match the client's database.
+        assert_eq!(
+            result.summary.relation("store_sales").unwrap().total_rows,
+            package.metadata.row_count("store_sales")
+        );
+
+        // The paper's headline accuracy claim: the vast majority of
+        // constraints within 10% relative error.
+        assert!(
+            result.accuracy.fraction_within(0.10) > 0.9,
+            "only {:.1}% of constraints within 10%",
+            100.0 * result.accuracy.fraction_within(0.10)
+        );
+
+        // The summary is orders of magnitude smaller than the client data.
+        let client_rows: u64 = package.metadata.total_rows();
+        assert!(result.summary.size_bytes() < 64 * 1024);
+        assert_eq!(result.summary.total_rows(), client_rows);
+
+        // The dataless database serves every relation.
+        let dataless = result.dataless_database();
+        assert_eq!(dataless.row_count("store_sales"), package.metadata.row_count("store_sales"));
+
+        // AQP comparisons were produced for every query.
+        assert_eq!(result.aqp_comparisons.len(), package.query_count());
+        let report = result.report();
+        assert!(report.mean_aqp_relative_error() < 0.25);
+        let text = report.to_display_text();
+        assert!(text.contains("volumetric"));
+    }
+
+    #[test]
+    fn regeneration_without_aqp_comparison_is_cheaper() {
+        let package = small_package();
+        let vendor = VendorSite::new(HydraConfig {
+            compare_aqps: false,
+            ..Default::default()
+        });
+        let result = vendor.regenerate(&package).unwrap();
+        assert!(result.aqp_comparisons.is_empty());
+        assert!(!result.accuracy.is_empty());
+    }
+
+    #[test]
+    fn row_target_override_scales_the_summary() {
+        let package = small_package();
+        let mut overrides: BTreeMap<String, u64> = package
+            .metadata
+            .schema
+            .table_names()
+            .iter()
+            .map(|t| (t.clone(), package.metadata.row_count(t)))
+            .collect();
+        overrides.insert("store_sales".to_string(), 100_000);
+        let vendor = VendorSite::new(HydraConfig {
+            row_target_override: Some(overrides),
+            compare_aqps: false,
+            ..Default::default()
+        });
+        let result = vendor.regenerate(&package).unwrap();
+        assert_eq!(result.summary.relation("store_sales").unwrap().total_rows, 100_000);
+    }
+}

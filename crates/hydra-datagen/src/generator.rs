@@ -1,0 +1,170 @@
+//! The user-facing dynamic generator: streams, materialization, and
+//! rate-controlled generation runs.
+
+use crate::governor::VelocityGovernor;
+use crate::stream::TupleStream;
+use hydra_catalog::schema::Schema;
+use hydra_engine::error::{EngineError, EngineResult};
+use hydra_engine::table::MemTable;
+use hydra_summary::summary::DatabaseSummary;
+use std::time::Duration;
+
+/// Statistics of one generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// Relation that was generated.
+    pub table: String,
+    /// Number of tuples produced.
+    pub rows: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Achieved rate in rows per second.
+    pub achieved_rows_per_sec: f64,
+    /// Target rate, if the run was throttled.
+    pub target_rows_per_sec: Option<f64>,
+}
+
+/// Regenerates relations from a database summary.
+#[derive(Debug, Clone)]
+pub struct DynamicGenerator {
+    /// Schema of the regenerated database.
+    pub schema: Schema,
+    /// The driving summary.
+    pub summary: DatabaseSummary,
+}
+
+impl DynamicGenerator {
+    /// Creates a generator.
+    pub fn new(schema: Schema, summary: DatabaseSummary) -> Self {
+        DynamicGenerator { schema, summary }
+    }
+
+    /// A lazy tuple stream for one relation.
+    pub fn stream(&self, table: &str) -> EngineResult<TupleStream<'_>> {
+        let t = self
+            .schema
+            .table(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        let summary = self
+            .summary
+            .relation(table)
+            .ok_or_else(|| EngineError::UnknownTable(format!("{table} (no summary)")))?;
+        Ok(TupleStream::new(t, summary))
+    }
+
+    /// Materializes a relation into an in-memory table (the demo's optional
+    /// "materialize" mode).  Dynamic generation makes this unnecessary for
+    /// query execution; it exists for comparison and for exporting data.
+    pub fn materialize(&self, table: &str) -> EngineResult<MemTable> {
+        let t = self
+            .schema
+            .table(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        let mut mem = MemTable::empty(t.clone());
+        let rows: Vec<_> = self.stream(table)?.collect();
+        mem.load_unchecked(rows);
+        Ok(mem)
+    }
+
+    /// Generates up to `limit` tuples of a relation at the given velocity
+    /// (rows per second; `None` = unthrottled), returning run statistics.
+    /// Tuples are produced and immediately discarded — this measures the
+    /// generator itself, exactly like the demo's velocity screen.
+    pub fn generate_with_velocity(
+        &self,
+        table: &str,
+        rows_per_sec: Option<f64>,
+        limit: Option<u64>,
+    ) -> EngineResult<GenerationStats> {
+        let stream = self.stream(table)?;
+        let mut governor = match rows_per_sec {
+            Some(rate) => VelocityGovernor::with_rate(rate),
+            None => VelocityGovernor::unthrottled(),
+        };
+        let mut produced = 0u64;
+        for row in stream {
+            // Consume the row (black-box it so the optimizer keeps the work).
+            std::hint::black_box(&row);
+            produced += 1;
+            governor.pace(1);
+            if let Some(limit) = limit {
+                if produced >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(GenerationStats {
+            table: table.to_string(),
+            rows: produced,
+            elapsed: governor.elapsed(),
+            achieved_rows_per_sec: governor.achieved_rate(),
+            target_rows_per_sec: governor.target_rate(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::{DataType, Value};
+    use hydra_summary::summary::RelationSummary;
+    use std::collections::BTreeMap;
+
+    fn generator() -> DynamicGenerator {
+        let schema = SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("i_manager_id", DataType::BigInt))
+            })
+            .build()
+            .unwrap();
+        let mut item = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        let mut v = BTreeMap::new();
+        v.insert("i_manager_id".to_string(), Value::Integer(40));
+        item.push_row(5000, v);
+        let mut summary = DatabaseSummary::new();
+        summary.insert(item);
+        DynamicGenerator::new(schema, summary)
+    }
+
+    #[test]
+    fn stream_and_materialize_agree() {
+        let gen = generator();
+        let streamed: Vec<_> = gen.stream("item").unwrap().collect();
+        let materialized = gen.materialize("item").unwrap();
+        assert_eq!(streamed.len(), 5000);
+        assert_eq!(materialized.row_count(), 5000);
+        assert_eq!(materialized.rows()[0], streamed[0]);
+        assert!(gen.stream("missing").is_err());
+        assert!(gen.materialize("missing").is_err());
+    }
+
+    #[test]
+    fn unthrottled_generation_stats() {
+        let gen = generator();
+        let stats = gen.generate_with_velocity("item", None, None).unwrap();
+        assert_eq!(stats.rows, 5000);
+        assert!(stats.achieved_rows_per_sec > 0.0);
+        assert!(stats.target_rows_per_sec.is_none());
+    }
+
+    #[test]
+    fn limited_generation_stops_early() {
+        let gen = generator();
+        let stats = gen.generate_with_velocity("item", None, Some(100)).unwrap();
+        assert_eq!(stats.rows, 100);
+    }
+
+    #[test]
+    fn throttled_generation_respects_velocity() {
+        let gen = generator();
+        // 500 rows at 5000 rows/s → ~100 ms.
+        let stats = gen
+            .generate_with_velocity("item", Some(5000.0), Some(500))
+            .unwrap();
+        assert_eq!(stats.rows, 500);
+        assert!(stats.elapsed >= Duration::from_millis(90), "too fast: {:?}", stats.elapsed);
+        assert!(stats.achieved_rows_per_sec <= 5800.0);
+    }
+}

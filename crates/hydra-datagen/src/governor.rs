@@ -1,0 +1,116 @@
+//! Generation-velocity regulation.
+//!
+//! The vendor screen of the original demo exposes a slider that sets the
+//! desired generation velocity in rows per second.  The [`VelocityGovernor`]
+//! implements that control: before each tuple (or batch of tuples) is
+//! released, the governor compares how many tuples *should* have been emitted
+//! by now against how many actually were, and sleeps for the difference.
+
+use std::time::{Duration, Instant};
+
+/// Paces tuple emission to a target rate.
+#[derive(Debug, Clone)]
+pub struct VelocityGovernor {
+    /// Target rate in rows per second; `None` = unthrottled.
+    target_rows_per_sec: Option<f64>,
+    started: Instant,
+    emitted: u64,
+}
+
+impl VelocityGovernor {
+    /// A governor with the given target velocity (rows/second).
+    pub fn with_rate(rows_per_sec: f64) -> Self {
+        VelocityGovernor {
+            target_rows_per_sec: Some(rows_per_sec.max(f64::MIN_POSITIVE)),
+            started: Instant::now(),
+            emitted: 0,
+        }
+    }
+
+    /// An unthrottled governor (generation proceeds at full speed).
+    pub fn unthrottled() -> Self {
+        VelocityGovernor { target_rows_per_sec: None, started: Instant::now(), emitted: 0 }
+    }
+
+    /// The configured target rate, if any.
+    pub fn target_rate(&self) -> Option<f64> {
+        self.target_rows_per_sec
+    }
+
+    /// Records that `n` tuples are about to be emitted and sleeps long enough
+    /// to keep the emission rate at (or below) the target.
+    pub fn pace(&mut self, n: u64) {
+        self.emitted += n;
+        let Some(rate) = self.target_rows_per_sec else { return };
+        let due = self.emitted as f64 / rate;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if due > elapsed {
+            std::thread::sleep(Duration::from_secs_f64(due - elapsed));
+        }
+    }
+
+    /// Number of tuples emitted through this governor.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Time since the governor was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The achieved rate so far (rows per second).
+    pub fn achieved_rate(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.emitted as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unthrottled_governor_never_sleeps() {
+        let mut g = VelocityGovernor::unthrottled();
+        let start = Instant::now();
+        for _ in 0..10_000 {
+            g.pace(1);
+        }
+        assert!(start.elapsed() < Duration::from_millis(500));
+        assert_eq!(g.emitted(), 10_000);
+        assert!(g.target_rate().is_none());
+    }
+
+    #[test]
+    fn throttled_governor_respects_target_rate() {
+        // 1000 rows at 10_000 rows/s should take ~100 ms.
+        let mut g = VelocityGovernor::with_rate(10_000.0);
+        for _ in 0..10 {
+            g.pace(100);
+        }
+        let elapsed = g.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(90),
+            "generation finished too fast: {elapsed:?}"
+        );
+        let achieved = g.achieved_rate();
+        assert!(
+            achieved <= 11_500.0,
+            "achieved rate {achieved:.0} exceeds the target by more than 15%"
+        );
+    }
+
+    #[test]
+    fn achieved_rate_reflects_emission() {
+        let mut g = VelocityGovernor::unthrottled();
+        g.pace(500);
+        std::thread::sleep(Duration::from_millis(20));
+        let rate = g.achieved_rate();
+        assert!(rate > 0.0);
+        assert!(rate <= 500.0 / 0.02 + 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Lazy expansion of a relation summary into tuples.
+
+use hydra_catalog::schema::Table;
+use hydra_catalog::types::Value;
+use hydra_engine::row::Row;
+use hydra_summary::summary::RelationSummary;
+
+/// An iterator that regenerates the tuples of one relation from its summary.
+///
+/// Tuples are produced in deterministic order: summary rows in order, each
+/// expanded into `#TUPLES` tuples; the primary key is the running tuple index
+/// (auto-number).  All tuples of a summary row share its value vector.
+pub struct TupleStream<'a> {
+    table: &'a Table,
+    summary: &'a RelationSummary,
+    /// Index of the current summary row.
+    row_index: usize,
+    /// How many tuples of the current summary row have been emitted.
+    emitted_in_row: u64,
+    /// Total tuples emitted so far (= next primary key).
+    emitted_total: u64,
+    /// Cached column layout: for each table column, where its value comes from.
+    layout: Vec<ColumnSource>,
+}
+
+/// Where a generated column's value comes from.
+enum ColumnSource {
+    /// The auto-numbered primary key.
+    AutoNumber,
+    /// A value from the summary row (by column name).
+    Summary(String),
+}
+
+impl<'a> TupleStream<'a> {
+    /// Creates a stream over one relation.
+    pub fn new(table: &'a Table, summary: &'a RelationSummary) -> Self {
+        let pk = summary.pk_column.clone().or_else(|| table.primary_key_column().map(str::to_string));
+        let layout = table
+            .columns()
+            .iter()
+            .map(|c| {
+                if Some(c.name.as_str()) == pk.as_deref() {
+                    ColumnSource::AutoNumber
+                } else {
+                    ColumnSource::Summary(c.name.clone())
+                }
+            })
+            .collect();
+        TupleStream { table, summary, row_index: 0, emitted_in_row: 0, emitted_total: 0, layout }
+    }
+
+    /// Number of tuples remaining in the stream.
+    pub fn remaining(&self) -> u64 {
+        self.summary.total_rows - self.emitted_total
+    }
+
+    /// Number of tuples emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted_total
+    }
+
+    /// The table being generated.
+    pub fn table(&self) -> &Table {
+        self.table
+    }
+}
+
+impl Iterator for TupleStream<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        // Advance past exhausted summary rows.
+        while self.row_index < self.summary.rows.len()
+            && self.emitted_in_row >= self.summary.rows[self.row_index].count
+        {
+            self.row_index += 1;
+            self.emitted_in_row = 0;
+        }
+        if self.row_index >= self.summary.rows.len() {
+            return None;
+        }
+        let srow = &self.summary.rows[self.row_index];
+        let row: Row = self
+            .layout
+            .iter()
+            .map(|src| match src {
+                ColumnSource::AutoNumber => Value::Integer(self.emitted_total as i64),
+                ColumnSource::Summary(name) => {
+                    srow.values.get(name).cloned().unwrap_or(Value::Null)
+                }
+            })
+            .collect();
+        self.emitted_in_row += 1;
+        self.emitted_total += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.remaining() as usize;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::DataType;
+    use std::collections::BTreeMap;
+
+    fn table() -> Table {
+        SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("i_manager_id", DataType::BigInt))
+                    .column(ColumnBuilder::new("i_category", DataType::Varchar(None)))
+            })
+            .build()
+            .unwrap()
+            .table("item")
+            .unwrap()
+            .clone()
+    }
+
+    fn summary() -> RelationSummary {
+        let mut s = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        let mut v1 = BTreeMap::new();
+        v1.insert("i_manager_id".to_string(), Value::Integer(40));
+        v1.insert("i_category".to_string(), Value::str("Music"));
+        s.push_row(917, v1);
+        let mut v2 = BTreeMap::new();
+        v2.insert("i_manager_id".to_string(), Value::Integer(91));
+        v2.insert("i_category".to_string(), Value::str("Women"));
+        s.push_row(21, v2);
+        s
+    }
+
+    #[test]
+    fn stream_expands_summary_rows_with_auto_numbered_pk() {
+        let table = table();
+        let summary = summary();
+        let rows: Vec<Row> = TupleStream::new(&table, &summary).collect();
+        assert_eq!(rows.len(), 938);
+        // Table 1 pattern: the first tuple of each block starts at the
+        // cumulative count.
+        assert_eq!(rows[0][0], Value::Integer(0));
+        assert_eq!(rows[0][1], Value::Integer(40));
+        assert_eq!(rows[0][2], Value::str("Music"));
+        assert_eq!(rows[916][0], Value::Integer(916));
+        assert_eq!(rows[917][0], Value::Integer(917));
+        assert_eq!(rows[917][1], Value::Integer(91));
+        assert_eq!(rows[917][2], Value::str("Women"));
+    }
+
+    #[test]
+    fn stream_accounting() {
+        let table = table();
+        let summary = summary();
+        let mut stream = TupleStream::new(&table, &summary);
+        assert_eq!(stream.remaining(), 938);
+        assert_eq!(stream.size_hint(), (938, Some(938)));
+        stream.next();
+        stream.next();
+        assert_eq!(stream.emitted(), 2);
+        assert_eq!(stream.remaining(), 936);
+        assert_eq!(stream.table().name, "item");
+    }
+
+    #[test]
+    fn missing_summary_values_become_null() {
+        let table = table();
+        let mut s = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        s.push_row(2, BTreeMap::new());
+        let rows: Vec<Row> = TupleStream::new(&table, &s).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Value::Null);
+        assert_eq!(rows[1][0], Value::Integer(1));
+    }
+
+    #[test]
+    fn empty_summary_empty_stream() {
+        let table = table();
+        let s = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        assert_eq!(TupleStream::new(&table, &s).count(), 0);
+    }
+}

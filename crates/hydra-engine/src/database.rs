@@ -1,0 +1,197 @@
+//! A database: a schema plus one [`MemTable`] per relation.
+
+use crate::error::{EngineError, EngineResult};
+use crate::exec::TableProvider;
+use crate::row::Row;
+use crate::table::MemTable;
+use hydra_catalog::metadata::DatabaseMetadata;
+use hydra_catalog::schema::Schema;
+use std::collections::BTreeMap;
+
+/// An in-memory database instance.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// The schema this database instantiates.
+    pub schema: Schema,
+    tables: BTreeMap<String, MemTable>,
+}
+
+impl Database {
+    /// Creates a database with one empty table per schema relation.
+    pub fn empty(schema: Schema) -> Self {
+        let tables = schema
+            .tables()
+            .into_iter()
+            .map(|t| (t.name.clone(), MemTable::empty(t.clone())))
+            .collect();
+        Database { schema, tables }
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&MemTable> {
+        self.tables.get(name)
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> EngineResult<&mut MemTable> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Inserts one row into a table.
+    pub fn insert(&mut self, table: &str, row: Row) -> EngineResult<()> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Inserts many rows into a table.
+    pub fn insert_all(&mut self, table: &str, rows: impl IntoIterator<Item = Row>) -> EngineResult<()> {
+        self.table_mut(table)?.insert_all(rows)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> u64 {
+        self.tables.values().map(|t| t.row_count() as u64).sum()
+    }
+
+    /// Row count of one table (0 for unknown tables).
+    pub fn row_count(&self, table: &str) -> u64 {
+        self.tables.get(table).map(|t| t.row_count() as u64).unwrap_or(0)
+    }
+
+    /// Profiles every table, producing the metadata package the client ships
+    /// to the vendor (`ANALYZE` + CODD metadata transfer).
+    pub fn profile(&self, mcv_limit: usize, histogram_buckets: usize) -> DatabaseMetadata {
+        let mut md = DatabaseMetadata::new(self.schema.clone());
+        for (name, table) in &self.tables {
+            md.set_table(name.clone(), table.profile(mcv_limit, histogram_buckets));
+        }
+        md
+    }
+
+    /// Verifies referential integrity: every non-NULL foreign-key value in
+    /// every table references an existing primary-key value.  Returns the
+    /// number of dangling references found.
+    pub fn dangling_foreign_keys(&self) -> u64 {
+        let mut dangling = 0u64;
+        for table in self.schema.tables() {
+            let Some(mem) = self.tables.get(&table.name) else { continue };
+            for fk in table.foreign_keys() {
+                let Some(fk_idx) = table.column_index(&fk.column) else { continue };
+                let Some(dim) = self.tables.get(&fk.referenced_table) else { continue };
+                let Some(dim_table) = self.schema.table(&fk.referenced_table) else { continue };
+                let Some(pk_idx) = dim_table.column_index(&fk.referenced_column) else { continue };
+                let pk_values: std::collections::HashSet<&hydra_catalog::types::Value> =
+                    dim.rows().iter().map(|r| &r[pk_idx]).collect();
+                for row in mem.rows() {
+                    let v = &row[fk_idx];
+                    if !v.is_null() && !pk_values.contains(v) {
+                        dangling += 1;
+                    }
+                }
+            }
+        }
+        dangling
+    }
+}
+
+impl TableProvider for Database {
+    fn table_columns(&self, table: &str) -> Option<Vec<String>> {
+        self.schema
+            .table(table)
+            .map(|t| t.columns().iter().map(|c| c.name.clone()).collect())
+    }
+
+    fn scan(&self, table: &str) -> Option<Box<dyn Iterator<Item = Row> + '_>> {
+        self.tables.get(table).map(|t| {
+            Box::new(t.rows().iter().cloned()) as Box<dyn Iterator<Item = Row> + '_>
+        })
+    }
+
+    fn estimated_rows(&self, table: &str) -> Option<u64> {
+        self.tables.get(table).map(|t| t.row_count() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::{DataType, Value};
+
+    fn toy_schema() -> Schema {
+        SchemaBuilder::new("toy")
+            .table("S", |t| {
+                t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+            })
+            .table("R", |t| {
+                t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("S_fk", DataType::BigInt).references("S", "S_pk"))
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn populated() -> Database {
+        let mut db = Database::empty(toy_schema());
+        for i in 0..10 {
+            db.insert("S", vec![Value::Integer(i), Value::Integer(i * 10)]).unwrap();
+        }
+        for i in 0..50 {
+            db.insert("R", vec![Value::Integer(i), Value::Integer(i % 10)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn construction_and_row_counts() {
+        let db = populated();
+        assert_eq!(db.row_count("S"), 10);
+        assert_eq!(db.row_count("R"), 50);
+        assert_eq!(db.row_count("missing"), 0);
+        assert_eq!(db.total_rows(), 60);
+        assert!(db.table("S").is_some());
+        assert!(db.table("missing").is_none());
+    }
+
+    #[test]
+    fn unknown_table_insert_fails() {
+        let mut db = populated();
+        assert!(matches!(
+            db.insert("missing", vec![Value::Integer(1)]),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn profiling_matches_contents() {
+        let db = populated();
+        let md = db.profile(4, 8);
+        assert_eq!(md.row_count("S"), 10);
+        assert_eq!(md.row_count("R"), 50);
+        assert_eq!(md.column_stats("S", "A").unwrap().n_distinct, 10);
+    }
+
+    #[test]
+    fn referential_integrity_check() {
+        let mut db = populated();
+        assert_eq!(db.dangling_foreign_keys(), 0);
+        db.insert("R", vec![Value::Integer(99), Value::Integer(42)]).unwrap();
+        assert_eq!(db.dangling_foreign_keys(), 1);
+    }
+
+    #[test]
+    fn table_provider_interface() {
+        let db = populated();
+        assert_eq!(
+            db.table_columns("S"),
+            Some(vec!["S_pk".to_string(), "A".to_string()])
+        );
+        assert_eq!(db.table_columns("missing"), None);
+        assert_eq!(db.estimated_rows("R"), Some(50));
+        let rows: Vec<Row> = db.scan("S").unwrap().collect();
+        assert_eq!(rows.len(), 10);
+    }
+}

@@ -1,0 +1,403 @@
+//! Plan execution with per-operator cardinality instrumentation.
+//!
+//! [`Executor::run`] evaluates a logical plan bottom-up, materializing each
+//! operator's output and recording its row count.  The counts, in plan
+//! pre-order, are exactly the annotations of an AQP —
+//! [`Executor::run_annotated`] returns them packaged as an
+//! [`AnnotatedQueryPlan`].
+//!
+//! Scans are served through the [`TableProvider`] trait, so the same executor
+//! runs over a materialized [`crate::database::Database`] (client site) or
+//! over a dataless, dynamically generated database (vendor site, see
+//! `hydra-datagen`).
+
+use crate::error::{EngineError, EngineResult};
+use crate::row::{find_column, OutputColumn, Row};
+use hydra_query::aqp::AnnotatedQueryPlan;
+use hydra_query::plan::{LogicalPlan, PlanOp};
+use hydra_query::query::SpjQuery;
+use std::collections::HashMap;
+
+/// Supplies rows for base-table scans.
+pub trait TableProvider {
+    /// Column names of the table, in order, or `None` if the table is unknown.
+    fn table_columns(&self, table: &str) -> Option<Vec<String>>;
+    /// An iterator over the table's rows, or `None` if the table is unknown.
+    fn scan(&self, table: &str) -> Option<Box<dyn Iterator<Item = Row> + '_>>;
+    /// Estimated (or exact) row count, if known.
+    fn estimated_rows(&self, table: &str) -> Option<u64>;
+}
+
+/// The materialized output of a plan execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// Layout of `rows`.
+    pub columns: Vec<OutputColumn>,
+    /// Output rows of the plan root.
+    pub rows: Vec<Row>,
+    /// Output cardinality of every plan node, in pre-order.
+    pub node_cardinalities: Vec<u64>,
+}
+
+impl ExecutionResult {
+    /// Output cardinality of the plan root.
+    pub fn root_cardinality(&self) -> u64 {
+        self.node_cardinalities.first().copied().unwrap_or(0)
+    }
+}
+
+/// Executes logical plans against a [`TableProvider`].
+pub struct Executor<'a> {
+    provider: &'a dyn TableProvider,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over the given provider.
+    pub fn new(provider: &'a dyn TableProvider) -> Self {
+        Executor { provider }
+    }
+
+    /// Executes a plan, returning its output and per-node cardinalities.
+    pub fn run(&self, plan: &LogicalPlan) -> EngineResult<ExecutionResult> {
+        let mut cards = vec![0u64; plan.node_count()];
+        let mut next_index = 0usize;
+        let (columns, rows) = self.exec_node(plan, &mut cards, &mut next_index)?;
+        Ok(ExecutionResult { columns, rows, node_cardinalities: cards })
+    }
+
+    /// Executes a plan and packages the observed cardinalities as an AQP.
+    pub fn run_annotated(
+        &self,
+        query_name: &str,
+        plan: &LogicalPlan,
+    ) -> EngineResult<(ExecutionResult, AnnotatedQueryPlan)> {
+        let result = self.run(plan)?;
+        let aqp = AnnotatedQueryPlan::from_plan_with_cardinalities(
+            query_name,
+            plan,
+            &result.node_cardinalities,
+        )
+        .map_err(|e| EngineError::BadPlan(e.to_string()))?;
+        Ok((result, aqp))
+    }
+
+    /// Convenience: plans and executes an [`SpjQuery`], returning its AQP.
+    pub fn run_query(&self, query: &SpjQuery) -> EngineResult<(ExecutionResult, AnnotatedQueryPlan)> {
+        let plan = LogicalPlan::from_query(query).map_err(|e| EngineError::BadPlan(e.to_string()))?;
+        self.run_annotated(&query.name, &plan)
+    }
+
+    fn exec_node(
+        &self,
+        plan: &LogicalPlan,
+        cards: &mut [u64],
+        next_index: &mut usize,
+    ) -> EngineResult<(Vec<OutputColumn>, Vec<Row>)> {
+        let my_index = *next_index;
+        *next_index += 1;
+        let (columns, rows) = match &plan.op {
+            PlanOp::Scan { table } => self.exec_scan(table)?,
+            PlanOp::Filter { table, predicate } => {
+                if plan.children.len() != 1 {
+                    return Err(EngineError::BadPlan("filter needs exactly one input".into()));
+                }
+                let (columns, rows) = self.exec_node(&plan.children[0], cards, next_index)?;
+                let filtered: Vec<Row> = rows
+                    .into_iter()
+                    .filter(|row| {
+                        predicate.evaluate(|col| {
+                            find_column(&columns, table, col).map(|idx| &row[idx])
+                        })
+                    })
+                    .collect();
+                (columns, filtered)
+            }
+            PlanOp::Join { edge } => {
+                if plan.children.len() != 2 {
+                    return Err(EngineError::BadPlan("join needs exactly two inputs".into()));
+                }
+                let (left_cols, left_rows) = self.exec_node(&plan.children[0], cards, next_index)?;
+                let (right_cols, right_rows) =
+                    self.exec_node(&plan.children[1], cards, next_index)?;
+
+                // Locate the FK column (fact side) and PK column (dim side)
+                // in whichever child carries them.
+                let fk_in_left = find_column(&left_cols, &edge.fact_table, &edge.fk_column);
+                let pk_in_right = find_column(&right_cols, &edge.dim_table, &edge.pk_column);
+                let fk_in_right = find_column(&right_cols, &edge.fact_table, &edge.fk_column);
+                let pk_in_left = find_column(&left_cols, &edge.dim_table, &edge.pk_column);
+
+                let (probe_rows, probe_cols, probe_key, build_rows, build_cols, build_key, probe_is_left) =
+                    match (fk_in_left, pk_in_right, fk_in_right, pk_in_left) {
+                        (Some(fk), Some(pk), _, _) => {
+                            (left_rows, left_cols, fk, right_rows, right_cols, pk, true)
+                        }
+                        (_, _, Some(fk), Some(pk)) => {
+                            (right_rows, right_cols, fk, left_rows, left_cols, pk, false)
+                        }
+                        _ => {
+                            return Err(EngineError::UnknownColumn(format!(
+                                "join columns for `{}` not found in inputs",
+                                edge.to_sql()
+                            )))
+                        }
+                    };
+
+                // Hash join: build on the dimension (PK) side, probe with the
+                // fact (FK) side.
+                let mut hash: HashMap<&hydra_catalog::types::Value, Vec<usize>> = HashMap::new();
+                for (i, row) in build_rows.iter().enumerate() {
+                    let key = &row[build_key];
+                    if !key.is_null() {
+                        hash.entry(key).or_default().push(i);
+                    }
+                }
+                let mut out_rows = Vec::new();
+                for row in &probe_rows {
+                    let key = &row[probe_key];
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = hash.get(key) {
+                        for &m in matches {
+                            let mut combined;
+                            if probe_is_left {
+                                combined = row.clone();
+                                combined.extend(build_rows[m].iter().cloned());
+                            } else {
+                                combined = build_rows[m].clone();
+                                combined.extend(row.iter().cloned());
+                            }
+                            out_rows.push(combined);
+                        }
+                    }
+                }
+                let mut out_cols;
+                if probe_is_left {
+                    out_cols = probe_cols;
+                    out_cols.extend(build_cols);
+                } else {
+                    out_cols = build_cols;
+                    out_cols.extend(probe_cols);
+                }
+                (out_cols, out_rows)
+            }
+        };
+        cards[my_index] = rows.len() as u64;
+        Ok((columns, rows))
+    }
+
+    fn exec_scan(&self, table: &str) -> EngineResult<(Vec<OutputColumn>, Vec<Row>)> {
+        let column_names = self
+            .provider
+            .table_columns(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        let columns: Vec<OutputColumn> =
+            column_names.iter().map(|c| OutputColumn::new(table, c.clone())).collect();
+        let rows: Vec<Row> = self
+            .provider
+            .scan(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?
+            .collect();
+        Ok((columns, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, Schema, SchemaBuilder};
+    use hydra_catalog::types::{DataType, Value};
+    use hydra_query::parser::parse_query_for_schema;
+    use hydra_query::plan::LogicalPlan;
+
+    /// The paper's Figure 1 scenario: R(R_pk, S_fk, T_fk), S(S_pk, A, B), T(T_pk, C).
+    fn toy_schema() -> Schema {
+        SchemaBuilder::new("toy")
+            .table("S", |t| {
+                t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)))
+            })
+            .table("T", |t| {
+                t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+            })
+            .table("R", |t| {
+                t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("S_fk", DataType::BigInt).references("S", "S_pk"))
+                    .column(ColumnBuilder::new("T_fk", DataType::BigInt).references("T", "T_pk"))
+            })
+            .build()
+            .unwrap()
+    }
+
+    /// Deterministic toy instance:
+    /// * S has 100 rows, S_pk = i, A = i (so 20 <= A < 60 selects 40 rows).
+    /// * T has 10 rows, T_pk = i, C = i (so 2 <= C < 3 selects 1 row).
+    /// * R has 1000 rows, S_fk = i % 100, T_fk = i % 10.
+    fn toy_db() -> Database {
+        let mut db = Database::empty(toy_schema());
+        for i in 0..100 {
+            db.insert("S", vec![Value::Integer(i), Value::Integer(i), Value::Integer(99 - i)])
+                .unwrap();
+        }
+        for i in 0..10 {
+            db.insert("T", vec![Value::Integer(i), Value::Integer(i)]).unwrap();
+        }
+        for i in 0..1000 {
+            db.insert("R", vec![Value::Integer(i), Value::Integer(i % 100), Value::Integer(i % 10)])
+                .unwrap();
+        }
+        db
+    }
+
+    const FIG1_SQL: &str = "select * from R, S, T \
+        where R.S_fk = S.S_pk and R.T_fk = T.T_pk \
+        and S.A >= 20 and S.A < 60 and T.C >= 2 and T.C < 3";
+
+    #[test]
+    fn scan_execution() {
+        let db = toy_db();
+        let plan = LogicalPlan::scan("S");
+        let result = Executor::new(&db).run(&plan).unwrap();
+        assert_eq!(result.rows.len(), 100);
+        assert_eq!(result.columns.len(), 3);
+        assert_eq!(result.root_cardinality(), 100);
+    }
+
+    #[test]
+    fn unknown_table_fails() {
+        let db = toy_db();
+        let plan = LogicalPlan::scan("missing");
+        assert!(matches!(
+            Executor::new(&db).run(&plan),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn filter_execution() {
+        let db = toy_db();
+        let schema = toy_schema();
+        let q = parse_query_for_schema("q", "select * from S where S.A >= 20 and S.A < 60", &schema)
+            .unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        let result = Executor::new(&db).run(&plan).unwrap();
+        assert_eq!(result.rows.len(), 40);
+    }
+
+    #[test]
+    fn figure1_join_cardinalities() {
+        let db = toy_db();
+        let schema = toy_schema();
+        let q = parse_query_for_schema("fig1", FIG1_SQL, &schema).unwrap();
+        let (result, aqp) = Executor::new(&db).run_query(&q).unwrap();
+
+        // Selectivities: σ(S) keeps S_pk in [20,60) → R rows with S_fk in that
+        // range: 400.  σ(T) keeps T_pk = 2 → of those, the ones with T_fk = 2.
+        // R rows have S_fk = i % 100 and T_fk = i % 10; S_fk in [20,60) and
+        // T_fk = 2 → i % 100 in {22,32,42,52} → 40 rows.
+        assert_eq!(result.rows.len(), 40);
+        assert_eq!(aqp.root.cardinality, 40);
+
+        // Check the full set of annotations via the constraint extraction.
+        let constraints = aqp.constraints().unwrap();
+        let filter_s = constraints
+            .iter()
+            .find(|c| c.table == "S" && !c.predicate.is_trivial())
+            .unwrap();
+        assert_eq!(filter_s.cardinality, 40);
+        let join_s = constraints
+            .iter()
+            .find(|c| c.table == "R" && c.fk_conditions.len() == 1)
+            .unwrap();
+        assert_eq!(join_s.cardinality, 400);
+        let scan_r = constraints
+            .iter()
+            .find(|c| c.table == "R" && c.is_total_row_count())
+            .unwrap();
+        assert_eq!(scan_r.cardinality, 1000);
+    }
+
+    #[test]
+    fn join_output_columns_include_both_sides() {
+        let db = toy_db();
+        let schema = toy_schema();
+        let q = parse_query_for_schema("q", "select * from R, S where R.S_fk = S.S_pk", &schema)
+            .unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        let result = Executor::new(&db).run(&plan).unwrap();
+        assert_eq!(result.rows.len(), 1000);
+        assert_eq!(result.columns.len(), 6); // 3 from R + 3 from S
+        // Every output row's S_fk equals its S_pk.
+        let fk = find_column(&result.columns, "R", "S_fk").unwrap();
+        let pk = find_column(&result.columns, "S", "S_pk").unwrap();
+        assert!(result.rows.iter().all(|r| r[fk] == r[pk]));
+    }
+
+    #[test]
+    fn join_with_dangling_fk_drops_rows() {
+        let mut db = toy_db();
+        // An R row referencing a non-existent S_pk.
+        db.insert("R", vec![Value::Integer(5000), Value::Integer(5000), Value::Integer(0)])
+            .unwrap();
+        let schema = toy_schema();
+        let q = parse_query_for_schema("q", "select * from R, S where R.S_fk = S.S_pk", &schema)
+            .unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        let result = Executor::new(&db).run(&plan).unwrap();
+        assert_eq!(result.rows.len(), 1000); // dangling row contributes nothing
+    }
+
+    #[test]
+    fn null_fk_never_joins() {
+        let schema = SchemaBuilder::new("n")
+            .table("D", |t| {
+                t.column(ColumnBuilder::new("d_pk", DataType::BigInt).primary_key())
+            })
+            .table("F", |t| {
+                t.column(ColumnBuilder::new("f_pk", DataType::BigInt).primary_key())
+                    .column(
+                        ColumnBuilder::new("d_fk", DataType::BigInt)
+                            .references("D", "d_pk")
+                            .nullable(),
+                    )
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert("D", vec![Value::Integer(0)]).unwrap();
+        db.insert("F", vec![Value::Integer(0), Value::Integer(0)]).unwrap();
+        db.insert("F", vec![Value::Integer(1), Value::Null]).unwrap();
+        let q = parse_query_for_schema("q", "select * from F, D where F.d_fk = D.d_pk", &schema)
+            .unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        let result = Executor::new(&db).run(&plan).unwrap();
+        assert_eq!(result.rows.len(), 1);
+    }
+
+    #[test]
+    fn annotated_plan_shape_matches_logical_plan() {
+        let db = toy_db();
+        let schema = toy_schema();
+        let q = parse_query_for_schema("fig1", FIG1_SQL, &schema).unwrap();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        let (result, aqp) = Executor::new(&db).run_annotated("fig1", &plan).unwrap();
+        assert_eq!(aqp.edge_count(), plan.node_count());
+        assert_eq!(result.node_cardinalities.len(), plan.node_count());
+        // Scan cardinalities appear in the AQP exactly as observed.
+        let scan_cards: Vec<u64> = aqp
+            .root
+            .preorder()
+            .into_iter()
+            .filter(|n| matches!(n.op, PlanOp::Scan { .. }))
+            .map(|n| n.cardinality)
+            .collect();
+        assert!(scan_cards.contains(&1000));
+        assert!(scan_cards.contains(&100));
+        assert!(scan_cards.contains(&10));
+    }
+}

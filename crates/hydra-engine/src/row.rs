@@ -1,0 +1,46 @@
+//! Rows and output column descriptors.
+
+use hydra_catalog::types::Value;
+
+/// A row of values.  Operator outputs concatenate the rows of their inputs,
+/// so a row's layout is described by the accompanying [`OutputColumn`] list.
+pub type Row = Vec<Value>;
+
+/// Describes one column of an operator's output: which table it came from and
+/// what it is called there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputColumn {
+    /// Originating table name.
+    pub table: String,
+    /// Column name within that table.
+    pub column: String,
+}
+
+impl OutputColumn {
+    /// Creates an output column descriptor.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        OutputColumn { table: table.into(), column: column.into() }
+    }
+}
+
+/// Finds the index of `table.column` in an output column list.
+pub fn find_column(columns: &[OutputColumn], table: &str, column: &str) -> Option<usize> {
+    columns.iter().position(|c| c.table == table && c.column == column)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_column_by_table_and_name() {
+        let cols = vec![
+            OutputColumn::new("R", "R_pk"),
+            OutputColumn::new("R", "S_fk"),
+            OutputColumn::new("S", "S_pk"),
+        ];
+        assert_eq!(find_column(&cols, "R", "S_fk"), Some(1));
+        assert_eq!(find_column(&cols, "S", "S_pk"), Some(2));
+        assert_eq!(find_column(&cols, "S", "S_fk"), None);
+    }
+}

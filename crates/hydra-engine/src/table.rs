@@ -1,0 +1,208 @@
+//! In-memory tables.
+
+use crate::error::{EngineError, EngineResult};
+use crate::row::Row;
+use hydra_catalog::schema::Table;
+use hydra_catalog::stats::{ColumnStatistics, TableStatistics};
+use hydra_catalog::types::{DataType, Value};
+
+/// A materialized, memory-resident table: its schema plus a vector of rows.
+#[derive(Debug, Clone)]
+pub struct MemTable {
+    /// The table's schema definition.
+    pub schema: Table,
+    rows: Vec<Row>,
+}
+
+impl MemTable {
+    /// Creates an empty table with the given schema.
+    pub fn empty(schema: Table) -> Self {
+        MemTable { schema, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Inserts a row after validating arity and (loosely) types.
+    pub fn insert(&mut self, row: Row) -> EngineResult<()> {
+        if row.len() != self.schema.arity() {
+            return Err(EngineError::RowMismatch(format!(
+                "table `{}` expects {} columns, got {}",
+                self.schema.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        for (value, column) in row.iter().zip(self.schema.columns()) {
+            if value.is_null() {
+                if column.nullable {
+                    continue;
+                }
+                return Err(EngineError::RowMismatch(format!(
+                    "NULL in non-nullable column `{}`.`{}`",
+                    self.schema.name, column.name
+                )));
+            }
+            let ok = match column.data_type {
+                DataType::Integer | DataType::BigInt | DataType::Date => {
+                    matches!(value, Value::Integer(_))
+                }
+                DataType::Double => matches!(value, Value::Double(_) | Value::Integer(_)),
+                DataType::Varchar(_) => matches!(value, Value::Varchar(_)),
+                DataType::Boolean => matches!(value, Value::Boolean(_)),
+            };
+            if !ok {
+                return Err(EngineError::RowMismatch(format!(
+                    "value `{value}` does not fit column `{}`.`{}` of type {}",
+                    self.schema.name, column.name, column.data_type
+                )));
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Inserts many rows.
+    pub fn insert_all(&mut self, rows: impl IntoIterator<Item = Row>) -> EngineResult<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-loads rows without per-row validation (used by generators that
+    /// construct rows directly from the schema and are valid by construction).
+    pub fn load_unchecked(&mut self, rows: Vec<Row>) {
+        self.rows.extend(rows);
+    }
+
+    /// Returns the values of one column.
+    pub fn column_values(&self, column: &str) -> EngineResult<Vec<Value>> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| EngineError::UnknownColumn(format!("{}.{}", self.schema.name, column)))?;
+        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Profiles this table into catalog statistics (row count, per-column
+    /// MCVs and equi-depth histograms) — the client-side `ANALYZE`.
+    pub fn profile(&self, mcv_limit: usize, histogram_buckets: usize) -> TableStatistics {
+        let mut stats = TableStatistics::with_row_count(self.rows.len() as u64);
+        for (idx, column) in self.schema.columns().iter().enumerate() {
+            let values: Vec<Value> = self.rows.iter().map(|r| r[idx].clone()).collect();
+            stats.add_column(
+                column.name.clone(),
+                ColumnStatistics::profile(&values, mcv_limit, histogram_buckets),
+            );
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+
+    fn item_table() -> Table {
+        SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+                    .column(
+                        ColumnBuilder::new("i_category", DataType::Varchar(None))
+                            .domain(Domain::categorical(["Books", "Music"])),
+                    )
+                    .column(ColumnBuilder::new("i_price", DataType::Double).nullable())
+            })
+            .build()
+            .unwrap()
+            .table("item")
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = MemTable::empty(item_table());
+        t.insert(vec![Value::Integer(1), Value::str("Books"), Value::Double(9.99)]).unwrap();
+        t.insert(vec![Value::Integer(2), Value::str("Music"), Value::Null]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.rows()[1][1], Value::str("Music"));
+        assert_eq!(
+            t.column_values("i_category").unwrap(),
+            vec![Value::str("Books"), Value::str("Music")]
+        );
+        assert!(t.column_values("nope").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = MemTable::empty(item_table());
+        assert!(matches!(
+            t.insert(vec![Value::Integer(1)]),
+            Err(EngineError::RowMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = MemTable::empty(item_table());
+        assert!(t
+            .insert(vec![Value::str("one"), Value::str("Books"), Value::Double(1.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn null_in_non_nullable_rejected() {
+        let mut t = MemTable::empty(item_table());
+        assert!(t.insert(vec![Value::Null, Value::str("Books"), Value::Double(1.0)]).is_err());
+        // Nullable column accepts NULL.
+        assert!(t.insert(vec![Value::Integer(1), Value::str("Books"), Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn integer_accepted_in_double_column() {
+        let mut t = MemTable::empty(item_table());
+        assert!(t.insert(vec![Value::Integer(1), Value::str("Books"), Value::Integer(10)]).is_ok());
+    }
+
+    #[test]
+    fn insert_all_and_load_unchecked() {
+        let mut t = MemTable::empty(item_table());
+        t.insert_all(vec![
+            vec![Value::Integer(1), Value::str("Books"), Value::Double(1.0)],
+            vec![Value::Integer(2), Value::str("Music"), Value::Double(2.0)],
+        ])
+        .unwrap();
+        t.load_unchecked(vec![vec![Value::Integer(3), Value::str("Books"), Value::Double(3.0)]]);
+        assert_eq!(t.row_count(), 3);
+    }
+
+    #[test]
+    fn profiling_produces_statistics() {
+        let mut t = MemTable::empty(item_table());
+        for i in 0..50 {
+            t.insert(vec![
+                Value::Integer(i),
+                Value::str(if i % 5 == 0 { "Music" } else { "Books" }),
+                Value::Double(i as f64),
+            ])
+            .unwrap();
+        }
+        let stats = t.profile(4, 8);
+        assert_eq!(stats.row_count, 50);
+        let cat = &stats.columns["i_category"];
+        assert_eq!(cat.n_distinct, 2);
+        assert_eq!(cat.most_common[0].0, Value::str("Books"));
+        assert!(stats.columns["i_price"].histogram.bucket_count() > 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Largest-remainder rounding of fractional LP solutions.
+//!
+//! LP solutions assign fractional row counts to regions.  The summary needs
+//! integers, and HYDRA's deterministic alignment requires that rounding not
+//! change the total row count of the relation (otherwise every volumetric
+//! constraint would drift).  Largest-remainder (Hamilton) rounding achieves
+//! exactly that: floors everything, then distributes the leftover units to the
+//! entries with the largest fractional parts, deterministically.
+
+/// Rounds `values` to non-negative integers whose sum equals `target_total`.
+///
+/// * Values are clamped to be non-negative first.
+/// * If the floored sum falls short of `target_total`, the deficit is
+///   distributed one unit at a time to the entries with the largest
+///   fractional remainders (ties broken by index, so the result is
+///   deterministic).
+/// * If the floored sum already exceeds `target_total` (possible when the
+///   caller passes a target smaller than the fractional sum), units are
+///   removed from the entries with the smallest remainders.
+pub fn largest_remainder_round(values: &[f64], target_total: u64) -> Vec<u64> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let clamped: Vec<f64> = values.iter().map(|v| v.max(0.0)).collect();
+    let mut floors: Vec<u64> = clamped.iter().map(|v| v.floor() as u64).collect();
+    let mut remainders: Vec<(usize, f64)> =
+        clamped.iter().enumerate().map(|(i, v)| (i, v - v.floor())).collect();
+    let current: u64 = floors.iter().sum();
+
+    if current < target_total {
+        let mut deficit = target_total - current;
+        // Largest remainder first; ties by lower index.
+        remainders.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        let mut idx = 0usize;
+        while deficit > 0 {
+            let (i, _) = remainders[idx % n];
+            floors[i] += 1;
+            deficit -= 1;
+            idx += 1;
+        }
+    } else if current > target_total {
+        let mut surplus = current - target_total;
+        // Smallest remainder first; only entries with positive counts shrink.
+        remainders.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        let mut idx = 0usize;
+        let mut removed_in_cycle = false;
+        while surplus > 0 {
+            let (i, _) = remainders[idx % n];
+            if floors[i] > 0 {
+                floors[i] -= 1;
+                surplus -= 1;
+                removed_in_cycle = true;
+            }
+            idx += 1;
+            if idx % n == 0 {
+                if !removed_in_cycle {
+                    // All entries are zero; nothing more to remove.
+                    break;
+                }
+                removed_in_cycle = false;
+            }
+        }
+    }
+    floors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_integers_pass_through() {
+        assert_eq!(largest_remainder_round(&[3.0, 4.0, 5.0], 12), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn fractional_parts_distributed_to_largest_remainders() {
+        // Sum = 10; remainders 0.6, 0.3, 0.1 → the extra unit goes to index 0.
+        let out = largest_remainder_round(&[3.6, 3.3, 3.1], 10);
+        assert_eq!(out.iter().sum::<u64>(), 10);
+        assert_eq!(out, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn deficit_distribution_is_deterministic_on_ties() {
+        let out = largest_remainder_round(&[1.5, 1.5, 1.5, 1.5], 7);
+        assert_eq!(out.iter().sum::<u64>(), 7);
+        // Ties broken by index: first three get the extra unit.
+        assert_eq!(out, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn surplus_removed_from_smallest_remainders() {
+        let out = largest_remainder_round(&[2.9, 3.1, 4.0], 8);
+        assert_eq!(out.iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn negative_values_clamped() {
+        let out = largest_remainder_round(&[-2.0, 5.0, 5.0], 10);
+        assert_eq!(out.iter().sum::<u64>(), 10);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(largest_remainder_round(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn all_zero_with_positive_target() {
+        let out = largest_remainder_round(&[0.0, 0.0], 3);
+        assert_eq!(out.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn target_zero() {
+        let out = largest_remainder_round(&[1.2, 3.4], 0);
+        assert_eq!(out.iter().sum::<u64>(), 0);
+    }
+}

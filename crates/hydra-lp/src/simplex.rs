@@ -1,0 +1,521 @@
+//! Dense two-phase primal simplex.
+//!
+//! The tableau is dense: HYDRA's per-relation LPs have at most a few thousand
+//! region variables and a few hundred constraints (that smallness is precisely
+//! the contribution of region partitioning), so a dense tableau is simple,
+//! cache-friendly and fast enough.
+//!
+//! The implementation is a textbook two-phase method:
+//!
+//! 1. every constraint is normalized to `a·x (op) b` with `b >= 0`;
+//! 2. slack variables are added for `<=`, surplus + artificial for `>=`,
+//!    artificial for `=`;
+//! 3. phase 1 minimizes the sum of artificial variables — a positive optimum
+//!    means the LP is infeasible;
+//! 4. phase 2 minimizes the user objective starting from the phase-1 basis.
+//!
+//! Pivoting uses Dantzig's rule with a Bland's-rule fallback after a pivot
+//! budget is exhausted, which guarantees termination.
+
+use crate::problem::{ConstraintOp, LpProblem};
+
+/// Numerical tolerance used for pivot and optimality tests.
+const EPS: f64 = 1e-9;
+
+/// Outcome of a simplex run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimplexOutcome {
+    /// An optimal (or feasible, for pure feasibility problems) solution.
+    Optimal { values: Vec<f64>, objective: f64 },
+    /// The constraint system has no feasible point.
+    Infeasible { phase1_objective: f64 },
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+    /// The pivot budget was exhausted (should not happen with Bland's rule;
+    /// kept as a defensive terminal state).
+    IterationLimit,
+}
+
+/// Dense two-phase primal simplex solver.
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    /// Hard cap on pivots per phase (scaled with problem size at solve time).
+    pub max_pivots: usize,
+}
+
+impl Default for Simplex {
+    fn default() -> Self {
+        Simplex { max_pivots: 50_000 }
+    }
+}
+
+struct Tableau {
+    /// rows x cols coefficient matrix (last column is RHS).
+    a: Vec<Vec<f64>>,
+    /// Objective row (length cols), minimized.
+    cost: Vec<f64>,
+    /// Current basis: basis[r] = column index basic in row r.
+    basis: Vec<usize>,
+    rows: usize,
+    cols: usize, // number of structural+slack+artificial columns (excludes RHS)
+}
+
+impl Tableau {
+    fn rhs(&self, r: usize) -> f64 {
+        self.a[r][self.cols]
+    }
+
+    /// Reduced cost of column j given the current basis (costs are kept
+    /// explicitly; the tableau rows are maintained in canonical form, so the
+    /// reduced cost is simply the cost row entry).
+    fn reduced_cost(&self, j: usize) -> f64 {
+        self.cost[j]
+    }
+
+    /// Performs a pivot on (row, col): row is scaled so the pivot becomes 1,
+    /// and the pivot column is eliminated from all other rows and the cost row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.a[row][col];
+        debug_assert!(pivot_val.abs() > EPS);
+        let inv = 1.0 / pivot_val;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        // Defensive exactness: the pivot element should be exactly 1.
+        self.a[row][col] = 1.0;
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor.abs() > EPS {
+                for c in 0..=self.cols {
+                    self.a[r][c] -= factor * self.a[row][c];
+                }
+                self.a[r][col] = 0.0;
+            }
+        }
+        let factor = self.cost[col];
+        if factor.abs() > EPS {
+            for c in 0..=self.cols {
+                self.cost[c] -= factor * self.a[row][c];
+            }
+            self.cost[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations until optimality, unboundedness or the pivot
+    /// budget is exhausted.  `allowed` masks the columns eligible to enter.
+    fn optimize(&mut self, allowed: &[bool], max_pivots: usize) -> SimplexResult {
+        let mut pivots = 0usize;
+        // Switch to Bland's rule once we have used half the budget; Dantzig is
+        // faster in practice, Bland guarantees no cycling.
+        let bland_after = max_pivots / 2;
+        loop {
+            if pivots >= max_pivots {
+                return SimplexResult::IterationLimit;
+            }
+            let use_bland = pivots >= bland_after;
+            // Choose entering column.
+            let mut entering: Option<usize> = None;
+            if use_bland {
+                for j in 0..self.cols {
+                    if allowed[j] && self.reduced_cost(j) < -EPS {
+                        entering = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -EPS;
+                for j in 0..self.cols {
+                    if allowed[j] {
+                        let rc = self.reduced_cost(j);
+                        if rc < best {
+                            best = rc;
+                            entering = Some(j);
+                        }
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return SimplexResult::Optimal;
+            };
+            // Ratio test for leaving row.
+            let mut leaving: Option<(usize, f64)> = None;
+            for r in 0..self.rows {
+                let coef = self.a[r][col];
+                if coef > EPS {
+                    let ratio = self.rhs(r) / coef;
+                    match leaving {
+                        None => leaving = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            // Tie-break on smallest basis index (Bland).
+                            if ratio < lratio - EPS
+                                || ((ratio - lratio).abs() <= EPS && self.basis[r] < self.basis[lr])
+                            {
+                                leaving = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leaving else {
+                return SimplexResult::Unbounded;
+            };
+            self.pivot(row, col);
+            pivots += 1;
+        }
+    }
+
+    fn objective_value(&self) -> f64 {
+        // cost row's RHS holds -(current objective) in canonical form.
+        -self.cost[self.cols]
+    }
+
+    fn extract(&self, num_structural: usize) -> Vec<f64> {
+        let mut values = vec![0.0; num_structural];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < num_structural {
+                values[b] = self.rhs(r).max(0.0);
+            }
+        }
+        values
+    }
+}
+
+enum SimplexResult {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+impl Simplex {
+    /// Solves the given LP (minimizing its objective; pure feasibility when
+    /// the objective is empty).  Per-variable upper bounds are handled by
+    /// adding explicit `x_i <= u_i` rows.
+    pub fn solve(&self, problem: &LpProblem) -> SimplexOutcome {
+        let n = problem.num_vars;
+
+        // Materialize all rows: user constraints plus upper-bound rows.
+        struct Row {
+            coefs: Vec<(usize, f64)>,
+            op: ConstraintOp,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = problem
+            .constraints
+            .iter()
+            .map(|c| Row { coefs: c.terms.clone(), op: c.op, rhs: c.rhs })
+            .collect();
+        for (i, ub) in problem.upper_bounds.iter().enumerate() {
+            if let Some(u) = ub {
+                rows.push(Row { coefs: vec![(i, 1.0)], op: ConstraintOp::Le, rhs: *u });
+            }
+        }
+
+        let m = rows.len();
+        if m == 0 {
+            // Trivially feasible: all-zeros minimizes any non-negative cone
+            // objective with non-negative coefficients; for general objectives
+            // the LP is unbounded unless coefficients are >= 0.
+            let has_negative_cost = problem.objective.iter().any(|(_, c)| *c < 0.0);
+            if has_negative_cost {
+                return SimplexOutcome::Unbounded;
+            }
+            return SimplexOutcome::Optimal { values: vec![0.0; n], objective: 0.0 };
+        }
+
+        // Count auxiliary columns.
+        let mut num_slack = 0usize;
+        let mut num_artificial = 0usize;
+        for row in &rows {
+            let rhs_nonneg = row.rhs >= 0.0;
+            let effective_op = if rhs_nonneg {
+                row.op
+            } else {
+                // Row will be negated.
+                match row.op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                }
+            };
+            match effective_op {
+                ConstraintOp::Le => num_slack += 1,
+                ConstraintOp::Ge => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                ConstraintOp::Eq => num_artificial += 1,
+            }
+        }
+
+        let cols = n + num_slack + num_artificial;
+        let mut a = vec![vec![0.0; cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut artificial_cols: Vec<usize> = Vec::with_capacity(num_artificial);
+
+        let mut next_slack = n;
+        let mut next_artificial = n + num_slack;
+        for (r, row) in rows.iter().enumerate() {
+            let mut sign = 1.0;
+            let mut rhs = row.rhs;
+            let mut op = row.op;
+            if rhs < 0.0 {
+                sign = -1.0;
+                rhs = -rhs;
+                op = match op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+            }
+            for (j, c) in &row.coefs {
+                if *j < n {
+                    a[r][*j] += sign * c;
+                }
+            }
+            a[r][cols] = rhs;
+            match op {
+                ConstraintOp::Le => {
+                    a[r][next_slack] = 1.0;
+                    basis[r] = next_slack;
+                    next_slack += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[r][next_slack] = -1.0;
+                    next_slack += 1;
+                    a[r][next_artificial] = 1.0;
+                    basis[r] = next_artificial;
+                    artificial_cols.push(next_artificial);
+                    next_artificial += 1;
+                }
+                ConstraintOp::Eq => {
+                    a[r][next_artificial] = 1.0;
+                    basis[r] = next_artificial;
+                    artificial_cols.push(next_artificial);
+                    next_artificial += 1;
+                }
+            }
+        }
+
+        let max_pivots = self.max_pivots.max(20 * (m + cols));
+
+        // ---- Phase 1: minimize sum of artificial variables. ----
+        let mut tableau = Tableau { a, cost: vec![0.0; cols + 1], basis, rows: m, cols };
+        if !artificial_cols.is_empty() {
+            for &j in &artificial_cols {
+                tableau.cost[j] = 1.0;
+            }
+            // Canonicalize: eliminate basic artificial columns from cost row.
+            for r in 0..m {
+                let b = tableau.basis[r];
+                if artificial_cols.contains(&b) {
+                    let factor = tableau.cost[b];
+                    if factor.abs() > EPS {
+                        for c in 0..=cols {
+                            tableau.cost[c] -= factor * tableau.a[r][c];
+                        }
+                    }
+                }
+            }
+            let allowed: Vec<bool> = (0..cols).map(|_| true).collect();
+            match tableau.optimize(&allowed, max_pivots) {
+                SimplexResult::Optimal => {}
+                SimplexResult::Unbounded => {
+                    // Phase-1 objective is bounded below by zero; treat as limit.
+                    return SimplexOutcome::IterationLimit;
+                }
+                SimplexResult::IterationLimit => return SimplexOutcome::IterationLimit,
+            }
+            let phase1 = tableau.objective_value();
+            if phase1 > 1e-6 {
+                return SimplexOutcome::Infeasible { phase1_objective: phase1 };
+            }
+            // Drive any artificial variables still in the basis out of it
+            // (degenerate rows); if impossible the row is redundant.
+            for r in 0..m {
+                let b = tableau.basis[r];
+                if artificial_cols.contains(&b) {
+                    // Find a non-artificial column with a non-zero entry.
+                    let mut found = None;
+                    for j in 0..(n + num_slack) {
+                        if tableau.a[r][j].abs() > EPS {
+                            found = Some(j);
+                            break;
+                        }
+                    }
+                    if let Some(j) = found {
+                        tableau.pivot(r, j);
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 2: minimize the user objective. ----
+        let mut cost = vec![0.0; cols + 1];
+        for (j, c) in &problem.objective {
+            if *j < n {
+                cost[*j] += *c;
+            }
+        }
+        tableau.cost = cost;
+        // Canonicalize cost row w.r.t. current basis.
+        for r in 0..m {
+            let b = tableau.basis[r];
+            let factor = tableau.cost[b];
+            if factor.abs() > EPS {
+                for c in 0..=cols {
+                    tableau.cost[c] -= factor * tableau.a[r][c];
+                }
+            }
+        }
+        // Artificial columns may not re-enter the basis.
+        let allowed: Vec<bool> = (0..cols).map(|j| !artificial_cols.contains(&j)).collect();
+        match tableau.optimize(&allowed, max_pivots) {
+            SimplexResult::Optimal => {}
+            SimplexResult::Unbounded => return SimplexOutcome::Unbounded,
+            SimplexResult::IterationLimit => return SimplexOutcome::IterationLimit,
+        }
+
+        let values = tableau.extract(n);
+        let objective: f64 = problem.objective.iter().map(|(j, c)| c * values[*j]).sum();
+        SimplexOutcome::Optimal { values, objective }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, LpProblem};
+
+    fn solve(lp: &LpProblem) -> SimplexOutcome {
+        Simplex::default().solve(lp)
+    }
+
+    #[test]
+    fn simple_feasibility() {
+        // x0 + x1 = 10
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 10.0);
+        match solve(&lp) {
+            SimplexOutcome::Optimal { values, .. } => {
+                assert!((values[0] + values[1] - 10.0).abs() < 1e-6);
+                assert!(values.iter().all(|v| *v >= -1e-9));
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimization_with_objective() {
+        // minimize 2x0 + x1  s.t. x0 + x1 >= 4, x0 <= 3
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 3.0);
+        lp.set_objective(vec![(0, 2.0), (1, 1.0)]);
+        match solve(&lp) {
+            SimplexOutcome::Optimal { values, objective } => {
+                // Optimum: x0 = 0, x1 = 4, objective 4.
+                assert!((values[0]).abs() < 1e-6);
+                assert!((values[1] - 4.0).abs() < 1e-6);
+                assert!((objective - 4.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detection() {
+        // x0 <= 1 and x0 >= 3
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 3.0);
+        assert!(matches!(solve(&lp), SimplexOutcome::Infeasible { .. }));
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        // minimize -x0 with only x0 >= 1
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.set_objective(vec![(0, -1.0)]);
+        assert!(matches!(solve(&lp), SimplexOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x0 <= -5   (i.e. x0 >= 5), minimize x0.
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(vec![(0, -1.0)], ConstraintOp::Le, -5.0);
+        lp.set_objective(vec![(0, 1.0)]);
+        match solve(&lp) {
+            SimplexOutcome::Optimal { values, .. } => assert!((values[0] - 5.0).abs() < 1e-6),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // maximize x0 (minimize -x0) with x0 <= 7 via upper bound.
+        let mut lp = LpProblem::new(1);
+        lp.set_upper_bound(0, 7.0);
+        lp.set_objective(vec![(0, -1.0)]);
+        match solve(&lp) {
+            SimplexOutcome::Optimal { values, .. } => assert!((values[0] - 7.0).abs() < 1e-6),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_constraints_trivial() {
+        let lp = LpProblem::new(3);
+        match solve(&lp) {
+            SimplexOutcome::Optimal { values, objective } => {
+                assert_eq!(values, vec![0.0; 3]);
+                assert_eq!(objective, 0.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+        let mut lp = LpProblem::new(1);
+        lp.set_objective(vec![(0, -1.0)]);
+        assert!(matches!(solve(&lp), SimplexOutcome::Unbounded));
+    }
+
+    #[test]
+    fn degenerate_equalities() {
+        // x0 + x1 = 5, x0 + x1 = 5 (redundant), x0 - x1 = 1
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Eq, 1.0);
+        match solve(&lp) {
+            SimplexOutcome::Optimal { values, .. } => {
+                assert!((values[0] - 3.0).abs() < 1e-6);
+                assert!((values[1] - 2.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn larger_block_lp() {
+        // A HYDRA-shaped LP: 100 region variables, 20 equality constraints each
+        // touching a contiguous block, plus a total-sum constraint.
+        let n = 100;
+        let mut lp = LpProblem::new(n);
+        for k in 0..20 {
+            let lo = k * 5;
+            let terms: Vec<(usize, f64)> = (lo..lo + 5).map(|j| (j, 1.0)).collect();
+            lp.add_constraint(terms, ConstraintOp::Eq, 50.0);
+        }
+        lp.add_constraint((0..n).map(|j| (j, 1.0)).collect(), ConstraintOp::Eq, 1000.0);
+        match solve(&lp) {
+            SimplexOutcome::Optimal { values, .. } => {
+                assert!(lp.is_feasible(&values, 1e-5));
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

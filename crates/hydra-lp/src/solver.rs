@@ -1,0 +1,276 @@
+//! High-level LP solving interface used by the summary generator.
+
+use crate::diagnostics::ViolationReport;
+use crate::problem::{Constraint, ConstraintOp, LpProblem};
+use crate::simplex::{Simplex, SimplexOutcome};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How a solution was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// All constraints satisfied exactly (up to tolerance).
+    Feasible,
+    /// The original system was infeasible; the returned solution minimizes the
+    /// total absolute violation (HYDRA's "minor additive errors").
+    LeastViolation,
+}
+
+/// A solution to an LP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Value per decision variable.
+    pub values: Vec<f64>,
+    /// Objective value achieved (0 for pure feasibility problems).
+    pub objective: f64,
+    /// Whether the solution is exactly feasible or least-violation.
+    pub status: SolveStatus,
+    /// Total absolute violation across constraints (0 when feasible).
+    pub total_violation: f64,
+    /// Wall-clock time spent solving.
+    pub solve_time: Duration,
+    /// Number of variables in the problem (for reporting).
+    pub num_vars: usize,
+    /// Number of constraints in the problem (for reporting).
+    pub num_constraints: usize,
+}
+
+impl LpSolution {
+    /// Builds a violation report for this solution against a problem.
+    pub fn violations(&self, problem: &LpProblem) -> ViolationReport {
+        ViolationReport::evaluate(problem, &self.values)
+    }
+}
+
+/// Errors from the high-level solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The LP objective is unbounded below.
+    Unbounded,
+    /// The solver exceeded its pivot budget.
+    IterationLimit,
+    /// The problem was infeasible and least-violation recovery was disabled.
+    Infeasible { phase1_objective: f64 },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Unbounded => write!(f, "LP objective is unbounded"),
+            LpError::IterationLimit => write!(f, "LP solver exceeded its pivot budget"),
+            LpError::Infeasible { phase1_objective } => {
+                write!(f, "LP is infeasible (phase-1 objective {phase1_objective:.4})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// High-level LP solver.
+///
+/// `solve` first attempts an exact feasibility/optimality solve; if the system
+/// is infeasible and `recover_least_violation` is set (the default), it
+/// re-solves a soft version where every constraint gets slack variables and
+/// the total slack is minimized.  This mirrors HYDRA's behaviour: the
+/// post-processing step may introduce small additive errors, and the reported
+/// relative errors stay small.
+#[derive(Debug, Clone)]
+pub struct LpSolver {
+    /// Underlying simplex engine.
+    pub simplex: Simplex,
+    /// Whether to fall back to least-violation solving on infeasibility.
+    pub recover_least_violation: bool,
+    /// Feasibility tolerance used when classifying the result.
+    pub tolerance: f64,
+}
+
+impl Default for LpSolver {
+    fn default() -> Self {
+        LpSolver { simplex: Simplex::default(), recover_least_violation: true, tolerance: 1e-6 }
+    }
+}
+
+impl LpSolver {
+    /// Creates a solver that fails (instead of recovering) on infeasibility.
+    pub fn strict() -> Self {
+        LpSolver { recover_least_violation: false, ..Default::default() }
+    }
+
+    /// Solves the problem.
+    pub fn solve(&self, problem: &LpProblem) -> Result<LpSolution, LpError> {
+        let start = Instant::now();
+        match self.simplex.solve(problem) {
+            SimplexOutcome::Optimal { values, objective } => {
+                let report = ViolationReport::evaluate(problem, &values);
+                Ok(LpSolution {
+                    values,
+                    objective,
+                    status: SolveStatus::Feasible,
+                    total_violation: report.total_absolute_violation,
+                    solve_time: start.elapsed(),
+                    num_vars: problem.num_vars,
+                    num_constraints: problem.num_constraints(),
+                })
+            }
+            SimplexOutcome::Infeasible { phase1_objective } => {
+                if !self.recover_least_violation {
+                    return Err(LpError::Infeasible { phase1_objective });
+                }
+                self.solve_least_violation(problem, start)
+            }
+            SimplexOutcome::Unbounded => Err(LpError::Unbounded),
+            SimplexOutcome::IterationLimit => Err(LpError::IterationLimit),
+        }
+    }
+
+    /// Solves the soft relaxation: every constraint `a·x op b` becomes
+    /// `a·x + s⁺ - s⁻ op b` (with the slack signs restricted according to the
+    /// operator) and `Σ(s⁺ + s⁻)` is minimized.
+    fn solve_least_violation(
+        &self,
+        problem: &LpProblem,
+        start: Instant,
+    ) -> Result<LpSolution, LpError> {
+        let n = problem.num_vars;
+        let m = problem.constraints.len();
+        // Two slack variables per constraint (over- and under-shoot).
+        let mut soft = LpProblem::new(n + 2 * m);
+        soft.upper_bounds[..n].clone_from_slice(&problem.upper_bounds);
+        let mut objective: Vec<(usize, f64)> = Vec::with_capacity(2 * m + problem.objective.len());
+        for (r, c) in problem.constraints.iter().enumerate() {
+            let over = n + 2 * r; // adds to LHS
+            let under = n + 2 * r + 1; // subtracts from LHS
+            let mut terms = c.terms.clone();
+            match c.op {
+                ConstraintOp::Eq => {
+                    terms.push((over, 1.0));
+                    terms.push((under, -1.0));
+                    objective.push((over, 1.0));
+                    objective.push((under, 1.0));
+                }
+                ConstraintOp::Le => {
+                    // a·x - s_under <= b : s_under absorbs overshoot.
+                    terms.push((under, -1.0));
+                    objective.push((under, 1.0));
+                }
+                ConstraintOp::Ge => {
+                    terms.push((over, 1.0));
+                    objective.push((over, 1.0));
+                }
+            }
+            soft.constraints.push(Constraint {
+                terms,
+                op: c.op,
+                rhs: c.rhs,
+                label: c.label.clone(),
+            });
+        }
+        // Tiny weight on the original objective so ties are broken consistently.
+        for (j, c) in &problem.objective {
+            objective.push((*j, 1e-6 * c));
+        }
+        soft.set_objective(objective);
+
+        match self.simplex.solve(&soft) {
+            SimplexOutcome::Optimal { values, .. } => {
+                let values: Vec<f64> = values.into_iter().take(n).collect();
+                let report = ViolationReport::evaluate(problem, &values);
+                let status = if report.total_absolute_violation <= self.tolerance {
+                    SolveStatus::Feasible
+                } else {
+                    SolveStatus::LeastViolation
+                };
+                let objective: f64 =
+                    problem.objective.iter().map(|(j, c)| c * values[*j]).sum();
+                Ok(LpSolution {
+                    values,
+                    objective,
+                    status,
+                    total_violation: report.total_absolute_violation,
+                    solve_time: start.elapsed(),
+                    num_vars: problem.num_vars,
+                    num_constraints: problem.num_constraints(),
+                })
+            }
+            SimplexOutcome::Infeasible { phase1_objective } => {
+                Err(LpError::Infeasible { phase1_objective })
+            }
+            SimplexOutcome::Unbounded => Err(LpError::Unbounded),
+            SimplexOutcome::IterationLimit => Err(LpError::IterationLimit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ConstraintOp;
+
+    #[test]
+    fn feasible_solve_reports_feasible() {
+        let mut lp = LpProblem::new(3);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Eq, 9.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 2.0);
+        let sol = LpSolver::default().solve(&lp).unwrap();
+        assert_eq!(sol.status, SolveStatus::Feasible);
+        assert!(sol.total_violation < 1e-6);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+        assert_eq!(sol.num_vars, 3);
+        assert_eq!(sol.num_constraints, 2);
+    }
+
+    #[test]
+    fn infeasible_recovers_least_violation() {
+        // x0 = 5 and x0 = 7 cannot both hold; best compromise violates by 2 total.
+        let mut lp = LpProblem::new(1);
+        lp.add_labeled_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 5.0, "c1");
+        lp.add_labeled_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 7.0, "c2");
+        let sol = LpSolver::default().solve(&lp).unwrap();
+        assert_eq!(sol.status, SolveStatus::LeastViolation);
+        assert!((sol.total_violation - 2.0).abs() < 1e-5);
+        assert!(sol.values[0] >= 5.0 - 1e-6 && sol.values[0] <= 7.0 + 1e-6);
+    }
+
+    #[test]
+    fn strict_solver_errors_on_infeasible() {
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 3.0);
+        let err = LpSolver::strict().solve(&lp).unwrap_err();
+        assert!(matches!(err, LpError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn unbounded_propagates() {
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.set_objective(vec![(0, -1.0)]);
+        assert_eq!(LpSolver::default().solve(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn violation_report_from_solution() {
+        let mut lp = LpProblem::new(1);
+        lp.add_labeled_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 5.0, "edge a");
+        lp.add_labeled_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 6.0, "edge b");
+        let sol = LpSolver::default().solve(&lp).unwrap();
+        let report = sol.violations(&lp);
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.max_relative_error() <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn least_violation_respects_inequalities() {
+        // x0 <= 10, x0 >= 4, x0 = 20 → compromise should keep x0 <= 10.
+        let mut lp = LpProblem::new(1);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 10.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 4.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 20.0);
+        let sol = LpSolver::default().solve(&lp).unwrap();
+        assert_eq!(sol.status, SolveStatus::LeastViolation);
+        assert!(sol.values[0] <= 10.0 + 1e-6);
+        assert!(sol.values[0] >= 4.0 - 1e-6);
+    }
+}

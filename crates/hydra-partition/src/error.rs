@@ -1,0 +1,34 @@
+//! Error type for partitioning.
+
+use std::fmt;
+
+/// Errors raised while partitioning an attribute space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A constraint box has a different dimensionality than the space.
+    DimensionMismatch { expected: usize, got: usize },
+    /// The region budget was exceeded (the workload induces more regions —
+    /// LP variables — than the configured limit).
+    TooManyRegions { limit: usize },
+    /// The space has an empty axis.
+    EmptyAxis(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::DimensionMismatch { expected, got } => {
+                write!(f, "constraint has {got} dimensions, space has {expected}")
+            }
+            PartitionError::TooManyRegions { limit } => {
+                write!(f, "region partitioning exceeded the region budget of {limit}")
+            }
+            PartitionError::EmptyAxis(a) => write!(f, "attribute `{a}` has an empty domain"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Convenience result alias.
+pub type PartitionResult<T> = Result<T, PartitionError>;

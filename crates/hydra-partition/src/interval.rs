@@ -1,0 +1,143 @@
+//! Half-open integer intervals `[lo, hi)` on a normalized attribute axis.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open interval `[lo, hi)` over `i64`.  Empty when `lo >= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Exclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi)`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The canonical empty interval.
+    pub fn empty() -> Self {
+        Interval { lo: 0, hi: 0 }
+    }
+
+    /// True if the interval contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// Number of integer points in the interval (0 when empty).
+    pub fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi - self.lo) as u64
+        }
+    }
+
+    /// True if the interval contains the point.
+    pub fn contains(&self, point: i64) -> bool {
+        point >= self.lo && point < self.hi
+    }
+
+    /// True if `other` is entirely inside `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.is_empty() || (other.lo >= self.lo && other.hi <= self.hi)
+    }
+
+    /// Intersection of the two intervals (possibly empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// True if the intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// The (up to two) parts of `self` that lie outside `other`:
+    /// the part below `other` and the part above it.
+    pub fn subtract(&self, other: &Interval) -> Vec<Interval> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let inter = self.intersect(other);
+        if inter.is_empty() {
+            return vec![*self];
+        }
+        let mut out = Vec::new();
+        if self.lo < inter.lo {
+            out.push(Interval::new(self.lo, inter.lo));
+        }
+        if inter.hi < self.hi {
+            out.push(Interval::new(inter.hi, self.hi));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let i = Interval::new(10, 20);
+        assert!(!i.is_empty());
+        assert_eq!(i.len(), 10);
+        assert!(i.contains(10));
+        assert!(i.contains(19));
+        assert!(!i.contains(20));
+        assert!(!i.contains(9));
+        assert!(Interval::empty().is_empty());
+        assert_eq!(Interval::new(5, 5).len(), 0);
+        assert_eq!(Interval::new(7, 3).len(), 0);
+        assert_eq!(i.to_string(), "[10, 20)");
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        assert!(a.overlaps(&b));
+        let c = Interval::new(10, 20);
+        assert!(!a.overlaps(&c)); // half-open: they only touch
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let a = Interval::new(0, 100);
+        assert!(a.contains_interval(&Interval::new(10, 20)));
+        assert!(a.contains_interval(&Interval::new(0, 100)));
+        assert!(!a.contains_interval(&Interval::new(-1, 5)));
+        assert!(!a.contains_interval(&Interval::new(90, 101)));
+        // The empty interval is contained everywhere.
+        assert!(a.contains_interval(&Interval::empty()));
+        assert!(Interval::new(5, 6).contains_interval(&Interval::new(9, 9)));
+    }
+
+    #[test]
+    fn subtraction() {
+        let a = Interval::new(0, 100);
+        let parts = a.subtract(&Interval::new(20, 60));
+        assert_eq!(parts, vec![Interval::new(0, 20), Interval::new(60, 100)]);
+        // Subtracting a disjoint interval leaves the original.
+        assert_eq!(a.subtract(&Interval::new(200, 300)), vec![a]);
+        // Subtracting a covering interval leaves nothing.
+        assert!(a.subtract(&Interval::new(-5, 200)).is_empty());
+        // Subtracting from an empty interval leaves nothing.
+        assert!(Interval::empty().subtract(&a).is_empty());
+        // Subtracting a prefix leaves the suffix.
+        assert_eq!(a.subtract(&Interval::new(0, 30)), vec![Interval::new(30, 100)]);
+    }
+}

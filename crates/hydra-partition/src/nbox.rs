@@ -1,0 +1,226 @@
+//! Axis-aligned n-dimensional boxes (products of per-axis intervals).
+
+use crate::interval::Interval;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned box: the cartesian product of one interval per axis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NBox {
+    intervals: Vec<Interval>,
+}
+
+impl NBox {
+    /// Creates a box from per-axis intervals.
+    pub fn new(intervals: Vec<Interval>) -> Self {
+        NBox { intervals }
+    }
+
+    /// Number of axes.
+    pub fn dims(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Per-axis intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The interval on one axis.
+    pub fn interval(&self, axis: usize) -> Interval {
+        self.intervals[axis]
+    }
+
+    /// True if the box contains no points (any axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.iter().any(Interval::is_empty)
+    }
+
+    /// Number of integer points in the box, saturating at `u128::MAX` for
+    /// astronomically large boxes (exabyte-scale what-if scenarios).
+    pub fn volume(&self) -> u128 {
+        if self.is_empty() {
+            return 0;
+        }
+        self.intervals
+            .iter()
+            .fold(1u128, |acc, i| acc.saturating_mul(i.len() as u128))
+    }
+
+    /// Intersection with another box of the same dimensionality.
+    pub fn intersect(&self, other: &NBox) -> NBox {
+        debug_assert_eq!(self.dims(), other.dims());
+        NBox::new(
+            self.intervals
+                .iter()
+                .zip(other.intervals.iter())
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        )
+    }
+
+    /// True if the boxes share at least one point.
+    pub fn overlaps(&self, other: &NBox) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// True if `other` lies entirely inside `self`.
+    pub fn contains_box(&self, other: &NBox) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        other.is_empty()
+            || self
+                .intervals
+                .iter()
+                .zip(other.intervals.iter())
+                .all(|(a, b)| a.contains_interval(b))
+    }
+
+    /// True if the box contains the given point.
+    pub fn contains_point(&self, point: &[i64]) -> bool {
+        debug_assert_eq!(self.dims(), point.len());
+        self.intervals.iter().zip(point.iter()).all(|(iv, p)| iv.contains(*p))
+    }
+
+    /// The lexicographically smallest point of the box (its lower corner).
+    /// `None` when the box is empty.
+    pub fn lower_corner(&self) -> Option<Vec<i64>> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.intervals.iter().map(|i| i.lo).collect())
+    }
+
+    /// Splits `self` against `other`, returning `(inside, outside)`: the part
+    /// of `self` inside `other` (possibly empty) and a list of disjoint boxes
+    /// covering the part of `self` outside `other`.
+    ///
+    /// The outside pieces are produced by sweeping one axis at a time: on each
+    /// axis, the slabs of `self` below and above `other`'s interval are peeled
+    /// off whole, and the remainder (clamped to `other` on that axis) proceeds
+    /// to the next axis.  This yields at most `2 * dims` outside pieces.
+    pub fn split_by(&self, other: &NBox) -> (NBox, Vec<NBox>) {
+        debug_assert_eq!(self.dims(), other.dims());
+        let mut outside = Vec::new();
+        if self.is_empty() {
+            return (NBox::new(vec![Interval::empty(); self.dims()]), outside);
+        }
+        let inter = self.intersect(other);
+        if inter.is_empty() {
+            return (inter, vec![self.clone()]);
+        }
+        let mut core = self.clone();
+        for axis in 0..self.dims() {
+            let own = core.intervals[axis];
+            let target = other.intervals[axis];
+            for part in own.subtract(&target) {
+                let mut piece = core.clone();
+                piece.intervals[axis] = part;
+                if !piece.is_empty() {
+                    outside.push(piece);
+                }
+            }
+            core.intervals[axis] = own.intersect(&target);
+        }
+        (core, outside)
+    }
+}
+
+impl fmt::Display for NBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.intervals.iter().map(|i| i.to_string()).collect();
+        write!(f, "{}", parts.join(" x "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b2(a: (i64, i64), b: (i64, i64)) -> NBox {
+        NBox::new(vec![Interval::new(a.0, a.1), Interval::new(b.0, b.1)])
+    }
+
+    #[test]
+    fn volume_and_emptiness() {
+        let b = b2((0, 10), (0, 5));
+        assert_eq!(b.volume(), 50);
+        assert!(!b.is_empty());
+        assert!(b2((0, 0), (0, 5)).is_empty());
+        assert_eq!(b2((0, 0), (0, 5)).volume(), 0);
+        assert_eq!(b.dims(), 2);
+        assert_eq!(b.interval(1), Interval::new(0, 5));
+    }
+
+    #[test]
+    fn intersection_and_containment() {
+        let a = b2((0, 10), (0, 10));
+        let b = b2((5, 15), (2, 8));
+        assert_eq!(a.intersect(&b), b2((5, 10), (2, 8)));
+        assert!(a.overlaps(&b));
+        assert!(a.contains_box(&b2((1, 2), (1, 2))));
+        assert!(!a.contains_box(&b));
+        assert!(a.contains_box(&b2((3, 3), (0, 10)))); // empty box contained anywhere
+        assert!(a.contains_point(&[0, 9]));
+        assert!(!a.contains_point(&[0, 10]));
+    }
+
+    #[test]
+    fn lower_corner() {
+        assert_eq!(b2((3, 10), (7, 9)).lower_corner(), Some(vec![3, 7]));
+        assert_eq!(b2((3, 3), (7, 9)).lower_corner(), None);
+    }
+
+    #[test]
+    fn split_fully_inside() {
+        let piece = b2((0, 10), (0, 10));
+        let constraint = b2((-5, 20), (-5, 20));
+        let (inside, outside) = piece.split_by(&constraint);
+        assert_eq!(inside, piece);
+        assert!(outside.is_empty());
+    }
+
+    #[test]
+    fn split_disjoint() {
+        let piece = b2((0, 10), (0, 10));
+        let constraint = b2((20, 30), (0, 10));
+        let (inside, outside) = piece.split_by(&constraint);
+        assert!(inside.is_empty());
+        assert_eq!(outside, vec![piece]);
+    }
+
+    #[test]
+    fn split_partial_overlap_preserves_volume() {
+        let piece = b2((0, 10), (0, 10));
+        let constraint = b2((3, 7), (4, 20));
+        let (inside, outside) = piece.split_by(&constraint);
+        assert_eq!(inside, b2((3, 7), (4, 10)));
+        let outside_volume: u128 = outside.iter().map(NBox::volume).sum();
+        assert_eq!(inside.volume() + outside_volume, piece.volume());
+        // Outside pieces are pairwise disjoint.
+        for i in 0..outside.len() {
+            for j in (i + 1)..outside.len() {
+                assert!(!outside[i].overlaps(&outside[j]));
+            }
+        }
+        // And none of them overlaps the constraint ∩ piece.
+        for o in &outside {
+            assert!(!o.overlaps(&inside));
+        }
+    }
+
+    #[test]
+    fn split_produces_at_most_two_d_outside_pieces() {
+        let piece = NBox::new(vec![Interval::new(0, 10); 4]);
+        let constraint = NBox::new(vec![Interval::new(3, 6); 4]);
+        let (inside, outside) = piece.split_by(&constraint);
+        assert_eq!(inside.volume(), 81);
+        assert!(outside.len() <= 8);
+        let total: u128 = outside.iter().map(NBox::volume).sum::<u128>() + inside.volume();
+        assert_eq!(total, piece.volume());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(b2((0, 1), (2, 3)).to_string(), "[0, 1) x [2, 3)");
+    }
+}

@@ -1,0 +1,562 @@
+//! HYDRA's region partitioning.
+//!
+//! Given the constraint boxes that the workload induces over a relation's
+//! attribute space, two points are *equivalent* if they lie in exactly the
+//! same subset of constraint boxes; the equivalence classes are the
+//! **regions**.  Every region becomes one LP variable, which is the minimum
+//! possible number of variables for an exact encoding (any two equivalent
+//! points are interchangeable in every constraint).
+//!
+//! ## Algorithm
+//!
+//! The partitioner works axis by axis ("axis sweep") instead of maintaining an
+//! explicit geometric decomposition, so its cost is proportional to the number
+//! of *regions*, never to the number of geometric fragments:
+//!
+//! 1. On every axis, the constraint interval endpoints cut the domain into
+//!    elementary intervals; each elementary interval gets the mask of
+//!    constraints whose projection onto that axis covers it.
+//! 2. A cell's signature is the intersection of its per-axis masks.  Distinct
+//!    signatures are accumulated one axis at a time, merging equal partial
+//!    signatures as we go, so the working-set size is bounded by the number of
+//!    distinct signatures — the region count — rather than by the grid size.
+//! 3. Each region keeps its total point count (volume) and a bounded sample of
+//!    representative cells, which is all that deterministic alignment needs to
+//!    place concrete attribute values inside the region.
+//!
+//! Constraint unions are interpreted as the product of their per-axis
+//! projections (which is exactly how the summary layer constructs them: a
+//! foreign-key condition contributes a set of primary-key intervals on one
+//! axis, crossed with the other axes' intervals).
+
+use crate::error::{PartitionError, PartitionResult};
+use crate::interval::Interval;
+use crate::nbox::NBox;
+use crate::signature::Signature;
+use crate::space::AttributeSpace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default bound on the number of regions (LP variables).  Workloads in the
+/// paper's class stay far below this; the bound exists to fail fast on
+/// pathological inputs instead of formulating an unsolvable LP.
+pub const DEFAULT_MAX_REGIONS: usize = 200_000;
+
+/// How many representative cells each region retains for value placement.
+const CELLS_PER_REGION: usize = 8;
+
+/// One region: a maximal set of points sharing a constraint signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// The set of constraints that cover this region.
+    pub signature: Signature,
+    /// A bounded sample of disjoint cells lying inside the region, used to
+    /// pick concrete attribute values (the region may contain more points
+    /// than these cells cover; see [`Region::volume`]).
+    pub pieces: Vec<NBox>,
+    /// Total number of integer points in the region (saturating).
+    pub volume: u128,
+}
+
+impl Region {
+    /// A deterministic representative point of the region (the lower corner
+    /// of its first retained cell).
+    pub fn representative_point(&self) -> Vec<i64> {
+        self.pieces
+            .first()
+            .and_then(NBox::lower_corner)
+            .unwrap_or_default()
+    }
+
+    /// Total number of points covered by the retained representative cells.
+    pub fn sampled_volume(&self) -> u128 {
+        self.pieces.iter().fold(0u128, |acc, p| acc.saturating_add(p.volume()))
+    }
+
+    /// The `idx`-th point of the region in a fixed enumeration order over the
+    /// retained cells (cells in order; within a cell, row-major over the
+    /// axes).  Indices wrap around modulo the retained-cell volume, so any
+    /// index yields a valid point for non-empty regions.
+    pub fn point_at(&self, idx: u128) -> Option<Vec<i64>> {
+        let total = self.sampled_volume();
+        if total == 0 {
+            return None;
+        }
+        let mut k = idx % total;
+        for piece in &self.pieces {
+            let v = piece.volume();
+            if k < v {
+                // Decode k into coordinates (row-major, last axis fastest).
+                let mut coords = vec![0i64; piece.dims()];
+                let mut rem = k;
+                for axis in (0..piece.dims()).rev() {
+                    let len = piece.interval(axis).len() as u128;
+                    let offset = (rem % len) as i64;
+                    coords[axis] = piece.interval(axis).lo + offset;
+                    rem /= len;
+                }
+                return Some(coords);
+            }
+            k -= v;
+        }
+        None
+    }
+
+    /// True if the point lies inside one of the retained representative cells
+    /// (a sufficient but not necessary membership test; use
+    /// [`RegionPartition::region_containing`] for an exact lookup).
+    pub fn contains_point(&self, point: &[i64]) -> bool {
+        self.pieces.iter().any(|p| p.contains_point(point))
+    }
+}
+
+/// The result of region partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionPartition {
+    space: AttributeSpace,
+    regions: Vec<Region>,
+    constraints: Vec<Vec<NBox>>,
+}
+
+impl RegionPartition {
+    /// The partitioned attribute space.
+    pub fn space(&self) -> &AttributeSpace {
+        &self.space
+    }
+
+    /// The regions, in canonical (signature-sorted) order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of LP variables this encoding needs (= number of regions).
+    pub fn num_variables(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of constraints that were partitioned against.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Indices of the regions covered by the given constraint.
+    pub fn regions_in_constraint(&self, constraint: usize) -> Vec<usize> {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.signature.contains(constraint))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the region containing a point (exact: the point's signature is
+    /// computed against the stored constraints).  `None` if the point lies
+    /// outside the attribute space.
+    pub fn region_containing(&self, point: &[i64]) -> Option<usize> {
+        if point.len() != self.space.dims() {
+            return None;
+        }
+        for axis in 0..self.space.dims() {
+            if !self.space.domain(axis).contains(point[axis]) {
+                return None;
+            }
+        }
+        let mut signature = Signature::empty();
+        for (ci, boxes) in self.constraints.iter().enumerate() {
+            let covered = (0..self.space.dims()).all(|axis| {
+                boxes.iter().any(|b| b.interval(axis).contains(point[axis]))
+            });
+            if covered && !boxes.is_empty() {
+                signature.insert(ci);
+            }
+        }
+        self.regions.iter().position(|r| r.signature == signature)
+    }
+
+    /// Total volume across all regions (equals the space volume; saturating
+    /// for astronomically large spaces).
+    pub fn total_volume(&self) -> u128 {
+        self.regions.iter().fold(0u128, |acc, r| acc.saturating_add(r.volume))
+    }
+}
+
+/// Builder/driver for region partitioning.
+#[derive(Debug, Clone)]
+pub struct RegionPartitioner {
+    space: AttributeSpace,
+    /// Each constraint is a union of boxes over the space, interpreted as the
+    /// product of its per-axis projections.
+    constraints: Vec<Vec<NBox>>,
+    max_regions: usize,
+}
+
+impl RegionPartitioner {
+    /// Creates a partitioner over the given attribute space.
+    pub fn new(space: AttributeSpace) -> Self {
+        RegionPartitioner { space, constraints: Vec::new(), max_regions: DEFAULT_MAX_REGIONS }
+    }
+
+    /// Overrides the region budget.
+    pub fn with_max_regions(mut self, max_regions: usize) -> Self {
+        self.max_regions = max_regions;
+        self
+    }
+
+    /// Adds a constraint consisting of a single box.
+    pub fn add_constraint_box(mut self, b: NBox) -> Self {
+        self.constraints.push(vec![b]);
+        self
+    }
+
+    /// Adds a constraint that is a union of (axis-decomposable) boxes.
+    pub fn add_constraint_union(mut self, boxes: Vec<NBox>) -> Self {
+        self.constraints.push(boxes);
+        self
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Runs the partitioning.
+    pub fn partition(self) -> PartitionResult<RegionPartition> {
+        self.space.validate()?;
+        let dims = self.space.dims();
+        for boxes in &self.constraints {
+            for b in boxes {
+                if b.dims() != dims {
+                    return Err(PartitionError::DimensionMismatch {
+                        expected: dims,
+                        got: b.dims(),
+                    });
+                }
+            }
+        }
+        let k = self.constraints.len();
+
+        /// Partial state of the axis sweep: the signature so far, the total
+        /// point count, and a bounded sample of cells (interval prefixes).
+        struct Partial {
+            volume: u128,
+            cells: Vec<Vec<Interval>>,
+        }
+
+        // The initial partial covers the whole space with "all constraints
+        // still possible".
+        let all = Signature::from_indices(&(0..k).collect::<Vec<_>>());
+        let mut partials: BTreeMap<Signature, Partial> = BTreeMap::new();
+        partials.insert(all, Partial { volume: 1, cells: vec![Vec::new()] });
+
+        for axis in 0..dims {
+            let domain = self.space.domain(axis);
+            // Elementary intervals of this axis and, for each, the mask of
+            // constraints whose projection covers it.
+            let mut cuts = vec![domain.lo, domain.hi];
+            for boxes in &self.constraints {
+                for b in boxes {
+                    let iv = b.interval(axis).intersect(&domain);
+                    if iv.is_empty() {
+                        continue;
+                    }
+                    if iv.lo > domain.lo && iv.lo < domain.hi {
+                        cuts.push(iv.lo);
+                    }
+                    if iv.hi > domain.lo && iv.hi < domain.hi {
+                        cuts.push(iv.hi);
+                    }
+                }
+            }
+            cuts.sort_unstable();
+            cuts.dedup();
+            let elementary: Vec<(Interval, Signature)> = cuts
+                .windows(2)
+                .map(|w| {
+                    let e = Interval::new(w[0], w[1]);
+                    let mut mask = Signature::empty();
+                    for (ci, boxes) in self.constraints.iter().enumerate() {
+                        let covers = boxes
+                            .iter()
+                            .any(|b| b.interval(axis).intersect(&domain).contains_interval(&e));
+                        if covers {
+                            mask.insert(ci);
+                        }
+                    }
+                    (e, mask)
+                })
+                .collect();
+
+            let mut next: BTreeMap<Signature, Partial> = BTreeMap::new();
+            for (mask, partial) in &partials {
+                for (e, e_mask) in &elementary {
+                    let key = mask.intersect(e_mask);
+                    let added_volume = partial.volume.saturating_mul(e.len() as u128);
+                    let entry = next
+                        .entry(key)
+                        .or_insert_with(|| Partial { volume: 0, cells: Vec::new() });
+                    entry.volume = entry.volume.saturating_add(added_volume);
+                    if entry.cells.len() < CELLS_PER_REGION {
+                        for prefix in &partial.cells {
+                            if entry.cells.len() >= CELLS_PER_REGION {
+                                break;
+                            }
+                            let mut cell = prefix.clone();
+                            cell.push(*e);
+                            entry.cells.push(cell);
+                        }
+                    }
+                }
+            }
+            if next.len() > self.max_regions {
+                return Err(PartitionError::TooManyRegions { limit: self.max_regions });
+            }
+            partials = next;
+        }
+
+        let regions: Vec<Region> = partials
+            .into_iter()
+            .map(|(signature, partial)| {
+                let mut pieces: Vec<NBox> = partial.cells.into_iter().map(NBox::new).collect();
+                pieces.sort_by(|a, b| a.lower_corner().cmp(&b.lower_corner()));
+                Region { signature, pieces, volume: partial.volume }
+            })
+            .collect();
+
+        Ok(RegionPartition { space: self.space, regions, constraints: self.constraints })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn space_1d() -> AttributeSpace {
+        AttributeSpace::new(vec![("a".to_string(), Interval::new(0, 100))])
+    }
+
+    fn space_2d() -> AttributeSpace {
+        AttributeSpace::new(vec![
+            ("a".to_string(), Interval::new(0, 100)),
+            ("b".to_string(), Interval::new(0, 10)),
+        ])
+    }
+
+    #[test]
+    fn no_constraints_single_region() {
+        let p = RegionPartitioner::new(space_1d()).partition().unwrap();
+        assert_eq!(p.num_variables(), 1);
+        assert_eq!(p.regions()[0].volume, 100);
+        assert!(p.regions()[0].signature.is_empty());
+        assert_eq!(p.total_volume(), 100);
+    }
+
+    #[test]
+    fn overlapping_1d_constraints() {
+        let p = RegionPartitioner::new(space_1d())
+            .add_constraint_box(NBox::new(vec![Interval::new(20, 60)]))
+            .add_constraint_box(NBox::new(vec![Interval::new(40, 80)]))
+            .partition()
+            .unwrap();
+        // Signatures: {} -> [0,20)+[80,100), {0} -> [20,40), {0,1} -> [40,60), {1} -> [60,80).
+        assert_eq!(p.num_variables(), 4);
+        assert_eq!(p.total_volume(), 100);
+        let both = p
+            .regions()
+            .iter()
+            .find(|r| r.signature.count() == 2)
+            .unwrap();
+        assert_eq!(both.volume, 20);
+        let none = p.regions().iter().find(|r| r.signature.is_empty()).unwrap();
+        assert_eq!(none.volume, 40);
+        assert_eq!(none.pieces.len(), 2);
+    }
+
+    #[test]
+    fn nested_constraints() {
+        let p = RegionPartitioner::new(space_1d())
+            .add_constraint_box(NBox::new(vec![Interval::new(10, 90)]))
+            .add_constraint_box(NBox::new(vec![Interval::new(30, 50)]))
+            .partition()
+            .unwrap();
+        // {} , {0}, {0,1} — the inner box is fully inside the outer one.
+        assert_eq!(p.num_variables(), 3);
+        let inner = p.regions().iter().find(|r| r.signature.count() == 2).unwrap();
+        assert_eq!(inner.volume, 20);
+    }
+
+    #[test]
+    fn identical_constraints_share_regions() {
+        let b = NBox::new(vec![Interval::new(20, 60)]);
+        let p = RegionPartitioner::new(space_1d())
+            .add_constraint_box(b.clone())
+            .add_constraint_box(b)
+            .partition()
+            .unwrap();
+        // Only {} and {0,1}: identical boxes never split each other.
+        assert_eq!(p.num_variables(), 2);
+    }
+
+    #[test]
+    fn union_constraint() {
+        let p = RegionPartitioner::new(space_1d())
+            .add_constraint_union(vec![
+                NBox::new(vec![Interval::new(10, 20)]),
+                NBox::new(vec![Interval::new(50, 60)]),
+            ])
+            .partition()
+            .unwrap();
+        assert_eq!(p.num_variables(), 2);
+        let inside = p.regions().iter().find(|r| r.signature.contains(0)).unwrap();
+        assert_eq!(inside.volume, 20);
+        assert_eq!(inside.pieces.len(), 2);
+    }
+
+    #[test]
+    fn two_dimensional_cross() {
+        // Constraint 0 restricts axis a, constraint 1 restricts axis b; the
+        // cross produces 4 regions.
+        let space = space_2d();
+        let c0 = space.box_from_intervals(vec![("a", Interval::new(20, 60))]);
+        let c1 = space.box_from_intervals(vec![("b", Interval::new(0, 5))]);
+        let p = RegionPartitioner::new(space)
+            .add_constraint_box(c0)
+            .add_constraint_box(c1)
+            .partition()
+            .unwrap();
+        assert_eq!(p.num_variables(), 4);
+        assert_eq!(p.total_volume(), 1000);
+        // Region with both constraints: 40 x 5 = 200 points.
+        let both = p.regions().iter().find(|r| r.signature.count() == 2).unwrap();
+        assert_eq!(both.volume, 200);
+    }
+
+    #[test]
+    fn regions_in_constraint_lookup() {
+        let p = RegionPartitioner::new(space_1d())
+            .add_constraint_box(NBox::new(vec![Interval::new(20, 60)]))
+            .add_constraint_box(NBox::new(vec![Interval::new(40, 80)]))
+            .partition()
+            .unwrap();
+        let in0 = p.regions_in_constraint(0);
+        let vol0: u128 = in0.iter().map(|&i| p.regions()[i].volume).sum();
+        assert_eq!(vol0, 40);
+        let in1 = p.regions_in_constraint(1);
+        let vol1: u128 = in1.iter().map(|&i| p.regions()[i].volume).sum();
+        assert_eq!(vol1, 40);
+    }
+
+    #[test]
+    fn region_point_enumeration() {
+        let p = RegionPartitioner::new(space_2d())
+            .add_constraint_box(NBox::new(vec![Interval::new(20, 22), Interval::new(3, 5)]))
+            .partition()
+            .unwrap();
+        let region = p.regions().iter().find(|r| r.signature.contains(0)).unwrap();
+        assert_eq!(region.volume, 4);
+        let pts: Vec<Vec<i64>> = (0..4).map(|i| region.point_at(i).unwrap()).collect();
+        // All distinct, all inside the region.
+        for (i, p1) in pts.iter().enumerate() {
+            assert!(region.contains_point(p1));
+            for p2 in &pts[i + 1..] {
+                assert_ne!(p1, p2);
+            }
+        }
+        // Wrap-around yields a valid point again.
+        assert_eq!(region.point_at(4), region.point_at(0));
+        assert_eq!(region.representative_point(), vec![20, 3]);
+    }
+
+    #[test]
+    fn region_containing_point() {
+        let p = RegionPartitioner::new(space_1d())
+            .add_constraint_box(NBox::new(vec![Interval::new(20, 60)]))
+            .partition()
+            .unwrap();
+        let inside = p.region_containing(&[30]).unwrap();
+        assert!(p.regions()[inside].signature.contains(0));
+        let outside = p.region_containing(&[70]).unwrap();
+        assert!(p.regions()[outside].signature.is_empty());
+        assert!(p.region_containing(&[1000]).is_none());
+        assert!(p.region_containing(&[1, 2]).is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let err = RegionPartitioner::new(space_1d())
+            .add_constraint_box(NBox::new(vec![Interval::new(0, 1), Interval::new(0, 1)]))
+            .partition()
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn region_budget_enforced() {
+        let mut partitioner = RegionPartitioner::new(space_1d()).with_max_regions(4);
+        for i in 0..10 {
+            partitioner =
+                partitioner.add_constraint_box(NBox::new(vec![Interval::new(i * 10, i * 10 + 5)]));
+        }
+        assert!(matches!(
+            partitioner.partition(),
+            Err(PartitionError::TooManyRegions { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_axis_rejected() {
+        let space = AttributeSpace::new(vec![("a".to_string(), Interval::new(5, 5))]);
+        assert!(matches!(
+            RegionPartitioner::new(space).partition(),
+            Err(PartitionError::EmptyAxis(_))
+        ));
+    }
+
+    #[test]
+    fn many_disjoint_constraints_scale_linearly() {
+        // 50 disjoint 1-D ranges → 51 regions (50 inside + 1 outside).
+        let mut partitioner = RegionPartitioner::new(AttributeSpace::new(vec![(
+            "a".to_string(),
+            Interval::new(0, 1000),
+        )]));
+        for i in 0..50 {
+            partitioner = partitioner
+                .add_constraint_box(NBox::new(vec![Interval::new(i * 20, i * 20 + 10)]));
+        }
+        let p = partitioner.partition().unwrap();
+        assert_eq!(p.num_variables(), 51);
+        assert_eq!(p.total_volume(), 1000);
+    }
+
+    #[test]
+    fn many_constraints_across_many_axes_stay_output_sensitive() {
+        // A workload-shaped stress case: 6 axes, 120 constraints drawn from a
+        // small pool of per-axis predicates (the TPC-DS template pattern).
+        // The piece-splitting approach fragments combinatorially here; the
+        // axis sweep must stay proportional to the true region count.
+        let dims = 6usize;
+        let space = AttributeSpace::new(
+            (0..dims).map(|i| (format!("x{i}"), Interval::new(0, 10_000))).collect(),
+        );
+        let pool: Vec<Interval> =
+            vec![Interval::new(0, 2_500), Interval::new(2_000, 6_000), Interval::new(7_000, 9_000)];
+        let mut partitioner = RegionPartitioner::new(space.clone());
+        for c in 0..120 {
+            // Each constraint touches two axes with pooled predicates.
+            let a1 = c % dims;
+            let a2 = (c / dims) % dims;
+            let mut intervals = vec![space.domain(0); dims];
+            for (axis, d) in intervals.iter_mut().enumerate() {
+                *d = space.domain(axis);
+            }
+            intervals[a1] = pool[c % pool.len()];
+            intervals[a2] = pool[(c / 3) % pool.len()];
+            partitioner = partitioner.add_constraint_box(NBox::new(intervals));
+        }
+        let p = partitioner.partition().unwrap();
+        // Each axis has at most 3 pooled ranges → at most 6-7 per-axis masks;
+        // the region count stays far below the grid size.
+        assert!(p.num_variables() < 150_000, "{} regions", p.num_variables());
+        assert_eq!(p.total_volume(), space.volume());
+    }
+}

@@ -1,0 +1,178 @@
+//! Constraint-membership signatures.
+//!
+//! A region of the attribute space is identified by *which constraints cover
+//! it*.  The [`Signature`] is that membership set, stored as a growable
+//! bitset so it can serve as a hash / ordering key when regions are grouped.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of constraint indices, implemented as a bitset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Signature {
+    words: Vec<u64>,
+}
+
+impl Signature {
+    /// The empty signature (covered by no constraint).
+    pub fn empty() -> Self {
+        Signature::default()
+    }
+
+    /// Builds a signature from a list of constraint indices.
+    pub fn from_indices(indices: &[usize]) -> Self {
+        let mut s = Signature::empty();
+        for &i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Adds a constraint index to the signature.
+    pub fn insert(&mut self, index: usize) {
+        let word = index / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (index % 64);
+        self.normalize();
+    }
+
+    /// Returns a copy with the given index added.
+    pub fn with(&self, index: usize) -> Self {
+        let mut s = self.clone();
+        s.insert(index);
+        s
+    }
+
+    /// True if the signature contains the constraint index.
+    pub fn contains(&self, index: usize) -> bool {
+        let word = index / 64;
+        self.words.get(word).map(|w| w & (1u64 << (index % 64)) != 0).unwrap_or(false)
+    }
+
+    /// Number of constraints in the signature.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no constraint covers this signature.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Set intersection of two signatures.
+    pub fn intersect(&self, other: &Signature) -> Signature {
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| a & b)
+            .collect();
+        let mut s = Signature { words };
+        s.normalize();
+        s
+    }
+
+    /// The contained constraint indices, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count());
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut bits = *w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Drops trailing zero words so equal sets compare equal regardless of
+    /// how they were built.
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{{}}}",
+            self.indices().iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = Signature::empty();
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(70);
+        s.insert(3);
+        assert!(s.contains(3));
+        assert!(s.contains(70));
+        assert!(!s.contains(4));
+        assert!(!s.contains(1000));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.indices(), vec![3, 70]);
+        assert!(!s.is_empty());
+        assert_eq!(s.to_string(), "{3,70}");
+    }
+
+    #[test]
+    fn equality_independent_of_construction_order() {
+        let a = Signature::from_indices(&[1, 65, 2]);
+        let b = Signature::from_indices(&[65, 2, 1]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn with_does_not_mutate_original() {
+        let a = Signature::from_indices(&[1]);
+        let b = a.with(2);
+        assert!(!a.contains(2));
+        assert!(b.contains(1) && b.contains(2));
+    }
+
+    #[test]
+    fn empty_signatures_are_equal_even_after_inserts_beyond_capacity() {
+        // A signature that had a high bit checked but never set stays equal to empty.
+        let a = Signature::empty();
+        let b = Signature::from_indices(&[]);
+        assert_eq!(a, b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.indices(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ordering_is_consistent() {
+        let a = Signature::from_indices(&[0]);
+        let b = Signature::from_indices(&[1]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Signature::from_indices(&[0, 1, 70]);
+        let b = Signature::from_indices(&[1, 70, 90]);
+        assert_eq!(a.intersect(&b), Signature::from_indices(&[1, 70]));
+        assert_eq!(a.intersect(&Signature::empty()), Signature::empty());
+        // Intersection normalizes away trailing zero words.
+        let c = Signature::from_indices(&[200]);
+        assert_eq!(a.intersect(&c), Signature::empty());
+        assert!(a.intersect(&c).is_empty());
+    }
+}

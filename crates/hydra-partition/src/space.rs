@@ -1,0 +1,123 @@
+//! The attribute space of one relation.
+//!
+//! An [`AttributeSpace`] is an ordered list of named axes, one per column of
+//! the relation that the workload references (filter columns plus FK
+//! "reference" axes), each with its normalized domain interval.
+
+use crate::error::{PartitionError, PartitionResult};
+use crate::interval::Interval;
+use crate::nbox::NBox;
+use serde::{Deserialize, Serialize};
+
+/// An ordered set of named axes with their domains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeSpace {
+    axes: Vec<(String, Interval)>,
+}
+
+impl AttributeSpace {
+    /// Creates a space from `(axis name, domain interval)` pairs.
+    pub fn new(axes: Vec<(String, Interval)>) -> Self {
+        AttributeSpace { axes }
+    }
+
+    /// Number of axes.
+    pub fn dims(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Axis names in order.
+    pub fn axis_names(&self) -> Vec<&str> {
+        self.axes.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Index of a named axis.
+    pub fn axis_index(&self, name: &str) -> Option<usize> {
+        self.axes.iter().position(|(n, _)| n == name)
+    }
+
+    /// Domain interval of an axis.
+    pub fn domain(&self, axis: usize) -> Interval {
+        self.axes[axis].1
+    }
+
+    /// The full-domain box of the space.
+    pub fn full_box(&self) -> NBox {
+        NBox::new(self.axes.iter().map(|(_, d)| *d).collect())
+    }
+
+    /// Validates that every axis has a non-empty domain.
+    pub fn validate(&self) -> PartitionResult<()> {
+        for (name, domain) in &self.axes {
+            if domain.is_empty() {
+                return Err(PartitionError::EmptyAxis(name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a box over this space from `(axis name, interval)` pairs;
+    /// unmentioned axes span their full domain.  Unknown axis names are
+    /// ignored (they do not constrain this relation).
+    pub fn box_from_intervals<'a>(
+        &self,
+        intervals: impl IntoIterator<Item = (&'a str, Interval)>,
+    ) -> NBox {
+        let mut dims: Vec<Interval> = self.axes.iter().map(|(_, d)| *d).collect();
+        for (name, interval) in intervals {
+            if let Some(idx) = self.axis_index(name) {
+                dims[idx] = dims[idx].intersect(&interval);
+            }
+        }
+        NBox::new(dims)
+    }
+
+    /// Total number of points in the space.
+    pub fn volume(&self) -> u128 {
+        self.full_box().volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AttributeSpace {
+        AttributeSpace::new(vec![
+            ("a".to_string(), Interval::new(0, 100)),
+            ("b".to_string(), Interval::new(0, 10)),
+        ])
+    }
+
+    #[test]
+    fn axis_lookup() {
+        let s = space();
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.axis_names(), vec!["a", "b"]);
+        assert_eq!(s.axis_index("b"), Some(1));
+        assert_eq!(s.axis_index("zzz"), None);
+        assert_eq!(s.domain(0), Interval::new(0, 100));
+        assert_eq!(s.volume(), 1000);
+    }
+
+    #[test]
+    fn full_box_and_validation() {
+        let s = space();
+        assert_eq!(s.full_box().volume(), 1000);
+        assert!(s.validate().is_ok());
+        let bad = AttributeSpace::new(vec![("x".to_string(), Interval::new(5, 5))]);
+        assert!(matches!(bad.validate(), Err(PartitionError::EmptyAxis(_))));
+    }
+
+    #[test]
+    fn box_from_intervals() {
+        let s = space();
+        let b = s.box_from_intervals(vec![("a", Interval::new(20, 60))]);
+        assert_eq!(b.interval(0), Interval::new(20, 60));
+        assert_eq!(b.interval(1), Interval::new(0, 10));
+        // Unknown axes ignored; intervals clamped to the domain.
+        let b = s.box_from_intervals(vec![("zzz", Interval::new(0, 1)), ("b", Interval::new(-5, 3))]);
+        assert_eq!(b.interval(0), Interval::new(0, 100));
+        assert_eq!(b.interval(1), Interval::new(0, 3));
+    }
+}

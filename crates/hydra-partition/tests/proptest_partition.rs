@@ -1,0 +1,104 @@
+//! Property-based tests for region partitioning invariants.
+
+use hydra_partition::interval::Interval;
+use hydra_partition::nbox::NBox;
+use hydra_partition::region::RegionPartitioner;
+use hydra_partition::space::AttributeSpace;
+use proptest::prelude::*;
+
+/// Strategy: a small attribute space (1–3 axes) plus 1–6 constraint boxes.
+fn space_and_constraints() -> impl Strategy<Value = (AttributeSpace, Vec<NBox>)> {
+    (1usize..=3).prop_flat_map(|dims| {
+        let axis = (10i64..60).prop_map(|hi| Interval::new(0, hi));
+        let axes = proptest::collection::vec(axis, dims);
+        axes.prop_flat_map(move |axes| {
+            let space = AttributeSpace::new(
+                axes.iter().enumerate().map(|(i, iv)| (format!("x{i}"), *iv)).collect(),
+            );
+            let space_for_boxes = space.clone();
+            let one_box = proptest::collection::vec((0i64..50, 1i64..30), dims).prop_map(
+                move |ranges| {
+                    let intervals: Vec<Interval> = ranges
+                        .iter()
+                        .zip(space_for_boxes.full_box().intervals())
+                        .map(|((lo, len), domain)| {
+                            Interval::new(*lo, lo + len).intersect(domain)
+                        })
+                        .collect();
+                    NBox::new(intervals)
+                },
+            );
+            (Just(space), proptest::collection::vec(one_box, 1..6))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Regions cover the whole space exactly once (volumes add up) and are
+    /// pairwise disjoint in signature.
+    #[test]
+    fn regions_partition_the_space((space, boxes) in space_and_constraints()) {
+        let total = space.volume();
+        let mut partitioner = RegionPartitioner::new(space);
+        for b in &boxes {
+            partitioner = partitioner.add_constraint_box(b.clone());
+        }
+        let p = partitioner.partition().unwrap();
+        prop_assert_eq!(p.total_volume(), total);
+        // Signatures are unique per region.
+        for i in 0..p.regions().len() {
+            for j in (i + 1)..p.regions().len() {
+                prop_assert_ne!(&p.regions()[i].signature, &p.regions()[j].signature);
+            }
+        }
+    }
+
+    /// For every constraint, the volume of its member regions equals the
+    /// volume of the constraint box clipped to the space.
+    #[test]
+    fn constraint_volumes_are_preserved((space, boxes) in space_and_constraints()) {
+        let full = space.full_box();
+        let mut partitioner = RegionPartitioner::new(space);
+        for b in &boxes {
+            partitioner = partitioner.add_constraint_box(b.clone());
+        }
+        let p = partitioner.partition().unwrap();
+        for (ci, b) in boxes.iter().enumerate() {
+            let expected = b.intersect(&full).volume();
+            let got: u128 = p
+                .regions_in_constraint(ci)
+                .iter()
+                .map(|&i| p.regions()[i].volume)
+                .sum();
+            prop_assert_eq!(got, expected, "constraint {} volume mismatch", ci);
+        }
+    }
+
+    /// Any sampled point of a region carries exactly the region's signature:
+    /// it is inside constraint i iff the signature contains i.
+    #[test]
+    fn region_points_match_signatures((space, boxes) in space_and_constraints()) {
+        let mut partitioner = RegionPartitioner::new(space);
+        for b in &boxes {
+            partitioner = partitioner.add_constraint_box(b.clone());
+        }
+        let p = partitioner.partition().unwrap();
+        for region in p.regions() {
+            for k in [0u128, 1, 7] {
+                if let Some(point) = region.point_at(k) {
+                    for (ci, b) in boxes.iter().enumerate() {
+                        let inside = b.contains_point(&point);
+                        prop_assert_eq!(
+                            inside,
+                            region.signature.contains(ci),
+                            "point {:?} of region {} disagrees with constraint {}",
+                            point, region.signature, ci
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Annotated Query Plans (AQPs) and volumetric-constraint extraction.
+//!
+//! An AQP is a logical plan in which every operator's output edge is annotated
+//! with the row cardinality observed when the query ran on the client's
+//! warehouse (Figure 1c of the paper).  The collection of AQPs over the whole
+//! workload is the input to HYDRA's LP formulation.
+//!
+//! The [`AnnotatedQueryPlan::constraints`] method implements the
+//! vendor-side *preprocessor* step (sourced from DataSynth in the paper's
+//! architecture): it decomposes each annotated edge into a per-relation
+//! [`VolumetricConstraint`] — "relation `R` has exactly `c` rows satisfying
+//! this conjunction of local predicates and foreign-key conditions" — which is
+//! what makes per-relation LP formulation possible.
+
+use crate::error::{QueryError, QueryResult};
+use crate::plan::{LogicalPlan, PlanOp};
+use crate::predicate::TablePredicate;
+use serde::{Deserialize, Serialize};
+
+/// A condition on a foreign-key column of a fact table: the referenced
+/// dimension row must satisfy `dim_predicate` (and, recursively, its own
+/// foreign-key conditions for snowflake schemas).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FkCondition {
+    /// The foreign-key column on the constrained (fact) table.
+    pub fk_column: String,
+    /// The referenced dimension table.
+    pub dim_table: String,
+    /// Predicate the referenced dimension row must satisfy.
+    pub dim_predicate: TablePredicate,
+    /// Foreign-key conditions that the dimension row must itself satisfy
+    /// (snowflake schemas).
+    pub nested: Vec<FkCondition>,
+}
+
+/// A per-relation volumetric constraint extracted from one AQP edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VolumetricConstraint {
+    /// The relation whose row count is constrained.
+    pub table: String,
+    /// Local predicate over the relation's own (non-FK) columns.
+    pub predicate: TablePredicate,
+    /// Conditions on the relation's foreign keys.
+    pub fk_conditions: Vec<FkCondition>,
+    /// The annotated output cardinality.
+    pub cardinality: u64,
+    /// Label identifying the originating query and plan edge.
+    pub label: String,
+}
+
+impl VolumetricConstraint {
+    /// True if this constraint has no predicate at all (it pins the total row
+    /// count of the relation).
+    pub fn is_total_row_count(&self) -> bool {
+        self.predicate.is_trivial() && self.fk_conditions.is_empty()
+    }
+}
+
+/// One node of an annotated query plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AqpNode {
+    /// The plan operator.
+    pub op: PlanOp,
+    /// Observed output cardinality of this operator.
+    pub cardinality: u64,
+    /// Child nodes.
+    pub children: Vec<AqpNode>,
+}
+
+impl AqpNode {
+    /// Number of nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(AqpNode::node_count).sum::<usize>()
+    }
+
+    /// Pre-order traversal of the subtree.
+    pub fn preorder(&self) -> Vec<&AqpNode> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.preorder());
+        }
+        out
+    }
+
+    /// Applies a mutation to every node of the subtree (pre-order).
+    pub fn for_each_mut(&mut self, f: &mut impl FnMut(&mut AqpNode)) {
+        f(self);
+        for c in &mut self.children {
+            c.for_each_mut(f);
+        }
+    }
+}
+
+/// An annotated query plan for one query of the workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotatedQueryPlan {
+    /// The query this plan belongs to.
+    pub query_name: String,
+    /// Root node of the annotated plan.
+    pub root: AqpNode,
+}
+
+impl AnnotatedQueryPlan {
+    /// Builds an AQP by pairing a logical plan with per-node cardinalities in
+    /// pre-order (node 0 = root).  Lengths must match.
+    pub fn from_plan_with_cardinalities(
+        query_name: impl Into<String>,
+        plan: &LogicalPlan,
+        cardinalities: &[u64],
+    ) -> QueryResult<Self> {
+        if cardinalities.len() != plan.node_count() {
+            return Err(QueryError::MalformedAqp(format!(
+                "expected {} cardinalities, got {}",
+                plan.node_count(),
+                cardinalities.len()
+            )));
+        }
+        fn build(plan: &LogicalPlan, cards: &[u64], idx: &mut usize) -> AqpNode {
+            let my = cards[*idx];
+            *idx += 1;
+            let children = plan.children.iter().map(|c| build(c, cards, idx)).collect();
+            AqpNode { op: plan.op.clone(), cardinality: my, children }
+        }
+        let mut idx = 0usize;
+        let root = build(plan, cardinalities, &mut idx);
+        Ok(AnnotatedQueryPlan { query_name: query_name.into(), root })
+    }
+
+    /// Total number of annotated edges (= nodes).
+    pub fn edge_count(&self) -> usize {
+        self.root.node_count()
+    }
+
+    /// Serializes the AQP as JSON (the format the demo's client interface
+    /// parses execution plans from).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("AQP serialization cannot fail")
+    }
+
+    /// Parses an AQP from JSON.
+    pub fn from_json(json: &str) -> QueryResult<Self> {
+        serde_json::from_str(json).map_err(|e| QueryError::MalformedAqp(e.to_string()))
+    }
+
+    /// Scales every cardinality by `factor` (rounding to nearest), used by
+    /// scenario construction for "what-if" extrapolation.
+    pub fn scale_cardinalities(&mut self, factor: f64) {
+        self.root.for_each_mut(&mut |node| {
+            node.cardinality = (node.cardinality as f64 * factor).round() as u64;
+        });
+    }
+
+    /// Decomposes the AQP into per-relation volumetric constraints, one per
+    /// annotated edge (the vendor-side preprocessor).
+    pub fn constraints(&self) -> QueryResult<Vec<VolumetricConstraint>> {
+        let mut out = Vec::new();
+        let mut counter = 0usize;
+        Self::walk(&self.root, &self.query_name, &mut counter, &mut out)?;
+        Ok(out)
+    }
+
+    /// Recursively walks a node, emitting its constraint and returning the
+    /// node's "profile": which table anchors its output and which predicates /
+    /// FK conditions that output embodies.
+    fn walk(
+        node: &AqpNode,
+        query_name: &str,
+        counter: &mut usize,
+        out: &mut Vec<VolumetricConstraint>,
+    ) -> QueryResult<NodeProfile> {
+        let label = format!("{query_name}#{counter}");
+        *counter += 1;
+        let profile = match &node.op {
+            PlanOp::Scan { table } => NodeProfile {
+                table: table.clone(),
+                predicate: TablePredicate::always_true(),
+                fk_conditions: Vec::new(),
+            },
+            PlanOp::Filter { table, predicate } => {
+                if node.children.len() != 1 {
+                    return Err(QueryError::MalformedAqp(
+                        "filter node must have exactly one child".into(),
+                    ));
+                }
+                let child = Self::walk(&node.children[0], query_name, counter, out)?;
+                if &child.table != table {
+                    return Err(QueryError::MalformedAqp(format!(
+                        "filter on `{table}` applied to subtree anchored at `{}`",
+                        child.table
+                    )));
+                }
+                NodeProfile {
+                    table: table.clone(),
+                    predicate: merge_predicates(&child.predicate, predicate),
+                    fk_conditions: child.fk_conditions,
+                }
+            }
+            PlanOp::Join { edge } => {
+                if node.children.len() != 2 {
+                    return Err(QueryError::MalformedAqp(
+                        "join node must have exactly two children".into(),
+                    ));
+                }
+                let first = Self::walk(&node.children[0], query_name, counter, out)?;
+                let second = Self::walk(&node.children[1], query_name, counter, out)?;
+                let (fact, dim) = if first.table == edge.fact_table {
+                    (first, second)
+                } else if second.table == edge.fact_table {
+                    (second, first)
+                } else {
+                    return Err(QueryError::MalformedAqp(format!(
+                        "join `{}` has no child anchored at `{}`",
+                        edge.to_sql(),
+                        edge.fact_table
+                    )));
+                };
+                if dim.table != edge.dim_table {
+                    return Err(QueryError::MalformedAqp(format!(
+                        "join `{}` has no child anchored at `{}`",
+                        edge.to_sql(),
+                        edge.dim_table
+                    )));
+                }
+                let mut fk_conditions = fact.fk_conditions;
+                fk_conditions.push(FkCondition {
+                    fk_column: edge.fk_column.clone(),
+                    dim_table: edge.dim_table.clone(),
+                    dim_predicate: dim.predicate,
+                    nested: dim.fk_conditions,
+                });
+                NodeProfile { table: fact.table, predicate: fact.predicate, fk_conditions }
+            }
+        };
+        out.push(VolumetricConstraint {
+            table: profile.table.clone(),
+            predicate: profile.predicate.clone(),
+            fk_conditions: profile.fk_conditions.clone(),
+            cardinality: node.cardinality,
+            label,
+        });
+        Ok(profile)
+    }
+}
+
+/// Intermediate result of the recursive constraint extraction.
+struct NodeProfile {
+    table: String,
+    predicate: TablePredicate,
+    fk_conditions: Vec<FkCondition>,
+}
+
+/// Merges two predicates on the same table into their conjunction.
+fn merge_predicates(a: &TablePredicate, b: &TablePredicate) -> TablePredicate {
+    let mut conjuncts = a.conjuncts().to_vec();
+    conjuncts.extend(b.conjuncts().iter().cloned());
+    TablePredicate::from_conjuncts(conjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColumnPredicate, CompareOp};
+    use crate::query::{JoinEdge, SpjQuery};
+
+    fn figure1_query() -> SpjQuery {
+        let mut q = SpjQuery::new("fig1");
+        q.add_join(JoinEdge::new("R", "S_fk", "S", "S_pk"));
+        q.add_join(JoinEdge::new("R", "T_fk", "T", "T_pk"));
+        q.set_predicate(
+            "S",
+            TablePredicate::always_true()
+                .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+                .with(ColumnPredicate::new("A", CompareOp::Lt, 60)),
+        );
+        q.set_predicate(
+            "T",
+            TablePredicate::always_true()
+                .with(ColumnPredicate::new("C", CompareOp::Ge, 2))
+                .with(ColumnPredicate::new("C", CompareOp::Lt, 3)),
+        );
+        q
+    }
+
+    /// Builds the Figure-1c AQP: |R| = 1000, |S| = 200, |T| = 10,
+    /// σ(S) = 80, σ(T) = 1, R ⋈ σ(S) = 400, (R ⋈ σ(S)) ⋈ σ(T) = 40.
+    fn figure1_aqp() -> AnnotatedQueryPlan {
+        let q = figure1_query();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        // Pre-order: Join(T), Join(S), Scan(R), Filter(S), Scan(S), Filter(T), Scan(T)
+        let cards = vec![40, 400, 1000, 80, 200, 1, 10];
+        AnnotatedQueryPlan::from_plan_with_cardinalities("fig1", &plan, &cards).unwrap()
+    }
+
+    #[test]
+    fn aqp_construction_and_counts() {
+        let aqp = figure1_aqp();
+        assert_eq!(aqp.edge_count(), 7);
+        assert_eq!(aqp.root.cardinality, 40);
+    }
+
+    #[test]
+    fn wrong_cardinality_count_is_rejected() {
+        let q = figure1_query();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        assert!(AnnotatedQueryPlan::from_plan_with_cardinalities("x", &plan, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn constraint_extraction_matches_figure1() {
+        let aqp = figure1_aqp();
+        let cs = aqp.constraints().unwrap();
+        assert_eq!(cs.len(), 7);
+
+        // Scan constraints pin total row counts.
+        let scan_r = cs.iter().find(|c| c.table == "R" && c.is_total_row_count()).unwrap();
+        assert_eq!(scan_r.cardinality, 1000);
+
+        // Filter on S: 80 rows with 20 <= A < 60.
+        let filter_s = cs
+            .iter()
+            .find(|c| c.table == "S" && !c.predicate.is_trivial())
+            .unwrap();
+        assert_eq!(filter_s.cardinality, 80);
+        assert_eq!(filter_s.predicate.conjuncts().len(), 2);
+
+        // Join with S: 400 R-rows whose S_fk satisfies the S predicate.
+        let join_s = cs
+            .iter()
+            .find(|c| c.table == "R" && c.fk_conditions.len() == 1)
+            .unwrap();
+        assert_eq!(join_s.cardinality, 400);
+        assert_eq!(join_s.fk_conditions[0].fk_column, "S_fk");
+        assert_eq!(join_s.fk_conditions[0].dim_table, "S");
+        assert_eq!(join_s.fk_conditions[0].dim_predicate.conjuncts().len(), 2);
+
+        // Root join: 40 R-rows constrained on both FKs.
+        let root = cs
+            .iter()
+            .find(|c| c.table == "R" && c.fk_conditions.len() == 2)
+            .unwrap();
+        assert_eq!(root.cardinality, 40);
+    }
+
+    #[test]
+    fn snowflake_constraints_nest() {
+        let mut q = SpjQuery::new("snow");
+        q.add_join(JoinEdge::new("fact", "mid_fk", "mid", "mid_pk"));
+        q.add_join(JoinEdge::new("mid", "leaf_fk", "leaf", "leaf_pk"));
+        q.set_predicate(
+            "leaf",
+            TablePredicate::always_true().with(ColumnPredicate::new("x", CompareOp::Eq, 1)),
+        );
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        // Pre-order: Join(fact-mid), Scan(fact), Join(mid-leaf), Scan(mid), Filter(leaf), Scan(leaf)
+        let cards = vec![30, 100, 40, 50, 5, 20];
+        let aqp = AnnotatedQueryPlan::from_plan_with_cardinalities("snow", &plan, &cards).unwrap();
+        let cs = aqp.constraints().unwrap();
+        let root = cs.iter().find(|c| c.table == "fact" && !c.fk_conditions.is_empty()).unwrap();
+        assert_eq!(root.cardinality, 30);
+        assert_eq!(root.fk_conditions.len(), 1);
+        let mid_cond = &root.fk_conditions[0];
+        assert_eq!(mid_cond.dim_table, "mid");
+        assert_eq!(mid_cond.nested.len(), 1);
+        assert_eq!(mid_cond.nested[0].dim_table, "leaf");
+        assert_eq!(mid_cond.nested[0].dim_predicate.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn scaling_cardinalities() {
+        let mut aqp = figure1_aqp();
+        aqp.scale_cardinalities(10.0);
+        assert_eq!(aqp.root.cardinality, 400);
+        let scan_r = aqp
+            .root
+            .preorder()
+            .into_iter()
+            .find(|n| matches!(&n.op, PlanOp::Scan { table } if table == "R"))
+            .unwrap();
+        assert_eq!(scan_r.cardinality, 10_000);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let aqp = figure1_aqp();
+        let json = aqp.to_json();
+        let back = AnnotatedQueryPlan::from_json(&json).unwrap();
+        assert_eq!(aqp, back);
+        assert!(AnnotatedQueryPlan::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn malformed_join_children_rejected() {
+        // A join node whose children do not include the fact table.
+        let node = AqpNode {
+            op: PlanOp::Join { edge: JoinEdge::new("R", "S_fk", "S", "S_pk") },
+            cardinality: 1,
+            children: vec![
+                AqpNode { op: PlanOp::Scan { table: "X".into() }, cardinality: 1, children: vec![] },
+                AqpNode { op: PlanOp::Scan { table: "Y".into() }, cardinality: 1, children: vec![] },
+            ],
+        };
+        let aqp = AnnotatedQueryPlan { query_name: "bad".into(), root: node };
+        assert!(aqp.constraints().is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Error type for query parsing, planning and AQP processing.
+
+use std::fmt;
+
+/// Errors raised by the query layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The SQL text could not be parsed.
+    Parse(String),
+    /// A table or column referenced by the query is not in the schema.
+    UnknownReference(String),
+    /// The query shape is not supported (e.g. non-FK join).
+    Unsupported(String),
+    /// An AQP was malformed (e.g. annotation missing).
+    MalformedAqp(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+            QueryError::UnknownReference(msg) => write!(f, "unknown reference: {msg}"),
+            QueryError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
+            QueryError::MalformedAqp(msg) => write!(f, "malformed AQP: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Convenience result alias.
+pub type QueryResult<T> = Result<T, QueryError>;

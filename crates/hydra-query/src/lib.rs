@@ -1,0 +1,43 @@
+//! # hydra-query
+//!
+//! The query-side substrate of HYDRA: select-project-join (SPJ) queries with
+//! conjunctive range/equality predicates and key/foreign-key joins, their
+//! logical plans, and the *Annotated Query Plan* (AQP) — a plan whose every
+//! edge carries the output row cardinality observed when the query ran on the
+//! client's warehouse.
+//!
+//! The crate also contains the volumetric-constraint extraction that the
+//! vendor-side preprocessor (sourced from DataSynth in the paper) applies to
+//! AQPs: every annotated plan edge becomes a constraint of the form "the
+//! number of rows of relation *R* that satisfy *this* conjunction of local
+//! predicates and foreign-key conditions is *c*".
+//!
+//! ## Example: the paper's Figure 1 query
+//!
+//! ```
+//! use hydra_query::parser::parse_query;
+//!
+//! let q = parse_query(
+//!     "select * from R, S, T \
+//!      where R.S_fk = S.S_pk and R.T_fk = T.T_pk \
+//!        and S.A >= 20 and S.A < 60 and T.C >= 2 and T.C < 3",
+//! ).unwrap();
+//! assert_eq!(q.tables, vec!["R", "S", "T"]);
+//! assert_eq!(q.joins.len(), 2);
+//! assert_eq!(q.predicate("S").unwrap().conjuncts().len(), 2);
+//! ```
+
+pub mod aqp;
+pub mod error;
+pub mod parser;
+pub mod plan;
+pub mod predicate;
+pub mod query;
+pub mod workload;
+
+pub use aqp::{AnnotatedQueryPlan, AqpNode, FkCondition, VolumetricConstraint};
+pub use error::{QueryError, QueryResult};
+pub use plan::{LogicalPlan, PlanOp};
+pub use predicate::{ColumnPredicate, CompareOp, TablePredicate};
+pub use query::{JoinEdge, SpjQuery};
+pub use workload::{QueryWorkload, WorkloadEntry};

@@ -1,0 +1,428 @@
+//! A small SQL parser for the SPJ query dialect HYDRA supports.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT '*' FROM table (',' table)* [WHERE cond (AND cond)*]
+//! cond    := qualified op literal          -- filter predicate
+//!          | qualified '=' qualified       -- join condition
+//! qualified := ident '.' ident
+//! op      := '=' | '<' | '<=' | '>' | '>='
+//! literal := integer | float | quoted string
+//! ```
+//!
+//! This is exactly the class of queries the paper's example (Figure 1b) and
+//! the canonical SPJ workloads on TPC-DS use.  Join conditions are recognized
+//! as `fact.fk = dim.pk`; which side is the foreign key is resolved later
+//! against the schema by [`SpjQuery::validate`] / the planner, so the parser
+//! simply records both orientations and lets the caller normalize.
+
+use crate::error::{QueryError, QueryResult};
+use crate::predicate::{ColumnPredicate, CompareOp};
+use crate::query::{JoinEdge, SpjQuery};
+use hydra_catalog::schema::Schema;
+use hydra_catalog::types::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(String),
+    Comma,
+    Star,
+    Dot,
+}
+
+fn tokenize(input: &str) -> QueryResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(QueryError::Parse("unterminated string literal".into()));
+                }
+                i += 1; // closing quote
+                tokens.push(Token::Str(s));
+            }
+            '<' | '>' | '=' => {
+                let mut s = String::from(c);
+                if (c == '<' || c == '>') && i + 1 < chars.len() && chars[i + 1] == '=' {
+                    s.push('=');
+                    i += 1;
+                }
+                tokens.push(Token::Symbol(s));
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::from(c);
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Number(s));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::from(c);
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => return Err(QueryError::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> QueryResult<()> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(QueryError::Parse(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_ident(&mut self) -> QueryResult<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(QueryError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_dot(&mut self) -> QueryResult<()> {
+        match self.next() {
+            Some(Token::Dot) => Ok(()),
+            other => Err(QueryError::Parse(format!("expected `.`, found {other:?}"))),
+        }
+    }
+
+    /// Parses `table.column`.
+    fn qualified(&mut self) -> QueryResult<(String, String)> {
+        let table = self.expect_ident()?;
+        self.expect_dot()?;
+        let column = self.expect_ident()?;
+        Ok((table, column))
+    }
+}
+
+/// Either a filter predicate or a join condition, as parsed.
+enum Condition {
+    Filter { table: String, pred: ColumnPredicate },
+    Join { left: (String, String), right: (String, String) },
+}
+
+/// Parses an SPJ SQL query into an [`SpjQuery`].
+///
+/// The query name defaults to `"query"`; use [`parse_named_query`] to attach a
+/// workload-specific name.
+pub fn parse_query(sql: &str) -> QueryResult<SpjQuery> {
+    parse_named_query("query", sql)
+}
+
+/// Parses an SPJ SQL query, attaching the given name.
+pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("select")?;
+    match p.next() {
+        Some(Token::Star) => {}
+        other => return Err(QueryError::Parse(format!("expected `*`, found {other:?}"))),
+    }
+    p.expect_keyword("from")?;
+
+    let mut query = SpjQuery::new(name);
+    // Table list.
+    loop {
+        let table = p.expect_ident()?;
+        query.add_table(table);
+        match p.peek() {
+            Some(Token::Comma) => {
+                p.next();
+            }
+            _ => break,
+        }
+    }
+
+    // Optional WHERE clause.
+    let mut conditions: Vec<Condition> = Vec::new();
+    if p.peek_keyword("where") {
+        p.next();
+        loop {
+            let left = p.qualified()?;
+            let op = match p.next() {
+                Some(Token::Symbol(s)) => s,
+                other => {
+                    return Err(QueryError::Parse(format!("expected operator, found {other:?}")))
+                }
+            };
+            match p.peek() {
+                Some(Token::Ident(_)) if op == "=" => {
+                    let right = p.qualified()?;
+                    conditions.push(Condition::Join { left, right });
+                }
+                _ => {
+                    let value = match p.next() {
+                        Some(Token::Number(n)) => {
+                            if n.contains('.') {
+                                Value::Double(n.parse().map_err(|_| {
+                                    QueryError::Parse(format!("bad number `{n}`"))
+                                })?)
+                            } else {
+                                Value::Integer(n.parse().map_err(|_| {
+                                    QueryError::Parse(format!("bad number `{n}`"))
+                                })?)
+                            }
+                        }
+                        Some(Token::Str(s)) => Value::Varchar(s),
+                        other => {
+                            return Err(QueryError::Parse(format!(
+                                "expected literal, found {other:?}"
+                            )))
+                        }
+                    };
+                    let cmp = match op.as_str() {
+                        "=" => CompareOp::Eq,
+                        "<" => CompareOp::Lt,
+                        "<=" => CompareOp::Le,
+                        ">" => CompareOp::Gt,
+                        ">=" => CompareOp::Ge,
+                        other => {
+                            return Err(QueryError::Parse(format!("unknown operator `{other}`")))
+                        }
+                    };
+                    conditions.push(Condition::Filter {
+                        table: left.0,
+                        pred: ColumnPredicate::new(left.1, cmp, value),
+                    });
+                }
+            }
+            if p.peek_keyword("and") {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+    if p.peek().is_some() {
+        return Err(QueryError::Parse(format!("trailing tokens at position {}", p.pos)));
+    }
+
+    // Assemble predicates and joins.
+    for cond in conditions {
+        match cond {
+            Condition::Filter { table, pred } => {
+                let mut existing = query.predicate_or_true(&table);
+                existing.and(pred);
+                query.set_predicate(table, existing);
+            }
+            Condition::Join { left, right } => {
+                // Orientation (which side is the FK) is unknown without the
+                // schema; record left-as-fact and let `normalize_joins` or
+                // validation fix it up.
+                query.add_join(JoinEdge::new(left.0, left.1, right.0, right.1));
+            }
+        }
+    }
+    Ok(query)
+}
+
+/// Re-orients every join edge of a parsed query so that the foreign-key side
+/// is the fact table, using the schema's declared foreign keys.
+pub fn normalize_joins(query: &mut SpjQuery, schema: &Schema) -> QueryResult<()> {
+    for edge in &mut query.joins {
+        let fact_has_fk = schema
+            .table(&edge.fact_table)
+            .and_then(|t| t.foreign_key_on(&edge.fk_column))
+            .map(|fk| fk.referenced_table == edge.dim_table && fk.referenced_column == edge.pk_column)
+            .unwrap_or(false);
+        if fact_has_fk {
+            continue;
+        }
+        // Try the flipped orientation.
+        let dim_has_fk = schema
+            .table(&edge.dim_table)
+            .and_then(|t| t.foreign_key_on(&edge.pk_column))
+            .map(|fk| fk.referenced_table == edge.fact_table && fk.referenced_column == edge.fk_column)
+            .unwrap_or(false);
+        if dim_has_fk {
+            *edge = JoinEdge::new(
+                edge.dim_table.clone(),
+                edge.pk_column.clone(),
+                edge.fact_table.clone(),
+                edge.fk_column.clone(),
+            );
+        } else {
+            return Err(QueryError::Unsupported(format!(
+                "join `{}` does not follow a declared foreign key in either direction",
+                edge.to_sql()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a query and normalizes its join orientations against a schema in a
+/// single call.
+pub fn parse_query_for_schema(name: &str, sql: &str, schema: &Schema) -> QueryResult<SpjQuery> {
+    let mut q = parse_named_query(name, sql)?;
+    normalize_joins(&mut q, schema)?;
+    q.validate(schema)?;
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::DataType;
+
+    const FIG1_SQL: &str = "select * from R, S, T \
+        where R.S_fk = S.S_pk and R.T_fk = T.T_pk \
+        and S.A >= 20 and S.A < 60 and T.C >= 2 and T.C < 3";
+
+    fn toy_schema() -> Schema {
+        SchemaBuilder::new("toy")
+            .table("S", |t| {
+                t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+            })
+            .table("T", |t| {
+                t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+            })
+            .table("R", |t| {
+                t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("S_fk", DataType::BigInt).references("S", "S_pk"))
+                    .column(ColumnBuilder::new("T_fk", DataType::BigInt).references("T", "T_pk"))
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parse_figure1_query() {
+        let q = parse_query(FIG1_SQL).unwrap();
+        assert_eq!(q.tables, vec!["R", "S", "T"]);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.predicate("S").unwrap().conjuncts().len(), 2);
+        assert_eq!(q.predicate("T").unwrap().conjuncts().len(), 2);
+        assert!(q.predicate("R").is_none());
+    }
+
+    #[test]
+    fn parse_and_validate_against_schema() {
+        let schema = toy_schema();
+        let q = parse_query_for_schema("fig1", FIG1_SQL, &schema).unwrap();
+        assert!(q.validate(&schema).is_ok());
+        assert_eq!(q.root_table().unwrap(), "R");
+    }
+
+    #[test]
+    fn join_orientation_is_normalized() {
+        // Join written dim-first: S.S_pk = R.S_fk.
+        let schema = toy_schema();
+        let sql = "select * from R, S where S.S_pk = R.S_fk";
+        let q = parse_query_for_schema("q", sql, &schema).unwrap();
+        assert_eq!(q.joins[0].fact_table, "R");
+        assert_eq!(q.joins[0].fk_column, "S_fk");
+        assert_eq!(q.joins[0].dim_table, "S");
+    }
+
+    #[test]
+    fn parse_string_and_float_literals() {
+        let q = parse_query(
+            "select * from item where item.i_category = 'Music' and item.i_price >= 9.99",
+        )
+        .unwrap();
+        let pred = q.predicate("item").unwrap();
+        assert_eq!(pred.conjuncts().len(), 2);
+        assert_eq!(pred.conjuncts()[0].value, Value::str("Music"));
+        assert_eq!(pred.conjuncts()[1].value, Value::Double(9.99));
+    }
+
+    #[test]
+    fn parse_negative_numbers() {
+        let q = parse_query("select * from t where t.x >= -5").unwrap();
+        assert_eq!(q.predicate("t").unwrap().conjuncts()[0].value, Value::Integer(-5));
+    }
+
+    #[test]
+    fn parse_no_where_clause() {
+        let q = parse_query("select * from item").unwrap();
+        assert_eq!(q.tables, vec!["item"]);
+        assert!(q.joins.is_empty());
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("delete from x").is_err());
+        assert!(parse_query("select x from t").is_err());
+        assert!(parse_query("select * from t where t.x >").is_err());
+        assert!(parse_query("select * from t where t.x >= 'unterminated").is_err());
+        assert!(parse_query("select * from t where x = 1").is_err()); // unqualified column
+        assert!(parse_query("select * from t extra garbage !").is_err());
+    }
+
+    #[test]
+    fn non_fk_join_rejected_by_normalization() {
+        let schema = toy_schema();
+        let sql = "select * from S, T where S.A = T.C";
+        assert!(parse_query_for_schema("q", sql, &schema).is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query("SELECT * FROM R, S WHERE R.S_fk = S.S_pk AND S.A < 10").unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.joins.len(), 1);
+    }
+}

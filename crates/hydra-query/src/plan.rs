@@ -1,0 +1,266 @@
+//! Logical plans for SPJ queries.
+//!
+//! Plans are trees of [`PlanOp`]s.  The same shape is reused by the annotated
+//! query plan (`aqp` module), which attaches an observed output cardinality to
+//! every node.  Plan construction is deliberately simple — filters sit
+//! directly above scans and joins form a left-deep tree rooted at the query's
+//! fact table — because what HYDRA needs from the plan is its *edges and
+//! cardinalities*, not a cost-optimal operator ordering.  (The paper relies on
+//! CODD's metadata transfer to make the client and vendor pick the same plan;
+//! here both sides use this deterministic planner, which achieves the same.)
+
+use crate::error::{QueryError, QueryResult};
+use crate::predicate::TablePredicate;
+use crate::query::{JoinEdge, SpjQuery};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single plan operator (without its children).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanOp {
+    /// Full scan of a base table.
+    Scan {
+        /// Table being scanned.
+        table: String,
+    },
+    /// Filter over the named table's columns.
+    Filter {
+        /// Table whose columns the predicate references.
+        table: String,
+        /// The conjunctive predicate.
+        predicate: TablePredicate,
+    },
+    /// Key / foreign-key join.
+    Join {
+        /// The FK edge being joined.
+        edge: JoinEdge,
+    },
+}
+
+impl PlanOp {
+    /// Short human-readable operator name (for plan printouts).
+    pub fn name(&self) -> String {
+        match self {
+            PlanOp::Scan { table } => format!("Scan({table})"),
+            PlanOp::Filter { table, predicate } => format!("Filter({table}: {predicate})"),
+            PlanOp::Join { edge } => format!("Join({})", edge.to_sql()),
+        }
+    }
+}
+
+/// A logical plan: an operator and its children.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalPlan {
+    /// The operator at this node.
+    pub op: PlanOp,
+    /// Child plans (0 for scans, 1 for filters, 2 for joins).
+    pub children: Vec<LogicalPlan>,
+}
+
+impl LogicalPlan {
+    /// Leaf scan node.
+    pub fn scan(table: impl Into<String>) -> Self {
+        LogicalPlan { op: PlanOp::Scan { table: table.into() }, children: Vec::new() }
+    }
+
+    /// Filter node over an input.
+    pub fn filter(table: impl Into<String>, predicate: TablePredicate, input: LogicalPlan) -> Self {
+        LogicalPlan {
+            op: PlanOp::Filter { table: table.into(), predicate },
+            children: vec![input],
+        }
+    }
+
+    /// Join node over two inputs (fact side left, dimension side right).
+    pub fn join(edge: JoinEdge, left: LogicalPlan, right: LogicalPlan) -> Self {
+        LogicalPlan { op: PlanOp::Join { edge }, children: vec![left, right] }
+    }
+
+    /// Builds the canonical plan for an SPJ query: per-table scan (+ filter)
+    /// leaves, joined left-deep starting from the root fact table, with
+    /// snowflake branches expanded recursively.
+    pub fn from_query(query: &SpjQuery) -> QueryResult<Self> {
+        if query.tables.is_empty() {
+            return Err(QueryError::Unsupported("query references no tables".into()));
+        }
+        let root = query.root_table()?.to_string();
+        let mut used_edges = vec![false; query.joins.len()];
+        let plan = Self::build_subtree(query, &root, &mut used_edges);
+        if used_edges.iter().any(|u| !u) {
+            return Err(QueryError::Unsupported(
+                "join graph is not connected to the root fact table".into(),
+            ));
+        }
+        Ok(plan)
+    }
+
+    fn build_subtree(query: &SpjQuery, table: &str, used_edges: &mut [bool]) -> LogicalPlan {
+        let scan = LogicalPlan::scan(table);
+        let mut plan = match query.predicate(table) {
+            Some(pred) if !pred.is_trivial() => {
+                LogicalPlan::filter(table, pred.clone(), scan)
+            }
+            _ => scan,
+        };
+        // Join with every dimension referenced from this table, in edge order.
+        let edges: Vec<(usize, JoinEdge)> = query
+            .joins
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| !used_edges[*i] && e.fact_table == table)
+            .map(|(i, e)| (i, e.clone()))
+            .collect();
+        for (i, edge) in edges {
+            used_edges[i] = true;
+            let dim_plan = Self::build_subtree(query, &edge.dim_table, used_edges);
+            plan = LogicalPlan::join(edge, plan, dim_plan);
+        }
+        plan
+    }
+
+    /// Number of nodes in the plan.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(LogicalPlan::node_count).sum::<usize>()
+    }
+
+    /// All nodes in pre-order (self first).
+    pub fn preorder(&self) -> Vec<&LogicalPlan> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.preorder());
+        }
+        out
+    }
+
+    /// Tables scanned anywhere in the plan.
+    pub fn scanned_tables(&self) -> Vec<&str> {
+        self.preorder()
+            .into_iter()
+            .filter_map(|n| match &n.op {
+                PlanOp::Scan { table } => Some(table.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Indented textual rendering of the plan ("EXPLAIN" output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.op.name());
+        out.push('\n');
+        for c in &self.children {
+            c.explain_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColumnPredicate, CompareOp};
+
+    fn figure1_query() -> SpjQuery {
+        let mut q = SpjQuery::new("fig1");
+        q.add_join(JoinEdge::new("R", "S_fk", "S", "S_pk"));
+        q.add_join(JoinEdge::new("R", "T_fk", "T", "T_pk"));
+        q.set_predicate(
+            "S",
+            TablePredicate::always_true()
+                .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+                .with(ColumnPredicate::new("A", CompareOp::Lt, 60)),
+        );
+        q.set_predicate(
+            "T",
+            TablePredicate::always_true()
+                .with(ColumnPredicate::new("C", CompareOp::Ge, 2))
+                .with(ColumnPredicate::new("C", CompareOp::Lt, 3)),
+        );
+        q
+    }
+
+    #[test]
+    fn figure1_plan_shape() {
+        let q = figure1_query();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        // Root is the join with T; its left child is the join with S; the
+        // R leaf is a bare scan while S and T get filters above their scans.
+        assert!(matches!(&plan.op, PlanOp::Join { edge } if edge.dim_table == "T"));
+        assert_eq!(plan.node_count(), 7);
+        let tables = plan.scanned_tables();
+        assert_eq!(tables.len(), 3);
+        assert!(tables.contains(&"R") && tables.contains(&"S") && tables.contains(&"T"));
+        let explain = plan.explain();
+        assert!(explain.contains("Join(R.T_fk = T.T_pk)"));
+        assert!(explain.contains("Filter(S: A >= 20 AND A < 60)"));
+        assert!(explain.contains("Scan(R)"));
+    }
+
+    #[test]
+    fn single_table_plan() {
+        let mut q = SpjQuery::new("single");
+        q.set_predicate(
+            "S",
+            TablePredicate::always_true().with(ColumnPredicate::new("A", CompareOp::Lt, 5)),
+        );
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        assert!(matches!(plan.op, PlanOp::Filter { .. }));
+        assert_eq!(plan.node_count(), 2);
+    }
+
+    #[test]
+    fn trivial_predicate_is_not_planned_as_filter() {
+        let mut q = SpjQuery::new("single");
+        q.add_table("S");
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        assert!(matches!(plan.op, PlanOp::Scan { .. }));
+    }
+
+    #[test]
+    fn snowflake_plan() {
+        // fact -> mid -> leaf chain.
+        let mut q = SpjQuery::new("snow");
+        q.add_join(JoinEdge::new("fact", "mid_fk", "mid", "mid_pk"));
+        q.add_join(JoinEdge::new("mid", "leaf_fk", "leaf", "leaf_pk"));
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        assert_eq!(plan.node_count(), 5);
+        // Root joins fact with the (mid ⋈ leaf) subtree.
+        assert!(matches!(&plan.op, PlanOp::Join { edge } if edge.fact_table == "fact"));
+        let right = &plan.children[1];
+        assert!(matches!(&right.op, PlanOp::Join { edge } if edge.fact_table == "mid"));
+    }
+
+    #[test]
+    fn disconnected_join_graph_is_rejected() {
+        let mut q = SpjQuery::new("bad");
+        q.add_join(JoinEdge::new("a", "b_fk", "b", "b_pk"));
+        q.add_join(JoinEdge::new("c", "d_fk", "d", "d_pk"));
+        assert!(LogicalPlan::from_query(&q).is_err());
+    }
+
+    #[test]
+    fn empty_query_is_rejected() {
+        let q = SpjQuery::new("empty");
+        assert!(LogicalPlan::from_query(&q).is_err());
+    }
+
+    #[test]
+    fn preorder_enumeration() {
+        let q = figure1_query();
+        let plan = LogicalPlan::from_query(&q).unwrap();
+        let nodes = plan.preorder();
+        assert_eq!(nodes.len(), plan.node_count());
+        assert_eq!(nodes[0].op.name(), plan.op.name());
+    }
+}

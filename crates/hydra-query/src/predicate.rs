@@ -1,0 +1,309 @@
+//! Predicates: conjunctions of range / equality comparisons on one table.
+//!
+//! HYDRA's LP formulation needs predicates in *interval normal form*: for each
+//! referenced column, a half-open interval `[lo, hi)` on the column's
+//! normalized integer axis (see [`hydra_catalog::domain::Domain`]).  The
+//! [`TablePredicate::normalized_intervals`] method performs that conversion.
+
+use hydra_catalog::schema::Table;
+use hydra_catalog::types::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Comparison operator in a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single comparison `column op value` on one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnPredicate {
+    /// Column name (unqualified; the owning table is implied by the
+    /// enclosing [`TablePredicate`]).
+    pub column: String,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Comparison constant.
+    pub value: Value,
+}
+
+impl ColumnPredicate {
+    /// Creates a comparison predicate.
+    pub fn new(column: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
+        ColumnPredicate { column: column.into(), op, value: value.into() }
+    }
+
+    /// Evaluates the comparison for a concrete value (NULL never matches).
+    pub fn matches(&self, value: &Value) -> bool {
+        if value.is_null() || self.value.is_null() {
+            return false;
+        }
+        match self.op {
+            CompareOp::Eq => value == &self.value,
+            CompareOp::Lt => value < &self.value,
+            CompareOp::Le => value <= &self.value,
+            CompareOp::Gt => value > &self.value,
+            CompareOp::Ge => value >= &self.value,
+        }
+    }
+}
+
+impl fmt::Display for ColumnPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.column, self.op, self.value)
+    }
+}
+
+/// A conjunction of [`ColumnPredicate`]s on a single table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TablePredicate {
+    conjuncts: Vec<ColumnPredicate>,
+}
+
+impl TablePredicate {
+    /// The always-true predicate.
+    pub fn always_true() -> Self {
+        TablePredicate::default()
+    }
+
+    /// Builds a predicate from a list of conjuncts.
+    pub fn from_conjuncts(conjuncts: Vec<ColumnPredicate>) -> Self {
+        TablePredicate { conjuncts }
+    }
+
+    /// Adds a conjunct.
+    pub fn and(&mut self, pred: ColumnPredicate) -> &mut Self {
+        self.conjuncts.push(pred);
+        self
+    }
+
+    /// Builder-style conjunct addition.
+    pub fn with(mut self, pred: ColumnPredicate) -> Self {
+        self.conjuncts.push(pred);
+        self
+    }
+
+    /// The individual comparisons.
+    pub fn conjuncts(&self) -> &[ColumnPredicate] {
+        &self.conjuncts
+    }
+
+    /// True if there are no conjuncts (predicate is always true).
+    pub fn is_trivial(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// Names of the columns referenced by this predicate (deduplicated,
+    /// sorted).
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut cols: Vec<&str> = self.conjuncts.iter().map(|c| c.column.as_str()).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Evaluates the conjunction against a row of `(column name, value)`
+    /// lookups provided by the closure.
+    pub fn evaluate<'a>(&self, lookup: impl Fn(&str) -> Option<&'a Value>) -> bool {
+        self.conjuncts.iter().all(|c| lookup(&c.column).map(|v| c.matches(v)).unwrap_or(false))
+    }
+
+    /// Converts the conjunction into per-column half-open intervals on each
+    /// column's normalized axis, intersecting multiple conjuncts on the same
+    /// column.
+    ///
+    /// Returns a map `column name -> (lo, hi)` (normalized, half-open); an
+    /// empty interval (`lo >= hi`) means the predicate is unsatisfiable on
+    /// that column.  Columns not mentioned are absent from the map (their
+    /// interval is the full domain).
+    pub fn normalized_intervals(&self, table: &Table) -> BTreeMap<String, (i64, i64)> {
+        let mut out: BTreeMap<String, (i64, i64)> = BTreeMap::new();
+        for conj in &self.conjuncts {
+            let Some(column) = table.column(&conj.column) else { continue };
+            let domain = column.domain_or_default();
+            let (dom_lo, dom_hi) = domain.normalized_bounds();
+            let Some(v) = domain.normalize(&conj.value) else { continue };
+            let (lo, hi) = match conj.op {
+                CompareOp::Eq => (v, v + 1),
+                CompareOp::Lt => (dom_lo, v),
+                CompareOp::Le => (dom_lo, v + 1),
+                CompareOp::Gt => (v + 1, dom_hi),
+                CompareOp::Ge => (v, dom_hi),
+            };
+            out.entry(conj.column.clone())
+                .and_modify(|(cur_lo, cur_hi)| {
+                    *cur_lo = (*cur_lo).max(lo);
+                    *cur_hi = (*cur_hi).min(hi);
+                })
+                .or_insert((lo.max(dom_lo), hi.min(dom_hi)));
+        }
+        out
+    }
+
+    /// Renders the predicate as SQL text (`a >= 20 AND a < 60`).
+    pub fn to_sql(&self, table: &str) -> String {
+        if self.conjuncts.is_empty() {
+            return "TRUE".to_string();
+        }
+        self.conjuncts
+            .iter()
+            .map(|c| format!("{}.{} {} {}", table, c.column, c.op, sql_literal(&c.value)))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+}
+
+fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Varchar(s) => format!("'{s}'"),
+        other => other.to_string(),
+    }
+}
+
+impl fmt::Display for TablePredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "TRUE");
+        }
+        let parts: Vec<String> = self.conjuncts.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", parts.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::DataType;
+
+    fn table() -> hydra_catalog::schema::Table {
+        SchemaBuilder::new("t")
+            .table("S", |t| {
+                t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(
+                        ColumnBuilder::new("cat", DataType::Varchar(None))
+                            .domain(Domain::categorical(["Books", "Music", "Women"])),
+                    )
+            })
+            .build()
+            .unwrap()
+            .table("S")
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn column_predicate_matching() {
+        let p = ColumnPredicate::new("A", CompareOp::Ge, 20);
+        assert!(p.matches(&Value::Integer(20)));
+        assert!(p.matches(&Value::Integer(50)));
+        assert!(!p.matches(&Value::Integer(19)));
+        assert!(!p.matches(&Value::Null));
+        let eq = ColumnPredicate::new("cat", CompareOp::Eq, "Music");
+        assert!(eq.matches(&Value::str("Music")));
+        assert!(!eq.matches(&Value::str("Books")));
+    }
+
+    #[test]
+    fn conjunction_evaluation() {
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+            .with(ColumnPredicate::new("A", CompareOp::Lt, 60));
+        let a30 = Value::Integer(30);
+        let a70 = Value::Integer(70);
+        assert!(pred.evaluate(|c| if c == "A" { Some(&a30) } else { None }));
+        assert!(!pred.evaluate(|c| if c == "A" { Some(&a70) } else { None }));
+        // Missing column → false.
+        assert!(!pred.evaluate(|_| None));
+        assert!(TablePredicate::always_true().evaluate(|_| None));
+    }
+
+    #[test]
+    fn normalized_intervals_intersect_conjuncts() {
+        let t = table();
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+            .with(ColumnPredicate::new("A", CompareOp::Lt, 60));
+        let iv = pred.normalized_intervals(&t);
+        assert_eq!(iv.get("A"), Some(&(20, 60)));
+    }
+
+    #[test]
+    fn normalized_intervals_for_equality_and_categorical() {
+        let t = table();
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("cat", CompareOp::Eq, "Music"));
+        let iv = pred.normalized_intervals(&t);
+        assert_eq!(iv.get("cat"), Some(&(1, 2)));
+    }
+
+    #[test]
+    fn normalized_intervals_clamp_to_domain() {
+        let t = table();
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Le, 1_000_000));
+        let iv = pred.normalized_intervals(&t);
+        assert_eq!(iv.get("A"), Some(&(0, 100)));
+    }
+
+    #[test]
+    fn contradictory_conjuncts_give_empty_interval() {
+        let t = table();
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Lt, 10))
+            .with(ColumnPredicate::new("A", CompareOp::Ge, 50));
+        let iv = pred.normalized_intervals(&t);
+        let (lo, hi) = iv["A"];
+        assert!(lo >= hi);
+    }
+
+    #[test]
+    fn referenced_columns_and_display() {
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+            .with(ColumnPredicate::new("cat", CompareOp::Eq, "Music"))
+            .with(ColumnPredicate::new("A", CompareOp::Lt, 60));
+        assert_eq!(pred.referenced_columns(), vec!["A", "cat"]);
+        assert_eq!(pred.to_string(), "A >= 20 AND cat = Music AND A < 60");
+        assert_eq!(
+            pred.to_sql("S"),
+            "S.A >= 20 AND S.cat = 'Music' AND S.A < 60"
+        );
+        assert_eq!(TablePredicate::always_true().to_sql("S"), "TRUE");
+        assert!(TablePredicate::always_true().is_trivial());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let pred = TablePredicate::always_true().with(ColumnPredicate::new("A", CompareOp::Ge, 20));
+        let json = serde_json::to_string(&pred).unwrap();
+        let back: TablePredicate = serde_json::from_str(&json).unwrap();
+        assert_eq!(pred, back);
+    }
+}

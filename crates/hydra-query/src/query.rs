@@ -1,0 +1,326 @@
+//! The SPJ query model.
+
+use crate::error::{QueryError, QueryResult};
+use crate::predicate::TablePredicate;
+use hydra_catalog::schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A key/foreign-key equi-join edge: `fact.fk_column = dim.pk_column`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// The referencing (fact-side) table.
+    pub fact_table: String,
+    /// The foreign-key column in the fact table.
+    pub fk_column: String,
+    /// The referenced (dimension-side) table.
+    pub dim_table: String,
+    /// The primary-key column in the dimension table.
+    pub pk_column: String,
+}
+
+impl JoinEdge {
+    /// Creates a join edge.
+    pub fn new(
+        fact_table: impl Into<String>,
+        fk_column: impl Into<String>,
+        dim_table: impl Into<String>,
+        pk_column: impl Into<String>,
+    ) -> Self {
+        JoinEdge {
+            fact_table: fact_table.into(),
+            fk_column: fk_column.into(),
+            dim_table: dim_table.into(),
+            pk_column: pk_column.into(),
+        }
+    }
+
+    /// SQL rendering of the join condition.
+    pub fn to_sql(&self) -> String {
+        format!(
+            "{}.{} = {}.{}",
+            self.fact_table, self.fk_column, self.dim_table, self.pk_column
+        )
+    }
+}
+
+/// A select-project-join query: a set of tables, per-table conjunctive
+/// predicates, and FK equi-joins between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpjQuery {
+    /// Query name (used in reports and constraint labels).
+    pub name: String,
+    /// Referenced tables, in FROM-clause order.
+    pub tables: Vec<String>,
+    /// Per-table filter predicates.
+    pub predicates: BTreeMap<String, TablePredicate>,
+    /// FK join edges.
+    pub joins: Vec<JoinEdge>,
+}
+
+impl SpjQuery {
+    /// Creates an empty query over no tables.
+    pub fn new(name: impl Into<String>) -> Self {
+        SpjQuery {
+            name: name.into(),
+            tables: Vec::new(),
+            predicates: BTreeMap::new(),
+            joins: Vec::new(),
+        }
+    }
+
+    /// Adds a table to the FROM clause (idempotent).
+    pub fn add_table(&mut self, table: impl Into<String>) -> &mut Self {
+        let table = table.into();
+        if !self.tables.contains(&table) {
+            self.tables.push(table);
+        }
+        self
+    }
+
+    /// Sets (replaces) the filter predicate on a table.
+    pub fn set_predicate(&mut self, table: impl Into<String>, pred: TablePredicate) -> &mut Self {
+        let table = table.into();
+        self.add_table(table.clone());
+        self.predicates.insert(table, pred);
+        self
+    }
+
+    /// Adds a join edge.
+    pub fn add_join(&mut self, edge: JoinEdge) -> &mut Self {
+        self.add_table(edge.fact_table.clone());
+        self.add_table(edge.dim_table.clone());
+        self.joins.push(edge);
+        self
+    }
+
+    /// The filter predicate on a table, if any.
+    pub fn predicate(&self, table: &str) -> Option<&TablePredicate> {
+        self.predicates.get(table)
+    }
+
+    /// The filter predicate on a table, or the trivial predicate.
+    pub fn predicate_or_true(&self, table: &str) -> TablePredicate {
+        self.predicates.get(table).cloned().unwrap_or_default()
+    }
+
+    /// Join edges whose fact side is the given table.
+    pub fn joins_from(&self, table: &str) -> Vec<&JoinEdge> {
+        self.joins.iter().filter(|j| j.fact_table == table).collect()
+    }
+
+    /// Validates the query against a schema: tables and predicate columns
+    /// exist, and every join edge follows a declared foreign key.
+    pub fn validate(&self, schema: &Schema) -> QueryResult<()> {
+        for t in &self.tables {
+            schema
+                .table(t)
+                .ok_or_else(|| QueryError::UnknownReference(format!("table `{t}`")))?;
+        }
+        for (t, pred) in &self.predicates {
+            let table = schema
+                .table(t)
+                .ok_or_else(|| QueryError::UnknownReference(format!("table `{t}`")))?;
+            for c in pred.conjuncts() {
+                if table.column(&c.column).is_none() {
+                    return Err(QueryError::UnknownReference(format!(
+                        "column `{}`.`{}`",
+                        t, c.column
+                    )));
+                }
+            }
+        }
+        for j in &self.joins {
+            let fact = schema
+                .table(&j.fact_table)
+                .ok_or_else(|| QueryError::UnknownReference(format!("table `{}`", j.fact_table)))?;
+            let fk = fact.foreign_key_on(&j.fk_column).ok_or_else(|| {
+                QueryError::Unsupported(format!(
+                    "join `{}` does not follow a declared foreign key",
+                    j.to_sql()
+                ))
+            })?;
+            if fk.referenced_table != j.dim_table || fk.referenced_column != j.pk_column {
+                return Err(QueryError::Unsupported(format!(
+                    "join `{}` does not match foreign key `{}`.`{}` -> `{}`.`{}`",
+                    j.to_sql(),
+                    j.fact_table,
+                    j.fk_column,
+                    fk.referenced_table,
+                    fk.referenced_column
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Identifies the *root* fact table of the join graph: the table that is
+    /// never on the dimension side of a join.  For star and snowflake SPJ
+    /// queries there is exactly one; single-table queries return that table.
+    pub fn root_table(&self) -> QueryResult<&str> {
+        if self.joins.is_empty() {
+            return self
+                .tables
+                .first()
+                .map(String::as_str)
+                .ok_or_else(|| QueryError::Unsupported("query references no tables".into()));
+        }
+        let mut candidates: Vec<&str> = self.tables.iter().map(String::as_str).collect();
+        candidates.retain(|t| !self.joins.iter().any(|j| j.dim_table == *t));
+        // Also require the candidate to actually appear on a fact side.
+        candidates.retain(|t| self.joins.iter().any(|j| j.fact_table == *t));
+        match candidates.len() {
+            1 => Ok(candidates[0]),
+            0 => Err(QueryError::Unsupported(
+                "join graph has no root (cyclic join graph?)".into(),
+            )),
+            _ => Err(QueryError::Unsupported(format!(
+                "join graph has multiple roots: {candidates:?}"
+            ))),
+        }
+    }
+
+    /// Renders the query as SQL text.
+    pub fn to_sql(&self) -> String {
+        let mut where_clauses: Vec<String> = self.joins.iter().map(|j| j.to_sql()).collect();
+        for (t, p) in &self.predicates {
+            if !p.is_trivial() {
+                where_clauses.push(p.to_sql(t));
+            }
+        }
+        let where_part = if where_clauses.is_empty() {
+            String::new()
+        } else {
+            format!(" where {}", where_clauses.join(" and "))
+        };
+        format!("select * from {}{}", self.tables.join(", "), where_part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{ColumnPredicate, CompareOp};
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::DataType;
+
+    fn toy_schema() -> Schema {
+        SchemaBuilder::new("toy")
+            .table("S", |t| {
+                t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+            })
+            .table("T", |t| {
+                t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+            })
+            .table("R", |t| {
+                t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("S_fk", DataType::BigInt).references("S", "S_pk"))
+                    .column(ColumnBuilder::new("T_fk", DataType::BigInt).references("T", "T_pk"))
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn figure1_query() -> SpjQuery {
+        let mut q = SpjQuery::new("fig1");
+        q.add_join(JoinEdge::new("R", "S_fk", "S", "S_pk"));
+        q.add_join(JoinEdge::new("R", "T_fk", "T", "T_pk"));
+        q.set_predicate(
+            "S",
+            TablePredicate::always_true()
+                .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+                .with(ColumnPredicate::new("A", CompareOp::Lt, 60)),
+        );
+        q.set_predicate(
+            "T",
+            TablePredicate::always_true()
+                .with(ColumnPredicate::new("C", CompareOp::Ge, 2))
+                .with(ColumnPredicate::new("C", CompareOp::Lt, 3)),
+        );
+        q
+    }
+
+    #[test]
+    fn build_and_validate_figure1() {
+        let q = figure1_query();
+        assert_eq!(q.tables, vec!["R", "S", "T"]);
+        assert!(q.validate(&toy_schema()).is_ok());
+        assert_eq!(q.root_table().unwrap(), "R");
+        assert_eq!(q.joins_from("R").len(), 2);
+        assert!(q.predicate("S").is_some());
+        assert!(q.predicate("R").is_none());
+        assert!(q.predicate_or_true("R").is_trivial());
+    }
+
+    #[test]
+    fn validation_catches_unknown_table() {
+        let mut q = figure1_query();
+        q.add_table("Missing");
+        assert!(matches!(
+            q.validate(&toy_schema()),
+            Err(QueryError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_unknown_column() {
+        let mut q = figure1_query();
+        q.set_predicate(
+            "S",
+            TablePredicate::always_true().with(ColumnPredicate::new("nope", CompareOp::Eq, 1)),
+        );
+        assert!(matches!(
+            q.validate(&toy_schema()),
+            Err(QueryError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_non_fk_join() {
+        let mut q = SpjQuery::new("bad");
+        q.add_join(JoinEdge::new("S", "A", "T", "T_pk"));
+        assert!(matches!(
+            q.validate(&toy_schema()),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_mismatched_fk_target() {
+        let mut q = SpjQuery::new("bad");
+        q.add_join(JoinEdge::new("R", "S_fk", "T", "T_pk"));
+        assert!(matches!(
+            q.validate(&toy_schema()),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn root_of_single_table_query() {
+        let mut q = SpjQuery::new("single");
+        q.add_table("S");
+        assert_eq!(q.root_table().unwrap(), "S");
+        let empty = SpjQuery::new("none");
+        assert!(empty.root_table().is_err());
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let q = figure1_query();
+        let sql = q.to_sql();
+        assert!(sql.starts_with("select * from R, S, T where"));
+        assert!(sql.contains("R.S_fk = S.S_pk"));
+        assert!(sql.contains("S.A >= 20"));
+        assert!(sql.contains("T.C < 3"));
+    }
+
+    #[test]
+    fn add_table_is_idempotent() {
+        let mut q = SpjQuery::new("q");
+        q.add_table("S").add_table("S");
+        assert_eq!(q.tables.len(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Query workloads: the unit the client ships to the vendor.
+//!
+//! A [`QueryWorkload`] is an ordered collection of SPJ queries, each paired
+//! (once the client has executed it) with its [`AnnotatedQueryPlan`].  The
+//! workload travels inside the transfer package together with the schema and
+//! metadata from `hydra-catalog`.
+
+use crate::aqp::{AnnotatedQueryPlan, VolumetricConstraint};
+use crate::error::QueryResult;
+use crate::query::SpjQuery;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One workload entry: a query and, once executed at the client, its AQP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadEntry {
+    /// The query.
+    pub query: SpjQuery,
+    /// The annotated plan obtained by executing the query on the client data
+    /// (absent until the client has run it).
+    pub aqp: Option<AnnotatedQueryPlan>,
+}
+
+/// An ordered collection of queries with their annotated plans.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// Workload entries in submission order.
+    pub entries: Vec<WorkloadEntry>,
+}
+
+impl QueryWorkload {
+    /// Creates an empty workload.
+    pub fn new() -> Self {
+        QueryWorkload::default()
+    }
+
+    /// Adds a query without an AQP yet.
+    pub fn add_query(&mut self, query: SpjQuery) -> &mut Self {
+        self.entries.push(WorkloadEntry { query, aqp: None });
+        self
+    }
+
+    /// Adds a query together with its annotated plan.
+    pub fn add_annotated(&mut self, query: SpjQuery, aqp: AnnotatedQueryPlan) -> &mut Self {
+        self.entries.push(WorkloadEntry { query, aqp: Some(aqp) });
+        self
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by query name.
+    pub fn entry(&self, name: &str) -> Option<&WorkloadEntry> {
+        self.entries.iter().find(|e| e.query.name == name)
+    }
+
+    /// Names of all distinct tables referenced anywhere in the workload.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut tables: Vec<String> = self
+            .entries
+            .iter()
+            .flat_map(|e| e.query.tables.iter().cloned())
+            .collect();
+        tables.sort();
+        tables.dedup();
+        tables
+    }
+
+    /// Extracts every volumetric constraint from every annotated plan,
+    /// grouped by the constrained relation.  Entries without an AQP are
+    /// skipped (they contribute no constraints).
+    pub fn constraints_by_table(&self) -> QueryResult<BTreeMap<String, Vec<VolumetricConstraint>>> {
+        let mut out: BTreeMap<String, Vec<VolumetricConstraint>> = BTreeMap::new();
+        for entry in &self.entries {
+            if let Some(aqp) = &entry.aqp {
+                for c in aqp.constraints()? {
+                    out.entry(c.table.clone()).or_default().push(c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total number of annotated edges across the workload (the count the
+    /// paper's accuracy figures are computed over).
+    pub fn total_annotated_edges(&self) -> usize {
+        self.entries.iter().filter_map(|e| e.aqp.as_ref()).map(|a| a.edge_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::LogicalPlan;
+    use crate::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+    use crate::query::JoinEdge;
+
+    fn sample_workload() -> QueryWorkload {
+        let mut wl = QueryWorkload::new();
+
+        let mut q1 = SpjQuery::new("q1");
+        q1.add_join(JoinEdge::new("R", "S_fk", "S", "S_pk"));
+        q1.set_predicate(
+            "S",
+            TablePredicate::always_true().with(ColumnPredicate::new("A", CompareOp::Lt, 10)),
+        );
+        let plan1 = LogicalPlan::from_query(&q1).unwrap();
+        let aqp1 = AnnotatedQueryPlan::from_plan_with_cardinalities(
+            "q1",
+            &plan1,
+            &vec![5; plan1.node_count()],
+        )
+        .unwrap();
+        wl.add_annotated(q1, aqp1);
+
+        let mut q2 = SpjQuery::new("q2");
+        q2.set_predicate(
+            "S",
+            TablePredicate::always_true().with(ColumnPredicate::new("A", CompareOp::Ge, 50)),
+        );
+        wl.add_query(q2);
+        wl
+    }
+
+    #[test]
+    fn workload_accounting() {
+        let wl = sample_workload();
+        assert_eq!(wl.len(), 2);
+        assert!(!wl.is_empty());
+        assert!(wl.entry("q1").is_some());
+        assert!(wl.entry("missing").is_none());
+        assert_eq!(wl.referenced_tables(), vec!["R".to_string(), "S".to_string()]);
+        // q1's plan: Join, Filter, Scan R?? — whatever the shape, edges == node count.
+        assert_eq!(wl.total_annotated_edges(), wl.entries[0].aqp.as_ref().unwrap().edge_count());
+    }
+
+    #[test]
+    fn constraints_grouped_by_table() {
+        let wl = sample_workload();
+        let by_table = wl.constraints_by_table().unwrap();
+        assert!(by_table.contains_key("R"));
+        assert!(by_table.contains_key("S"));
+        // Unannotated q2 contributes nothing.
+        let total: usize = by_table.values().map(Vec::len).sum();
+        assert_eq!(total, wl.entries[0].aqp.as_ref().unwrap().edge_count());
+    }
+
+    #[test]
+    fn empty_workload() {
+        let wl = QueryWorkload::new();
+        assert!(wl.is_empty());
+        assert_eq!(wl.total_annotated_edges(), 0);
+        assert!(wl.constraints_by_table().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! Per-relation attribute spaces and constraint boxes.
+//!
+//! For every relation, the columns that the workload references become the
+//! axes of a normalized integer space:
+//!
+//! * ordinary (filter) columns use the column's declared [`Domain`];
+//! * foreign-key columns become *reference axes* whose domain is the
+//!   primary-key range `[0, |dim|)` of the referenced relation — possible
+//!   because regenerated primary keys are auto-numbers.
+//!
+//! Every volumetric constraint is then translated into a box over that space
+//! (or a union of boxes when a foreign-key condition projects onto several
+//! primary-key blocks of the referenced dimension's summary).
+
+use crate::error::{SummaryError, SummaryResult};
+use crate::summary::RelationSummary;
+use hydra_catalog::schema::Table;
+use hydra_partition::interval::Interval;
+use hydra_partition::nbox::NBox;
+use hydra_partition::space::AttributeSpace;
+use hydra_query::aqp::VolumetricConstraint;
+use std::collections::BTreeMap;
+
+/// Cap on the number of boxes a single constraint may expand into when its
+/// foreign-key conditions project onto many primary-key intervals.  Beyond
+/// the cap the intervals are coalesced into their convex hull (recorded by the
+/// caller as an approximation).
+pub const MAX_BOXES_PER_CONSTRAINT: usize = 4096;
+
+/// The axes of one relation's partitioning space.
+#[derive(Debug, Clone)]
+pub struct RelationAxes {
+    /// The normalized attribute space.
+    pub space: AttributeSpace,
+    /// Axis column names, in axis order.
+    pub columns: Vec<String>,
+}
+
+impl RelationAxes {
+    /// Collects the columns of `table` referenced by any constraint: filter
+    /// columns plus foreign-key columns appearing in FK conditions.  The axis
+    /// order follows the table's column declaration order (deterministic).
+    pub fn referenced_columns(table: &Table, constraints: &[VolumetricConstraint]) -> Vec<String> {
+        let mut referenced: Vec<String> = Vec::new();
+        for column in table.columns() {
+            let name = &column.name;
+            let used = constraints.iter().any(|c| {
+                c.predicate.referenced_columns().contains(&name.as_str())
+                    || c.fk_conditions.iter().any(|fk| &fk.fk_column == name)
+            });
+            if used {
+                referenced.push(name.clone());
+            }
+        }
+        referenced
+    }
+
+    /// Builds the partitioning space for a relation.
+    ///
+    /// `fk_domains` maps referenced dimension table names to the number of
+    /// rows their synthetic version will have (the primary-key axis width).
+    pub fn build(
+        table: &Table,
+        constraints: &[VolumetricConstraint],
+        fk_domains: &BTreeMap<String, u64>,
+    ) -> SummaryResult<RelationAxes> {
+        let columns = Self::referenced_columns(table, constraints);
+        let mut axes = Vec::with_capacity(columns.len());
+        for name in &columns {
+            let column = table.column(name).ok_or_else(|| {
+                SummaryError::Catalog(format!("column `{}`.`{name}` not found", table.name))
+            })?;
+            let interval = if let Some(fk) = table.foreign_key_on(name) {
+                let rows = fk_domains.get(&fk.referenced_table).copied().ok_or_else(|| {
+                    SummaryError::DimensionNotSummarized {
+                        table: table.name.clone(),
+                        dimension: fk.referenced_table.clone(),
+                    }
+                })?;
+                Interval::new(0, rows.max(1) as i64)
+            } else {
+                let (lo, hi) = column.domain_or_default().normalized_bounds();
+                Interval::new(lo, hi.max(lo + 1))
+            };
+            axes.push((name.clone(), interval));
+        }
+        Ok(RelationAxes { space: AttributeSpace::new(axes), columns })
+    }
+
+    /// Translates one volumetric constraint into a union of boxes over this
+    /// relation's space.
+    ///
+    /// * The local predicate contributes one interval per referenced axis.
+    /// * Each foreign-key condition contributes the list of primary-key
+    ///   intervals of the referenced dimension's summary that satisfy the
+    ///   condition; multiple intervals multiply into a union of boxes
+    ///   (cartesian product across FK axes), capped at
+    ///   [`MAX_BOXES_PER_CONSTRAINT`].
+    ///
+    /// Returns the boxes plus a flag indicating whether interval coalescing
+    /// (an approximation) was applied to stay under the cap.
+    pub fn constraint_boxes(
+        &self,
+        table: &Table,
+        constraint: &VolumetricConstraint,
+        summaries: &BTreeMap<String, RelationSummary>,
+    ) -> SummaryResult<(Vec<NBox>, bool)> {
+        // Start with one interval list per axis (initially the full domain).
+        let mut axis_intervals: Vec<Vec<Interval>> =
+            (0..self.space.dims()).map(|i| vec![self.space.domain(i)]).collect();
+
+        // Local predicate intervals.
+        let local = constraint.predicate.normalized_intervals(table);
+        for (column, (lo, hi)) in &local {
+            if let Some(axis) = self.space.axis_index(column) {
+                let clipped = Interval::new(*lo, *hi).intersect(&self.space.domain(axis));
+                axis_intervals[axis] = vec![clipped];
+            }
+        }
+
+        // Foreign-key conditions project onto primary-key intervals of the
+        // referenced dimension's summary.
+        let mut coalesced = false;
+        for cond in &constraint.fk_conditions {
+            let Some(axis) = self.space.axis_index(&cond.fk_column) else {
+                continue;
+            };
+            let dim = summaries.get(&cond.dim_table).ok_or_else(|| {
+                SummaryError::DimensionNotSummarized {
+                    table: table.name.clone(),
+                    dimension: cond.dim_table.clone(),
+                }
+            })?;
+            let mut intervals =
+                dim.satisfying_pk_intervals(&cond.dim_predicate, &cond.nested, summaries)?;
+            let domain = self.space.domain(axis);
+            intervals = intervals
+                .into_iter()
+                .map(|iv| iv.intersect(&domain))
+                .filter(|iv| !iv.is_empty())
+                .collect();
+            // Combining with any interval already on this axis (e.g. two FK
+            // conditions on the same column): intersect pairwise.
+            let existing = std::mem::take(&mut axis_intervals[axis]);
+            let mut combined: Vec<Interval> = Vec::new();
+            for a in &existing {
+                for b in &intervals {
+                    let iv = a.intersect(b);
+                    if !iv.is_empty() {
+                        combined.push(iv);
+                    }
+                }
+            }
+            axis_intervals[axis] = combined;
+        }
+
+        // Cap the cross-product size by coalescing the largest interval lists
+        // into their convex hulls.
+        loop {
+            let product: usize = axis_intervals
+                .iter()
+                .map(|l| l.len().max(1))
+                .try_fold(1usize, |acc, n| acc.checked_mul(n))
+                .unwrap_or(usize::MAX);
+            if product <= MAX_BOXES_PER_CONSTRAINT {
+                break;
+            }
+            coalesced = true;
+            let widest = axis_intervals
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| l.len())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let list = &axis_intervals[widest];
+            let lo = list.iter().map(|i| i.lo).min().unwrap_or(0);
+            let hi = list.iter().map(|i| i.hi).max().unwrap_or(0);
+            axis_intervals[widest] = vec![Interval::new(lo, hi)];
+        }
+
+        // Expand the cartesian product into boxes.
+        let mut boxes: Vec<Vec<Interval>> = vec![Vec::new()];
+        for axis_list in &axis_intervals {
+            if axis_list.is_empty() {
+                // An axis with no satisfying interval ⇒ the constraint region
+                // is empty (no dimension row satisfies the FK condition).
+                return Ok((Vec::new(), coalesced));
+            }
+            let mut next = Vec::with_capacity(boxes.len() * axis_list.len());
+            for prefix in &boxes {
+                for iv in axis_list {
+                    let mut b = prefix.clone();
+                    b.push(*iv);
+                    next.push(b);
+                }
+            }
+            boxes = next;
+        }
+        let boxes: Vec<NBox> = boxes
+            .into_iter()
+            .map(NBox::new)
+            .filter(|b| !b.is_empty())
+            .collect();
+        Ok((boxes, coalesced))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, Schema, SchemaBuilder};
+    use hydra_catalog::types::{DataType, Value};
+    use hydra_query::aqp::FkCondition;
+    use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("toy")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+                    .column(
+                        ColumnBuilder::new("i_manager_id", DataType::BigInt)
+                            .domain(Domain::integer(0, 100)),
+                    )
+                    .column(
+                        ColumnBuilder::new("i_category", DataType::Varchar(None))
+                            .domain(Domain::categorical(["Books", "Music", "Women"])),
+                    )
+            })
+            .table("store_sales", |t| {
+                t.column(ColumnBuilder::new("ss_sk", DataType::BigInt).primary_key())
+                    .column(
+                        ColumnBuilder::new("ss_item_fk", DataType::BigInt)
+                            .references("item", "i_item_sk"),
+                    )
+                    .column(
+                        ColumnBuilder::new("ss_quantity", DataType::BigInt)
+                            .domain(Domain::integer(0, 50)),
+                    )
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn item_constraint(card: u64) -> VolumetricConstraint {
+        VolumetricConstraint {
+            table: "item".to_string(),
+            predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new("i_manager_id", CompareOp::Lt, 50)),
+            fk_conditions: vec![],
+            cardinality: card,
+            label: "q#1".to_string(),
+        }
+    }
+
+    #[test]
+    fn referenced_columns_follow_table_order() {
+        let schema = schema();
+        let table = schema.table("item").unwrap();
+        let cs = vec![
+            VolumetricConstraint {
+                table: "item".into(),
+                predicate: TablePredicate::always_true()
+                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
+                fk_conditions: vec![],
+                cardinality: 1,
+                label: "a".into(),
+            },
+            item_constraint(2),
+        ];
+        let cols = RelationAxes::referenced_columns(table, &cs);
+        assert_eq!(cols, vec!["i_manager_id".to_string(), "i_category".to_string()]);
+    }
+
+    #[test]
+    fn space_uses_column_domains() {
+        let schema = schema();
+        let table = schema.table("item").unwrap();
+        let axes = RelationAxes::build(table, &[item_constraint(5)], &BTreeMap::new()).unwrap();
+        assert_eq!(axes.columns, vec!["i_manager_id".to_string()]);
+        assert_eq!(axes.space.domain(0), Interval::new(0, 100));
+    }
+
+    #[test]
+    fn fk_axis_uses_dimension_row_count() {
+        let schema = schema();
+        let table = schema.table("store_sales").unwrap();
+        let c = VolumetricConstraint {
+            table: "store_sales".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![FkCondition {
+                fk_column: "ss_item_fk".into(),
+                dim_table: "item".into(),
+                dim_predicate: TablePredicate::always_true(),
+                nested: vec![],
+            }],
+            cardinality: 10,
+            label: "q#2".into(),
+        };
+        let mut fk_domains = BTreeMap::new();
+        fk_domains.insert("item".to_string(), 963u64);
+        let axes = RelationAxes::build(table, &[c], &fk_domains).unwrap();
+        assert_eq!(axes.columns, vec!["ss_item_fk".to_string()]);
+        assert_eq!(axes.space.domain(0), Interval::new(0, 963));
+
+        // Missing dimension row count is an error.
+        assert!(RelationAxes::build(table, &[], &BTreeMap::new()).is_ok()); // no axes referenced
+        let c2 = VolumetricConstraint {
+            table: "store_sales".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![FkCondition {
+                fk_column: "ss_item_fk".into(),
+                dim_table: "item".into(),
+                dim_predicate: TablePredicate::always_true(),
+                nested: vec![],
+            }],
+            cardinality: 10,
+            label: "q#2".into(),
+        };
+        assert!(matches!(
+            RelationAxes::build(table, &[c2], &BTreeMap::new()),
+            Err(SummaryError::DimensionNotSummarized { .. })
+        ));
+    }
+
+    #[test]
+    fn local_predicate_becomes_box() {
+        let schema = schema();
+        let table = schema.table("item").unwrap();
+        let c = item_constraint(5);
+        let axes = RelationAxes::build(table, &[c.clone()], &BTreeMap::new()).unwrap();
+        let (boxes, coalesced) =
+            axes.constraint_boxes(table, &c, &BTreeMap::new()).unwrap();
+        assert!(!coalesced);
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0].interval(0), Interval::new(0, 50));
+    }
+
+    #[test]
+    fn fk_condition_projects_to_pk_intervals() {
+        let schema = schema();
+        let fact = schema.table("store_sales").unwrap();
+
+        // Item summary with two groups: Music items in PK [0, 917), Women in [917, 938).
+        let mut item = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        let mut v1 = BTreeMap::new();
+        v1.insert("i_category".to_string(), Value::str("Music"));
+        v1.insert("i_manager_id".to_string(), Value::Integer(40));
+        item.push_row(917, v1);
+        let mut v2 = BTreeMap::new();
+        v2.insert("i_category".to_string(), Value::str("Women"));
+        v2.insert("i_manager_id".to_string(), Value::Integer(91));
+        item.push_row(21, v2);
+        let mut summaries = BTreeMap::new();
+        summaries.insert("item".to_string(), item);
+
+        let c = VolumetricConstraint {
+            table: "store_sales".into(),
+            predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new("ss_quantity", CompareOp::Ge, 10)),
+            fk_conditions: vec![FkCondition {
+                fk_column: "ss_item_fk".into(),
+                dim_table: "item".into(),
+                dim_predicate: TablePredicate::always_true()
+                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Women")),
+                nested: vec![],
+            }],
+            cardinality: 10,
+            label: "q#3".into(),
+        };
+        let mut fk_domains = BTreeMap::new();
+        fk_domains.insert("item".to_string(), 938u64);
+        let axes = RelationAxes::build(fact, &[c.clone()], &fk_domains).unwrap();
+        assert_eq!(axes.columns, vec!["ss_item_fk".to_string(), "ss_quantity".to_string()]);
+        let (boxes, _) = axes.constraint_boxes(fact, &c, &summaries).unwrap();
+        assert_eq!(boxes.len(), 1);
+        let fk_axis = axes.space.axis_index("ss_item_fk").unwrap();
+        let q_axis = axes.space.axis_index("ss_quantity").unwrap();
+        assert_eq!(boxes[0].interval(fk_axis), Interval::new(917, 938));
+        assert_eq!(boxes[0].interval(q_axis), Interval::new(10, 50));
+    }
+
+    #[test]
+    fn unsatisfiable_fk_condition_yields_no_boxes() {
+        let schema = schema();
+        let fact = schema.table("store_sales").unwrap();
+        let mut item = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        let mut v1 = BTreeMap::new();
+        v1.insert("i_category".to_string(), Value::str("Music"));
+        item.push_row(10, v1);
+        let mut summaries = BTreeMap::new();
+        summaries.insert("item".to_string(), item);
+
+        let c = VolumetricConstraint {
+            table: "store_sales".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![FkCondition {
+                fk_column: "ss_item_fk".into(),
+                dim_table: "item".into(),
+                dim_predicate: TablePredicate::always_true()
+                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Garden")),
+                nested: vec![],
+            }],
+            cardinality: 0,
+            label: "q#4".into(),
+        };
+        let mut fk_domains = BTreeMap::new();
+        fk_domains.insert("item".to_string(), 10u64);
+        let axes = RelationAxes::build(fact, &[c.clone()], &fk_domains).unwrap();
+        let (boxes, _) = axes.constraint_boxes(fact, &c, &summaries).unwrap();
+        assert!(boxes.is_empty());
+    }
+
+    #[test]
+    fn many_pk_intervals_are_coalesced_beyond_cap() {
+        let schema = schema();
+        let fact = schema.table("store_sales").unwrap();
+        // A dimension summary alternating between matching and non-matching
+        // groups produces many disjoint PK intervals.
+        let mut item = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        for i in 0..(2 * MAX_BOXES_PER_CONSTRAINT as i64 + 10) {
+            let mut v = BTreeMap::new();
+            v.insert(
+                "i_category".to_string(),
+                Value::str(if i % 2 == 0 { "Music" } else { "Books" }),
+            );
+            item.push_row(1, v);
+        }
+        let total = item.total_rows;
+        let mut summaries = BTreeMap::new();
+        summaries.insert("item".to_string(), item);
+        let c = VolumetricConstraint {
+            table: "store_sales".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![FkCondition {
+                fk_column: "ss_item_fk".into(),
+                dim_table: "item".into(),
+                dim_predicate: TablePredicate::always_true()
+                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
+                nested: vec![],
+            }],
+            cardinality: 5,
+            label: "q#5".into(),
+        };
+        let mut fk_domains = BTreeMap::new();
+        fk_domains.insert("item".to_string(), total);
+        let axes = RelationAxes::build(fact, &[c.clone()], &fk_domains).unwrap();
+        let (boxes, coalesced) = axes.constraint_boxes(fact, &c, &summaries).unwrap();
+        assert!(coalesced);
+        assert_eq!(boxes.len(), 1);
+    }
+}

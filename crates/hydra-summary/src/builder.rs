@@ -1,0 +1,425 @@
+//! End-to-end summary construction across all relations.
+//!
+//! The builder processes relations in referential topological order
+//! (dimensions before facts) so that every foreign-key axis can point at the
+//! already-aligned primary-key blocks of the referenced relation.  This
+//! ordering *is* the referential post-processing of the paper's architecture:
+//! by construction, every regenerated foreign key lands on an existing
+//! auto-numbered primary key.
+
+use crate::align::{build_relation_summary, AlignmentStrategy};
+use crate::axes::RelationAxes;
+use crate::error::{SummaryError, SummaryResult};
+use crate::solve::{formulate_and_solve, LpStats};
+use crate::summary::{DatabaseSummary, RelationSummary};
+use hydra_catalog::metadata::DatabaseMetadata;
+use hydra_catalog::schema::Schema;
+use hydra_lp::solver::LpSolver;
+use hydra_partition::region::DEFAULT_MAX_REGIONS;
+use hydra_query::aqp::VolumetricConstraint;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of the summary builder.
+#[derive(Debug, Clone)]
+pub struct SummaryBuilderConfig {
+    /// LP solver settings.
+    pub solver: LpSolver,
+    /// Alignment strategy (deterministic by default; sampled for the E10
+    /// ablation).
+    pub alignment: AlignmentStrategy,
+    /// Piece budget for region partitioning.
+    pub max_regions: usize,
+    /// Whether to fill unreferenced columns from client statistics.
+    pub use_statistics_fillers: bool,
+}
+
+impl Default for SummaryBuilderConfig {
+    fn default() -> Self {
+        SummaryBuilderConfig {
+            solver: LpSolver::default(),
+            alignment: AlignmentStrategy::Deterministic,
+            max_regions: DEFAULT_MAX_REGIONS,
+            use_statistics_fillers: true,
+        }
+    }
+}
+
+/// Per-relation construction statistics (vendor-screen LP table; experiments
+/// E1/E3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationBuildStats {
+    /// Relation name.
+    pub table: String,
+    /// Number of columns the workload references on this relation.
+    pub referenced_columns: usize,
+    /// Number of volumetric constraints on this relation (before dedup).
+    pub workload_constraints: usize,
+    /// LP statistics.
+    pub lp: LpStats,
+    /// Number of summary rows produced.
+    pub summary_rows: usize,
+    /// Number of tuples the summary regenerates.
+    pub total_rows: u64,
+}
+
+/// The overall construction report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SummaryBuildReport {
+    /// Per-relation statistics, in processing order.
+    pub relations: Vec<RelationBuildStats>,
+    /// Total wall-clock construction time.
+    pub total_time: Duration,
+    /// Final summary size in bytes.
+    pub summary_bytes: usize,
+}
+
+impl SummaryBuildReport {
+    /// Total number of LP variables across relations.
+    pub fn total_lp_variables(&self) -> usize {
+        self.relations.iter().map(|r| r.lp.variables).sum()
+    }
+
+    /// Total number of LP constraints across relations.
+    pub fn total_lp_constraints(&self) -> usize {
+        self.relations.iter().map(|r| r.lp.constraints).sum()
+    }
+
+    /// Total LP solve time across relations.
+    pub fn total_solve_time(&self) -> Duration {
+        self.relations.iter().map(|r| r.lp.solve_time).sum()
+    }
+
+    /// Renders a vendor-screen style text table of the LP statistics.
+    pub fn to_display_table(&self) -> String {
+        let mut out = String::from(
+            "relation | referenced cols | constraints | LP vars | LP constraints | solve time (ms) | summary rows\n",
+        );
+        for r in &self.relations {
+            out.push_str(&format!(
+                "{} | {} | {} | {} | {} | {:.2} | {}\n",
+                r.table,
+                r.referenced_columns,
+                r.workload_constraints,
+                r.lp.variables,
+                r.lp.constraints,
+                r.lp.solve_time.as_secs_f64() * 1e3,
+                r.summary_rows
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} vars, {} constraints, {:.2} ms construction, {} bytes\n",
+            self.total_lp_variables(),
+            self.total_lp_constraints(),
+            self.total_time.as_secs_f64() * 1e3,
+            self.summary_bytes
+        ));
+        out
+    }
+}
+
+/// Builds database summaries from per-relation volumetric constraints.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryBuilder {
+    /// Builder configuration.
+    pub config: SummaryBuilderConfig,
+}
+
+impl SummaryBuilder {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: SummaryBuilderConfig) -> Self {
+        SummaryBuilder { config }
+    }
+
+    /// Builds the database summary.
+    ///
+    /// * `schema` — the client schema;
+    /// * `row_targets` — target row count per relation (the client's row
+    ///   counts, or scaled counts for what-if scenarios);
+    /// * `constraints_by_table` — the preprocessed volumetric constraints;
+    /// * `metadata` — optional client statistics used to fill columns the
+    ///   workload never references.
+    pub fn build(
+        &self,
+        schema: &Schema,
+        row_targets: &BTreeMap<String, u64>,
+        constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+        metadata: Option<&DatabaseMetadata>,
+    ) -> SummaryResult<(DatabaseSummary, SummaryBuildReport)> {
+        let start = Instant::now();
+        let order = schema
+            .topological_order()
+            .map_err(|e| SummaryError::Catalog(e.to_string()))?;
+
+        let mut summaries: BTreeMap<String, RelationSummary> = BTreeMap::new();
+        let mut report = SummaryBuildReport::default();
+        let empty: Vec<VolumetricConstraint> = Vec::new();
+
+        for table in order {
+            let row_target = row_targets.get(&table.name).copied().unwrap_or(0);
+            let constraints = constraints_by_table.get(&table.name).unwrap_or(&empty);
+
+            // Foreign-key axis widths come from the already-built dimension
+            // summaries (falling back to the row target when a dimension has
+            // no constraints of its own but a known size).
+            let mut fk_domains: BTreeMap<String, u64> = BTreeMap::new();
+            for fk in table.foreign_keys() {
+                let width = summaries
+                    .get(&fk.referenced_table)
+                    .map(|s| s.total_rows)
+                    .or_else(|| row_targets.get(&fk.referenced_table).copied())
+                    .unwrap_or(0);
+                fk_domains.insert(fk.referenced_table.clone(), width.max(1));
+            }
+
+            let axes = RelationAxes::build(table, constraints, &fk_domains)?;
+            let solved = formulate_and_solve(
+                table,
+                &axes,
+                constraints,
+                row_target,
+                &summaries,
+                &self.config.solver,
+                self.config.max_regions,
+            )?;
+            let stats = if self.config.use_statistics_fillers {
+                metadata.and_then(|m| m.tables.get(&table.name))
+            } else {
+                None
+            };
+            let summary =
+                build_relation_summary(table, &axes, &solved, stats, self.config.alignment);
+
+            report.relations.push(RelationBuildStats {
+                table: table.name.clone(),
+                referenced_columns: axes.columns.len(),
+                workload_constraints: constraints.len(),
+                lp: solved.stats.clone(),
+                summary_rows: summary.row_count(),
+                total_rows: summary.total_rows,
+            });
+            summaries.insert(table.name.clone(), summary);
+        }
+
+        let mut db = DatabaseSummary::new();
+        for (_, s) in summaries {
+            db.insert(s);
+        }
+        report.total_time = start.elapsed();
+        report.summary_bytes = db.size_bytes();
+        Ok((db, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::DataType;
+    use hydra_query::aqp::FkCondition;
+    use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+
+    /// The Figure-1 toy schema.
+    fn toy_schema() -> Schema {
+        SchemaBuilder::new("toy")
+            .table("S", |t| {
+                t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)))
+            })
+            .table("T", |t| {
+                t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+            })
+            .table("R", |t| {
+                t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("S_fk", DataType::BigInt).references("S", "S_pk"))
+                    .column(ColumnBuilder::new("T_fk", DataType::BigInt).references("T", "T_pk"))
+            })
+            .build()
+            .unwrap()
+    }
+
+    use hydra_catalog::schema::Schema;
+
+    fn figure1_constraints() -> BTreeMap<String, Vec<VolumetricConstraint>> {
+        let mut map: BTreeMap<String, Vec<VolumetricConstraint>> = BTreeMap::new();
+        // σ_{20<=A<60}(S) = 40
+        map.entry("S".into()).or_default().push(VolumetricConstraint {
+            table: "S".into(),
+            predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+                .with(ColumnPredicate::new("A", CompareOp::Lt, 60)),
+            fk_conditions: vec![],
+            cardinality: 40,
+            label: "fig1#3".into(),
+        });
+        // σ_{2<=C<3}(T) = 1
+        map.entry("T".into()).or_default().push(VolumetricConstraint {
+            table: "T".into(),
+            predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new("C", CompareOp::Ge, 2))
+                .with(ColumnPredicate::new("C", CompareOp::Lt, 3)),
+            fk_conditions: vec![],
+            cardinality: 1,
+            label: "fig1#5".into(),
+        });
+        // R ⋈ σ(S) = 400
+        let s_cond = FkCondition {
+            fk_column: "S_fk".into(),
+            dim_table: "S".into(),
+            dim_predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+                .with(ColumnPredicate::new("A", CompareOp::Lt, 60)),
+            nested: vec![],
+        };
+        map.entry("R".into()).or_default().push(VolumetricConstraint {
+            table: "R".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![s_cond.clone()],
+            cardinality: 400,
+            label: "fig1#1".into(),
+        });
+        // (R ⋈ σ(S)) ⋈ σ(T) = 40
+        let t_cond = FkCondition {
+            fk_column: "T_fk".into(),
+            dim_table: "T".into(),
+            dim_predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new("C", CompareOp::Ge, 2))
+                .with(ColumnPredicate::new("C", CompareOp::Lt, 3)),
+            nested: vec![],
+        };
+        map.entry("R".into()).or_default().push(VolumetricConstraint {
+            table: "R".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![s_cond, t_cond],
+            cardinality: 40,
+            label: "fig1#0".into(),
+        });
+        map
+    }
+
+    fn row_targets() -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        m.insert("R".to_string(), 1000);
+        m.insert("S".to_string(), 100);
+        m.insert("T".to_string(), 10);
+        m
+    }
+
+    #[test]
+    fn figure1_end_to_end_summary() {
+        let schema = toy_schema();
+        let builder = SummaryBuilder::default();
+        let (db, report) = builder
+            .build(&schema, &row_targets(), &figure1_constraints(), None)
+            .unwrap();
+
+        // Every relation regenerates exactly its target row count.
+        assert_eq!(db.relation("R").unwrap().total_rows, 1000);
+        assert_eq!(db.relation("S").unwrap().total_rows, 100);
+        assert_eq!(db.relation("T").unwrap().total_rows, 10);
+
+        // The summary is tiny compared to the data it regenerates.
+        assert!(db.size_bytes() < 4096, "summary is {} bytes", db.size_bytes());
+        assert!(db.total_summary_rows() <= 12);
+
+        // Constraint satisfaction spot checks.
+        let s = db.relation("S").unwrap();
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+            .with(ColumnPredicate::new("A", CompareOp::Lt, 60));
+        let achieved: u64 = s
+            .rows
+            .iter()
+            .filter(|r| pred.evaluate(|c| r.values.get(c)))
+            .map(|r| r.count)
+            .sum();
+        assert_eq!(achieved, 40);
+
+        // Every R summary row references valid PK positions of S and T.
+        let r = db.relation("R").unwrap();
+        for row in &r.rows {
+            let s_fk = row.values["S_fk"].as_i64().unwrap();
+            let t_fk = row.values["T_fk"].as_i64().unwrap();
+            assert!(s_fk >= 0 && (s_fk as u64) < 100);
+            assert!(t_fk >= 0 && (t_fk as u64) < 10);
+        }
+
+        // Report accounting.
+        assert_eq!(report.relations.len(), 3);
+        assert!(report.total_lp_variables() > 0);
+        assert!(report.summary_bytes > 0);
+        let text = report.to_display_table();
+        assert!(text.contains("R |"));
+        assert!(text.contains("total:"));
+    }
+
+    #[test]
+    fn relations_without_constraints_still_get_summaries() {
+        let schema = toy_schema();
+        let builder = SummaryBuilder::default();
+        let (db, _) = builder
+            .build(&schema, &row_targets(), &BTreeMap::new(), None)
+            .unwrap();
+        assert_eq!(db.relation("R").unwrap().total_rows, 1000);
+        assert_eq!(db.relation("R").unwrap().row_count(), 1);
+        assert_eq!(db.relation("T").unwrap().total_rows, 10);
+    }
+
+    #[test]
+    fn zero_row_targets_produce_empty_summaries() {
+        let schema = toy_schema();
+        let builder = SummaryBuilder::default();
+        let (db, _) = builder
+            .build(&schema, &BTreeMap::new(), &BTreeMap::new(), None)
+            .unwrap();
+        assert_eq!(db.total_rows(), 0);
+        assert_eq!(db.relation("R").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn join_constraint_satisfied_by_fact_summary() {
+        let schema = toy_schema();
+        let builder = SummaryBuilder::default();
+        let constraints = figure1_constraints();
+        let (db, _) = builder.build(&schema, &row_targets(), &constraints, None).unwrap();
+
+        // Verify the R ⋈ σ(S) = 400 constraint against the generated summary:
+        // count R rows whose S_fk lands in a satisfying S block.
+        let s = db.relation("S").unwrap();
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+            .with(ColumnPredicate::new("A", CompareOp::Lt, 60));
+        let intervals = s
+            .satisfying_pk_intervals(&pred, &[], &db.relations)
+            .unwrap();
+        let r = db.relation("R").unwrap();
+        let achieved: u64 = r
+            .rows
+            .iter()
+            .filter(|row| {
+                row.values["S_fk"]
+                    .as_i64()
+                    .map(|v| intervals.iter().any(|iv| iv.contains(v)))
+                    .unwrap_or(false)
+            })
+            .map(|row| row.count)
+            .sum();
+        assert_eq!(achieved, 400);
+    }
+
+    #[test]
+    fn sampled_alignment_config_builds() {
+        let schema = toy_schema();
+        let builder = SummaryBuilder::new(SummaryBuilderConfig {
+            alignment: AlignmentStrategy::Sampled { seed: 99 },
+            ..Default::default()
+        });
+        let (db, _) = builder
+            .build(&schema, &row_targets(), &figure1_constraints(), None)
+            .unwrap();
+        assert_eq!(db.relation("R").unwrap().total_rows, 1000);
+    }
+}

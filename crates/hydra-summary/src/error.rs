@@ -1,0 +1,63 @@
+//! Error type for summary construction.
+
+use hydra_lp::solver::LpError;
+use hydra_partition::error::PartitionError;
+use hydra_query::error::QueryError;
+use std::fmt;
+
+/// Errors raised while building or using a database summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryError {
+    /// The schema/catalog disagreed with the constraints (unknown table etc.).
+    Catalog(String),
+    /// Partitioning failed.
+    Partition(PartitionError),
+    /// LP solving failed.
+    Lp(LpError),
+    /// Constraint extraction / AQP processing failed.
+    Query(QueryError),
+    /// A foreign key referenced a relation that has not been summarized yet
+    /// (violates the dimensions-first processing order).
+    DimensionNotSummarized { table: String, dimension: String },
+    /// Generic invalid input.
+    Invalid(String),
+}
+
+impl fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            SummaryError::Partition(e) => write!(f, "partitioning error: {e}"),
+            SummaryError::Lp(e) => write!(f, "LP error: {e}"),
+            SummaryError::Query(e) => write!(f, "query error: {e}"),
+            SummaryError::DimensionNotSummarized { table, dimension } => write!(
+                f,
+                "relation `{table}` references dimension `{dimension}` which has no summary yet"
+            ),
+            SummaryError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+impl From<PartitionError> for SummaryError {
+    fn from(e: PartitionError) -> Self {
+        SummaryError::Partition(e)
+    }
+}
+
+impl From<LpError> for SummaryError {
+    fn from(e: LpError) -> Self {
+        SummaryError::Lp(e)
+    }
+}
+
+impl From<QueryError> for SummaryError {
+    fn from(e: QueryError) -> Self {
+        SummaryError::Query(e)
+    }
+}
+
+/// Convenience result alias.
+pub type SummaryResult<T> = Result<T, SummaryError>;

@@ -1,0 +1,272 @@
+//! Per-relation LP formulation and solving.
+//!
+//! One LP variable per region of the relation's region partition, one equality
+//! constraint per (deduplicated) volumetric constraint, plus the relation's
+//! total row count.  The LP is solved by `hydra-lp`'s simplex; if the workload
+//! is inconsistent (which can happen for what-if scenarios with injected
+//! cardinalities) the solver falls back to a least-violation solution, exactly
+//! the "minor additive errors" the paper tolerates.
+
+use crate::axes::RelationAxes;
+use crate::error::SummaryResult;
+use crate::summary::RelationSummary;
+use hydra_catalog::schema::Table;
+use hydra_lp::problem::{ConstraintOp, LpProblem};
+use hydra_lp::rounding::largest_remainder_round;
+use hydra_lp::solver::{LpSolver, SolveStatus};
+use hydra_partition::region::{RegionPartition, RegionPartitioner};
+use hydra_query::aqp::VolumetricConstraint;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Statistics about one relation's LP (reported on the vendor screen and used
+/// by experiments E1/E3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpStats {
+    /// Number of LP variables (= regions).
+    pub variables: usize,
+    /// Number of LP constraints (volumetric + total row count).
+    pub constraints: usize,
+    /// Time spent partitioning the attribute space.
+    pub partition_time: Duration,
+    /// Time spent in the simplex solver.
+    pub solve_time: Duration,
+    /// Whether the LP was satisfied exactly or by least violation.
+    pub status: SolveStatus,
+    /// Total absolute violation of the LP solution (0 when feasible).
+    pub total_violation: f64,
+    /// Number of workload constraints whose FK projection had to be coalesced
+    /// (an approximation; usually 0).
+    pub coalesced_constraints: usize,
+    /// Number of workload constraints dropped because their constraint region
+    /// was empty (unsatisfiable against the dimension summaries).
+    pub empty_constraints: usize,
+}
+
+/// The solved placement of a relation's rows across its regions.
+#[derive(Debug, Clone)]
+pub struct SolvedRelation {
+    /// The region partition of the relation's attribute space.
+    pub partition: RegionPartition,
+    /// Integral tuple count assigned to each region (same order as
+    /// `partition.regions()`); sums to the relation's row target.
+    pub region_counts: Vec<u64>,
+    /// LP statistics.
+    pub stats: LpStats,
+}
+
+/// Formulates and solves the LP for one relation.
+///
+/// `summaries` must already contain the summaries of every dimension this
+/// relation references (dimensions-first processing order).
+pub fn formulate_and_solve(
+    table: &Table,
+    axes: &RelationAxes,
+    constraints: &[VolumetricConstraint],
+    row_target: u64,
+    summaries: &BTreeMap<String, RelationSummary>,
+    solver: &LpSolver,
+    max_regions: usize,
+) -> SummaryResult<SolvedRelation> {
+    let partition_start = Instant::now();
+
+    // Translate constraints to boxes, dropping total-row-count duplicates and
+    // unsatisfiable (empty-region) constraints.
+    let mut boxed: Vec<(&VolumetricConstraint, Vec<hydra_partition::nbox::NBox>)> = Vec::new();
+    let mut coalesced_constraints = 0usize;
+    let mut empty_constraints = 0usize;
+    let mut seen: Vec<(Vec<hydra_partition::nbox::NBox>, u64)> = Vec::new();
+    for c in constraints {
+        if c.is_total_row_count() {
+            continue;
+        }
+        let (boxes, coalesced) = axes.constraint_boxes(table, c, summaries)?;
+        if coalesced {
+            coalesced_constraints += 1;
+        }
+        if boxes.is_empty() {
+            empty_constraints += 1;
+            continue;
+        }
+        // Deduplicate identical (boxes, cardinality) pairs.
+        if seen.iter().any(|(b, card)| *b == boxes && *card == c.cardinality) {
+            continue;
+        }
+        seen.push((boxes.clone(), c.cardinality));
+        boxed.push((c, boxes));
+    }
+
+    // Partition the space against the constraint boxes.
+    let mut partitioner = RegionPartitioner::new(axes.space.clone()).with_max_regions(max_regions);
+    for (_, boxes) in &boxed {
+        partitioner = partitioner.add_constraint_union(boxes.clone());
+    }
+    let partition = partitioner.partition()?;
+    let partition_time = partition_start.elapsed();
+
+    // Formulate the LP.
+    let num_regions = partition.num_variables();
+    let mut lp = LpProblem::new(num_regions);
+    for (ci, (c, _)) in boxed.iter().enumerate() {
+        let terms: Vec<(usize, f64)> = partition
+            .regions_in_constraint(ci)
+            .into_iter()
+            .map(|r| (r, 1.0))
+            .collect();
+        lp.add_labeled_constraint(terms, ConstraintOp::Eq, c.cardinality as f64, c.label.clone());
+    }
+    lp.add_labeled_constraint(
+        (0..num_regions).map(|r| (r, 1.0)).collect(),
+        ConstraintOp::Eq,
+        row_target as f64,
+        format!("{}.total_rows", table.name),
+    );
+
+    // Solve and round.
+    let solution = solver.solve(&lp)?;
+    let region_counts = largest_remainder_round(&solution.values, row_target);
+
+    Ok(SolvedRelation {
+        partition,
+        region_counts,
+        stats: LpStats {
+            variables: num_regions,
+            constraints: lp.num_constraints(),
+            partition_time,
+            solve_time: solution.solve_time,
+            status: solution.status,
+            total_violation: solution.total_violation,
+            coalesced_constraints,
+            empty_constraints,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::domain::Domain;
+    use hydra_catalog::schema::{ColumnBuilder, Schema, SchemaBuilder};
+    use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("toy")
+            .table("S", |t| {
+                t.column(ColumnBuilder::new("S_pk", big_int()).primary_key())
+                    .column(ColumnBuilder::new("A", big_int()).domain(Domain::integer(0, 100)))
+                    .column(ColumnBuilder::new("B", big_int()).domain(Domain::integer(0, 100)))
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn big_int() -> hydra_catalog::types::DataType {
+        hydra_catalog::types::DataType::BigInt
+    }
+
+    fn constraint(label: &str, column: &str, lo: i64, hi: i64, card: u64) -> VolumetricConstraint {
+        VolumetricConstraint {
+            table: "S".into(),
+            predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new(column, CompareOp::Ge, lo))
+                .with(ColumnPredicate::new(column, CompareOp::Lt, hi)),
+            fk_conditions: vec![],
+            cardinality: card,
+            label: label.into(),
+        }
+    }
+
+    fn solve(constraints: &[VolumetricConstraint], total: u64) -> SolvedRelation {
+        let schema = schema();
+        let table = schema.table("S").unwrap();
+        let axes = RelationAxes::build(table, constraints, &BTreeMap::new()).unwrap();
+        formulate_and_solve(
+            table,
+            &axes,
+            constraints,
+            total,
+            &BTreeMap::new(),
+            &LpSolver::default(),
+            1_000_000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn feasible_system_is_satisfied_exactly() {
+        let cs = vec![
+            constraint("q1#1", "A", 20, 60, 400),
+            constraint("q2#1", "A", 40, 80, 300),
+        ];
+        let solved = solve(&cs, 1000);
+        assert_eq!(solved.stats.status, SolveStatus::Feasible);
+        assert_eq!(solved.region_counts.iter().sum::<u64>(), 1000);
+        // Check the two constraints against the rounded counts.
+        for (ci, c) in cs.iter().enumerate() {
+            let achieved: u64 = solved
+                .partition
+                .regions_in_constraint(ci)
+                .iter()
+                .map(|&r| solved.region_counts[r])
+                .sum();
+            assert_eq!(achieved, c.cardinality, "constraint {}", c.label);
+        }
+    }
+
+    #[test]
+    fn total_row_count_always_respected_after_rounding() {
+        let cs = vec![constraint("q1#1", "A", 0, 10, 333)];
+        let solved = solve(&cs, 997);
+        assert_eq!(solved.region_counts.iter().sum::<u64>(), 997);
+    }
+
+    #[test]
+    fn duplicate_constraints_are_deduplicated() {
+        let cs = vec![
+            constraint("q1#1", "A", 20, 60, 400),
+            constraint("q7#3", "A", 20, 60, 400),
+        ];
+        let solved = solve(&cs, 1000);
+        // 1 deduped volumetric constraint + 1 total row constraint.
+        assert_eq!(solved.stats.constraints, 2);
+    }
+
+    #[test]
+    fn infeasible_system_recovers_with_small_violation() {
+        // Two contradictory cardinalities for the same box.
+        let cs = vec![
+            constraint("q1#1", "A", 20, 60, 400),
+            constraint("q2#1", "A", 20, 60, 500),
+        ];
+        let solved = solve(&cs, 1000);
+        assert_eq!(solved.stats.status, SolveStatus::LeastViolation);
+        assert!(solved.stats.total_violation >= 99.0);
+        assert_eq!(solved.region_counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn multi_column_constraints() {
+        let cs = vec![
+            constraint("q1#1", "A", 0, 50, 600),
+            constraint("q2#1", "B", 0, 50, 300),
+        ];
+        let solved = solve(&cs, 1000);
+        assert_eq!(solved.stats.status, SolveStatus::Feasible);
+        assert!(solved.stats.variables <= 4);
+        let total: u64 = solved.region_counts.iter().sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn stats_capture_problem_size() {
+        let cs = vec![
+            constraint("q1#1", "A", 20, 60, 400),
+            constraint("q2#1", "A", 40, 80, 300),
+        ];
+        let solved = solve(&cs, 1000);
+        assert_eq!(solved.stats.variables, solved.partition.num_variables());
+        assert_eq!(solved.stats.constraints, 3);
+        assert_eq!(solved.stats.empty_constraints, 0);
+        assert_eq!(solved.stats.coalesced_constraints, 0);
+    }
+}

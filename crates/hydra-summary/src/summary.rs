@@ -1,0 +1,350 @@
+//! The database summary data structures.
+//!
+//! A [`RelationSummary`] is the paper's per-relation summary table: the
+//! primary-key column is replaced by a `#TUPLES` count, and every row records
+//! one value vector shared by that many tuples (Figure 4 / Table 1).  Because
+//! rows are laid out in deterministic order, row *i*'s tuples occupy a
+//! contiguous block of auto-numbered primary keys — which is what lets
+//! foreign-key conditions on referencing relations be expressed as intervals
+//! over the primary-key axis.
+
+use crate::error::{SummaryError, SummaryResult};
+use hydra_catalog::types::Value;
+use hydra_partition::interval::Interval;
+use hydra_query::aqp::FkCondition;
+use hydra_query::predicate::TablePredicate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One row of a relation summary: `#TUPLES` tuples sharing the same value
+/// vector on every non-primary-key column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// Number of tuples sharing this value vector (the `#TUPLES` column).
+    pub count: u64,
+    /// Values for every non-primary-key column.
+    pub values: BTreeMap<String, Value>,
+}
+
+/// The summary of one relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationSummary {
+    /// Relation name.
+    pub table: String,
+    /// Name of the primary-key column that is regenerated as an auto-number.
+    pub pk_column: Option<String>,
+    /// Total number of tuples the summary regenerates (sum of row counts).
+    pub total_rows: u64,
+    /// Summary rows in deterministic (primary-key block) order.
+    pub rows: Vec<SummaryRow>,
+}
+
+impl RelationSummary {
+    /// Creates an empty summary for a relation.
+    pub fn new(table: impl Into<String>, pk_column: Option<String>) -> Self {
+        RelationSummary { table: table.into(), pk_column, total_rows: 0, rows: Vec::new() }
+    }
+
+    /// Appends a summary row (ignores rows with zero count).
+    pub fn push_row(&mut self, count: u64, values: BTreeMap<String, Value>) {
+        if count == 0 {
+            return;
+        }
+        self.total_rows += count;
+        self.rows.push(SummaryRow { count, values });
+    }
+
+    /// The primary-key block `[start, start+count)` occupied by summary row `i`.
+    pub fn pk_block(&self, row: usize) -> Option<Interval> {
+        if row >= self.rows.len() {
+            return None;
+        }
+        let start: u64 = self.rows[..row].iter().map(|r| r.count).sum();
+        let end = start + self.rows[row].count;
+        Some(Interval::new(start as i64, end as i64))
+    }
+
+    /// Number of summary rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Approximate in-memory footprint of the summary in bytes (the paper's
+    /// "few KB" claim is measured with this).
+    pub fn size_bytes(&self) -> usize {
+        let mut size = self.table.len() + 16;
+        for row in &self.rows {
+            size += 8; // count
+            for (k, v) in &row.values {
+                size += k.len() + v.byte_size();
+            }
+        }
+        size
+    }
+
+    /// The primary-key intervals whose regenerated tuples satisfy the given
+    /// predicate and foreign-key conditions.
+    ///
+    /// This is the *foreign-key projection* used when formulating the LP of a
+    /// referencing (fact) relation: because of deterministic alignment, the
+    /// tuples of each summary row occupy one contiguous block of primary keys,
+    /// so the satisfying set is a union of intervals.  Nested conditions
+    /// (snowflake schemas) are resolved recursively against `others`.
+    pub fn satisfying_pk_intervals(
+        &self,
+        predicate: &TablePredicate,
+        nested: &[FkCondition],
+        others: &BTreeMap<String, RelationSummary>,
+    ) -> SummaryResult<Vec<Interval>> {
+        let mut intervals: Vec<Interval> = Vec::new();
+        let mut start: u64 = 0;
+        for row in &self.rows {
+            let block = Interval::new(start as i64, (start + row.count) as i64);
+            start += row.count;
+            if !predicate.evaluate(|col| row.values.get(col)) {
+                continue;
+            }
+            let mut nested_ok = true;
+            for cond in nested {
+                let dim = others.get(&cond.dim_table).ok_or_else(|| {
+                    SummaryError::DimensionNotSummarized {
+                        table: self.table.clone(),
+                        dimension: cond.dim_table.clone(),
+                    }
+                })?;
+                let dim_intervals =
+                    dim.satisfying_pk_intervals(&cond.dim_predicate, &cond.nested, others)?;
+                let fk_value = row.values.get(&cond.fk_column).and_then(Value::as_i64);
+                let inside = fk_value
+                    .map(|v| dim_intervals.iter().any(|iv| iv.contains(v)))
+                    .unwrap_or(false);
+                if !inside {
+                    nested_ok = false;
+                    break;
+                }
+            }
+            if !nested_ok {
+                continue;
+            }
+            // Merge with the previous interval when contiguous.
+            if let Some(last) = intervals.last_mut() {
+                if last.hi == block.lo {
+                    last.hi = block.hi;
+                    continue;
+                }
+            }
+            intervals.push(block);
+        }
+        Ok(intervals)
+    }
+
+    /// Renders the summary as a text table (vendor-screen style).
+    pub fn to_display_table(&self, max_rows: usize) -> String {
+        let mut columns: Vec<&str> = self
+            .rows
+            .first()
+            .map(|r| r.values.keys().map(String::as_str).collect())
+            .unwrap_or_default();
+        columns.sort();
+        let mut out = String::new();
+        out.push_str(&format!("relation: {} (rows regenerated: {})\n", self.table, self.total_rows));
+        out.push_str("#TUPLES");
+        for c in &columns {
+            out.push_str(&format!(" | {c}"));
+        }
+        out.push('\n');
+        for row in self.rows.iter().take(max_rows) {
+            out.push_str(&row.count.to_string());
+            for c in &columns {
+                let v = row.values.get(*c).cloned().unwrap_or(Value::Null);
+                out.push_str(&format!(" | {v}"));
+            }
+            out.push('\n');
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} more summary rows)\n", self.rows.len() - max_rows));
+        }
+        out
+    }
+}
+
+/// The full database summary: one relation summary per table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DatabaseSummary {
+    /// Relation summaries keyed by table name.
+    pub relations: BTreeMap<String, RelationSummary>,
+}
+
+impl DatabaseSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        DatabaseSummary::default()
+    }
+
+    /// Adds (or replaces) a relation summary.
+    pub fn insert(&mut self, summary: RelationSummary) {
+        self.relations.insert(summary.table.clone(), summary);
+    }
+
+    /// Looks up a relation summary.
+    pub fn relation(&self, table: &str) -> Option<&RelationSummary> {
+        self.relations.get(table)
+    }
+
+    /// Total number of tuples regenerable from the summary.
+    pub fn total_rows(&self) -> u64 {
+        self.relations.values().map(|r| r.total_rows).sum()
+    }
+
+    /// Total number of summary rows across relations.
+    pub fn total_summary_rows(&self) -> usize {
+        self.relations.values().map(RelationSummary::row_count).sum()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.relations.values().map(RelationSummary::size_bytes).sum()
+    }
+
+    /// The compression ratio: regenerated tuples per summary byte.
+    pub fn rows_per_byte(&self) -> f64 {
+        let bytes = self.size_bytes();
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.total_rows() as f64 / bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_query::predicate::{ColumnPredicate, CompareOp};
+
+    fn item_summary() -> RelationSummary {
+        // The Table-1 style ITEM summary: three value groups.
+        let mut s = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        let mut v1 = BTreeMap::new();
+        v1.insert("i_manager_id".to_string(), Value::Integer(40));
+        v1.insert("i_category".to_string(), Value::str("Music"));
+        s.push_row(917, v1);
+        let mut v2 = BTreeMap::new();
+        v2.insert("i_manager_id".to_string(), Value::Integer(91));
+        v2.insert("i_category".to_string(), Value::str("Women"));
+        s.push_row(21, v2);
+        let mut v3 = BTreeMap::new();
+        v3.insert("i_manager_id".to_string(), Value::Integer(0));
+        v3.insert("i_category".to_string(), Value::str("Men"));
+        s.push_row(25, v3);
+        s
+    }
+
+    #[test]
+    fn pk_blocks_are_contiguous() {
+        let s = item_summary();
+        assert_eq!(s.total_rows, 963);
+        assert_eq!(s.pk_block(0), Some(Interval::new(0, 917)));
+        assert_eq!(s.pk_block(1), Some(Interval::new(917, 938)));
+        assert_eq!(s.pk_block(2), Some(Interval::new(938, 963)));
+        assert_eq!(s.pk_block(3), None);
+    }
+
+    #[test]
+    fn zero_count_rows_are_dropped() {
+        let mut s = RelationSummary::new("t", None);
+        s.push_row(0, BTreeMap::new());
+        assert_eq!(s.row_count(), 0);
+        assert_eq!(s.total_rows, 0);
+    }
+
+    #[test]
+    fn satisfying_pk_intervals_for_predicate() {
+        let s = item_summary();
+        let others = BTreeMap::new();
+        // Predicate matching the first and third groups (manager id < 50).
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("i_manager_id", CompareOp::Lt, 50));
+        let ivs = s.satisfying_pk_intervals(&pred, &[], &others).unwrap();
+        assert_eq!(ivs, vec![Interval::new(0, 917), Interval::new(938, 963)]);
+        // A predicate matching consecutive groups merges the blocks.
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("i_manager_id", CompareOp::Ge, 0));
+        let ivs = s.satisfying_pk_intervals(&pred, &[], &others).unwrap();
+        assert_eq!(ivs, vec![Interval::new(0, 963)]);
+        // Non-matching predicate.
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("i_manager_id", CompareOp::Gt, 1000));
+        assert!(s.satisfying_pk_intervals(&pred, &[], &others).unwrap().is_empty());
+    }
+
+    #[test]
+    fn satisfying_pk_intervals_with_nested_condition() {
+        // fact "sales" references "item"; item summary above.
+        let mut sales = RelationSummary::new("store_sales", Some("ss_sk".to_string()));
+        let mut v1 = BTreeMap::new();
+        v1.insert("ss_item_fk".to_string(), Value::Integer(100)); // inside item block 0
+        sales.push_row(10, v1);
+        let mut v2 = BTreeMap::new();
+        v2.insert("ss_item_fk".to_string(), Value::Integer(950)); // inside item block 2
+        sales.push_row(5, v2);
+
+        let mut others = BTreeMap::new();
+        others.insert("item".to_string(), item_summary());
+
+        let nested = vec![FkCondition {
+            fk_column: "ss_item_fk".to_string(),
+            dim_table: "item".to_string(),
+            dim_predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
+            nested: vec![],
+        }];
+        let ivs = sales
+            .satisfying_pk_intervals(&TablePredicate::always_true(), &nested, &others)
+            .unwrap();
+        // Only the first sales group references a Music item.
+        assert_eq!(ivs, vec![Interval::new(0, 10)]);
+
+        // Unknown dimension produces an error.
+        let bad = vec![FkCondition {
+            fk_column: "ss_item_fk".to_string(),
+            dim_table: "missing".to_string(),
+            dim_predicate: TablePredicate::always_true(),
+            nested: vec![],
+        }];
+        assert!(sales
+            .satisfying_pk_intervals(&TablePredicate::always_true(), &bad, &others)
+            .is_err());
+    }
+
+    #[test]
+    fn database_summary_accounting() {
+        let mut db = DatabaseSummary::new();
+        db.insert(item_summary());
+        assert_eq!(db.total_rows(), 963);
+        assert_eq!(db.total_summary_rows(), 3);
+        assert!(db.relation("item").is_some());
+        assert!(db.relation("missing").is_none());
+        assert!(db.size_bytes() > 0);
+        assert!(db.size_bytes() < 1024, "a 3-row summary must be far below 1 KB");
+        assert!(db.rows_per_byte() > 1.0);
+    }
+
+    #[test]
+    fn display_table_contains_tuple_counts() {
+        let s = item_summary();
+        let text = s.to_display_table(2);
+        assert!(text.contains("#TUPLES"));
+        assert!(text.contains("917"));
+        assert!(text.contains("Music"));
+        assert!(text.contains("more summary rows"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut db = DatabaseSummary::new();
+        db.insert(item_summary());
+        let json = serde_json::to_string(&db).unwrap();
+        let back: DatabaseSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(db, back);
+    }
+}

@@ -1,0 +1,288 @@
+//! Volumetric-similarity verification.
+//!
+//! Replays every volumetric constraint of the workload against the database
+//! summary and reports the achieved vs. target cardinalities.  This is the
+//! data behind the vendor screen's accuracy plot ("percentage of volumetric
+//! constraints satisfied within a given relative error") and experiments
+//! E2 / E7.
+
+use crate::error::{SummaryError, SummaryResult};
+use crate::summary::DatabaseSummary;
+use hydra_catalog::types::Value;
+use hydra_query::aqp::VolumetricConstraint;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The outcome of checking one volumetric constraint against the summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintCheck {
+    /// Constraint label (query + plan edge).
+    pub label: String,
+    /// Constrained relation.
+    pub table: String,
+    /// Target cardinality from the AQP annotation.
+    pub target: u64,
+    /// Cardinality achieved by the regenerated data.
+    pub achieved: u64,
+    /// `|achieved - target|`.
+    pub absolute_error: u64,
+    /// `absolute_error / max(target, 1)`.
+    pub relative_error: f64,
+}
+
+/// Accuracy report across all constraints of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct VolumetricAccuracyReport {
+    /// One check per constraint.
+    pub checks: Vec<ConstraintCheck>,
+}
+
+impl VolumetricAccuracyReport {
+    /// Number of constraints checked.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// True when no constraints were checked.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Fraction of constraints with relative error at most `threshold`.
+    pub fn fraction_within(&self, threshold: f64) -> f64 {
+        if self.checks.is_empty() {
+            return 1.0;
+        }
+        let n = self.checks.iter().filter(|c| c.relative_error <= threshold + 1e-12).count();
+        n as f64 / self.checks.len() as f64
+    }
+
+    /// Fraction of constraints satisfied exactly.
+    pub fn fraction_exact(&self) -> f64 {
+        self.fraction_within(0.0)
+    }
+
+    /// Largest relative error observed.
+    pub fn max_relative_error(&self) -> f64 {
+        self.checks.iter().map(|c| c.relative_error).fold(0.0, f64::max)
+    }
+
+    /// Mean relative error.
+    pub fn mean_relative_error(&self) -> f64 {
+        if self.checks.is_empty() {
+            return 0.0;
+        }
+        self.checks.iter().map(|c| c.relative_error).sum::<f64>() / self.checks.len() as f64
+    }
+
+    /// `(threshold, fraction satisfied)` pairs — the vendor screen's CDF plot.
+    pub fn error_cdf(&self, thresholds: &[f64]) -> Vec<(f64, f64)> {
+        thresholds.iter().map(|t| (*t, self.fraction_within(*t))).collect()
+    }
+
+    /// Renders the CDF as a small text table.
+    pub fn to_display_table(&self) -> String {
+        let mut out = String::from("relative error <= | fraction of constraints\n");
+        for (t, f) in self.error_cdf(&[0.0, 0.01, 0.05, 0.10, 0.25, 1.0]) {
+            out.push_str(&format!("{:>17} | {:.3}\n", format!("{:.2}", t), f));
+        }
+        out.push_str(&format!(
+            "constraints: {}, exact: {:.1}%, max rel err: {:.4}\n",
+            self.len(),
+            100.0 * self.fraction_exact(),
+            self.max_relative_error()
+        ));
+        out
+    }
+}
+
+/// Checks every constraint against the summary.
+pub fn verify_summary(
+    summary: &DatabaseSummary,
+    constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+) -> SummaryResult<VolumetricAccuracyReport> {
+    let mut checks = Vec::new();
+    for (table, constraints) in constraints_by_table {
+        if summary.relation(table).is_none() {
+            return Err(SummaryError::Catalog(format!("no summary for relation `{table}`")));
+        }
+        for c in constraints {
+            let achieved = achieved_cardinality(summary, table, c)?;
+            let target = c.cardinality;
+            let absolute_error = achieved.abs_diff(target);
+            checks.push(ConstraintCheck {
+                label: c.label.clone(),
+                table: table.clone(),
+                target,
+                achieved,
+                absolute_error,
+                relative_error: absolute_error as f64 / (target.max(1)) as f64,
+            });
+        }
+    }
+    Ok(VolumetricAccuracyReport { checks })
+}
+
+/// Computes the cardinality the regenerated relation achieves for one
+/// constraint: the number of tuples whose value vector satisfies the local
+/// predicate and whose foreign keys land in satisfying dimension blocks.
+pub fn achieved_cardinality(
+    summary: &DatabaseSummary,
+    table: &str,
+    constraint: &VolumetricConstraint,
+) -> SummaryResult<u64> {
+    let relation = summary
+        .relation(table)
+        .ok_or_else(|| SummaryError::Catalog(format!("no summary for relation `{table}`")))?;
+
+    // Resolve FK conditions to PK interval sets once.
+    let mut fk_intervals = Vec::with_capacity(constraint.fk_conditions.len());
+    for cond in &constraint.fk_conditions {
+        let dim = summary.relation(&cond.dim_table).ok_or_else(|| {
+            SummaryError::DimensionNotSummarized {
+                table: table.to_string(),
+                dimension: cond.dim_table.clone(),
+            }
+        })?;
+        let intervals =
+            dim.satisfying_pk_intervals(&cond.dim_predicate, &cond.nested, &summary.relations)?;
+        fk_intervals.push((cond.fk_column.clone(), intervals));
+    }
+
+    let mut achieved = 0u64;
+    for row in &relation.rows {
+        if !constraint.predicate.evaluate(|c| row.values.get(c)) {
+            continue;
+        }
+        let fks_ok = fk_intervals.iter().all(|(fk_column, intervals)| {
+            row.values
+                .get(fk_column)
+                .and_then(Value::as_i64)
+                .map(|v| intervals.iter().any(|iv| iv.contains(v)))
+                .unwrap_or(false)
+        });
+        if fks_ok {
+            achieved += row.count;
+        }
+    }
+    Ok(achieved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::RelationSummary;
+    use hydra_query::aqp::FkCondition;
+    use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+
+    fn sample_summary() -> DatabaseSummary {
+        let mut item = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        let mut v1 = BTreeMap::new();
+        v1.insert("i_category".to_string(), Value::str("Music"));
+        item.push_row(600, v1);
+        let mut v2 = BTreeMap::new();
+        v2.insert("i_category".to_string(), Value::str("Books"));
+        item.push_row(400, v2);
+
+        let mut sales = RelationSummary::new("store_sales", Some("ss_sk".to_string()));
+        let mut s1 = BTreeMap::new();
+        s1.insert("ss_item_fk".to_string(), Value::Integer(10)); // Music block
+        s1.insert("ss_quantity".to_string(), Value::Integer(5));
+        sales.push_row(70, s1);
+        let mut s2 = BTreeMap::new();
+        s2.insert("ss_item_fk".to_string(), Value::Integer(700)); // Books block
+        s2.insert("ss_quantity".to_string(), Value::Integer(20));
+        sales.push_row(30, s2);
+
+        let mut db = DatabaseSummary::new();
+        db.insert(item);
+        db.insert(sales);
+        db
+    }
+
+    fn constraints() -> BTreeMap<String, Vec<VolumetricConstraint>> {
+        let mut map: BTreeMap<String, Vec<VolumetricConstraint>> = BTreeMap::new();
+        map.entry("item".into()).or_default().push(VolumetricConstraint {
+            table: "item".into(),
+            predicate: TablePredicate::always_true()
+                .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
+            fk_conditions: vec![],
+            cardinality: 600,
+            label: "q1#1".into(),
+        });
+        map.entry("store_sales".into()).or_default().push(VolumetricConstraint {
+            table: "store_sales".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![FkCondition {
+                fk_column: "ss_item_fk".into(),
+                dim_table: "item".into(),
+                dim_predicate: TablePredicate::always_true()
+                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
+                nested: vec![],
+            }],
+            cardinality: 75,
+            label: "q1#0".into(),
+        });
+        map.entry("store_sales".into()).or_default().push(VolumetricConstraint {
+            table: "store_sales".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![],
+            cardinality: 100,
+            label: "q1#scan".into(),
+        });
+        map
+    }
+
+    #[test]
+    fn verification_computes_achieved_and_errors() {
+        let report = verify_summary(&sample_summary(), &constraints()).unwrap();
+        assert_eq!(report.len(), 3);
+        let by_label: BTreeMap<&str, &ConstraintCheck> =
+            report.checks.iter().map(|c| (c.label.as_str(), c)).collect();
+        // item Music constraint is exact.
+        assert_eq!(by_label["q1#1"].achieved, 600);
+        assert_eq!(by_label["q1#1"].relative_error, 0.0);
+        // join constraint: 70 achieved vs 75 target → rel err ≈ 6.7%.
+        assert_eq!(by_label["q1#0"].achieved, 70);
+        assert_eq!(by_label["q1#0"].absolute_error, 5);
+        assert!((by_label["q1#0"].relative_error - 5.0 / 75.0).abs() < 1e-12);
+        // scan constraint exact.
+        assert_eq!(by_label["q1#scan"].achieved, 100);
+    }
+
+    #[test]
+    fn report_summaries_and_cdf() {
+        let report = verify_summary(&sample_summary(), &constraints()).unwrap();
+        assert!((report.fraction_exact() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.fraction_within(0.10), 1.0);
+        assert!(report.max_relative_error() < 0.10);
+        assert!(report.mean_relative_error() > 0.0);
+        let cdf = report.error_cdf(&[0.0, 0.1]);
+        assert_eq!(cdf[1].1, 1.0);
+        let text = report.to_display_table();
+        assert!(text.contains("relative error"));
+        assert!(text.contains("constraints: 3"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = VolumetricAccuracyReport::default();
+        assert!(report.is_empty());
+        assert_eq!(report.fraction_within(0.0), 1.0);
+        assert_eq!(report.max_relative_error(), 0.0);
+        assert_eq!(report.mean_relative_error(), 0.0);
+    }
+
+    #[test]
+    fn missing_relation_is_an_error() {
+        let mut map: BTreeMap<String, Vec<VolumetricConstraint>> = BTreeMap::new();
+        map.entry("missing".into()).or_default().push(VolumetricConstraint {
+            table: "missing".into(),
+            predicate: TablePredicate::always_true(),
+            fk_conditions: vec![],
+            cardinality: 1,
+            label: "x".into(),
+        });
+        assert!(verify_summary(&sample_summary(), &map).is_err());
+    }
+}

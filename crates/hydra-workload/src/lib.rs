@@ -1,0 +1,39 @@
+//! # hydra-workload
+//!
+//! The client-side substrate used by HYDRA's experiments: synthetic "customer
+//! warehouse" schemas, deterministic data generators with realistic skew, and
+//! SPJ query-workload generators.
+//!
+//! The paper evaluates HYDRA on a TPC-DS warehouse with a 131-query SPJ
+//! workload.  The proprietary TPC-DS data and the authors' exact query set are
+//! not available here, so this crate provides the closest synthetic
+//! equivalents (see DESIGN.md §2):
+//!
+//! * [`retail`] — a TPC-DS-like retail star schema (two fact tables,
+//!   five dimensions) with scale-factor-controlled row counts;
+//! * [`supplier`] — a TPC-H-like snowflake schema
+//!   (lineitem → orders → customer → nation → region) exercising nested
+//!   foreign-key conditions;
+//! * [`datagen`] — a deterministic, seeded client-data generator with Zipfian
+//!   skew on categorical, numeric and foreign-key columns;
+//! * [`queries`] — SPJ workload generators, including the canonical 131-query
+//!   retail workload used by experiments E1/E2/E8;
+//! * [`harvest`] — runs a workload on the client database and collects the
+//!   annotated query plans (the client-site step of the architecture).
+//!
+//! The structural properties that matter for reproducing the paper's results
+//! — multi-dimensional star joins, skewed value distributions, a large number
+//! of overlapping range predicates — are all present; absolute numbers differ
+//! from the authors' testbed but the shapes of the results carry over.
+
+pub mod datagen;
+pub mod harvest;
+pub mod queries;
+pub mod retail;
+pub mod supplier;
+
+pub use datagen::{generate_client_database, DataGenConfig};
+pub use harvest::harvest_workload;
+pub use queries::{retail_workload_131, WorkloadGenConfig, WorkloadGenerator};
+pub use retail::{retail_row_targets, retail_schema};
+pub use supplier::{supplier_row_targets, supplier_schema};

@@ -1,0 +1,333 @@
+//! SPJ workload generators.
+//!
+//! Workloads are generated deterministically from a seed: each query picks a
+//! fact table, a subset of its dimensions, and conjunctive range / equality
+//! predicates — the canonical SPJ query shape the paper demonstrates on
+//! TPC-DS.  As in TPC-DS (whose 99 templates are instantiated from a small
+//! set of parameter values), predicates are drawn from a small *pool* of
+//! distinct predicates per column, so different queries share predicate
+//! boundaries heavily; this predicate sharing is what keeps the per-relation
+//! region counts (and therefore LP sizes) low in the original system.
+//! [`retail_workload_131`] builds the 131-query workload used by experiments
+//! E1, E2 and E8.
+
+use hydra_catalog::domain::Domain;
+use hydra_catalog::schema::{Schema, Table};
+use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+use hydra_query::query::{JoinEdge, SpjQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the workload generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Maximum number of dimensions joined per query.
+    pub max_joins: usize,
+    /// Probability that a joined dimension carries a predicate.
+    pub dim_predicate_probability: f64,
+    /// Probability that the fact table carries a local predicate.
+    pub fact_predicate_probability: f64,
+    /// Number of distinct predicates in each table's predicate pool (the
+    /// "template parameter" diversity of the workload).
+    pub predicate_pool_size: usize,
+}
+
+impl Default for WorkloadGenConfig {
+    fn default() -> Self {
+        WorkloadGenConfig {
+            seed: 7,
+            num_queries: 32,
+            max_joins: 3,
+            dim_predicate_probability: 0.85,
+            fact_predicate_probability: 0.35,
+            predicate_pool_size: 4,
+        }
+    }
+}
+
+/// Generates SPJ workloads over a schema.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    schema: Schema,
+    config: WorkloadGenConfig,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for a schema.
+    pub fn new(schema: Schema, config: WorkloadGenConfig) -> Self {
+        WorkloadGenerator { schema, config }
+    }
+
+    /// Generates the configured number of queries.
+    pub fn generate(&self) -> Vec<SpjQuery> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let fact_tables: Vec<&Table> = self
+            .schema
+            .tables()
+            .into_iter()
+            .filter(|t| !t.foreign_keys().is_empty())
+            .collect();
+        let mut queries = Vec::with_capacity(self.config.num_queries);
+        for qi in 0..self.config.num_queries {
+            if fact_tables.is_empty() {
+                break;
+            }
+            let fact = fact_tables[rng.gen_range(0..fact_tables.len())];
+            queries.push(self.generate_one(&mut rng, fact, qi));
+        }
+        queries
+    }
+
+    /// Generates one SPJ query rooted at the given fact table.
+    fn generate_one(&self, rng: &mut StdRng, fact: &Table, index: usize) -> SpjQuery {
+        let mut query = SpjQuery::new(format!("q{index:03}"));
+        query.add_table(fact.name.clone());
+
+        // Choose how many of the fact's dimensions to join.
+        let fks = fact.foreign_keys();
+        let max_joins = self.config.max_joins.min(fks.len()).max(1);
+        let num_joins = rng.gen_range(1..=max_joins);
+        let mut fk_indices: Vec<usize> = (0..fks.len()).collect();
+        // Fisher-Yates prefix shuffle.
+        for i in 0..num_joins.min(fk_indices.len()) {
+            let j = rng.gen_range(i..fk_indices.len());
+            fk_indices.swap(i, j);
+        }
+        for &fi in fk_indices.iter().take(num_joins) {
+            let fk = &fks[fi];
+            query.add_join(JoinEdge::new(
+                fact.name.clone(),
+                fk.column.clone(),
+                fk.referenced_table.clone(),
+                fk.referenced_column.clone(),
+            ));
+            if rng.gen_bool(self.config.dim_predicate_probability) {
+                if let Some(dim) = self.schema.table(&fk.referenced_table) {
+                    if let Some(pred) = self.pooled_predicate(rng, dim) {
+                        // Merge with any predicate a previous join on the same
+                        // dimension may have added.
+                        let mut existing = query.predicate_or_true(&fk.referenced_table);
+                        for c in pred.conjuncts() {
+                            existing.and(c.clone());
+                        }
+                        query.set_predicate(fk.referenced_table.clone(), existing);
+                    }
+                }
+            }
+        }
+        if rng.gen_bool(self.config.fact_predicate_probability) {
+            if let Some(pred) = self.pooled_predicate(rng, fact) {
+                query.set_predicate(fact.name.clone(), pred);
+            }
+        }
+        query
+    }
+
+    /// Picks one predicate from the table's deterministic predicate pool.
+    fn pooled_predicate(&self, rng: &mut StdRng, table: &Table) -> Option<TablePredicate> {
+        let pool = predicate_pool(table, self.config.predicate_pool_size);
+        if pool.is_empty() {
+            return None;
+        }
+        Some(pool[rng.gen_range(0..pool.len())].clone())
+    }
+}
+
+/// Builds the deterministic predicate pool of a table: every query that
+/// filters this table picks one of these predicates, mirroring how TPC-DS
+/// instantiates a small set of template parameters.  The pool is built on the
+/// table's *first* attribute column with a declared domain (its canonical
+/// filter column — `d_year`, `i_category`, `s_state`, …) plus, when the pool
+/// size allows, the second attribute column.
+pub fn predicate_pool(table: &Table, pool_size: usize) -> Vec<TablePredicate> {
+    let candidates: Vec<_> = table
+        .attribute_columns()
+        .into_iter()
+        .filter(|c| c.domain.is_some())
+        .collect();
+    if candidates.is_empty() || pool_size == 0 {
+        return Vec::new();
+    }
+    let mut pool = Vec::with_capacity(pool_size);
+    for (ci, column) in candidates.iter().enumerate().take(2) {
+        let per_column = if candidates.len() == 1 {
+            pool_size
+        } else if ci == 0 {
+            pool_size.div_ceil(2).max(1)
+        } else {
+            pool_size / 2
+        };
+        let domain = column.domain_or_default();
+        for k in 0..per_column {
+            if pool.len() >= pool_size {
+                break;
+            }
+            let mut pred = TablePredicate::always_true();
+            match &domain {
+                Domain::Categorical { values } if !values.is_empty() => {
+                    // Spread the chosen categories across the dictionary.
+                    let idx = (k * values.len()) / per_column.max(1);
+                    let v = &values[idx.min(values.len() - 1)];
+                    pred.and(ColumnPredicate::new(column.name.clone(), CompareOp::Eq, v.as_str()));
+                }
+                _ => {
+                    let (lo, hi) = domain.normalized_bounds();
+                    let width = (hi - lo).max(1);
+                    // Ranges of varied selectivity (10%, 25%, 40%, …) starting
+                    // at staggered offsets.
+                    let span = (width * (10 + 15 * k as i64) / 100).clamp(1, width);
+                    let start = lo + (width * (k as i64 * 17 % 60)) / 100;
+                    let end = (start + span).min(hi);
+                    pred.and(ColumnPredicate::new(
+                        column.name.clone(),
+                        CompareOp::Ge,
+                        domain.denormalize(start),
+                    ));
+                    pred.and(ColumnPredicate::new(
+                        column.name.clone(),
+                        CompareOp::Lt,
+                        domain.denormalize(end.max(start + 1)),
+                    ));
+                }
+            }
+            pool.push(pred);
+        }
+    }
+    pool
+}
+
+/// The canonical 131-query retail workload (the size the paper reports for
+/// its TPC-DS evaluation).
+pub fn retail_workload_131(schema: &Schema) -> Vec<SpjQuery> {
+    WorkloadGenerator::new(
+        schema.clone(),
+        WorkloadGenConfig { num_queries: 131, seed: 131, ..Default::default() },
+    )
+    .generate()
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+    use crate::retail::retail_schema;
+
+    #[test]
+    fn predicate_pools_are_deterministic_and_bounded() {
+        let schema = retail_schema();
+        let item = schema.table("item").unwrap();
+        let a = predicate_pool(item, 4);
+        let b = predicate_pool(item, 4);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() <= 4);
+        // Pool predicates reference only item columns.
+        for p in &a {
+            for c in p.conjuncts() {
+                assert!(item.column(&c.column).is_some());
+            }
+        }
+        // A table with no attribute columns yields no pool.
+        let schema2 = hydra_catalog::schema::SchemaBuilder::new("x")
+            .table("bare", |t| {
+                t.column(
+                    hydra_catalog::schema::ColumnBuilder::new(
+                        "id",
+                        hydra_catalog::types::DataType::BigInt,
+                    )
+                    .primary_key(),
+                )
+            })
+            .build()
+            .unwrap();
+        assert!(predicate_pool(schema2.table("bare").unwrap(), 4).is_empty());
+        assert!(predicate_pool(item, 0).is_empty());
+    }
+
+    #[test]
+    fn workload_shares_predicates_across_queries() {
+        // The whole point of pooled predicates: the number of *distinct*
+        // predicates per dimension across 131 queries stays at pool size.
+        let schema = retail_schema();
+        let queries = retail_workload_131(&schema);
+        let mut distinct_item_preds = std::collections::BTreeSet::new();
+        for q in &queries {
+            if let Some(p) = q.predicate("item") {
+                distinct_item_preds.insert(format!("{p}"));
+            }
+        }
+        assert!(
+            distinct_item_preds.len() <= 6,
+            "too many distinct item predicates: {}",
+            distinct_item_preds.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retail::retail_schema;
+    use crate::supplier::supplier_schema;
+
+    #[test]
+    fn generates_requested_number_of_valid_queries() {
+        let schema = retail_schema();
+        let queries = retail_workload_131(&schema);
+        assert_eq!(queries.len(), 131);
+        for q in &queries {
+            q.validate(&schema).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            assert!(!q.joins.is_empty());
+            assert!(q.root_table().is_ok());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let schema = retail_schema();
+        let a = retail_workload_131(&schema);
+        let b = retail_workload_131(&schema);
+        assert_eq!(a, b);
+        let c = WorkloadGenerator::new(
+            schema,
+            WorkloadGenConfig { seed: 999, num_queries: 131, ..Default::default() },
+        )
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn queries_have_predicates() {
+        let schema = retail_schema();
+        let queries = retail_workload_131(&schema);
+        let with_preds = queries.iter().filter(|q| !q.predicates.is_empty()).count();
+        assert!(with_preds > queries.len() / 2, "only {with_preds} queries have predicates");
+    }
+
+    #[test]
+    fn supplier_workload_is_valid() {
+        let schema = supplier_schema();
+        let queries = WorkloadGenerator::new(
+            schema.clone(),
+            WorkloadGenConfig { num_queries: 25, ..Default::default() },
+        )
+        .generate();
+        assert_eq!(queries.len(), 25);
+        for q in &queries {
+            q.validate(&schema).unwrap();
+        }
+    }
+
+    #[test]
+    fn max_joins_is_respected() {
+        let schema = retail_schema();
+        let queries = WorkloadGenerator::new(
+            schema,
+            WorkloadGenConfig { num_queries: 40, max_joins: 1, ..Default::default() },
+        )
+        .generate();
+        assert!(queries.iter().all(|q| q.joins.len() == 1));
+    }
+}

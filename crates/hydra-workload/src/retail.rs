@@ -1,0 +1,218 @@
+//! The retail (TPC-DS-like) star schema.
+//!
+//! Two fact tables (`store_sales`, `web_sales`) share five dimensions
+//! (`item`, `customer`, `date_dim`, `store`, `promotion`).  Column names and
+//! domains follow TPC-DS conventions closely enough that the paper's example
+//! queries (canonical SPJ queries over `item`, `date_dim` and a sales fact)
+//! translate directly.
+
+use hydra_catalog::domain::Domain;
+use hydra_catalog::schema::{ColumnBuilder, Schema, SchemaBuilder};
+use hydra_catalog::types::DataType;
+use std::collections::BTreeMap;
+
+/// Item categories (a subset of TPC-DS's).
+pub const ITEM_CATEGORIES: [&str; 10] = [
+    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports",
+    "Women",
+];
+
+/// Item classes.
+pub const ITEM_CLASSES: [&str; 12] = [
+    "accessories", "athletic", "classical", "computers", "country", "dresses", "infants",
+    "pants", "pop", "reference", "rock", "shirts",
+];
+
+/// US states used for store locations.
+pub const STORE_STATES: [&str; 8] = ["AL", "CA", "GA", "IL", "NY", "TN", "TX", "WA"];
+
+/// Marketing channels for promotions.
+pub const PROMO_CHANNELS: [&str; 4] = ["email", "event", "catalog", "tv"];
+
+/// Customer genders.
+pub const GENDERS: [&str; 2] = ["F", "M"];
+
+/// Builds the retail schema.
+pub fn retail_schema() -> Schema {
+    SchemaBuilder::new("retail")
+        .table("date_dim", |t| {
+            t.column(ColumnBuilder::new("d_date_sk", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("d_year", DataType::Integer)
+                        .domain(Domain::integer(1998, 2004)),
+                )
+                .column(ColumnBuilder::new("d_moy", DataType::Integer).domain(Domain::integer(1, 13)))
+                .column(ColumnBuilder::new("d_dow", DataType::Integer).domain(Domain::integer(0, 7)))
+        })
+        .table("item", |t| {
+            t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("i_manager_id", DataType::Integer)
+                        .domain(Domain::integer(0, 100)),
+                )
+                .column(
+                    ColumnBuilder::new("i_category", DataType::Varchar(Some(20)))
+                        .domain(Domain::categorical(ITEM_CATEGORIES)),
+                )
+                .column(
+                    ColumnBuilder::new("i_class", DataType::Varchar(Some(20)))
+                        .domain(Domain::categorical(ITEM_CLASSES)),
+                )
+                .column(
+                    ColumnBuilder::new("i_current_price", DataType::Double)
+                        .domain(Domain::double(0.0, 100.0)),
+                )
+        })
+        .table("customer", |t| {
+            t.column(ColumnBuilder::new("c_customer_sk", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("c_birth_year", DataType::Integer)
+                        .domain(Domain::integer(1920, 2000)),
+                )
+                .column(
+                    ColumnBuilder::new("c_gender", DataType::Varchar(Some(1)))
+                        .domain(Domain::categorical(GENDERS)),
+                )
+                .column(
+                    ColumnBuilder::new("c_credit_rating", DataType::Integer)
+                        .domain(Domain::integer(300, 850)),
+                )
+        })
+        .table("store", |t| {
+            t.column(ColumnBuilder::new("s_store_sk", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("s_state", DataType::Varchar(Some(2)))
+                        .domain(Domain::categorical(STORE_STATES)),
+                )
+                .column(
+                    ColumnBuilder::new("s_floor_space", DataType::Integer)
+                        .domain(Domain::integer(1_000, 10_000)),
+                )
+        })
+        .table("promotion", |t| {
+            t.column(ColumnBuilder::new("p_promo_sk", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("p_channel", DataType::Varchar(Some(10)))
+                        .domain(Domain::categorical(PROMO_CHANNELS)),
+                )
+                .column(
+                    ColumnBuilder::new("p_cost", DataType::Double)
+                        .domain(Domain::double(0.0, 1_000.0)),
+                )
+        })
+        .table("store_sales", |t| {
+            t.column(ColumnBuilder::new("ss_sk", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("ss_item_fk", DataType::BigInt)
+                        .references("item", "i_item_sk"),
+                )
+                .column(
+                    ColumnBuilder::new("ss_customer_fk", DataType::BigInt)
+                        .references("customer", "c_customer_sk"),
+                )
+                .column(
+                    ColumnBuilder::new("ss_date_fk", DataType::BigInt)
+                        .references("date_dim", "d_date_sk"),
+                )
+                .column(
+                    ColumnBuilder::new("ss_store_fk", DataType::BigInt)
+                        .references("store", "s_store_sk"),
+                )
+                .column(
+                    ColumnBuilder::new("ss_promo_fk", DataType::BigInt)
+                        .references("promotion", "p_promo_sk"),
+                )
+                .column(
+                    ColumnBuilder::new("ss_quantity", DataType::Integer)
+                        .domain(Domain::integer(1, 100)),
+                )
+                .column(
+                    ColumnBuilder::new("ss_sales_price", DataType::Double)
+                        .domain(Domain::double(0.0, 200.0)),
+                )
+        })
+        .table("web_sales", |t| {
+            t.column(ColumnBuilder::new("ws_sk", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("ws_item_fk", DataType::BigInt)
+                        .references("item", "i_item_sk"),
+                )
+                .column(
+                    ColumnBuilder::new("ws_customer_fk", DataType::BigInt)
+                        .references("customer", "c_customer_sk"),
+                )
+                .column(
+                    ColumnBuilder::new("ws_date_fk", DataType::BigInt)
+                        .references("date_dim", "d_date_sk"),
+                )
+                .column(
+                    ColumnBuilder::new("ws_quantity", DataType::Integer)
+                        .domain(Domain::integer(1, 100)),
+                )
+                .column(
+                    ColumnBuilder::new("ws_sales_price", DataType::Double)
+                        .domain(Domain::double(0.0, 500.0)),
+                )
+        })
+        .build()
+        .expect("retail schema is statically valid")
+}
+
+/// Row counts per relation at a given scale factor.
+///
+/// Scale factor 1.0 corresponds to a laptop-scale instance (≈130 K fact rows);
+/// the counts grow linearly for the facts and with the square root of the
+/// scale factor for dimensions, mirroring TPC-DS's scaling rules.
+pub fn retail_row_targets(scale_factor: f64) -> BTreeMap<String, u64> {
+    let sf = scale_factor.max(0.0);
+    let dim = |base: f64| ((base * sf.sqrt()).round() as u64).max(1);
+    let fact = |base: f64| ((base * sf).round() as u64).max(1);
+    let mut m = BTreeMap::new();
+    m.insert("date_dim".to_string(), 2_190.max(1)); // ~6 years of days, scale-free
+    m.insert("item".to_string(), dim(1_800.0));
+    m.insert("customer".to_string(), dim(10_000.0));
+    m.insert("store".to_string(), dim(12.0));
+    m.insert("promotion".to_string(), dim(30.0));
+    m.insert("store_sales".to_string(), fact(100_000.0));
+    m.insert("web_sales".to_string(), fact(30_000.0));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_builds_and_has_expected_shape() {
+        let schema = retail_schema();
+        assert_eq!(schema.tables().len(), 7);
+        let ss = schema.table("store_sales").unwrap();
+        assert_eq!(ss.foreign_keys().len(), 5);
+        assert_eq!(ss.primary_key_column(), Some("ss_sk"));
+        let item = schema.table("item").unwrap();
+        assert!(item.column("i_category").is_some());
+        // Facts come after dimensions in topological order.
+        let order: Vec<&str> = schema
+            .topological_order()
+            .unwrap()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        let item_pos = order.iter().position(|t| *t == "item").unwrap();
+        let ss_pos = order.iter().position(|t| *t == "store_sales").unwrap();
+        assert!(item_pos < ss_pos);
+    }
+
+    #[test]
+    fn row_targets_scale() {
+        let sf1 = retail_row_targets(1.0);
+        assert_eq!(sf1["store_sales"], 100_000);
+        assert_eq!(sf1["item"], 1_800);
+        let sf4 = retail_row_targets(4.0);
+        assert_eq!(sf4["store_sales"], 400_000);
+        assert_eq!(sf4["item"], 3_600); // sqrt scaling
+        assert_eq!(sf4["date_dim"], sf1["date_dim"]); // scale-free
+        let sf0 = retail_row_targets(0.0);
+        assert!(sf0.values().all(|&v| v >= 1));
+    }
+}

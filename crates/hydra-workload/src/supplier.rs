@@ -1,0 +1,156 @@
+//! The supplier (TPC-H-like) snowflake schema.
+//!
+//! `lineitem → orders → customer → nation → region` exercises HYDRA's nested
+//! foreign-key conditions (a predicate on `region` reaches `lineitem` through
+//! three levels of joins), which the retail star schema does not.
+
+use hydra_catalog::domain::Domain;
+use hydra_catalog::schema::{ColumnBuilder, Schema, SchemaBuilder};
+use hydra_catalog::types::DataType;
+use std::collections::BTreeMap;
+
+/// Region names (as in TPC-H).
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Market segments.
+pub const MARKET_SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Order priorities.
+pub const ORDER_PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Builds the supplier schema.
+pub fn supplier_schema() -> Schema {
+    SchemaBuilder::new("supplier")
+        .table("region", |t| {
+            t.column(ColumnBuilder::new("r_regionkey", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("r_name", DataType::Varchar(Some(25)))
+                        .domain(Domain::categorical(REGIONS)),
+                )
+        })
+        .table("nation", |t| {
+            t.column(ColumnBuilder::new("n_nationkey", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("n_region_fk", DataType::BigInt)
+                        .references("region", "r_regionkey"),
+                )
+                .column(
+                    ColumnBuilder::new("n_wealth_index", DataType::Integer)
+                        .domain(Domain::integer(0, 100)),
+                )
+        })
+        .table("customer", |t| {
+            t.column(ColumnBuilder::new("c_custkey", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("c_nation_fk", DataType::BigInt)
+                        .references("nation", "n_nationkey"),
+                )
+                .column(
+                    ColumnBuilder::new("c_mktsegment", DataType::Varchar(Some(10)))
+                        .domain(Domain::categorical(MARKET_SEGMENTS)),
+                )
+                .column(
+                    ColumnBuilder::new("c_acctbal", DataType::Double)
+                        .domain(Domain::double(-1_000.0, 10_000.0)),
+                )
+        })
+        .table("part", |t| {
+            t.column(ColumnBuilder::new("p_partkey", DataType::BigInt).primary_key())
+                .column(ColumnBuilder::new("p_size", DataType::Integer).domain(Domain::integer(1, 51)))
+                .column(
+                    ColumnBuilder::new("p_retailprice", DataType::Double)
+                        .domain(Domain::double(900.0, 2_000.0)),
+                )
+        })
+        .table("orders", |t| {
+            t.column(ColumnBuilder::new("o_orderkey", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("o_customer_fk", DataType::BigInt)
+                        .references("customer", "c_custkey"),
+                )
+                .column(
+                    ColumnBuilder::new("o_orderdate", DataType::Date)
+                        .domain(Domain::integer(8_035, 10_441)), // 1992-01-01 .. 1998-08-02
+                )
+                .column(
+                    ColumnBuilder::new("o_orderpriority", DataType::Varchar(Some(15)))
+                        .domain(Domain::categorical(ORDER_PRIORITIES)),
+                )
+                .column(
+                    ColumnBuilder::new("o_totalprice", DataType::Double)
+                        .domain(Domain::double(800.0, 600_000.0)),
+                )
+        })
+        .table("lineitem", |t| {
+            t.column(ColumnBuilder::new("l_linekey", DataType::BigInt).primary_key())
+                .column(
+                    ColumnBuilder::new("l_order_fk", DataType::BigInt)
+                        .references("orders", "o_orderkey"),
+                )
+                .column(
+                    ColumnBuilder::new("l_part_fk", DataType::BigInt)
+                        .references("part", "p_partkey"),
+                )
+                .column(
+                    ColumnBuilder::new("l_quantity", DataType::Integer)
+                        .domain(Domain::integer(1, 51)),
+                )
+                .column(
+                    ColumnBuilder::new("l_discount", DataType::Double)
+                        .domain(Domain::double(0.0, 0.11)),
+                )
+                .column(
+                    ColumnBuilder::new("l_shipdate", DataType::Date)
+                        .domain(Domain::integer(8_035, 10_591)),
+                )
+        })
+        .build()
+        .expect("supplier schema is statically valid")
+}
+
+/// Row counts per relation at a given scale factor (scale 1.0 ≈ 60 K lineitem
+/// rows — laptop scale; TPC-H proportions are preserved).
+pub fn supplier_row_targets(scale_factor: f64) -> BTreeMap<String, u64> {
+    let sf = scale_factor.max(0.0);
+    let n = |base: f64| ((base * sf).round() as u64).max(1);
+    let mut m = BTreeMap::new();
+    m.insert("region".to_string(), 5);
+    m.insert("nation".to_string(), 25);
+    m.insert("customer".to_string(), n(1_500.0));
+    m.insert("part".to_string(), n(2_000.0));
+    m.insert("orders".to_string(), n(15_000.0));
+    m.insert("lineitem".to_string(), n(60_000.0));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_builds_with_snowflake_chain() {
+        let schema = supplier_schema();
+        assert_eq!(schema.tables().len(), 6);
+        let li = schema.table("lineitem").unwrap();
+        assert_eq!(li.foreign_keys().len(), 2);
+        // The chain lineitem -> orders -> customer -> nation -> region exists.
+        let orders = schema.table("orders").unwrap();
+        assert_eq!(orders.foreign_key_on("o_customer_fk").unwrap().referenced_table, "customer");
+        let customer = schema.table("customer").unwrap();
+        assert_eq!(customer.foreign_key_on("c_nation_fk").unwrap().referenced_table, "nation");
+        let nation = schema.table("nation").unwrap();
+        assert_eq!(nation.foreign_key_on("n_region_fk").unwrap().referenced_table, "region");
+        // Topological order resolves the chain.
+        assert!(schema.topological_order().is_ok());
+    }
+
+    #[test]
+    fn row_targets() {
+        let t = supplier_row_targets(1.0);
+        assert_eq!(t["lineitem"], 60_000);
+        assert_eq!(t["region"], 5);
+        let half = supplier_row_targets(0.5);
+        assert_eq!(half["lineitem"], 30_000);
+    }
+}

@@ -1,0 +1,75 @@
+//! Retail warehouse end-to-end: the paper's TPC-DS-style evaluation scenario.
+//!
+//! Generates a retail client warehouse, the canonical 131-query SPJ workload,
+//! runs the full client → vendor pipeline, and prints the vendor-screen
+//! reports: per-relation LP statistics, the summary size, the volumetric
+//! error CDF (experiment E2) and the AQP comparison.
+//!
+//! Run with: `cargo run --release --example retail_warehouse [scale_factor]`
+
+use hydra::core::pipeline::run_end_to_end;
+use hydra::core::vendor::HydraConfig;
+use hydra::workload::{
+    generate_client_database, retail_row_targets, retail_schema, retail_workload_131,
+    DataGenConfig,
+};
+
+fn main() {
+    let scale_factor: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+
+    let schema = retail_schema();
+    let targets = retail_row_targets(scale_factor);
+    println!(
+        "client warehouse at scale factor {scale_factor}: {} total rows",
+        targets.values().sum::<u64>()
+    );
+
+    println!("generating client data ...");
+    let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+    println!("generating the 131-query SPJ workload ...");
+    let queries = retail_workload_131(&schema);
+
+    println!("running client profiling + workload execution + vendor regeneration ...\n");
+    let result = run_end_to_end(db, &queries, HydraConfig::default(), false)
+        .expect("end-to-end pipeline");
+
+    println!(
+        "client-side time (profiling + AQP harvesting): {:.2} s",
+        result.client_time.as_secs_f64()
+    );
+    println!(
+        "vendor-side time (summary construction + verification): {:.2} s",
+        result.vendor_time.as_secs_f64()
+    );
+    println!(
+        "transfer package: {} queries, {} annotated edges, {} bytes of JSON\n",
+        result.package.query_count(),
+        result.package.annotated_edges(),
+        result.package.transfer_size_bytes().unwrap_or(0)
+    );
+
+    let report = result.regeneration.report();
+    println!("{}", report.to_display_text());
+
+    // The headline claims of the paper, restated on this run:
+    println!("--- headline checks ---");
+    println!(
+        "summary construction time: {:.2} s (paper: < 2 minutes for 131 queries)",
+        result.regeneration.build_report.total_time.as_secs_f64()
+    );
+    println!(
+        "summary size: {:.1} KB (paper: a few KB)",
+        result.regeneration.summary.size_bytes() as f64 / 1024.0
+    );
+    println!(
+        "constraints with virtually no error: {:.1}% (paper: > 90%)",
+        100.0 * result.regeneration.accuracy.fraction_within(0.001)
+    );
+    println!(
+        "constraints within 10% relative error: {:.1}% (paper: 100%)",
+        100.0 * result.regeneration.accuracy.fraction_within(0.10)
+    );
+}

@@ -1,0 +1,52 @@
+//! # HYDRA — a dynamic big data regenerator (Rust reproduction)
+//!
+//! This crate is the façade of the workspace: it re-exports every subsystem of
+//! the reproduction of *"HYDRA: A Dynamic Big Data Regenerator"* (Sanghi,
+//! Sood, Singh, Haritsa, Tirthapura — PVLDB 11(12), 2018) under one roof, so
+//! downstream users can depend on a single crate.
+//!
+//! ## Subsystems
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`catalog`] | `hydra-catalog` | schema, value model, statistics, metadata transfer |
+//! | [`query`] | `hydra-query` | SPJ queries, logical plans, annotated query plans (AQPs) |
+//! | [`engine`] | `hydra-engine` | in-memory relational executor with cardinality instrumentation |
+//! | [`lp`] | `hydra-lp` | LP model + two-phase simplex solver (Z3 substitute) |
+//! | [`partition`] | `hydra-partition` | region partitioning (HYDRA) and grid partitioning (DataSynth baseline) |
+//! | [`summary`] | `hydra-summary` | LP formulation, deterministic alignment, database summaries, verification |
+//! | [`datagen`] | `hydra-datagen` | dynamic tuple generation, velocity regulation, dataless databases |
+//! | [`workload`] | `hydra-workload` | synthetic client schemas, data generators, SPJ workloads |
+//! | [`core`] | `hydra-core` | client site, transfer package, vendor site, scenarios, reports |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hydra::core::client::ClientSite;
+//! use hydra::core::vendor::{HydraConfig, VendorSite};
+//! use hydra::workload::{generate_client_database, retail_row_targets, retail_schema,
+//!                       DataGenConfig, WorkloadGenConfig, WorkloadGenerator};
+//!
+//! let schema = retail_schema();
+//! let mut targets = retail_row_targets(0.005);
+//! targets.insert("store_sales".to_string(), 1_000);
+//! targets.insert("web_sales".to_string(), 300);
+//! let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+//! let queries = WorkloadGenerator::new(schema,
+//!     WorkloadGenConfig { num_queries: 5, ..Default::default() }).generate();
+//!
+//! let package = ClientSite::new(db).prepare_package(&queries, false).unwrap();
+//! let result = VendorSite::new(HydraConfig::without_aqp_comparison())
+//!     .regenerate(&package).unwrap();
+//! assert!(result.accuracy.fraction_within(0.10) > 0.9);
+//! ```
+
+pub use hydra_catalog as catalog;
+pub use hydra_core as core;
+pub use hydra_datagen as datagen;
+pub use hydra_engine as engine;
+pub use hydra_lp as lp;
+pub use hydra_partition as partition;
+pub use hydra_query as query;
+pub use hydra_summary as summary;
+pub use hydra_workload as workload;

@@ -1,0 +1,118 @@
+//! Experiments E1 / E2 (integration-level): the retail warehouse with the
+//! 131-query workload, checked against the paper's headline claims at a
+//! laptop-friendly scale.
+
+use hydra::core::pipeline::run_end_to_end;
+use hydra::core::vendor::HydraConfig;
+use hydra::lp::solver::SolveStatus;
+use hydra::workload::{
+    generate_client_database, retail_row_targets, retail_schema, retail_workload_131,
+    DataGenConfig, WorkloadGenConfig, WorkloadGenerator,
+};
+use std::time::Duration;
+
+#[test]
+fn retail_131_query_workload_meets_headline_claims() {
+    let schema = retail_schema();
+    // A reduced client volume keeps the test fast while leaving the workload
+    // untouched (summary construction is data-scale-free anyway — that is the
+    // point of E8).
+    let mut targets = retail_row_targets(0.02);
+    targets.insert("store_sales".to_string(), 8_000);
+    targets.insert("web_sales".to_string(), 2_500);
+    let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+    let queries = retail_workload_131(&schema);
+    assert_eq!(queries.len(), 131);
+
+    let result = run_end_to_end(db, &queries, HydraConfig::default(), false).unwrap();
+    let regen = &result.regeneration;
+
+    // E1: summary construction finishes in far less than the paper's
+    // two-minute budget and the summary is a few KB.
+    assert!(
+        regen.build_report.total_time < Duration::from_secs(120),
+        "construction took {:?}",
+        regen.build_report.total_time
+    );
+    assert!(
+        regen.summary.size_bytes() < 256 * 1024,
+        "summary is {} bytes",
+        regen.summary.size_bytes()
+    );
+
+    // E2: >90% of volumetric constraints with virtually no error, and the
+    // remainder within 10% relative error.
+    let exact = regen.accuracy.fraction_within(0.001);
+    assert!(exact > 0.90, "only {:.1}% of constraints near-exact", 100.0 * exact);
+    let within_10 = regen.accuracy.fraction_within(0.10);
+    assert!(within_10 > 0.97, "only {:.1}% within 10%", 100.0 * within_10);
+
+    // Row counts of every relation are preserved exactly.
+    for (table, rows) in &targets {
+        assert_eq!(regen.summary.relation(table).unwrap().total_rows, *rows, "table {table}");
+    }
+
+    // The per-relation LPs stay far below the grid-partitioning explosion
+    // (region partitioning at work) and almost all are exactly feasible.
+    for r in &regen.build_report.relations {
+        assert!(
+            r.lp.variables <= 60_000,
+            "{} needed {} LP variables",
+            r.table,
+            r.lp.variables
+        );
+    }
+    let feasible = regen
+        .build_report
+        .relations
+        .iter()
+        .filter(|r| r.lp.status == SolveStatus::Feasible)
+        .count();
+    assert!(feasible >= regen.build_report.relations.len() - 1);
+
+    // The AQP comparison ran for every query and its edge errors are small.
+    assert_eq!(regen.aqp_comparisons.len(), 131);
+    let report = regen.report();
+    assert!(
+        report.aqp_fraction_within(0.10) > 0.9,
+        "only {:.1}% of AQP edges within 10%",
+        100.0 * report.aqp_fraction_within(0.10)
+    );
+}
+
+#[test]
+fn anonymized_package_regenerates_with_identical_volumetrics() {
+    // Privacy pass must not change any cardinality behaviour.
+    let schema = retail_schema();
+    let mut targets = retail_row_targets(0.005);
+    targets.insert("store_sales".to_string(), 3_000);
+    targets.insert("web_sales".to_string(), 800);
+    let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+    let queries = WorkloadGenerator::new(
+        schema,
+        WorkloadGenConfig { num_queries: 12, ..Default::default() },
+    )
+    .generate();
+
+    let plain = run_end_to_end(
+        db.clone(),
+        &queries,
+        HydraConfig::without_aqp_comparison(),
+        false,
+    )
+    .unwrap();
+    let anon = run_end_to_end(db, &queries, HydraConfig::without_aqp_comparison(), true).unwrap();
+
+    assert_eq!(
+        plain.regeneration.accuracy.len(),
+        anon.regeneration.accuracy.len()
+    );
+    // Accuracy achieved under anonymization matches the plain run closely
+    // (value names differ, volumetric structure does not).
+    let plain_exact = plain.regeneration.accuracy.fraction_exact();
+    let anon_exact = anon.regeneration.accuracy.fraction_exact();
+    assert!(
+        (plain_exact - anon_exact).abs() < 0.05,
+        "plain {plain_exact} vs anonymized {anon_exact}"
+    );
+}

@@ -1,0 +1,60 @@
+//! Transfer-package round-trips: the client → vendor hand-off survives JSON
+//! serialization (the demo's interchange format) with and without the
+//! anonymization layer, and the vendor produces identical summaries from the
+//! original and the deserialized package.
+
+use hydra::core::client::ClientSite;
+use hydra::core::transfer::TransferPackage;
+use hydra::core::vendor::{HydraConfig, VendorSite};
+use hydra::workload::{
+    generate_client_database, retail_row_targets, retail_schema, DataGenConfig, WorkloadGenConfig,
+    WorkloadGenerator,
+};
+
+fn package(anonymize: bool) -> TransferPackage {
+    let schema = retail_schema();
+    let mut targets = retail_row_targets(0.005);
+    targets.insert("store_sales".to_string(), 2_000);
+    targets.insert("web_sales".to_string(), 500);
+    let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+    let queries = WorkloadGenerator::new(
+        schema,
+        WorkloadGenConfig { num_queries: 8, ..Default::default() },
+    )
+    .generate();
+    ClientSite::new(db).prepare_package(&queries, anonymize).unwrap()
+}
+
+#[test]
+fn package_json_round_trip_is_lossless() {
+    for anonymize in [false, true] {
+        let original = package(anonymize);
+        let json = original.to_json().unwrap();
+        let parsed = TransferPackage::from_json(&json).unwrap();
+        assert_eq!(original, parsed, "anonymize = {anonymize}");
+        assert_eq!(original.transfer_size_bytes().unwrap(), json.len());
+    }
+}
+
+#[test]
+fn vendor_output_is_identical_for_serialized_and_in_memory_packages() {
+    let original = package(false);
+    let parsed = TransferPackage::from_json(&original.to_json().unwrap()).unwrap();
+    let vendor = VendorSite::new(HydraConfig::without_aqp_comparison());
+    let a = vendor.regenerate(&original).unwrap();
+    let b = vendor.regenerate(&parsed).unwrap();
+    // Deterministic alignment ⇒ byte-identical summaries.
+    assert_eq!(a.summary, b.summary);
+    assert_eq!(a.accuracy, b.accuracy);
+}
+
+#[test]
+fn package_is_orders_of_magnitude_smaller_than_the_client_database() {
+    let p = package(false);
+    let client_rows = p.metadata.total_rows();
+    let bytes = p.transfer_size_bytes().unwrap();
+    // ~2.5K fact rows (each tens of bytes wide) vs a JSON synopsis; the ratio
+    // only improves at real scale because the synopsis is data-scale-free.
+    assert!(client_rows > 2_000);
+    assert!(bytes < 3_000_000, "package unexpectedly large: {bytes} bytes");
+}
