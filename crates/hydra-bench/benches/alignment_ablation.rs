@@ -6,36 +6,39 @@
 //! and compares construction time (Criterion) and achieved accuracy /
 //! reproducibility (printed).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use hydra_bench::retail_package;
-use hydra_core::vendor::{HydraConfig, VendorSite};
+use hydra_core::session::Hydra;
 use hydra_summary::align::AlignmentStrategy;
-use hydra_summary::builder::SummaryBuilderConfig;
+use std::time::Duration;
 
-fn config_with(alignment: AlignmentStrategy) -> HydraConfig {
-    HydraConfig {
-        builder: SummaryBuilderConfig { alignment, ..Default::default() },
-        compare_aqps: false,
-        ..Default::default()
-    }
+fn session_with(alignment: AlignmentStrategy) -> Hydra {
+    Hydra::builder()
+        .alignment(alignment)
+        .compare_aqps(false)
+        .summary_cache(false)
+        .build()
 }
 
 fn bench_alignment_ablation(c: &mut Criterion) {
     let package = retail_package(64, hydra_bench::BENCH_FACT_ROWS);
 
     // Accuracy / reproducibility comparison.
-    let deterministic =
-        VendorSite::new(config_with(AlignmentStrategy::Deterministic)).regenerate(&package).unwrap();
-    let deterministic2 =
-        VendorSite::new(config_with(AlignmentStrategy::Deterministic)).regenerate(&package).unwrap();
-    let sampled = VendorSite::new(config_with(AlignmentStrategy::Sampled { seed: 1 }))
+    let deterministic = session_with(AlignmentStrategy::Deterministic)
         .regenerate(&package)
         .unwrap();
-    let sampled2 = VendorSite::new(config_with(AlignmentStrategy::Sampled { seed: 2 }))
+    let deterministic2 = session_with(AlignmentStrategy::Deterministic)
         .regenerate(&package)
         .unwrap();
-    println!("[E10] strategy       | near-exact constraints | within 10% | reproducible across runs");
+    let sampled = session_with(AlignmentStrategy::Sampled { seed: 1 })
+        .regenerate(&package)
+        .unwrap();
+    let sampled2 = session_with(AlignmentStrategy::Sampled { seed: 2 })
+        .regenerate(&package)
+        .unwrap();
+    println!(
+        "[E10] strategy       | near-exact constraints | within 10% | reproducible across runs"
+    );
     println!(
         "[E10] deterministic  | {:>21.1}% | {:>9.1}% | {}",
         100.0 * deterministic.accuracy.fraction_within(0.001),
@@ -54,12 +57,24 @@ fn bench_alignment_ablation(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_secs(1));
     group.bench_function("deterministic_alignment", |b| {
-        let vendor = VendorSite::new(config_with(AlignmentStrategy::Deterministic));
-        b.iter(|| vendor.regenerate(&package).unwrap().summary.total_summary_rows());
+        let session = session_with(AlignmentStrategy::Deterministic);
+        b.iter(|| {
+            session
+                .regenerate(&package)
+                .unwrap()
+                .summary
+                .total_summary_rows()
+        });
     });
     group.bench_function("sampled_instantiation", |b| {
-        let vendor = VendorSite::new(config_with(AlignmentStrategy::Sampled { seed: 1 }));
-        b.iter(|| vendor.regenerate(&package).unwrap().summary.total_summary_rows());
+        let session = session_with(AlignmentStrategy::Sampled { seed: 1 });
+        b.iter(|| {
+            session
+                .regenerate(&package)
+                .unwrap()
+                .summary
+                .total_summary_rows()
+        });
     });
     group.finish();
 }

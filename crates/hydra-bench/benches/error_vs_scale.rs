@@ -8,11 +8,11 @@
 //! mean/max relative error series, and times the regeneration+verification at
 //! each scale (which should stay flat — construction is scale-free).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hydra_bench::retail_package;
 use hydra_core::scenario::{construct_scenario, Scenario};
 use hydra_core::vendor::HydraConfig;
+use std::time::Duration;
 
 fn bench_error_vs_scale(c: &mut Criterion) {
     let package = retail_package(64, 10_000);

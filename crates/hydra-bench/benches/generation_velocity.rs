@@ -6,12 +6,12 @@
 //! database vs. over a fully materialized copy, and prints how closely the
 //! governor tracks several target velocities.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hydra_bench::{regenerate, retail_package};
 use hydra_engine::database::Database;
 use hydra_engine::exec::Executor;
 use hydra_query::plan::LogicalPlan;
+use std::time::Duration;
 
 fn bench_generation_velocity(c: &mut Criterion) {
     let package = retail_package(32, 30_000);
@@ -32,7 +32,9 @@ fn bench_generation_velocity(c: &mut Criterion) {
             target, stats.achieved_rows_per_sec, stats.rows
         );
     }
-    let unthrottled = generator.generate_with_velocity("store_sales", None, None).unwrap();
+    let unthrottled = generator
+        .generate_with_velocity("store_sales", None, None)
+        .unwrap();
     println!(
         "[E4]   unthrottled          ->  achieved {:>9.0} rows/s ({} rows)",
         unthrottled.achieved_rows_per_sec, unthrottled.rows
@@ -53,7 +55,10 @@ fn bench_generation_velocity(c: &mut Criterion) {
     let mut materialized = Database::empty(schema.clone());
     for table in schema.table_names() {
         let mem = generator.materialize(table).unwrap();
-        materialized.table_mut(table).unwrap().load_unchecked(mem.rows().to_vec());
+        materialized
+            .table_mut(table)
+            .unwrap()
+            .load_unchecked(mem.rows().to_vec());
     }
     group.bench_function("query_on_dataless_database", |b| {
         b.iter(|| Executor::new(&dataless).run(&plan).unwrap().rows.len());

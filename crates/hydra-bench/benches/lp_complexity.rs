@@ -21,7 +21,9 @@ use hydra_partition::space::AttributeSpace;
 /// workload filters several dimensions' reference axes.
 fn constraint_set(dims: usize, per_dim: usize) -> (AttributeSpace, Vec<Vec<NBox>>) {
     let space = AttributeSpace::new(
-        (0..dims).map(|i| (format!("axis{i}"), Interval::new(0, 10_000))).collect(),
+        (0..dims)
+            .map(|i| (format!("axis{i}"), Interval::new(0, 10_000)))
+            .collect(),
     );
     let mut constraints = Vec::new();
     for axis in 0..dims {
@@ -60,7 +62,10 @@ fn bench_lp_complexity(c: &mut Criterion) {
             grid.num_cells() as f64 / regions.num_variables() as f64
         );
         group.bench_with_input(
-            BenchmarkId::new("region_partitioning", format!("d{dims}_k{}", constraints.len())),
+            BenchmarkId::new(
+                "region_partitioning",
+                format!("d{dims}_k{}", constraints.len()),
+            ),
             &(space, constraints),
             |b, (space, constraints)| {
                 b.iter(|| {

@@ -6,10 +6,10 @@
 //! construction time per scale should stay flat while the regenerable volume
 //! grows by orders of magnitude.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hydra_bench::{retail_package_131, row_targets};
 use hydra_core::vendor::{HydraConfig, VendorSite};
+use std::time::Duration;
 
 fn bench_scale_free_construction(c: &mut Criterion) {
     let package = retail_package_131();

@@ -6,11 +6,11 @@
 //! depend on the simulated data volume, so building the summary for a 10⁹×
 //! extrapolation costs the same as for the observed database.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hydra_bench::retail_package;
 use hydra_core::scenario::{construct_scenario, Scenario};
 use hydra_core::vendor::HydraConfig;
+use std::time::Duration;
 
 fn bench_scenario_construction(c: &mut Criterion) {
     let package = retail_package(32, hydra_bench::BENCH_FACT_ROWS);
@@ -36,7 +36,11 @@ fn bench_scenario_construction(c: &mut Criterion) {
     for &scale in &[1.0f64, 1e9] {
         group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
             let scenario = Scenario::scaled("bench", scale);
-            b.iter(|| construct_scenario(&scenario, &package, config.clone()).unwrap().feasible);
+            b.iter(|| {
+                construct_scenario(&scenario, &package, config.clone())
+                    .unwrap()
+                    .feasible
+            });
         });
     }
     group.finish();

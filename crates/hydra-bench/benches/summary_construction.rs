@@ -8,9 +8,9 @@
 //! formulation + solving + alignment + verification) for workloads of 16, 64
 //! and 131 queries, and prints the summary sizes alongside.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hydra_bench::{regenerate, retail_package};
+use std::time::Duration;
 
 fn bench_summary_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("E1_summary_construction");
@@ -28,9 +28,13 @@ fn bench_summary_construction(c: &mut Criterion) {
             result.build_report.total_lp_variables(),
             result.build_report.total_lp_constraints(),
         );
-        group.bench_with_input(BenchmarkId::from_parameter(queries), &package, |b, package| {
-            b.iter(|| regenerate(package));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(queries),
+            &package,
+            |b, package| {
+                b.iter(|| regenerate(package));
+            },
+        );
     }
     group.finish();
 }

@@ -7,19 +7,29 @@
 //! The bench prints the error CDF for the 131-query workload and times the
 //! verification pass itself (replaying every constraint against the summary).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use hydra_bench::{constraints_by_table, regenerate, retail_package_131};
 use hydra_summary::verify::verify_summary;
+use std::time::Duration;
 
 fn bench_volumetric_accuracy(c: &mut Criterion) {
     let package = retail_package_131();
     let result = regenerate(&package);
     let constraints = constraints_by_table(&package);
 
-    println!("[E2] error CDF over {} volumetric constraints:", result.accuracy.len());
-    for (threshold, fraction) in result.accuracy.error_cdf(&[0.0, 0.001, 0.01, 0.05, 0.10, 0.25]) {
-        println!("[E2]   rel err <= {:<5}  ->  {:>6.1}% of constraints", threshold, fraction * 100.0);
+    println!(
+        "[E2] error CDF over {} volumetric constraints:",
+        result.accuracy.len()
+    );
+    for (threshold, fraction) in result
+        .accuracy
+        .error_cdf(&[0.0, 0.001, 0.01, 0.05, 0.10, 0.25])
+    {
+        println!(
+            "[E2]   rel err <= {:<5}  ->  {:>6.1}% of constraints",
+            threshold,
+            fraction * 100.0
+        );
     }
     println!(
         "[E2] near-exact (<=0.1% err): {:.1}%   within 10%: {:.1}%   max rel err: {:.4}",
@@ -33,7 +43,11 @@ fn bench_volumetric_accuracy(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_secs(1));
     group.bench_function("verify_131_query_workload", |b| {
-        b.iter(|| verify_summary(&result.summary, &constraints).unwrap().fraction_exact());
+        b.iter(|| {
+            verify_summary(&result.summary, &constraints)
+                .unwrap()
+                .fraction_exact()
+        });
     });
     group.finish();
 }

@@ -39,8 +39,14 @@ fn e1_e2_summary_construction_and_accuracy() {
     let start = Instant::now();
     let result = regenerate(&package);
     let vendor_time = start.elapsed();
-    println!("client-side package preparation : {:>9.2} s", client_time.as_secs_f64());
-    println!("vendor-side summary construction: {:>9.2} s   (paper: < 2 minutes)", vendor_time.as_secs_f64());
+    println!(
+        "client-side package preparation : {:>9.2} s",
+        client_time.as_secs_f64()
+    );
+    println!(
+        "vendor-side summary construction: {:>9.2} s   (paper: < 2 minutes)",
+        vendor_time.as_secs_f64()
+    );
     println!(
         "summary size                    : {:>9.2} KB  (paper: a few KB)",
         result.summary.size_bytes() as f64 / 1024.0
@@ -55,7 +61,10 @@ fn e1_e2_summary_construction_and_accuracy() {
     print!("{}", result.build_report.to_display_table());
 
     println!("\n--- E2: volumetric accuracy (error CDF) ---");
-    for (t, f) in result.accuracy.error_cdf(&[0.0, 0.001, 0.01, 0.05, 0.10, 0.25]) {
+    for (t, f) in result
+        .accuracy
+        .error_cdf(&[0.0, 0.001, 0.01, 0.05, 0.10, 0.25])
+    {
         println!("rel err <= {:<6} -> {:>6.1}% of constraints", t, f * 100.0);
     }
     println!(
@@ -70,10 +79,15 @@ fn e3_lp_complexity() {
     use hydra_partition::interval::Interval;
     use hydra_partition::space::AttributeSpace;
     println!("--- E3: LP complexity — region (HYDRA) vs grid (DataSynth) ---");
-    println!("{:>4} | {:>11} | {:>12} | {:>16} | {:>9}", "dims", "constraints", "region vars", "grid vars", "ratio");
+    println!(
+        "{:>4} | {:>11} | {:>12} | {:>16} | {:>9}",
+        "dims", "constraints", "region vars", "grid vars", "ratio"
+    );
     for &(dims, per_dim) in &[(2usize, 8usize), (3, 8), (4, 8), (4, 16), (5, 16)] {
         let space = AttributeSpace::new(
-            (0..dims).map(|i| (format!("axis{i}"), Interval::new(0, 10_000))).collect(),
+            (0..dims)
+                .map(|i| (format!("axis{i}"), Interval::new(0, 10_000)))
+                .collect(),
         );
         let mut constraints = Vec::new();
         for axis in 0..dims {
@@ -111,14 +125,22 @@ fn e4_generation_velocity() {
     let package = retail_package(32, 30_000);
     let result = regenerate(&package);
     let generator = result.generator();
-    println!("{:>14} | {:>15} | {:>8}", "target rows/s", "achieved rows/s", "rows");
+    println!(
+        "{:>14} | {:>15} | {:>8}",
+        "target rows/s", "achieved rows/s", "rows"
+    );
     for target in [10_000.0, 100_000.0, 1_000_000.0] {
         let stats = generator
             .generate_with_velocity("store_sales", Some(target), Some(20_000))
             .unwrap();
-        println!("{:>14.0} | {:>15.0} | {:>8}", target, stats.achieved_rows_per_sec, stats.rows);
+        println!(
+            "{:>14.0} | {:>15.0} | {:>8}",
+            target, stats.achieved_rows_per_sec, stats.rows
+        );
     }
-    let unthrottled = generator.generate_with_velocity("store_sales", None, None).unwrap();
+    let unthrottled = generator
+        .generate_with_velocity("store_sales", None, None)
+        .unwrap();
     println!(
         "{:>14} | {:>15.0} | {:>8}   (unthrottled)\n",
         "-", unthrottled.achieved_rows_per_sec, unthrottled.rows
@@ -132,24 +154,26 @@ fn e5_table1_sample() {
     let result = regenerate(&package);
     let generator = result.generator();
     let item = result.summary.relation("item").unwrap();
-    println!("item summary rows: {} (for {} tuples)", item.row_count(), item.total_rows);
+    println!(
+        "item summary rows: {} (for {} tuples)",
+        item.row_count(),
+        item.total_rows
+    );
     println!("first tuple of each of the first 4 summary-row blocks:");
     let mut next_block_start = 0u64;
-    let mut printed = 0;
     let stream: Vec<_> = generator.stream("item").unwrap().collect();
-    for (i, row) in item.rows.iter().enumerate() {
-        if printed >= 4 {
-            break;
-        }
+    for row in item.rows.iter().take(4) {
         let tuple = &stream[next_block_start as usize];
         println!(
             "  item_sk={:<6} {:?}",
             next_block_start,
-            tuple.iter().skip(1).map(|v| v.to_string()).collect::<Vec<_>>()
+            tuple
+                .iter()
+                .skip(1)
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
         );
         next_block_start += row.count;
-        printed += 1;
-        let _ = i;
     }
     println!();
 }
@@ -192,12 +216,20 @@ fn e7_error_vs_scale() {
     println!("--- E7: relative error vs database size ---");
     let package = retail_package(64, 10_000);
     let config = HydraConfig::without_aqp_comparison();
-    println!("{:>8} | {:>13} | {:>12}", "scale", "mean rel err", "max rel err");
+    println!(
+        "{:>8} | {:>13} | {:>12}",
+        "scale", "mean rel err", "max rel err"
+    );
     for scale in [1.0, 10.0, 100.0, 1000.0] {
         let scenario = Scenario::scaled(format!("x{scale}"), scale);
         let result = construct_scenario(&scenario, &package, config.clone()).unwrap();
         let acc = &result.regeneration.accuracy;
-        println!("{:>8} | {:>13.6} | {:>12.6}", scale, acc.mean_relative_error(), acc.max_relative_error());
+        println!(
+            "{:>8} | {:>13.6} | {:>12.6}",
+            scale,
+            acc.mean_relative_error(),
+            acc.max_relative_error()
+        );
     }
     println!();
 }
@@ -206,14 +238,22 @@ fn e7_error_vs_scale() {
 fn e8_scale_free_construction() {
     println!("--- E8: data-scale-free summary construction ---");
     let package = retail_package_131();
-    println!("{:>12} | {:>18} | {:>17}", "multiplier", "regenerable rows", "construction (ms)");
+    println!(
+        "{:>12} | {:>18} | {:>17}",
+        "multiplier", "regenerable rows", "construction (ms)"
+    );
     for multiplier in [1u64, 1_000, 1_000_000] {
         let targets: std::collections::BTreeMap<String, u64> = package
             .metadata
             .schema
             .table_names()
             .iter()
-            .map(|t| (t.clone(), package.metadata.row_count(t).saturating_mul(multiplier)))
+            .map(|t| {
+                (
+                    t.clone(),
+                    package.metadata.row_count(t).saturating_mul(multiplier),
+                )
+            })
             .collect();
         let config = HydraConfig {
             row_target_override: Some(targets),
@@ -238,7 +278,7 @@ fn e10_alignment_ablation() {
     let package = retail_package(64, 20_000);
     let build = |alignment| {
         let config = HydraConfig {
-            builder: SummaryBuilderConfig { alignment, ..Default::default() },
+            builder: SummaryBuilderConfig::default().with_alignment(alignment),
             compare_aqps: false,
             ..Default::default()
         };
@@ -250,7 +290,10 @@ fn e10_alignment_ablation() {
     let (det2, _) = build(AlignmentStrategy::Deterministic);
     let (sam, sam_time) = build(AlignmentStrategy::Sampled { seed: 1 });
     let (sam2, _) = build(AlignmentStrategy::Sampled { seed: 2 });
-    println!("{:<15} | {:>12} | {:>11} | {:>13} | {:>12}", "strategy", "near-exact", "within 10%", "time (ms)", "reproducible");
+    println!(
+        "{:<15} | {:>12} | {:>11} | {:>13} | {:>12}",
+        "strategy", "near-exact", "within 10%", "time (ms)", "reproducible"
+    );
     println!(
         "{:<15} | {:>11.1}% | {:>10.1}% | {:>13.1} | {:>12}",
         "deterministic",

@@ -28,10 +28,16 @@ pub fn retail_package(num_queries: usize, fact_rows: u64) -> TransferPackage {
     let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
     let queries = WorkloadGenerator::new(
         schema,
-        WorkloadGenConfig { num_queries, seed: 131, ..Default::default() },
+        WorkloadGenConfig {
+            num_queries,
+            seed: 131,
+            ..Default::default()
+        },
     )
     .generate();
-    ClientSite::new(db).prepare_package(&queries, false).expect("client package")
+    ClientSite::new(db)
+        .prepare_package(&queries, false)
+        .expect("client package")
 }
 
 /// The canonical 131-query package (experiments E1, E2, E7, E8, E10).
@@ -51,7 +57,10 @@ pub fn regenerate(package: &TransferPackage) -> RegenerationResult {
 pub fn constraints_by_table(
     package: &TransferPackage,
 ) -> BTreeMap<String, Vec<VolumetricConstraint>> {
-    package.workload.constraints_by_table().expect("constraint extraction")
+    package
+        .workload
+        .constraints_by_table()
+        .expect("constraint extraction")
 }
 
 /// Row targets implied by a package's metadata.

@@ -93,9 +93,7 @@ impl Domain {
     /// generator always produces in-domain values.
     pub fn denormalize(&self, coord: i64) -> Value {
         match self {
-            Domain::Integer { min, max } => {
-                Value::Integer(coord.clamp(*min, (*max - 1).max(*min)))
-            }
+            Domain::Integer { min, max } => Value::Integer(coord.clamp(*min, (*max - 1).max(*min))),
             Domain::Double { .. } => Value::Double(coord as f64 / DOUBLE_SCALE),
             Domain::Categorical { values } => {
                 if values.is_empty() {
@@ -161,7 +159,10 @@ mod tests {
     fn empty_domain() {
         assert!(Domain::integer(5, 5).is_empty());
         assert!(!Domain::integer(5, 6).is_empty());
-        assert_eq!(Domain::categorical(Vec::<String>::new()).denormalize(0), Value::Null);
+        assert_eq!(
+            Domain::categorical(Vec::<String>::new()).denormalize(0),
+            Value::Null
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub enum CatalogError {
     /// A table was declared without a primary key.
     MissingPrimaryKey(String),
     /// A value did not match the declared column type.
-    TypeMismatch { column: String, expected: String, got: String },
+    TypeMismatch {
+        column: String,
+        expected: String,
+        got: String,
+    },
     /// Statistics were requested for a column that has none recorded.
     MissingStatistics { table: String, column: String },
     /// Generic invalid-argument error.
@@ -42,8 +46,15 @@ impl fmt::Display for CatalogError {
             CatalogError::MissingPrimaryKey(t) => {
                 write!(f, "table `{t}` has no primary key")
             }
-            CatalogError::TypeMismatch { column, expected, got } => {
-                write!(f, "type mismatch on column `{column}`: expected {expected}, got {got}")
+            CatalogError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on column `{column}`: expected {expected}, got {got}"
+                )
             }
             CatalogError::MissingStatistics { table, column } => {
                 write!(f, "no statistics recorded for `{table}`.`{column}`")

@@ -28,7 +28,10 @@ pub struct DatabaseMetadata {
 impl DatabaseMetadata {
     /// Creates metadata with no statistics yet.
     pub fn new(schema: Schema) -> Self {
-        DatabaseMetadata { schema, tables: BTreeMap::new() }
+        DatabaseMetadata {
+            schema,
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Sets the statistics for a table.

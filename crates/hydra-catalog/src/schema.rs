@@ -19,7 +19,10 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Creates a new column reference.
     pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColumnRef { table: table.into(), column: column.into() }
+        ColumnRef {
+            table: table.into(),
+            column: column.into(),
+        }
     }
 }
 
@@ -214,7 +217,10 @@ pub struct Schema {
 impl Schema {
     /// All tables in declaration order.
     pub fn tables(&self) -> Vec<&Table> {
-        self.order.iter().filter_map(|n| self.tables.get(n)).collect()
+        self.order
+            .iter()
+            .filter_map(|n| self.tables.get(n))
+            .collect()
     }
 
     /// Table names in declaration order.
@@ -234,7 +240,8 @@ impl Schema {
 
     /// Looks up a table, returning a catalog error when missing.
     pub fn require_table(&self, name: &str) -> CatalogResult<&Table> {
-        self.table(name).ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
+        self.table(name)
+            .ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
     }
 
     /// Looks up a column, returning a catalog error when missing.
@@ -292,7 +299,11 @@ impl Schema {
     pub fn referencing_tables(&self, referenced: &str) -> Vec<&Table> {
         self.tables()
             .into_iter()
-            .filter(|t| t.foreign_keys().iter().any(|fk| fk.referenced_table == referenced))
+            .filter(|t| {
+                t.foreign_keys()
+                    .iter()
+                    .any(|fk| fk.referenced_table == referenced)
+            })
             .collect()
     }
 }
@@ -321,11 +332,18 @@ pub struct SchemaBuilder {
 impl SchemaBuilder {
     /// Starts building a schema with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        SchemaBuilder { name: name.into(), tables: Vec::new() }
+        SchemaBuilder {
+            name: name.into(),
+            tables: Vec::new(),
+        }
     }
 
     /// Adds a table; the closure configures its columns.
-    pub fn table(mut self, name: impl Into<String>, f: impl FnOnce(TableBuilder) -> TableBuilder) -> Self {
+    pub fn table(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(TableBuilder) -> TableBuilder,
+    ) -> Self {
         self.tables.push((name.into(), f(TableBuilder::default())));
         self
     }
@@ -375,7 +393,12 @@ impl SchemaBuilder {
             order.push(tname.clone());
             tables.insert(
                 tname.clone(),
-                Table { name: tname.clone(), columns, primary_key, foreign_keys },
+                Table {
+                    name: tname.clone(),
+                    columns,
+                    primary_key,
+                    foreign_keys,
+                },
             );
         }
 
@@ -385,7 +408,10 @@ impl SchemaBuilder {
                 let target = tables.get(&fk.referenced_table).ok_or_else(|| {
                     CatalogError::InvalidForeignKey {
                         table: table.name.clone(),
-                        detail: format!("referenced table `{}` does not exist", fk.referenced_table),
+                        detail: format!(
+                            "referenced table `{}` does not exist",
+                            fk.referenced_table
+                        ),
                     }
                 })?;
                 if target.column(&fk.referenced_column).is_none() {
@@ -409,7 +435,11 @@ impl SchemaBuilder {
             }
         }
 
-        Ok(Schema { name: self.name, tables, order })
+        Ok(Schema {
+            name: self.name,
+            tables,
+            order,
+        })
     }
 }
 
@@ -423,12 +453,18 @@ mod tests {
         SchemaBuilder::new("toy")
             .table("S", |t| {
                 t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
-                    .column(ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(
+                        ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
+                    .column(
+                        ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
             })
             .table("T", |t| {
                 t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+                    .column(
+                        ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)),
+                    )
             })
             .table("R", |t| {
                 t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
@@ -462,7 +498,10 @@ mod tests {
             schema.require_column("S", "Z"),
             Err(CatalogError::UnknownColumn { .. })
         ));
-        assert!(matches!(schema.require_table("X"), Err(CatalogError::UnknownTable(_))));
+        assert!(matches!(
+            schema.require_table("X"),
+            Err(CatalogError::UnknownTable(_))
+        ));
         assert_eq!(schema.table("S").unwrap().column_index("B"), Some(2));
     }
 
@@ -494,8 +533,12 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let err = SchemaBuilder::new("bad")
-            .table("A", |t| t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key()))
-            .table("A", |t| t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key()))
+            .table("A", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+            })
+            .table("A", |t| {
+                t.column(ColumnBuilder::new("id", DataType::BigInt).primary_key())
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, CatalogError::DuplicateTable(_)));

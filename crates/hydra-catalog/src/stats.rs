@@ -94,13 +94,22 @@ impl ColumnStatistics {
         let most_common: Vec<(Value, f64)> = by_freq
             .iter()
             .take(mcv_limit)
-            .map(|(v, c)| ((*v).clone(), if total > 0.0 { *c as f64 / total } else { 0.0 }))
+            .map(|(v, c)| {
+                (
+                    (*v).clone(),
+                    if total > 0.0 { *c as f64 / total } else { 0.0 },
+                )
+            })
             .collect();
         let min = counts.keys().next().map(|v| (*v).clone());
         let max = counts.keys().next_back().map(|v| (*v).clone());
         ColumnStatistics {
             n_distinct,
-            null_fraction: if total > 0.0 { nulls as f64 / total } else { 0.0 },
+            null_fraction: if total > 0.0 {
+                nulls as f64 / total
+            } else {
+                0.0
+            },
             most_common,
             histogram: EquiDepthHistogram::build(values, histogram_buckets),
             min,
@@ -121,7 +130,10 @@ pub struct TableStatistics {
 impl TableStatistics {
     /// Creates table statistics with just a row count (no column detail).
     pub fn with_row_count(row_count: u64) -> Self {
-        TableStatistics { row_count, columns: BTreeMap::new() }
+        TableStatistics {
+            row_count,
+            columns: BTreeMap::new(),
+        }
     }
 
     /// Adds statistics for one column.
@@ -131,10 +143,12 @@ impl TableStatistics {
 
     /// Fetches statistics for a column, as a catalog error when missing.
     pub fn column(&self, table: &str, column: &str) -> CatalogResult<&ColumnStatistics> {
-        self.columns.get(column).ok_or_else(|| CatalogError::MissingStatistics {
-            table: table.to_string(),
-            column: column.to_string(),
-        })
+        self.columns
+            .get(column)
+            .ok_or_else(|| CatalogError::MissingStatistics {
+                table: table.to_string(),
+                column: column.to_string(),
+            })
     }
 }
 

@@ -165,12 +165,8 @@ impl Ord for Value {
             (Boolean(a), Boolean(b)) => a.cmp(b),
             (Integer(a), Integer(b)) => a.cmp(b),
             (Double(a), Double(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
-            (Integer(a), Double(b)) => {
-                (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal)
-            }
-            (Double(a), Integer(b)) => {
-                a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
-            }
+            (Integer(a), Double(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Double(a), Integer(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
             (Varchar(a), Varchar(b)) => a.cmp(b),
             (a, b) => a.class_rank().cmp(&b.class_rank()),
         }
@@ -193,7 +189,10 @@ impl std::hash::Hash for Value {
                 // Hash doubles through their bit pattern; integral doubles hash
                 // like the corresponding integer so Integer(2) == Double(2.0)
                 // implies equal hashes.
-                if v.fract() == 0.0 && v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64
+                if v.fract() == 0.0
+                    && v.is_finite()
+                    && *v >= i64::MIN as f64
+                    && *v <= i64::MAX as f64
                 {
                     2u8.hash(state);
                     (*v as i64).hash(state);
@@ -305,7 +304,10 @@ mod tests {
     #[test]
     fn equal_values_hash_equal() {
         assert_eq!(hash_of(&Value::Integer(2)), hash_of(&Value::Double(2.0)));
-        assert_eq!(hash_of(&Value::str("x")), hash_of(&Value::Varchar("x".into())));
+        assert_eq!(
+            hash_of(&Value::str("x")),
+            hash_of(&Value::Varchar("x".into()))
+        );
     }
 
     #[test]

@@ -79,10 +79,14 @@ pub fn anonymize_package(mut package: TransferPackage) -> TransferPackage {
     let mut schema = package.metadata.schema.clone();
     let table_names: Vec<String> = schema.table_names().to_vec();
     for (ti, table_name) in table_names.iter().enumerate() {
-        let Some(table) = schema.table_mut(table_name) else { continue };
+        let Some(table) = schema.table_mut(table_name) else {
+            continue;
+        };
         let column_names: Vec<String> = table.columns().iter().map(|c| c.name.clone()).collect();
         for (ci, column_name) in column_names.iter().enumerate() {
-            let Some(column) = table.column(column_name) else { continue };
+            let Some(column) = table.column(column_name) else {
+                continue;
+            };
             if let Some(Domain::Categorical { values }) = column.domain.clone() {
                 let map: BTreeMap<String, String> = values
                     .iter()
@@ -100,16 +104,23 @@ pub fn anonymize_package(mut package: TransferPackage) -> TransferPackage {
     // 2. Rewrite statistics.
     for (table_name, stats) in package.metadata.tables.iter_mut() {
         for (column_name, cs) in stats.columns.iter_mut() {
-            let Some(map) = maps.get(&(table_name.clone(), column_name.clone())) else { continue };
+            let Some(map) = maps.get(&(table_name.clone(), column_name.clone())) else {
+                continue;
+            };
             let rewrite = |v: &Value| -> Value {
                 match v {
-                    Value::Varchar(s) => {
-                        map.get(s).map(|m| Value::Varchar(m.clone())).unwrap_or_else(|| v.clone())
-                    }
+                    Value::Varchar(s) => map
+                        .get(s)
+                        .map(|m| Value::Varchar(m.clone()))
+                        .unwrap_or_else(|| v.clone()),
                     other => other.clone(),
                 }
             };
-            cs.most_common = cs.most_common.iter().map(|(v, f)| (rewrite(v), *f)).collect();
+            cs.most_common = cs
+                .most_common
+                .iter()
+                .map(|(v, f)| (rewrite(v), *f))
+                .collect();
             cs.histogram.bounds = cs.histogram.bounds.iter().map(rewrite).collect();
             cs.min = cs.min.as_ref().map(rewrite);
             cs.max = cs.max.as_ref().map(rewrite);
@@ -173,7 +184,10 @@ mod tests {
         let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
         let queries = WorkloadGenerator::new(
             schema,
-            WorkloadGenConfig { num_queries: 6, ..Default::default() },
+            WorkloadGenConfig {
+                num_queries: 6,
+                ..Default::default()
+            },
         )
         .generate();
         (ClientSite::new(db), queries)
@@ -221,8 +235,18 @@ mod tests {
         for (p_entry, a_entry) in plain.workload.entries.iter().zip(&anon.workload.entries) {
             let p_aqp = p_entry.aqp.as_ref().unwrap();
             let a_aqp = a_entry.aqp.as_ref().unwrap();
-            let p_cards: Vec<u64> = p_aqp.root.preorder().iter().map(|n| n.cardinality).collect();
-            let a_cards: Vec<u64> = a_aqp.root.preorder().iter().map(|n| n.cardinality).collect();
+            let p_cards: Vec<u64> = p_aqp
+                .root
+                .preorder()
+                .iter()
+                .map(|n| n.cardinality)
+                .collect();
+            let a_cards: Vec<u64> = a_aqp
+                .root
+                .preorder()
+                .iter()
+                .map(|n| n.cardinality)
+                .collect();
             assert_eq!(p_cards, a_cards);
         }
         for entry in &anon.workload.entries {

@@ -19,11 +19,14 @@
 //! * [`report`] — human-readable regeneration-quality reports (the vendor
 //!   screens of the original demo).
 //!
+//! All of it is fronted by [`session::Hydra`] — a configured session built
+//! from a typed builder, with pluggable LP backends, parallel per-relation
+//! solving, and a summary cache for scenario sweeps.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use hydra_core::client::ClientSite;
-//! use hydra_core::vendor::{HydraConfig, VendorSite};
+//! use hydra_core::session::Hydra;
 //! use hydra_workload::{generate_client_database, DataGenConfig, retail_row_targets,
 //!                      retail_schema, WorkloadGenConfig, WorkloadGenerator};
 //!
@@ -35,11 +38,11 @@
 //! let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
 //! let queries = WorkloadGenerator::new(schema.clone(),
 //!     WorkloadGenConfig { num_queries: 8, ..Default::default() }).generate();
-//! let client = ClientSite::new(db);
-//! let package = client.prepare_package(&queries, false).unwrap();
 //!
-//! // Vendor site: regenerate and verify.
-//! let result = VendorSite::new(HydraConfig::default()).regenerate(&package).unwrap();
+//! // One session drives both sites: profile, ship, regenerate, verify.
+//! let session = Hydra::builder().parallelism(2).build();
+//! let package = session.profile(db, &queries).unwrap();
+//! let result = session.regenerate(&package).unwrap();
 //! assert!(result.accuracy.fraction_within(0.10) > 0.9);
 //! ```
 
@@ -48,6 +51,7 @@ pub mod error;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
+pub mod session;
 pub mod transfer;
 pub mod vendor;
 
@@ -55,6 +59,7 @@ pub use client::ClientSite;
 pub use error::{HydraError, HydraResult};
 pub use pipeline::{run_end_to_end, EndToEndResult};
 pub use report::{AqpEdgeComparison, QueryAqpComparison, RegenerationReport};
-pub use scenario::{Scenario, ScenarioResult};
+pub use scenario::{construct_scenario, Scenario, ScenarioResult};
+pub use session::{Hydra, HydraBuilder};
 pub use transfer::TransferPackage;
 pub use vendor::{HydraConfig, RegenerationResult, VendorSite};

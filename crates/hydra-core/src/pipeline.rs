@@ -1,9 +1,9 @@
-//! One-call end-to-end pipeline, used by the examples and benches.
+//! One-call end-to-end pipeline — a thin shim over a default
+//! [`crate::session::Hydra`] session, kept for the examples and benches.
 
-use crate::client::ClientSite;
 use crate::error::HydraResult;
 use crate::transfer::TransferPackage;
-use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
+use crate::vendor::{HydraConfig, RegenerationResult};
 use hydra_engine::database::Database;
 use hydra_query::query::SpjQuery;
 use std::time::{Duration, Instant};
@@ -23,23 +23,33 @@ pub struct EndToEndResult {
 
 /// Runs the full pipeline: profile the client database, execute the workload,
 /// ship the package, regenerate at the vendor.
+///
+/// Equivalent to driving a one-shot [`Hydra`] session built from `config`;
+/// use the session API directly to keep the summary cache across calls.
 pub fn run_end_to_end(
     client_db: Database,
     queries: &[SpjQuery],
     config: HydraConfig,
     anonymize: bool,
 ) -> HydraResult<EndToEndResult> {
+    let session = crate::session::HydraBuilder::from_config(config)
+        .anonymize(anonymize)
+        .build();
+
     let client_start = Instant::now();
-    let client = ClientSite::new(client_db);
-    let package = client.prepare_package(queries, anonymize)?;
+    let package = session.profile(client_db, queries)?;
     let client_time = client_start.elapsed();
 
     let vendor_start = Instant::now();
-    let vendor = VendorSite::new(config);
-    let regeneration = vendor.regenerate(&package)?;
+    let regeneration = session.regenerate(&package)?;
     let vendor_time = vendor_start.elapsed();
 
-    Ok(EndToEndResult { package, regeneration, client_time, vendor_time })
+    Ok(EndToEndResult {
+        package,
+        regeneration,
+        client_time,
+        vendor_time,
+    })
 }
 
 #[cfg(test)]
@@ -59,13 +69,19 @@ mod tests {
         let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
         let queries = WorkloadGenerator::new(
             schema,
-            WorkloadGenConfig { num_queries: 5, ..Default::default() },
+            WorkloadGenConfig {
+                num_queries: 5,
+                ..Default::default()
+            },
         )
         .generate();
         let result = run_end_to_end(
             db,
             &queries,
-            HydraConfig { compare_aqps: false, ..Default::default() },
+            HydraConfig {
+                compare_aqps: false,
+                ..Default::default()
+            },
             false,
         )
         .unwrap();

@@ -36,7 +36,10 @@ pub struct QueryAqpComparison {
 impl QueryAqpComparison {
     /// The largest relative error across this query's edges.
     pub fn max_relative_error(&self) -> f64 {
-        self.edges.iter().map(|e| e.relative_error).fold(0.0, f64::max)
+        self.edges
+            .iter()
+            .map(|e| e.relative_error)
+            .fold(0.0, f64::max)
     }
 
     /// The mean relative error across this query's edges.
@@ -75,7 +78,10 @@ pub fn build_aqp_comparisons(
                 }
             })
             .collect();
-        out.push(QueryAqpComparison { query: entry.query.name.clone(), edges });
+        out.push(QueryAqpComparison {
+            query: entry.query.name.clone(),
+            edges,
+        });
     }
     Ok(out)
 }

@@ -11,8 +11,10 @@
 use crate::error::{HydraError, HydraResult};
 use crate::transfer::TransferPackage;
 use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
-use hydra_lp::solver::{LpSolver, SolveStatus};
+use hydra_lp::solver::SolveStatus;
+use hydra_summary::backend::SimplexBackend;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A what-if scenario: how to distort the observed workload.
 #[derive(Debug, Clone)]
@@ -58,7 +60,8 @@ impl Scenario {
         edge_index: usize,
         cardinality: u64,
     ) -> Self {
-        self.cardinality_overrides.insert((query.into(), edge_index), cardinality);
+        self.cardinality_overrides
+            .insert((query.into(), edge_index), cardinality);
         self
     }
 
@@ -78,8 +81,10 @@ impl Scenario {
             if let Some(stats) = out.metadata.tables.get_mut(table) {
                 stats.row_count = *rows;
             } else {
-                let mut stats = hydra_catalog::stats::TableStatistics::default();
-                stats.row_count = *rows;
+                let stats = hydra_catalog::stats::TableStatistics {
+                    row_count: *rows,
+                    ..Default::default()
+                };
                 out.metadata.tables.insert(table.clone(), stats);
             }
         }
@@ -89,8 +94,9 @@ impl Scenario {
                 aqp.scale_cardinalities(self.scale_factor);
                 let mut index = 0usize;
                 aqp.root.for_each_mut(&mut |node| {
-                    if let Some(card) =
-                        self.cardinality_overrides.get(&(entry.query.name.clone(), index))
+                    if let Some(card) = self
+                        .cardinality_overrides
+                        .get(&(entry.query.name.clone(), index))
                     {
                         node.cardinality = *card;
                     }
@@ -120,14 +126,27 @@ pub struct ScenarioResult {
 pub fn construct_scenario(
     scenario: &Scenario,
     package: &TransferPackage,
-    mut config: HydraConfig,
+    config: HydraConfig,
+) -> HydraResult<ScenarioResult> {
+    construct_scenario_with_cache(scenario, package, config, None)
+}
+
+/// [`construct_scenario`] reusing a summary cache: across a scenario sweep,
+/// only relations whose constraint signature the scenario actually changed
+/// are re-solved (see [`hydra_summary::builder::SummaryCache`]).
+pub fn construct_scenario_with_cache(
+    scenario: &Scenario,
+    package: &TransferPackage,
+    config: HydraConfig,
+    cache: Option<Arc<dyn hydra_summary::builder::SummaryCache>>,
 ) -> HydraResult<ScenarioResult> {
     let distorted = scenario.apply(package);
 
-    // Feasibility verification: use a strict solver first when requested.
+    // Feasibility verification: probe with a strict (non-recovering) simplex
+    // first when requested, regardless of the session's configured backend.
     if scenario.strict {
         let mut strict_config = config.clone();
-        strict_config.builder.solver = LpSolver::strict();
+        strict_config.builder.lp_backend = Arc::new(SimplexBackend::strict());
         strict_config.compare_aqps = false;
         let vendor = VendorSite::new(strict_config);
         if let Err(e) = vendor.regenerate(&distorted) {
@@ -138,17 +157,23 @@ pub fn construct_scenario(
         }
     }
 
-    // Build with the (recovering) configured solver.
-    config.builder.solver = LpSolver::default();
-    let vendor = VendorSite::new(config);
+    // Build with the configured (recovering) backend.
+    let mut vendor = VendorSite::new(config);
+    if let Some(cache) = cache {
+        vendor = vendor.with_cache(cache);
+    }
     let regeneration = vendor.regenerate(&distorted)?;
     let feasible = regeneration
         .build_report
         .relations
         .iter()
         .all(|r| r.lp.status == SolveStatus::Feasible);
-    let total_violation =
-        regeneration.build_report.relations.iter().map(|r| r.lp.total_violation).sum();
+    let total_violation = regeneration
+        .build_report
+        .relations
+        .iter()
+        .map(|r| r.lp.total_violation)
+        .sum();
     Ok(ScenarioResult {
         scenario_name: scenario.name.clone(),
         feasible,
@@ -174,14 +199,22 @@ mod tests {
         let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
         let queries = WorkloadGenerator::new(
             schema,
-            WorkloadGenConfig { num_queries: 6, ..Default::default() },
+            WorkloadGenConfig {
+                num_queries: 6,
+                ..Default::default()
+            },
         )
         .generate();
-        ClientSite::new(db).prepare_package(&queries, false).unwrap()
+        ClientSite::new(db)
+            .prepare_package(&queries, false)
+            .unwrap()
     }
 
     fn config() -> HydraConfig {
-        HydraConfig { compare_aqps: false, ..Default::default() }
+        HydraConfig {
+            compare_aqps: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -191,7 +224,12 @@ mod tests {
         let result = construct_scenario(&scenario, &package, config()).unwrap();
         assert!(result.feasible, "uniform scaling must stay feasible");
         assert_eq!(
-            result.regeneration.summary.relation("store_sales").unwrap().total_rows,
+            result
+                .regeneration
+                .summary
+                .relation("store_sales")
+                .unwrap()
+                .total_rows,
             150_000
         );
         // Construction is scale-free: the summary stays small even though the
@@ -237,6 +275,14 @@ mod tests {
         let package = package();
         let scenario = Scenario::scaled("stress-item", 1.0).with_row_override("item", 500_000);
         let result = construct_scenario(&scenario, &package, config()).unwrap();
-        assert_eq!(result.regeneration.summary.relation("item").unwrap().total_rows, 500_000);
+        assert_eq!(
+            result
+                .regeneration
+                .summary
+                .relation("item")
+                .unwrap()
+                .total_rows,
+            500_000
+        );
     }
 }

@@ -1,0 +1,405 @@
+//! The `Hydra` session façade — the one front door to the reproduction.
+//!
+//! A session owns a fully-resolved pipeline configuration (LP backend,
+//! alignment strategy, parallelism, caching, AQP comparison) plus a summary
+//! cache that persists across calls, and exposes the paper's workflow as four
+//! entry points:
+//!
+//! * [`Hydra::profile`] — the client site: profile a warehouse, execute the
+//!   workload, package the synopsis (optionally anonymized);
+//! * [`Hydra::regenerate`] — the vendor site: preprocess → solve → summarize
+//!   → verify, with independent relations solved in parallel;
+//! * [`Hydra::scenario`] — what-if construction over a package; repeated
+//!   scenario sweeps reuse the session cache, so only relations whose
+//!   constraint signature changed are re-solved;
+//! * [`Hydra::stream_table`] — dynamic generation of one regenerated relation
+//!   into any [`TupleSink`], with optional velocity regulation.
+//!
+//! ```
+//! use hydra_core::session::Hydra;
+//! use hydra_workload::{generate_client_database, retail_row_targets, retail_schema,
+//!                      DataGenConfig, WorkloadGenConfig, WorkloadGenerator};
+//!
+//! let schema = retail_schema();
+//! let mut targets = retail_row_targets(0.005);
+//! targets.insert("store_sales".to_string(), 1_000);
+//! targets.insert("web_sales".to_string(), 300);
+//! let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+//! let queries = WorkloadGenerator::new(schema,
+//!     WorkloadGenConfig { num_queries: 5, ..Default::default() }).generate();
+//!
+//! let session = Hydra::builder().parallelism(2).compare_aqps(false).build();
+//! let package = session.profile(db, &queries).unwrap();
+//! let result = session.regenerate(&package).unwrap();
+//! assert!(result.accuracy.fraction_within(0.10) > 0.9);
+//! ```
+
+use crate::client::ClientSite;
+use crate::error::HydraResult;
+use crate::scenario::{construct_scenario_with_cache, Scenario, ScenarioResult};
+use crate::transfer::TransferPackage;
+use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
+use hydra_datagen::generator::GenerationStats;
+use hydra_datagen::sink::TupleSink;
+use hydra_engine::database::Database;
+use hydra_query::query::SpjQuery;
+use hydra_summary::align::AlignmentStrategy;
+use hydra_summary::backend::LpBackend;
+use hydra_summary::builder::{InMemorySummaryCache, SummaryCache};
+use hydra_summary::strategy::SummaryStrategy;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Typed builder for a [`Hydra`] session.
+#[derive(Debug, Clone)]
+pub struct HydraBuilder {
+    config: HydraConfig,
+    summary_cache: bool,
+    anonymize: bool,
+}
+
+impl Default for HydraBuilder {
+    fn default() -> Self {
+        HydraBuilder {
+            config: HydraConfig::default(),
+            // Matches the documented builder default (and `Hydra::builder()`).
+            summary_cache: true,
+            anonymize: false,
+        }
+    }
+}
+
+impl HydraBuilder {
+    /// Seeds the builder from an existing vendor configuration (used by the
+    /// compatibility shims; prefer the individual builder methods).
+    pub fn from_config(config: HydraConfig) -> Self {
+        HydraBuilder {
+            config,
+            summary_cache: true,
+            anonymize: false,
+        }
+    }
+
+    /// Selects the LP solve backend (default:
+    /// [`hydra_summary::backend::SimplexBackend`]; the DataSynth baseline is
+    /// [`hydra_summary::backend::GridBackend`]).
+    pub fn lp_backend(mut self, backend: impl LpBackend + 'static) -> Self {
+        self.config.builder.lp_backend = Arc::new(backend);
+        self
+    }
+
+    /// Selects the alignment flavour (deterministic by default; sampled for
+    /// the E10 ablation).
+    pub fn alignment(mut self, alignment: AlignmentStrategy) -> Self {
+        self.config.builder = self.config.builder.with_alignment(alignment);
+        self
+    }
+
+    /// Replaces the whole summary-generation strategy.
+    pub fn summary_strategy(mut self, strategy: impl SummaryStrategy + 'static) -> Self {
+        self.config.builder.strategy = Arc::new(strategy);
+        self
+    }
+
+    /// Number of worker threads for per-relation solving (relations are
+    /// independent in the paper's LP decomposition). 1 = sequential; output
+    /// is identical either way.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.builder = self.config.builder.with_parallelism(workers);
+        self
+    }
+
+    /// Enables or disables the session summary cache (default: enabled).
+    /// With the cache on, repeated regenerations and scenario sweeps only
+    /// re-solve relations whose constraint signature changed.
+    pub fn summary_cache(mut self, enabled: bool) -> Self {
+        self.summary_cache = enabled;
+        self
+    }
+
+    /// Whether [`Hydra::regenerate`] re-executes the workload on the dataless
+    /// database and attaches per-query AQP comparisons (default: true).
+    pub fn compare_aqps(mut self, enabled: bool) -> Self {
+        self.config.compare_aqps = enabled;
+        self
+    }
+
+    /// Whether [`Hydra::profile`] passes the package through the
+    /// anonymization layer (default: false).
+    pub fn anonymize(mut self, enabled: bool) -> Self {
+        self.anonymize = enabled;
+        self
+    }
+
+    /// Partitioning piece budget (LP variables per relation).
+    pub fn max_regions(mut self, max_regions: usize) -> Self {
+        self.config.builder = self.config.builder.with_max_regions(max_regions);
+        self
+    }
+
+    /// Whether unreferenced columns are filled from client statistics
+    /// (default: true).
+    pub fn statistics_fillers(mut self, enabled: bool) -> Self {
+        self.config.builder.use_statistics_fillers = enabled;
+        self
+    }
+
+    /// Overrides per-relation row targets (scenario construction uses this
+    /// internally; exposed for direct extrapolation experiments).
+    pub fn row_target_override(mut self, overrides: BTreeMap<String, u64>) -> Self {
+        self.config.row_target_override = Some(overrides);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Hydra {
+        let cache = self
+            .summary_cache
+            .then(|| Arc::new(InMemorySummaryCache::new()));
+        Hydra {
+            config: self.config,
+            cache,
+            anonymize: self.anonymize,
+        }
+    }
+}
+
+/// A configured HYDRA session: client profiling, vendor regeneration,
+/// scenario construction and dynamic generation behind one handle.
+///
+/// Sessions are cheap to build and thread-safe (`&self` everywhere); the
+/// summary cache is shared across calls and threads.
+#[derive(Debug, Clone)]
+pub struct Hydra {
+    config: HydraConfig,
+    cache: Option<Arc<InMemorySummaryCache>>,
+    anonymize: bool,
+}
+
+impl Default for Hydra {
+    fn default() -> Self {
+        Hydra::builder().build()
+    }
+}
+
+impl Hydra {
+    /// Starts a session builder with the paper's default pipeline.
+    pub fn builder() -> HydraBuilder {
+        HydraBuilder::default()
+    }
+
+    /// The session's resolved vendor configuration.
+    pub fn config(&self) -> &HydraConfig {
+        &self.config
+    }
+
+    /// Client site: profiles the warehouse, executes the workload to obtain
+    /// annotated query plans, and packages the synopsis for transfer
+    /// (anonymized when the session was built with `.anonymize(true)`).
+    pub fn profile(
+        &self,
+        database: Database,
+        queries: &[SpjQuery],
+    ) -> HydraResult<TransferPackage> {
+        ClientSite::new(database).prepare_package(queries, self.anonymize)
+    }
+
+    /// Vendor site: runs the full regeneration pipeline on a transfer
+    /// package. Independent relations are solved in parallel under the
+    /// session's `parallelism`, and solved relations are reused from the
+    /// session cache when their constraint signature is unchanged.
+    pub fn regenerate(&self, package: &TransferPackage) -> HydraResult<RegenerationResult> {
+        self.vendor().regenerate(package)
+    }
+
+    /// Constructs a what-if scenario over a package. Across a sweep of
+    /// scenarios the session cache keeps every relation whose constraints the
+    /// scenario did not touch, so only changed relations are re-solved.
+    pub fn scenario(
+        &self,
+        scenario: &Scenario,
+        package: &TransferPackage,
+    ) -> HydraResult<ScenarioResult> {
+        let cache = self.cache.clone().map(|c| c as Arc<dyn SummaryCache>);
+        construct_scenario_with_cache(scenario, package, self.config.clone(), cache)
+    }
+
+    /// Streams one regenerated relation into a [`TupleSink`], optionally
+    /// velocity-regulated (`rows_per_sec`) and truncated (`limit`).
+    pub fn stream_table(
+        &self,
+        regeneration: &RegenerationResult,
+        table: &str,
+        sink: &mut dyn TupleSink,
+        rows_per_sec: Option<f64>,
+        limit: Option<u64>,
+    ) -> HydraResult<GenerationStats> {
+        Ok(regeneration
+            .generator()
+            .stream_into(table, sink, rows_per_sec, limit)?)
+    }
+
+    /// Number of solved relations currently cached by the session.
+    pub fn cached_relations(&self) -> usize {
+        self.cache.as_ref().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// The session's summary cache, if caching is enabled (hit/miss
+    /// statistics live there).
+    pub fn summary_cache(&self) -> Option<&InMemorySummaryCache> {
+        self.cache.as_deref()
+    }
+
+    fn vendor(&self) -> VendorSite {
+        let mut vendor = VendorSite::new(self.config.clone());
+        if let Some(cache) = &self.cache {
+            vendor = vendor.with_cache(Arc::clone(cache) as Arc<dyn SummaryCache>);
+        }
+        vendor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_datagen::sink::{CollectSink, CountingSink};
+    use hydra_summary::backend::GridBackend;
+    use hydra_workload::{
+        generate_client_database, retail_row_targets, retail_schema, DataGenConfig,
+        WorkloadGenConfig, WorkloadGenerator,
+    };
+
+    fn client_fixture() -> (Database, Vec<SpjQuery>) {
+        let schema = retail_schema();
+        let mut targets = retail_row_targets(0.005);
+        targets.insert("store_sales".to_string(), 2_000);
+        targets.insert("web_sales".to_string(), 600);
+        let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+        let queries = WorkloadGenerator::new(
+            schema,
+            WorkloadGenConfig {
+                num_queries: 8,
+                ..Default::default()
+            },
+        )
+        .generate();
+        (db, queries)
+    }
+
+    #[test]
+    fn session_profile_and_regenerate() {
+        let (db, queries) = client_fixture();
+        let session = Hydra::builder().compare_aqps(false).build();
+        let package = session.profile(db, &queries).unwrap();
+        assert_eq!(package.query_count(), 8);
+        let result = session.regenerate(&package).unwrap();
+        assert!(result.accuracy.fraction_within(0.10) > 0.9);
+        assert!(session.cached_relations() > 0);
+
+        // Second regeneration of the same package: everything cached.
+        let again = session.regenerate(&package).unwrap();
+        assert_eq!(
+            again.build_report.cached_relations,
+            again.build_report.relations.len()
+        );
+        assert_eq!(result.summary, again.summary);
+    }
+
+    #[test]
+    fn parallel_session_matches_sequential_accuracy() {
+        let (db, queries) = client_fixture();
+        let sequential = Hydra::builder()
+            .parallelism(1)
+            .summary_cache(false)
+            .compare_aqps(false)
+            .build();
+        let parallel = Hydra::builder()
+            .parallelism(4)
+            .summary_cache(false)
+            .compare_aqps(false)
+            .build();
+        let package = sequential.profile(db, &queries).unwrap();
+        let a = sequential.regenerate(&package).unwrap();
+        let b = parallel.regenerate(&package).unwrap();
+        // Identical accuracy output — parallelism must not change results.
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn scenario_sweep_reuses_unchanged_relations() {
+        let (db, queries) = client_fixture();
+        let session = Hydra::builder().compare_aqps(false).build();
+        let package = session.profile(db, &queries).unwrap();
+        session.regenerate(&package).unwrap();
+        let baseline_entries = session.cached_relations();
+        assert!(baseline_entries > 0);
+
+        // A row override on one fact relation: every dimension it does not
+        // touch is reused from the session cache.
+        let scenario = Scenario::scaled("stress", 1.0).with_row_override("store_sales", 100_000);
+        let result = session.scenario(&scenario, &package).unwrap();
+        assert_eq!(
+            result
+                .regeneration
+                .summary
+                .relation("store_sales")
+                .unwrap()
+                .total_rows,
+            100_000
+        );
+        let cached = result.regeneration.build_report.cached_relations;
+        let total = result.regeneration.build_report.relations.len();
+        assert!(
+            cached >= total - 2,
+            "only {cached}/{total} relations reused from the session cache"
+        );
+    }
+
+    #[test]
+    fn grid_backend_is_selectable_at_runtime() {
+        let (db, queries) = client_fixture();
+        let session = Hydra::builder()
+            .lp_backend(GridBackend::default())
+            .compare_aqps(false)
+            .build();
+        let package = session.profile(db, &queries).unwrap();
+        let result = session.regenerate(&package).unwrap();
+        // The baseline still hits the row counts and reasonable accuracy on
+        // this small workload; its LPs are at least as large as region ones.
+        assert_eq!(
+            result.summary.relation("store_sales").unwrap().total_rows,
+            package.metadata.row_count("store_sales")
+        );
+        assert!(result.accuracy.fraction_within(0.10) > 0.8);
+    }
+
+    #[test]
+    fn stream_table_drives_sinks() {
+        let (db, queries) = client_fixture();
+        let session = Hydra::builder().compare_aqps(false).build();
+        let package = session.profile(db, &queries).unwrap();
+        let result = session.regenerate(&package).unwrap();
+
+        let mut collect = CollectSink::new();
+        let stats = session
+            .stream_table(&result, "item", &mut collect, None, Some(50))
+            .unwrap();
+        assert_eq!(stats.rows, 50);
+        assert_eq!(collect.rows.len(), 50);
+
+        let mut count = CountingSink::new();
+        let stats = session
+            .stream_table(&result, "item", &mut count, None, None)
+            .unwrap();
+        assert_eq!(
+            stats.rows,
+            result.summary.relation("item").unwrap().total_rows
+        );
+        assert_eq!(count.rows, stats.rows);
+
+        assert!(session
+            .stream_table(&result, "missing", &mut CountingSink::new(), None, None)
+            .is_err());
+    }
+}

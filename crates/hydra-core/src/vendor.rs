@@ -9,10 +9,13 @@ use crate::report::{build_aqp_comparisons, QueryAqpComparison, RegenerationRepor
 use crate::transfer::TransferPackage;
 use hydra_datagen::dataless::DatalessDatabase;
 use hydra_datagen::generator::DynamicGenerator;
-use hydra_summary::builder::{SummaryBuildReport, SummaryBuilder, SummaryBuilderConfig};
+use hydra_summary::builder::{
+    SummaryBuildReport, SummaryBuilder, SummaryBuilderConfig, SummaryCache,
+};
 use hydra_summary::summary::DatabaseSummary;
 use hydra_summary::verify::{verify_summary, VolumetricAccuracyReport};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration of the vendor-side regeneration.
 #[derive(Debug, Clone)]
@@ -42,7 +45,10 @@ impl HydraConfig {
     /// A cheaper configuration that skips re-executing the workload on the
     /// regenerated database.
     pub fn without_aqp_comparison() -> Self {
-        HydraConfig { compare_aqps: false, ..Default::default() }
+        HydraConfig {
+            compare_aqps: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -90,12 +96,24 @@ impl RegenerationResult {
 pub struct VendorSite {
     /// Configuration.
     pub config: HydraConfig,
+    /// Optional cache of solved per-relation summaries (scenario sweeps).
+    cache: Option<Arc<dyn SummaryCache>>,
 }
 
 impl VendorSite {
     /// Creates a vendor site with the given configuration.
     pub fn new(config: HydraConfig) -> Self {
-        VendorSite { config }
+        VendorSite {
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a summary cache; subsequent [`VendorSite::regenerate`] calls
+    /// reuse solved relations whose constraint signature is unchanged.
+    pub fn with_cache(mut self, cache: Arc<dyn SummaryCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Runs the full regeneration pipeline on a transfer package.
@@ -117,11 +135,12 @@ impl VendorSite {
 
         // LP formulation, solving, deterministic alignment, post-processing.
         let builder = SummaryBuilder::new(self.config.builder.clone());
-        let (summary, build_report) = builder.build(
+        let (summary, build_report) = builder.build_with_cache(
             &schema,
             &row_targets,
             &constraints_by_table,
             Some(&package.metadata),
+            self.cache.as_deref(),
         )?;
 
         // Verification against every volumetric constraint.
@@ -163,10 +182,15 @@ mod tests {
         let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
         let queries = WorkloadGenerator::new(
             schema,
-            WorkloadGenConfig { num_queries: 10, ..Default::default() },
+            WorkloadGenConfig {
+                num_queries: 10,
+                ..Default::default()
+            },
         )
         .generate();
-        ClientSite::new(db).prepare_package(&queries, false).unwrap()
+        ClientSite::new(db)
+            .prepare_package(&queries, false)
+            .unwrap()
     }
 
     #[test]
@@ -196,7 +220,10 @@ mod tests {
 
         // The dataless database serves every relation.
         let dataless = result.dataless_database();
-        assert_eq!(dataless.row_count("store_sales"), package.metadata.row_count("store_sales"));
+        assert_eq!(
+            dataless.row_count("store_sales"),
+            package.metadata.row_count("store_sales")
+        );
 
         // AQP comparisons were produced for every query.
         assert_eq!(result.aqp_comparisons.len(), package.query_count());
@@ -235,6 +262,9 @@ mod tests {
             ..Default::default()
         });
         let result = vendor.regenerate(&package).unwrap();
-        assert_eq!(result.summary.relation("store_sales").unwrap().total_rows, 100_000);
+        assert_eq!(
+            result.summary.relation("store_sales").unwrap().total_rows,
+            100_000
+        );
     }
 }

@@ -29,7 +29,10 @@ impl DatalessDatabase {
 
     /// Number of tuples a scan of `table` would produce.
     pub fn row_count(&self, table: &str) -> u64 {
-        self.summary.relation(table).map(|r| r.total_rows).unwrap_or(0)
+        self.summary
+            .relation(table)
+            .map(|r| r.total_rows)
+            .unwrap_or(0)
     }
 }
 

@@ -1,7 +1,8 @@
-//! The user-facing dynamic generator: streams, materialization, and
-//! rate-controlled generation runs.
+//! The user-facing dynamic generator: streams, materialization, tuple sinks,
+//! and rate-controlled generation runs.
 
 use crate::governor::VelocityGovernor;
+use crate::sink::{CountingSink, TupleSink};
 use crate::stream::TupleStream;
 use hydra_catalog::schema::Schema;
 use hydra_engine::error::{EngineError, EngineResult};
@@ -66,6 +67,47 @@ impl DynamicGenerator {
         Ok(mem)
     }
 
+    /// Streams a relation's tuples into a [`TupleSink`], optionally throttled
+    /// to `rows_per_sec` and truncated at `limit` tuples.  This is the one
+    /// generation path behind query execution, export, and velocity
+    /// measurement; run statistics come back either way.
+    pub fn stream_into(
+        &self,
+        table: &str,
+        sink: &mut dyn TupleSink,
+        rows_per_sec: Option<f64>,
+        limit: Option<u64>,
+    ) -> EngineResult<GenerationStats> {
+        let stream = self.stream(table)?;
+        let schema_table = self
+            .schema
+            .table(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        let expected = stream.remaining().min(limit.unwrap_or(u64::MAX));
+        sink.begin(schema_table, expected);
+        let mut governor = match rows_per_sec {
+            Some(rate) => VelocityGovernor::with_rate(rate),
+            None => VelocityGovernor::unthrottled(),
+        };
+        let mut produced = 0u64;
+        for row in stream {
+            if produced >= limit.unwrap_or(u64::MAX) {
+                break;
+            }
+            sink.accept(row);
+            produced += 1;
+            governor.pace(1);
+        }
+        sink.finish();
+        Ok(GenerationStats {
+            table: table.to_string(),
+            rows: produced,
+            elapsed: governor.elapsed(),
+            achieved_rows_per_sec: governor.achieved_rate(),
+            target_rows_per_sec: governor.target_rate(),
+        })
+    }
+
     /// Generates up to `limit` tuples of a relation at the given velocity
     /// (rows per second; `None` = unthrottled), returning run statistics.
     /// Tuples are produced and immediately discarded — this measures the
@@ -76,30 +118,8 @@ impl DynamicGenerator {
         rows_per_sec: Option<f64>,
         limit: Option<u64>,
     ) -> EngineResult<GenerationStats> {
-        let stream = self.stream(table)?;
-        let mut governor = match rows_per_sec {
-            Some(rate) => VelocityGovernor::with_rate(rate),
-            None => VelocityGovernor::unthrottled(),
-        };
-        let mut produced = 0u64;
-        for row in stream {
-            // Consume the row (black-box it so the optimizer keeps the work).
-            std::hint::black_box(&row);
-            produced += 1;
-            governor.pace(1);
-            if let Some(limit) = limit {
-                if produced >= limit {
-                    break;
-                }
-            }
-        }
-        Ok(GenerationStats {
-            table: table.to_string(),
-            rows: produced,
-            elapsed: governor.elapsed(),
-            achieved_rows_per_sec: governor.achieved_rate(),
-            target_rows_per_sec: governor.target_rate(),
-        })
+        let mut sink = CountingSink::new();
+        self.stream_into(table, &mut sink, rows_per_sec, limit)
     }
 }
 
@@ -164,7 +184,11 @@ mod tests {
             .generate_with_velocity("item", Some(5000.0), Some(500))
             .unwrap();
         assert_eq!(stats.rows, 500);
-        assert!(stats.elapsed >= Duration::from_millis(90), "too fast: {:?}", stats.elapsed);
+        assert!(
+            stats.elapsed >= Duration::from_millis(90),
+            "too fast: {:?}",
+            stats.elapsed
+        );
         assert!(stats.achieved_rows_per_sec <= 5800.0);
     }
 }

@@ -29,7 +29,11 @@ impl VelocityGovernor {
 
     /// An unthrottled governor (generation proceeds at full speed).
     pub fn unthrottled() -> Self {
-        VelocityGovernor { target_rows_per_sec: None, started: Instant::now(), emitted: 0 }
+        VelocityGovernor {
+            target_rows_per_sec: None,
+            started: Instant::now(),
+            emitted: 0,
+        }
     }
 
     /// The configured target rate, if any.
@@ -41,7 +45,9 @@ impl VelocityGovernor {
     /// to keep the emission rate at (or below) the target.
     pub fn pace(&mut self, n: u64) {
         self.emitted += n;
-        let Some(rate) = self.target_rows_per_sec else { return };
+        let Some(rate) = self.target_rows_per_sec else {
+            return;
+        };
         let due = self.emitted as f64 / rate;
         let elapsed = self.started.elapsed().as_secs_f64();
         if due > elapsed {

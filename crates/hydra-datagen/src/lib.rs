@@ -52,9 +52,11 @@
 pub mod dataless;
 pub mod generator;
 pub mod governor;
+pub mod sink;
 pub mod stream;
 
 pub use dataless::DatalessDatabase;
 pub use generator::{DynamicGenerator, GenerationStats};
 pub use governor::VelocityGovernor;
+pub use sink::{CollectSink, CountingSink, CsvSink, TupleSink};
 pub use stream::TupleStream;

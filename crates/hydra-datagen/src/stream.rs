@@ -34,7 +34,10 @@ enum ColumnSource {
 impl<'a> TupleStream<'a> {
     /// Creates a stream over one relation.
     pub fn new(table: &'a Table, summary: &'a RelationSummary) -> Self {
-        let pk = summary.pk_column.clone().or_else(|| table.primary_key_column().map(str::to_string));
+        let pk = summary
+            .pk_column
+            .clone()
+            .or_else(|| table.primary_key_column().map(str::to_string));
         let layout = table
             .columns()
             .iter()
@@ -46,7 +49,14 @@ impl<'a> TupleStream<'a> {
                 }
             })
             .collect();
-        TupleStream { table, summary, row_index: 0, emitted_in_row: 0, emitted_total: 0, layout }
+        TupleStream {
+            table,
+            summary,
+            row_index: 0,
+            emitted_in_row: 0,
+            emitted_total: 0,
+            layout,
+        }
     }
 
     /// Number of tuples remaining in the stream.

@@ -45,7 +45,11 @@ impl Database {
     }
 
     /// Inserts many rows into a table.
-    pub fn insert_all(&mut self, table: &str, rows: impl IntoIterator<Item = Row>) -> EngineResult<()> {
+    pub fn insert_all(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> EngineResult<()> {
         self.table_mut(table)?.insert_all(rows)
     }
 
@@ -56,7 +60,10 @@ impl Database {
 
     /// Row count of one table (0 for unknown tables).
     pub fn row_count(&self, table: &str) -> u64 {
-        self.tables.get(table).map(|t| t.row_count() as u64).unwrap_or(0)
+        self.tables
+            .get(table)
+            .map(|t| t.row_count() as u64)
+            .unwrap_or(0)
     }
 
     /// Profiles every table, producing the metadata package the client ships
@@ -75,12 +82,22 @@ impl Database {
     pub fn dangling_foreign_keys(&self) -> u64 {
         let mut dangling = 0u64;
         for table in self.schema.tables() {
-            let Some(mem) = self.tables.get(&table.name) else { continue };
+            let Some(mem) = self.tables.get(&table.name) else {
+                continue;
+            };
             for fk in table.foreign_keys() {
-                let Some(fk_idx) = table.column_index(&fk.column) else { continue };
-                let Some(dim) = self.tables.get(&fk.referenced_table) else { continue };
-                let Some(dim_table) = self.schema.table(&fk.referenced_table) else { continue };
-                let Some(pk_idx) = dim_table.column_index(&fk.referenced_column) else { continue };
+                let Some(fk_idx) = table.column_index(&fk.column) else {
+                    continue;
+                };
+                let Some(dim) = self.tables.get(&fk.referenced_table) else {
+                    continue;
+                };
+                let Some(dim_table) = self.schema.table(&fk.referenced_table) else {
+                    continue;
+                };
+                let Some(pk_idx) = dim_table.column_index(&fk.referenced_column) else {
+                    continue;
+                };
                 let pk_values: std::collections::HashSet<&hydra_catalog::types::Value> =
                     dim.rows().iter().map(|r| &r[pk_idx]).collect();
                 for row in mem.rows() {
@@ -103,9 +120,9 @@ impl TableProvider for Database {
     }
 
     fn scan(&self, table: &str) -> Option<Box<dyn Iterator<Item = Row> + '_>> {
-        self.tables.get(table).map(|t| {
-            Box::new(t.rows().iter().cloned()) as Box<dyn Iterator<Item = Row> + '_>
-        })
+        self.tables
+            .get(table)
+            .map(|t| Box::new(t.rows().iter().cloned()) as Box<dyn Iterator<Item = Row> + '_>)
     }
 
     fn estimated_rows(&self, table: &str) -> Option<u64> {
@@ -124,7 +141,9 @@ mod tests {
         SchemaBuilder::new("toy")
             .table("S", |t| {
                 t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(
+                        ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
             })
             .table("R", |t| {
                 t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
@@ -137,10 +156,12 @@ mod tests {
     fn populated() -> Database {
         let mut db = Database::empty(toy_schema());
         for i in 0..10 {
-            db.insert("S", vec![Value::Integer(i), Value::Integer(i * 10)]).unwrap();
+            db.insert("S", vec![Value::Integer(i), Value::Integer(i * 10)])
+                .unwrap();
         }
         for i in 0..50 {
-            db.insert("R", vec![Value::Integer(i), Value::Integer(i % 10)]).unwrap();
+            db.insert("R", vec![Value::Integer(i), Value::Integer(i % 10)])
+                .unwrap();
         }
         db
     }
@@ -178,7 +199,8 @@ mod tests {
     fn referential_integrity_check() {
         let mut db = populated();
         assert_eq!(db.dangling_foreign_keys(), 0);
-        db.insert("R", vec![Value::Integer(99), Value::Integer(42)]).unwrap();
+        db.insert("R", vec![Value::Integer(99), Value::Integer(42)])
+            .unwrap();
         assert_eq!(db.dangling_foreign_keys(), 1);
     }
 

@@ -62,7 +62,11 @@ impl<'a> Executor<'a> {
         let mut cards = vec![0u64; plan.node_count()];
         let mut next_index = 0usize;
         let (columns, rows) = self.exec_node(plan, &mut cards, &mut next_index)?;
-        Ok(ExecutionResult { columns, rows, node_cardinalities: cards })
+        Ok(ExecutionResult {
+            columns,
+            rows,
+            node_cardinalities: cards,
+        })
     }
 
     /// Executes a plan and packages the observed cardinalities as an AQP.
@@ -82,8 +86,12 @@ impl<'a> Executor<'a> {
     }
 
     /// Convenience: plans and executes an [`SpjQuery`], returning its AQP.
-    pub fn run_query(&self, query: &SpjQuery) -> EngineResult<(ExecutionResult, AnnotatedQueryPlan)> {
-        let plan = LogicalPlan::from_query(query).map_err(|e| EngineError::BadPlan(e.to_string()))?;
+    pub fn run_query(
+        &self,
+        query: &SpjQuery,
+    ) -> EngineResult<(ExecutionResult, AnnotatedQueryPlan)> {
+        let plan =
+            LogicalPlan::from_query(query).map_err(|e| EngineError::BadPlan(e.to_string()))?;
         self.run_annotated(&query.name, &plan)
     }
 
@@ -99,15 +107,16 @@ impl<'a> Executor<'a> {
             PlanOp::Scan { table } => self.exec_scan(table)?,
             PlanOp::Filter { table, predicate } => {
                 if plan.children.len() != 1 {
-                    return Err(EngineError::BadPlan("filter needs exactly one input".into()));
+                    return Err(EngineError::BadPlan(
+                        "filter needs exactly one input".into(),
+                    ));
                 }
                 let (columns, rows) = self.exec_node(&plan.children[0], cards, next_index)?;
                 let filtered: Vec<Row> = rows
                     .into_iter()
                     .filter(|row| {
-                        predicate.evaluate(|col| {
-                            find_column(&columns, table, col).map(|idx| &row[idx])
-                        })
+                        predicate
+                            .evaluate(|col| find_column(&columns, table, col).map(|idx| &row[idx]))
                     })
                     .collect();
                 (columns, filtered)
@@ -116,7 +125,8 @@ impl<'a> Executor<'a> {
                 if plan.children.len() != 2 {
                     return Err(EngineError::BadPlan("join needs exactly two inputs".into()));
                 }
-                let (left_cols, left_rows) = self.exec_node(&plan.children[0], cards, next_index)?;
+                let (left_cols, left_rows) =
+                    self.exec_node(&plan.children[0], cards, next_index)?;
                 let (right_cols, right_rows) =
                     self.exec_node(&plan.children[1], cards, next_index)?;
 
@@ -127,21 +137,28 @@ impl<'a> Executor<'a> {
                 let fk_in_right = find_column(&right_cols, &edge.fact_table, &edge.fk_column);
                 let pk_in_left = find_column(&left_cols, &edge.dim_table, &edge.pk_column);
 
-                let (probe_rows, probe_cols, probe_key, build_rows, build_cols, build_key, probe_is_left) =
-                    match (fk_in_left, pk_in_right, fk_in_right, pk_in_left) {
-                        (Some(fk), Some(pk), _, _) => {
-                            (left_rows, left_cols, fk, right_rows, right_cols, pk, true)
-                        }
-                        (_, _, Some(fk), Some(pk)) => {
-                            (right_rows, right_cols, fk, left_rows, left_cols, pk, false)
-                        }
-                        _ => {
-                            return Err(EngineError::UnknownColumn(format!(
-                                "join columns for `{}` not found in inputs",
-                                edge.to_sql()
-                            )))
-                        }
-                    };
+                let (
+                    probe_rows,
+                    probe_cols,
+                    probe_key,
+                    build_rows,
+                    build_cols,
+                    build_key,
+                    probe_is_left,
+                ) = match (fk_in_left, pk_in_right, fk_in_right, pk_in_left) {
+                    (Some(fk), Some(pk), _, _) => {
+                        (left_rows, left_cols, fk, right_rows, right_cols, pk, true)
+                    }
+                    (_, _, Some(fk), Some(pk)) => {
+                        (right_rows, right_cols, fk, left_rows, left_cols, pk, false)
+                    }
+                    _ => {
+                        return Err(EngineError::UnknownColumn(format!(
+                            "join columns for `{}` not found in inputs",
+                            edge.to_sql()
+                        )))
+                    }
+                };
 
                 // Hash join: build on the dimension (PK) side, probe with the
                 // fact (FK) side.
@@ -192,8 +209,10 @@ impl<'a> Executor<'a> {
             .provider
             .table_columns(table)
             .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
-        let columns: Vec<OutputColumn> =
-            column_names.iter().map(|c| OutputColumn::new(table, c.clone())).collect();
+        let columns: Vec<OutputColumn> = column_names
+            .iter()
+            .map(|c| OutputColumn::new(table, c.clone()))
+            .collect();
         let rows: Vec<Row> = self
             .provider
             .scan(table)
@@ -218,12 +237,18 @@ mod tests {
         SchemaBuilder::new("toy")
             .table("S", |t| {
                 t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
-                    .column(ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(
+                        ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
+                    .column(
+                        ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
             })
             .table("T", |t| {
                 t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+                    .column(
+                        ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)),
+                    )
             })
             .table("R", |t| {
                 t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
@@ -241,15 +266,26 @@ mod tests {
     fn toy_db() -> Database {
         let mut db = Database::empty(toy_schema());
         for i in 0..100 {
-            db.insert("S", vec![Value::Integer(i), Value::Integer(i), Value::Integer(99 - i)])
-                .unwrap();
+            db.insert(
+                "S",
+                vec![Value::Integer(i), Value::Integer(i), Value::Integer(99 - i)],
+            )
+            .unwrap();
         }
         for i in 0..10 {
-            db.insert("T", vec![Value::Integer(i), Value::Integer(i)]).unwrap();
+            db.insert("T", vec![Value::Integer(i), Value::Integer(i)])
+                .unwrap();
         }
         for i in 0..1000 {
-            db.insert("R", vec![Value::Integer(i), Value::Integer(i % 100), Value::Integer(i % 10)])
-                .unwrap();
+            db.insert(
+                "R",
+                vec![
+                    Value::Integer(i),
+                    Value::Integer(i % 100),
+                    Value::Integer(i % 10),
+                ],
+            )
+            .unwrap();
         }
         db
     }
@@ -282,8 +318,9 @@ mod tests {
     fn filter_execution() {
         let db = toy_db();
         let schema = toy_schema();
-        let q = parse_query_for_schema("q", "select * from S where S.A >= 20 and S.A < 60", &schema)
-            .unwrap();
+        let q =
+            parse_query_for_schema("q", "select * from S where S.A >= 20 and S.A < 60", &schema)
+                .unwrap();
         let plan = LogicalPlan::from_query(&q).unwrap();
         let result = Executor::new(&db).run(&plan).unwrap();
         assert_eq!(result.rows.len(), 40);
@@ -332,7 +369,7 @@ mod tests {
         let result = Executor::new(&db).run(&plan).unwrap();
         assert_eq!(result.rows.len(), 1000);
         assert_eq!(result.columns.len(), 6); // 3 from R + 3 from S
-        // Every output row's S_fk equals its S_pk.
+                                             // Every output row's S_fk equals its S_pk.
         let fk = find_column(&result.columns, "R", "S_fk").unwrap();
         let pk = find_column(&result.columns, "S", "S_pk").unwrap();
         assert!(result.rows.iter().all(|r| r[fk] == r[pk]));
@@ -342,8 +379,15 @@ mod tests {
     fn join_with_dangling_fk_drops_rows() {
         let mut db = toy_db();
         // An R row referencing a non-existent S_pk.
-        db.insert("R", vec![Value::Integer(5000), Value::Integer(5000), Value::Integer(0)])
-            .unwrap();
+        db.insert(
+            "R",
+            vec![
+                Value::Integer(5000),
+                Value::Integer(5000),
+                Value::Integer(0),
+            ],
+        )
+        .unwrap();
         let schema = toy_schema();
         let q = parse_query_for_schema("q", "select * from R, S where R.S_fk = S.S_pk", &schema)
             .unwrap();
@@ -370,8 +414,10 @@ mod tests {
             .unwrap();
         let mut db = Database::empty(schema.clone());
         db.insert("D", vec![Value::Integer(0)]).unwrap();
-        db.insert("F", vec![Value::Integer(0), Value::Integer(0)]).unwrap();
-        db.insert("F", vec![Value::Integer(1), Value::Null]).unwrap();
+        db.insert("F", vec![Value::Integer(0), Value::Integer(0)])
+            .unwrap();
+        db.insert("F", vec![Value::Integer(1), Value::Null])
+            .unwrap();
         let q = parse_query_for_schema("q", "select * from F, D where F.d_fk = D.d_pk", &schema)
             .unwrap();
         let plan = LogicalPlan::from_query(&q).unwrap();

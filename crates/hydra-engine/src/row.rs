@@ -19,13 +19,18 @@ pub struct OutputColumn {
 impl OutputColumn {
     /// Creates an output column descriptor.
     pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
-        OutputColumn { table: table.into(), column: column.into() }
+        OutputColumn {
+            table: table.into(),
+            column: column.into(),
+        }
     }
 }
 
 /// Finds the index of `table.column` in an output column list.
 pub fn find_column(columns: &[OutputColumn], table: &str, column: &str) -> Option<usize> {
-    columns.iter().position(|c| c.table == table && c.column == column)
+    columns
+        .iter()
+        .position(|c| c.table == table && c.column == column)
 }
 
 #[cfg(test)]

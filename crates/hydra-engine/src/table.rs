@@ -17,7 +17,10 @@ pub struct MemTable {
 impl MemTable {
     /// Creates an empty table with the given schema.
     pub fn empty(schema: Table) -> Self {
-        MemTable { schema, rows: Vec::new() }
+        MemTable {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -85,10 +88,9 @@ impl MemTable {
 
     /// Returns the values of one column.
     pub fn column_values(&self, column: &str) -> EngineResult<Vec<Value>> {
-        let idx = self
-            .schema
-            .column_index(column)
-            .ok_or_else(|| EngineError::UnknownColumn(format!("{}.{}", self.schema.name, column)))?;
+        let idx = self.schema.column_index(column).ok_or_else(|| {
+            EngineError::UnknownColumn(format!("{}.{}", self.schema.name, column))
+        })?;
         Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
     }
 
@@ -133,8 +135,14 @@ mod tests {
     #[test]
     fn insert_and_scan() {
         let mut t = MemTable::empty(item_table());
-        t.insert(vec![Value::Integer(1), Value::str("Books"), Value::Double(9.99)]).unwrap();
-        t.insert(vec![Value::Integer(2), Value::str("Music"), Value::Null]).unwrap();
+        t.insert(vec![
+            Value::Integer(1),
+            Value::str("Books"),
+            Value::Double(9.99),
+        ])
+        .unwrap();
+        t.insert(vec![Value::Integer(2), Value::str("Music"), Value::Null])
+            .unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.rows()[1][1], Value::str("Music"));
         assert_eq!(
@@ -157,22 +165,36 @@ mod tests {
     fn type_mismatch_rejected() {
         let mut t = MemTable::empty(item_table());
         assert!(t
-            .insert(vec![Value::str("one"), Value::str("Books"), Value::Double(1.0)])
+            .insert(vec![
+                Value::str("one"),
+                Value::str("Books"),
+                Value::Double(1.0)
+            ])
             .is_err());
     }
 
     #[test]
     fn null_in_non_nullable_rejected() {
         let mut t = MemTable::empty(item_table());
-        assert!(t.insert(vec![Value::Null, Value::str("Books"), Value::Double(1.0)]).is_err());
+        assert!(t
+            .insert(vec![Value::Null, Value::str("Books"), Value::Double(1.0)])
+            .is_err());
         // Nullable column accepts NULL.
-        assert!(t.insert(vec![Value::Integer(1), Value::str("Books"), Value::Null]).is_ok());
+        assert!(t
+            .insert(vec![Value::Integer(1), Value::str("Books"), Value::Null])
+            .is_ok());
     }
 
     #[test]
     fn integer_accepted_in_double_column() {
         let mut t = MemTable::empty(item_table());
-        assert!(t.insert(vec![Value::Integer(1), Value::str("Books"), Value::Integer(10)]).is_ok());
+        assert!(t
+            .insert(vec![
+                Value::Integer(1),
+                Value::str("Books"),
+                Value::Integer(10)
+            ])
+            .is_ok());
     }
 
     #[test]
@@ -183,7 +205,11 @@ mod tests {
             vec![Value::Integer(2), Value::str("Music"), Value::Double(2.0)],
         ])
         .unwrap();
-        t.load_unchecked(vec![vec![Value::Integer(3), Value::str("Books"), Value::Double(3.0)]]);
+        t.load_unchecked(vec![vec![
+            Value::Integer(3),
+            Value::str("Books"),
+            Value::Double(3.0),
+        ]]);
         assert_eq!(t.row_count(), 3);
     }
 

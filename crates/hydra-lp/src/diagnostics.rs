@@ -53,12 +53,18 @@ impl ViolationReport {
                 relative,
             });
         }
-        ViolationReport { violations, total_absolute_violation: total }
+        ViolationReport {
+            violations,
+            total_absolute_violation: total,
+        }
     }
 
     /// Number of constraints satisfied within the given relative error.
     pub fn satisfied_within(&self, relative_error: f64) -> usize {
-        self.violations.iter().filter(|v| v.relative <= relative_error).count()
+        self.violations
+            .iter()
+            .filter(|v| v.relative <= relative_error)
+            .count()
     }
 
     /// Fraction (0..=1) of constraints satisfied within the given relative error.
@@ -71,7 +77,10 @@ impl ViolationReport {
 
     /// The largest relative error across constraints (0 if there are none).
     pub fn max_relative_error(&self) -> f64 {
-        self.violations.iter().map(|v| v.relative).fold(0.0, f64::max)
+        self.violations
+            .iter()
+            .map(|v| v.relative)
+            .fold(0.0, f64::max)
     }
 
     /// Mean relative error across constraints (0 if there are none).
@@ -87,7 +96,10 @@ impl ViolationReport {
     /// "percentage of volumetric constraints satisfied within a given relative
     /// error" plot from the vendor screen (Figure 4, bottom left).
     pub fn error_cdf(&self, thresholds: &[f64]) -> Vec<(f64, f64)> {
-        thresholds.iter().map(|t| (*t, self.fraction_within(*t))).collect()
+        thresholds
+            .iter()
+            .map(|t| (*t, self.fraction_within(*t)))
+            .collect()
     }
 }
 

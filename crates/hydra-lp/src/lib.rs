@@ -42,11 +42,13 @@
 
 pub mod diagnostics;
 pub mod problem;
+pub mod refine;
 pub mod rounding;
 pub mod simplex;
 pub mod solver;
 
 pub use diagnostics::{ConstraintViolation, ViolationReport};
 pub use problem::{Constraint, ConstraintOp, LpProblem};
+pub use refine::{refine_toward, repair_rounded_counts};
 pub use rounding::largest_remainder_round;
 pub use solver::{LpError, LpSolution, LpSolver, SolveStatus};

@@ -41,7 +41,10 @@ pub struct Constraint {
 impl Constraint {
     /// Evaluates the left-hand side for a candidate solution.
     pub fn lhs(&self, values: &[f64]) -> f64 {
-        self.terms.iter().map(|(i, c)| c * values.get(*i).copied().unwrap_or(0.0)).sum()
+        self.terms
+            .iter()
+            .map(|(i, c)| c * values.get(*i).copied().unwrap_or(0.0))
+            .sum()
     }
 
     /// Signed violation of the constraint for a candidate solution
@@ -94,7 +97,12 @@ impl LpProblem {
         op: ConstraintOp,
         rhs: f64,
     ) -> usize {
-        self.constraints.push(Constraint { terms, op, rhs, label: None });
+        self.constraints.push(Constraint {
+            terms,
+            op,
+            rhs,
+            label: None,
+        });
         self.constraints.len() - 1
     }
 
@@ -106,7 +114,12 @@ impl LpProblem {
         rhs: f64,
         label: impl Into<String>,
     ) -> usize {
-        self.constraints.push(Constraint { terms, op, rhs, label: Some(label.into()) });
+        self.constraints.push(Constraint {
+            terms,
+            op,
+            rhs,
+            label: Some(label.into()),
+        });
         self.constraints.len() - 1
     }
 
@@ -155,7 +168,9 @@ impl LpProblem {
                 }
             }
         }
-        self.constraints.iter().all(|c| c.violation(values).abs() <= tol)
+        self.constraints
+            .iter()
+            .all(|c| c.violation(values).abs() <= tol)
     }
 }
 
@@ -178,10 +193,20 @@ mod tests {
 
     #[test]
     fn violation_direction_for_inequalities() {
-        let le = Constraint { terms: vec![(0, 1.0)], op: ConstraintOp::Le, rhs: 5.0, label: None };
+        let le = Constraint {
+            terms: vec![(0, 1.0)],
+            op: ConstraintOp::Le,
+            rhs: 5.0,
+            label: None,
+        };
         assert_eq!(le.violation(&[4.0]), 0.0);
         assert_eq!(le.violation(&[6.0]), 1.0);
-        let ge = Constraint { terms: vec![(0, 1.0)], op: ConstraintOp::Ge, rhs: 5.0, label: None };
+        let ge = Constraint {
+            terms: vec![(0, 1.0)],
+            op: ConstraintOp::Ge,
+            rhs: 5.0,
+            label: None,
+        };
         assert_eq!(ge.violation(&[6.0]), 0.0);
         assert_eq!(ge.violation(&[4.0]), 1.0);
     }

@@ -1,0 +1,308 @@
+//! Solution refinement: interior solutions and integral repair.
+//!
+//! The two-phase simplex returns a *vertex* of the feasible polytope. For
+//! HYDRA's dimension relations that is a poor representative: vertex solutions
+//! concentrate tuple mass in as few regions as possible, which collapses
+//! regions that distinguish different workload predicates. Downstream, the
+//! foreign-key projection of two different dimension predicates can then land
+//! on the *same* primary-key blocks, turning consistent (harvested) fact
+//! constraints into contradictory LPs — exactly the additive-error mechanism
+//! the paper attributes to its summary projection.
+//!
+//! [`refine_toward`] fixes this: starting from a feasible solution it walks
+//! inside the feasible affine subspace toward an attractor point (HYDRA uses
+//! the volume-proportional allocation), so every region that *can* carry mass
+//! does. The walk uses cyclic projections (von Neumann) onto the equality
+//! constraints' null space, so `Ax = b` is preserved to numerical precision.
+//!
+//! [`repair_rounded_counts`] runs after largest-remainder rounding: rounding
+//! preserves the relation total but lets individual constraint groups drift by
+//! a few units. A greedy integral local search moves single units between
+//! regions while the total absolute constraint violation strictly decreases,
+//! typically restoring every feasible constraint group to exactness.
+
+use crate::problem::{ConstraintOp, LpProblem};
+
+/// Moves a feasible solution toward `attractor` without leaving the equality
+/// constraint subspace or the non-negative orthant.
+///
+/// Returns the refined solution; inputs are not modified. The problem must be
+/// HYDRA-shaped: only equality constraints participate (any other operator
+/// makes this a no-op), and the starting `solution` is assumed feasible.
+pub fn refine_toward(problem: &LpProblem, solution: &[f64], attractor: &[f64]) -> Vec<f64> {
+    let n = problem.num_vars;
+    if solution.len() != n
+        || attractor.len() != n
+        || n == 0
+        || problem.constraints.iter().any(|c| c.op != ConstraintOp::Eq)
+    {
+        return solution.to_vec();
+    }
+
+    // Pre-compute squared norms of constraint rows.
+    let norms: Vec<f64> = problem
+        .constraints
+        .iter()
+        .map(|c| c.terms.iter().map(|(_, coef)| coef * coef).sum::<f64>())
+        .collect();
+
+    let mut x = solution.to_vec();
+    // Outer iterations: each projects the remaining desire onto the null
+    // space, then steps as far as the orthant allows.
+    for _outer in 0..6 {
+        let mut d: Vec<f64> = x.iter().zip(attractor).map(|(xi, vi)| vi - xi).collect();
+
+        // Cyclic projections of `d` onto the intersection of the constraint
+        // rows' null spaces.
+        for _sweep in 0..40 {
+            let mut residual = 0.0f64;
+            for (c, &nrm) in problem.constraints.iter().zip(&norms) {
+                if nrm <= 1e-12 {
+                    continue;
+                }
+                let dot: f64 = c.terms.iter().map(|(i, coef)| coef * d[*i]).sum();
+                if dot.abs() > 1e-12 {
+                    let scale = dot / nrm;
+                    for (i, coef) in &c.terms {
+                        d[*i] -= scale * coef;
+                    }
+                    residual += dot.abs();
+                }
+            }
+            if residual < 1e-9 {
+                break;
+            }
+        }
+
+        let magnitude: f64 = d.iter().map(|v| v.abs()).sum();
+        if magnitude < 1e-9 {
+            break;
+        }
+
+        // Largest step that keeps x non-negative; slightly damped so we do
+        // not park exactly on the boundary (boundary = collapsed regions,
+        // which is what we are escaping).
+        let mut alpha = 1.0f64;
+        for (xi, di) in x.iter().zip(&d) {
+            if *di < -1e-12 {
+                alpha = alpha.min(xi / -di);
+            }
+        }
+        let step = 0.95 * alpha;
+        if step < 1e-9 {
+            break;
+        }
+        for (xi, di) in x.iter_mut().zip(&d) {
+            *xi = (*xi + step * di).max(0.0);
+        }
+    }
+    x
+}
+
+/// Greedy integral repair of rounded counts against an LP's equality
+/// constraints.
+///
+/// Moves single units into or out of variables while the total absolute
+/// violation across all equality constraints strictly decreases; when no
+/// single move helps, paired (increment, decrement) moves are tried so the
+/// relation total stays fixed through intermediate states that single moves
+/// cannot cross. Terminates after `max_moves` applied moves at the latest.
+///
+/// Only applies to HYDRA-shaped problems (all-equality constraints with unit
+/// coefficients); anything else is left untouched.
+pub fn repair_rounded_counts(problem: &LpProblem, counts: &mut [u64], max_moves: usize) {
+    let n = problem.num_vars;
+    if counts.len() != n || n == 0 {
+        return;
+    }
+    let hydra_shaped = problem
+        .constraints
+        .iter()
+        .all(|c| c.op == ConstraintOp::Eq && c.terms.iter().all(|(_, coef)| *coef == 1.0));
+    if !hydra_shaped {
+        return;
+    }
+
+    // Membership lists: which constraints contain each variable.
+    let mut member: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (k, c) in problem.constraints.iter().enumerate() {
+        for (i, _) in &c.terms {
+            member[*i].push(k);
+        }
+    }
+
+    // Signed deltas: achieved - target.
+    let mut delta: Vec<i64> = problem
+        .constraints
+        .iter()
+        .map(|c| {
+            let achieved: i64 = c.terms.iter().map(|(i, _)| counts[*i] as i64).sum();
+            achieved - c.rhs.round() as i64
+        })
+        .collect();
+
+    // Gain of bumping a variable up/down by one unit: number of constraints
+    // whose |delta| shrinks minus number whose |delta| grows.
+    let gain_inc = |var: usize, delta: &[i64]| -> i64 {
+        member[var]
+            .iter()
+            .map(|&k| if delta[k] < 0 { 1 } else { -1 })
+            .sum()
+    };
+    let gain_dec = |var: usize, delta: &[i64]| -> i64 {
+        member[var]
+            .iter()
+            .map(|&k| if delta[k] > 0 { 1 } else { -1 })
+            .sum()
+    };
+
+    let apply = |var: usize, dir: i64, counts: &mut [u64], delta: &mut [i64]| {
+        if dir > 0 {
+            counts[var] += 1;
+        } else {
+            counts[var] -= 1;
+        }
+        for &k in &member[var] {
+            delta[k] += dir;
+        }
+    };
+
+    for _ in 0..max_moves {
+        // Best single move.
+        let mut best: Option<(usize, i64, i64)> = None; // (var, dir, gain)
+        for (var, &count) in counts.iter().enumerate() {
+            let up = gain_inc(var, &delta);
+            if best.map(|(_, _, g)| up > g).unwrap_or(up > 0) {
+                best = Some((var, 1, up));
+            }
+            if count > 0 {
+                let down = gain_dec(var, &delta);
+                if best.map(|(_, _, g)| down > g).unwrap_or(down > 0) {
+                    best = Some((var, -1, down));
+                }
+            }
+        }
+        if let Some((var, dir, _)) = best {
+            apply(var, dir, counts, &mut delta);
+            continue;
+        }
+
+        // Paired move: +1 on `r`, -1 on `s`. Rank candidates separately by
+        // their single-move gains, evaluate the top combinations exactly
+        // (the union of their memberships), apply the first improvement.
+        let mut inc_rank: Vec<(i64, usize)> = (0..n).map(|v| (gain_inc(v, &delta), v)).collect();
+        let mut dec_rank: Vec<(i64, usize)> = (0..n)
+            .filter(|&v| counts[v] > 0)
+            .map(|v| (gain_dec(v, &delta), v))
+            .collect();
+        inc_rank.sort_unstable_by(|a, b| b.cmp(a));
+        dec_rank.sort_unstable_by(|a, b| b.cmp(a));
+        let mut applied = false;
+        'pairs: for &(_, r) in inc_rank.iter().take(24) {
+            for &(_, s) in dec_rank.iter().take(24) {
+                if r == s {
+                    continue;
+                }
+                let mut change = 0i64;
+                for &k in &member[r] {
+                    let shared = member[s].contains(&k);
+                    if !shared {
+                        change += (delta[k] + 1).abs() - delta[k].abs();
+                    }
+                }
+                for &k in &member[s] {
+                    let shared = member[r].contains(&k);
+                    if !shared {
+                        change += (delta[k] - 1).abs() - delta[k].abs();
+                    }
+                }
+                if change < 0 {
+                    apply(r, 1, counts, &mut delta);
+                    apply(s, -1, counts, &mut delta);
+                    applied = true;
+                    break 'pairs;
+                }
+            }
+        }
+        if !applied {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LpProblem;
+    use crate::solver::LpSolver;
+
+    /// x0 + x1 = 10, x0 + x2 = 10, total = 20. Vertex solutions put all mass
+    /// in x0; the volume-proportional attractor spreads it.
+    #[test]
+    fn refine_escapes_degenerate_vertices() {
+        let mut lp = LpProblem::new(4);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 10.0);
+        lp.add_constraint(vec![(0, 1.0), (2, 1.0)], ConstraintOp::Eq, 10.0);
+        lp.add_constraint(
+            vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+            ConstraintOp::Eq,
+            20.0,
+        );
+        let sol = LpSolver::default().solve(&lp).unwrap();
+        let attractor = vec![5.0; 4];
+        let refined = refine_toward(&lp, &sol.values, &attractor);
+        // Still feasible...
+        assert!(
+            lp.is_feasible(&refined, 1e-6),
+            "refined {refined:?} infeasible"
+        );
+        // ...and the previously-empty complement regions now carry mass.
+        assert!(refined[1] > 0.5, "x1 still collapsed: {refined:?}");
+        assert!(refined[2] > 0.5, "x2 still collapsed: {refined:?}");
+    }
+
+    #[test]
+    fn refine_is_noop_for_non_equality_problems() {
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Le, 5.0);
+        let x = vec![1.0, 2.0];
+        assert_eq!(refine_toward(&lp, &x, &[9.0, 9.0]), x);
+    }
+
+    #[test]
+    fn repair_restores_constraint_groups() {
+        // Two overlapping groups; rounding drifted both by one unit.
+        let mut lp = LpProblem::new(3);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 10.0);
+        lp.add_constraint(vec![(1, 1.0), (2, 1.0)], ConstraintOp::Eq, 8.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Eq, 14.0);
+        let mut counts = vec![7, 4, 3]; // groups achieve 11 and 7, total 14
+        repair_rounded_counts(&lp, &mut counts, 100);
+        assert_eq!(counts[0] + counts[1], 10);
+        assert_eq!(counts[1] + counts[2], 8);
+        assert_eq!(counts.iter().sum::<u64>(), 14);
+    }
+
+    #[test]
+    fn repair_never_increases_total_violation() {
+        let mut lp = LpProblem::new(2);
+        // Contradictory system: no integral point satisfies both.
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 7.0);
+        let violation =
+            |counts: &[u64]| -> i64 { (counts[0] as i64 - 5).abs() + (counts[0] as i64 - 7).abs() };
+        let mut counts = vec![6, 0];
+        let before = violation(&counts);
+        repair_rounded_counts(&lp, &mut counts, 100);
+        assert!(violation(&counts) <= before);
+    }
+
+    #[test]
+    fn repair_ignores_non_unit_coefficients() {
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 2.0), (1, 1.0)], ConstraintOp::Eq, 10.0);
+        let mut counts = vec![3, 3];
+        repair_rounded_counts(&lp, &mut counts, 100);
+        assert_eq!(counts, vec![3, 3]);
+    }
+}

@@ -24,15 +24,20 @@ pub fn largest_remainder_round(values: &[f64], target_total: u64) -> Vec<u64> {
     }
     let clamped: Vec<f64> = values.iter().map(|v| v.max(0.0)).collect();
     let mut floors: Vec<u64> = clamped.iter().map(|v| v.floor() as u64).collect();
-    let mut remainders: Vec<(usize, f64)> =
-        clamped.iter().enumerate().map(|(i, v)| (i, v - v.floor())).collect();
+    let mut remainders: Vec<(usize, f64)> = clamped
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, v - v.floor()))
+        .collect();
     let current: u64 = floors.iter().sum();
 
     if current < target_total {
         let mut deficit = target_total - current;
         // Largest remainder first; ties by lower index.
         remainders.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         let mut idx = 0usize;
         while deficit > 0 {
@@ -45,7 +50,9 @@ pub fn largest_remainder_round(values: &[f64], target_total: u64) -> Vec<u64> {
         let mut surplus = current - target_total;
         // Smallest remainder first; only entries with positive counts shrink.
         remainders.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         let mut idx = 0usize;
         let mut removed_in_cycle = false;
@@ -57,7 +64,7 @@ pub fn largest_remainder_round(values: &[f64], target_total: u64) -> Vec<u64> {
                 removed_in_cycle = true;
             }
             idx += 1;
-            if idx % n == 0 {
+            if idx.is_multiple_of(n) {
                 if !removed_in_cycle {
                     // All entries are zero; nothing more to remove.
                     break;

@@ -36,6 +36,21 @@ pub enum SimplexOutcome {
     IterationLimit,
 }
 
+/// A simplex outcome plus the dual prices of the user constraints, when
+/// available.  Duals enable delayed column generation in `LpSolver`: an
+/// excluded column with non-negative reduced cost `c_j - y·A_j` cannot
+/// improve the current (phase-1 or phase-2) objective.
+#[derive(Debug, Clone)]
+pub struct SolveDetail {
+    /// The primal outcome.
+    pub outcome: SimplexOutcome,
+    /// Dual value per user constraint — phase-2 duals for `Optimal`, phase-1
+    /// duals for `Infeasible`.  `None` when a row had to be negated during
+    /// normalization (negative RHS), where this bookkeeping is not
+    /// maintained.
+    pub duals: Option<Vec<f64>>,
+}
+
 /// Dense two-phase primal simplex solver.
 #[derive(Debug, Clone)]
 pub struct Simplex {
@@ -120,16 +135,15 @@ impl Tableau {
             // Choose entering column.
             let mut entering: Option<usize> = None;
             if use_bland {
-                for j in 0..self.cols {
-                    if allowed[j] && self.reduced_cost(j) < -EPS {
-                        entering = Some(j);
-                        break;
-                    }
-                }
+                entering = allowed[..self.cols]
+                    .iter()
+                    .enumerate()
+                    .find(|(j, ok)| **ok && self.reduced_cost(*j) < -EPS)
+                    .map(|(j, _)| j);
             } else {
                 let mut best = -EPS;
-                for j in 0..self.cols {
-                    if allowed[j] {
+                for (j, ok) in allowed[..self.cols].iter().enumerate() {
+                    if *ok {
                         let rc = self.reduced_cost(j);
                         if rc < best {
                             best = rc;
@@ -195,6 +209,12 @@ impl Simplex {
     /// the objective is empty).  Per-variable upper bounds are handled by
     /// adding explicit `x_i <= u_i` rows.
     pub fn solve(&self, problem: &LpProblem) -> SimplexOutcome {
+        self.solve_detailed(problem).outcome
+    }
+
+    /// [`Simplex::solve`] additionally recovering constraint duals (see
+    /// [`SolveDetail`]).
+    pub fn solve_detailed(&self, problem: &LpProblem) -> SolveDetail {
         let n = problem.num_vars;
 
         // Materialize all rows: user constraints plus upper-bound rows.
@@ -206,11 +226,19 @@ impl Simplex {
         let mut rows: Vec<Row> = problem
             .constraints
             .iter()
-            .map(|c| Row { coefs: c.terms.clone(), op: c.op, rhs: c.rhs })
+            .map(|c| Row {
+                coefs: c.terms.clone(),
+                op: c.op,
+                rhs: c.rhs,
+            })
             .collect();
         for (i, ub) in problem.upper_bounds.iter().enumerate() {
             if let Some(u) = ub {
-                rows.push(Row { coefs: vec![(i, 1.0)], op: ConstraintOp::Le, rhs: *u });
+                rows.push(Row {
+                    coefs: vec![(i, 1.0)],
+                    op: ConstraintOp::Le,
+                    rhs: *u,
+                });
             }
         }
 
@@ -221,9 +249,18 @@ impl Simplex {
             // the LP is unbounded unless coefficients are >= 0.
             let has_negative_cost = problem.objective.iter().any(|(_, c)| *c < 0.0);
             if has_negative_cost {
-                return SimplexOutcome::Unbounded;
+                return SolveDetail {
+                    outcome: SimplexOutcome::Unbounded,
+                    duals: None,
+                };
             }
-            return SimplexOutcome::Optimal { values: vec![0.0; n], objective: 0.0 };
+            return SolveDetail {
+                outcome: SimplexOutcome::Optimal {
+                    values: vec![0.0; n],
+                    objective: 0.0,
+                },
+                duals: Some(Vec::new()),
+            };
         }
 
         // Count auxiliary columns.
@@ -255,6 +292,11 @@ impl Simplex {
         let mut a = vec![vec![0.0; cols + 1]; m];
         let mut basis = vec![usize::MAX; m];
         let mut artificial_cols: Vec<usize> = Vec::with_capacity(num_artificial);
+        // Per row: the column that starts in the basis for it (used to read
+        // duals off the final cost row), and whether any row was negated
+        // (which breaks that bookkeeping).
+        let mut init_col = vec![usize::MAX; m];
+        let mut negated_any = false;
 
         let mut next_slack = n;
         let mut next_artificial = n + num_slack;
@@ -265,6 +307,7 @@ impl Simplex {
             if rhs < 0.0 {
                 sign = -1.0;
                 rhs = -rhs;
+                negated_any = true;
                 op = match op {
                     ConstraintOp::Le => ConstraintOp::Ge,
                     ConstraintOp::Ge => ConstraintOp::Le,
@@ -281,6 +324,7 @@ impl Simplex {
                 ConstraintOp::Le => {
                     a[r][next_slack] = 1.0;
                     basis[r] = next_slack;
+                    init_col[r] = next_slack;
                     next_slack += 1;
                 }
                 ConstraintOp::Ge => {
@@ -288,22 +332,46 @@ impl Simplex {
                     next_slack += 1;
                     a[r][next_artificial] = 1.0;
                     basis[r] = next_artificial;
+                    init_col[r] = next_artificial;
                     artificial_cols.push(next_artificial);
                     next_artificial += 1;
                 }
                 ConstraintOp::Eq => {
                     a[r][next_artificial] = 1.0;
                     basis[r] = next_artificial;
+                    init_col[r] = next_artificial;
                     artificial_cols.push(next_artificial);
                     next_artificial += 1;
                 }
             }
         }
 
+        // Reads the duals of the user constraints off the current cost row:
+        // the reduced cost of row r's initial basis column is
+        // `c_init - y_r` (its tableau column is the r-th identity column).
+        let num_user = problem.constraints.len();
+        let duals_from =
+            |tableau: &Tableau, init_cost: &dyn Fn(usize) -> f64| -> Option<Vec<f64>> {
+                if negated_any {
+                    return None;
+                }
+                Some(
+                    (0..num_user)
+                        .map(|r| init_cost(init_col[r]) - tableau.cost[init_col[r]])
+                        .collect(),
+                )
+            };
+
         let max_pivots = self.max_pivots.max(20 * (m + cols));
 
         // ---- Phase 1: minimize sum of artificial variables. ----
-        let mut tableau = Tableau { a, cost: vec![0.0; cols + 1], basis, rows: m, cols };
+        let mut tableau = Tableau {
+            a,
+            cost: vec![0.0; cols + 1],
+            basis,
+            rows: m,
+            cols,
+        };
         if !artificial_cols.is_empty() {
             for &j in &artificial_cols {
                 tableau.cost[j] = 1.0;
@@ -325,13 +393,35 @@ impl Simplex {
                 SimplexResult::Optimal => {}
                 SimplexResult::Unbounded => {
                     // Phase-1 objective is bounded below by zero; treat as limit.
-                    return SimplexOutcome::IterationLimit;
+                    return SolveDetail {
+                        outcome: SimplexOutcome::IterationLimit,
+                        duals: None,
+                    };
                 }
-                SimplexResult::IterationLimit => return SimplexOutcome::IterationLimit,
+                SimplexResult::IterationLimit => {
+                    return SolveDetail {
+                        outcome: SimplexOutcome::IterationLimit,
+                        duals: None,
+                    }
+                }
             }
             let phase1 = tableau.objective_value();
             if phase1 > 1e-6 {
-                return SimplexOutcome::Infeasible { phase1_objective: phase1 };
+                // Phase-1 duals: slacks cost 0, artificials cost 1.
+                let artificial_start = n + num_slack;
+                let duals = duals_from(&tableau, &|col| {
+                    if col >= artificial_start {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                });
+                return SolveDetail {
+                    outcome: SimplexOutcome::Infeasible {
+                        phase1_objective: phase1,
+                    },
+                    duals,
+                };
             }
             // Drive any artificial variables still in the basis out of it
             // (degenerate rows); if impossible the row is redundant.
@@ -375,13 +465,28 @@ impl Simplex {
         let allowed: Vec<bool> = (0..cols).map(|j| !artificial_cols.contains(&j)).collect();
         match tableau.optimize(&allowed, max_pivots) {
             SimplexResult::Optimal => {}
-            SimplexResult::Unbounded => return SimplexOutcome::Unbounded,
-            SimplexResult::IterationLimit => return SimplexOutcome::IterationLimit,
+            SimplexResult::Unbounded => {
+                return SolveDetail {
+                    outcome: SimplexOutcome::Unbounded,
+                    duals: None,
+                }
+            }
+            SimplexResult::IterationLimit => {
+                return SolveDetail {
+                    outcome: SimplexOutcome::IterationLimit,
+                    duals: None,
+                }
+            }
         }
 
+        // Phase-2 duals: every slack/artificial costs 0.
+        let duals = duals_from(&tableau, &|_| 0.0);
         let values = tableau.extract(n);
         let objective: f64 = problem.objective.iter().map(|(j, c)| c * values[*j]).sum();
-        SimplexOutcome::Optimal { values, objective }
+        SolveDetail {
+            outcome: SimplexOutcome::Optimal { values, objective },
+            duals,
+        }
     }
 }
 

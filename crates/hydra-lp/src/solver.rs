@@ -60,7 +60,10 @@ impl fmt::Display for LpError {
             LpError::Unbounded => write!(f, "LP objective is unbounded"),
             LpError::IterationLimit => write!(f, "LP solver exceeded its pivot budget"),
             LpError::Infeasible { phase1_objective } => {
-                write!(f, "LP is infeasible (phase-1 objective {phase1_objective:.4})")
+                write!(
+                    f,
+                    "LP is infeasible (phase-1 objective {phase1_objective:.4})"
+                )
             }
         }
     }
@@ -88,19 +91,215 @@ pub struct LpSolver {
 
 impl Default for LpSolver {
     fn default() -> Self {
-        LpSolver { simplex: Simplex::default(), recover_least_violation: true, tolerance: 1e-6 }
+        LpSolver {
+            simplex: Simplex::default(),
+            recover_least_violation: true,
+            tolerance: 1e-6,
+        }
     }
+}
+
+/// Column count above which pure-feasibility problems try restricted
+/// working-set solves before touching the full tableau.
+const WORKING_SET_MIN_VARS: usize = 1024;
+
+/// Cap on column-generation rounds before giving up on the restricted path.
+const COLUMN_GENERATION_ROUNDS: usize = 50;
+
+/// Outcome of the column-generation feasibility loop.
+enum ColumnGeneration {
+    /// A feasible full-length solution (zeros outside the working set).
+    Feasible(Vec<f64>),
+    /// Certified infeasible: no excluded column can reduce the restricted
+    /// phase-1 optimum below its positive value.
+    Infeasible { phase1_objective: f64 },
+    /// Pricing information was unavailable or the loop did not converge; the
+    /// caller falls back to the full dense solve.
+    GaveUp,
+}
+
+/// Seeds the working set: per constraint, a spread of its lowest-degree
+/// columns (private freedom) and highest-degree columns (shared mass).
+fn initial_working_set(problem: &LpProblem) -> std::collections::BTreeSet<usize> {
+    let n = problem.num_vars;
+    let mut degree = vec![0u32; n];
+    for c in &problem.constraints {
+        for (j, _) in &c.terms {
+            degree[*j] += 1;
+        }
+    }
+    let mut selected = std::collections::BTreeSet::new();
+    for c in &problem.constraints {
+        let mut cols: Vec<usize> = c.terms.iter().map(|(j, _)| *j).collect();
+        cols.sort_unstable_by_key(|&j| (degree[j], j));
+        for &j in cols.iter().take(13) {
+            selected.insert(j);
+        }
+        for &j in cols.iter().rev().take(13) {
+            selected.insert(j);
+        }
+    }
+    selected
+}
+
+/// Projects the problem onto a column subset (excluded columns are fixed at
+/// zero).  Returns the subproblem and the subset in slot order.
+fn restrict(
+    problem: &LpProblem,
+    selected: &std::collections::BTreeSet<usize>,
+) -> (LpProblem, Vec<usize>) {
+    let columns: Vec<usize> = selected.iter().copied().collect();
+    let mut slot_of = vec![usize::MAX; problem.num_vars];
+    for (slot, &j) in columns.iter().enumerate() {
+        slot_of[j] = slot;
+    }
+    let mut sub = LpProblem::new(columns.len());
+    for (slot, &j) in columns.iter().enumerate() {
+        sub.upper_bounds[slot] = problem.upper_bounds[j];
+    }
+    for c in &problem.constraints {
+        let terms: Vec<(usize, f64)> = c
+            .terms
+            .iter()
+            .filter(|(j, _)| slot_of[*j] != usize::MAX)
+            .map(|(j, coef)| (slot_of[*j], *coef))
+            .collect();
+        sub.add_constraint(terms, c.op, c.rhs);
+    }
+    (sub, columns)
+}
+
+/// Builds the soft (elastic) relaxation: every constraint `a·x op b` gains
+/// violation variables in the directions its operator allows, and the total
+/// violation is minimized (plus a tiny weight on the original objective for
+/// consistent tie-breaking).
+fn soften(problem: &LpProblem) -> LpProblem {
+    let n = problem.num_vars;
+    let m = problem.constraints.len();
+    // Two slack variables per constraint (over- and under-shoot).
+    let mut soft = LpProblem::new(n + 2 * m);
+    soft.upper_bounds[..n].clone_from_slice(&problem.upper_bounds);
+    let mut objective: Vec<(usize, f64)> = Vec::with_capacity(2 * m + problem.objective.len());
+    for (r, c) in problem.constraints.iter().enumerate() {
+        let over = n + 2 * r; // adds to LHS
+        let under = n + 2 * r + 1; // subtracts from LHS
+        let mut terms = c.terms.clone();
+        match c.op {
+            ConstraintOp::Eq => {
+                terms.push((over, 1.0));
+                terms.push((under, -1.0));
+                objective.push((over, 1.0));
+                objective.push((under, 1.0));
+            }
+            ConstraintOp::Le => {
+                // a·x - s_under <= b : s_under absorbs overshoot.
+                terms.push((under, -1.0));
+                objective.push((under, 1.0));
+            }
+            ConstraintOp::Ge => {
+                terms.push((over, 1.0));
+                objective.push((over, 1.0));
+            }
+        }
+        soft.constraints.push(Constraint {
+            terms,
+            op: c.op,
+            rhs: c.rhs,
+            label: c.label.clone(),
+        });
+    }
+    // Tiny weight on the original objective so ties are broken consistently.
+    for (j, c) in &problem.objective {
+        objective.push((*j, 1e-6 * c));
+    }
+    soft.set_objective(objective);
+    soft
+}
+
+/// Prices every excluded column against the duals (`rc_j = -y·A_j` for
+/// zero-cost structural columns) and adds the most promising ones to the
+/// working set.  Returns how many were added.
+fn price_and_add(
+    problem: &LpProblem,
+    duals: &[f64],
+    selected: &mut std::collections::BTreeSet<usize>,
+) -> usize {
+    let n = problem.num_vars;
+    let mut score = vec![0.0f64; n]; // y·A_j; improving columns have score > 0
+    for (r, c) in problem.constraints.iter().enumerate() {
+        let y = duals.get(r).copied().unwrap_or(0.0);
+        if y.abs() > 1e-12 {
+            for (j, coef) in &c.terms {
+                score[*j] += y * coef;
+            }
+        }
+    }
+    let mut candidates: Vec<(f64, usize)> = score
+        .iter()
+        .enumerate()
+        .filter(|(j, s)| **s > 1e-7 && !selected.contains(j))
+        .map(|(j, s)| (*s, j))
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let budget = (4 * problem.constraints.len()).max(64);
+    let mut added = 0usize;
+    for &(_, j) in candidates.iter().take(budget) {
+        selected.insert(j);
+        added += 1;
+    }
+    added
 }
 
 impl LpSolver {
     /// Creates a solver that fails (instead of recovering) on infeasibility.
     pub fn strict() -> Self {
-        LpSolver { recover_least_violation: false, ..Default::default() }
+        LpSolver {
+            recover_least_violation: false,
+            ..Default::default()
+        }
     }
 
     /// Solves the problem.
     pub fn solve(&self, problem: &LpProblem) -> Result<LpSolution, LpError> {
         let start = Instant::now();
+
+        // Fast path for HYDRA's fact-relation LPs: tens of thousands of
+        // region columns against a few dozen equality rows.  A basic feasible
+        // solution never needs more columns than rows, so solve over a small
+        // working set and grow it by dual pricing (delayed column
+        // generation): a restricted phase-1 optimum with no negatively-priced
+        // excluded column proves infeasibility of the *full* problem, and any
+        // restricted feasible point zero-pads to a full feasible point.
+        if problem.objective.is_empty() && problem.num_vars >= WORKING_SET_MIN_VARS {
+            match self.column_generation_feasibility(problem) {
+                ColumnGeneration::Feasible(values) => {
+                    let report = ViolationReport::evaluate(problem, &values);
+                    return Ok(LpSolution {
+                        objective: 0.0,
+                        status: SolveStatus::Feasible,
+                        total_violation: report.total_absolute_violation,
+                        solve_time: start.elapsed(),
+                        num_vars: problem.num_vars,
+                        num_constraints: problem.num_constraints(),
+                        values,
+                    });
+                }
+                ColumnGeneration::Infeasible { phase1_objective } => {
+                    if !self.recover_least_violation {
+                        return Err(LpError::Infeasible { phase1_objective });
+                    }
+                    if let Some(solution) = self.column_generation_least_violation(problem, start) {
+                        return Ok(solution);
+                    }
+                }
+                ColumnGeneration::GaveUp => {}
+            }
+        }
+
         match self.simplex.solve(problem) {
             SimplexOutcome::Optimal { values, objective } => {
                 let report = ViolationReport::evaluate(problem, &values);
@@ -125,6 +324,112 @@ impl LpSolver {
         }
     }
 
+    /// Runs delayed column generation for pure feasibility.
+    fn column_generation_feasibility(&self, problem: &LpProblem) -> ColumnGeneration {
+        let n = problem.num_vars;
+        let mut selected = initial_working_set(problem);
+        for _round in 0..COLUMN_GENERATION_ROUNDS {
+            if selected.len() >= n {
+                return ColumnGeneration::GaveUp;
+            }
+            let (sub, columns) = restrict(problem, &selected);
+            let detail = self.simplex.solve_detailed(&sub);
+            match detail.outcome {
+                crate::simplex::SimplexOutcome::Optimal { values, .. } => {
+                    let mut full = vec![0.0; n];
+                    for (slot, &j) in columns.iter().enumerate() {
+                        full[j] = values[slot];
+                    }
+                    return ColumnGeneration::Feasible(full);
+                }
+                crate::simplex::SimplexOutcome::Infeasible { phase1_objective } => {
+                    let Some(duals) = detail.duals else {
+                        return ColumnGeneration::GaveUp;
+                    };
+                    // Price excluded columns against the phase-1 duals: the
+                    // structural phase-1 cost is 0, so rc_j = -y·A_j.
+                    let added = price_and_add(problem, &duals, &mut selected);
+                    if added == 0 {
+                        // No column can lower the positive phase-1 optimum:
+                        // the full problem is infeasible, certified.
+                        return ColumnGeneration::Infeasible { phase1_objective };
+                    }
+                }
+                _ => return ColumnGeneration::GaveUp,
+            }
+        }
+        ColumnGeneration::GaveUp
+    }
+
+    /// Runs delayed column generation for the least-violation relaxation.
+    /// The elastic problem is always feasible, so each round solves to
+    /// optimality over the working set and prices the excluded structural
+    /// columns with the phase-2 duals; no negative price means the global
+    /// least-violation optimum has been reached.
+    fn column_generation_least_violation(
+        &self,
+        problem: &LpProblem,
+        start: Instant,
+    ) -> Option<LpSolution> {
+        let n = problem.num_vars;
+        let mut selected = initial_working_set(problem);
+        for _round in 0..COLUMN_GENERATION_ROUNDS {
+            if selected.len() >= n {
+                return None;
+            }
+            let (sub, columns) = restrict(problem, &selected);
+            let soft = soften(&sub);
+            let detail = self.simplex.solve_detailed(&soft);
+            match detail.outcome {
+                crate::simplex::SimplexOutcome::Optimal { values, .. } => {
+                    let duals = detail.duals?;
+                    let added = price_and_add(problem, &duals, &mut selected);
+                    if added > 0 {
+                        continue;
+                    }
+                    // Globally optimal: expand and classify.
+                    let mut full = vec![0.0; n];
+                    for (slot, &j) in columns.iter().enumerate() {
+                        full[j] = values[slot];
+                    }
+                    let report = ViolationReport::evaluate(problem, &full);
+                    let status =
+                        if report.total_absolute_violation <= self.feasibility_tolerance(problem) {
+                            SolveStatus::Feasible
+                        } else {
+                            SolveStatus::LeastViolation
+                        };
+                    return Some(LpSolution {
+                        values: full,
+                        objective: 0.0,
+                        status,
+                        total_violation: report.total_absolute_violation,
+                        solve_time: start.elapsed(),
+                        num_vars: problem.num_vars,
+                        num_constraints: problem.num_constraints(),
+                    });
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// The absolute violation below which a recovered solution counts as
+    /// feasible: the configured tolerance, scaled by the magnitude of the
+    /// right-hand sides.  Large-scale what-if scenarios (cardinalities in the
+    /// trillions) accumulate floating-point rounding that is absolutely large
+    /// but relatively negligible; classifying those infeasible would be
+    /// reporting noise.
+    fn feasibility_tolerance(&self, problem: &LpProblem) -> f64 {
+        let rhs_scale = problem
+            .constraints
+            .iter()
+            .map(|c| c.rhs.abs())
+            .fold(1.0f64, f64::max);
+        self.tolerance * rhs_scale
+    }
+
     /// Solves the soft relaxation: every constraint `a·x op b` becomes
     /// `a·x + s⁺ - s⁻ op b` (with the slack signs restricted according to the
     /// operator) and `Σ(s⁺ + s⁻)` is minimized.
@@ -134,56 +439,19 @@ impl LpSolver {
         start: Instant,
     ) -> Result<LpSolution, LpError> {
         let n = problem.num_vars;
-        let m = problem.constraints.len();
-        // Two slack variables per constraint (over- and under-shoot).
-        let mut soft = LpProblem::new(n + 2 * m);
-        soft.upper_bounds[..n].clone_from_slice(&problem.upper_bounds);
-        let mut objective: Vec<(usize, f64)> = Vec::with_capacity(2 * m + problem.objective.len());
-        for (r, c) in problem.constraints.iter().enumerate() {
-            let over = n + 2 * r; // adds to LHS
-            let under = n + 2 * r + 1; // subtracts from LHS
-            let mut terms = c.terms.clone();
-            match c.op {
-                ConstraintOp::Eq => {
-                    terms.push((over, 1.0));
-                    terms.push((under, -1.0));
-                    objective.push((over, 1.0));
-                    objective.push((under, 1.0));
-                }
-                ConstraintOp::Le => {
-                    // a·x - s_under <= b : s_under absorbs overshoot.
-                    terms.push((under, -1.0));
-                    objective.push((under, 1.0));
-                }
-                ConstraintOp::Ge => {
-                    terms.push((over, 1.0));
-                    objective.push((over, 1.0));
-                }
-            }
-            soft.constraints.push(Constraint {
-                terms,
-                op: c.op,
-                rhs: c.rhs,
-                label: c.label.clone(),
-            });
-        }
-        // Tiny weight on the original objective so ties are broken consistently.
-        for (j, c) in &problem.objective {
-            objective.push((*j, 1e-6 * c));
-        }
-        soft.set_objective(objective);
+        let soft = soften(problem);
 
         match self.simplex.solve(&soft) {
             SimplexOutcome::Optimal { values, .. } => {
                 let values: Vec<f64> = values.into_iter().take(n).collect();
                 let report = ViolationReport::evaluate(problem, &values);
-                let status = if report.total_absolute_violation <= self.tolerance {
-                    SolveStatus::Feasible
-                } else {
-                    SolveStatus::LeastViolation
-                };
-                let objective: f64 =
-                    problem.objective.iter().map(|(j, c)| c * values[*j]).sum();
+                let status =
+                    if report.total_absolute_violation <= self.feasibility_tolerance(problem) {
+                        SolveStatus::Feasible
+                    } else {
+                        SolveStatus::LeastViolation
+                    };
+                let objective: f64 = problem.objective.iter().map(|(j, c)| c * values[*j]).sum();
                 Ok(LpSolution {
                     values,
                     objective,
@@ -247,7 +515,10 @@ mod tests {
         let mut lp = LpProblem::new(1);
         lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
         lp.set_objective(vec![(0, -1.0)]);
-        assert_eq!(LpSolver::default().solve(&lp).unwrap_err(), LpError::Unbounded);
+        assert_eq!(
+            LpSolver::default().solve(&lp).unwrap_err(),
+            LpError::Unbounded
+        );
     }
 
     #[test]

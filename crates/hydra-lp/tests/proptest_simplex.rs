@@ -30,7 +30,11 @@ fn feasible_lp() -> impl Strategy<Value = (LpProblem, Vec<f64>)> {
             }
             // Total-sum constraint, always present in HYDRA LPs.
             let total: f64 = truth.iter().sum();
-            lp.add_constraint((0..truth.len()).map(|i| (i, 1.0)).collect(), ConstraintOp::Eq, total);
+            lp.add_constraint(
+                (0..truth.len()).map(|i| (i, 1.0)).collect(),
+                ConstraintOp::Eq,
+                total,
+            );
             (lp, truth)
         })
     })

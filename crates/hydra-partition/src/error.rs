@@ -21,7 +21,10 @@ impl fmt::Display for PartitionError {
                 write!(f, "constraint has {got} dimensions, space has {expected}")
             }
             PartitionError::TooManyRegions { limit } => {
-                write!(f, "region partitioning exceeded the region budget of {limit}")
+                write!(
+                    f,
+                    "region partitioning exceeded the region budget of {limit}"
+                )
             }
             PartitionError::EmptyAxis(a) => write!(f, "attribute `{a}` has an empty domain"),
         }

@@ -50,7 +50,7 @@ impl GridPartition {
             .collect();
         for boxes in constraints {
             for b in boxes {
-                for axis in 0..dims {
+                for (axis, axis_bounds) in boundaries.iter_mut().enumerate() {
                     let domain = space.domain(axis);
                     let iv = b.interval(axis).intersect(&domain);
                     if iv.is_empty() {
@@ -58,10 +58,10 @@ impl GridPartition {
                     }
                     // Only boundaries strictly inside the domain create cuts.
                     if iv.lo > domain.lo && iv.lo < domain.hi {
-                        boundaries[axis].push(iv.lo);
+                        axis_bounds.push(iv.lo);
                     }
                     if iv.hi > domain.lo && iv.hi < domain.hi {
-                        boundaries[axis].push(iv.hi);
+                        axis_bounds.push(iv.hi);
                     }
                 }
             }
@@ -75,12 +75,18 @@ impl GridPartition {
 
     /// Number of elementary intervals on each axis.
     pub fn intervals_per_axis(&self) -> Vec<usize> {
-        self.boundaries.iter().map(|b| b.len().saturating_sub(1)).collect()
+        self.boundaries
+            .iter()
+            .map(|b| b.len().saturating_sub(1))
+            .collect()
     }
 
     /// Number of grid cells (= LP variables under grid partitioning).
     pub fn num_cells(&self) -> u128 {
-        self.intervals_per_axis().iter().map(|&n| n as u128).product()
+        self.intervals_per_axis()
+            .iter()
+            .map(|&n| n as u128)
+            .product()
     }
 
     /// Alias of [`GridPartition::num_cells`] mirroring the region API.
@@ -99,7 +105,10 @@ impl GridPartition {
             .boundaries
             .iter()
             .map(|bounds| {
-                bounds.windows(2).map(|w| Interval::new(w[0], w[1])).collect::<Vec<_>>()
+                bounds
+                    .windows(2)
+                    .map(|w| Interval::new(w[0], w[1]))
+                    .collect::<Vec<_>>()
             })
             .collect();
         let mut cells = vec![Vec::<Interval>::new()];
@@ -166,7 +175,9 @@ mod tests {
         let d = 3usize;
         let k = 4usize;
         let space = AttributeSpace::new(
-            (0..d).map(|i| (format!("x{i}"), Interval::new(0, 1000))).collect(),
+            (0..d)
+                .map(|i| (format!("x{i}"), Interval::new(0, 1000)))
+                .collect(),
         );
         let mut constraints = Vec::new();
         for axis in 0..d {
@@ -201,8 +212,9 @@ mod tests {
         let space = space_2d();
         let mut constraints = Vec::new();
         for i in 0..40 {
-            constraints
-                .push(vec![space.box_from_intervals(vec![("a", Interval::new(i, i + 1))])]);
+            constraints.push(vec![
+                space.box_from_intervals(vec![("a", Interval::new(i, i + 1))])
+            ]);
         }
         let g = GridPartition::build(space, &constraints).unwrap();
         assert!(g.num_cells() > 10);
@@ -212,7 +224,9 @@ mod tests {
     #[test]
     fn boundaries_outside_domain_are_clamped() {
         let space = space_2d();
-        let c = vec![vec![space.box_from_intervals(vec![("a", Interval::new(-50, 200))])]];
+        let c = vec![vec![
+            space.box_from_intervals(vec![("a", Interval::new(-50, 200))])
+        ]];
         let g = GridPartition::build(space, &c).unwrap();
         // The constraint spans the whole domain: no internal cuts.
         assert_eq!(g.num_cells(), 1);
@@ -220,11 +234,8 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_rejected() {
-        let err = GridPartition::build(
-            space_2d(),
-            &[vec![NBox::new(vec![Interval::new(0, 1)])]],
-        )
-        .unwrap_err();
+        let err = GridPartition::build(space_2d(), &[vec![NBox::new(vec![Interval::new(0, 1)])]])
+            .unwrap_err();
         assert!(matches!(err, PartitionError::DimensionMismatch { .. }));
     }
 }

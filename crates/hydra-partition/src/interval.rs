@@ -49,7 +49,10 @@ impl Interval {
 
     /// Intersection of the two intervals (possibly empty).
     pub fn intersect(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
     }
 
     /// True if the intervals share at least one point.
@@ -138,6 +141,9 @@ mod tests {
         // Subtracting from an empty interval leaves nothing.
         assert!(Interval::empty().subtract(&a).is_empty());
         // Subtracting a prefix leaves the suffix.
-        assert_eq!(a.subtract(&Interval::new(0, 30)), vec![Interval::new(30, 100)]);
+        assert_eq!(
+            a.subtract(&Interval::new(0, 30)),
+            vec![Interval::new(30, 100)]
+        );
     }
 }

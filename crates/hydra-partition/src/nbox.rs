@@ -78,7 +78,10 @@ impl NBox {
     /// True if the box contains the given point.
     pub fn contains_point(&self, point: &[i64]) -> bool {
         debug_assert_eq!(self.dims(), point.len());
-        self.intervals.iter().zip(point.iter()).all(|(iv, p)| iv.contains(*p))
+        self.intervals
+            .iter()
+            .zip(point.iter())
+            .all(|(iv, p)| iv.contains(*p))
     }
 
     /// The lexicographically smallest point of the box (its lower corner).

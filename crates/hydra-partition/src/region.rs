@@ -70,7 +70,9 @@ impl Region {
 
     /// Total number of points covered by the retained representative cells.
     pub fn sampled_volume(&self) -> u128 {
-        self.pieces.iter().fold(0u128, |acc, p| acc.saturating_add(p.volume()))
+        self.pieces
+            .iter()
+            .fold(0u128, |acc, p| acc.saturating_add(p.volume()))
     }
 
     /// The `idx`-th point of the region in a fixed enumeration order over the
@@ -156,16 +158,15 @@ impl RegionPartition {
         if point.len() != self.space.dims() {
             return None;
         }
-        for axis in 0..self.space.dims() {
-            if !self.space.domain(axis).contains(point[axis]) {
+        for (axis, coord) in point.iter().enumerate() {
+            if !self.space.domain(axis).contains(*coord) {
                 return None;
             }
         }
         let mut signature = Signature::empty();
         for (ci, boxes) in self.constraints.iter().enumerate() {
-            let covered = (0..self.space.dims()).all(|axis| {
-                boxes.iter().any(|b| b.interval(axis).contains(point[axis]))
-            });
+            let covered = (0..self.space.dims())
+                .all(|axis| boxes.iter().any(|b| b.interval(axis).contains(point[axis])));
             if covered && !boxes.is_empty() {
                 signature.insert(ci);
             }
@@ -176,7 +177,67 @@ impl RegionPartition {
     /// Total volume across all regions (equals the space volume; saturating
     /// for astronomically large spaces).
     pub fn total_volume(&self) -> u128 {
-        self.regions.iter().fold(0u128, |acc, r| acc.saturating_add(r.volume))
+        self.regions
+            .iter()
+            .fold(0u128, |acc, r| acc.saturating_add(r.volume))
+    }
+
+    /// Builds a partition whose "regions" are the given *elementary* cells —
+    /// cells that never straddle a constraint boundary, such as the cells of a
+    /// [`crate::grid::GridPartition`].  This is how the DataSynth-style grid
+    /// baseline plugs into the same LP/alignment machinery as HYDRA's region
+    /// partitioning: one LP variable per cell instead of one per signature
+    /// class.
+    ///
+    /// Each cell's signature is computed with the same
+    /// product-of-per-axis-projections interpretation of constraint unions
+    /// that [`RegionPartitioner`] uses, evaluated at the cell's lower corner
+    /// (any point of an elementary cell gives the same answer).
+    pub fn from_elementary_cells(
+        space: AttributeSpace,
+        constraints: Vec<Vec<NBox>>,
+        cells: Vec<NBox>,
+    ) -> PartitionResult<RegionPartition> {
+        space.validate()?;
+        let dims = space.dims();
+        for b in cells.iter().chain(constraints.iter().flatten()) {
+            if b.dims() != dims {
+                return Err(PartitionError::DimensionMismatch {
+                    expected: dims,
+                    got: b.dims(),
+                });
+            }
+        }
+        let regions = cells
+            .into_iter()
+            .map(|cell| {
+                let corner = cell.lower_corner().unwrap_or_default();
+                let mut signature = Signature::empty();
+                for (ci, boxes) in constraints.iter().enumerate() {
+                    if boxes.is_empty() {
+                        continue;
+                    }
+                    let covered = (0..dims).all(|axis| {
+                        boxes
+                            .iter()
+                            .any(|b| b.interval(axis).contains(corner[axis]))
+                    });
+                    if covered {
+                        signature.insert(ci);
+                    }
+                }
+                Region {
+                    signature,
+                    volume: cell.volume(),
+                    pieces: vec![cell],
+                }
+            })
+            .collect();
+        Ok(RegionPartition {
+            space,
+            regions,
+            constraints,
+        })
     }
 }
 
@@ -193,7 +254,11 @@ pub struct RegionPartitioner {
 impl RegionPartitioner {
     /// Creates a partitioner over the given attribute space.
     pub fn new(space: AttributeSpace) -> Self {
-        RegionPartitioner { space, constraints: Vec::new(), max_regions: DEFAULT_MAX_REGIONS }
+        RegionPartitioner {
+            space,
+            constraints: Vec::new(),
+            max_regions: DEFAULT_MAX_REGIONS,
+        }
     }
 
     /// Overrides the region budget.
@@ -246,7 +311,13 @@ impl RegionPartitioner {
         // still possible".
         let all = Signature::from_indices(&(0..k).collect::<Vec<_>>());
         let mut partials: BTreeMap<Signature, Partial> = BTreeMap::new();
-        partials.insert(all, Partial { volume: 1, cells: vec![Vec::new()] });
+        partials.insert(
+            all,
+            Partial {
+                volume: 1,
+                cells: vec![Vec::new()],
+            },
+        );
 
         for axis in 0..dims {
             let domain = self.space.domain(axis);
@@ -291,9 +362,10 @@ impl RegionPartitioner {
                 for (e, e_mask) in &elementary {
                     let key = mask.intersect(e_mask);
                     let added_volume = partial.volume.saturating_mul(e.len() as u128);
-                    let entry = next
-                        .entry(key)
-                        .or_insert_with(|| Partial { volume: 0, cells: Vec::new() });
+                    let entry = next.entry(key).or_insert_with(|| Partial {
+                        volume: 0,
+                        cells: Vec::new(),
+                    });
                     entry.volume = entry.volume.saturating_add(added_volume);
                     if entry.cells.len() < CELLS_PER_REGION {
                         for prefix in &partial.cells {
@@ -308,7 +380,9 @@ impl RegionPartitioner {
                 }
             }
             if next.len() > self.max_regions {
-                return Err(PartitionError::TooManyRegions { limit: self.max_regions });
+                return Err(PartitionError::TooManyRegions {
+                    limit: self.max_regions,
+                });
             }
             partials = next;
         }
@@ -317,12 +391,20 @@ impl RegionPartitioner {
             .into_iter()
             .map(|(signature, partial)| {
                 let mut pieces: Vec<NBox> = partial.cells.into_iter().map(NBox::new).collect();
-                pieces.sort_by(|a, b| a.lower_corner().cmp(&b.lower_corner()));
-                Region { signature, pieces, volume: partial.volume }
+                pieces.sort_by_key(|p| p.lower_corner());
+                Region {
+                    signature,
+                    pieces,
+                    volume: partial.volume,
+                }
             })
             .collect();
 
-        Ok(RegionPartition { space: self.space, regions, constraints: self.constraints })
+        Ok(RegionPartition {
+            space: self.space,
+            regions,
+            constraints: self.constraints,
+        })
     }
 }
 
@@ -381,7 +463,11 @@ mod tests {
             .unwrap();
         // {} , {0}, {0,1} — the inner box is fully inside the outer one.
         assert_eq!(p.num_variables(), 3);
-        let inner = p.regions().iter().find(|r| r.signature.count() == 2).unwrap();
+        let inner = p
+            .regions()
+            .iter()
+            .find(|r| r.signature.count() == 2)
+            .unwrap();
         assert_eq!(inner.volume, 20);
     }
 
@@ -407,7 +493,11 @@ mod tests {
             .partition()
             .unwrap();
         assert_eq!(p.num_variables(), 2);
-        let inside = p.regions().iter().find(|r| r.signature.contains(0)).unwrap();
+        let inside = p
+            .regions()
+            .iter()
+            .find(|r| r.signature.contains(0))
+            .unwrap();
         assert_eq!(inside.volume, 20);
         assert_eq!(inside.pieces.len(), 2);
     }
@@ -427,7 +517,11 @@ mod tests {
         assert_eq!(p.num_variables(), 4);
         assert_eq!(p.total_volume(), 1000);
         // Region with both constraints: 40 x 5 = 200 points.
-        let both = p.regions().iter().find(|r| r.signature.count() == 2).unwrap();
+        let both = p
+            .regions()
+            .iter()
+            .find(|r| r.signature.count() == 2)
+            .unwrap();
         assert_eq!(both.volume, 200);
     }
 
@@ -452,7 +546,11 @@ mod tests {
             .add_constraint_box(NBox::new(vec![Interval::new(20, 22), Interval::new(3, 5)]))
             .partition()
             .unwrap();
-        let region = p.regions().iter().find(|r| r.signature.contains(0)).unwrap();
+        let region = p
+            .regions()
+            .iter()
+            .find(|r| r.signature.contains(0))
+            .unwrap();
         assert_eq!(region.volume, 4);
         let pts: Vec<Vec<i64>> = (0..4).map(|i| region.point_at(i).unwrap()).collect();
         // All distinct, all inside the region.
@@ -520,8 +618,8 @@ mod tests {
             Interval::new(0, 1000),
         )]));
         for i in 0..50 {
-            partitioner = partitioner
-                .add_constraint_box(NBox::new(vec![Interval::new(i * 20, i * 20 + 10)]));
+            partitioner =
+                partitioner.add_constraint_box(NBox::new(vec![Interval::new(i * 20, i * 20 + 10)]));
         }
         let p = partitioner.partition().unwrap();
         assert_eq!(p.num_variables(), 51);
@@ -536,10 +634,15 @@ mod tests {
         // axis sweep must stay proportional to the true region count.
         let dims = 6usize;
         let space = AttributeSpace::new(
-            (0..dims).map(|i| (format!("x{i}"), Interval::new(0, 10_000))).collect(),
+            (0..dims)
+                .map(|i| (format!("x{i}"), Interval::new(0, 10_000)))
+                .collect(),
         );
-        let pool: Vec<Interval> =
-            vec![Interval::new(0, 2_500), Interval::new(2_000, 6_000), Interval::new(7_000, 9_000)];
+        let pool: Vec<Interval> = vec![
+            Interval::new(0, 2_500),
+            Interval::new(2_000, 6_000),
+            Interval::new(7_000, 9_000),
+        ];
         let mut partitioner = RegionPartitioner::new(space.clone());
         for c in 0..120 {
             // Each constraint touches two axes with pooled predicates.

@@ -48,7 +48,10 @@ impl Signature {
     /// True if the signature contains the constraint index.
     pub fn contains(&self, index: usize) -> bool {
         let word = index / 64;
-        self.words.get(word).map(|w| w & (1u64 << (index % 64)) != 0).unwrap_or(false)
+        self.words
+            .get(word)
+            .map(|w| w & (1u64 << (index % 64)) != 0)
+            .unwrap_or(false)
     }
 
     /// Number of constraints in the signature.
@@ -102,7 +105,11 @@ impl fmt::Display for Signature {
         write!(
             f,
             "{{{}}}",
-            self.indices().iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+            self.indices()
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
         )
     }
 }

@@ -116,7 +116,10 @@ mod tests {
         assert_eq!(b.interval(0), Interval::new(20, 60));
         assert_eq!(b.interval(1), Interval::new(0, 10));
         // Unknown axes ignored; intervals clamped to the domain.
-        let b = s.box_from_intervals(vec![("zzz", Interval::new(0, 1)), ("b", Interval::new(-5, 3))]);
+        let b = s.box_from_intervals(vec![
+            ("zzz", Interval::new(0, 1)),
+            ("b", Interval::new(-5, 3)),
+        ]);
         assert_eq!(b.interval(0), Interval::new(0, 100));
         assert_eq!(b.interval(1), Interval::new(0, 3));
     }

@@ -13,21 +13,21 @@ fn space_and_constraints() -> impl Strategy<Value = (AttributeSpace, Vec<NBox>)>
         let axes = proptest::collection::vec(axis, dims);
         axes.prop_flat_map(move |axes| {
             let space = AttributeSpace::new(
-                axes.iter().enumerate().map(|(i, iv)| (format!("x{i}"), *iv)).collect(),
+                axes.iter()
+                    .enumerate()
+                    .map(|(i, iv)| (format!("x{i}"), *iv))
+                    .collect(),
             );
             let space_for_boxes = space.clone();
-            let one_box = proptest::collection::vec((0i64..50, 1i64..30), dims).prop_map(
-                move |ranges| {
+            let one_box =
+                proptest::collection::vec((0i64..50, 1i64..30), dims).prop_map(move |ranges| {
                     let intervals: Vec<Interval> = ranges
                         .iter()
                         .zip(space_for_boxes.full_box().intervals())
-                        .map(|((lo, len), domain)| {
-                            Interval::new(*lo, lo + len).intersect(domain)
-                        })
+                        .map(|((lo, len), domain)| Interval::new(*lo, lo + len).intersect(domain))
                         .collect();
                     NBox::new(intervals)
-                },
-            );
+                });
             (Just(space), proptest::collection::vec(one_box, 1..6))
         })
     })

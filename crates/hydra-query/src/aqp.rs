@@ -119,11 +119,18 @@ impl AnnotatedQueryPlan {
             let my = cards[*idx];
             *idx += 1;
             let children = plan.children.iter().map(|c| build(c, cards, idx)).collect();
-            AqpNode { op: plan.op.clone(), cardinality: my, children }
+            AqpNode {
+                op: plan.op.clone(),
+                cardinality: my,
+                children,
+            }
         }
         let mut idx = 0usize;
         let root = build(plan, cardinalities, &mut idx);
-        Ok(AnnotatedQueryPlan { query_name: query_name.into(), root })
+        Ok(AnnotatedQueryPlan {
+            query_name: query_name.into(),
+            root,
+        })
     }
 
     /// Total number of annotated edges (= nodes).
@@ -228,7 +235,11 @@ impl AnnotatedQueryPlan {
                     dim_predicate: dim.predicate,
                     nested: dim.fk_conditions,
                 });
-                NodeProfile { table: fact.table, predicate: fact.predicate, fk_conditions }
+                NodeProfile {
+                    table: fact.table,
+                    predicate: fact.predicate,
+                    fk_conditions,
+                }
             }
         };
         out.push(VolumetricConstraint {
@@ -312,7 +323,10 @@ mod tests {
         assert_eq!(cs.len(), 7);
 
         // Scan constraints pin total row counts.
-        let scan_r = cs.iter().find(|c| c.table == "R" && c.is_total_row_count()).unwrap();
+        let scan_r = cs
+            .iter()
+            .find(|c| c.table == "R" && c.is_total_row_count())
+            .unwrap();
         assert_eq!(scan_r.cardinality, 1000);
 
         // Filter on S: 80 rows with 20 <= A < 60.
@@ -355,7 +369,10 @@ mod tests {
         let cards = vec![30, 100, 40, 50, 5, 20];
         let aqp = AnnotatedQueryPlan::from_plan_with_cardinalities("snow", &plan, &cards).unwrap();
         let cs = aqp.constraints().unwrap();
-        let root = cs.iter().find(|c| c.table == "fact" && !c.fk_conditions.is_empty()).unwrap();
+        let root = cs
+            .iter()
+            .find(|c| c.table == "fact" && !c.fk_conditions.is_empty())
+            .unwrap();
         assert_eq!(root.cardinality, 30);
         assert_eq!(root.fk_conditions.len(), 1);
         let mid_cond = &root.fk_conditions[0];
@@ -392,14 +409,27 @@ mod tests {
     fn malformed_join_children_rejected() {
         // A join node whose children do not include the fact table.
         let node = AqpNode {
-            op: PlanOp::Join { edge: JoinEdge::new("R", "S_fk", "S", "S_pk") },
+            op: PlanOp::Join {
+                edge: JoinEdge::new("R", "S_fk", "S", "S_pk"),
+            },
             cardinality: 1,
             children: vec![
-                AqpNode { op: PlanOp::Scan { table: "X".into() }, cardinality: 1, children: vec![] },
-                AqpNode { op: PlanOp::Scan { table: "Y".into() }, cardinality: 1, children: vec![] },
+                AqpNode {
+                    op: PlanOp::Scan { table: "X".into() },
+                    cardinality: 1,
+                    children: vec![],
+                },
+                AqpNode {
+                    op: PlanOp::Scan { table: "Y".into() },
+                    cardinality: 1,
+                    children: vec![],
+                },
             ],
         };
-        let aqp = AnnotatedQueryPlan { query_name: "bad".into(), root: node };
+        let aqp = AnnotatedQueryPlan {
+            query_name: "bad".into(),
+            root: node,
+        };
         assert!(aqp.constraints().is_err());
     }
 }

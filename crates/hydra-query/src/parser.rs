@@ -121,7 +121,9 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &str) -> QueryResult<()> {
         match self.next() {
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(QueryError::Parse(format!("expected `{kw}`, found {other:?}"))),
+            other => Err(QueryError::Parse(format!(
+                "expected `{kw}`, found {other:?}"
+            ))),
         }
     }
 
@@ -132,7 +134,9 @@ impl Parser {
     fn expect_ident(&mut self) -> QueryResult<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(QueryError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(QueryError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -154,8 +158,14 @@ impl Parser {
 
 /// Either a filter predicate or a join condition, as parsed.
 enum Condition {
-    Filter { table: String, pred: ColumnPredicate },
-    Join { left: (String, String), right: (String, String) },
+    Filter {
+        table: String,
+        pred: ColumnPredicate,
+    },
+    Join {
+        left: (String, String),
+        right: (String, String),
+    },
 }
 
 /// Parses an SPJ SQL query into an [`SpjQuery`].
@@ -199,7 +209,9 @@ pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
             let op = match p.next() {
                 Some(Token::Symbol(s)) => s,
                 other => {
-                    return Err(QueryError::Parse(format!("expected operator, found {other:?}")))
+                    return Err(QueryError::Parse(format!(
+                        "expected operator, found {other:?}"
+                    )))
                 }
             };
             match p.peek() {
@@ -208,25 +220,26 @@ pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
                     conditions.push(Condition::Join { left, right });
                 }
                 _ => {
-                    let value = match p.next() {
-                        Some(Token::Number(n)) => {
-                            if n.contains('.') {
-                                Value::Double(n.parse().map_err(|_| {
-                                    QueryError::Parse(format!("bad number `{n}`"))
-                                })?)
-                            } else {
-                                Value::Integer(n.parse().map_err(|_| {
-                                    QueryError::Parse(format!("bad number `{n}`"))
-                                })?)
+                    let value =
+                        match p.next() {
+                            Some(Token::Number(n)) => {
+                                if n.contains('.') {
+                                    Value::Double(n.parse().map_err(|_| {
+                                        QueryError::Parse(format!("bad number `{n}`"))
+                                    })?)
+                                } else {
+                                    Value::Integer(n.parse().map_err(|_| {
+                                        QueryError::Parse(format!("bad number `{n}`"))
+                                    })?)
+                                }
                             }
-                        }
-                        Some(Token::Str(s)) => Value::Varchar(s),
-                        other => {
-                            return Err(QueryError::Parse(format!(
-                                "expected literal, found {other:?}"
-                            )))
-                        }
-                    };
+                            Some(Token::Str(s)) => Value::Varchar(s),
+                            other => {
+                                return Err(QueryError::Parse(format!(
+                                    "expected literal, found {other:?}"
+                                )))
+                            }
+                        };
                     let cmp = match op.as_str() {
                         "=" => CompareOp::Eq,
                         "<" => CompareOp::Lt,
@@ -251,7 +264,10 @@ pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
         }
     }
     if p.peek().is_some() {
-        return Err(QueryError::Parse(format!("trailing tokens at position {}", p.pos)));
+        return Err(QueryError::Parse(format!(
+            "trailing tokens at position {}",
+            p.pos
+        )));
     }
 
     // Assemble predicates and joins.
@@ -280,7 +296,9 @@ pub fn normalize_joins(query: &mut SpjQuery, schema: &Schema) -> QueryResult<()>
         let fact_has_fk = schema
             .table(&edge.fact_table)
             .and_then(|t| t.foreign_key_on(&edge.fk_column))
-            .map(|fk| fk.referenced_table == edge.dim_table && fk.referenced_column == edge.pk_column)
+            .map(|fk| {
+                fk.referenced_table == edge.dim_table && fk.referenced_column == edge.pk_column
+            })
             .unwrap_or(false);
         if fact_has_fk {
             continue;
@@ -289,7 +307,9 @@ pub fn normalize_joins(query: &mut SpjQuery, schema: &Schema) -> QueryResult<()>
         let dim_has_fk = schema
             .table(&edge.dim_table)
             .and_then(|t| t.foreign_key_on(&edge.pk_column))
-            .map(|fk| fk.referenced_table == edge.fact_table && fk.referenced_column == edge.fk_column)
+            .map(|fk| {
+                fk.referenced_table == edge.fact_table && fk.referenced_column == edge.fk_column
+            })
             .unwrap_or(false);
         if dim_has_fk {
             *edge = JoinEdge::new(
@@ -332,11 +352,15 @@ mod tests {
         SchemaBuilder::new("toy")
             .table("S", |t| {
                 t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(
+                        ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
             })
             .table("T", |t| {
                 t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+                    .column(
+                        ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)),
+                    )
             })
             .table("R", |t| {
                 t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
@@ -391,7 +415,10 @@ mod tests {
     #[test]
     fn parse_negative_numbers() {
         let q = parse_query("select * from t where t.x >= -5").unwrap();
-        assert_eq!(q.predicate("t").unwrap().conjuncts()[0].value, Value::Integer(-5));
+        assert_eq!(
+            q.predicate("t").unwrap().conjuncts()[0].value,
+            Value::Integer(-5)
+        );
     }
 
     #[test]

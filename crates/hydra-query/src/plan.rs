@@ -60,20 +60,31 @@ pub struct LogicalPlan {
 impl LogicalPlan {
     /// Leaf scan node.
     pub fn scan(table: impl Into<String>) -> Self {
-        LogicalPlan { op: PlanOp::Scan { table: table.into() }, children: Vec::new() }
+        LogicalPlan {
+            op: PlanOp::Scan {
+                table: table.into(),
+            },
+            children: Vec::new(),
+        }
     }
 
     /// Filter node over an input.
     pub fn filter(table: impl Into<String>, predicate: TablePredicate, input: LogicalPlan) -> Self {
         LogicalPlan {
-            op: PlanOp::Filter { table: table.into(), predicate },
+            op: PlanOp::Filter {
+                table: table.into(),
+                predicate,
+            },
             children: vec![input],
         }
     }
 
     /// Join node over two inputs (fact side left, dimension side right).
     pub fn join(edge: JoinEdge, left: LogicalPlan, right: LogicalPlan) -> Self {
-        LogicalPlan { op: PlanOp::Join { edge }, children: vec![left, right] }
+        LogicalPlan {
+            op: PlanOp::Join { edge },
+            children: vec![left, right],
+        }
     }
 
     /// Builds the canonical plan for an SPJ query: per-table scan (+ filter)
@@ -97,9 +108,7 @@ impl LogicalPlan {
     fn build_subtree(query: &SpjQuery, table: &str, used_edges: &mut [bool]) -> LogicalPlan {
         let scan = LogicalPlan::scan(table);
         let mut plan = match query.predicate(table) {
-            Some(pred) if !pred.is_trivial() => {
-                LogicalPlan::filter(table, pred.clone(), scan)
-            }
+            Some(pred) if !pred.is_trivial() => LogicalPlan::filter(table, pred.clone(), scan),
             _ => scan,
         };
         // Join with every dimension referenced from this table, in edge order.
@@ -120,7 +129,11 @@ impl LogicalPlan {
 
     /// Number of nodes in the plan.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(LogicalPlan::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(LogicalPlan::node_count)
+            .sum::<usize>()
     }
 
     /// All nodes in pre-order (self first).

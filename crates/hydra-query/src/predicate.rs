@@ -54,7 +54,11 @@ pub struct ColumnPredicate {
 impl ColumnPredicate {
     /// Creates a comparison predicate.
     pub fn new(column: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
-        ColumnPredicate { column: column.into(), op, value: value.into() }
+        ColumnPredicate {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Evaluates the comparison for a concrete value (NULL never matches).
@@ -129,7 +133,9 @@ impl TablePredicate {
     /// Evaluates the conjunction against a row of `(column name, value)`
     /// lookups provided by the closure.
     pub fn evaluate<'a>(&self, lookup: impl Fn(&str) -> Option<&'a Value>) -> bool {
-        self.conjuncts.iter().all(|c| lookup(&c.column).map(|v| c.matches(v)).unwrap_or(false))
+        self.conjuncts
+            .iter()
+            .all(|c| lookup(&c.column).map(|v| c.matches(v)).unwrap_or(false))
     }
 
     /// Converts the conjunction into per-column half-open intervals on each
@@ -143,10 +149,14 @@ impl TablePredicate {
     pub fn normalized_intervals(&self, table: &Table) -> BTreeMap<String, (i64, i64)> {
         let mut out: BTreeMap<String, (i64, i64)> = BTreeMap::new();
         for conj in &self.conjuncts {
-            let Some(column) = table.column(&conj.column) else { continue };
+            let Some(column) = table.column(&conj.column) else {
+                continue;
+            };
             let domain = column.domain_or_default();
             let (dom_lo, dom_hi) = domain.normalized_bounds();
-            let Some(v) = domain.normalize(&conj.value) else { continue };
+            let Some(v) = domain.normalize(&conj.value) else {
+                continue;
+            };
             let (lo, hi) = match conj.op {
                 CompareOp::Eq => (v, v + 1),
                 CompareOp::Lt => (dom_lo, v),
@@ -205,7 +215,9 @@ mod tests {
         SchemaBuilder::new("t")
             .table("S", |t| {
                 t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(
+                        ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
                     .column(
                         ColumnBuilder::new("cat", DataType::Varchar(None))
                             .domain(Domain::categorical(["Books", "Music", "Women"])),
@@ -257,8 +269,8 @@ mod tests {
     #[test]
     fn normalized_intervals_for_equality_and_categorical() {
         let t = table();
-        let pred = TablePredicate::always_true()
-            .with(ColumnPredicate::new("cat", CompareOp::Eq, "Music"));
+        let pred =
+            TablePredicate::always_true().with(ColumnPredicate::new("cat", CompareOp::Eq, "Music"));
         let iv = pred.normalized_intervals(&t);
         assert_eq!(iv.get("cat"), Some(&(1, 2)));
     }
@@ -266,8 +278,8 @@ mod tests {
     #[test]
     fn normalized_intervals_clamp_to_domain() {
         let t = table();
-        let pred = TablePredicate::always_true()
-            .with(ColumnPredicate::new("A", CompareOp::Le, 1_000_000));
+        let pred =
+            TablePredicate::always_true().with(ColumnPredicate::new("A", CompareOp::Le, 1_000_000));
         let iv = pred.normalized_intervals(&t);
         assert_eq!(iv.get("A"), Some(&(0, 100)));
     }

@@ -106,7 +106,10 @@ impl SpjQuery {
 
     /// Join edges whose fact side is the given table.
     pub fn joins_from(&self, table: &str) -> Vec<&JoinEdge> {
-        self.joins.iter().filter(|j| j.fact_table == table).collect()
+        self.joins
+            .iter()
+            .filter(|j| j.fact_table == table)
+            .collect()
     }
 
     /// Validates the query against a schema: tables and predicate columns
@@ -209,11 +212,15 @@ mod tests {
         SchemaBuilder::new("toy")
             .table("S", |t| {
                 t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(
+                        ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
             })
             .table("T", |t| {
                 t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+                    .column(
+                        ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)),
+                    )
             })
             .table("R", |t| {
                 t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())

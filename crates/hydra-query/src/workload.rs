@@ -42,7 +42,10 @@ impl QueryWorkload {
 
     /// Adds a query together with its annotated plan.
     pub fn add_annotated(&mut self, query: SpjQuery, aqp: AnnotatedQueryPlan) -> &mut Self {
-        self.entries.push(WorkloadEntry { query, aqp: Some(aqp) });
+        self.entries.push(WorkloadEntry {
+            query,
+            aqp: Some(aqp),
+        });
         self
     }
 
@@ -91,7 +94,11 @@ impl QueryWorkload {
     /// Total number of annotated edges across the workload (the count the
     /// paper's accuracy figures are computed over).
     pub fn total_annotated_edges(&self) -> usize {
-        self.entries.iter().filter_map(|e| e.aqp.as_ref()).map(|a| a.edge_count()).sum()
+        self.entries
+            .iter()
+            .filter_map(|e| e.aqp.as_ref())
+            .map(|a| a.edge_count())
+            .sum()
     }
 }
 
@@ -136,9 +143,15 @@ mod tests {
         assert!(!wl.is_empty());
         assert!(wl.entry("q1").is_some());
         assert!(wl.entry("missing").is_none());
-        assert_eq!(wl.referenced_tables(), vec!["R".to_string(), "S".to_string()]);
+        assert_eq!(
+            wl.referenced_tables(),
+            vec!["R".to_string(), "S".to_string()]
+        );
         // q1's plan: Join, Filter, Scan R?? — whatever the shape, edges == node count.
-        assert_eq!(wl.total_annotated_edges(), wl.entries[0].aqp.as_ref().unwrap().edge_count());
+        assert_eq!(
+            wl.total_annotated_edges(),
+            wl.entries[0].aqp.as_ref().unwrap().edge_count()
+        );
     }
 
     #[test]

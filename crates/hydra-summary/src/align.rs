@@ -26,10 +26,11 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// How representative value vectors are chosen inside each region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AlignmentStrategy {
     /// HYDRA's deterministic alignment: the canonical first point of each
     /// region, identical across runs.
+    #[default]
     Deterministic,
     /// DataSynth-style sampling: a pseudo-random point of each region,
     /// parameterized by a seed (the ablation baseline).
@@ -37,12 +38,6 @@ pub enum AlignmentStrategy {
         /// RNG seed.
         seed: u64,
     },
-}
-
-impl Default for AlignmentStrategy {
-    fn default() -> Self {
-        AlignmentStrategy::Deterministic
-    }
 }
 
 /// Builds the relation summary from a solved region placement.
@@ -71,20 +66,35 @@ pub fn build_relation_summary(
         .columns()
         .iter()
         .filter(|c| {
-            Some(c.name.as_str()) != pk_column.as_deref()
-                && !axes.columns.contains(&c.name)
+            Some(c.name.as_str()) != pk_column.as_deref() && !axes.columns.contains(&c.name)
         })
-        .map(|c| (c.name.clone(), filler_value(table, &c.name, &c.data_type, stats)))
+        .map(|c| {
+            (
+                c.name.clone(),
+                filler_value(table, &c.name, &c.data_type, stats),
+            )
+        })
         .collect();
 
-    for (region, &count) in solved.partition.regions().iter().zip(&solved.region_counts) {
+    // Emit regions in geometric (representative-point) order rather than
+    // signature order: range predicates then select *contiguous* runs of
+    // primary-key blocks, so downstream foreign-key projections produce few
+    // intervals and the referencing relation's region partition stays small.
+    let mut order: Vec<usize> = (0..solved.partition.regions().len()).collect();
+    order.sort_by_key(|&i| solved.partition.regions()[i].representative_point());
+
+    for &index in &order {
+        let region = &solved.partition.regions()[index];
+        let count = solved.region_counts[index];
         if count == 0 {
             continue;
         }
         let point = match &mut rng {
             Some(rng) if region.volume > 0 => {
                 let idx = rng.gen_range(0..region.volume.min(u64::MAX as u128) as u64);
-                region.point_at(idx as u128).unwrap_or_else(|| region.representative_point())
+                region
+                    .point_at(idx as u128)
+                    .unwrap_or_else(|| region.representative_point())
             }
             _ => region.representative_point(),
         };
@@ -185,7 +195,10 @@ mod tests {
     fn build(strategy: AlignmentStrategy) -> RelationSummary {
         let schema = schema();
         let table = schema.table("item").unwrap();
-        let cs = vec![constraint(0, 50, 600, "q1#1"), constraint(25, 75, 300, "q2#1")];
+        let cs = vec![
+            constraint(0, 50, 600, "q1#1"),
+            constraint(25, 75, 300, "q2#1"),
+        ];
         let axes = RelationAxes::build(table, &cs, &BTreeMap::new()).unwrap();
         let solved = formulate_and_solve(
             table,
@@ -210,8 +223,11 @@ mod tests {
         let s = build(AlignmentStrategy::Deterministic);
         assert_eq!(s.total_rows, 1000);
         // Constraint 1: rows with 0 <= i_manager_id < 50 must total 600.
-        let pred = TablePredicate::always_true()
-            .with(ColumnPredicate::new("i_manager_id", CompareOp::Lt, 50));
+        let pred = TablePredicate::always_true().with(ColumnPredicate::new(
+            "i_manager_id",
+            CompareOp::Lt,
+            50,
+        ));
         let achieved: u64 = s
             .rows
             .iter()
@@ -244,8 +260,11 @@ mod tests {
     fn sampled_alignment_still_satisfies_constraints() {
         let s = build(AlignmentStrategy::Sampled { seed: 7 });
         assert_eq!(s.total_rows, 1000);
-        let pred = TablePredicate::always_true()
-            .with(ColumnPredicate::new("i_manager_id", CompareOp::Lt, 50));
+        let pred = TablePredicate::always_true().with(ColumnPredicate::new(
+            "i_manager_id",
+            CompareOp::Lt,
+            50,
+        ));
         let achieved: u64 = s
             .rows
             .iter()

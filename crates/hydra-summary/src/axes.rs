@@ -71,12 +71,13 @@ impl RelationAxes {
                 SummaryError::Catalog(format!("column `{}`.`{name}` not found", table.name))
             })?;
             let interval = if let Some(fk) = table.foreign_key_on(name) {
-                let rows = fk_domains.get(&fk.referenced_table).copied().ok_or_else(|| {
-                    SummaryError::DimensionNotSummarized {
+                let rows = fk_domains
+                    .get(&fk.referenced_table)
+                    .copied()
+                    .ok_or_else(|| SummaryError::DimensionNotSummarized {
                         table: table.name.clone(),
                         dimension: fk.referenced_table.clone(),
-                    }
-                })?;
+                    })?;
                 Interval::new(0, rows.max(1) as i64)
             } else {
                 let (lo, hi) = column.domain_or_default().normalized_bounds();
@@ -84,7 +85,10 @@ impl RelationAxes {
             };
             axes.push((name.clone(), interval));
         }
-        Ok(RelationAxes { space: AttributeSpace::new(axes), columns })
+        Ok(RelationAxes {
+            space: AttributeSpace::new(axes),
+            columns,
+        })
     }
 
     /// Translates one volumetric constraint into a union of boxes over this
@@ -106,8 +110,9 @@ impl RelationAxes {
         summaries: &BTreeMap<String, RelationSummary>,
     ) -> SummaryResult<(Vec<NBox>, bool)> {
         // Start with one interval list per axis (initially the full domain).
-        let mut axis_intervals: Vec<Vec<Interval>> =
-            (0..self.space.dims()).map(|i| vec![self.space.domain(i)]).collect();
+        let mut axis_intervals: Vec<Vec<Interval>> = (0..self.space.dims())
+            .map(|i| vec![self.space.domain(i)])
+            .collect();
 
         // Local predicate intervals.
         let local = constraint.predicate.normalized_intervals(table);
@@ -245,8 +250,11 @@ mod tests {
     fn item_constraint(card: u64) -> VolumetricConstraint {
         VolumetricConstraint {
             table: "item".to_string(),
-            predicate: TablePredicate::always_true()
-                .with(ColumnPredicate::new("i_manager_id", CompareOp::Lt, 50)),
+            predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                "i_manager_id",
+                CompareOp::Lt,
+                50,
+            )),
             fk_conditions: vec![],
             cardinality: card,
             label: "q#1".to_string(),
@@ -260,8 +268,11 @@ mod tests {
         let cs = vec![
             VolumetricConstraint {
                 table: "item".into(),
-                predicate: TablePredicate::always_true()
-                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
+                predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                    "i_category",
+                    CompareOp::Eq,
+                    "Music",
+                )),
                 fk_conditions: vec![],
                 cardinality: 1,
                 label: "a".into(),
@@ -269,7 +280,10 @@ mod tests {
             item_constraint(2),
         ];
         let cols = RelationAxes::referenced_columns(table, &cs);
-        assert_eq!(cols, vec!["i_manager_id".to_string(), "i_category".to_string()]);
+        assert_eq!(
+            cols,
+            vec!["i_manager_id".to_string(), "i_category".to_string()]
+        );
     }
 
     #[test]
@@ -328,9 +342,8 @@ mod tests {
         let schema = schema();
         let table = schema.table("item").unwrap();
         let c = item_constraint(5);
-        let axes = RelationAxes::build(table, &[c.clone()], &BTreeMap::new()).unwrap();
-        let (boxes, coalesced) =
-            axes.constraint_boxes(table, &c, &BTreeMap::new()).unwrap();
+        let axes = RelationAxes::build(table, std::slice::from_ref(&c), &BTreeMap::new()).unwrap();
+        let (boxes, coalesced) = axes.constraint_boxes(table, &c, &BTreeMap::new()).unwrap();
         assert!(!coalesced);
         assert_eq!(boxes.len(), 1);
         assert_eq!(boxes[0].interval(0), Interval::new(0, 50));
@@ -356,13 +369,19 @@ mod tests {
 
         let c = VolumetricConstraint {
             table: "store_sales".into(),
-            predicate: TablePredicate::always_true()
-                .with(ColumnPredicate::new("ss_quantity", CompareOp::Ge, 10)),
+            predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                "ss_quantity",
+                CompareOp::Ge,
+                10,
+            )),
             fk_conditions: vec![FkCondition {
                 fk_column: "ss_item_fk".into(),
                 dim_table: "item".into(),
-                dim_predicate: TablePredicate::always_true()
-                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Women")),
+                dim_predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                    "i_category",
+                    CompareOp::Eq,
+                    "Women",
+                )),
                 nested: vec![],
             }],
             cardinality: 10,
@@ -370,8 +389,11 @@ mod tests {
         };
         let mut fk_domains = BTreeMap::new();
         fk_domains.insert("item".to_string(), 938u64);
-        let axes = RelationAxes::build(fact, &[c.clone()], &fk_domains).unwrap();
-        assert_eq!(axes.columns, vec!["ss_item_fk".to_string(), "ss_quantity".to_string()]);
+        let axes = RelationAxes::build(fact, std::slice::from_ref(&c), &fk_domains).unwrap();
+        assert_eq!(
+            axes.columns,
+            vec!["ss_item_fk".to_string(), "ss_quantity".to_string()]
+        );
         let (boxes, _) = axes.constraint_boxes(fact, &c, &summaries).unwrap();
         assert_eq!(boxes.len(), 1);
         let fk_axis = axes.space.axis_index("ss_item_fk").unwrap();
@@ -397,8 +419,11 @@ mod tests {
             fk_conditions: vec![FkCondition {
                 fk_column: "ss_item_fk".into(),
                 dim_table: "item".into(),
-                dim_predicate: TablePredicate::always_true()
-                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Garden")),
+                dim_predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                    "i_category",
+                    CompareOp::Eq,
+                    "Garden",
+                )),
                 nested: vec![],
             }],
             cardinality: 0,
@@ -406,7 +431,7 @@ mod tests {
         };
         let mut fk_domains = BTreeMap::new();
         fk_domains.insert("item".to_string(), 10u64);
-        let axes = RelationAxes::build(fact, &[c.clone()], &fk_domains).unwrap();
+        let axes = RelationAxes::build(fact, std::slice::from_ref(&c), &fk_domains).unwrap();
         let (boxes, _) = axes.constraint_boxes(fact, &c, &summaries).unwrap();
         assert!(boxes.is_empty());
     }
@@ -435,8 +460,11 @@ mod tests {
             fk_conditions: vec![FkCondition {
                 fk_column: "ss_item_fk".into(),
                 dim_table: "item".into(),
-                dim_predicate: TablePredicate::always_true()
-                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
+                dim_predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                    "i_category",
+                    CompareOp::Eq,
+                    "Music",
+                )),
                 nested: vec![],
             }],
             cardinality: 5,
@@ -444,7 +472,7 @@ mod tests {
         };
         let mut fk_domains = BTreeMap::new();
         fk_domains.insert("item".to_string(), total);
-        let axes = RelationAxes::build(fact, &[c.clone()], &fk_domains).unwrap();
+        let axes = RelationAxes::build(fact, std::slice::from_ref(&c), &fk_domains).unwrap();
         let (boxes, coalesced) = axes.constraint_boxes(fact, &c, &summaries).unwrap();
         assert!(coalesced);
         assert_eq!(boxes.len(), 1);

@@ -6,42 +6,156 @@
 //! ordering *is* the referential post-processing of the paper's architecture:
 //! by construction, every regenerated foreign key lands on an existing
 //! auto-numbered primary key.
+//!
+//! Within one stratum of that order (relations whose dimensions are all
+//! already built) the per-relation preprocess → solve → summarize work is
+//! independent — the paper's LP decomposition — so the builder fans it out
+//! across threads under [`SummaryBuilderConfig::parallelism`].  Results are
+//! merged back in deterministic relation order, so parallel construction is
+//! bit-identical to sequential.
+//!
+//! Solved relations can also be reused across builds through a
+//! [`SummaryCache`]: entries are keyed by a fingerprint of everything that
+//! determines the result (constraints, row target, FK domain widths, backend,
+//! strategy, statistics), which is what makes what-if scenario sweeps cheap —
+//! only relations whose constraint signature changed are re-solved.
 
-use crate::align::{build_relation_summary, AlignmentStrategy};
 use crate::axes::RelationAxes;
+use crate::backend::{LpBackend, SimplexBackend, SolveRequest};
 use crate::error::{SummaryError, SummaryResult};
-use crate::solve::{formulate_and_solve, LpStats};
+use crate::solve::LpStats;
+use crate::strategy::{AlignedSummary, SummaryStrategy};
 use crate::summary::{DatabaseSummary, RelationSummary};
 use hydra_catalog::metadata::DatabaseMetadata;
-use hydra_catalog::schema::Schema;
-use hydra_lp::solver::LpSolver;
-use hydra_partition::region::DEFAULT_MAX_REGIONS;
+use hydra_catalog::schema::{Schema, Table};
 use hydra_query::aqp::VolumetricConstraint;
-use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::align::AlignmentStrategy;
+use hydra_partition::region::DEFAULT_MAX_REGIONS;
 
 /// Configuration of the summary builder.
 #[derive(Debug, Clone)]
 pub struct SummaryBuilderConfig {
-    /// LP solver settings.
-    pub solver: LpSolver,
-    /// Alignment strategy (deterministic by default; sampled for the E10
-    /// ablation).
-    pub alignment: AlignmentStrategy,
-    /// Piece budget for region partitioning.
+    /// The LP solve backend (HYDRA's region+simplex by default; the grid
+    /// baseline and custom backends plug in here).
+    pub lp_backend: Arc<dyn LpBackend>,
+    /// The summary-generation strategy (deterministic alignment by default;
+    /// sampled for the E10 ablation).
+    pub strategy: Arc<dyn SummaryStrategy>,
+    /// Piece budget for partitioning (regions or grid cells).
     pub max_regions: usize,
     /// Whether to fill unreferenced columns from client statistics.
     pub use_statistics_fillers: bool,
+    /// Worker threads for per-relation solving within a referential stratum
+    /// (1 = sequential; results are identical either way).
+    pub parallelism: usize,
 }
 
 impl Default for SummaryBuilderConfig {
     fn default() -> Self {
         SummaryBuilderConfig {
-            solver: LpSolver::default(),
-            alignment: AlignmentStrategy::Deterministic,
+            lp_backend: Arc::new(SimplexBackend::default()),
+            strategy: Arc::new(AlignedSummary::default()),
             max_regions: DEFAULT_MAX_REGIONS,
             use_statistics_fillers: true,
+            parallelism: 1,
         }
+    }
+}
+
+impl SummaryBuilderConfig {
+    /// Replaces the LP backend.
+    pub fn with_backend(mut self, backend: Arc<dyn LpBackend>) -> Self {
+        self.lp_backend = backend;
+        self
+    }
+
+    /// Replaces the summary strategy with alignment of the given flavour.
+    pub fn with_alignment(mut self, alignment: AlignmentStrategy) -> Self {
+        self.strategy = Arc::new(AlignedSummary::new(alignment));
+        self
+    }
+
+    /// Sets the per-stratum worker thread count.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Sets the partitioning piece budget.
+    pub fn with_max_regions(mut self, max_regions: usize) -> Self {
+        self.max_regions = max_regions;
+        self
+    }
+}
+
+/// A reusable store of solved per-relation summaries, keyed by constraint
+/// signature (see [`SummaryBuilder::build_with_cache`]).
+pub trait SummaryCache: std::fmt::Debug + Send + Sync {
+    /// Looks up a solved relation.
+    fn get(&self, key: u64) -> Option<(RelationSummary, RelationBuildStats)>;
+    /// Stores a solved relation.
+    fn put(&self, key: u64, summary: RelationSummary, stats: RelationBuildStats);
+}
+
+/// The default in-memory, thread-safe summary cache.
+#[derive(Debug, Default)]
+pub struct InMemorySummaryCache {
+    entries: Mutex<HashMap<u64, (RelationSummary, RelationBuildStats)>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl InMemorySummaryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+}
+
+impl SummaryCache for InMemorySummaryCache {
+    fn get(&self, key: u64) -> Option<(RelationSummary, RelationBuildStats)> {
+        let found = self.entries.lock().unwrap().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn put(&self, key: u64, summary: RelationSummary, stats: RelationBuildStats) {
+        self.entries.lock().unwrap().insert(key, (summary, stats));
     }
 }
 
@@ -61,6 +175,8 @@ pub struct RelationBuildStats {
     pub summary_rows: usize,
     /// Number of tuples the summary regenerates.
     pub total_rows: u64,
+    /// Whether this relation was served from a [`SummaryCache`].
+    pub from_cache: bool,
 }
 
 /// The overall construction report.
@@ -72,6 +188,8 @@ pub struct SummaryBuildReport {
     pub total_time: Duration,
     /// Final summary size in bytes.
     pub summary_bytes: usize,
+    /// How many relations were served from the summary cache.
+    pub cached_relations: usize,
 }
 
 impl SummaryBuildReport {
@@ -97,14 +215,15 @@ impl SummaryBuildReport {
         );
         for r in &self.relations {
             out.push_str(&format!(
-                "{} | {} | {} | {} | {} | {:.2} | {}\n",
+                "{} | {} | {} | {} | {} | {:.2} | {}{}\n",
                 r.table,
                 r.referenced_columns,
                 r.workload_constraints,
                 r.lp.variables,
                 r.lp.constraints,
                 r.lp.solve_time.as_secs_f64() * 1e3,
-                r.summary_rows
+                r.summary_rows,
+                if r.from_cache { " (cached)" } else { "" }
             ));
         }
         out.push_str(&format!(
@@ -146,59 +265,76 @@ impl SummaryBuilder {
         constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
         metadata: Option<&DatabaseMetadata>,
     ) -> SummaryResult<(DatabaseSummary, SummaryBuildReport)> {
+        self.build_with_cache(schema, row_targets, constraints_by_table, metadata, None)
+    }
+
+    /// [`SummaryBuilder::build`] with a summary cache: relations whose
+    /// constraint signature (constraints, row target, FK domain widths,
+    /// backend, strategy, statistics) matches a cached entry are reused
+    /// instead of re-solved.
+    pub fn build_with_cache(
+        &self,
+        schema: &Schema,
+        row_targets: &BTreeMap<String, u64>,
+        constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+        metadata: Option<&DatabaseMetadata>,
+        cache: Option<&dyn SummaryCache>,
+    ) -> SummaryResult<(DatabaseSummary, SummaryBuildReport)> {
         let start = Instant::now();
         let order = schema
             .topological_order()
             .map_err(|e| SummaryError::Catalog(e.to_string()))?;
 
+        // Relations that are the target of a foreign key get interior LP
+        // solutions (see `solve::solve_formulated`).
+        let referenced: std::collections::BTreeSet<&str> = order
+            .iter()
+            .flat_map(|t| {
+                t.foreign_keys()
+                    .iter()
+                    .map(|fk| fk.referenced_table.as_str())
+            })
+            .collect();
+
+        // Referential strata: a relation's depth is one more than the deepest
+        // relation it references; relations within one stratum are mutually
+        // independent and safe to solve concurrently.
+        let mut depth: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut strata: Vec<Vec<&Table>> = Vec::new();
+        for table in &order {
+            let d = table
+                .foreign_keys()
+                .iter()
+                .map(|fk| depth.get(fk.referenced_table.as_str()).map_or(0, |d| d + 1))
+                .max()
+                .unwrap_or(0);
+            depth.insert(table.name.as_str(), d);
+            if strata.len() <= d {
+                strata.resize_with(d + 1, Vec::new);
+            }
+            strata[d].push(table);
+        }
+
         let mut summaries: BTreeMap<String, RelationSummary> = BTreeMap::new();
         let mut report = SummaryBuildReport::default();
-        let empty: Vec<VolumetricConstraint> = Vec::new();
 
-        for table in order {
-            let row_target = row_targets.get(&table.name).copied().unwrap_or(0);
-            let constraints = constraints_by_table.get(&table.name).unwrap_or(&empty);
-
-            // Foreign-key axis widths come from the already-built dimension
-            // summaries (falling back to the row target when a dimension has
-            // no constraints of its own but a known size).
-            let mut fk_domains: BTreeMap<String, u64> = BTreeMap::new();
-            for fk in table.foreign_keys() {
-                let width = summaries
-                    .get(&fk.referenced_table)
-                    .map(|s| s.total_rows)
-                    .or_else(|| row_targets.get(&fk.referenced_table).copied())
-                    .unwrap_or(0);
-                fk_domains.insert(fk.referenced_table.clone(), width.max(1));
-            }
-
-            let axes = RelationAxes::build(table, constraints, &fk_domains)?;
-            let solved = formulate_and_solve(
-                table,
-                &axes,
-                constraints,
-                row_target,
+        for stratum in &strata {
+            let built = self.build_stratum(
+                stratum,
                 &summaries,
-                &self.config.solver,
-                self.config.max_regions,
+                row_targets,
+                constraints_by_table,
+                metadata,
+                cache,
+                &referenced,
             )?;
-            let stats = if self.config.use_statistics_fillers {
-                metadata.and_then(|m| m.tables.get(&table.name))
-            } else {
-                None
-            };
-            let summary =
-                build_relation_summary(table, &axes, &solved, stats, self.config.alignment);
-
-            report.relations.push(RelationBuildStats {
-                table: table.name.clone(),
-                referenced_columns: axes.columns.len(),
-                workload_constraints: constraints.len(),
-                lp: solved.stats.clone(),
-                summary_rows: summary.row_count(),
-                total_rows: summary.total_rows,
-            });
-            summaries.insert(table.name.clone(), summary);
+            for (summary, stats) in built {
+                if stats.from_cache {
+                    report.cached_relations += 1;
+                }
+                report.relations.push(stats);
+                summaries.insert(summary.table.clone(), summary);
+            }
         }
 
         let mut db = DatabaseSummary::new();
@@ -209,11 +345,208 @@ impl SummaryBuilder {
         report.summary_bytes = db.size_bytes();
         Ok((db, report))
     }
+
+    /// Builds every relation of one referential stratum, in parallel when
+    /// configured.  Results come back in stratum order regardless of thread
+    /// scheduling.
+    #[allow(clippy::too_many_arguments)]
+    fn build_stratum(
+        &self,
+        stratum: &[&Table],
+        summaries: &BTreeMap<String, RelationSummary>,
+        row_targets: &BTreeMap<String, u64>,
+        constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+        metadata: Option<&DatabaseMetadata>,
+        cache: Option<&dyn SummaryCache>,
+        referenced: &std::collections::BTreeSet<&str>,
+    ) -> SummaryResult<Vec<(RelationSummary, RelationBuildStats)>> {
+        let workers = self.config.parallelism.min(stratum.len()).max(1);
+        if workers == 1 {
+            return stratum
+                .iter()
+                .map(|table| {
+                    self.build_relation(
+                        table,
+                        summaries,
+                        row_targets,
+                        constraints_by_table,
+                        metadata,
+                        cache,
+                        referenced.contains(table.name.as_str()),
+                    )
+                })
+                .collect();
+        }
+
+        type SlotResult = Option<SummaryResult<(RelationSummary, RelationBuildStats)>>;
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<SlotResult>> =
+            Mutex::new((0..stratum.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= stratum.len() {
+                        break;
+                    }
+                    let outcome = self.build_relation(
+                        stratum[index],
+                        summaries,
+                        row_targets,
+                        constraints_by_table,
+                        metadata,
+                        cache,
+                        referenced.contains(stratum[index].name.as_str()),
+                    );
+                    results.lock().unwrap()[index] = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("worker completed every claimed index"))
+            .collect()
+    }
+
+    /// Solves and summarizes one relation (through the cache when provided).
+    #[allow(clippy::too_many_arguments)]
+    fn build_relation(
+        &self,
+        table: &Table,
+        summaries: &BTreeMap<String, RelationSummary>,
+        row_targets: &BTreeMap<String, u64>,
+        constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+        metadata: Option<&DatabaseMetadata>,
+        cache: Option<&dyn SummaryCache>,
+        is_referenced: bool,
+    ) -> SummaryResult<(RelationSummary, RelationBuildStats)> {
+        let empty: Vec<VolumetricConstraint> = Vec::new();
+        let row_target = row_targets.get(&table.name).copied().unwrap_or(0);
+        let constraints = constraints_by_table.get(&table.name).unwrap_or(&empty);
+
+        // Foreign-key axis widths come from the already-built dimension
+        // summaries (falling back to the row target when a dimension has
+        // no constraints of its own but a known size).
+        let mut fk_domains: BTreeMap<String, u64> = BTreeMap::new();
+        for fk in table.foreign_keys() {
+            let width = summaries
+                .get(&fk.referenced_table)
+                .map(|s| s.total_rows)
+                .or_else(|| row_targets.get(&fk.referenced_table).copied())
+                .unwrap_or(0);
+            fk_domains.insert(fk.referenced_table.clone(), width.max(1));
+        }
+
+        let stats_source = if self.config.use_statistics_fillers {
+            metadata.and_then(|m| m.tables.get(&table.name))
+        } else {
+            None
+        };
+
+        let cache_key = cache.map(|_| {
+            self.cache_key(
+                table,
+                row_target,
+                &fk_domains,
+                constraints,
+                stats_source,
+                summaries,
+                is_referenced,
+            )
+        });
+        if let (Some(cache), Some(key)) = (cache, cache_key) {
+            if let Some((summary, mut stats)) = cache.get(key) {
+                stats.from_cache = true;
+                return Ok((summary, stats));
+            }
+        }
+
+        let axes = RelationAxes::build(table, constraints, &fk_domains)?;
+        let solved = self.config.lp_backend.solve_relation(&SolveRequest {
+            table,
+            axes: &axes,
+            constraints,
+            row_target,
+            summaries,
+            max_regions: self.config.max_regions,
+            referenced: is_referenced,
+        })?;
+        let summary = self
+            .config
+            .strategy
+            .summarize(table, &axes, &solved, stats_source);
+
+        let stats = RelationBuildStats {
+            table: table.name.clone(),
+            referenced_columns: axes.columns.len(),
+            workload_constraints: constraints.len(),
+            lp: solved.stats.clone(),
+            summary_rows: summary.row_count(),
+            total_rows: summary.total_rows,
+            from_cache: false,
+        };
+        if let (Some(cache), Some(key)) = (cache, cache_key) {
+            cache.put(key, summary.clone(), stats.clone());
+        }
+        Ok((summary, stats))
+    }
+
+    /// The cache key of one relation: a fingerprint of every input that
+    /// determines its solved summary.
+    #[allow(clippy::too_many_arguments)]
+    fn cache_key(
+        &self,
+        table: &Table,
+        row_target: u64,
+        fk_domains: &BTreeMap<String, u64>,
+        constraints: &[VolumetricConstraint],
+        stats: Option<&hydra_catalog::stats::TableStatistics>,
+        summaries: &BTreeMap<String, RelationSummary>,
+        is_referenced: bool,
+    ) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        table.name.hash(&mut hasher);
+        row_target.hash(&mut hasher);
+        fk_domains.hash(&mut hasher);
+        // Constraints and statistics hash through their canonical JSON
+        // encoding (they do not implement Hash themselves).
+        serde_json::to_string(&constraints.to_vec())
+            .unwrap_or_default()
+            .hash(&mut hasher);
+        if let Some(stats) = stats {
+            serde_json::to_string(stats)
+                .unwrap_or_default()
+                .hash(&mut hasher);
+        }
+        // FK projections read the referenced dimension summaries, so their
+        // content is part of the signature.
+        for fk in table.foreign_keys() {
+            if let Some(dim) = summaries.get(&fk.referenced_table) {
+                serde_json::to_string(dim)
+                    .unwrap_or_default()
+                    .hash(&mut hasher);
+            }
+        }
+        self.config.lp_backend.name().hash(&mut hasher);
+        self.config.lp_backend.fingerprint().hash(&mut hasher);
+        self.config.strategy.name().hash(&mut hasher);
+        self.config.strategy.fingerprint().hash(&mut hasher);
+        self.config.max_regions.hash(&mut hasher);
+        self.config.use_statistics_fillers.hash(&mut hasher);
+        // Whether this relation is referenced toggles interior refinement,
+        // which changes the solved summary; two packages can disagree on it
+        // for the same table name.
+        is_referenced.hash(&mut hasher);
+        hasher.finish()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::GridBackend;
     use hydra_catalog::domain::Domain;
     use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
     use hydra_catalog::types::DataType;
@@ -225,12 +558,18 @@ mod tests {
         SchemaBuilder::new("toy")
             .table("S", |t| {
                 t.column(ColumnBuilder::new("S_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)))
-                    .column(ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)))
+                    .column(
+                        ColumnBuilder::new("A", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
+                    .column(
+                        ColumnBuilder::new("B", DataType::BigInt).domain(Domain::integer(0, 100)),
+                    )
             })
             .table("T", |t| {
                 t.column(ColumnBuilder::new("T_pk", DataType::BigInt).primary_key())
-                    .column(ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)))
+                    .column(
+                        ColumnBuilder::new("C", DataType::BigInt).domain(Domain::integer(0, 10)),
+                    )
             })
             .table("R", |t| {
                 t.column(ColumnBuilder::new("R_pk", DataType::BigInt).primary_key())
@@ -241,30 +580,32 @@ mod tests {
             .unwrap()
     }
 
-    use hydra_catalog::schema::Schema;
-
     fn figure1_constraints() -> BTreeMap<String, Vec<VolumetricConstraint>> {
         let mut map: BTreeMap<String, Vec<VolumetricConstraint>> = BTreeMap::new();
         // σ_{20<=A<60}(S) = 40
-        map.entry("S".into()).or_default().push(VolumetricConstraint {
-            table: "S".into(),
-            predicate: TablePredicate::always_true()
-                .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
-                .with(ColumnPredicate::new("A", CompareOp::Lt, 60)),
-            fk_conditions: vec![],
-            cardinality: 40,
-            label: "fig1#3".into(),
-        });
+        map.entry("S".into())
+            .or_default()
+            .push(VolumetricConstraint {
+                table: "S".into(),
+                predicate: TablePredicate::always_true()
+                    .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+                    .with(ColumnPredicate::new("A", CompareOp::Lt, 60)),
+                fk_conditions: vec![],
+                cardinality: 40,
+                label: "fig1#3".into(),
+            });
         // σ_{2<=C<3}(T) = 1
-        map.entry("T".into()).or_default().push(VolumetricConstraint {
-            table: "T".into(),
-            predicate: TablePredicate::always_true()
-                .with(ColumnPredicate::new("C", CompareOp::Ge, 2))
-                .with(ColumnPredicate::new("C", CompareOp::Lt, 3)),
-            fk_conditions: vec![],
-            cardinality: 1,
-            label: "fig1#5".into(),
-        });
+        map.entry("T".into())
+            .or_default()
+            .push(VolumetricConstraint {
+                table: "T".into(),
+                predicate: TablePredicate::always_true()
+                    .with(ColumnPredicate::new("C", CompareOp::Ge, 2))
+                    .with(ColumnPredicate::new("C", CompareOp::Lt, 3)),
+                fk_conditions: vec![],
+                cardinality: 1,
+                label: "fig1#5".into(),
+            });
         // R ⋈ σ(S) = 400
         let s_cond = FkCondition {
             fk_column: "S_fk".into(),
@@ -274,13 +615,15 @@ mod tests {
                 .with(ColumnPredicate::new("A", CompareOp::Lt, 60)),
             nested: vec![],
         };
-        map.entry("R".into()).or_default().push(VolumetricConstraint {
-            table: "R".into(),
-            predicate: TablePredicate::always_true(),
-            fk_conditions: vec![s_cond.clone()],
-            cardinality: 400,
-            label: "fig1#1".into(),
-        });
+        map.entry("R".into())
+            .or_default()
+            .push(VolumetricConstraint {
+                table: "R".into(),
+                predicate: TablePredicate::always_true(),
+                fk_conditions: vec![s_cond.clone()],
+                cardinality: 400,
+                label: "fig1#1".into(),
+            });
         // (R ⋈ σ(S)) ⋈ σ(T) = 40
         let t_cond = FkCondition {
             fk_column: "T_fk".into(),
@@ -290,13 +633,15 @@ mod tests {
                 .with(ColumnPredicate::new("C", CompareOp::Lt, 3)),
             nested: vec![],
         };
-        map.entry("R".into()).or_default().push(VolumetricConstraint {
-            table: "R".into(),
-            predicate: TablePredicate::always_true(),
-            fk_conditions: vec![s_cond, t_cond],
-            cardinality: 40,
-            label: "fig1#0".into(),
-        });
+        map.entry("R".into())
+            .or_default()
+            .push(VolumetricConstraint {
+                table: "R".into(),
+                predicate: TablePredicate::always_true(),
+                fk_conditions: vec![s_cond, t_cond],
+                cardinality: 40,
+                label: "fig1#0".into(),
+            });
         map
     }
 
@@ -322,7 +667,11 @@ mod tests {
         assert_eq!(db.relation("T").unwrap().total_rows, 10);
 
         // The summary is tiny compared to the data it regenerates.
-        assert!(db.size_bytes() < 4096, "summary is {} bytes", db.size_bytes());
+        assert!(
+            db.size_bytes() < 4096,
+            "summary is {} bytes",
+            db.size_bytes()
+        );
         assert!(db.total_summary_rows() <= 12);
 
         // Constraint satisfaction spot checks.
@@ -351,6 +700,7 @@ mod tests {
         assert_eq!(report.relations.len(), 3);
         assert!(report.total_lp_variables() > 0);
         assert!(report.summary_bytes > 0);
+        assert_eq!(report.cached_relations, 0);
         let text = report.to_display_table();
         assert!(text.contains("R |"));
         assert!(text.contains("total:"));
@@ -384,7 +734,9 @@ mod tests {
         let schema = toy_schema();
         let builder = SummaryBuilder::default();
         let constraints = figure1_constraints();
-        let (db, _) = builder.build(&schema, &row_targets(), &constraints, None).unwrap();
+        let (db, _) = builder
+            .build(&schema, &row_targets(), &constraints, None)
+            .unwrap();
 
         // Verify the R ⋈ σ(S) = 400 constraint against the generated summary:
         // count R rows whose S_fk lands in a satisfying S block.
@@ -413,13 +765,92 @@ mod tests {
     #[test]
     fn sampled_alignment_config_builds() {
         let schema = toy_schema();
-        let builder = SummaryBuilder::new(SummaryBuilderConfig {
-            alignment: AlignmentStrategy::Sampled { seed: 99 },
-            ..Default::default()
-        });
+        let builder = SummaryBuilder::new(
+            SummaryBuilderConfig::default().with_alignment(AlignmentStrategy::Sampled { seed: 99 }),
+        );
         let (db, _) = builder
             .build(&schema, &row_targets(), &figure1_constraints(), None)
             .unwrap();
         assert_eq!(db.relation("R").unwrap().total_rows, 1000);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let schema = toy_schema();
+        let constraints = figure1_constraints();
+        let sequential = SummaryBuilder::default()
+            .build(&schema, &row_targets(), &constraints, None)
+            .unwrap();
+        let parallel = SummaryBuilder::new(SummaryBuilderConfig::default().with_parallelism(4))
+            .build(&schema, &row_targets(), &constraints, None)
+            .unwrap();
+        assert_eq!(sequential.0, parallel.0, "summaries must be bit-identical");
+        // Reports match too, modulo wall-clock timings.
+        for (a, b) in sequential.1.relations.iter().zip(&parallel.1.relations) {
+            assert_eq!(a.table, b.table);
+            assert_eq!(a.lp.variables, b.lp.variables);
+            assert_eq!(a.lp.constraints, b.lp.constraints);
+            assert_eq!(a.lp.status, b.lp.status);
+            assert_eq!(a.summary_rows, b.summary_rows);
+            assert_eq!(a.total_rows, b.total_rows);
+        }
+    }
+
+    #[test]
+    fn grid_backend_builds_the_toy_summary() {
+        let schema = toy_schema();
+        let builder = SummaryBuilder::new(
+            SummaryBuilderConfig::default().with_backend(Arc::new(GridBackend::default())),
+        );
+        let (db, report) = builder
+            .build(&schema, &row_targets(), &figure1_constraints(), None)
+            .unwrap();
+        assert_eq!(db.relation("R").unwrap().total_rows, 1000);
+        assert_eq!(db.relation("S").unwrap().total_rows, 100);
+        assert!(report.total_lp_variables() > 0);
+        // The same spot check as the simplex path: the S constraint holds.
+        let s = db.relation("S").unwrap();
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+            .with(ColumnPredicate::new("A", CompareOp::Lt, 60));
+        let achieved: u64 = s
+            .rows
+            .iter()
+            .filter(|r| pred.evaluate(|c| r.values.get(c)))
+            .map(|r| r.count)
+            .sum();
+        assert_eq!(achieved, 40);
+    }
+
+    #[test]
+    fn summary_cache_reuses_solved_relations() {
+        let schema = toy_schema();
+        let constraints = figure1_constraints();
+        let cache = InMemorySummaryCache::new();
+        let builder = SummaryBuilder::default();
+
+        let (first, report1) = builder
+            .build_with_cache(&schema, &row_targets(), &constraints, None, Some(&cache))
+            .unwrap();
+        assert_eq!(report1.cached_relations, 0);
+        assert_eq!(cache.len(), 3);
+
+        // Identical build: everything comes from the cache.
+        let (second, report2) = builder
+            .build_with_cache(&schema, &row_targets(), &constraints, None, Some(&cache))
+            .unwrap();
+        assert_eq!(report2.cached_relations, 3);
+        assert_eq!(first, second);
+
+        // Changing one relation's row target only re-solves the affected
+        // relations (R changes; S and T are reused).
+        let mut targets = row_targets();
+        targets.insert("R".to_string(), 2000);
+        let (third, report3) = builder
+            .build_with_cache(&schema, &targets, &constraints, None, Some(&cache))
+            .unwrap();
+        assert_eq!(report3.cached_relations, 2);
+        assert_eq!(third.relation("R").unwrap().total_rows, 2000);
+        assert_eq!(third.relation("S").unwrap(), first.relation("S").unwrap());
     }
 }

@@ -28,17 +28,31 @@
 //! 5. **Verification** ([`verify`]) — the summary is replayed against every
 //!    volumetric constraint to produce the relative-error report of the
 //!    vendor screen (and experiments E2/E7).
+//!
+//! The solve stage (2) and the generation stage (3) are both pluggable:
+//! [`backend::LpBackend`] swaps the partitioning/solver combination (HYDRA's
+//! region+simplex vs. the DataSynth grid baseline), and
+//! [`strategy::SummaryStrategy`] swaps the summary generator. The builder
+//! solves independent relations of the referential DAG in parallel and can
+//! reuse per-relation results through a [`builder::SummaryCache`].
 
 pub mod align;
 pub mod axes;
+pub mod backend;
 pub mod builder;
 pub mod error;
 pub mod solve;
+pub mod strategy;
 pub mod summary;
 pub mod verify;
 
 pub use align::AlignmentStrategy;
-pub use builder::{RelationBuildStats, SummaryBuildReport, SummaryBuilder, SummaryBuilderConfig};
+pub use backend::{GridBackend, LpBackend, SimplexBackend, SolveRequest};
+pub use builder::{
+    InMemorySummaryCache, RelationBuildStats, SummaryBuildReport, SummaryBuilder,
+    SummaryBuilderConfig, SummaryCache,
+};
 pub use error::{SummaryError, SummaryResult};
+pub use strategy::{AlignedSummary, SummaryStrategy};
 pub use summary::{DatabaseSummary, RelationSummary, SummaryRow};
 pub use verify::{ConstraintCheck, VolumetricAccuracyReport};

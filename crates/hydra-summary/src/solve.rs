@@ -41,6 +41,11 @@ pub struct LpStats {
     /// Number of workload constraints dropped because their constraint region
     /// was empty (unsatisfiable against the dimension summaries).
     pub empty_constraints: usize,
+    /// Number of workload constraints that collided with another constraint
+    /// on an identical box set at a different cardinality and were merged at
+    /// the group median (their residual error is part of
+    /// [`LpStats::total_violation`]).
+    pub conflicting_constraints: usize,
 }
 
 /// The solved placement of a relation's rows across its regions.
@@ -55,27 +60,42 @@ pub struct SolvedRelation {
     pub stats: LpStats,
 }
 
-/// Formulates and solves the LP for one relation.
-///
-/// `summaries` must already contain the summaries of every dimension this
-/// relation references (dimensions-first processing order).
-pub fn formulate_and_solve(
+/// A constraint translated to its boxes over the relation's attribute space,
+/// after dedup, conflict merging, and dropping of empty/total-row
+/// constraints.
+pub(crate) struct BoxedConstraints {
+    /// Surviving constraints with their box unions, in input order.
+    pub boxed: Vec<(VolumetricConstraint, Vec<hydra_partition::nbox::NBox>)>,
+    /// Constraints whose FK projection was coalesced (approximation count).
+    pub coalesced_constraints: usize,
+    /// Constraints dropped because their region was empty.
+    pub empty_constraints: usize,
+    /// Constraints that mapped to an identical box set as another constraint
+    /// but demanded a different cardinality — irreconcilable in this encoding
+    /// (the classic FK-projection granularity loss).  Each group is replaced
+    /// by one constraint at the group's median cardinality, which is exactly
+    /// the least-violation optimum for the group.
+    pub conflicting_constraints: usize,
+    /// Total absolute violation the conflict merges pre-committed to
+    /// (`Σ |cardinality - group median|`); added to the LP's own violation.
+    pub conflict_violation: f64,
+}
+
+/// Translates constraints to boxes, dropping total-row-count duplicates and
+/// unsatisfiable (empty-region) constraints, and merging identical-box
+/// conflicts at their median.  Shared by every LP backend.
+pub(crate) fn boxed_constraints(
     table: &Table,
     axes: &RelationAxes,
     constraints: &[VolumetricConstraint],
-    row_target: u64,
     summaries: &BTreeMap<String, RelationSummary>,
-    solver: &LpSolver,
-    max_regions: usize,
-) -> SummaryResult<SolvedRelation> {
-    let partition_start = Instant::now();
-
-    // Translate constraints to boxes, dropping total-row-count duplicates and
-    // unsatisfiable (empty-region) constraints.
-    let mut boxed: Vec<(&VolumetricConstraint, Vec<hydra_partition::nbox::NBox>)> = Vec::new();
+) -> SummaryResult<BoxedConstraints> {
     let mut coalesced_constraints = 0usize;
     let mut empty_constraints = 0usize;
-    let mut seen: Vec<(Vec<hydra_partition::nbox::NBox>, u64)> = Vec::new();
+
+    // Group surviving constraints by their box set, preserving first-seen
+    // order for determinism.
+    let mut groups: Vec<(Vec<hydra_partition::nbox::NBox>, Vec<VolumetricConstraint>)> = Vec::new();
     for c in constraints {
         if c.is_total_row_count() {
             continue;
@@ -88,23 +108,48 @@ pub fn formulate_and_solve(
             empty_constraints += 1;
             continue;
         }
-        // Deduplicate identical (boxes, cardinality) pairs.
-        if seen.iter().any(|(b, card)| *b == boxes && *card == c.cardinality) {
-            continue;
+        match groups.iter_mut().find(|(b, _)| *b == boxes) {
+            Some((_, members)) => members.push(c.clone()),
+            None => groups.push((boxes, vec![c.clone()])),
         }
-        seen.push((boxes.clone(), c.cardinality));
-        boxed.push((c, boxes));
     }
 
-    // Partition the space against the constraint boxes.
-    let mut partitioner = RegionPartitioner::new(axes.space.clone()).with_max_regions(max_regions);
-    for (_, boxes) in &boxed {
-        partitioner = partitioner.add_constraint_union(boxes.clone());
+    let mut boxed = Vec::with_capacity(groups.len());
+    let mut conflicting_constraints = 0usize;
+    let mut conflict_violation = 0.0f64;
+    for (boxes, members) in groups {
+        let mut cards: Vec<u64> = members.iter().map(|m| m.cardinality).collect();
+        cards.sort_unstable();
+        let median = cards[(cards.len() - 1) / 2];
+        if cards.iter().any(|&c| c != median) {
+            conflicting_constraints += members.len();
+            conflict_violation += cards
+                .iter()
+                .map(|&c| (c as f64 - median as f64).abs())
+                .sum::<f64>();
+        }
+        let mut merged = members[0].clone();
+        merged.cardinality = median;
+        boxed.push((merged, boxes));
     }
-    let partition = partitioner.partition()?;
-    let partition_time = partition_start.elapsed();
+    Ok(BoxedConstraints {
+        boxed,
+        coalesced_constraints,
+        empty_constraints,
+        conflicting_constraints,
+        conflict_violation,
+    })
+}
 
-    // Formulate the LP.
+/// Formulates the per-relation LP over an already-built partition (one
+/// variable per region/cell, one equality per surviving constraint, plus the
+/// total row count).  Shared by every LP backend.
+pub(crate) fn formulate_lp(
+    table: &Table,
+    partition: &RegionPartition,
+    boxed: &[(VolumetricConstraint, Vec<hydra_partition::nbox::NBox>)],
+    row_target: u64,
+) -> LpProblem {
     let num_regions = partition.num_variables();
     let mut lp = LpProblem::new(num_regions);
     for (ci, (c, _)) in boxed.iter().enumerate() {
@@ -113,7 +158,12 @@ pub fn formulate_and_solve(
             .into_iter()
             .map(|r| (r, 1.0))
             .collect();
-        lp.add_labeled_constraint(terms, ConstraintOp::Eq, c.cardinality as f64, c.label.clone());
+        lp.add_labeled_constraint(
+            terms,
+            ConstraintOp::Eq,
+            c.cardinality as f64,
+            c.label.clone(),
+        );
     }
     lp.add_labeled_constraint(
         (0..num_regions).map(|r| (r, 1.0)).collect(),
@@ -121,25 +171,144 @@ pub fn formulate_and_solve(
         row_target as f64,
         format!("{}.total_rows", table.name),
     );
+    lp
+}
 
-    // Solve and round.
-    let solution = solver.solve(&lp)?;
-    let region_counts = largest_remainder_round(&solution.values, row_target);
+/// Iteration budget for post-rounding integral repair.
+const REPAIR_MAX_MOVES: usize = 2_000;
+
+/// Solves a formulated per-relation LP, optionally refines the solution into
+/// the interior of the feasible set, rounds to integral counts, and repairs
+/// rounding drift.  Shared by every LP backend.
+///
+/// `interior` should be set for relations that other relations reference
+/// (dimensions): vertex solutions collapse regions that distinguish different
+/// workload predicates, which makes their foreign-key projections collide on
+/// the primary-key axis and turns consistent fact constraints into
+/// contradictions.  Moving to the volume-proportional interior point keeps
+/// distinguishing regions populated.  Fact relations keep vertex solutions —
+/// they give the smallest summaries and nothing projects *onto* them.
+pub(crate) fn solve_formulated(
+    partition: RegionPartition,
+    lp: &LpProblem,
+    row_target: u64,
+    solver: &LpSolver,
+    interior: bool,
+    partition_time: Duration,
+    pre: &BoxedConstraints,
+) -> SummaryResult<SolvedRelation> {
+    let solution = solver.solve(lp)?;
+    let mut values = solution.values.clone();
+    if interior && solution.status == SolveStatus::Feasible {
+        let volumes: Vec<f64> = partition
+            .regions()
+            .iter()
+            .map(|r| r.volume as f64)
+            .collect();
+        let total_volume: f64 = volumes.iter().sum();
+        let num_regions = volumes.len();
+        if total_volume > 0.0 && num_regions > 0 {
+            // Blend volume-proportional with uniform-per-region mass: the
+            // volume term approximates attribute independence, the uniform
+            // term keeps *small* dimensions from rounding their
+            // predicate-distinguishing regions down to zero.
+            let attractor: Vec<f64> = volumes
+                .iter()
+                .map(|v| row_target as f64 * 0.5 * (v / total_volume + 1.0 / num_regions as f64))
+                .collect();
+            values = hydra_lp::refine::refine_toward(lp, &values, &attractor);
+        }
+    }
+    let mut region_counts = largest_remainder_round(&values, row_target);
+    hydra_lp::refine::repair_rounded_counts(lp, &mut region_counts, REPAIR_MAX_MOVES);
+
+    // Conflict merges pre-committed some violation before the LP ever ran;
+    // report it honestly (status and total).
+    let total_violation = solution.total_violation + pre.conflict_violation;
+    let status = if pre.conflict_violation > 0.0 {
+        SolveStatus::LeastViolation
+    } else {
+        solution.status
+    };
 
     Ok(SolvedRelation {
-        partition,
         region_counts,
         stats: LpStats {
-            variables: num_regions,
+            variables: partition.num_variables(),
             constraints: lp.num_constraints(),
             partition_time,
             solve_time: solution.solve_time,
-            status: solution.status,
-            total_violation: solution.total_violation,
-            coalesced_constraints,
-            empty_constraints,
+            status,
+            total_violation,
+            coalesced_constraints: pre.coalesced_constraints,
+            empty_constraints: pre.empty_constraints,
+            conflicting_constraints: pre.conflicting_constraints,
         },
+        partition,
     })
+}
+
+/// Formulates and solves the LP for one relation using HYDRA's region
+/// partitioning and the two-phase simplex (the classic pipeline; LP backends
+/// wrap this or replace the partitioning stage).
+///
+/// `summaries` must already contain the summaries of every dimension this
+/// relation references (dimensions-first processing order).
+pub fn formulate_and_solve(
+    table: &Table,
+    axes: &RelationAxes,
+    constraints: &[VolumetricConstraint],
+    row_target: u64,
+    summaries: &BTreeMap<String, RelationSummary>,
+    solver: &LpSolver,
+    max_regions: usize,
+) -> SummaryResult<SolvedRelation> {
+    formulate_and_solve_with(
+        table,
+        axes,
+        constraints,
+        row_target,
+        summaries,
+        solver,
+        max_regions,
+        false,
+    )
+}
+
+/// [`formulate_and_solve`] with control over interior refinement (used by
+/// [`crate::backend::SimplexBackend`] for dimension relations).
+#[allow(clippy::too_many_arguments)]
+pub fn formulate_and_solve_with(
+    table: &Table,
+    axes: &RelationAxes,
+    constraints: &[VolumetricConstraint],
+    row_target: u64,
+    summaries: &BTreeMap<String, RelationSummary>,
+    solver: &LpSolver,
+    max_regions: usize,
+    interior: bool,
+) -> SummaryResult<SolvedRelation> {
+    let partition_start = Instant::now();
+    let pre = boxed_constraints(table, axes, constraints, summaries)?;
+
+    // Partition the space against the constraint boxes.
+    let mut partitioner = RegionPartitioner::new(axes.space.clone()).with_max_regions(max_regions);
+    for (_, boxes) in &pre.boxed {
+        partitioner = partitioner.add_constraint_union(boxes.clone());
+    }
+    let partition = partitioner.partition()?;
+    let partition_time = partition_start.elapsed();
+
+    let lp = formulate_lp(table, &partition, &pre.boxed, row_target);
+    solve_formulated(
+        partition,
+        &lp,
+        row_target,
+        solver,
+        interior,
+        partition_time,
+        &pre,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,79 @@
+//! Pluggable summary-generation stage.
+//!
+//! Once a relation's LP is solved, something must turn region counts into
+//! concrete summary rows. HYDRA's answer is deterministic alignment
+//! (canonical first point of each region, contiguous PK blocks); DataSynth's
+//! is sampled instantiation. Both are [`AlignedSummary`] configurations; the
+//! [`SummaryStrategy`] trait lets sessions swap in other generators (e.g.
+//! statistics-aware fillers or learned value models) without touching the
+//! builder loop.
+
+use crate::align::{build_relation_summary, AlignmentStrategy};
+use crate::axes::RelationAxes;
+use crate::solve::SolvedRelation;
+use crate::summary::RelationSummary;
+use hydra_catalog::schema::Table;
+use hydra_catalog::stats::TableStatistics;
+use std::fmt;
+
+/// Turns a solved tuple placement into a relation summary.
+pub trait SummaryStrategy: fmt::Debug + Send + Sync {
+    /// Stable strategy name (used in reports and summary-cache keys).
+    fn name(&self) -> &'static str;
+
+    /// A fingerprint of the strategy's parameters, mixed into summary-cache
+    /// keys so differently-configured strategies never share entries.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+
+    /// Builds the summary of one relation.
+    fn summarize(
+        &self,
+        table: &Table,
+        axes: &RelationAxes,
+        solved: &SolvedRelation,
+        stats: Option<&TableStatistics>,
+    ) -> RelationSummary;
+}
+
+/// The alignment-based strategy of the paper: deterministic by default,
+/// sampled for the E10 ablation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlignedSummary {
+    /// Value-placement flavour.
+    pub alignment: AlignmentStrategy,
+}
+
+impl AlignedSummary {
+    /// Strategy with the given alignment flavour.
+    pub fn new(alignment: AlignmentStrategy) -> Self {
+        AlignedSummary { alignment }
+    }
+}
+
+impl SummaryStrategy for AlignedSummary {
+    fn name(&self) -> &'static str {
+        match self.alignment {
+            AlignmentStrategy::Deterministic => "aligned-deterministic",
+            AlignmentStrategy::Sampled { .. } => "aligned-sampled",
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self.alignment {
+            AlignmentStrategy::Deterministic => 0,
+            AlignmentStrategy::Sampled { seed } => seed ^ 0x5EED,
+        }
+    }
+
+    fn summarize(
+        &self,
+        table: &Table,
+        axes: &RelationAxes,
+        solved: &SolvedRelation,
+        stats: Option<&TableStatistics>,
+    ) -> RelationSummary {
+        build_relation_summary(table, axes, solved, stats, self.alignment)
+    }
+}

@@ -42,7 +42,12 @@ pub struct RelationSummary {
 impl RelationSummary {
     /// Creates an empty summary for a relation.
     pub fn new(table: impl Into<String>, pk_column: Option<String>) -> Self {
-        RelationSummary { table: table.into(), pk_column, total_rows: 0, rows: Vec::new() }
+        RelationSummary {
+            table: table.into(),
+            pk_column,
+            total_rows: 0,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a summary row (ignores rows with zero count).
@@ -147,7 +152,10 @@ impl RelationSummary {
             .unwrap_or_default();
         columns.sort();
         let mut out = String::new();
-        out.push_str(&format!("relation: {} (rows regenerated: {})\n", self.table, self.total_rows));
+        out.push_str(&format!(
+            "relation: {} (rows regenerated: {})\n",
+            self.table, self.total_rows
+        ));
         out.push_str("#TUPLES");
         for c in &columns {
             out.push_str(&format!(" | {c}"));
@@ -162,7 +170,10 @@ impl RelationSummary {
             out.push('\n');
         }
         if self.rows.len() > max_rows {
-            out.push_str(&format!("... ({} more summary rows)\n", self.rows.len() - max_rows));
+            out.push_str(&format!(
+                "... ({} more summary rows)\n",
+                self.rows.len() - max_rows
+            ));
         }
         out
     }
@@ -198,12 +209,18 @@ impl DatabaseSummary {
 
     /// Total number of summary rows across relations.
     pub fn total_summary_rows(&self) -> usize {
-        self.relations.values().map(RelationSummary::row_count).sum()
+        self.relations
+            .values()
+            .map(RelationSummary::row_count)
+            .sum()
     }
 
     /// Approximate in-memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.relations.values().map(RelationSummary::size_bytes).sum()
+        self.relations
+            .values()
+            .map(RelationSummary::size_bytes)
+            .sum()
     }
 
     /// The compression ratio: regenerated tuples per summary byte.
@@ -262,19 +279,31 @@ mod tests {
         let s = item_summary();
         let others = BTreeMap::new();
         // Predicate matching the first and third groups (manager id < 50).
-        let pred = TablePredicate::always_true()
-            .with(ColumnPredicate::new("i_manager_id", CompareOp::Lt, 50));
+        let pred = TablePredicate::always_true().with(ColumnPredicate::new(
+            "i_manager_id",
+            CompareOp::Lt,
+            50,
+        ));
         let ivs = s.satisfying_pk_intervals(&pred, &[], &others).unwrap();
         assert_eq!(ivs, vec![Interval::new(0, 917), Interval::new(938, 963)]);
         // A predicate matching consecutive groups merges the blocks.
-        let pred = TablePredicate::always_true()
-            .with(ColumnPredicate::new("i_manager_id", CompareOp::Ge, 0));
+        let pred = TablePredicate::always_true().with(ColumnPredicate::new(
+            "i_manager_id",
+            CompareOp::Ge,
+            0,
+        ));
         let ivs = s.satisfying_pk_intervals(&pred, &[], &others).unwrap();
         assert_eq!(ivs, vec![Interval::new(0, 963)]);
         // Non-matching predicate.
-        let pred = TablePredicate::always_true()
-            .with(ColumnPredicate::new("i_manager_id", CompareOp::Gt, 1000));
-        assert!(s.satisfying_pk_intervals(&pred, &[], &others).unwrap().is_empty());
+        let pred = TablePredicate::always_true().with(ColumnPredicate::new(
+            "i_manager_id",
+            CompareOp::Gt,
+            1000,
+        ));
+        assert!(s
+            .satisfying_pk_intervals(&pred, &[], &others)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -294,8 +323,11 @@ mod tests {
         let nested = vec![FkCondition {
             fk_column: "ss_item_fk".to_string(),
             dim_table: "item".to_string(),
-            dim_predicate: TablePredicate::always_true()
-                .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
+            dim_predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                "i_category",
+                CompareOp::Eq,
+                "Music",
+            )),
             nested: vec![],
         }];
         let ivs = sales
@@ -325,7 +357,10 @@ mod tests {
         assert!(db.relation("item").is_some());
         assert!(db.relation("missing").is_none());
         assert!(db.size_bytes() > 0);
-        assert!(db.size_bytes() < 1024, "a 3-row summary must be far below 1 KB");
+        assert!(
+            db.size_bytes() < 1024,
+            "a 3-row summary must be far below 1 KB"
+        );
         assert!(db.rows_per_byte() > 1.0);
     }
 

@@ -53,7 +53,11 @@ impl VolumetricAccuracyReport {
         if self.checks.is_empty() {
             return 1.0;
         }
-        let n = self.checks.iter().filter(|c| c.relative_error <= threshold + 1e-12).count();
+        let n = self
+            .checks
+            .iter()
+            .filter(|c| c.relative_error <= threshold + 1e-12)
+            .count();
         n as f64 / self.checks.len() as f64
     }
 
@@ -64,7 +68,10 @@ impl VolumetricAccuracyReport {
 
     /// Largest relative error observed.
     pub fn max_relative_error(&self) -> f64 {
-        self.checks.iter().map(|c| c.relative_error).fold(0.0, f64::max)
+        self.checks
+            .iter()
+            .map(|c| c.relative_error)
+            .fold(0.0, f64::max)
     }
 
     /// Mean relative error.
@@ -77,7 +84,10 @@ impl VolumetricAccuracyReport {
 
     /// `(threshold, fraction satisfied)` pairs — the vendor screen's CDF plot.
     pub fn error_cdf(&self, thresholds: &[f64]) -> Vec<(f64, f64)> {
-        thresholds.iter().map(|t| (*t, self.fraction_within(*t))).collect()
+        thresholds
+            .iter()
+            .map(|t| (*t, self.fraction_within(*t)))
+            .collect()
     }
 
     /// Renders the CDF as a small text table.
@@ -104,7 +114,9 @@ pub fn verify_summary(
     let mut checks = Vec::new();
     for (table, constraints) in constraints_by_table {
         if summary.relation(table).is_none() {
-            return Err(SummaryError::Catalog(format!("no summary for relation `{table}`")));
+            return Err(SummaryError::Catalog(format!(
+                "no summary for relation `{table}`"
+            )));
         }
         for c in constraints {
             let achieved = achieved_cardinality(summary, table, c)?;
@@ -202,34 +214,46 @@ mod tests {
 
     fn constraints() -> BTreeMap<String, Vec<VolumetricConstraint>> {
         let mut map: BTreeMap<String, Vec<VolumetricConstraint>> = BTreeMap::new();
-        map.entry("item".into()).or_default().push(VolumetricConstraint {
-            table: "item".into(),
-            predicate: TablePredicate::always_true()
-                .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
-            fk_conditions: vec![],
-            cardinality: 600,
-            label: "q1#1".into(),
-        });
-        map.entry("store_sales".into()).or_default().push(VolumetricConstraint {
-            table: "store_sales".into(),
-            predicate: TablePredicate::always_true(),
-            fk_conditions: vec![FkCondition {
-                fk_column: "ss_item_fk".into(),
-                dim_table: "item".into(),
-                dim_predicate: TablePredicate::always_true()
-                    .with(ColumnPredicate::new("i_category", CompareOp::Eq, "Music")),
-                nested: vec![],
-            }],
-            cardinality: 75,
-            label: "q1#0".into(),
-        });
-        map.entry("store_sales".into()).or_default().push(VolumetricConstraint {
-            table: "store_sales".into(),
-            predicate: TablePredicate::always_true(),
-            fk_conditions: vec![],
-            cardinality: 100,
-            label: "q1#scan".into(),
-        });
+        map.entry("item".into())
+            .or_default()
+            .push(VolumetricConstraint {
+                table: "item".into(),
+                predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                    "i_category",
+                    CompareOp::Eq,
+                    "Music",
+                )),
+                fk_conditions: vec![],
+                cardinality: 600,
+                label: "q1#1".into(),
+            });
+        map.entry("store_sales".into())
+            .or_default()
+            .push(VolumetricConstraint {
+                table: "store_sales".into(),
+                predicate: TablePredicate::always_true(),
+                fk_conditions: vec![FkCondition {
+                    fk_column: "ss_item_fk".into(),
+                    dim_table: "item".into(),
+                    dim_predicate: TablePredicate::always_true().with(ColumnPredicate::new(
+                        "i_category",
+                        CompareOp::Eq,
+                        "Music",
+                    )),
+                    nested: vec![],
+                }],
+                cardinality: 75,
+                label: "q1#0".into(),
+            });
+        map.entry("store_sales".into())
+            .or_default()
+            .push(VolumetricConstraint {
+                table: "store_sales".into(),
+                predicate: TablePredicate::always_true(),
+                fk_conditions: vec![],
+                cardinality: 100,
+                label: "q1#scan".into(),
+            });
         map
     }
 
@@ -237,8 +261,11 @@ mod tests {
     fn verification_computes_achieved_and_errors() {
         let report = verify_summary(&sample_summary(), &constraints()).unwrap();
         assert_eq!(report.len(), 3);
-        let by_label: BTreeMap<&str, &ConstraintCheck> =
-            report.checks.iter().map(|c| (c.label.as_str(), c)).collect();
+        let by_label: BTreeMap<&str, &ConstraintCheck> = report
+            .checks
+            .iter()
+            .map(|c| (c.label.as_str(), c))
+            .collect();
         // item Music constraint is exact.
         assert_eq!(by_label["q1#1"].achieved, 600);
         assert_eq!(by_label["q1#1"].relative_error, 0.0);
@@ -276,13 +303,15 @@ mod tests {
     #[test]
     fn missing_relation_is_an_error() {
         let mut map: BTreeMap<String, Vec<VolumetricConstraint>> = BTreeMap::new();
-        map.entry("missing".into()).or_default().push(VolumetricConstraint {
-            table: "missing".into(),
-            predicate: TablePredicate::always_true(),
-            fk_conditions: vec![],
-            cardinality: 1,
-            label: "x".into(),
-        });
+        map.entry("missing".into())
+            .or_default()
+            .push(VolumetricConstraint {
+                table: "missing".into(),
+                predicate: TablePredicate::always_true(),
+                fk_conditions: vec![],
+                cardinality: 1,
+                label: "x".into(),
+            });
         assert!(verify_summary(&sample_summary(), &map).is_err());
     }
 }

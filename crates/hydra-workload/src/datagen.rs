@@ -29,7 +29,11 @@ pub struct DataGenConfig {
 
 impl Default for DataGenConfig {
     fn default() -> Self {
-        DataGenConfig { seed: 42, value_skew: 0.8, fk_skew: 0.6 }
+        DataGenConfig {
+            seed: 42,
+            value_skew: 0.8,
+            fk_skew: 0.6,
+        }
     }
 }
 
@@ -45,7 +49,9 @@ pub fn generate_client_database(
         .map(|ts| ts.iter().map(|t| t.name.clone()).collect())
         .unwrap_or_else(|_| schema.table_names().to_vec());
     for table_name in order {
-        let Some(table) = schema.table(&table_name) else { continue };
+        let Some(table) = schema.table(&table_name) else {
+            continue;
+        };
         let rows = row_targets.get(&table_name).copied().unwrap_or(0);
         let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(&table_name));
         let generated = generate_table_rows(table, rows, row_targets, config, &mut rng);
@@ -75,7 +81,11 @@ fn generate_table_rows(
                     return Value::Integer(i as i64);
                 }
                 if let Some(fk) = table.foreign_key_on(&col.name) {
-                    let dim_rows = row_targets.get(&fk.referenced_table).copied().unwrap_or(1).max(1);
+                    let dim_rows = row_targets
+                        .get(&fk.referenced_table)
+                        .copied()
+                        .unwrap_or(1)
+                        .max(1);
                     let idx = skewed_index(rng, dim_rows, config.fk_skew);
                     return Value::Integer(idx as i64);
                 }
@@ -155,7 +165,10 @@ mod tests {
         let c = generate_client_database(
             &schema,
             &targets,
-            &DataGenConfig { seed: 7, ..Default::default() },
+            &DataGenConfig {
+                seed: 7,
+                ..Default::default()
+            },
         );
         assert_ne!(
             a.table("store_sales").unwrap().rows()[..50],
@@ -194,7 +207,11 @@ mod tests {
         let skewed = generate_client_database(
             &schema,
             &targets,
-            &DataGenConfig { value_skew: 2.0, fk_skew: 2.0, ..Default::default() },
+            &DataGenConfig {
+                value_skew: 2.0,
+                fk_skew: 2.0,
+                ..Default::default()
+            },
         );
         // With strong skew, the first decile of item keys should absorb far
         // more than 10% of the fact rows.
@@ -220,7 +237,11 @@ mod tests {
         let uniform = generate_client_database(
             &schema,
             &targets,
-            &DataGenConfig { value_skew: 0.0, fk_skew: 0.0, ..Default::default() },
+            &DataGenConfig {
+                value_skew: 0.0,
+                fk_skew: 0.0,
+                ..Default::default()
+            },
         );
         let ss = uniform.table("store_sales").unwrap();
         let fk_idx = ss.schema.column_index("ss_item_fk").unwrap();

@@ -36,7 +36,10 @@ mod tests {
         let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
         let queries = WorkloadGenerator::new(
             schema.clone(),
-            WorkloadGenConfig { num_queries: 8, ..Default::default() },
+            WorkloadGenConfig {
+                num_queries: 8,
+                ..Default::default()
+            },
         )
         .generate();
         let workload = harvest_workload(&db, &queries).unwrap();
@@ -66,7 +69,10 @@ mod tests {
         let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
         let queries = WorkloadGenerator::new(
             schema.clone(),
-            WorkloadGenConfig { num_queries: 5, ..Default::default() },
+            WorkloadGenConfig {
+                num_queries: 5,
+                ..Default::default()
+            },
         )
         .generate();
         let workload = harvest_workload(&db, &queries).unwrap();

@@ -172,7 +172,11 @@ pub fn predicate_pool(table: &Table, pool_size: usize) -> Vec<TablePredicate> {
                     // Spread the chosen categories across the dictionary.
                     let idx = (k * values.len()) / per_column.max(1);
                     let v = &values[idx.min(values.len() - 1)];
-                    pred.and(ColumnPredicate::new(column.name.clone(), CompareOp::Eq, v.as_str()));
+                    pred.and(ColumnPredicate::new(
+                        column.name.clone(),
+                        CompareOp::Eq,
+                        v.as_str(),
+                    ));
                 }
                 _ => {
                     let (lo, hi) = domain.normalized_bounds();
@@ -205,7 +209,11 @@ pub fn predicate_pool(table: &Table, pool_size: usize) -> Vec<TablePredicate> {
 pub fn retail_workload_131(schema: &Schema) -> Vec<SpjQuery> {
     WorkloadGenerator::new(
         schema.clone(),
-        WorkloadGenConfig { num_queries: 131, seed: 131, ..Default::default() },
+        WorkloadGenConfig {
+            num_queries: 131,
+            seed: 131,
+            ..Default::default()
+        },
     )
     .generate()
 }
@@ -278,7 +286,8 @@ mod tests {
         let queries = retail_workload_131(&schema);
         assert_eq!(queries.len(), 131);
         for q in &queries {
-            q.validate(&schema).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            q.validate(&schema)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.name));
             assert!(!q.joins.is_empty());
             assert!(q.root_table().is_ok());
         }
@@ -292,7 +301,11 @@ mod tests {
         assert_eq!(a, b);
         let c = WorkloadGenerator::new(
             schema,
-            WorkloadGenConfig { seed: 999, num_queries: 131, ..Default::default() },
+            WorkloadGenConfig {
+                seed: 999,
+                num_queries: 131,
+                ..Default::default()
+            },
         )
         .generate();
         assert_ne!(a, c);
@@ -303,7 +316,10 @@ mod tests {
         let schema = retail_schema();
         let queries = retail_workload_131(&schema);
         let with_preds = queries.iter().filter(|q| !q.predicates.is_empty()).count();
-        assert!(with_preds > queries.len() / 2, "only {with_preds} queries have predicates");
+        assert!(
+            with_preds > queries.len() / 2,
+            "only {with_preds} queries have predicates"
+        );
     }
 
     #[test]
@@ -311,7 +327,10 @@ mod tests {
         let schema = supplier_schema();
         let queries = WorkloadGenerator::new(
             schema.clone(),
-            WorkloadGenConfig { num_queries: 25, ..Default::default() },
+            WorkloadGenConfig {
+                num_queries: 25,
+                ..Default::default()
+            },
         )
         .generate();
         assert_eq!(queries.len(), 25);
@@ -325,7 +344,11 @@ mod tests {
         let schema = retail_schema();
         let queries = WorkloadGenerator::new(
             schema,
-            WorkloadGenConfig { num_queries: 40, max_joins: 1, ..Default::default() },
+            WorkloadGenConfig {
+                num_queries: 40,
+                max_joins: 1,
+                ..Default::default()
+            },
         )
         .generate();
         assert!(queries.iter().all(|q| q.joins.len() == 1));

@@ -13,14 +13,32 @@ use std::collections::BTreeMap;
 
 /// Item categories (a subset of TPC-DS's).
 pub const ITEM_CATEGORIES: [&str; 10] = [
-    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports",
+    "Books",
+    "Children",
+    "Electronics",
+    "Home",
+    "Jewelry",
+    "Men",
+    "Music",
+    "Shoes",
+    "Sports",
     "Women",
 ];
 
 /// Item classes.
 pub const ITEM_CLASSES: [&str; 12] = [
-    "accessories", "athletic", "classical", "computers", "country", "dresses", "infants",
-    "pants", "pop", "reference", "rock", "shirts",
+    "accessories",
+    "athletic",
+    "classical",
+    "computers",
+    "country",
+    "dresses",
+    "infants",
+    "pants",
+    "pop",
+    "reference",
+    "rock",
+    "shirts",
 ];
 
 /// US states used for store locations.
@@ -41,8 +59,12 @@ pub fn retail_schema() -> Schema {
                     ColumnBuilder::new("d_year", DataType::Integer)
                         .domain(Domain::integer(1998, 2004)),
                 )
-                .column(ColumnBuilder::new("d_moy", DataType::Integer).domain(Domain::integer(1, 13)))
-                .column(ColumnBuilder::new("d_dow", DataType::Integer).domain(Domain::integer(0, 7)))
+                .column(
+                    ColumnBuilder::new("d_moy", DataType::Integer).domain(Domain::integer(1, 13)),
+                )
+                .column(
+                    ColumnBuilder::new("d_dow", DataType::Integer).domain(Domain::integer(0, 7)),
+                )
         })
         .table("item", |t| {
             t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
@@ -165,10 +187,15 @@ pub fn retail_schema() -> Schema {
 /// scale factor for dimensions, mirroring TPC-DS's scaling rules.
 pub fn retail_row_targets(scale_factor: f64) -> BTreeMap<String, u64> {
     let sf = scale_factor.max(0.0);
-    let dim = |base: f64| ((base * sf.sqrt()).round() as u64).max(1);
+    // Dimensions keep a minimum population: below ~8 rows the region blocks of
+    // a dimension summary cannot separate distinct workload predicates, and
+    // their foreign-key projections onto the (tiny) PK axis collide into
+    // contradictory join constraints.  TPC-DS itself never shrinks dimensions
+    // below a dozen rows at any scale factor.
+    let dim = |base: f64| ((base * sf.sqrt()).round() as u64).max(8);
     let fact = |base: f64| ((base * sf).round() as u64).max(1);
     let mut m = BTreeMap::new();
-    m.insert("date_dim".to_string(), 2_190.max(1)); // ~6 years of days, scale-free
+    m.insert("date_dim".to_string(), 2_190); // ~6 years of days, scale-free
     m.insert("item".to_string(), dim(1_800.0));
     m.insert("customer".to_string(), dim(10_000.0));
     m.insert("store".to_string(), dim(12.0));

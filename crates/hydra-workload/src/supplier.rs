@@ -13,11 +13,17 @@ use std::collections::BTreeMap;
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 /// Market segments.
-pub const MARKET_SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const MARKET_SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Order priorities.
-pub const ORDER_PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Builds the supplier schema.
 pub fn supplier_schema() -> Schema {
@@ -57,7 +63,9 @@ pub fn supplier_schema() -> Schema {
         })
         .table("part", |t| {
             t.column(ColumnBuilder::new("p_partkey", DataType::BigInt).primary_key())
-                .column(ColumnBuilder::new("p_size", DataType::Integer).domain(Domain::integer(1, 51)))
+                .column(
+                    ColumnBuilder::new("p_size", DataType::Integer).domain(Domain::integer(1, 51)),
+                )
                 .column(
                     ColumnBuilder::new("p_retailprice", DataType::Double)
                         .domain(Domain::double(900.0, 2_000.0)),
@@ -136,11 +144,29 @@ mod tests {
         assert_eq!(li.foreign_keys().len(), 2);
         // The chain lineitem -> orders -> customer -> nation -> region exists.
         let orders = schema.table("orders").unwrap();
-        assert_eq!(orders.foreign_key_on("o_customer_fk").unwrap().referenced_table, "customer");
+        assert_eq!(
+            orders
+                .foreign_key_on("o_customer_fk")
+                .unwrap()
+                .referenced_table,
+            "customer"
+        );
         let customer = schema.table("customer").unwrap();
-        assert_eq!(customer.foreign_key_on("c_nation_fk").unwrap().referenced_table, "nation");
+        assert_eq!(
+            customer
+                .foreign_key_on("c_nation_fk")
+                .unwrap()
+                .referenced_table,
+            "nation"
+        );
         let nation = schema.table("nation").unwrap();
-        assert_eq!(nation.foreign_key_on("n_region_fk").unwrap().referenced_table, "region");
+        assert_eq!(
+            nation
+                .foreign_key_on("n_region_fk")
+                .unwrap()
+                .referenced_table,
+            "region"
+        );
         // Topological order resolves the chain.
         assert!(schema.topological_order().is_ok());
     }

@@ -11,8 +11,6 @@
 //!
 //! Run with: `cargo run --release --example dynamic_generation`
 
-use hydra::core::client::ClientSite;
-use hydra::core::vendor::{HydraConfig, VendorSite};
 use hydra::engine::database::Database;
 use hydra::engine::exec::Executor;
 use hydra::query::plan::LogicalPlan;
@@ -20,6 +18,7 @@ use hydra::workload::{
     generate_client_database, retail_row_targets, retail_schema, DataGenConfig, WorkloadGenConfig,
     WorkloadGenerator,
 };
+use hydra::Hydra;
 
 fn main() {
     let schema = retail_schema();
@@ -28,23 +27,27 @@ fn main() {
     let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
     let queries = WorkloadGenerator::new(
         schema.clone(),
-        WorkloadGenConfig { num_queries: 16, ..Default::default() },
+        WorkloadGenConfig {
+            num_queries: 16,
+            ..Default::default()
+        },
     )
     .generate();
 
-    let package = ClientSite::new(db).prepare_package(&queries, false).expect("package");
-    let result = VendorSite::new(HydraConfig::without_aqp_comparison())
-        .regenerate(&package)
-        .expect("regeneration");
+    let session = Hydra::builder().compare_aqps(false).parallelism(2).build();
+    let package = session.profile(db, &queries).expect("package");
+    let result = session.regenerate(&package).expect("regeneration");
     let generator = result.generator();
 
     // --- velocity regulation -------------------------------------------------
-    println!("velocity regulation on store_sales ({} rows available):", result
-        .summary
-        .relation("store_sales")
-        .unwrap()
-        .total_rows);
-    println!("{:>14} | {:>14} | {:>10}", "target rows/s", "achieved rows/s", "rows");
+    println!(
+        "velocity regulation on store_sales ({} rows available):",
+        result.summary.relation("store_sales").unwrap().total_rows
+    );
+    println!(
+        "{:>14} | {:>14} | {:>10}",
+        "target rows/s", "achieved rows/s", "rows"
+    );
     for target in [1_000.0, 10_000.0, 100_000.0] {
         let stats = generator
             .generate_with_velocity("store_sales", Some(target), Some(5_000))
@@ -68,15 +71,35 @@ fn main() {
     let mut materialized = Database::empty(schema.clone());
     for table in schema.table_names() {
         let mem = generator.materialize(table).expect("materialize");
-        materialized.table_mut(table).unwrap().load_unchecked(mem.rows().to_vec());
+        materialized
+            .table_mut(table)
+            .unwrap()
+            .load_unchecked(mem.rows().to_vec());
     }
-    println!("{:<8} | {:>12} | {:>12}", "query", "dataless", "materialized");
+    println!(
+        "{:<8} | {:>12} | {:>12}",
+        "query", "dataless", "materialized"
+    );
     for query in queries.iter().take(8) {
         let plan = LogicalPlan::from_query(query).unwrap();
         let dl = Executor::new(&dataless).run(&plan).expect("dataless run");
-        let mt = Executor::new(&materialized).run(&plan).expect("materialized run");
-        assert_eq!(dl.rows.len(), mt.rows.len(), "cardinality mismatch for {}", query.name);
-        println!("{:<8} | {:>12} | {:>12}", query.name, dl.rows.len(), mt.rows.len());
+        let mt = Executor::new(&materialized)
+            .run(&plan)
+            .expect("materialized run");
+        assert_eq!(
+            dl.rows.len(),
+            mt.rows.len(),
+            "cardinality mismatch for {}",
+            query.name
+        );
+        println!(
+            "{:<8} | {:>12} | {:>12}",
+            query.name,
+            dl.rows.len(),
+            mt.rows.len()
+        );
     }
-    println!("\nall compared queries returned identical cardinalities — the fact data was never stored.");
+    println!(
+        "\nall compared queries returned identical cardinalities — the fact data was never stored."
+    );
 }

@@ -11,12 +11,11 @@
 use hydra::catalog::domain::Domain;
 use hydra::catalog::schema::{ColumnBuilder, Schema, SchemaBuilder};
 use hydra::catalog::types::{DataType, Value};
-use hydra::core::client::ClientSite;
-use hydra::core::vendor::{HydraConfig, VendorSite};
 use hydra::engine::database::Database;
 use hydra::engine::exec::Executor;
 use hydra::query::parser::parse_query_for_schema;
 use hydra::query::plan::LogicalPlan;
+use hydra::Hydra;
 
 fn toy_schema() -> Schema {
     SchemaBuilder::new("toy")
@@ -49,22 +48,38 @@ fn main() {
     // ---- Client site: a small warehouse -------------------------------------
     let mut client_db = Database::empty(schema.clone());
     for i in 0..100i64 {
-        client_db.insert("S", vec![Value::Integer(i), Value::Integer(i), Value::Integer(99 - i)]).unwrap();
+        client_db
+            .insert(
+                "S",
+                vec![Value::Integer(i), Value::Integer(i), Value::Integer(99 - i)],
+            )
+            .unwrap();
     }
     for i in 0..10i64 {
-        client_db.insert("T", vec![Value::Integer(i), Value::Integer(i)]).unwrap();
+        client_db
+            .insert("T", vec![Value::Integer(i), Value::Integer(i)])
+            .unwrap();
     }
     for i in 0..1000i64 {
         client_db
-            .insert("R", vec![Value::Integer(i), Value::Integer(i % 100), Value::Integer(i % 10)])
+            .insert(
+                "R",
+                vec![
+                    Value::Integer(i),
+                    Value::Integer(i % 100),
+                    Value::Integer(i % 10),
+                ],
+            )
             .unwrap();
     }
 
     let query = parse_query_for_schema("fig1", FIG1_SQL, &schema).expect("query parses");
     println!("client query (Figure 1b):\n  {}\n", query.to_sql());
 
-    let client = ClientSite::new(client_db);
-    let package = client.prepare_package(&[query.clone()], false).expect("client packaging");
+    let session = Hydra::builder().build();
+    let package = session
+        .profile(client_db, std::slice::from_ref(&query))
+        .expect("client packaging");
     let aqp = package.workload.entries[0].aqp.as_ref().unwrap();
     println!("annotated query plan (Figure 1c), edge cardinalities:");
     for node in aqp.root.preorder() {
@@ -73,8 +88,7 @@ fn main() {
     println!();
 
     // ---- Vendor site: regenerate --------------------------------------------
-    let vendor = VendorSite::new(HydraConfig::default());
-    let result = vendor.regenerate(&package).expect("regeneration");
+    let result = session.regenerate(&package).expect("regeneration");
 
     println!("database summary (Figure 4 style):");
     for relation in result.summary.relations.values() {
@@ -85,22 +99,31 @@ fn main() {
     println!("sample regenerated tuples of R (Table 1 pattern — PK is an auto-number):");
     let generator = result.generator();
     for row in generator.stream("R").expect("stream").take(5) {
-        println!("  {:?}", row.iter().map(Value::to_string).collect::<Vec<_>>());
+        println!(
+            "  {:?}",
+            row.iter().map(Value::to_string).collect::<Vec<_>>()
+        );
     }
     println!();
 
     // ---- Dynamic regeneration: run the query with no stored data ------------
     let dataless = result.dataless_database();
     let plan = LogicalPlan::from_query(&query).unwrap();
-    let (exec_result, regenerated_aqp) =
-        Executor::new(&dataless).run_annotated("fig1", &plan).expect("dataless execution");
+    let (exec_result, regenerated_aqp) = Executor::new(&dataless)
+        .run_annotated("fig1", &plan)
+        .expect("dataless execution");
     println!(
         "query executed on the DATALESS database: {} output rows (client observed {})",
         exec_result.rows.len(),
         aqp.root.cardinality
     );
     println!("\nregenerated AQP comparison:");
-    for (orig, regen) in aqp.root.preorder().iter().zip(regenerated_aqp.root.preorder()) {
+    for (orig, regen) in aqp
+        .root
+        .preorder()
+        .iter()
+        .zip(regenerated_aqp.root.preorder())
+    {
         println!(
             "  {:<40} original {:>6}   regenerated {:>6}",
             orig.op.name(),

@@ -10,8 +10,7 @@
 use hydra::core::pipeline::run_end_to_end;
 use hydra::core::vendor::HydraConfig;
 use hydra::workload::{
-    generate_client_database, retail_row_targets, retail_schema, retail_workload_131,
-    DataGenConfig,
+    generate_client_database, retail_row_targets, retail_schema, retail_workload_131, DataGenConfig,
 };
 
 fn main() {
@@ -33,8 +32,8 @@ fn main() {
     let queries = retail_workload_131(&schema);
 
     println!("running client profiling + workload execution + vendor regeneration ...\n");
-    let result = run_end_to_end(db, &queries, HydraConfig::default(), false)
-        .expect("end-to-end pipeline");
+    let result =
+        run_end_to_end(db, &queries, HydraConfig::default(), false).expect("end-to-end pipeline");
 
     println!(
         "client-side time (profiling + AQP harvesting): {:.2} s",

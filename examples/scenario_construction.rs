@@ -11,13 +11,12 @@
 //!
 //! Run with: `cargo run --release --example scenario_construction`
 
-use hydra::core::client::ClientSite;
-use hydra::core::scenario::{construct_scenario, Scenario};
-use hydra::core::vendor::HydraConfig;
+use hydra::core::scenario::Scenario;
 use hydra::workload::{
     generate_client_database, retail_row_targets, retail_schema, DataGenConfig, WorkloadGenConfig,
     WorkloadGenerator,
 };
+use hydra::Hydra;
 use std::time::Instant;
 
 fn main() {
@@ -27,11 +26,16 @@ fn main() {
     let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
     let queries = WorkloadGenerator::new(
         schema,
-        WorkloadGenConfig { num_queries: 24, ..Default::default() },
+        WorkloadGenConfig {
+            num_queries: 24,
+            ..Default::default()
+        },
     )
     .generate();
-    let package = ClientSite::new(db).prepare_package(&queries, false).expect("package");
-    let config = HydraConfig::without_aqp_comparison();
+    // One session for the whole sweep: its summary cache re-solves only the
+    // relations each scenario actually changes.
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = session.profile(db, &queries).expect("package");
 
     // --- 1. scale-free extrapolation -----------------------------------------
     println!("uniform extrapolation (construction cost must stay flat):");
@@ -42,7 +46,7 @@ fn main() {
     for scale in [1.0, 1e3, 1e6, 1e9] {
         let scenario = Scenario::scaled(format!("x{scale:e}"), scale);
         let start = Instant::now();
-        let result = construct_scenario(&scenario, &package, config.clone()).expect("scenario");
+        let result = session.scenario(&scenario, &package).expect("scenario");
         let elapsed = start.elapsed();
         println!(
             "{:>14.0e} | {:>18} | {:>16.1} | {:>12.2} | {:>8}",
@@ -58,11 +62,21 @@ fn main() {
     println!("\nstress scenario: store_sales forced to 10 billion rows");
     let scenario = Scenario::scaled("stress-store-sales", 1.0)
         .with_row_override("store_sales", 10_000_000_000);
-    let result = construct_scenario(&scenario, &package, config.clone()).expect("scenario");
+    let result = session.scenario(&scenario, &package).expect("scenario");
     println!(
         "  regenerated store_sales rows: {}   summary rows: {}   feasible: {}",
-        result.regeneration.summary.relation("store_sales").unwrap().total_rows,
-        result.regeneration.summary.relation("store_sales").unwrap().row_count(),
+        result
+            .regeneration
+            .summary
+            .relation("store_sales")
+            .unwrap()
+            .total_rows,
+        result
+            .regeneration
+            .summary
+            .relation("store_sales")
+            .unwrap()
+            .row_count(),
         result.feasible
     );
 
@@ -72,7 +86,7 @@ fn main() {
     let bad = Scenario::scaled("impossible", 1.0)
         .with_cardinality_override(query_name.clone(), 0, u64::MAX / 4)
         .strict();
-    match construct_scenario(&bad, &package, config) {
+    match session.scenario(&bad, &package) {
         Err(e) => println!("  rejected as expected: {e}"),
         Ok(r) => println!(
             "  built with least violation {:.1} (feasible = {})",

@@ -5,8 +5,6 @@
 //!
 //! Run with: `cargo run --release --example supplier_snowflake`
 
-use hydra::core::client::ClientSite;
-use hydra::core::vendor::{HydraConfig, VendorSite};
 use hydra::engine::exec::Executor;
 use hydra::query::parser::parse_query_for_schema;
 use hydra::query::plan::LogicalPlan;
@@ -14,19 +12,26 @@ use hydra::workload::{
     generate_client_database, supplier_row_targets, supplier_schema, DataGenConfig,
     WorkloadGenConfig, WorkloadGenerator,
 };
+use hydra::Hydra;
 
 fn main() {
     let schema = supplier_schema();
     let mut targets = supplier_row_targets(0.2);
     targets.insert("lineitem".to_string(), 20_000);
     targets.insert("orders".to_string(), 6_000);
-    println!("client supplier warehouse: {} total rows", targets.values().sum::<u64>());
+    println!(
+        "client supplier warehouse: {} total rows",
+        targets.values().sum::<u64>()
+    );
     let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
 
     // A generated workload plus one hand-written 3-level snowflake query.
     let mut queries = WorkloadGenerator::new(
         schema.clone(),
-        WorkloadGenConfig { num_queries: 20, ..Default::default() },
+        WorkloadGenConfig {
+            num_queries: 20,
+            ..Default::default()
+        },
     )
     .generate();
     let snowflake_sql = "select * from lineitem, orders, customer \
@@ -38,10 +43,9 @@ fn main() {
         .expect("snowflake query parses");
     queries.push(snowflake.clone());
 
-    let package = ClientSite::new(db).prepare_package(&queries, false).expect("client package");
-    let result = VendorSite::new(HydraConfig::without_aqp_comparison())
-        .regenerate(&package)
-        .expect("regeneration");
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = session.profile(db, &queries).expect("client package");
+    let result = session.regenerate(&package).expect("regeneration");
 
     println!("\n{}", result.report().to_display_text());
 
@@ -57,7 +61,12 @@ fn main() {
         .run_annotated("snowflake_probe", &plan)
         .expect("dataless execution");
     println!("snowflake probe — original vs regenerated edge cardinalities:");
-    for (orig, regen) in original.root.preorder().iter().zip(regenerated.root.preorder()) {
+    for (orig, regen) in original
+        .root
+        .preorder()
+        .iter()
+        .zip(regenerated.root.preorder())
+    {
         println!(
             "  {:<55} {:>8} {:>8}",
             orig.op.name(),

@@ -1,0 +1,401 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is unavailable in this build environment (no network, no
+//! vendored registry), so this crate provides the small slice of its API the
+//! workspace actually uses: `Serialize` / `Deserialize` traits, derive macros
+//! (re-exported from the sibling `serde_derive` proc-macro crate), and enough
+//! std-type impls to round-trip every type in the HYDRA transfer path.
+//!
+//! Instead of serde's visitor architecture, values convert through an explicit
+//! data-model tree ([`Content`]). `serde_json` renders/parses that tree. The
+//! JSON encoding matches real serde's externally-tagged defaults (unit enum
+//! variants as strings, newtype variants as one-entry maps, structs as maps)
+//! so serialized artifacts look the way readers of the paper's demo expect.
+//!
+//! Unknown map entries are ignored during deserialization, exactly like real
+//! serde without `deny_unknown_fields` — the transfer package's forward
+//! compatibility tests rely on this.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serde data model: what any serializable value reduces to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64`).
+    U64(u64),
+    /// Very large unsigned integer (region volumes can reach `u128::MAX`).
+    U128(u128),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (JSON array).
+    Seq(Vec<Content>),
+    /// Map with string keys, in insertion order (JSON object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map accessor used by derived `Deserialize` impls.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Sequence accessor used by derived `Deserialize` impls.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name of the content class, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::U128(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A "expected X while deserializing Y" error.
+    pub fn expected(what: &str, ty: &str) -> Error {
+        Error(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// A custom message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be reduced to the serde data model.
+pub trait Serialize {
+    /// Converts `self` into the data-model tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// A value that can be reconstructed from the serde data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a data-model tree.
+    fn deserialize_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Looks up and deserializes one struct field from a map, ignoring unknown
+/// entries (forward compatibility). Used by derived impls.
+pub fn field<T: Deserialize>(
+    entries: &[(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize_content(v),
+        None => Err(Error(format!(
+            "missing field `{name}` while deserializing {ty}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected("integer", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Content::I64(v as i64)
+                } else {
+                    Content::U64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::U128(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected("integer", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn serialize_content(&self) -> Content {
+        if *self <= i64::MAX as u128 {
+            Content::I64(*self as i64)
+        } else if *self <= u64::MAX as u128 {
+            Content::U64(*self as u64)
+        } else {
+            Content::U128(*self)
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::I64(v) => {
+                u128::try_from(*v).map_err(|_| Error::custom(format!("{v} out of range for u128")))
+            }
+            Content::U64(v) => Ok(u128::from(*v)),
+            Content::U128(v) => Ok(*v),
+            other => Err(Error::expected("integer", other.kind())),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::U128(v) => Ok(*v as $t),
+                    // Real serde_json writes non-finite floats as null.
+                    Content::Null => Ok(<$t>::NAN),
+                    other => Err(Error::expected("number", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(Error::expected("sequence", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = c.as_seq().ok_or_else(|| Error::expected("sequence", c.kind()))?;
+                if items.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {LEN} elements, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        let entries = c.as_map().ok_or_else(|| Error::expected("map", c.kind()))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), self.as_secs().serialize_content()),
+            ("nanos".to_string(), self.subsec_nanos().serialize_content()),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        let entries = c.as_map().ok_or_else(|| Error::expected("map", c.kind()))?;
+        let secs: u64 = field(entries, "secs", "Duration")?;
+        let nanos: u32 = field(entries, "nanos", "Duration")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}

@@ -21,9 +21,14 @@
 //!
 //! ## Quickstart
 //!
+//! Everything is driven through a [`Hydra`] session built from a typed
+//! builder: pick an LP backend ([`summary::SimplexBackend`] is the paper's
+//! pipeline, [`summary::GridBackend`] the DataSynth baseline), an alignment
+//! strategy, a worker count for the per-relation solves, and whether solved
+//! relations are cached across regenerations and scenario sweeps.
+//!
 //! ```
-//! use hydra::core::client::ClientSite;
-//! use hydra::core::vendor::{HydraConfig, VendorSite};
+//! use hydra::Hydra;
 //! use hydra::workload::{generate_client_database, retail_row_targets, retail_schema,
 //!                       DataGenConfig, WorkloadGenConfig, WorkloadGenerator};
 //!
@@ -35,10 +40,20 @@
 //! let queries = WorkloadGenerator::new(schema,
 //!     WorkloadGenConfig { num_queries: 5, ..Default::default() }).generate();
 //!
-//! let package = ClientSite::new(db).prepare_package(&queries, false).unwrap();
-//! let result = VendorSite::new(HydraConfig::without_aqp_comparison())
-//!     .regenerate(&package).unwrap();
+//! let session = Hydra::builder()
+//!     .parallelism(2)
+//!     .summary_cache(true)
+//!     .compare_aqps(false)
+//!     .build();
+//! let package = session.profile(db, &queries).unwrap();
+//! let result = session.regenerate(&package).unwrap();
 //! assert!(result.accuracy.fraction_within(0.10) > 0.9);
+//!
+//! // What-if scenario over the same package: the session cache re-solves
+//! // only the relations the scenario touches.
+//! use hydra::core::scenario::Scenario;
+//! let what_if = session.scenario(&Scenario::scaled("x1000", 1000.0), &package).unwrap();
+//! assert!(what_if.feasible);
 //! ```
 
 pub use hydra_catalog as catalog;
@@ -50,3 +65,6 @@ pub use hydra_partition as partition;
 pub use hydra_query as query;
 pub use hydra_summary as summary;
 pub use hydra_workload as workload;
+
+pub use hydra_core::session::{Hydra, HydraBuilder};
+pub use hydra_core::{RegenerationResult, TransferPackage};

@@ -7,12 +7,11 @@
 use hydra::catalog::domain::Domain;
 use hydra::catalog::schema::{ColumnBuilder, Schema, SchemaBuilder};
 use hydra::catalog::types::Value;
-use hydra::core::client::ClientSite;
-use hydra::core::vendor::{HydraConfig, VendorSite};
 use hydra::engine::database::Database;
 use hydra::engine::exec::Executor;
 use hydra::query::parser::parse_query_for_schema;
 use hydra::query::plan::LogicalPlan;
+use hydra::Hydra;
 
 use hydra::catalog::types::DataType;
 
@@ -39,14 +38,26 @@ fn toy_schema() -> Schema {
 fn toy_database(schema: &Schema) -> Database {
     let mut db = Database::empty(schema.clone());
     for i in 0..100i64 {
-        db.insert("S", vec![Value::Integer(i), Value::Integer(i), Value::Integer(99 - i)]).unwrap();
+        db.insert(
+            "S",
+            vec![Value::Integer(i), Value::Integer(i), Value::Integer(99 - i)],
+        )
+        .unwrap();
     }
     for i in 0..10i64 {
-        db.insert("T", vec![Value::Integer(i), Value::Integer(i)]).unwrap();
+        db.insert("T", vec![Value::Integer(i), Value::Integer(i)])
+            .unwrap();
     }
     for i in 0..1000i64 {
-        db.insert("R", vec![Value::Integer(i), Value::Integer(i % 100), Value::Integer(i % 10)])
-            .unwrap();
+        db.insert(
+            "R",
+            vec![
+                Value::Integer(i),
+                Value::Integer(i % 100),
+                Value::Integer(i % 10),
+            ],
+        )
+        .unwrap();
     }
     db
 }
@@ -62,15 +73,15 @@ fn figure1_aqp_is_reproduced_exactly_by_the_regenerated_database() {
     let query = parse_query_for_schema("fig1", FIG1_SQL, &schema).unwrap();
 
     // Client site.
-    let client = ClientSite::new(db);
-    let package = client.prepare_package(&[query.clone()], false).unwrap();
+    let session = Hydra::builder().build();
+    let package = session.profile(db, std::slice::from_ref(&query)).unwrap();
     let original = package.workload.entries[0].aqp.clone().unwrap();
 
     // Sanity of the client-side annotations for this deterministic instance.
     assert_eq!(original.root.cardinality, 40);
 
     // Vendor site.
-    let result = VendorSite::new(HydraConfig::default()).regenerate(&package).unwrap();
+    let result = session.regenerate(&package).unwrap();
     assert_eq!(result.summary.relation("R").unwrap().total_rows, 1000);
 
     // Every volumetric constraint of this workload is satisfied exactly.
@@ -90,10 +101,18 @@ fn figure1_aqp_is_reproduced_exactly_by_the_regenerated_database() {
     // edge-for-edge.
     let dataless = result.dataless_database();
     let plan = LogicalPlan::from_query(&query).unwrap();
-    let (_, regenerated) = Executor::new(&dataless).run_annotated("fig1", &plan).unwrap();
-    for (orig, regen) in original.root.preorder().iter().zip(regenerated.root.preorder()) {
+    let (_, regenerated) = Executor::new(&dataless)
+        .run_annotated("fig1", &plan)
+        .unwrap();
+    for (orig, regen) in original
+        .root
+        .preorder()
+        .iter()
+        .zip(regenerated.root.preorder())
+    {
         assert_eq!(
-            orig.cardinality, regen.cardinality,
+            orig.cardinality,
+            regen.cardinality,
             "cardinality mismatch at {}",
             orig.op.name()
         );
@@ -107,8 +126,8 @@ fn figure1_constraint_extraction_matches_paper_description() {
     let schema = toy_schema();
     let db = toy_database(&schema);
     let query = parse_query_for_schema("fig1", FIG1_SQL, &schema).unwrap();
-    let client = ClientSite::new(db);
-    let package = client.prepare_package(&[query], false).unwrap();
+    let session = Hydra::builder().build();
+    let package = session.profile(db, &[query]).unwrap();
     let constraints = package.workload.constraints_by_table().unwrap();
 
     assert!(constraints.contains_key("R"));
@@ -119,5 +138,7 @@ fn figure1_constraint_extraction_matches_paper_description() {
     assert_eq!(r.len(), 3);
     assert!(r.iter().any(|c| c.fk_conditions.len() == 2));
     let s = &constraints["S"];
-    assert!(s.iter().any(|c| !c.predicate.is_trivial() && c.cardinality == 40));
+    assert!(s
+        .iter()
+        .any(|c| !c.predicate.is_trivial() && c.cardinality == 40));
 }

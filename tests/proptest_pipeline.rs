@@ -4,19 +4,18 @@
 //! volumetric errors within the paper's bounds whenever the workload is
 //! consistent (which harvested workloads always are).
 
-use hydra::core::client::ClientSite;
-use hydra::core::vendor::{HydraConfig, VendorSite};
 use hydra::engine::database::Database;
 use hydra::workload::{
     generate_client_database, retail_row_targets, retail_schema, DataGenConfig, WorkloadGenConfig,
     WorkloadGenerator,
 };
+use hydra::Hydra;
 use proptest::prelude::*;
 
 proptest! {
     // End-to-end runs are comparatively expensive; a modest number of cases
     // with varied seeds still explores workload structure well.
-    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(4))]
 
     #[test]
     fn harvested_workloads_always_regenerate_within_bounds(
@@ -40,10 +39,11 @@ proptest! {
         )
         .generate();
 
-        let package = ClientSite::new(db).prepare_package(&queries, false).unwrap();
-        let result = VendorSite::new(HydraConfig::without_aqp_comparison())
-            .regenerate(&package)
-            .unwrap();
+        // Parallel session: output must match the sequential pipeline the
+        // other integration tests exercise.
+        let session = Hydra::builder().compare_aqps(false).parallelism(3).build();
+        let package = session.profile(db, &queries).unwrap();
+        let result = session.regenerate(&package).unwrap();
 
         // Row counts are always preserved exactly.
         for (table, rows) in &targets {

@@ -3,32 +3,39 @@
 //! existing primary key, across both the star (retail) and snowflake
 //! (supplier) schemas.
 
-use hydra::core::client::ClientSite;
-use hydra::core::vendor::{HydraConfig, VendorSite};
 use hydra::engine::database::Database;
 use hydra::workload::{
     generate_client_database, retail_row_targets, retail_schema, supplier_row_targets,
     supplier_schema, DataGenConfig, WorkloadGenConfig, WorkloadGenerator,
 };
+use hydra::Hydra;
 
-fn check_schema(schema: hydra::catalog::schema::Schema, targets: std::collections::BTreeMap<String, u64>) {
+fn check_schema(
+    schema: hydra::catalog::schema::Schema,
+    targets: std::collections::BTreeMap<String, u64>,
+) {
     let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
     let queries = WorkloadGenerator::new(
         schema.clone(),
-        WorkloadGenConfig { num_queries: 15, ..Default::default() },
+        WorkloadGenConfig {
+            num_queries: 15,
+            ..Default::default()
+        },
     )
     .generate();
-    let package = ClientSite::new(db).prepare_package(&queries, false).unwrap();
-    let result = VendorSite::new(HydraConfig::without_aqp_comparison())
-        .regenerate(&package)
-        .unwrap();
+    let session = Hydra::builder().compare_aqps(false).parallelism(2).build();
+    let package = session.profile(db, &queries).unwrap();
+    let result = session.regenerate(&package).unwrap();
 
     // Materialize the regenerated database and check every FK.
     let generator = result.generator();
     let mut regenerated = Database::empty(schema.clone());
     for table in schema.table_names() {
         let mem = generator.materialize(table).unwrap();
-        regenerated.table_mut(table).unwrap().load_unchecked(mem.rows().to_vec());
+        regenerated
+            .table_mut(table)
+            .unwrap()
+            .load_unchecked(mem.rows().to_vec());
     }
     assert_eq!(
         regenerated.dangling_foreign_keys(),

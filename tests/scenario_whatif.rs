@@ -1,14 +1,13 @@
 //! Experiments E6 / E7 (integration level): scenario construction and the
 //! behaviour of relative errors as the database grows.
 
-use hydra::core::client::ClientSite;
-use hydra::core::scenario::{construct_scenario, Scenario};
+use hydra::core::scenario::Scenario;
 use hydra::core::transfer::TransferPackage;
-use hydra::core::vendor::HydraConfig;
 use hydra::workload::{
     generate_client_database, retail_row_targets, retail_schema, DataGenConfig, WorkloadGenConfig,
     WorkloadGenerator,
 };
+use hydra::Hydra;
 use std::time::Instant;
 
 fn package() -> TransferPackage {
@@ -19,10 +18,17 @@ fn package() -> TransferPackage {
     let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
     let queries = WorkloadGenerator::new(
         schema,
-        WorkloadGenConfig { num_queries: 10, ..Default::default() },
+        WorkloadGenConfig {
+            num_queries: 10,
+            ..Default::default()
+        },
     )
     .generate();
-    ClientSite::new(db).prepare_package(&queries, false).unwrap()
+    Hydra::builder().build().profile(db, &queries).unwrap()
+}
+
+fn session() -> Hydra {
+    Hydra::builder().compare_aqps(false).build()
 }
 
 #[test]
@@ -30,24 +36,32 @@ fn scenario_construction_is_scale_free() {
     // E6/E8: cost and summary size of scenario construction do not grow with
     // the simulated data volume.
     let package = package();
-    let config = HydraConfig::without_aqp_comparison();
+    let session = session();
 
     let mut times = Vec::new();
     let mut sizes = Vec::new();
     for scale in [1.0, 1e4, 1e8] {
         let scenario = Scenario::scaled(format!("x{scale}"), scale);
         let start = Instant::now();
-        let result = construct_scenario(&scenario, &package, config.clone()).unwrap();
+        let result = session.scenario(&scenario, &package).unwrap();
         times.push(start.elapsed());
         sizes.push(result.regeneration.summary.size_bytes());
-        assert!(result.feasible, "uniform scaling at {scale} must stay feasible");
+        assert!(
+            result.feasible,
+            "uniform scaling at {scale} must stay feasible"
+        );
     }
     // Construction time at 10^8x the volume stays within a small factor of the
     // 1x time (wall-clock noise allowed), and summary size is essentially flat.
     let t0 = times[0].as_secs_f64().max(1e-3);
     let t2 = times[2].as_secs_f64();
     assert!(t2 < t0 * 20.0, "construction time grew from {t0}s to {t2}s");
-    assert!(sizes[2] < sizes[0] * 2 + 4096, "summary size grew from {} to {}", sizes[0], sizes[2]);
+    assert!(
+        sizes[2] < sizes[0] * 2 + 4096,
+        "summary size grew from {} to {}",
+        sizes[0],
+        sizes[2]
+    );
 }
 
 #[test]
@@ -55,12 +69,12 @@ fn relative_errors_shrink_as_database_grows() {
     // E7: HYDRA's residual discrepancy is additive, so the *relative* error of
     // the volumetric constraints decreases as the database is scaled up.
     let package = package();
-    let config = HydraConfig::without_aqp_comparison();
+    let session = session();
 
     let mut mean_errors = Vec::new();
     for scale in [1.0, 100.0] {
         let scenario = Scenario::scaled(format!("x{scale}"), scale);
-        let result = construct_scenario(&scenario, &package, config.clone()).unwrap();
+        let result = session.scenario(&scenario, &package).unwrap();
         mean_errors.push(result.regeneration.accuracy.mean_relative_error());
     }
     assert!(
@@ -73,11 +87,12 @@ fn relative_errors_shrink_as_database_grows() {
 #[test]
 fn infeasible_injection_is_reported_not_hidden() {
     let package = package();
-    let config = HydraConfig::without_aqp_comparison();
+    let session = session();
     let query = package.workload.entries[0].query.name.clone();
     // Claim the root join produces 100x more rows than the fact table has.
-    let scenario = Scenario::scaled("overload", 1.0).with_cardinality_override(query, 0, 250_000_000);
-    let result = construct_scenario(&scenario, &package, config).unwrap();
+    let scenario =
+        Scenario::scaled("overload", 1.0).with_cardinality_override(query, 0, 250_000_000);
+    let result = session.scenario(&scenario, &package).unwrap();
     assert!(!result.feasible);
     assert!(result.total_violation > 0.0);
     // The accuracy report exposes the violated constraint rather than

@@ -2,14 +2,13 @@
 //! (lineitem → orders → customer → nation → region) must be carried through
 //! the constraint extraction, the LP formulation and verification.
 
-use hydra::core::client::ClientSite;
-use hydra::core::vendor::{HydraConfig, VendorSite};
 use hydra::engine::exec::Executor;
 use hydra::query::parser::parse_query_for_schema;
 use hydra::query::plan::LogicalPlan;
 use hydra::workload::{
     generate_client_database, supplier_row_targets, supplier_schema, DataGenConfig,
 };
+use hydra::Hydra;
 
 #[test]
 fn nested_fk_conditions_are_regenerated_accurately() {
@@ -28,8 +27,8 @@ fn nested_fk_conditions_are_regenerated_accurately() {
           and orders.o_orderdate >= 9000";
     let query = parse_query_for_schema("snow1", sql, &schema).unwrap();
 
-    let client = ClientSite::new(db);
-    let package = client.prepare_package(&[query.clone()], false).unwrap();
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = session.profile(db, std::slice::from_ref(&query)).unwrap();
     let original = package.workload.entries[0].aqp.clone().unwrap();
 
     // The extraction must produce a lineitem constraint whose FK condition on
@@ -44,9 +43,7 @@ fn nested_fk_conditions_are_regenerated_accurately() {
     assert_eq!(nested.fk_conditions[0].nested[0].dim_table, "customer");
 
     // Regenerate and re-execute on the dataless database.
-    let result = VendorSite::new(HydraConfig::without_aqp_comparison())
-        .regenerate(&package)
-        .unwrap();
+    let result = session.regenerate(&package).unwrap();
     assert!(
         result.accuracy.fraction_within(0.05) > 0.8,
         "snowflake constraints poorly satisfied: {}",
@@ -55,7 +52,9 @@ fn nested_fk_conditions_are_regenerated_accurately() {
 
     let dataless = result.dataless_database();
     let plan = LogicalPlan::from_query(&query).unwrap();
-    let (_, regenerated) = Executor::new(&dataless).run_annotated("snow1", &plan).unwrap();
+    let (_, regenerated) = Executor::new(&dataless)
+        .run_annotated("snow1", &plan)
+        .unwrap();
     let orig_root = original.root.cardinality;
     let regen_root = regenerated.root.cardinality;
     let rel_err = orig_root.abs_diff(regen_root) as f64 / orig_root.max(1) as f64;

@@ -74,7 +74,9 @@ fn table1_sample_tuples_follow_the_block_pattern() {
     assert!(rows[0..917].iter().all(|r| r[3] == Value::str("Music")));
     assert!(rows[917..938].iter().all(|r| r[3] == Value::str("Women")));
     assert!(rows[938..963].iter().all(|r| r[3] == Value::str("Men")));
-    assert!(rows[963..1000].iter().all(|r| r[3] == Value::str("Electronics")));
+    assert!(rows[963..1000]
+        .iter()
+        .all(|r| r[3] == Value::str("Electronics")));
 }
 
 #[test]

@@ -3,13 +3,12 @@
 //! anonymization layer, and the vendor produces identical summaries from the
 //! original and the deserialized package.
 
-use hydra::core::client::ClientSite;
 use hydra::core::transfer::TransferPackage;
-use hydra::core::vendor::{HydraConfig, VendorSite};
 use hydra::workload::{
     generate_client_database, retail_row_targets, retail_schema, DataGenConfig, WorkloadGenConfig,
     WorkloadGenerator,
 };
+use hydra::Hydra;
 
 fn package(anonymize: bool) -> TransferPackage {
     let schema = retail_schema();
@@ -19,10 +18,17 @@ fn package(anonymize: bool) -> TransferPackage {
     let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
     let queries = WorkloadGenerator::new(
         schema,
-        WorkloadGenConfig { num_queries: 8, ..Default::default() },
+        WorkloadGenConfig {
+            num_queries: 8,
+            ..Default::default()
+        },
     )
     .generate();
-    ClientSite::new(db).prepare_package(&queries, anonymize).unwrap()
+    Hydra::builder()
+        .anonymize(anonymize)
+        .build()
+        .profile(db, &queries)
+        .unwrap()
 }
 
 #[test]
@@ -40,9 +46,14 @@ fn package_json_round_trip_is_lossless() {
 fn vendor_output_is_identical_for_serialized_and_in_memory_packages() {
     let original = package(false);
     let parsed = TransferPackage::from_json(&original.to_json().unwrap()).unwrap();
-    let vendor = VendorSite::new(HydraConfig::without_aqp_comparison());
-    let a = vendor.regenerate(&original).unwrap();
-    let b = vendor.regenerate(&parsed).unwrap();
+    // Cache off: both regenerations must independently produce identical
+    // summaries from the serialized and in-memory packages.
+    let session = Hydra::builder()
+        .compare_aqps(false)
+        .summary_cache(false)
+        .build();
+    let a = session.regenerate(&original).unwrap();
+    let b = session.regenerate(&parsed).unwrap();
     // Deterministic alignment ⇒ byte-identical summaries.
     assert_eq!(a.summary, b.summary);
     assert_eq!(a.accuracy, b.accuracy);
@@ -56,5 +67,62 @@ fn package_is_orders_of_magnitude_smaller_than_the_client_database() {
     // ~2.5K fact rows (each tens of bytes wide) vs a JSON synopsis; the ratio
     // only improves at real scale because the synopsis is data-scale-free.
     assert!(client_rows > 2_000);
-    assert!(bytes < 3_000_000, "package unexpectedly large: {bytes} bytes");
+    assert!(
+        bytes < 3_000_000,
+        "package unexpectedly large: {bytes} bytes"
+    );
+}
+
+#[test]
+fn unknown_fields_are_tolerated_for_forward_compatibility() {
+    // A vendor running this version must accept packages produced by a newer
+    // client that extends the synopsis (versioned transfer format): unknown
+    // object keys are ignored at every nesting level.
+    let original = package(false);
+    let json = original.to_json().unwrap();
+
+    // Inject unknown fields at the top level and inside nested objects.
+    let extended = json
+        .replacen(
+            "{",
+            "{\n  \"synopsis_version\": 7,\n  \"producer\": {\"name\": \"hydra-next\", \"build\": [2, 1]},",
+            1,
+        )
+        .replacen("\"metadata\":", "\"future_hint\": null, \"metadata\":", 1);
+    assert_ne!(extended, json);
+
+    let parsed = TransferPackage::from_json(&extended).unwrap();
+    assert_eq!(
+        original, parsed,
+        "unknown fields must not change the decoded package"
+    );
+}
+
+#[test]
+fn roundtrip_preserves_every_annotated_cardinality() {
+    let original = package(false);
+    let parsed = TransferPackage::from_json(&original.to_json().unwrap()).unwrap();
+    for (a, b) in original
+        .workload
+        .entries
+        .iter()
+        .zip(&parsed.workload.entries)
+    {
+        let (Some(aqp_a), Some(aqp_b)) = (a.aqp.as_ref(), b.aqp.as_ref()) else {
+            panic!("AQP lost in roundtrip")
+        };
+        let cards_a: Vec<u64> = aqp_a
+            .root
+            .preorder()
+            .iter()
+            .map(|n| n.cardinality)
+            .collect();
+        let cards_b: Vec<u64> = aqp_b
+            .root
+            .preorder()
+            .iter()
+            .map(|n| n.cardinality)
+            .collect();
+        assert_eq!(cards_a, cards_b, "query {}", a.query.name);
+    }
 }
