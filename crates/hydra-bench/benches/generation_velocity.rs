@@ -2,12 +2,19 @@
 //! the paper's "velocity can be closely regulated" claim).
 //!
 //! Measures (a) the raw, unthrottled tuple-generation throughput of the
-//! dynamic generator, (b) execution of a join query over the dataless
+//! dynamic generator, sequential vs. sharded (1/2/4/8 row-range shards, one
+//! thread per shard), (b) execution of a join query over the dataless
 //! database vs. over a fully materialized copy, and prints how closely the
 //! governor tracks several target velocities.
+//!
+//! The sharded series is the scale-out headline: on an N-core machine the
+//! 4-shard row should approach 4× the 1-shard throughput (on a single-core
+//! container the series degenerates to ~1×, which the printed table makes
+//! visible rather than hiding).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hydra_bench::{regenerate, retail_package};
+use hydra_datagen::sink::CountingSink;
 use hydra_engine::database::Database;
 use hydra_engine::exec::Executor;
 use hydra_query::plan::LogicalPlan;
@@ -40,6 +47,39 @@ fn bench_generation_velocity(c: &mut Criterion) {
         unthrottled.achieved_rows_per_sec, unthrottled.rows
     );
 
+    // Sequential vs sharded throughput series (1-vs-N shards, same relation,
+    // same CountingSink consumer so the multiplier is apples-to-apples).
+    println!("[E4] sharded generation throughput on store_sales ({rows} rows):");
+    let sequential_best = (0..3)
+        .map(|_| {
+            generator
+                .generate_with_velocity("store_sales", None, None)
+                .unwrap()
+                .achieved_rows_per_sec
+        })
+        .fold(0.0f64, f64::max);
+    println!("[E4]   sequential  ->  {sequential_best:>12.0} rows/s   (baseline)");
+    for shards in [1usize, 2, 4, 8] {
+        // A couple of timed runs outside criterion so the series is printed
+        // as an at-a-glance table (BENCH data for the README).
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            let run = generator
+                .stream_sharded("store_sales", shards, |_, _| CountingSink::new())
+                .unwrap();
+            assert_eq!(run.total_rows(), rows);
+            best = best.max(run.achieved_rows_per_sec());
+        }
+        println!(
+            "[E4]   {shards} shard(s)  ->  {best:>12.0} rows/s   ({:.2}x vs sequential)",
+            if sequential_best > 0.0 {
+                best / sequential_best
+            } else {
+                0.0
+            }
+        );
+    }
+
     let mut group = c.benchmark_group("E4_generation_velocity");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
@@ -48,6 +88,16 @@ fn bench_generation_velocity(c: &mut Criterion) {
     group.bench_function("stream_store_sales_unthrottled", |b| {
         b.iter(|| generator.stream("store_sales").unwrap().count());
     });
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("stream_store_sales_{shards}_shards"), |b| {
+            b.iter(|| {
+                generator
+                    .stream_sharded("store_sales", shards, |_, _| CountingSink::new())
+                    .unwrap()
+                    .total_rows()
+            });
+        });
+    }
 
     // Dataless vs materialized query execution.
     let query = package.workload.entries[0].query.clone();

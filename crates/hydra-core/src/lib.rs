@@ -46,6 +46,8 @@
 //! assert!(result.accuracy.fraction_within(0.10) > 0.9);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod error;
 pub mod pipeline;

@@ -24,7 +24,8 @@ pub struct EndToEndResult {
 /// Runs the full pipeline: profile the client database, execute the workload,
 /// ship the package, regenerate at the vendor.
 ///
-/// Equivalent to driving a one-shot [`Hydra`] session built from `config`;
+/// Equivalent to driving a one-shot [`Hydra`](crate::session::Hydra) session
+/// built from `config`;
 /// use the session API directly to keep the summary cache across calls.
 pub fn run_end_to_end(
     client_db: Database,

@@ -13,7 +13,10 @@
 //!   scenario sweeps reuse the session cache, so only relations whose
 //!   constraint signature changed are re-solved;
 //! * [`Hydra::stream_table`] — dynamic generation of one regenerated relation
-//!   into any [`TupleSink`], with optional velocity regulation.
+//!   into any [`TupleSink`], with optional velocity regulation;
+//! * [`Hydra::stream_table_sharded`] / [`Hydra::materialize_sharded`] —
+//!   sharded parallel generation: balanced row-range shards, one thread and
+//!   one sink per shard, output bit-identical to the sequential stream.
 //!
 //! ```
 //! use hydra_core::session::Hydra;
@@ -40,17 +43,33 @@ use crate::scenario::{construct_scenario_with_cache, Scenario, ScenarioResult};
 use crate::transfer::TransferPackage;
 use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
 use hydra_datagen::generator::GenerationStats;
+use hydra_datagen::shard::ShardedRun;
 use hydra_datagen::sink::TupleSink;
 use hydra_engine::database::Database;
+use hydra_engine::table::MemTable;
 use hydra_query::query::SpjQuery;
 use hydra_summary::align::AlignmentStrategy;
 use hydra_summary::backend::LpBackend;
 use hydra_summary::builder::{InMemorySummaryCache, SummaryCache};
 use hydra_summary::strategy::SummaryStrategy;
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Typed builder for a [`Hydra`] session.
+///
+/// ```
+/// use hydra_core::session::Hydra;
+/// use hydra_summary::align::AlignmentStrategy;
+///
+/// let session = Hydra::builder()
+///     .parallelism(4)                                  // per-relation solve workers
+///     .alignment(AlignmentStrategy::Deterministic)     // the paper's alignment
+///     .summary_cache(true)                             // reuse solves across sweeps
+///     .compare_aqps(false)                             // skip workload re-execution
+///     .build();
+/// assert_eq!(session.cached_relations(), 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct HydraBuilder {
     config: HydraConfig,
@@ -239,6 +258,68 @@ impl Hydra {
             .stream_into(table, sink, rows_per_sec, limit)?)
     }
 
+    /// Regenerates one relation with `shards` parallel workers: the row
+    /// space is split into balanced contiguous ranges, each range seeks
+    /// directly into the summary's block-offset index (no replay from row 0)
+    /// and streams on its own thread into a [`TupleSink`] built by
+    /// `sink_factory` (called with the shard index and row range).
+    ///
+    /// Concatenating the shard sinks in plan order is bit-identical to the
+    /// sequential [`Hydra::stream_table`] output of the same relation.
+    ///
+    /// ```
+    /// use hydra_core::session::Hydra;
+    /// use hydra_datagen::sink::CollectSink;
+    /// use hydra_workload::{generate_client_database, retail_row_targets, retail_schema,
+    ///                      DataGenConfig, WorkloadGenConfig, WorkloadGenerator};
+    ///
+    /// let schema = retail_schema();
+    /// let mut targets = retail_row_targets(0.005);
+    /// targets.insert("store_sales".to_string(), 1_000);
+    /// targets.insert("web_sales".to_string(), 300);
+    /// let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+    /// let queries = WorkloadGenerator::new(schema,
+    ///     WorkloadGenConfig { num_queries: 4, ..Default::default() }).generate();
+    ///
+    /// let session = Hydra::builder().compare_aqps(false).build();
+    /// let package = session.profile(db, &queries).unwrap();
+    /// let result = session.regenerate(&package).unwrap();
+    ///
+    /// let run = session
+    ///     .stream_table_sharded(&result, "store_sales", 4, |_shard, _rows| CollectSink::new())
+    ///     .unwrap();
+    /// assert_eq!(run.shards.len(), 4);
+    /// assert_eq!(run.total_rows(), 1_000);
+    /// ```
+    pub fn stream_table_sharded<S, F>(
+        &self,
+        regeneration: &RegenerationResult,
+        table: &str,
+        shards: usize,
+        sink_factory: F,
+    ) -> HydraResult<ShardedRun<S>>
+    where
+        S: TupleSink + Send,
+        F: Fn(usize, Range<u64>) -> S + Sync,
+    {
+        Ok(regeneration
+            .generator()
+            .stream_sharded(table, shards, sink_factory)?)
+    }
+
+    /// Materializes one regenerated relation with `shards` parallel workers;
+    /// the resulting table is bit-identical to a sequential materialization.
+    pub fn materialize_sharded(
+        &self,
+        regeneration: &RegenerationResult,
+        table: &str,
+        shards: usize,
+    ) -> HydraResult<MemTable> {
+        Ok(regeneration
+            .generator()
+            .materialize_sharded(table, shards)?)
+    }
+
     /// Number of solved relations currently cached by the session.
     pub fn cached_relations(&self) -> usize {
         self.cache.as_ref().map(|c| c.len()).unwrap_or(0)
@@ -401,5 +482,37 @@ mod tests {
         assert!(session
             .stream_table(&result, "missing", &mut CountingSink::new(), None, None)
             .is_err());
+    }
+
+    #[test]
+    fn sharded_streaming_concatenates_to_the_sequential_output() {
+        let (db, queries) = client_fixture();
+        let session = Hydra::builder().compare_aqps(false).build();
+        let package = session.profile(db, &queries).unwrap();
+        let result = session.regenerate(&package).unwrap();
+
+        let mut sequential = CollectSink::new();
+        session
+            .stream_table(&result, "store_sales", &mut sequential, None, None)
+            .unwrap();
+
+        for shards in [1, 2, 5] {
+            let run = session
+                .stream_table_sharded(&result, "store_sales", shards, |_, _| CollectSink::new())
+                .unwrap();
+            assert_eq!(run.total_rows(), sequential.rows.len() as u64);
+            let concatenated: Vec<_> = run.into_sinks().into_iter().flat_map(|s| s.rows).collect();
+            assert_eq!(concatenated, sequential.rows, "{shards} shards");
+        }
+
+        let materialized = session
+            .materialize_sharded(&result, "store_sales", 3)
+            .unwrap();
+        assert_eq!(materialized.rows(), &sequential.rows[..]);
+
+        assert!(session
+            .stream_table_sharded(&result, "missing", 2, |_, _| CollectSink::new())
+            .is_err());
+        assert!(session.materialize_sharded(&result, "missing", 2).is_err());
     }
 }

@@ -2,12 +2,14 @@
 //! and rate-controlled generation runs.
 
 use crate::governor::VelocityGovernor;
-use crate::sink::{CountingSink, TupleSink};
+use crate::shard::{run_sharded, ShardedRun};
+use crate::sink::{CollectSink, CountingSink, TupleSink};
 use crate::stream::TupleStream;
 use hydra_catalog::schema::Schema;
 use hydra_engine::error::{EngineError, EngineResult};
 use hydra_engine::table::MemTable;
 use hydra_summary::summary::DatabaseSummary;
+use std::ops::Range;
 use std::time::Duration;
 
 /// Statistics of one generation run.
@@ -26,6 +28,41 @@ pub struct GenerationStats {
 }
 
 /// Regenerates relations from a database summary.
+///
+/// ```
+/// use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+/// use hydra_catalog::types::{DataType, Value};
+/// use hydra_datagen::generator::DynamicGenerator;
+/// use hydra_datagen::sink::CollectSink;
+/// use hydra_summary::summary::{DatabaseSummary, RelationSummary};
+/// use std::collections::BTreeMap;
+///
+/// let schema = SchemaBuilder::new("db")
+///     .table("item", |t| {
+///         t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+///     })
+///     .build()
+///     .unwrap();
+/// let mut item = RelationSummary::new("item", Some("i_item_sk".to_string()));
+/// item.push_row(1_000, BTreeMap::new());
+/// let mut summary = DatabaseSummary::new();
+/// summary.insert(item);
+/// let generator = DynamicGenerator::new(schema, summary);
+///
+/// // Random access: rows [200, 210) without generating rows [0, 200).
+/// let slice: Vec<_> = generator.stream_range("item", 200..210).unwrap().collect();
+/// assert_eq!(slice.len(), 10);
+/// assert_eq!(slice[0][0], Value::Integer(200));
+///
+/// // Sharded: 4 threads, each with its own sink; concatenation in shard
+/// // order is bit-identical to the sequential stream.
+/// let run = generator
+///     .stream_sharded("item", 4, |_shard, _range| CollectSink::new())
+///     .unwrap();
+/// let sharded: Vec<_> = run.into_sinks().into_iter().flat_map(|s| s.rows).collect();
+/// let sequential: Vec<_> = generator.stream("item").unwrap().collect();
+/// assert_eq!(sharded, sequential);
+/// ```
 #[derive(Debug, Clone)]
 pub struct DynamicGenerator {
     /// Schema of the regenerated database.
@@ -40,8 +77,14 @@ impl DynamicGenerator {
         DynamicGenerator { schema, summary }
     }
 
-    /// A lazy tuple stream for one relation.
-    pub fn stream(&self, table: &str) -> EngineResult<TupleStream<'_>> {
+    /// Resolves a table name to its schema and summary entries.
+    fn relation(
+        &self,
+        table: &str,
+    ) -> EngineResult<(
+        &hydra_catalog::schema::Table,
+        &hydra_summary::summary::RelationSummary,
+    )> {
         let t = self
             .schema
             .table(table)
@@ -50,7 +93,54 @@ impl DynamicGenerator {
             .summary
             .relation(table)
             .ok_or_else(|| EngineError::UnknownTable(format!("{table} (no summary)")))?;
+        Ok((t, summary))
+    }
+
+    /// A lazy tuple stream for one relation.
+    pub fn stream(&self, table: &str) -> EngineResult<TupleStream<'_>> {
+        let (t, summary) = self.relation(table)?;
         Ok(TupleStream::new(t, summary))
+    }
+
+    /// A lazy tuple stream over the row range `rows` of one relation (clamped
+    /// to the relation's size).  The stream seeks to the start of the range
+    /// in O(log B) through the summary's block-offset index — no tuples
+    /// before the range are ever generated — and produces exactly the
+    /// corresponding slice of [`DynamicGenerator::stream`].
+    pub fn stream_range(&self, table: &str, rows: Range<u64>) -> EngineResult<TupleStream<'_>> {
+        let (t, summary) = self.relation(table)?;
+        Ok(TupleStream::with_range(t, summary, rows))
+    }
+
+    /// Regenerates one relation with `shards` parallel workers, each shard
+    /// streaming a balanced row range into its own [`TupleSink`] built by
+    /// `sink_factory` (called with the shard index and row range).  The
+    /// concatenation of the shard sinks in plan order is bit-identical to the
+    /// sequential [`DynamicGenerator::stream`].
+    pub fn stream_sharded<S, F>(
+        &self,
+        table: &str,
+        shards: usize,
+        sink_factory: F,
+    ) -> EngineResult<ShardedRun<S>>
+    where
+        S: TupleSink + Send,
+        F: Fn(usize, Range<u64>) -> S + Sync,
+    {
+        let (t, summary) = self.relation(table)?;
+        Ok(run_sharded(t, summary, shards, sink_factory))
+    }
+
+    /// Materializes a relation with `shards` parallel workers; the resulting
+    /// table is bit-identical to [`DynamicGenerator::materialize`].
+    pub fn materialize_sharded(&self, table: &str, shards: usize) -> EngineResult<MemTable> {
+        let (t, summary) = self.relation(table)?;
+        let run = run_sharded(t, summary, shards, |_, _| CollectSink::new());
+        let mut mem = MemTable::empty(t.clone());
+        for sink in run.into_sinks() {
+            mem.load_unchecked(sink.rows);
+        }
+        Ok(mem)
     }
 
     /// Materializes a relation into an in-memory table (the demo's optional
@@ -79,12 +169,8 @@ impl DynamicGenerator {
         limit: Option<u64>,
     ) -> EngineResult<GenerationStats> {
         let stream = self.stream(table)?;
-        let schema_table = self
-            .schema
-            .table(table)
-            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
         let expected = stream.remaining().min(limit.unwrap_or(u64::MAX));
-        sink.begin(schema_table, expected);
+        sink.begin(stream.table(), expected);
         let mut governor = match rows_per_sec {
             Some(rate) => VelocityGovernor::with_rate(rate),
             None => VelocityGovernor::unthrottled(),
@@ -158,6 +244,40 @@ mod tests {
         assert_eq!(materialized.rows()[0], streamed[0]);
         assert!(gen.stream("missing").is_err());
         assert!(gen.materialize("missing").is_err());
+    }
+
+    #[test]
+    fn stream_range_is_a_slice_of_the_full_stream() {
+        let gen = generator();
+        let full: Vec<_> = gen.stream("item").unwrap().collect();
+        let slice: Vec<_> = gen.stream_range("item", 1000..1010).unwrap().collect();
+        assert_eq!(slice, full[1000..1010]);
+        assert!(gen.stream_range("missing", 0..10).is_err());
+    }
+
+    #[test]
+    fn sharded_materialization_matches_sequential() {
+        let gen = generator();
+        let sequential = gen.materialize("item").unwrap();
+        for shards in [1, 3, 8] {
+            let sharded = gen.materialize_sharded("item", shards).unwrap();
+            assert_eq!(sharded.rows(), sequential.rows(), "{shards} shards");
+        }
+        assert!(gen.materialize_sharded("missing", 2).is_err());
+    }
+
+    #[test]
+    fn sharded_stream_drives_one_sink_per_shard() {
+        let gen = generator();
+        let run = gen
+            .stream_sharded("item", 4, |_, _| CountingSink::new())
+            .unwrap();
+        assert_eq!(run.shards.len(), 4);
+        assert_eq!(run.total_rows(), 5000);
+        assert_eq!(run.aggregate_stats().rows, 5000);
+        assert!(gen
+            .stream_sharded("missing", 4, |_, _| CountingSink::new())
+            .is_err());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * [`generator::DynamicGenerator`] is the user-facing façade: streams,
 //!   optional materialization, and rate-controlled generation runs with
 //!   statistics.
+//! * [`shard`] adds the scale-out path: [`shard::ShardPlanner`] splits a
+//!   relation's row space into balanced ranges, each regenerated on its own
+//!   thread through an O(log B) seek into the summary's block-offset index,
+//!   with per-shard [`sink::TupleSink`]s and output bit-identical to the
+//!   sequential stream.
 //!
 //! ## Example
 //!
@@ -49,14 +54,18 @@
 //! assert_eq!(rows[916][0], Value::Integer(916));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dataless;
 pub mod generator;
 pub mod governor;
+pub mod shard;
 pub mod sink;
 pub mod stream;
 
 pub use dataless::DatalessDatabase;
 pub use generator::{DynamicGenerator, GenerationStats};
 pub use governor::VelocityGovernor;
+pub use shard::{ShardOutcome, ShardPlanner, ShardedRun};
 pub use sink::{CollectSink, CountingSink, CsvSink, TupleSink};
 pub use stream::TupleStream;

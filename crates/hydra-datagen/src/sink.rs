@@ -12,6 +12,31 @@ use hydra_engine::row::Row;
 use std::io::Write;
 
 /// A consumer of regenerated tuples.
+///
+/// Implement it to plug any destination into the generation pipeline — the
+/// driver calls `begin` once, `accept` per tuple, `finish` once.  Sharded
+/// generation builds one sink per shard, so a sink never needs to be
+/// thread-safe; it only has to be `Send` to travel to its shard's thread.
+///
+/// ```
+/// use hydra_datagen::sink::TupleSink;
+/// use hydra_engine::row::Row;
+///
+/// /// Tracks the widest row seen (a custom metric sink).
+/// #[derive(Default)]
+/// struct WidestRow(usize);
+///
+/// impl TupleSink for WidestRow {
+///     fn accept(&mut self, row: Row) {
+///         self.0 = self.0.max(row.len());
+///     }
+/// }
+///
+/// use hydra_catalog::types::Value;
+/// let mut sink = WidestRow::default();
+/// sink.accept(vec![Value::Integer(7), Value::Null]);
+/// assert_eq!(sink.0, 2);
+/// ```
 pub trait TupleSink {
     /// Called once before the first tuple of a relation.
     fn begin(&mut self, _table: &Table, _expected_rows: u64) {}

@@ -1,26 +1,80 @@
-//! Lazy expansion of a relation summary into tuples.
+//! Lazy expansion of a relation summary into tuples, with random access.
+//!
+//! A [`TupleStream`] regenerates a relation either in full or over an
+//! arbitrary row range `[lo, hi)`.  Range streams seek straight to the first
+//! summary block of the range through the summary's
+//! [`PkBlockIndex`] — O(log B) in the
+//! number of summary rows, never replaying from row 0 — which is the
+//! primitive behind sharded parallel generation
+//! ([`crate::shard`]): the concatenation of range streams over a partition of
+//! `[0, total)` is bit-identical to the full stream.
 
 use hydra_catalog::schema::Table;
 use hydra_catalog::types::Value;
 use hydra_engine::row::Row;
+use hydra_summary::index::PkBlockIndex;
 use hydra_summary::summary::RelationSummary;
+use std::ops::Range;
+
+/// Sentinel for "no template built yet" (no summary can have this many rows
+/// in memory).
+const NO_TEMPLATE: usize = usize::MAX;
 
 /// An iterator that regenerates the tuples of one relation from its summary.
 ///
 /// Tuples are produced in deterministic order: summary rows in order, each
 /// expanded into `#TUPLES` tuples; the primary key is the running tuple index
 /// (auto-number).  All tuples of a summary row share its value vector.
+///
+/// A stream created by [`TupleStream::with_range`] produces exactly the
+/// tuples whose primary keys fall in the range, identical to the
+/// corresponding slice of the full stream.
+///
+/// ```
+/// use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+/// use hydra_catalog::types::DataType;
+/// use hydra_datagen::stream::TupleStream;
+/// use hydra_summary::summary::RelationSummary;
+/// use std::collections::BTreeMap;
+///
+/// let schema = SchemaBuilder::new("db")
+///     .table("item", |t| {
+///         t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+///     })
+///     .build()
+///     .unwrap();
+/// let table = schema.table("item").unwrap();
+/// let mut summary = RelationSummary::new("item", Some("i_item_sk".to_string()));
+/// summary.push_row(1_000, BTreeMap::new());
+///
+/// let full: Vec<_> = TupleStream::new(table, &summary).collect();
+/// let slice: Vec<_> = TupleStream::with_range(table, &summary, 250..260).collect();
+/// assert_eq!(slice, full[250..260]);
+/// ```
 pub struct TupleStream<'a> {
     table: &'a Table,
     summary: &'a RelationSummary,
     /// Index of the current summary row.
     row_index: usize,
-    /// How many tuples of the current summary row have been emitted.
+    /// How many tuples of the current summary row have been emitted (counted
+    /// from the row's own start, so a seek sets this to the in-block offset).
     emitted_in_row: u64,
-    /// Total tuples emitted so far (= next primary key).
-    emitted_total: u64,
+    /// Primary key of the next tuple (absolute row position).
+    next_pk: u64,
+    /// First row position of the stream's range.
+    start: u64,
+    /// One past the last row position of the stream's range.
+    end: u64,
     /// Cached column layout: for each table column, where its value comes from.
     layout: Vec<ColumnSource>,
+    /// Positions in `layout` that hold the auto-numbered primary key.
+    auto_columns: Vec<usize>,
+    /// Prebuilt row for the current summary block: summary values are cloned
+    /// once per block, then each tuple clones the template and patches only
+    /// the auto-number columns (the generation hot path).
+    template: Row,
+    /// Which summary row `template` was built for (`NO_TEMPLATE` = none).
+    template_block: usize,
 }
 
 /// Where a generated column's value comes from.
@@ -32,13 +86,58 @@ enum ColumnSource {
 }
 
 impl<'a> TupleStream<'a> {
-    /// Creates a stream over one relation.
+    /// Creates a stream over one full relation (rows `[0, total)`).
     pub fn new(table: &'a Table, summary: &'a RelationSummary) -> Self {
+        // A full stream starts at block 0 — no index needed for the seek.
+        Self::at_position(table, summary, 0, 0, 0, summary.total_rows)
+    }
+
+    /// Creates a stream over the row range `rows` (clamped to the relation's
+    /// `[0, total)`), seeking to the first block of the range in O(log B).
+    ///
+    /// When constructing many range streams over the same summary (sharding),
+    /// build the index once and use [`TupleStream::with_range_using`].
+    pub fn with_range(table: &'a Table, summary: &'a RelationSummary, rows: Range<u64>) -> Self {
+        if rows.start == 0 {
+            // Seeking to 0 is trivial; skip building the index.
+            return Self::at_position(table, summary, 0, 0, 0, rows.end.min(summary.total_rows));
+        }
+        let index = summary.block_index();
+        Self::with_range_using(table, summary, &index, rows)
+    }
+
+    /// Like [`TupleStream::with_range`], but seeks through a prebuilt
+    /// [`PkBlockIndex`] (only used during construction, not retained).
+    pub fn with_range_using(
+        table: &'a Table,
+        summary: &'a RelationSummary,
+        index: &PkBlockIndex,
+        rows: Range<u64>,
+    ) -> Self {
+        let total = summary.total_rows;
+        let start = rows.start.min(total);
+        let end = rows.end.clamp(start, total);
+        let (row_index, offset) = match index.locate(start) {
+            Some(pos) => (pos.block, pos.offset),
+            // start == total: an exhausted stream.
+            None => (summary.rows.len(), 0),
+        };
+        Self::at_position(table, summary, row_index, offset, start, end)
+    }
+
+    fn at_position(
+        table: &'a Table,
+        summary: &'a RelationSummary,
+        row_index: usize,
+        emitted_in_row: u64,
+        start: u64,
+        end: u64,
+    ) -> Self {
         let pk = summary
             .pk_column
             .clone()
             .or_else(|| table.primary_key_column().map(str::to_string));
-        let layout = table
+        let layout: Vec<ColumnSource> = table
             .columns()
             .iter()
             .map(|c| {
@@ -49,29 +148,82 @@ impl<'a> TupleStream<'a> {
                 }
             })
             .collect();
+        let auto_columns = layout
+            .iter()
+            .enumerate()
+            .filter(|(_, src)| matches!(src, ColumnSource::AutoNumber))
+            .map(|(i, _)| i)
+            .collect();
         TupleStream {
             table,
             summary,
-            row_index: 0,
-            emitted_in_row: 0,
-            emitted_total: 0,
+            row_index,
+            emitted_in_row,
+            next_pk: start,
+            start,
+            end,
             layout,
+            auto_columns,
+            template: Row::new(),
+            template_block: NO_TEMPLATE,
         }
     }
 
-    /// Number of tuples remaining in the stream.
-    pub fn remaining(&self) -> u64 {
-        self.summary.total_rows - self.emitted_total
+    /// Rebuilds the per-block template row (one summary lookup + clone per
+    /// block instead of per tuple).
+    fn rebuild_template(&mut self) {
+        let srow = &self.summary.rows[self.row_index];
+        self.template = self
+            .layout
+            .iter()
+            .map(|src| match src {
+                ColumnSource::AutoNumber => Value::Integer(0),
+                ColumnSource::Summary(name) => {
+                    srow.values.get(name).cloned().unwrap_or(Value::Null)
+                }
+            })
+            .collect();
+        self.template_block = self.row_index;
     }
 
-    /// Number of tuples emitted so far.
+    /// The row range this stream produces (`0..total` for a full stream).
+    pub fn range(&self) -> Range<u64> {
+        self.start..self.end
+    }
+
+    /// Number of tuples remaining in the stream (correct for range streams:
+    /// it counts down from the range length, not from the relation total).
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next_pk
+    }
+
+    /// Number of tuples this stream has emitted so far (relative to the
+    /// stream's own start, not to row 0).
     pub fn emitted(&self) -> u64 {
-        self.emitted_total
+        self.next_pk - self.start
     }
 
     /// The table being generated.
-    pub fn table(&self) -> &Table {
+    pub fn table(&self) -> &'a Table {
         self.table
+    }
+
+    /// Moves up to `max` tuples into `out`, returning how many were produced.
+    /// The caller's buffer is reused across calls (drain it between calls);
+    /// this is the batched hot path used by the sharded driver.
+    pub fn fill_batch(&mut self, out: &mut Vec<Row>, max: usize) -> usize {
+        out.reserve(max.min(self.remaining() as usize));
+        let mut produced = 0;
+        while produced < max {
+            match self.next() {
+                Some(row) => {
+                    out.push(row);
+                    produced += 1;
+                }
+                None => break,
+            }
+        }
+        produced
     }
 }
 
@@ -79,6 +231,9 @@ impl Iterator for TupleStream<'_> {
     type Item = Row;
 
     fn next(&mut self) -> Option<Row> {
+        if self.next_pk >= self.end {
+            return None;
+        }
         // Advance past exhausted summary rows.
         while self.row_index < self.summary.rows.len()
             && self.emitted_in_row >= self.summary.rows[self.row_index].count
@@ -89,19 +244,15 @@ impl Iterator for TupleStream<'_> {
         if self.row_index >= self.summary.rows.len() {
             return None;
         }
-        let srow = &self.summary.rows[self.row_index];
-        let row: Row = self
-            .layout
-            .iter()
-            .map(|src| match src {
-                ColumnSource::AutoNumber => Value::Integer(self.emitted_total as i64),
-                ColumnSource::Summary(name) => {
-                    srow.values.get(name).cloned().unwrap_or(Value::Null)
-                }
-            })
-            .collect();
+        if self.template_block != self.row_index {
+            self.rebuild_template();
+        }
+        let mut row = self.template.clone();
+        for &i in &self.auto_columns {
+            row[i] = Value::Integer(self.next_pk as i64);
+        }
         self.emitted_in_row += 1;
-        self.emitted_total += 1;
+        self.next_pk += 1;
         Some(row)
     }
 
@@ -174,6 +325,93 @@ mod tests {
         assert_eq!(stream.emitted(), 2);
         assert_eq!(stream.remaining(), 936);
         assert_eq!(stream.table().name, "item");
+        assert_eq!(stream.range(), 0..938);
+    }
+
+    #[test]
+    fn range_stream_matches_full_stream_slice() {
+        let table = table();
+        let summary = summary();
+        let full: Vec<Row> = TupleStream::new(&table, &summary).collect();
+        // Ranges inside one block, straddling the block boundary, and at the
+        // extremes.
+        for range in [0..0, 0..1, 100..200, 900..930, 916..918, 937..938, 0..938] {
+            let slice: Vec<Row> =
+                TupleStream::with_range(&table, &summary, range.clone()).collect();
+            assert_eq!(
+                slice,
+                full[range.start as usize..range.end as usize],
+                "range {range:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_stream_accounting_is_range_relative() {
+        let table = table();
+        let summary = summary();
+        let mut stream = TupleStream::with_range(&table, &summary, 900..930);
+        assert_eq!(stream.remaining(), 30);
+        assert_eq!(stream.size_hint(), (30, Some(30)));
+        assert_eq!(stream.emitted(), 0);
+        let first = stream.next().unwrap();
+        assert_eq!(first[0], Value::Integer(900));
+        assert_eq!(stream.emitted(), 1);
+        assert_eq!(stream.remaining(), 29);
+        assert_eq!(stream.by_ref().count(), 29);
+        assert_eq!(stream.remaining(), 0);
+        assert_eq!(stream.next(), None);
+    }
+
+    #[test]
+    fn out_of_bounds_ranges_are_clamped() {
+        let table = table();
+        let summary = summary();
+        assert_eq!(
+            TupleStream::with_range(&table, &summary, 930..10_000).count(),
+            8
+        );
+        assert_eq!(
+            TupleStream::with_range(&table, &summary, 938..940).count(),
+            0
+        );
+        assert_eq!(
+            TupleStream::with_range(&table, &summary, 5_000..6_000).count(),
+            0
+        );
+        let empty = TupleStream::with_range(&table, &summary, 10..10);
+        assert_eq!(empty.remaining(), 0);
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn prebuilt_index_seek_matches_internal_seek() {
+        let table = table();
+        let summary = summary();
+        let index = summary.block_index();
+        let a: Vec<Row> =
+            TupleStream::with_range_using(&table, &summary, &index, 910..920).collect();
+        let b: Vec<Row> = TupleStream::with_range(&table, &summary, 910..920).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_batch_drains_in_order_and_reuses_buffer() {
+        let table = table();
+        let summary = summary();
+        let full: Vec<Row> = TupleStream::new(&table, &summary).collect();
+        let mut stream = TupleStream::new(&table, &summary);
+        let mut buffer: Vec<Row> = Vec::new();
+        let mut collected: Vec<Row> = Vec::new();
+        loop {
+            let n = stream.fill_batch(&mut buffer, 100);
+            if n == 0 {
+                break;
+            }
+            assert_eq!(buffer.len(), n);
+            collected.append(&mut buffer);
+        }
+        assert_eq!(collected, full);
     }
 
     #[test]
@@ -192,5 +430,6 @@ mod tests {
         let table = table();
         let s = RelationSummary::new("item", Some("i_item_sk".to_string()));
         assert_eq!(TupleStream::new(&table, &s).count(), 0);
+        assert_eq!(TupleStream::with_range(&table, &s, 0..10).count(), 0);
     }
 }

@@ -3,7 +3,8 @@
 //! For every relation, the columns that the workload references become the
 //! axes of a normalized integer space:
 //!
-//! * ordinary (filter) columns use the column's declared [`Domain`];
+//! * ordinary (filter) columns use the column's declared
+//!   [`Domain`](hydra_catalog::domain::Domain);
 //! * foreign-key columns become *reference axes* whose domain is the
 //!   primary-key range `[0, |dim|)` of the referenced relation — possible
 //!   because regenerated primary keys are auto-numbers.

@@ -1,0 +1,171 @@
+//! Random access into a summary's primary-key block structure.
+//!
+//! Deterministic alignment lays the tuples of summary row *i* out as one
+//! contiguous block of auto-numbered primary keys (see
+//! [`crate::summary::RelationSummary`]).  The [`PkBlockIndex`] materializes
+//! the block starts as a prefix-sum array so that any primary key — and hence
+//! any row position of the regenerated relation — can be mapped to its
+//! `(block, offset)` coordinate with one binary search, in O(log B) for B
+//! summary rows.  This is what lets tuple generation *seek*: a stream over
+//! rows `[lo, hi)` starts producing immediately instead of replaying from
+//! row 0.
+
+use crate::summary::RelationSummary;
+
+/// The position of one primary key inside a summary's block layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPos {
+    /// Index of the summary row (block) that regenerates the key.
+    pub block: usize,
+    /// Offset of the key inside that block, in `[0, rows[block].count)`.
+    pub offset: u64,
+}
+
+/// A block-offset index over one relation summary.
+///
+/// Construction is O(B); [`PkBlockIndex::locate`] is O(log B).  The index is
+/// derived data — it is built from a summary snapshot and must be rebuilt if
+/// rows are pushed afterwards.
+///
+/// ```
+/// use hydra_summary::summary::RelationSummary;
+/// use std::collections::BTreeMap;
+///
+/// let mut s = RelationSummary::new("item", Some("i_item_sk".to_string()));
+/// s.push_row(917, BTreeMap::new());
+/// s.push_row(21, BTreeMap::new());
+/// let index = s.block_index();
+/// assert_eq!(index.locate(916).unwrap().block, 0);
+/// assert_eq!(index.locate(917).unwrap().block, 1);
+/// assert_eq!(index.locate(917).unwrap().offset, 0);
+/// assert!(index.locate(938).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PkBlockIndex {
+    /// `starts[i]` is the first primary key of block `i`; the final entry is
+    /// the total row count (a sentinel that makes every block a
+    /// `starts[i]..starts[i + 1]` half-open interval).
+    starts: Vec<u64>,
+}
+
+impl PkBlockIndex {
+    /// Builds the index for a summary (prefix sums over the block counts).
+    pub fn new(summary: &RelationSummary) -> Self {
+        let mut starts = Vec::with_capacity(summary.rows.len() + 1);
+        let mut acc = 0u64;
+        starts.push(acc);
+        for row in &summary.rows {
+            acc += row.count;
+            starts.push(acc);
+        }
+        PkBlockIndex { starts }
+    }
+
+    /// Total number of tuples the indexed summary regenerates.
+    pub fn total_rows(&self) -> u64 {
+        *self.starts.last().expect("index always has a sentinel")
+    }
+
+    /// Number of blocks (summary rows).
+    pub fn block_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The first primary key of block `block`, if the block exists.
+    pub fn block_start(&self, block: usize) -> Option<u64> {
+        (block < self.block_count()).then(|| self.starts[block])
+    }
+
+    /// Maps a primary key to its `(block, offset)` coordinate in O(log B).
+    /// Returns `None` for keys at or beyond the total row count.
+    pub fn locate(&self, pk: u64) -> Option<BlockPos> {
+        if pk >= self.total_rows() {
+            return None;
+        }
+        // The last block whose start is <= pk.  `partition_point` returns the
+        // first index whose start exceeds pk; the sentinel guarantees it is
+        // >= 1 because starts[0] == 0 <= pk.
+        let block = self.starts.partition_point(|&s| s <= pk) - 1;
+        Some(BlockPos {
+            block,
+            offset: pk - self.starts[block],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn summary(counts: &[u64]) -> RelationSummary {
+        let mut s = RelationSummary::new("t", None);
+        for &c in counts {
+            s.push_row(c, BTreeMap::new());
+        }
+        s
+    }
+
+    #[test]
+    fn locate_hits_every_block_boundary() {
+        let s = summary(&[917, 21, 25]);
+        let index = s.block_index();
+        assert_eq!(index.block_count(), 3);
+        assert_eq!(index.total_rows(), 963);
+        for (pk, block, offset) in [
+            (0, 0, 0),
+            (916, 0, 916),
+            (917, 1, 0),
+            (937, 1, 20),
+            (938, 2, 0),
+            (962, 2, 24),
+        ] {
+            assert_eq!(
+                index.locate(pk),
+                Some(BlockPos { block, offset }),
+                "pk {pk}"
+            );
+        }
+        assert_eq!(index.locate(963), None);
+        assert_eq!(index.locate(u64::MAX), None);
+    }
+
+    #[test]
+    fn locate_agrees_with_linear_scan() {
+        let s = summary(&[3, 1, 1, 40, 2, 9]);
+        let index = s.block_index();
+        let mut expected_block = 0usize;
+        let mut expected_offset = 0u64;
+        for pk in 0..index.total_rows() {
+            while expected_offset >= s.rows[expected_block].count {
+                expected_block += 1;
+                expected_offset = 0;
+            }
+            let pos = index.locate(pk).unwrap();
+            assert_eq!((pos.block, pos.offset), (expected_block, expected_offset));
+            expected_offset += 1;
+        }
+    }
+
+    #[test]
+    fn empty_summary_has_no_positions() {
+        let s = summary(&[]);
+        let index = s.block_index();
+        assert_eq!(index.block_count(), 0);
+        assert_eq!(index.total_rows(), 0);
+        assert_eq!(index.locate(0), None);
+        assert_eq!(index.block_start(0), None);
+    }
+
+    #[test]
+    fn block_starts_match_pk_blocks() {
+        let s = summary(&[5, 7, 11]);
+        let index = s.block_index();
+        for block in 0..s.row_count() {
+            assert_eq!(
+                index.block_start(block).unwrap() as i64,
+                s.pk_block(block).unwrap().lo
+            );
+        }
+    }
+}

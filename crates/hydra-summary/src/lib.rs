@@ -36,11 +36,19 @@
 //! solves independent relations of the referential DAG in parallel and can
 //! reuse per-relation results through a [`builder::SummaryCache`].
 
+//!
+//! Because alignment is deterministic, each summary row's tuples occupy one
+//! contiguous primary-key block; [`index::PkBlockIndex`] exposes that layout
+//! as an O(log B) seekable prefix-sum index, which is what gives downstream
+//! tuple generation random access (and therefore sharding) over the
+//! regenerated relation.
+
 pub mod align;
 pub mod axes;
 pub mod backend;
 pub mod builder;
 pub mod error;
+pub mod index;
 pub mod solve;
 pub mod strategy;
 pub mod summary;
@@ -53,6 +61,7 @@ pub use builder::{
     SummaryBuilderConfig, SummaryCache,
 };
 pub use error::{SummaryError, SummaryResult};
+pub use index::{BlockPos, PkBlockIndex};
 pub use strategy::{AlignedSummary, SummaryStrategy};
 pub use summary::{DatabaseSummary, RelationSummary, SummaryRow};
 pub use verify::{ConstraintCheck, VolumetricAccuracyReport};

@@ -59,6 +59,14 @@ impl RelationSummary {
         self.rows.push(SummaryRow { count, values });
     }
 
+    /// Builds a [`crate::index::PkBlockIndex`] over the summary's current
+    /// rows: O(log B) mapping from any primary key (row position) to its
+    /// `(block, offset)` coordinate, used by range-based tuple streams to
+    /// seek without replaying from row 0.
+    pub fn block_index(&self) -> crate::index::PkBlockIndex {
+        crate::index::PkBlockIndex::new(self)
+    }
+
     /// The primary-key block `[start, start+count)` occupied by summary row `i`.
     pub fn pk_block(&self, row: usize) -> Option<Interval> {
         if row >= self.rows.len() {
