@@ -186,25 +186,10 @@ pub fn construct_scenario_with_cache(
 mod tests {
     use super::*;
     use crate::client::ClientSite;
-    use hydra_workload::{
-        generate_client_database, retail_row_targets, retail_schema, DataGenConfig,
-        WorkloadGenConfig, WorkloadGenerator,
-    };
+    use hydra_workload::retail_client_fixture;
 
     fn package() -> TransferPackage {
-        let schema = retail_schema();
-        let mut targets = retail_row_targets(0.005);
-        targets.insert("store_sales".to_string(), 1_500);
-        targets.insert("web_sales".to_string(), 400);
-        let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
-        let queries = WorkloadGenerator::new(
-            schema,
-            WorkloadGenConfig {
-                num_queries: 6,
-                ..Default::default()
-            },
-        )
-        .generate();
+        let (db, queries) = retail_client_fixture(1_500, 400, 6);
         ClientSite::new(db)
             .prepare_package(&queries, false)
             .unwrap()

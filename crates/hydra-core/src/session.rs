@@ -75,6 +75,7 @@ pub struct HydraBuilder {
     config: HydraConfig,
     summary_cache: bool,
     anonymize: bool,
+    velocity: Option<f64>,
 }
 
 impl Default for HydraBuilder {
@@ -84,6 +85,7 @@ impl Default for HydraBuilder {
             // Matches the documented builder default (and `Hydra::builder()`).
             summary_cache: true,
             anonymize: false,
+            velocity: None,
         }
     }
 }
@@ -96,6 +98,7 @@ impl HydraBuilder {
             config,
             summary_cache: true,
             anonymize: false,
+            velocity: None,
         }
     }
 
@@ -150,6 +153,17 @@ impl HydraBuilder {
         self
     }
 
+    /// Default generation velocity in rows per second (the paper's vendor
+    /// "velocity" slider), applied by [`Hydra::stream_table`] whenever the
+    /// caller does not pass an explicit per-call rate.  `None` (the default)
+    /// streams unthrottled.  Each stream gets its own
+    /// [`hydra_datagen::governor::VelocityGovernor`], so concurrent streams
+    /// from one session are paced independently.
+    pub fn velocity(mut self, rows_per_sec: impl Into<Option<f64>>) -> Self {
+        self.velocity = rows_per_sec.into();
+        self
+    }
+
     /// Partitioning piece budget (LP variables per relation).
     pub fn max_regions(mut self, max_regions: usize) -> Self {
         self.config.builder = self.config.builder.with_max_regions(max_regions);
@@ -179,6 +193,7 @@ impl HydraBuilder {
             config: self.config,
             cache,
             anonymize: self.anonymize,
+            velocity: self.velocity,
         }
     }
 }
@@ -193,6 +208,7 @@ pub struct Hydra {
     config: HydraConfig,
     cache: Option<Arc<InMemorySummaryCache>>,
     anonymize: bool,
+    velocity: Option<f64>,
 }
 
 impl Default for Hydra {
@@ -245,6 +261,10 @@ impl Hydra {
 
     /// Streams one regenerated relation into a [`TupleSink`], optionally
     /// velocity-regulated (`rows_per_sec`) and truncated (`limit`).
+    ///
+    /// When `rows_per_sec` is `None`, the session's default velocity (set
+    /// with [`HydraBuilder::velocity`]) applies; if neither is set the stream
+    /// is unthrottled.
     pub fn stream_table(
         &self,
         regeneration: &RegenerationResult,
@@ -253,9 +273,18 @@ impl Hydra {
         rows_per_sec: Option<f64>,
         limit: Option<u64>,
     ) -> HydraResult<GenerationStats> {
-        Ok(regeneration
-            .generator()
-            .stream_into(table, sink, rows_per_sec, limit)?)
+        Ok(regeneration.generator().stream_into(
+            table,
+            sink,
+            rows_per_sec.or(self.velocity),
+            limit,
+        )?)
+    }
+
+    /// The session's default generation velocity in rows per second, if one
+    /// was configured with [`HydraBuilder::velocity`].
+    pub fn velocity(&self) -> Option<f64> {
+        self.velocity
     }
 
     /// Regenerates one relation with `shards` parallel workers: the row
@@ -345,26 +374,10 @@ mod tests {
     use super::*;
     use hydra_datagen::sink::{CollectSink, CountingSink};
     use hydra_summary::backend::GridBackend;
-    use hydra_workload::{
-        generate_client_database, retail_row_targets, retail_schema, DataGenConfig,
-        WorkloadGenConfig, WorkloadGenerator,
-    };
+    use hydra_workload::retail_client_fixture;
 
     fn client_fixture() -> (Database, Vec<SpjQuery>) {
-        let schema = retail_schema();
-        let mut targets = retail_row_targets(0.005);
-        targets.insert("store_sales".to_string(), 2_000);
-        targets.insert("web_sales".to_string(), 600);
-        let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
-        let queries = WorkloadGenerator::new(
-            schema,
-            WorkloadGenConfig {
-                num_queries: 8,
-                ..Default::default()
-            },
-        )
-        .generate();
-        (db, queries)
+        retail_client_fixture(2_000, 600, 8)
     }
 
     #[test]
@@ -482,6 +495,42 @@ mod tests {
         assert!(session
             .stream_table(&result, "missing", &mut CountingSink::new(), None, None)
             .is_err());
+    }
+
+    #[test]
+    fn session_velocity_knob_throttles_streams() {
+        let (db, queries) = client_fixture();
+        // 2_500 rows/s session default → 250 rows take at least ~100 ms.
+        let session = Hydra::builder()
+            .compare_aqps(false)
+            .velocity(2_500.0)
+            .build();
+        assert_eq!(session.velocity(), Some(2_500.0));
+        let package = session.profile(db, &queries).unwrap();
+        let result = session.regenerate(&package).unwrap();
+
+        let mut sink = CountingSink::new();
+        let stats = session
+            .stream_table(&result, "store_sales", &mut sink, None, Some(250))
+            .unwrap();
+        assert_eq!(stats.rows, 250);
+        assert_eq!(stats.target_rows_per_sec, Some(2_500.0));
+        assert!(
+            stats.elapsed >= std::time::Duration::from_millis(90),
+            "throttled stream finished too fast: {:?}",
+            stats.elapsed
+        );
+        assert!(
+            stats.achieved_rows_per_sec <= 2_500.0 * 1.16,
+            "stream emitted faster than the session target: {:.0} rows/s",
+            stats.achieved_rows_per_sec
+        );
+
+        // An explicit per-call rate overrides the session default.
+        let stats = session
+            .stream_table(&result, "store_sales", &mut sink, Some(1e9), Some(100))
+            .unwrap();
+        assert_eq!(stats.target_rows_per_sec, Some(1e9));
     }
 
     #[test]

@@ -169,29 +169,24 @@ impl DynamicGenerator {
         limit: Option<u64>,
     ) -> EngineResult<GenerationStats> {
         let stream = self.stream(table)?;
-        let expected = stream.remaining().min(limit.unwrap_or(u64::MAX));
-        sink.begin(stream.table(), expected);
-        let mut governor = match rows_per_sec {
-            Some(rate) => VelocityGovernor::with_rate(rate),
-            None => VelocityGovernor::unthrottled(),
-        };
-        let mut produced = 0u64;
-        for row in stream {
-            if produced >= limit.unwrap_or(u64::MAX) {
-                break;
-            }
-            sink.accept(row);
-            produced += 1;
-            governor.pace(1);
-        }
-        sink.finish();
-        Ok(GenerationStats {
-            table: table.to_string(),
-            rows: produced,
-            elapsed: governor.elapsed(),
-            achieved_rows_per_sec: governor.achieved_rate(),
-            target_rows_per_sec: governor.target_rate(),
-        })
+        Ok(drive_stream(stream, sink, rows_per_sec, limit))
+    }
+
+    /// Streams the row range `rows` of a relation into a [`TupleSink`],
+    /// optionally throttled to `rows_per_sec`.  The stream seeks to the start
+    /// of the range through the summary's block-offset index, so serving rows
+    /// `[lo, hi)` never generates a tuple outside the range — this is the
+    /// generation path behind wire-streamed shard serving, where each
+    /// connection pulls its own range at its own velocity.
+    pub fn stream_range_into(
+        &self,
+        table: &str,
+        rows: Range<u64>,
+        sink: &mut dyn TupleSink,
+        rows_per_sec: Option<f64>,
+    ) -> EngineResult<GenerationStats> {
+        let stream = self.stream_range(table, rows)?;
+        Ok(drive_stream(stream, sink, rows_per_sec, None))
     }
 
     /// Generates up to `limit` tuples of a relation at the given velocity
@@ -206,6 +201,41 @@ impl DynamicGenerator {
     ) -> EngineResult<GenerationStats> {
         let mut sink = CountingSink::new();
         self.stream_into(table, &mut sink, rows_per_sec, limit)
+    }
+}
+
+/// Drives a prepared stream into a sink under a [`VelocityGovernor`] — the
+/// shared emission loop of [`DynamicGenerator::stream_into`] and
+/// [`DynamicGenerator::stream_range_into`].
+fn drive_stream(
+    stream: TupleStream<'_>,
+    sink: &mut dyn TupleSink,
+    rows_per_sec: Option<f64>,
+    limit: Option<u64>,
+) -> GenerationStats {
+    let table = stream.table().name.clone();
+    let expected = stream.remaining().min(limit.unwrap_or(u64::MAX));
+    sink.begin(stream.table(), expected);
+    let mut governor = match rows_per_sec {
+        Some(rate) => VelocityGovernor::with_rate(rate),
+        None => VelocityGovernor::unthrottled(),
+    };
+    let mut produced = 0u64;
+    for row in stream {
+        if produced >= limit.unwrap_or(u64::MAX) || sink.aborted() {
+            break;
+        }
+        sink.accept(row);
+        produced += 1;
+        governor.pace(1);
+    }
+    sink.finish();
+    GenerationStats {
+        table,
+        rows: produced,
+        elapsed: governor.elapsed(),
+        achieved_rows_per_sec: governor.achieved_rate(),
+        target_rows_per_sec: governor.target_rate(),
     }
 }
 
@@ -294,6 +324,69 @@ mod tests {
         let gen = generator();
         let stats = gen.generate_with_velocity("item", None, Some(100)).unwrap();
         assert_eq!(stats.rows, 100);
+    }
+
+    #[test]
+    fn stream_range_into_matches_the_slice_and_respects_velocity() {
+        let gen = generator();
+        let full: Vec<_> = gen.stream("item").unwrap().collect();
+
+        let mut collect = CollectSink::new();
+        let stats = gen
+            .stream_range_into("item", 1200..1400, &mut collect, None)
+            .unwrap();
+        assert_eq!(stats.rows, 200);
+        assert_eq!(collect.rows, full[1200..1400]);
+
+        // 200 rows at 2000 rows/s → ~100 ms, paced per emitted tuple.
+        let mut sink = CountingSink::new();
+        let stats = gen
+            .stream_range_into("item", 0..200, &mut sink, Some(2000.0))
+            .unwrap();
+        assert_eq!(stats.rows, 200);
+        assert!(
+            stats.elapsed >= Duration::from_millis(90),
+            "throttled range stream finished too fast: {:?}",
+            stats.elapsed
+        );
+        assert!(gen
+            .stream_range_into("missing", 0..1, &mut sink, None)
+            .is_err());
+    }
+
+    #[test]
+    fn dead_sink_aborts_the_stream_early() {
+        /// A sink that goes dead after accepting `alive` tuples — models a
+        /// wire sink whose peer disconnected mid-stream.
+        struct DyingSink {
+            alive: u64,
+            accepted: u64,
+            finished: bool,
+        }
+        impl TupleSink for DyingSink {
+            fn accept(&mut self, _row: hydra_engine::row::Row) {
+                self.accepted += 1;
+            }
+            fn aborted(&self) -> bool {
+                self.accepted >= self.alive
+            }
+            fn finish(&mut self) {
+                self.finished = true;
+            }
+        }
+
+        let gen = generator();
+        let mut sink = DyingSink {
+            alive: 100,
+            accepted: 0,
+            finished: false,
+        };
+        let stats = gen.stream_into("item", &mut sink, None, None).unwrap();
+        // The driver stopped at the abort signal instead of generating the
+        // remaining 4_900 tuples into a dead sink, and still closed it.
+        assert_eq!(stats.rows, 100);
+        assert_eq!(sink.accepted, 100);
+        assert!(sink.finished);
     }
 
     #[test]

@@ -41,6 +41,11 @@ impl VelocityGovernor {
         self.target_rows_per_sec
     }
 
+    /// Longest single sleep `pace` will take (pathologically small target
+    /// rates otherwise turn into effectively-infinite sleeps, and a
+    /// non-finite deadline would panic `Duration::from_secs_f64`).
+    const MAX_PACE_SLEEP_SECS: f64 = 60.0;
+
     /// Records that `n` tuples are about to be emitted and sleeps long enough
     /// to keep the emission rate at (or below) the target.
     pub fn pace(&mut self, n: u64) {
@@ -50,8 +55,9 @@ impl VelocityGovernor {
         };
         let due = self.emitted as f64 / rate;
         let elapsed = self.started.elapsed().as_secs_f64();
-        if due > elapsed {
-            std::thread::sleep(Duration::from_secs_f64(due - elapsed));
+        let wait = due - elapsed;
+        if wait > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(wait.min(Self::MAX_PACE_SLEEP_SECS)));
         }
     }
 

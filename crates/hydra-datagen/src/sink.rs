@@ -44,6 +44,15 @@ pub trait TupleSink {
     /// Consumes one tuple.
     fn accept(&mut self, row: Row);
 
+    /// True when the sink can no longer deliver tuples (e.g. a wire sink
+    /// whose peer disconnected).  Stream drivers poll this between tuples
+    /// and stop generating early instead of producing rows nobody can
+    /// receive; `finish` is still called.  Defaults to `false` (in-memory
+    /// sinks never die).
+    fn aborted(&self) -> bool {
+        false
+    }
+
     /// Called once after the last tuple.
     fn finish(&mut self) {}
 }

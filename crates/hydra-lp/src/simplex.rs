@@ -406,7 +406,21 @@ impl Simplex {
                 }
             }
             let phase1 = tableau.objective_value();
-            if phase1 > 1e-6 {
+            // The infeasibility cutoff has two parts: an absolute floor
+            // (the classic 1e-6) plus a term relative to the magnitude of
+            // the right-hand sides.  At what-if scales (rows in the
+            // billions) the phase-1 optimum of a feasible system
+            // accumulates floating-point residue on the order of
+            // `eps * rhs * pivots` — absolutely large but relatively
+            // negligible — and a purely absolute cutoff turned that noise
+            // into hard `Infeasible` errors, even for the elastic
+            // least-violation relaxation, which is feasible by
+            // construction.  The relative factor is deliberately tiny
+            // (1e-10) so that a *real* contradiction among small-scale
+            // constraints is still caught even when an unrelated huge row
+            // target sits in the same system.
+            let rhs_scale = rows.iter().map(|r| r.rhs.abs()).fold(0.0f64, f64::max);
+            if phase1 > (1e-10 * rhs_scale).max(1e-6) {
                 // Phase-1 duals: slacks cost 0, artificials cost 1.
                 let artificial_start = n + num_slack;
                 let duals = duals_from(&tableau, &|col| {
@@ -602,6 +616,38 @@ mod tests {
             }
             other => panic!("expected optimal, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn phase1_tolerance_is_relative_to_rhs_scale() {
+        // At 1e10 scale, a 1e-3 absolute inconsistency is floating-point
+        // noise (what-if scenarios hit this); it must not read as infeasible.
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 1e10);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 2e10);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 3e10 + 1e-3);
+        match solve(&lp) {
+            SimplexOutcome::Optimal { values, .. } => {
+                assert!((values[0] - 1e10).abs() < 1.0);
+                assert!((values[1] - 2e10).abs() < 1.0);
+            }
+            other => panic!("expected optimal at scale, got {other:?}"),
+        }
+
+        // The same absolute gap at unit scale is a real contradiction.
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 7.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 12.001);
+        assert!(matches!(solve(&lp), SimplexOutcome::Infeasible { .. }));
+
+        // Mixed scales: an unrelated 1e10 row target must not mask a real
+        // unit-scale contradiction elsewhere in the same system.
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 1e10);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 7.0);
+        assert!(matches!(solve(&lp), SimplexOutcome::Infeasible { .. }));
     }
 
     #[test]

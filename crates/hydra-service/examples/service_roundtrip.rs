@@ -1,0 +1,87 @@
+//! One-shot client round-trip against a running `hydra-serve` — the CI
+//! smoke driver and a minimal usage example.
+//!
+//! ```sh
+//! cargo run --release -p hydra-service --bin hydra-serve -- --addr 127.0.0.1:0 &
+//! cargo run --release -p hydra-service --example service_roundtrip -- 127.0.0.1:PORT
+//! ```
+//!
+//! Publishes the retail fixture, lists and describes it, streams two
+//! disjoint shards of the fact table (verifying they concatenate to the
+//! full prefix), runs a what-if scenario, and asks the server to shut down.
+
+use hydra_core::session::Hydra;
+use hydra_service::client::HydraClient;
+use hydra_service::protocol::{ScenarioSpec, StreamRequest};
+use hydra_workload::retail_client_fixture;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .expect("usage: service_roundtrip HOST:PORT");
+
+    // Client site: profile a small retail warehouse.
+    let session = Hydra::builder().compare_aqps(false).build();
+    let (db, queries) = retail_client_fixture(1_200, 400, 6);
+    let package = session.profile(db, &queries).expect("profile");
+
+    let mut client = HydraClient::connect(addr.as_str()).expect("connect");
+    let info = client.publish("smoke", &package).expect("publish");
+    println!(
+        "published `{}` v{}: {} relations, {} rows, {} summary bytes",
+        info.name, info.version, info.relations, info.total_rows, info.summary_bytes
+    );
+
+    let listed = client.list().expect("list");
+    assert!(
+        listed.iter().any(|s| s.name == "smoke"),
+        "listing lost the summary"
+    );
+
+    let detail = client.describe("smoke").expect("describe");
+    println!("relation | rows | summary rows | constraints | signature");
+    for r in &detail.relations {
+        println!(
+            "{} | {} | {} | {} | {:016x}",
+            r.table, r.total_rows, r.summary_rows, r.constraints, r.constraint_signature
+        );
+    }
+
+    // Two disjoint shards, pulled back to back over the wire.
+    let (first, _) = client
+        .stream_collect(StreamRequest::full("smoke", "store_sales").range(0, 600))
+        .expect("stream shard 0");
+    let (second, _) = client
+        .stream_collect(StreamRequest::full("smoke", "store_sales").range(600, 1_200))
+        .expect("stream shard 1");
+    assert_eq!(first.len(), 600);
+    assert_eq!(second.len(), 600);
+
+    // Their concatenation is exactly the full range streamed in one go.
+    let (full, stats) = client
+        .stream_collect(StreamRequest::full("smoke", "store_sales"))
+        .expect("stream full");
+    let concatenated: Vec<_> = first.into_iter().chain(second).collect();
+    assert_eq!(
+        concatenated, full,
+        "shards must concatenate bit-identically"
+    );
+    println!(
+        "streamed {} rows in {} us ({} rows total across shards)",
+        stats.rows,
+        stats.elapsed_micros,
+        concatenated.len()
+    );
+
+    let report = client
+        .scenario("smoke", &ScenarioSpec::scaled("x1000", 1_000.0))
+        .expect("scenario");
+    println!(
+        "scenario `{}`: feasible={} violation={:.1} cached={}",
+        report.scenario, report.feasible, report.total_violation, report.cached_relations
+    );
+    assert!(report.feasible, "uniform scaling must stay feasible");
+
+    client.shutdown().expect("shutdown");
+    println!("service round-trip OK");
+}

@@ -1,0 +1,145 @@
+//! `hydra-serve` — the regeneration server binary.
+//!
+//! ```text
+//! hydra-serve [--addr HOST:PORT] [--registry-dir DIR] [--seed-retail ROWS]
+//!             [--velocity ROWS_PER_SEC] [--parallelism N]
+//! ```
+//!
+//! * `--addr` (default `127.0.0.1:7871`): listen address; port `0` picks an
+//!   ephemeral port.  The bound address is printed as
+//!   `hydra-serve listening on HOST:PORT` once the server is up.
+//! * `--registry-dir DIR`: persist published packages to `DIR/<name>.json`
+//!   and re-solve whatever is found there on startup.  Without it the
+//!   registry is in-memory.
+//! * `--seed-retail ROWS`: before serving, publish the synthetic retail
+//!   fixture (fact table of `ROWS` rows) as summary `retail`, so clients can
+//!   stream immediately without publishing anything.
+//! * `--velocity R`: default server-side velocity cap (rows/second) for
+//!   streams that do not request their own rate.
+//! * `--parallelism N`: worker threads for per-relation solving.
+//!
+//! The server runs until a client sends a `Shutdown` frame (see
+//! `HydraClient::shutdown`), then drains in-flight connections and exits 0.
+
+use hydra_core::session::Hydra;
+use hydra_service::registry::SummaryRegistry;
+use hydra_workload::retail_client_fixture;
+use std::process::ExitCode;
+
+struct Options {
+    addr: String,
+    registry_dir: Option<String>,
+    seed_retail: Option<u64>,
+    velocity: Option<f64>,
+    parallelism: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7871".to_string(),
+        registry_dir: None,
+        seed_retail: None,
+        velocity: None,
+        parallelism: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--registry-dir" => options.registry_dir = Some(value("--registry-dir")?),
+            "--seed-retail" => {
+                options.seed_retail = Some(
+                    value("--seed-retail")?
+                        .parse()
+                        .map_err(|e| format!("--seed-retail: {e}"))?,
+                )
+            }
+            "--velocity" => {
+                options.velocity = Some(
+                    value("--velocity")?
+                        .parse()
+                        .map_err(|e| format!("--velocity: {e}"))?,
+                )
+            }
+            "--parallelism" => {
+                options.parallelism = value("--parallelism")?
+                    .parse()
+                    .map_err(|e| format!("--parallelism: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: hydra-serve [--addr HOST:PORT] [--registry-dir DIR] \
+                     [--seed-retail ROWS] [--velocity ROWS_PER_SEC] [--parallelism N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let session = Hydra::builder()
+        .compare_aqps(false)
+        .parallelism(options.parallelism)
+        .velocity(options.velocity)
+        .build();
+
+    let registry = match &options.registry_dir {
+        Some(dir) => match SummaryRegistry::persistent(session.clone(), dir) {
+            Ok(registry) => registry,
+            Err(e) => {
+                eprintln!("hydra-serve: cannot open registry dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => SummaryRegistry::in_memory(session.clone()),
+    };
+    for entry in registry.list() {
+        println!(
+            "hydra-serve: loaded summary `{}` v{} ({} relations, {} rows)",
+            entry.name,
+            entry.version,
+            entry.info().relations,
+            entry.info().total_rows
+        );
+    }
+
+    if let Some(rows) = options.seed_retail {
+        println!("hydra-serve: seeding retail fixture ({rows} fact rows)…");
+        let (db, queries) = retail_client_fixture(rows, rows / 3, 8);
+        let package = match session.profile(db, &queries) {
+            Ok(package) => package,
+            Err(e) => {
+                eprintln!("hydra-serve: retail fixture profiling failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = registry.publish("retail", package) {
+            eprintln!("hydra-serve: retail fixture publish failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = match hydra_service::server::serve(registry, options.addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("hydra-serve: cannot bind {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("hydra-serve listening on {}", server.local_addr());
+    server.join();
+    println!("hydra-serve: shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,70 @@
+//! # hydra-service
+//!
+//! The network face of the reproduction: a threaded TCP server that makes
+//! regeneration a shared, long-lived, concurrent resource — the paper's
+//! client/vendor deployment model made literal.  A client site ships its
+//! transfer package to a running `hydra-serve`; the vendor side solves it
+//! once, registers the summary under a name in a persistent
+//! [`registry::SummaryRegistry`], and then serves any number of concurrent
+//! consumers:
+//!
+//! * **Publish** — upload a [`hydra_core::transfer::TransferPackage`], solve
+//!   it server-side, register the summary (versioned; persisted to disk when
+//!   the registry has a directory);
+//! * **List / Describe** — registry introspection with per-relation row
+//!   counts and constraint signatures;
+//! * **Stream** — regenerate a row range of one relation as framed tuple
+//!   batches, seeking through the summary's block index so concurrent
+//!   clients can pull disjoint shards of the same relation, each paced by
+//!   its own velocity governor;
+//! * **Scenario** — server-side what-if re-solve reusing the session's
+//!   summary cache.
+//!
+//! The wire format is length-prefixed JSON frames ([`protocol`]) over the
+//! same serde path the in-process transfer package uses.  Concatenating
+//! wire-streamed shards in plan order is bit-identical to local sequential
+//! generation — the integration tests assert it.
+//!
+//! ```
+//! use hydra_core::session::Hydra;
+//! use hydra_service::client::HydraClient;
+//! use hydra_service::protocol::StreamRequest;
+//! use hydra_service::registry::SummaryRegistry;
+//! use hydra_workload::retail_client_fixture;
+//!
+//! // Vendor site: a server over an in-memory registry on an ephemeral port.
+//! let session = Hydra::builder().compare_aqps(false).build();
+//! let server = hydra_service::server::serve(
+//!     SummaryRegistry::in_memory(session.clone()),
+//!     "127.0.0.1:0",
+//! ).unwrap();
+//!
+//! // Client site: profile a warehouse, publish the package, stream a shard.
+//! let (db, queries) = retail_client_fixture(400, 120, 4);
+//! let package = session.profile(db, &queries).unwrap();
+//! let mut client = HydraClient::connect(server.local_addr()).unwrap();
+//! let info = client.publish("retail", &package).unwrap();
+//! assert_eq!(info.version, 1);
+//! let (rows, _) = client
+//!     .stream_collect(StreamRequest::full("retail", "store_sales").range(100, 200))
+//!     .unwrap();
+//! assert_eq!(rows.len(), 100);
+//! client.shutdown().unwrap();
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use client::HydraClient;
+pub use error::{ServiceError, ServiceResult};
+pub use protocol::{Request, Response, ScenarioSpec, StreamRequest};
+pub use registry::{RegistryEntry, SummaryRegistry};
+pub use server::{serve, serve_shared, ServerHandle};
+pub use wire::FrameSink;

@@ -1,0 +1,374 @@
+//! The persistent summary registry: named, versioned, solved summaries.
+//!
+//! A registry entry is a fully-solved regeneration — the published
+//! [`TransferPackage`] plus the vendor-side [`RegenerationResult`] built from
+//! it — shared behind an [`Arc`].  Publishing solves **outside** the registry
+//! lock and swaps the finished entry in atomically, so concurrent readers
+//! (streams, describes, scenario re-solves) always observe either the old
+//! complete entry or the new complete entry, never a torn one.
+//!
+//! Persistence rides the existing transfer serde path: each entry is saved
+//! as `<dir>/<name>.json` holding the package (the client-site synopsis —
+//! small, anonymizable, and forward-compatible), and a restarted server
+//! re-solves the packages it finds on disk.  Summaries are derived data;
+//! the package is the durable artifact, exactly as in the paper's
+//! deployment model.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::protocol::{RelationInfo, ScenarioReport, ScenarioSpec, SummaryDetail, SummaryInfo};
+use hydra_core::session::Hydra;
+use hydra_core::transfer::TransferPackage;
+use hydra_core::vendor::RegenerationResult;
+use hydra_datagen::generator::DynamicGenerator;
+use hydra_lp::solver::SolveStatus;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The on-disk envelope of one registry entry (`<dir>/<name>.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredSummary {
+    /// Registry name.
+    pub name: String,
+    /// Version at save time.
+    pub version: u32,
+    /// The published transfer package (the durable artifact; the summary is
+    /// re-solved from it on load).
+    pub package: TransferPackage,
+}
+
+/// One published, solved summary.
+#[derive(Debug)]
+pub struct RegistryEntry {
+    /// Registry name.
+    pub name: String,
+    /// Version (starts at 1, bumped on re-publish).
+    pub version: u32,
+    /// The package this entry was solved from.
+    pub package: TransferPackage,
+    /// The solved regeneration (summary, reports, schema).
+    pub regeneration: RegenerationResult,
+    detail: SummaryDetail,
+}
+
+impl RegistryEntry {
+    /// Builds an entry by solving `package` with `session`.
+    fn solve(
+        session: &Hydra,
+        name: &str,
+        version: u32,
+        package: TransferPackage,
+    ) -> ServiceResult<Self> {
+        let regeneration = session.regenerate(&package)?;
+        let detail = describe(name, version, &package, &regeneration)?;
+        Ok(RegistryEntry {
+            name: name.to_string(),
+            version,
+            package,
+            regeneration,
+            detail,
+        })
+    }
+
+    /// Registry-level description (name, version, sizes).
+    pub fn info(&self) -> SummaryInfo {
+        self.detail.info.clone()
+    }
+
+    /// Per-relation description (row counts, constraint signatures).
+    pub fn detail(&self) -> SummaryDetail {
+        self.detail.clone()
+    }
+
+    /// A dynamic generator over this entry's summary (streams / seeks).
+    pub fn generator(&self) -> DynamicGenerator {
+        self.regeneration.generator()
+    }
+}
+
+/// Builds the wire description of a solved entry.
+fn describe(
+    name: &str,
+    version: u32,
+    package: &TransferPackage,
+    regeneration: &RegenerationResult,
+) -> ServiceResult<SummaryDetail> {
+    let constraints = package
+        .workload
+        .constraints_by_table()
+        .map_err(|e| ServiceError::Hydra(hydra_core::error::HydraError::Query(e)))?;
+    let relations = regeneration
+        .build_report
+        .relations
+        .iter()
+        .map(|stats| {
+            let table_constraints = constraints.get(&stats.table);
+            RelationInfo {
+                table: stats.table.clone(),
+                total_rows: stats.total_rows,
+                summary_rows: stats.summary_rows,
+                constraints: table_constraints.map_or(0, |c| c.len()),
+                constraint_signature: constraint_signature(
+                    table_constraints.map_or(&[][..], |c| &c[..]),
+                ),
+                feasible: stats.lp.status == SolveStatus::Feasible,
+            }
+        })
+        .collect::<Vec<_>>();
+    Ok(SummaryDetail {
+        info: SummaryInfo {
+            name: name.to_string(),
+            version,
+            relations: relations.len(),
+            total_rows: regeneration.summary.total_rows(),
+            summary_bytes: regeneration.summary.size_bytes(),
+            queries: package.query_count(),
+        },
+        relations,
+    })
+}
+
+/// Fingerprint of one relation's constraint set: a hash of its canonical
+/// JSON encoding (the same trick the summary cache uses for its keys).
+fn constraint_signature(constraints: &[hydra_query::aqp::VolumetricConstraint]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    serde_json::to_string(&constraints.to_vec())
+        .unwrap_or_default()
+        .hash(&mut hasher);
+    hasher.finish()
+}
+
+/// True iff `name` is a valid registry name (`[A-Za-z0-9_-]+`) — names double
+/// as file names, so anything path-like is rejected.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// A concurrent, optionally disk-backed store of solved summaries.
+#[derive(Debug)]
+pub struct SummaryRegistry {
+    session: Hydra,
+    entries: RwLock<BTreeMap<String, Arc<RegistryEntry>>>,
+    dir: Option<PathBuf>,
+    /// Serializes disk writes so racing publishes of one name cannot leave
+    /// an older version's file on disk after a newer version's; held only
+    /// around file I/O, never while `entries` is locked.
+    persist: Mutex<()>,
+}
+
+impl SummaryRegistry {
+    /// An in-memory registry solving with `session` (the session's summary
+    /// cache is shared across publishes and scenario re-solves).
+    pub fn in_memory(session: Hydra) -> Self {
+        SummaryRegistry {
+            session,
+            entries: RwLock::new(BTreeMap::new()),
+            dir: None,
+            persist: Mutex::new(()),
+        }
+    }
+
+    /// A disk-backed registry rooted at `dir`: the directory is created if
+    /// missing, every `*.json` package found in it is re-solved and
+    /// registered, and subsequent publishes are persisted there.
+    ///
+    /// A file that cannot be read, parsed or solved is **skipped** (with a
+    /// diagnostic on stderr) rather than failing the whole load — one
+    /// truncated file from a crash mid-publish must not brick the server's
+    /// healthy summaries.
+    pub fn persistent(session: Hydra, dir: impl Into<PathBuf>) -> ServiceResult<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let registry = SummaryRegistry {
+            session,
+            entries: RwLock::new(BTreeMap::new()),
+            dir: Some(dir.clone()),
+            persist: Mutex::new(()),
+        };
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            match Self::load_stored(&registry.session, &path) {
+                Ok(entry) => {
+                    registry
+                        .entries
+                        .write()
+                        .expect("registry lock poisoned")
+                        .insert(entry.name.clone(), Arc::new(entry));
+                }
+                Err(e) => {
+                    eprintln!(
+                        "hydra-service: skipping registry file {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        Ok(registry)
+    }
+
+    /// Reads, parses and re-solves one persisted package file.
+    fn load_stored(session: &Hydra, path: &std::path::Path) -> ServiceResult<RegistryEntry> {
+        let text = std::fs::read_to_string(path)?;
+        let stored: StoredSummary = serde_json::from_str(&text)
+            .map_err(|e| ServiceError::Protocol(format!("corrupt registry file: {e}")))?;
+        RegistryEntry::solve(session, &stored.name, stored.version, stored.package)
+    }
+
+    /// The session entries are solved with.
+    pub fn session(&self) -> &Hydra {
+        &self.session
+    }
+
+    /// Solves `package` and registers it under `name`, bumping the version
+    /// if the name is already taken.  Solving happens outside the registry
+    /// lock and the finished entry is swapped in atomically; persistence
+    /// happens after registration, also off-lock, so readers are never
+    /// stalled behind disk I/O.  If the disk write fails the entry stays
+    /// registered (and servable) but the error is returned — the caller can
+    /// retry the publish for durability.
+    pub fn publish(
+        &self,
+        name: &str,
+        package: TransferPackage,
+    ) -> ServiceResult<Arc<RegistryEntry>> {
+        if !valid_name(name) {
+            return Err(ServiceError::Protocol(format!(
+                "invalid summary name `{name}` (allowed: [A-Za-z0-9_-]+)"
+            )));
+        }
+        let provisional = self.version_of(name) + 1;
+        let entry = Arc::new(RegistryEntry::solve(
+            &self.session,
+            name,
+            provisional,
+            package,
+        )?);
+        let entry = {
+            let mut entries = self.entries.write().expect("registry lock poisoned");
+            // A racing publish of the same name may have landed while we
+            // solved; take the next version after whatever is registered now.
+            let version = entries
+                .get(name)
+                .map_or(provisional, |e| e.version.max(provisional - 1) + 1);
+            let entry = if version == entry.version {
+                entry
+            } else {
+                let mut reversioned = RegistryEntry {
+                    name: entry.name.clone(),
+                    version,
+                    package: entry.package.clone(),
+                    regeneration: entry.regeneration.clone(),
+                    detail: entry.detail.clone(),
+                };
+                reversioned.detail.info.version = version;
+                Arc::new(reversioned)
+            };
+            entries.insert(name.to_string(), Arc::clone(&entry));
+            entry
+        };
+        self.persist_entry(&entry)?;
+        Ok(entry)
+    }
+
+    /// Persists one entry's package as `<dir>/<name>.json` — written to a
+    /// temporary file and renamed into place, so a crash mid-write can never
+    /// leave a truncated file where a healthy one stood.  Writers are
+    /// serialized and each re-checks that its entry is still the current
+    /// version, so racing publishes cannot leave a stale version on disk.
+    fn persist_entry(&self, entry: &RegistryEntry) -> ServiceResult<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        let _guard = self.persist.lock().expect("persist lock poisoned");
+        let current = self.version_of(&entry.name);
+        if current != entry.version {
+            // A newer version was registered while we waited; it will (or
+            // already did) write the file.
+            return Ok(());
+        }
+        let stored = StoredSummary {
+            name: entry.name.clone(),
+            version: entry.version,
+            package: entry.package.clone(),
+        };
+        let json =
+            serde_json::to_string(&stored).map_err(|e| ServiceError::Protocol(e.to_string()))?;
+        let tmp = dir.join(format!(".{}.json.tmp", entry.name));
+        let path = dir.join(format!("{}.json", entry.name));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// The registered entry for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<RegistryEntry>> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Every registered entry, in name order.
+    pub fn list(&self) -> Vec<Arc<RegistryEntry>> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered summaries.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock poisoned").len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Re-solves a registered summary's package under a what-if scenario,
+    /// reusing the session's summary cache for unchanged relations.  Holds
+    /// no registry lock while solving, so concurrent streams are never
+    /// blocked by a scenario.
+    pub fn scenario(&self, name: &str, spec: &ScenarioSpec) -> ServiceResult<ScenarioReport> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServiceError::Protocol(format!("unknown summary `{name}`")))?;
+        let result = self.session.scenario(&spec.to_scenario(), &entry.package)?;
+        let relation_rows: BTreeMap<String, u64> = result
+            .regeneration
+            .summary
+            .relations
+            .iter()
+            .map(|(name, r)| (name.clone(), r.total_rows))
+            .collect();
+        Ok(ScenarioReport {
+            scenario: spec.scenario.clone(),
+            feasible: result.feasible,
+            total_violation: result.total_violation,
+            cached_relations: result.regeneration.build_report.cached_relations,
+            relation_rows,
+        })
+    }
+
+    fn version_of(&self, name: &str) -> u32 {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .map_or(0, |e| e.version)
+    }
+}

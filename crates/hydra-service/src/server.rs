@@ -1,0 +1,280 @@
+//! The threaded regeneration server.
+//!
+//! One `std::net::TcpListener` accept loop, one thread per connection, one
+//! shared [`SummaryRegistry`].  Connections speak the frame protocol of
+//! [`crate::protocol`] and stay open across requests; tuple streams are
+//! served by driving a [`FrameSink`] through the exact in-process generation
+//! path (`DynamicGenerator::stream_range_into`), so concurrent clients can
+//! each pull disjoint row ranges of the same relation, paced per-connection
+//! by their own `VelocityGovernor`.
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::protocol::{read_frame, write_frame, Request, Response, StreamRequest, StreamStats};
+use crate::registry::SummaryRegistry;
+use crate::wire::FrameSink;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A regeneration server bound to a socket and accepting connections on a
+/// background thread.  Dropping the handle shuts the server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+    registry: Arc<SummaryRegistry>,
+}
+
+/// Starts a server over `registry` on `addr` (use port 0 for an ephemeral
+/// port; the bound address is available from [`ServerHandle::local_addr`]).
+pub fn serve(registry: SummaryRegistry, addr: impl ToSocketAddrs) -> ServiceResult<ServerHandle> {
+    serve_shared(Arc::new(registry), addr)
+}
+
+/// [`serve`] over an already-shared registry (lets the host keep a handle
+/// for direct in-process access alongside the network surface).
+pub fn serve_shared(
+    registry: Arc<SummaryRegistry>,
+    addr: impl ToSocketAddrs,
+) -> ServiceResult<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let accept_registry = Arc::clone(&registry);
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_active = Arc::clone(&active);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let registry = Arc::clone(&accept_registry);
+            let shutdown = Arc::clone(&accept_shutdown);
+            let active = Arc::clone(&accept_active);
+            active.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(move || {
+                let peer_shutdown = handle_connection(stream, &registry).unwrap_or(false);
+                if peer_shutdown {
+                    shutdown.store(true, Ordering::SeqCst);
+                    wake_accept_loop(local_addr);
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        active,
+        accept_thread: Some(accept_thread),
+        registry,
+    })
+}
+
+/// Unblocks a blocking `accept` by making (and immediately dropping) a
+/// connection to the listener.
+fn wake_accept_loop(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The registry behind the server (for in-process publishing alongside
+    /// the network surface — e.g. seeding a demo dataset).
+    pub fn registry(&self) -> &Arc<SummaryRegistry> {
+        &self.registry
+    }
+
+    /// True once a shutdown was requested (programmatically or by a client's
+    /// `Shutdown` frame).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server stops accepting (a client sent `Shutdown`, or
+    /// [`ServerHandle::shutdown`] was called from another thread), then
+    /// drains in-flight connections.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    /// Requests a shutdown and blocks until the accept loop has exited and
+    /// in-flight connections have drained.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_accept_loop(self.local_addr);
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Give in-flight request handlers a bounded grace period; idle
+        // keep-alive connections do not block shutdown forever.
+        for _ in 0..200 {
+            if self.active.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_accept_loop(self.local_addr);
+        self.join_inner();
+    }
+}
+
+/// Serves one connection until EOF or a `Shutdown` request.  Returns
+/// `Ok(true)` iff the peer requested a server shutdown.
+fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -> ServiceResult<bool> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_frame::<_, Request>(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(false),
+            Err(ServiceError::Io(_)) => return Ok(false),
+            Err(e) => {
+                // A malformed frame is answered, not fatal: the framing layer
+                // consumed the bytes, so the connection stays in sync.
+                write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                )?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        match request {
+            Request::Publish { name, package } => {
+                let response = match registry.publish(&name, package) {
+                    Ok(entry) => Response::Published(entry.info()),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                };
+                write_frame(&mut writer, &response)?;
+            }
+            Request::List => {
+                let infos = registry.list().iter().map(|e| e.info()).collect();
+                write_frame(&mut writer, &Response::SummaryList(infos))?;
+            }
+            Request::Describe { name } => {
+                let response = match registry.get(&name) {
+                    Some(entry) => Response::Described(entry.detail()),
+                    None => Response::Error {
+                        message: format!("unknown summary `{name}`"),
+                    },
+                };
+                write_frame(&mut writer, &response)?;
+            }
+            Request::Stream(request) => {
+                if let Err(e) = handle_stream(&mut writer, registry, &request) {
+                    // Header-stage failures (unknown summary/table) keep the
+                    // connection; write failures mid-stream end it.
+                    match e {
+                        ServiceError::Io(_) => return Ok(false),
+                        other => write_frame(
+                            &mut writer,
+                            &Response::Error {
+                                message: other.to_string(),
+                            },
+                        )?,
+                    }
+                }
+            }
+            Request::Scenario { name, spec } => {
+                let response = match registry.scenario(&name, &spec) {
+                    Ok(report) => Response::ScenarioOutcome(report),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                };
+                write_frame(&mut writer, &response)?;
+            }
+            Request::Shutdown => {
+                write_frame(&mut writer, &Response::ShuttingDown)?;
+                writer.flush()?;
+                return Ok(true);
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Serves one `Stream` request: resolves the entry and range, then drives a
+/// [`FrameSink`] through `DynamicGenerator::stream_range_into` (seeking via
+/// the summary's block index, paced by this connection's governor).
+fn handle_stream<W: Write>(
+    writer: &mut W,
+    registry: &SummaryRegistry,
+    request: &StreamRequest,
+) -> ServiceResult<()> {
+    let entry = registry
+        .get(&request.name)
+        .ok_or_else(|| ServiceError::Protocol(format!("unknown summary `{}`", request.name)))?;
+    let generator = entry.generator();
+    let total = generator
+        .summary
+        .relation(&request.table)
+        .ok_or_else(|| {
+            ServiceError::Protocol(format!(
+                "summary `{}` has no relation `{}`",
+                request.name, request.table
+            ))
+        })?
+        .total_rows;
+    let start = request.start.unwrap_or(0).min(total);
+    let end = request.end.unwrap_or(total).clamp(start, total);
+    // A wire-supplied rate is untrusted input: a zero, negative, NaN or
+    // absurdly small rate would turn the connection thread into a
+    // near-infinite sleeper.
+    if let Some(rate) = request.rows_per_sec {
+        if !rate.is_finite() || rate < 1e-3 {
+            return Err(ServiceError::Protocol(format!(
+                "rows_per_sec must be a finite rate >= 0.001, got {rate}"
+            )));
+        }
+    }
+    let rate = request.rows_per_sec.or(registry.session().velocity());
+    let batch_rows = request
+        .batch_rows
+        .unwrap_or(StreamRequest::DEFAULT_BATCH_ROWS);
+
+    let mut sink = FrameSink::new(writer, batch_rows, (start, end));
+    let stats = generator
+        .stream_range_into(&request.table, start..end, &mut sink, rate)
+        .map_err(|e| ServiceError::Hydra(hydra_core::error::HydraError::Engine(e)))?;
+    if let Some(e) = sink.into_error() {
+        return Err(e);
+    }
+    write_frame(
+        writer,
+        &Response::StreamEnd(StreamStats {
+            rows: stats.rows,
+            elapsed_micros: stats.elapsed.as_micros() as u64,
+            target_rows_per_sec: stats.target_rows_per_sec,
+        }),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,228 @@
+//! The frame-encoding tuple sink: plugs the generation pipeline straight
+//! into a socket.
+//!
+//! [`FrameSink`] implements [`TupleSink`], so the exact code path that feeds
+//! in-process consumers (`DynamicGenerator::stream_into` /
+//! `stream_range_into`, sharded runs, velocity governing) also feeds the
+//! wire: tuples are buffered into batches and each full batch is written as
+//! one `Response::Batch` frame.  Because the sink writes through the
+//! connection's buffered stream, a slow client backpressures the generator
+//! naturally — and a velocity-governed stream is paced tuple by tuple
+//! upstream of the sink.
+
+use crate::error::ServiceError;
+use crate::protocol::{write_frame, Response, StreamStart};
+use hydra_catalog::schema::Table;
+use hydra_datagen::sink::TupleSink;
+use hydra_engine::row::Row;
+use std::io::Write;
+
+/// A [`TupleSink`] that encodes tuples as framed wire batches.
+#[derive(Debug)]
+pub struct FrameSink<'a, W: Write> {
+    writer: &'a mut W,
+    batch_rows: usize,
+    buffer: Vec<Row>,
+    rows: u64,
+    /// First error encountered while writing; once set, the sink drops
+    /// tuples (the stream is already dead) and the driver reports it.
+    error: Option<ServiceError>,
+    /// Row range announced in the `StreamStart` header.
+    range: (u64, u64),
+}
+
+impl<'a, W: Write> FrameSink<'a, W> {
+    /// A sink writing batches of up to `batch_rows` tuples to `writer`,
+    /// announcing the row range `[start, end)` in its header frame.
+    pub fn new(writer: &'a mut W, batch_rows: u64, range: (u64, u64)) -> Self {
+        let batch_rows = batch_rows.clamp(1, 1 << 16) as usize;
+        FrameSink {
+            writer,
+            batch_rows,
+            buffer: Vec::with_capacity(batch_rows),
+            rows: 0,
+            error: None,
+            range,
+        }
+    }
+
+    /// Tuples accepted so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Consumes the sink, returning the first write error if any occurred.
+    pub fn into_error(self) -> Option<ServiceError> {
+        self.error
+    }
+
+    fn flush_batch(&mut self) {
+        if self.error.is_some() || self.buffer.is_empty() {
+            return;
+        }
+        let rows = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.batch_rows));
+        self.emit(rows);
+        if self.error.is_none() {
+            // Push the batch onto the wire now: streaming consumers see
+            // progress batch by batch, and a dead peer surfaces as a write
+            // error here instead of hiding in the connection's buffer.
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(ServiceError::Io(e));
+            }
+        }
+    }
+
+    /// Writes one batch frame, splitting the batch in half (recursively)
+    /// when its JSON encoding exceeds the frame cap — wide rows at a large
+    /// `batch_rows` must degrade to smaller frames, not kill the stream.
+    fn emit(&mut self, rows: Vec<Row>) {
+        if self.error.is_some() || rows.is_empty() {
+            return;
+        }
+        let batch = Response::Batch { rows };
+        match write_frame(self.writer, &batch) {
+            Ok(()) => {}
+            Err(ServiceError::Protocol(_)) => {
+                let Response::Batch { rows } = batch else {
+                    unreachable!("emit built a Batch")
+                };
+                if rows.len() == 1 {
+                    self.error = Some(ServiceError::Protocol(
+                        "a single tuple exceeds the frame size cap".to_string(),
+                    ));
+                    return;
+                }
+                let mut first = rows;
+                let second = first.split_off(first.len() / 2);
+                self.emit(first);
+                self.emit(second);
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write> TupleSink for FrameSink<'_, W> {
+    fn begin(&mut self, table: &Table, _expected_rows: u64) {
+        let header = Response::StreamStart(StreamStart {
+            table: table.name.clone(),
+            columns: table.columns().iter().map(|c| c.name.clone()).collect(),
+            start: self.range.0,
+            end: self.range.1,
+        });
+        if let Err(e) = write_frame(self.writer, &header) {
+            self.error = Some(e);
+        }
+    }
+
+    fn accept(&mut self, row: Row) {
+        if self.error.is_some() {
+            return;
+        }
+        self.buffer.push(row);
+        self.rows += 1;
+        if self.buffer.len() >= self.batch_rows {
+            self.flush_batch();
+        }
+    }
+
+    /// Once a write has failed the peer is unreachable; the stream driver
+    /// stops generating instead of producing tuples nobody can receive.
+    fn aborted(&self) -> bool {
+        self.error.is_some()
+    }
+
+    fn finish(&mut self) {
+        self.flush_batch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::read_frame;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::{DataType, Value};
+
+    fn table() -> Table {
+        SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+            })
+            .build()
+            .unwrap()
+            .table("item")
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn frame_sink_emits_header_and_batches() {
+        let mut buf: Vec<u8> = Vec::new();
+        let table = table();
+        let mut sink = FrameSink::new(&mut buf, 2, (0, 5));
+        sink.begin(&table, 5);
+        for i in 0..5 {
+            sink.accept(vec![Value::Integer(i)]);
+        }
+        sink.finish();
+        assert_eq!(sink.rows(), 5);
+        assert!(sink.into_error().is_none());
+
+        let mut cursor = &buf[..];
+        match read_frame::<_, Response>(&mut cursor).unwrap().unwrap() {
+            Response::StreamStart(h) => {
+                assert_eq!(h.table, "item");
+                assert_eq!(h.columns, vec!["i_item_sk".to_string()]);
+                assert_eq!((h.start, h.end), (0, 5));
+            }
+            other => panic!("expected StreamStart, got {other:?}"),
+        }
+        // 5 rows at batch size 2 → batches of 2, 2, 1.
+        let mut sizes = Vec::new();
+        loop {
+            match read_frame::<_, Response>(&mut cursor).unwrap() {
+                Some(Response::Batch { rows }) => sizes.push(rows.len()),
+                Some(other) => panic!("unexpected frame {other:?}"),
+                None => break,
+            }
+        }
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn oversized_batches_split_instead_of_dying() {
+        // 34 × 2 MiB rows ≈ 68 MiB of JSON — over the 64 MiB frame cap as
+        // one batch, so the sink must split it into frames that fit.
+        let wide = Value::str("x".repeat(2 << 20));
+        let mut buf: Vec<u8> = Vec::new();
+        let table = table();
+        let mut sink = FrameSink::new(&mut buf, 64, (0, 34));
+        sink.begin(&table, 34);
+        for _ in 0..34 {
+            sink.accept(vec![wide.clone()]);
+        }
+        sink.finish();
+        assert!(sink.into_error().is_none());
+
+        let mut cursor = &buf[..];
+        let header = read_frame::<_, Response>(&mut cursor).unwrap().unwrap();
+        assert!(matches!(header, Response::StreamStart(_)));
+        let mut total = 0usize;
+        let mut frames = 0usize;
+        while let Some(frame) = read_frame::<_, Response>(&mut cursor).unwrap() {
+            match frame {
+                Response::Batch { rows } => {
+                    total += rows.len();
+                    frames += 1;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(total, 34, "splitting must not drop tuples");
+        assert!(
+            frames >= 2,
+            "an oversized batch must split into >= 2 frames"
+        );
+    }
+}

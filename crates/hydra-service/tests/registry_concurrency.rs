@@ -1,0 +1,262 @@
+//! Interleaving tests for the summary registry: concurrent `Publish`,
+//! `Stream` and `Describe` must never observe a torn or partially-registered
+//! summary.
+//!
+//! The registry's contract is atomic entry replacement: an entry is solved
+//! completely off-lock and swapped in as one `Arc`, so every reader holds a
+//! self-consistent (package, summary, description) triple even while a
+//! publisher is replacing it.  These tests hammer that contract from many
+//! threads, both in-process and across the TCP surface, and verify every
+//! observation against per-version ground truth.
+
+use hydra_core::session::Hydra;
+use hydra_core::transfer::TransferPackage;
+use hydra_engine::row::Row;
+use hydra_service::client::HydraClient;
+use hydra_service::protocol::StreamRequest;
+use hydra_service::registry::SummaryRegistry;
+use hydra_service::server::serve_shared;
+use hydra_workload::retail_client_fixture;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Distinct fact-table sizes → distinct, recognizable summary versions.
+const VARIANT_ROWS: [u64; 3] = [400, 500, 600];
+
+fn variant_packages() -> Vec<TransferPackage> {
+    let session = Hydra::builder().compare_aqps(false).build();
+    VARIANT_ROWS
+        .iter()
+        .map(|&rows| {
+            let (db, queries) = retail_client_fixture(rows, 150, 4);
+            session.profile(db, &queries).expect("profile")
+        })
+        .collect()
+}
+
+fn variants() -> Vec<(TransferPackage, Vec<Row>)> {
+    variant_packages()
+        .into_iter()
+        .map(|package| {
+            let expected: Vec<Row> = Hydra::builder()
+                .compare_aqps(false)
+                .build()
+                .regenerate(&package)
+                .expect("solve")
+                .generator()
+                .stream("store_sales")
+                .expect("stream")
+                .collect();
+            (package, expected)
+        })
+        .collect()
+}
+
+/// Checks one observed entry against the ground truth of whichever variant
+/// it belongs to; any mix of two variants inside one entry is a torn read.
+fn assert_entry_consistent(entry: &hydra_service::RegistryEntry, truth: &BTreeMap<u64, Vec<Row>>) {
+    let total = entry
+        .regeneration
+        .summary
+        .relation("store_sales")
+        .expect("fact relation present")
+        .total_rows;
+    let expected = truth
+        .get(&total)
+        .unwrap_or_else(|| panic!("entry regenerates {total} fact rows — not a published variant"));
+
+    // Package ↔ summary: the solved summary must match its own package.
+    assert_eq!(
+        entry.package.metadata.row_count("store_sales"),
+        total,
+        "entry's package and summary disagree (torn publish)"
+    );
+    // Description ↔ entry.
+    let detail = entry.detail();
+    assert_eq!(detail.info.version, entry.version);
+    assert_eq!(
+        detail.info.total_rows,
+        entry.regeneration.summary.total_rows()
+    );
+    let fact = detail
+        .relations
+        .iter()
+        .find(|r| r.table == "store_sales")
+        .expect("described fact relation");
+    assert_eq!(fact.total_rows, total);
+
+    // Generation ↔ ground truth: a mid-relation slice must match the same
+    // variant the row count identified.
+    let lo = total / 3;
+    let hi = (lo + 64).min(total);
+    let slice: Vec<Row> = entry
+        .generator()
+        .stream_range("store_sales", lo..hi)
+        .expect("range stream")
+        .collect();
+    assert_eq!(slice, expected[lo as usize..hi as usize]);
+}
+
+#[test]
+fn publish_stream_describe_interleavings_never_tear() {
+    let variants = variants();
+    let truth: BTreeMap<u64, Vec<Row>> = variants
+        .iter()
+        .map(|(_, rows)| (rows.len() as u64, rows.clone()))
+        .collect();
+
+    let registry = Arc::new(SummaryRegistry::in_memory(
+        Hydra::builder().compare_aqps(false).build(),
+    ));
+    // Baseline version so readers always find something.
+    registry
+        .publish("retail", variants[0].0.clone())
+        .expect("seed publish");
+    let server = serve_shared(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // Publisher: cycles through the variants, re-publishing `retail`
+        // (and a second name, so List sees the registry grow too).
+        let publisher = {
+            let registry = Arc::clone(&registry);
+            let variant_packages: Vec<TransferPackage> =
+                variants.iter().map(|(p, _)| p.clone()).collect();
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut published = 1u32; // the seed
+                for round in 0..2 {
+                    for (i, package) in variant_packages.iter().enumerate() {
+                        let entry = registry
+                            .publish("retail", package.clone())
+                            .expect("re-publish");
+                        published += 1;
+                        assert_eq!(entry.version, published, "versions must be monotonic");
+                        if round == 0 && i == 0 {
+                            registry
+                                .publish("retail_alt", package.clone())
+                                .expect("second name");
+                        }
+                    }
+                }
+                stop.store(true, Ordering::SeqCst);
+                published
+            })
+        };
+
+        // In-process readers: grab entries and verify internal consistency.
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                let truth = &truth;
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut observed = 0usize;
+                    let mut last_version = 0u32;
+                    while !stop.load(Ordering::SeqCst) {
+                        let entry = registry.get("retail").expect("seeded name present");
+                        assert!(
+                            entry.version >= last_version,
+                            "reader observed version going backwards"
+                        );
+                        last_version = entry.version;
+                        assert_entry_consistent(&entry, truth);
+                        observed += 1;
+                    }
+                    observed
+                })
+            })
+            .collect();
+
+        // Wire readers: Describe + Stream through the TCP surface.
+        let wire_readers: Vec<_> = (0..2)
+            .map(|_| {
+                let truth = &truth;
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut client = HydraClient::connect(addr).expect("connect");
+                    let mut observed = 0usize;
+                    while !stop.load(Ordering::SeqCst) {
+                        let detail = client.describe("retail").expect("describe");
+                        let fact = detail
+                            .relations
+                            .iter()
+                            .find(|r| r.table == "store_sales")
+                            .expect("fact described");
+                        assert!(
+                            truth.contains_key(&fact.total_rows),
+                            "described {} fact rows — not a published variant",
+                            fact.total_rows
+                        );
+                        // A full wire stream must be exactly one variant's
+                        // bits; the header's clamped range identifies it.
+                        let (rows, _) = client
+                            .stream_collect(StreamRequest::full("retail", "store_sales"))
+                            .expect("stream");
+                        let expected = truth
+                            .get(&(rows.len() as u64))
+                            .expect("stream length identifies a published variant");
+                        assert_eq!(&rows, expected, "wire stream mixed two versions");
+                        observed += 1;
+                    }
+                    observed
+                })
+            })
+            .collect();
+
+        let published = publisher.join().expect("publisher");
+        assert_eq!(published, 7);
+        for reader in readers {
+            assert!(reader.join().expect("reader") > 0, "reader never observed");
+        }
+        for reader in wire_readers {
+            assert!(reader.join().expect("wire reader") > 0);
+        }
+    });
+
+    // Terminal state: the last published variant, fully visible.
+    let final_entry = registry.get("retail").expect("final entry");
+    assert_eq!(final_entry.version, 7);
+    assert_entry_consistent(&final_entry, &truth);
+    assert_eq!(registry.len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn racing_publishes_of_the_same_name_keep_versions_distinct() {
+    let packages = variant_packages();
+    let registry = Arc::new(SummaryRegistry::in_memory(
+        Hydra::builder().compare_aqps(false).build(),
+    ));
+    // All publishers start before any has registered: every one solves
+    // against version 0 and the write-lock reconciliation must still hand
+    // out distinct, increasing versions.
+    let versions: Vec<u32> = std::thread::scope(|scope| {
+        let handles: Vec<_> = packages
+            .iter()
+            .map(|package| {
+                let registry = Arc::clone(&registry);
+                let package = package.clone();
+                scope.spawn(move || registry.publish("race", package).expect("publish").version)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("publisher"))
+            .collect()
+    });
+    let mut sorted = versions.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(
+        sorted.len(),
+        packages.len(),
+        "duplicate versions handed out: {versions:?}"
+    );
+    assert_eq!(
+        registry.get("race").expect("entry").version,
+        *sorted.last().unwrap()
+    );
+}

@@ -1,0 +1,266 @@
+//! End-to-end service tests over real TCP sockets.
+//!
+//! The headline assertion (the PR's acceptance criterion): two concurrent
+//! clients streaming disjoint row ranges of the retail fact table produce,
+//! concatenated in plan order, output **bit-identical** to a local
+//! sequential `DynamicGenerator::stream` — while a third client's scenario
+//! re-solve is served mid-stream without blocking either stream.
+
+use hydra_core::session::Hydra;
+use hydra_engine::row::Row;
+use hydra_service::client::HydraClient;
+use hydra_service::protocol::{ScenarioSpec, StreamRequest};
+use hydra_service::registry::SummaryRegistry;
+use hydra_service::server::serve;
+use hydra_workload::retail_client_fixture;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn retail_package(
+    session: &Hydra,
+    sales: u64,
+    web: u64,
+    queries: usize,
+) -> hydra_core::transfer::TransferPackage {
+    let (db, queries) = retail_client_fixture(sales, web, queries);
+    session.profile(db, &queries).expect("profile")
+}
+
+#[test]
+fn concurrent_disjoint_shards_concatenate_bit_identically() {
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = retail_package(&session, 2_000, 600, 8);
+
+    // Local ground truth: the sequential stream of the fact table.
+    let local = session.regenerate(&package).expect("local solve");
+    let expected: Vec<Row> = local
+        .generator()
+        .stream("store_sales")
+        .expect("local stream")
+        .collect();
+    let total = expected.len() as u64;
+    assert_eq!(total, 2_000);
+
+    // Vendor site: fresh server (its own session) on an ephemeral port.
+    let server_session = Hydra::builder().compare_aqps(false).build();
+    let server =
+        serve(SummaryRegistry::in_memory(server_session), "127.0.0.1:0").expect("bind server");
+    let addr = server.local_addr();
+
+    HydraClient::connect(addr)
+        .expect("connect publisher")
+        .publish("retail", &package)
+        .expect("publish");
+
+    // Two clients pull disjoint shards concurrently (throttled so the
+    // streams stay in flight long enough to overlap the scenario), a third
+    // runs a what-if re-solve and a describe mid-stream.
+    let mid = total / 2;
+    let streams_done = Arc::new(AtomicUsize::new(0));
+    let (first, second, scenario_report, detail) = std::thread::scope(|scope| {
+        let ranges = [(0, mid), (mid, total)];
+        let stream_handles: Vec<_> = ranges
+            .iter()
+            .map(|&(start, end)| {
+                let done = Arc::clone(&streams_done);
+                scope.spawn(move || {
+                    let mut client = HydraClient::connect(addr).expect("connect streamer");
+                    let request = StreamRequest::full("retail", "store_sales")
+                        .range(start, end)
+                        .batch_rows(64)
+                        .rows_per_sec(400.0); // 1000 rows → ~2.5 s in flight
+                    let (rows, stats) = client.stream_collect(request).expect("stream shard");
+                    done.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(stats.rows, end - start);
+                    rows
+                })
+            })
+            .collect();
+
+        let scenario_handle = {
+            let done = Arc::clone(&streams_done);
+            scope.spawn(move || {
+                // Give the streams a head start, then re-solve while they run.
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                let mut client = HydraClient::connect(addr).expect("connect scenario");
+                let spec =
+                    ScenarioSpec::scaled("stress", 1.0).with_row_override("store_sales", 50_000);
+                let report = client.scenario("retail", &spec).expect("scenario");
+                let detail = client.describe("retail").expect("describe");
+                let streams_still_running = done.load(Ordering::SeqCst) < 2;
+                (report, detail, streams_still_running)
+            })
+        };
+
+        let mut rows = stream_handles
+            .into_iter()
+            .map(|h| h.join().expect("stream thread"));
+        let first = rows.next().unwrap();
+        let second = rows.next().unwrap();
+        let (report, detail, still_running) = scenario_handle.join().expect("scenario thread");
+        assert!(
+            still_running,
+            "scenario must be served while the streams are in flight, not after"
+        );
+        (first, second, report, detail)
+    });
+
+    // Bit-identical concatenation in plan order.
+    let concatenated: Vec<Row> = first.into_iter().chain(second).collect();
+    assert_eq!(concatenated, expected);
+
+    // The scenario saw the override and reused untouched relations.
+    assert_eq!(scenario_report.relation_rows["store_sales"], 50_000);
+    assert!(scenario_report.cached_relations > 0);
+
+    // Describe reflects the published package.
+    assert_eq!(detail.info.total_rows, package.metadata.total_rows());
+    let fact = detail
+        .relations
+        .iter()
+        .find(|r| r.table == "store_sales")
+        .expect("fact relation described");
+    assert_eq!(fact.total_rows, 2_000);
+    assert!(fact.constraints > 0);
+
+    // Clean protocol-driven shutdown.
+    HydraClient::connect(addr)
+        .expect("connect closer")
+        .shutdown()
+        .expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn persistent_registry_survives_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "hydra-service-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = retail_package(&session, 600, 200, 5);
+    let expected: Vec<Row> = session
+        .regenerate(&package)
+        .expect("local solve")
+        .generator()
+        .stream("store_sales")
+        .expect("local stream")
+        .collect();
+
+    // First server generation: publish twice (version bump), then stop.
+    {
+        let registry =
+            SummaryRegistry::persistent(Hydra::builder().compare_aqps(false).build(), &dir)
+                .expect("open registry");
+        let server = serve(registry, "127.0.0.1:0").expect("bind");
+        let mut client = HydraClient::connect(server.local_addr()).expect("connect");
+        assert_eq!(
+            client.publish("retail", &package).expect("publish").version,
+            1
+        );
+        assert_eq!(
+            client
+                .publish("retail", &package)
+                .expect("republish")
+                .version,
+            2
+        );
+        assert!(matches!(
+            client.publish("../escape", &package),
+            Err(hydra_service::ServiceError::Remote(_))
+        ));
+        server.shutdown();
+    }
+
+    // A truncated file from a hypothetical crash mid-publish must not brick
+    // the healthy summaries on reload — it is skipped with a diagnostic.
+    std::fs::write(dir.join("corrupt.json"), "{\"name\": \"corr").expect("plant corrupt file");
+
+    // Second generation: the package is re-loaded from disk and re-solved —
+    // no client ever publishes — and streams the same bits.
+    let registry = SummaryRegistry::persistent(Hydra::builder().compare_aqps(false).build(), &dir)
+        .expect("reopen registry despite the corrupt file");
+    assert_eq!(registry.len(), 1);
+    let server = serve(registry, "127.0.0.1:0").expect("rebind");
+    let mut client = HydraClient::connect(server.local_addr()).expect("reconnect");
+
+    let listed = client.list().expect("list");
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].name, "retail");
+    assert_eq!(listed[0].version, 2);
+
+    let (rows, _) = client
+        .stream_collect(StreamRequest::full("retail", "store_sales"))
+        .expect("stream");
+    assert_eq!(
+        rows, expected,
+        "reloaded summary must regenerate the same bits"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn error_paths_keep_the_connection_usable() {
+    let server = serve(
+        SummaryRegistry::in_memory(Hydra::builder().compare_aqps(false).build()),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let mut client = HydraClient::connect(server.local_addr()).expect("connect");
+
+    // Unknown summary / unknown relation / bad name — each answered with an
+    // error frame, none of them fatal to the connection.
+    assert!(matches!(
+        client.describe("nope"),
+        Err(hydra_service::ServiceError::Remote(_))
+    ));
+    assert!(matches!(
+        client.stream_collect(StreamRequest::full("nope", "store_sales")),
+        Err(hydra_service::ServiceError::Remote(_))
+    ));
+    assert!(matches!(
+        client.scenario("nope", &ScenarioSpec::scaled("x", 1.0)),
+        Err(hydra_service::ServiceError::Remote(_))
+    ));
+    assert!(client.list().expect("list still works").is_empty());
+
+    // A stream range beyond the relation clamps instead of failing.
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = retail_package(&session, 300, 100, 4);
+    client.publish("tiny", &package).expect("publish");
+    let (rows, _) = client
+        .stream_collect(StreamRequest::full("tiny", "store_sales").range(250, 9_999))
+        .expect("clamped stream");
+    assert_eq!(rows.len(), 50);
+    assert!(matches!(
+        client.stream_collect(StreamRequest::full("tiny", "no_such_table")),
+        Err(hydra_service::ServiceError::Remote(_))
+    ));
+
+    // Hostile pacing values are rejected before they can turn the
+    // connection thread into a permanent sleeper.  (Non-finite rates never
+    // even arrive: the JSON layer encodes NaN/∞ as null, i.e. unthrottled.)
+    for rate in [0.0, -5.0, 1e-9] {
+        assert!(
+            matches!(
+                client
+                    .stream_collect(StreamRequest::full("tiny", "store_sales").rows_per_sec(rate)),
+                Err(hydra_service::ServiceError::Remote(_))
+            ),
+            "rate {rate} must be rejected"
+        );
+    }
+    let (rows, _) = client
+        .stream_collect(StreamRequest::full("tiny", "store_sales"))
+        .expect("connection still healthy after rejected rates");
+    assert_eq!(rows.len(), 300);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}

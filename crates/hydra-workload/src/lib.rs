@@ -37,3 +37,40 @@ pub use harvest::harvest_workload;
 pub use queries::{retail_workload_131, WorkloadGenConfig, WorkloadGenerator};
 pub use retail::{retail_row_targets, retail_schema};
 pub use supplier::{supplier_row_targets, supplier_schema};
+
+/// A ready-made small retail client environment: the star-schema warehouse
+/// with explicit fact-table sizes plus a deterministic SPJ workload over it.
+///
+/// This is the fixture behind most of the workspace's tests, examples and
+/// the `hydra-serve` demo dataset — one call instead of five lines of
+/// schema/target/generator boilerplate:
+///
+/// ```
+/// use hydra_workload::retail_client_fixture;
+/// let (db, queries) = retail_client_fixture(1_000, 300, 5);
+/// assert_eq!(queries.len(), 5);
+/// assert_eq!(db.table("store_sales").unwrap().row_count(), 1_000);
+/// ```
+pub fn retail_client_fixture(
+    store_sales_rows: u64,
+    web_sales_rows: u64,
+    num_queries: usize,
+) -> (
+    hydra_engine::database::Database,
+    Vec<hydra_query::query::SpjQuery>,
+) {
+    let schema = retail_schema();
+    let mut targets = retail_row_targets(0.005);
+    targets.insert("store_sales".to_string(), store_sales_rows);
+    targets.insert("web_sales".to_string(), web_sales_rows);
+    let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+    let queries = WorkloadGenerator::new(
+        schema,
+        WorkloadGenConfig {
+            num_queries,
+            ..Default::default()
+        },
+    )
+    .generate();
+    (db, queries)
+}

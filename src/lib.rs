@@ -18,6 +18,7 @@
 //! | [`datagen`] | `hydra-datagen` | dynamic tuple generation, velocity regulation, dataless databases |
 //! | [`workload`] | `hydra-workload` | synthetic client schemas, data generators, SPJ workloads |
 //! | [`core`] | `hydra-core` | client site, transfer package, vendor site, scenarios, reports |
+//! | [`service`] | `hydra-service` | TCP regeneration server, persistent summary registry, typed client |
 //!
 //! ## Quickstart
 //!
@@ -63,8 +64,10 @@ pub use hydra_engine as engine;
 pub use hydra_lp as lp;
 pub use hydra_partition as partition;
 pub use hydra_query as query;
+pub use hydra_service as service;
 pub use hydra_summary as summary;
 pub use hydra_workload as workload;
 
 pub use hydra_core::session::{Hydra, HydraBuilder};
 pub use hydra_core::{RegenerationResult, TransferPackage};
+pub use hydra_service::{HydraClient, SummaryRegistry};
