@@ -55,5 +55,19 @@ impl From<SummaryError> for HydraError {
     }
 }
 
+impl From<hydra_datagen::exec::ExecError> for HydraError {
+    fn from(e: hydra_datagen::exec::ExecError) -> Self {
+        use hydra_datagen::exec::ExecError;
+        match e {
+            ExecError::Query(e) => HydraError::Query(e),
+            ExecError::Engine(e) => HydraError::Engine(e),
+            ExecError::Summary(e) => HydraError::Summary(e),
+            ExecError::OutOfClass(reason) => {
+                HydraError::Invalid(format!("out of the summary-direct class: {reason}"))
+            }
+        }
+    }
+}
+
 /// Convenience result alias.
 pub type HydraResult<T> = Result<T, HydraError>;

@@ -12,6 +12,9 @@
 //! * [`Hydra::scenario`] — what-if construction over a package; repeated
 //!   scenario sweeps reuse the session cache, so only relations whose
 //!   constraint signature changed are re-solved;
+//! * [`Hydra::query`] — analytical aggregates answered *summary-direct*
+//!   (from block cardinalities alone, no tuples materialized), falling back
+//!   to a sharded regenerate-and-scan plan for out-of-class queries;
 //! * [`Hydra::stream_table`] — dynamic generation of one regenerated relation
 //!   into any [`TupleSink`], with optional velocity regulation;
 //! * [`Hydra::stream_table_sharded`] / [`Hydra::materialize_sharded`] —
@@ -42,11 +45,13 @@ use crate::error::HydraResult;
 use crate::scenario::{construct_scenario_with_cache, Scenario, ScenarioResult};
 use crate::transfer::TransferPackage;
 use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
+use hydra_datagen::exec::{ExecMode, QueryEngine};
 use hydra_datagen::generator::GenerationStats;
 use hydra_datagen::shard::ShardedRun;
 use hydra_datagen::sink::TupleSink;
 use hydra_engine::database::Database;
 use hydra_engine::table::MemTable;
+use hydra_query::exec::QueryAnswer;
 use hydra_query::query::SpjQuery;
 use hydra_summary::align::AlignmentStrategy;
 use hydra_summary::backend::LpBackend;
@@ -259,6 +264,57 @@ impl Hydra {
         construct_scenario_with_cache(scenario, package, self.config.clone(), cache)
     }
 
+    /// Answers an analytical SQL aggregate (COUNT / SUM / AVG, conjunctive
+    /// predicates, key–FK joins, GROUP BY) over a regenerated database.
+    ///
+    /// In-class queries are answered **summary-direct** — from the solved
+    /// summary's block cardinalities alone, without materializing a single
+    /// tuple — so latency is independent of the logical row count.
+    /// Out-of-class queries transparently fall back to a sharded
+    /// regenerate-and-scan plan; [`QueryAnswer::strategy`] reports which
+    /// path answered.
+    ///
+    /// ```
+    /// use hydra_core::session::Hydra;
+    /// use hydra_query::exec::ExecStrategy;
+    /// use hydra_workload::retail_client_fixture;
+    ///
+    /// let (db, queries) = retail_client_fixture(1_000, 300, 5);
+    /// let session = Hydra::builder().compare_aqps(false).build();
+    /// let package = session.profile(db, &queries).unwrap();
+    /// let result = session.regenerate(&package).unwrap();
+    ///
+    /// let answer = session
+    ///     .query(&result, "select count(*) from store_sales")
+    ///     .unwrap();
+    /// assert_eq!(answer.strategy(), ExecStrategy::SummaryDirect);
+    /// assert_eq!(answer.single().unwrap().aggregates[0].as_i64(), Some(1_000));
+    /// ```
+    pub fn query(&self, regeneration: &RegenerationResult, sql: &str) -> HydraResult<QueryAnswer> {
+        self.query_mode(regeneration, sql, ExecMode::Auto)
+    }
+
+    /// [`Hydra::query`] with an explicit execution mode:
+    /// [`ExecMode::SummaryOnly`] errors on out-of-class queries instead of
+    /// scanning, [`ExecMode::ScanOnly`] forces the regenerate-and-scan plan
+    /// (differential testing, benchmarking).
+    pub fn query_mode(
+        &self,
+        regeneration: &RegenerationResult,
+        sql: &str,
+        mode: ExecMode,
+    ) -> HydraResult<QueryAnswer> {
+        // Borrow the solved summary in place — answering a query must not
+        // clone it (summary-direct latency is O(blocks), and should stay so).
+        // Scan fallbacks respect the session's parallelism knob, like every
+        // other multi-threaded path of the session.
+        Ok(
+            QueryEngine::over(&regeneration.schema, &regeneration.summary)
+                .with_scan_shards(self.config.builder.parallelism)
+                .query_mode(sql, mode)?,
+        )
+    }
+
     /// Streams one regenerated relation into a [`TupleSink`], optionally
     /// velocity-regulated (`rows_per_sec`) and truncated (`limit`).
     ///
@@ -466,6 +522,52 @@ mod tests {
             package.metadata.row_count("store_sales")
         );
         assert!(result.accuracy.fraction_within(0.10) > 0.8);
+    }
+
+    #[test]
+    fn session_query_answers_summary_direct_with_scan_parity() {
+        use hydra_query::exec::ExecStrategy;
+
+        let (db, queries) = client_fixture();
+        let session = Hydra::builder().compare_aqps(false).build();
+        let package = session.profile(db, &queries).unwrap();
+        let result = session.regenerate(&package).unwrap();
+
+        // COUNT(*) over the fact table answers from the summary and agrees
+        // with the published row target.
+        let answer = session
+            .query(&result, "select count(*) from store_sales")
+            .unwrap();
+        assert_eq!(answer.strategy(), ExecStrategy::SummaryDirect);
+        assert_eq!(answer.scanned_tuples, 0);
+        assert_eq!(answer.single().unwrap().aggregates[0].as_i64(), Some(2_000));
+
+        // A joined, grouped aggregate: the summary-direct answer equals the
+        // forced tuple scan bit-for-bit.
+        let sql = "select count(*), avg(item.i_current_price) from store_sales, item \
+                   where store_sales.ss_item_fk = item.i_item_sk \
+                   group by item.i_category";
+        let direct = session.query(&result, sql).unwrap();
+        let scanned = session
+            .query_mode(&result, sql, ExecMode::ScanOnly)
+            .unwrap();
+        assert_eq!(direct.strategy(), ExecStrategy::SummaryDirect);
+        assert_eq!(scanned.strategy(), ExecStrategy::TupleScan);
+        assert_eq!(direct.rows, scanned.rows);
+        assert!(!direct.rows.is_empty());
+
+        // SummaryOnly surfaces out-of-class queries as errors.
+        let err = session
+            .query_mode(
+                &result,
+                "select count(*) from store_sales group by store_sales.ss_sk",
+                ExecMode::SummaryOnly,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("out of the summary-direct class"));
+
+        // Parse errors surface as query errors.
+        assert!(session.query(&result, "select oops").is_err());
     }
 
     #[test]

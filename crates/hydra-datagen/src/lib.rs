@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod dataless;
+pub mod exec;
 pub mod generator;
 pub mod governor;
 pub mod shard;
@@ -64,6 +65,7 @@ pub mod sink;
 pub mod stream;
 
 pub use dataless::DatalessDatabase;
+pub use exec::{ExecError, ExecMode, ExecResult, QueryEngine};
 pub use generator::{DynamicGenerator, GenerationStats};
 pub use governor::VelocityGovernor;
 pub use shard::{ShardOutcome, ShardPlanner, ShardedRun};

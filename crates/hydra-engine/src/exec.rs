@@ -199,6 +199,16 @@ impl<'a> Executor<'a> {
                 }
                 (out_cols, out_rows)
             }
+            PlanOp::Aggregate { .. } => {
+                // This executor materializes SPJ outputs for AQP harvesting;
+                // aggregate roots are answered by the summary-direct /
+                // tuple-scan engine in hydra-datagen instead.
+                return Err(EngineError::BadPlan(
+                    "aggregate operators are not executed by the SPJ executor; \
+                     use the query engine (hydra-datagen::exec)"
+                        .into(),
+                ));
+            }
         };
         cards[my_index] = rows.len() as u64;
         Ok((columns, rows))

@@ -241,6 +241,15 @@ impl AnnotatedQueryPlan {
                     fk_conditions,
                 }
             }
+            PlanOp::Aggregate { .. } => {
+                // AQPs annotate the SPJ body only; an aggregate root has no
+                // per-edge cardinality semantics for the LP formulation.
+                return Err(QueryError::MalformedAqp(
+                    "aggregate operators do not appear in annotated query plans; \
+                     annotate the SPJ body instead"
+                        .into(),
+                ));
+            }
         };
         out.push(VolumetricConstraint {
             table: profile.table.clone(),

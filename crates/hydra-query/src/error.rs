@@ -2,11 +2,39 @@
 
 use std::fmt;
 
+/// A byte range into the SQL text a parse error points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the offending region.
+    pub start: usize,
+    /// One past the last byte of the offending region.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// Errors raised by the query layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
-    /// The SQL text could not be parsed.
-    Parse(String),
+    /// The SQL text could not be parsed; when available, `span` is the byte
+    /// range of the offending token(s).
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Where in the input it went wrong, if known.
+        span: Option<Span>,
+    },
     /// A table or column referenced by the query is not in the schema.
     UnknownReference(String),
     /// The query shape is not supported (e.g. non-FK join).
@@ -15,10 +43,43 @@ pub enum QueryError {
     MalformedAqp(String),
 }
 
+impl QueryError {
+    /// A parse error without location information.
+    pub fn parse(message: impl Into<String>) -> Self {
+        QueryError::Parse {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// A parse error pointing at a byte range of the input.
+    pub fn parse_at(message: impl Into<String>, span: Span) -> Self {
+        QueryError::Parse {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// The span of a parse error, if one was recorded.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            QueryError::Parse { span, .. } => *span,
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+            QueryError::Parse {
+                message,
+                span: Some(span),
+            } => write!(f, "parse error at {span}: {message}"),
+            QueryError::Parse {
+                message,
+                span: None,
+            } => write!(f, "parse error: {message}"),
             QueryError::UnknownReference(msg) => write!(f, "unknown reference: {msg}"),
             QueryError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             QueryError::MalformedAqp(msg) => write!(f, "malformed AQP: {msg}"),

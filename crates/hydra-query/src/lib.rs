@@ -26,9 +26,30 @@
 //! assert_eq!(q.joins.len(), 2);
 //! assert_eq!(q.predicate("S").unwrap().conjuncts().len(), 2);
 //! ```
+//!
+//! ## Aggregate queries
+//!
+//! The closed workload class also contains COUNT / SUM / AVG aggregates with
+//! GROUP BY ([`exec::AggregateQuery`]); those are what the summary-direct
+//! executor answers from region cardinalities alone:
+//!
+//! ```
+//! use hydra_query::parser::parse_aggregate_query;
+//!
+//! let q = parse_aggregate_query(
+//!     "select count(*), avg(item.i_current_price) from store_sales, item \
+//!      where store_sales.ss_item_fk = item.i_item_sk \
+//!      group by item.i_category",
+//! ).unwrap();
+//! assert_eq!(q.aggregates.len(), 2);
+//! assert_eq!(q.group_by[0].to_string(), "item.i_category");
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod aqp;
 pub mod error;
+pub mod exec;
 pub mod parser;
 pub mod plan;
 pub mod predicate;
@@ -36,7 +57,10 @@ pub mod query;
 pub mod workload;
 
 pub use aqp::{AnnotatedQueryPlan, AqpNode, FkCondition, VolumetricConstraint};
-pub use error::{QueryError, QueryResult};
+pub use error::{QueryError, QueryResult, Span};
+pub use exec::{
+    AggExpr, AggFunc, AggregateQuery, Aggregator, AnswerRow, ColumnRef, ExecStrategy, QueryAnswer,
+};
 pub use plan::{LogicalPlan, PlanOp};
 pub use predicate::{ColumnPredicate, CompareOp, TablePredicate};
 pub use query::{JoinEdge, SpjQuery};

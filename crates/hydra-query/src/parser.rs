@@ -3,21 +3,36 @@
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
-//! query   := SELECT '*' FROM table (',' table)* [WHERE cond (AND cond)*]
-//! cond    := qualified op literal          -- filter predicate
-//!          | qualified '=' qualified       -- join condition
+//! query   := SELECT select FROM table (',' table)*
+//!            [WHERE cond (AND cond)*]
+//!            [GROUP BY qualified (',' qualified)*]
+//! select  := '*' | item (',' item)*
+//! item    := COUNT '(' '*' ')'             -- aggregate select list
+//!          | SUM '(' qualified ')'
+//!          | AVG '(' qualified ')'
+//!          | qualified                      -- must appear in GROUP BY
+//! cond    := qualified op literal           -- filter predicate
+//!          | qualified '=' qualified        -- join condition
 //! qualified := ident '.' ident
 //! op      := '=' | '<' | '<=' | '>' | '>='
 //! literal := integer | float | quoted string
 //! ```
 //!
-//! This is exactly the class of queries the paper's example (Figure 1b) and
-//! the canonical SPJ workloads on TPC-DS use.  Join conditions are recognized
-//! as `fact.fk = dim.pk`; which side is the foreign key is resolved later
-//! against the schema by [`SpjQuery::validate`] / the planner, so the parser
-//! simply records both orientations and lets the caller normalize.
+//! `select *` queries are the paper's Figure-1b SPJ class and parse into
+//! [`SpjQuery`]; aggregate select lists parse into
+//! [`AggregateQuery`] and are what the summary-direct
+//! executor answers from block cardinalities alone.  Every parse error
+//! carries a [`Span`] pointing at the offending bytes of the input — a select
+//! list the dialect cannot represent is *rejected with a located error*,
+//! never panicked on and never silently reinterpreted.
+//!
+//! Join conditions are recognized as `fact.fk = dim.pk`; which side is the
+//! foreign key is resolved later against the schema by
+//! [`normalize_joins`] / [`SpjQuery::validate`], so the parser simply records
+//! both orientations and lets the caller normalize.
 
-use crate::error::{QueryError, QueryResult};
+use crate::error::{QueryError, QueryResult, Span};
+use crate::exec::{AggExpr, AggFunc, AggregateQuery, ColumnRef};
 use crate::predicate::{ColumnPredicate, CompareOp};
 use crate::query::{JoinEdge, SpjQuery};
 use hydra_catalog::schema::Schema;
@@ -32,98 +47,190 @@ enum Token {
     Comma,
     Star,
     Dot,
+    LParen,
+    RParen,
 }
 
-fn tokenize(input: &str) -> QueryResult<Vec<Token>> {
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Number(n) => format!("number `{n}`"),
+            Token::Str(s) => format!("string '{s}'"),
+            Token::Symbol(s) => format!("`{s}`"),
+            Token::Comma => "`,`".to_string(),
+            Token::Star => "`*`".to_string(),
+            Token::Dot => "`.`".to_string(),
+            Token::LParen => "`(`".to_string(),
+            Token::RParen => "`)`".to_string(),
+        }
+    }
+}
+
+/// A token plus the byte range of the input it was lexed from.
+#[derive(Debug, Clone)]
+struct Tok {
+    token: Token,
+    span: Span,
+}
+
+fn tokenize(input: &str) -> QueryResult<Vec<Tok>> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = input.chars().collect();
     let mut i = 0;
+    let mut byte = 0usize;
+    let mut push = |token: Token, start: usize, end: usize| {
+        tokens.push(Tok {
+            token,
+            span: Span::new(start, end),
+        })
+    };
     while i < chars.len() {
         let c = chars[i];
+        let start = byte;
         match c {
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => {
+                byte += c.len_utf8();
+                i += 1;
+            }
             ',' => {
-                tokens.push(Token::Comma);
+                push(Token::Comma, start, start + 1);
+                byte += 1;
                 i += 1;
             }
             '*' => {
-                tokens.push(Token::Star);
+                push(Token::Star, start, start + 1);
+                byte += 1;
                 i += 1;
             }
             '.' => {
-                tokens.push(Token::Dot);
+                push(Token::Dot, start, start + 1);
+                byte += 1;
+                i += 1;
+            }
+            '(' => {
+                push(Token::LParen, start, start + 1);
+                byte += 1;
+                i += 1;
+            }
+            ')' => {
+                push(Token::RParen, start, start + 1);
+                byte += 1;
                 i += 1;
             }
             '\'' => {
                 let mut s = String::new();
+                byte += 1;
                 i += 1;
                 while i < chars.len() && chars[i] != '\'' {
                     s.push(chars[i]);
+                    byte += chars[i].len_utf8();
                     i += 1;
                 }
                 if i >= chars.len() {
-                    return Err(QueryError::Parse("unterminated string literal".into()));
+                    return Err(QueryError::parse_at(
+                        "unterminated string literal",
+                        Span::new(start, byte),
+                    ));
                 }
-                i += 1; // closing quote
-                tokens.push(Token::Str(s));
+                byte += 1; // closing quote
+                i += 1;
+                push(Token::Str(s), start, byte);
             }
             '<' | '>' | '=' => {
                 let mut s = String::from(c);
-                if (c == '<' || c == '>') && i + 1 < chars.len() && chars[i + 1] == '=' {
+                byte += 1;
+                i += 1;
+                if (c == '<' || c == '>') && i < chars.len() && chars[i] == '=' {
                     s.push('=');
+                    byte += 1;
                     i += 1;
                 }
-                tokens.push(Token::Symbol(s));
-                i += 1;
+                push(Token::Symbol(s), start, byte);
             }
             c if c.is_ascii_digit() || c == '-' => {
                 let mut s = String::from(c);
+                byte += 1;
                 i += 1;
                 while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
                     s.push(chars[i]);
+                    byte += 1;
                     i += 1;
                 }
-                tokens.push(Token::Number(s));
+                push(Token::Number(s), start, byte);
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::from(c);
+                byte += c.len_utf8();
                 i += 1;
                 while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     s.push(chars[i]);
+                    byte += chars[i].len_utf8();
                     i += 1;
                 }
-                tokens.push(Token::Ident(s));
+                push(Token::Ident(s), start, byte);
             }
-            other => return Err(QueryError::Parse(format!("unexpected character `{other}`"))),
+            other => {
+                return Err(QueryError::parse_at(
+                    format!("unexpected character `{other}`"),
+                    Span::new(start, start + other.len_utf8()),
+                ))
+            }
         }
     }
     Ok(tokens)
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<Tok>,
     pos: usize,
+    input_len: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    /// Span of the current token, or an empty span at end of input.
+    fn here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or(Span::new(self.input_len, self.input_len))
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.tokens
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or(Span::new(self.input_len, self.input_len))
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
+    fn err_here(&self, expected: &str) -> QueryError {
+        let found = self
+            .peek()
+            .map(Token::describe)
+            .unwrap_or_else(|| "end of input".to_string());
+        QueryError::parse_at(format!("expected {expected}, found {found}"), self.here())
+    }
+
     fn expect_keyword(&mut self, kw: &str) -> QueryResult<()> {
-        match self.next() {
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(QueryError::Parse(format!(
-                "expected `{kw}`, found {other:?}"
-            ))),
+        match self.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err_here(&format!("`{kw}`"))),
         }
     }
 
@@ -132,28 +239,54 @@ impl Parser {
     }
 
     fn expect_ident(&mut self) -> QueryResult<String> {
-        match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            other => Err(QueryError::Parse(format!(
-                "expected identifier, found {other:?}"
-            ))),
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err_here("an identifier")),
         }
     }
 
-    fn expect_dot(&mut self) -> QueryResult<()> {
-        match self.next() {
-            Some(Token::Dot) => Ok(()),
-            other => Err(QueryError::Parse(format!("expected `.`, found {other:?}"))),
+    fn expect(&mut self, token: Token) -> QueryResult<()> {
+        if self.peek() == Some(&token) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err_here(&token.describe()))
         }
     }
 
     /// Parses `table.column`.
-    fn qualified(&mut self) -> QueryResult<(String, String)> {
+    fn qualified(&mut self) -> QueryResult<(String, String, Span)> {
+        let start = self.here();
         let table = self.expect_ident()?;
-        self.expect_dot()?;
+        if self.peek() != Some(&Token::Dot) {
+            return Err(QueryError::parse_at(
+                format!(
+                    "column references must be qualified as `table.column` (got bare `{table}`)"
+                ),
+                Span::new(start.start, self.prev_span().end),
+            ));
+        }
+        self.pos += 1;
         let column = self.expect_ident()?;
-        Ok((table, column))
+        Ok((table, column, Span::new(start.start, self.prev_span().end)))
     }
+}
+
+/// One parsed select-list item with its source span.
+enum SelectItem {
+    Aggregate(AggExpr),
+    /// A plain qualified column — legal only when it appears in GROUP BY.
+    Column(ColumnRef, Span),
+}
+
+/// The parsed select list.
+enum SelectList {
+    Star,
+    Items(Vec<SelectItem>),
 }
 
 /// Either a filter predicate or a join condition, as parsed.
@@ -168,25 +301,101 @@ enum Condition {
     },
 }
 
-/// Parses an SPJ SQL query into an [`SpjQuery`].
-///
-/// The query name defaults to `"query"`; use [`parse_named_query`] to attach a
-/// workload-specific name.
-pub fn parse_query(sql: &str) -> QueryResult<SpjQuery> {
-    parse_named_query("query", sql)
+/// Everything one `SELECT` statement parses into, before it is narrowed to
+/// an [`SpjQuery`] or an [`AggregateQuery`].
+struct ParsedQuery {
+    spj: SpjQuery,
+    select: SelectList,
+    group_by: Vec<ColumnRef>,
 }
 
-/// Parses an SPJ SQL query, attaching the given name.
-pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
-    p.expect_keyword("select")?;
-    match p.next() {
-        Some(Token::Star) => {}
-        other => return Err(QueryError::Parse(format!("expected `*`, found {other:?}"))),
+fn parse_select_item(p: &mut Parser) -> QueryResult<SelectItem> {
+    let start = p.here();
+    let ident = p.expect_ident()?;
+    // An aggregate function call?
+    if p.peek() == Some(&Token::LParen) {
+        let func = match ident.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            other => {
+                return Err(QueryError::parse_at(
+                    format!("unknown aggregate function `{other}` (supported: count, sum, avg)"),
+                    start,
+                ))
+            }
+        };
+        p.pos += 1; // consume '('
+        let expr = match func {
+            AggFunc::Count => {
+                if p.peek() == Some(&Token::Star) {
+                    p.pos += 1;
+                } else {
+                    return Err(QueryError::parse_at(
+                        "count takes `*` (per-column COUNT is not representable)",
+                        p.here(),
+                    ));
+                }
+                AggExpr::count()
+            }
+            AggFunc::Sum | AggFunc::Avg => {
+                let (table, column, _) = p.qualified()?;
+                AggExpr {
+                    func,
+                    target: Some(ColumnRef::new(table, column)),
+                }
+            }
+        };
+        p.expect(Token::RParen)?;
+        return Ok(SelectItem::Aggregate(expr));
     }
-    p.expect_keyword("from")?;
+    // A plain qualified column.
+    if p.peek() != Some(&Token::Dot) {
+        return Err(QueryError::parse_at(
+            format!(
+                "select list items must be `*`, count(*), sum(table.column), \
+                 avg(table.column) or a GROUP BY column (got bare `{ident}`)"
+            ),
+            Span::new(start.start, p.prev_span().end),
+        ));
+    }
+    p.pos += 1;
+    let column = p.expect_ident()?;
+    let span = Span::new(start.start, p.prev_span().end);
+    Ok(SelectItem::Column(ColumnRef::new(ident, column), span))
+}
 
+/// Parses a full `SELECT` statement into its SPJ body, select list and
+/// GROUP BY clause.
+fn parse_statement(name: &str, sql: &str) -> QueryResult<ParsedQuery> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: sql.len(),
+    };
+    p.expect_keyword("select")?;
+
+    // Select list.
+    let select = if p.peek() == Some(&Token::Star) {
+        p.pos += 1;
+        SelectList::Star
+    } else {
+        let mut items = vec![parse_select_item(&mut p)?];
+        while p.peek() == Some(&Token::Comma) {
+            p.pos += 1;
+            if p.peek() == Some(&Token::Star) {
+                return Err(QueryError::parse_at(
+                    "`*` cannot be mixed with an aggregate select list",
+                    p.here(),
+                ));
+            }
+            items.push(parse_select_item(&mut p)?);
+        }
+        SelectList::Items(items)
+    };
+
+    p.expect_keyword("from")?;
     let mut query = SpjQuery::new(name);
     // Table list.
     loop {
@@ -206,40 +415,44 @@ pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
         p.next();
         loop {
             let left = p.qualified()?;
-            let op = match p.next() {
-                Some(Token::Symbol(s)) => s,
-                other => {
-                    return Err(QueryError::Parse(format!(
-                        "expected operator, found {other:?}"
-                    )))
+            let op = match p.peek() {
+                Some(Token::Symbol(s)) => {
+                    let s = s.clone();
+                    p.pos += 1;
+                    s
                 }
+                _ => return Err(p.err_here("a comparison operator")),
             };
             match p.peek() {
                 Some(Token::Ident(_)) if op == "=" => {
                     let right = p.qualified()?;
-                    conditions.push(Condition::Join { left, right });
+                    conditions.push(Condition::Join {
+                        left: (left.0, left.1),
+                        right: (right.0, right.1),
+                    });
                 }
                 _ => {
-                    let value =
-                        match p.next() {
-                            Some(Token::Number(n)) => {
-                                if n.contains('.') {
-                                    Value::Double(n.parse().map_err(|_| {
-                                        QueryError::Parse(format!("bad number `{n}`"))
-                                    })?)
-                                } else {
-                                    Value::Integer(n.parse().map_err(|_| {
-                                        QueryError::Parse(format!("bad number `{n}`"))
-                                    })?)
-                                }
+                    let literal_span = p.here();
+                    let value = match p.next() {
+                        Some(Token::Number(n)) => {
+                            if n.contains('.') {
+                                Value::Double(n.parse().map_err(|_| {
+                                    QueryError::parse_at(format!("bad number `{n}`"), literal_span)
+                                })?)
+                            } else {
+                                Value::Integer(n.parse().map_err(|_| {
+                                    QueryError::parse_at(format!("bad number `{n}`"), literal_span)
+                                })?)
                             }
-                            Some(Token::Str(s)) => Value::Varchar(s),
-                            other => {
-                                return Err(QueryError::Parse(format!(
-                                    "expected literal, found {other:?}"
-                                )))
-                            }
-                        };
+                        }
+                        Some(Token::Str(s)) => Value::Varchar(s),
+                        _ => {
+                            return Err(QueryError::parse_at(
+                                "expected a literal (number or 'string')",
+                                literal_span,
+                            ))
+                        }
+                    };
                     let cmp = match op.as_str() {
                         "=" => CompareOp::Eq,
                         "<" => CompareOp::Lt,
@@ -247,7 +460,10 @@ pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
                         ">" => CompareOp::Gt,
                         ">=" => CompareOp::Ge,
                         other => {
-                            return Err(QueryError::Parse(format!("unknown operator `{other}`")))
+                            return Err(QueryError::parse_at(
+                                format!("unknown operator `{other}`"),
+                                literal_span,
+                            ))
                         }
                     };
                     conditions.push(Condition::Filter {
@@ -263,11 +479,31 @@ pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
             }
         }
     }
+
+    // Optional GROUP BY clause.
+    let mut group_by: Vec<ColumnRef> = Vec::new();
+    if p.peek_keyword("group") {
+        p.next();
+        p.expect_keyword("by")?;
+        loop {
+            let (table, column, _) = p.qualified()?;
+            group_by.push(ColumnRef::new(table, column));
+            if p.peek() == Some(&Token::Comma) {
+                p.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
     if p.peek().is_some() {
-        return Err(QueryError::Parse(format!(
-            "trailing tokens at position {}",
-            p.pos
-        )));
+        return Err(QueryError::parse_at(
+            format!(
+                "trailing {} after the end of the query",
+                p.peek().map(Token::describe).unwrap_or_default()
+            ),
+            p.here(),
+        ));
     }
 
     // Assemble predicates and joins.
@@ -286,7 +522,92 @@ pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
             }
         }
     }
-    Ok(query)
+    Ok(ParsedQuery {
+        spj: query,
+        select,
+        group_by,
+    })
+}
+
+/// Parses an SPJ (`select *`) SQL query into an [`SpjQuery`].
+///
+/// The query name defaults to `"query"`; use [`parse_named_query`] to attach
+/// a workload-specific name.  Aggregate select lists are rejected — parse
+/// those with [`parse_aggregate_query`].
+pub fn parse_query(sql: &str) -> QueryResult<SpjQuery> {
+    parse_named_query("query", sql)
+}
+
+/// Parses an SPJ (`select *`) SQL query, attaching the given name.
+pub fn parse_named_query(name: &str, sql: &str) -> QueryResult<SpjQuery> {
+    let parsed = parse_statement(name, sql)?;
+    match parsed.select {
+        SelectList::Star if parsed.group_by.is_empty() => Ok(parsed.spj),
+        SelectList::Star => Err(QueryError::Unsupported(
+            "GROUP BY requires an aggregate select list (parse with parse_aggregate_query)".into(),
+        )),
+        SelectList::Items(_) => Err(QueryError::Unsupported(
+            "aggregate select list; parse with parse_aggregate_query".into(),
+        )),
+    }
+}
+
+/// Parses an aggregate SQL query (`select count(*), sum(t.x) ... group by`)
+/// into an [`AggregateQuery`].
+pub fn parse_aggregate_query(sql: &str) -> QueryResult<AggregateQuery> {
+    parse_named_aggregate_query("query", sql)
+}
+
+/// Parses an aggregate SQL query, attaching the given name.
+///
+/// Select lists the dialect cannot represent — bare `*`, unknown functions,
+/// unqualified columns, plain columns missing from GROUP BY — are rejected
+/// with an error spanning the offending bytes.
+pub fn parse_named_aggregate_query(name: &str, sql: &str) -> QueryResult<AggregateQuery> {
+    let parsed = parse_statement(name, sql)?;
+    let items = match parsed.select {
+        SelectList::Star => {
+            return Err(QueryError::Unsupported(
+                "`select *` produces tuples, not aggregates; parse with parse_query or \
+                 stream the relation instead"
+                    .into(),
+            ))
+        }
+        SelectList::Items(items) => items,
+    };
+    let mut aggregates = Vec::new();
+    for item in &items {
+        match item {
+            SelectItem::Aggregate(expr) => aggregates.push(expr.clone()),
+            SelectItem::Column(col, span) => {
+                if !parsed.group_by.contains(col) {
+                    return Err(QueryError::parse_at(
+                        format!("select column `{col}` must appear in GROUP BY"),
+                        *span,
+                    ));
+                }
+            }
+        }
+    }
+    if aggregates.is_empty() {
+        return Err(QueryError::parse(
+            "select list has no aggregate function (count/sum/avg)",
+        ));
+    }
+    Ok(AggregateQuery::new(parsed.spj, aggregates, parsed.group_by))
+}
+
+/// Parses an aggregate query, normalizes its join orientations and validates
+/// it against a schema in one call.
+pub fn parse_aggregate_query_for_schema(
+    name: &str,
+    sql: &str,
+    schema: &Schema,
+) -> QueryResult<AggregateQuery> {
+    let mut q = parse_named_aggregate_query(name, sql)?;
+    normalize_joins(&mut q.spj, schema)?;
+    q.validate(schema)?;
+    Ok(q)
 }
 
 /// Re-orients every join edge of a parsed query so that the foreign-key side
@@ -451,5 +772,139 @@ mod tests {
         let q = parse_query("SELECT * FROM R, S WHERE R.S_fk = S.S_pk AND S.A < 10").unwrap();
         assert_eq!(q.tables.len(), 2);
         assert_eq!(q.joins.len(), 1);
+    }
+
+    // ---- aggregate grammar -------------------------------------------------
+
+    #[test]
+    fn parse_aggregates_with_group_by() {
+        let q = parse_aggregate_query(
+            "select count(*), sum(R.S_fk), avg(S.A) from R, S \
+             where R.S_fk = S.S_pk and S.A >= 20 group by S.A, T.C",
+        )
+        .unwrap();
+        assert_eq!(q.aggregates.len(), 3);
+        assert_eq!(q.aggregates[0], AggExpr::count());
+        assert_eq!(q.aggregates[1], AggExpr::sum("R", "S_fk"));
+        assert_eq!(q.aggregates[2], AggExpr::avg("S", "A"));
+        assert_eq!(
+            q.group_by,
+            vec![ColumnRef::new("S", "A"), ColumnRef::new("T", "C")]
+        );
+        assert_eq!(q.spj.joins.len(), 1);
+        assert!(q.to_sql().contains("group by S.A, T.C"));
+    }
+
+    #[test]
+    fn parse_plain_select_column_requires_group_by_membership() {
+        // In GROUP BY: fine.
+        let q = parse_aggregate_query("select S.A, count(*) from S group by S.A").unwrap();
+        assert_eq!(q.aggregates, vec![AggExpr::count()]);
+        assert_eq!(q.group_by, vec![ColumnRef::new("S", "A")]);
+
+        // Not in GROUP BY: rejected with a span pointing at the column.
+        let sql = "select S.A, count(*) from S group by S.B";
+        let err = parse_aggregate_query(sql).unwrap_err();
+        let span = err.span().expect("error must carry a span");
+        assert_eq!(&sql[span.start..span.end], "S.A");
+        assert!(err.to_string().contains("must appear in GROUP BY"));
+    }
+
+    #[test]
+    fn aggregate_keywords_are_case_insensitive() {
+        let q = parse_aggregate_query("SELECT COUNT(*), SUM(S.A) FROM S GROUP BY S.B").unwrap();
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn unrepresentable_select_lists_are_spanned_errors() {
+        // Unknown function, span on the function name.
+        let sql = "select median(S.A) from S";
+        let err = parse_aggregate_query(sql).unwrap_err();
+        let span = err.span().unwrap();
+        assert_eq!(&sql[span.start..span.end], "median");
+
+        // COUNT of a column.
+        let err = parse_aggregate_query("select count(S.A) from S").unwrap_err();
+        assert!(err.to_string().contains("count takes `*`"));
+        assert!(err.span().is_some());
+
+        // Bare (unqualified) select column.
+        let err = parse_aggregate_query("select A from S").unwrap_err();
+        assert!(err.span().is_some());
+        assert!(err.to_string().contains("select list items"));
+
+        // `*` mixed into an aggregate list.
+        assert!(parse_aggregate_query("select count(*), * from S").is_err());
+
+        // Missing closing paren.
+        let err = parse_aggregate_query("select sum(S.A from S").unwrap_err();
+        assert!(err.span().is_some());
+
+        // No aggregate at all.
+        let err = parse_aggregate_query("select S.A from S group by S.A").unwrap_err();
+        assert!(err.to_string().contains("no aggregate function"));
+
+        // GROUP BY with a `select *` list.
+        assert!(matches!(
+            parse_query("select * from S group by S.A"),
+            Err(QueryError::Unsupported(_))
+        ));
+        assert!(matches!(
+            parse_aggregate_query("select * from S"),
+            Err(QueryError::Unsupported(_))
+        ));
+
+        // Aggregate list handed to the SPJ entry point.
+        assert!(matches!(
+            parse_query("select count(*) from S"),
+            Err(QueryError::Unsupported(_))
+        ));
+
+        // Malformed GROUP BY clauses.
+        assert!(parse_aggregate_query("select count(*) from S group").is_err());
+        assert!(parse_aggregate_query("select count(*) from S group by").is_err());
+        assert!(parse_aggregate_query("select count(*) from S group by A").is_err());
+        assert!(parse_aggregate_query("select count(*) from S group by S.A,").is_err());
+    }
+
+    #[test]
+    fn spans_point_at_offending_bytes() {
+        let sql = "select * from t where t.x > !";
+        let err = parse_query(sql).unwrap_err();
+        let span = err.span().expect("span recorded");
+        assert_eq!(&sql[span.start..span.end], "!");
+
+        let sql = "select * from t where t.x >= 'open";
+        let err = parse_query(sql).unwrap_err();
+        let span = err.span().unwrap();
+        assert_eq!(span.start, sql.find('\'').unwrap());
+
+        // End-of-input errors use an empty span at the end.
+        let sql = "select * from";
+        let err = parse_query(sql).unwrap_err();
+        let span = err.span().unwrap();
+        assert_eq!((span.start, span.end), (sql.len(), sql.len()));
+    }
+
+    #[test]
+    fn aggregate_query_validates_against_schema() {
+        let schema = toy_schema();
+        let q = parse_aggregate_query_for_schema(
+            "agg",
+            "select count(*), avg(S.A) from R, S where S.S_pk = R.S_fk group by S.A",
+            &schema,
+        )
+        .unwrap();
+        // Join normalized even when written dim-first.
+        assert_eq!(q.spj.joins[0].fact_table, "R");
+        assert_eq!(q.spj.root_table().unwrap(), "R");
+
+        // Unknown column caught by validation.
+        assert!(
+            parse_aggregate_query_for_schema("agg", "select sum(S.missing) from S", &schema)
+                .is_err()
+        );
     }
 }

@@ -10,6 +10,7 @@
 //! here both sides use this deterministic planner, which achieves the same.)
 
 use crate::error::{QueryError, QueryResult};
+use crate::exec::{AggExpr, AggregateQuery, ColumnRef};
 use crate::predicate::TablePredicate;
 use crate::query::{JoinEdge, SpjQuery};
 use serde::{Deserialize, Serialize};
@@ -35,6 +36,15 @@ pub enum PlanOp {
         /// The FK edge being joined.
         edge: JoinEdge,
     },
+    /// Grouped aggregation over the SPJ subtree below it (always the plan
+    /// root; carries the select list and GROUP BY of an
+    /// [`AggregateQuery`]).
+    Aggregate {
+        /// The aggregate select list.
+        aggregates: Vec<AggExpr>,
+        /// The GROUP BY columns (empty: one global group).
+        group_by: Vec<ColumnRef>,
+    },
 }
 
 impl PlanOp {
@@ -44,6 +54,18 @@ impl PlanOp {
             PlanOp::Scan { table } => format!("Scan({table})"),
             PlanOp::Filter { table, predicate } => format!("Filter({table}: {predicate})"),
             PlanOp::Join { edge } => format!("Join({})", edge.to_sql()),
+            PlanOp::Aggregate {
+                aggregates,
+                group_by,
+            } => {
+                let select: Vec<String> = aggregates.iter().map(AggExpr::to_sql).collect();
+                if group_by.is_empty() {
+                    format!("Aggregate({})", select.join(", "))
+                } else {
+                    let by: Vec<String> = group_by.iter().map(ToString::to_string).collect();
+                    format!("Aggregate({} by {})", select.join(", "), by.join(", "))
+                }
+            }
         }
     }
 }
@@ -53,7 +75,7 @@ impl PlanOp {
 pub struct LogicalPlan {
     /// The operator at this node.
     pub op: PlanOp,
-    /// Child plans (0 for scans, 1 for filters, 2 for joins).
+    /// Child plans (0 for scans, 1 for filters/aggregates, 2 for joins).
     pub children: Vec<LogicalPlan>,
 }
 
@@ -85,6 +107,33 @@ impl LogicalPlan {
             op: PlanOp::Join { edge },
             children: vec![left, right],
         }
+    }
+
+    /// Aggregate node over one input (the plan root of an aggregate query).
+    pub fn aggregate(
+        aggregates: Vec<AggExpr>,
+        group_by: Vec<ColumnRef>,
+        input: LogicalPlan,
+    ) -> Self {
+        LogicalPlan {
+            op: PlanOp::Aggregate {
+                aggregates,
+                group_by,
+            },
+            children: vec![input],
+        }
+    }
+
+    /// Builds the canonical plan for an aggregate query: the SPJ plan of the
+    /// body with one [`PlanOp::Aggregate`] root carrying the select list and
+    /// GROUP BY.
+    pub fn from_aggregate_query(query: &AggregateQuery) -> QueryResult<Self> {
+        let body = Self::from_query(&query.spj)?;
+        Ok(Self::aggregate(
+            query.aggregates.clone(),
+            query.group_by.clone(),
+            body,
+        ))
     }
 
     /// Builds the canonical plan for an SPJ query: per-table scan (+ filter)
@@ -266,6 +315,27 @@ mod tests {
     fn empty_query_is_rejected() {
         let q = SpjQuery::new("empty");
         assert!(LogicalPlan::from_query(&q).is_err());
+    }
+
+    #[test]
+    fn aggregate_plan_has_an_aggregate_root() {
+        use crate::exec::{AggExpr, AggregateQuery, ColumnRef};
+        let q = AggregateQuery::new(
+            figure1_query(),
+            vec![AggExpr::count(), AggExpr::avg("S", "A")],
+            vec![ColumnRef::new("T", "C")],
+        );
+        let plan = LogicalPlan::from_aggregate_query(&q).unwrap();
+        assert!(matches!(plan.op, PlanOp::Aggregate { .. }));
+        assert_eq!(plan.children.len(), 1);
+        assert_eq!(plan.node_count(), 8);
+        assert!(plan
+            .explain()
+            .contains("Aggregate(count(*), avg(S.A) by T.C)"));
+        // A global aggregate renders without the `by` clause.
+        let global = AggregateQuery::new(figure1_query(), vec![AggExpr::count()], vec![]);
+        let plan = LogicalPlan::from_aggregate_query(&global).unwrap();
+        assert!(plan.explain().contains("Aggregate(count(*))"));
     }
 
     #[test]

@@ -6,11 +6,12 @@
 
 use crate::error::{ServiceError, ServiceResult};
 use crate::protocol::{
-    read_frame, write_frame, Request, Response, ScenarioReport, ScenarioSpec, StreamRequest,
-    StreamStart, StreamStats, SummaryDetail, SummaryInfo,
+    read_frame, write_frame, QueryRequest, Request, Response, ScenarioReport, ScenarioSpec,
+    StreamRequest, StreamStart, StreamStats, SummaryDetail, SummaryInfo,
 };
 use hydra_core::transfer::TransferPackage;
 use hydra_engine::row::Row;
+use hydra_query::exec::QueryAnswer;
 use serde::Serialize;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -77,6 +78,26 @@ impl HydraClient {
         })?;
         match self.receive()? {
             Response::Described(detail) => Ok(detail),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Answers an analytical aggregate (COUNT / SUM / AVG with predicates,
+    /// FK joins and GROUP BY) over a registered summary.  In-class queries
+    /// are answered summary-direct on the server — no tuples are
+    /// regenerated, no rows are streamed; the answer arrives as one frame —
+    /// and `QueryAnswer::strategy()` reports which path answered.
+    pub fn query(&mut self, name: &str, sql: &str) -> ServiceResult<QueryAnswer> {
+        self.query_request(QueryRequest::new(name, sql))
+    }
+
+    /// [`HydraClient::query`] with full request control (e.g.
+    /// [`QueryRequest::summary_only`], which turns an out-of-class query
+    /// into a reported error instead of a server-side tuple scan).
+    pub fn query_request(&mut self, request: QueryRequest) -> ServiceResult<QueryAnswer> {
+        self.send(&Request::Query(request))?;
+        match self.receive()? {
+            Response::QueryResult(answer) => Ok(answer),
             other => Self::unexpected(other),
         }
     }

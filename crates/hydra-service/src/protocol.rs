@@ -22,6 +22,7 @@ use crate::error::{ServiceError, ServiceResult};
 use hydra_core::scenario::Scenario;
 use hydra_core::transfer::TransferPackage;
 use hydra_engine::row::Row;
+use hydra_query::exec::QueryAnswer;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -103,6 +104,10 @@ pub enum Request {
     },
     /// Stream a row range of one relation as framed tuple batches.
     Stream(StreamRequest),
+    /// Answer an analytical aggregate over a registered summary — in the
+    /// summary-direct case without regenerating a single tuple, so the
+    /// answer crosses the wire as one frame instead of a row stream.
+    Query(QueryRequest),
     /// Server-side what-if re-solve over a registered summary's package.
     Scenario {
         /// Registry name of the baseline summary.
@@ -165,6 +170,36 @@ impl StreamRequest {
     /// Caps this stream's velocity (rows per second).
     pub fn rows_per_sec(mut self, rate: f64) -> Self {
         self.rows_per_sec = Some(rate);
+        self
+    }
+}
+
+/// Parameters of a `Query` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Registry name of the summary to query.
+    pub name: String,
+    /// The aggregate SQL text (COUNT / SUM / AVG, conjunctive predicates,
+    /// key–FK joins, GROUP BY).
+    pub sql: String,
+    /// When `true`, an out-of-class query is an error — the server must
+    /// never silently fall back to regenerating and scanning tuples.
+    pub summary_only: bool,
+}
+
+impl QueryRequest {
+    /// A query allowed to fall back to a tuple scan when out of class.
+    pub fn new(name: impl Into<String>, sql: impl Into<String>) -> Self {
+        QueryRequest {
+            name: name.into(),
+            sql: sql.into(),
+            summary_only: false,
+        }
+    }
+
+    /// Requires a summary-direct answer (out-of-class queries error).
+    pub fn summary_only(mut self) -> Self {
+        self.summary_only = true;
         self
     }
 }
@@ -240,6 +275,8 @@ pub enum Response {
     StreamEnd(StreamStats),
     /// Outcome of a server-side scenario re-solve.
     ScenarioOutcome(ScenarioReport),
+    /// The answer to a `Query` request (rows, strategy and cost counters).
+    QueryResult(QueryAnswer),
     /// The server acknowledged a shutdown request and is stopping.
     ShuttingDown,
     /// The request failed; the connection stays usable.
@@ -359,6 +396,13 @@ mod tests {
                     .with_row_override("store_sales", 12345)
                     .strict(),
             },
+            Request::Query(
+                QueryRequest::new(
+                    "retail",
+                    "select count(*) from store_sales group by store_sales.ss_quantity",
+                )
+                .summary_only(),
+            ),
             Request::Shutdown,
         ];
         for r in &requests {
@@ -380,6 +424,26 @@ mod tests {
                 vec![Value::Integer(2), Value::Double(0.5), Value::Boolean(true)],
             ],
         };
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, &response).unwrap();
+        let got: Response = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, response);
+    }
+
+    #[test]
+    fn query_result_frames_round_trip() {
+        use hydra_query::exec::{AnswerRow, ExecStrategy};
+        let response = Response::QueryResult(QueryAnswer {
+            group_columns: vec!["item.i_category".to_string()],
+            aggregate_columns: vec!["count(*)".to_string(), "avg(item.i_price)".to_string()],
+            rows: vec![AnswerRow {
+                key: vec![Value::str("Music")],
+                aggregates: vec![Value::Integer(125), Value::Double(1.25)],
+            }],
+            strategy: ExecStrategy::SummaryDirect,
+            fact_blocks: 4,
+            scanned_tuples: 0,
+        });
         let mut buf: Vec<u8> = Vec::new();
         write_frame(&mut buf, &response).unwrap();
         let got: Response = read_frame(&mut &buf[..]).unwrap().unwrap();

@@ -203,6 +203,28 @@ fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -> ServiceRe
                     }
                 }
             }
+            Request::Query(request) => {
+                let response = handle_query(registry, &request);
+                // A pathological answer (e.g. an out-of-class GROUP BY on
+                // the fact pk over a huge summary) can exceed the frame
+                // cap.  `write_frame` serializes and checks the cap before
+                // writing any bytes, so the connection is still in sync —
+                // report the failure instead of dropping the peer.
+                if let Err(e) = write_frame(&mut writer, &response) {
+                    match e {
+                        ServiceError::Io(_) => return Ok(false),
+                        other => write_frame(
+                            &mut writer,
+                            &Response::Error {
+                                message: format!(
+                                    "query answer could not be framed: {other}; \
+                                     refine the GROUP BY or stream the relation instead"
+                                ),
+                            },
+                        )?,
+                    }
+                }
+            }
             Request::Scenario { name, spec } => {
                 let response = match registry.scenario(&name, &spec) {
                     Ok(report) => Response::ScenarioOutcome(report),
@@ -219,6 +241,33 @@ fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -> ServiceRe
             }
         }
         writer.flush()?;
+    }
+}
+
+/// Serves one `Query` request: resolves the registry entry, then answers the
+/// aggregate through the query engine — summary-direct for in-class queries
+/// (no tuples regenerated, one response frame), sharded tuple scan otherwise
+/// unless the client set `summary_only` (then out-of-class is an error, not a
+/// silent scan).
+fn handle_query(registry: &SummaryRegistry, request: &crate::protocol::QueryRequest) -> Response {
+    use hydra_datagen::exec::{ExecMode, QueryEngine};
+    let Some(entry) = registry.get(&request.name) else {
+        return Response::Error {
+            message: format!("unknown summary `{}`", request.name),
+        };
+    };
+    let mode = if request.summary_only {
+        ExecMode::SummaryOnly
+    } else {
+        ExecMode::Auto
+    };
+    // Query the registered entry in place — no summary clone per request.
+    let engine = QueryEngine::over(&entry.regeneration.schema, &entry.regeneration.summary);
+    match engine.query_mode(&request.sql, mode) {
+        Ok(answer) => Response::QueryResult(answer),
+        Err(e) => Response::Error {
+            message: e.to_string(),
+        },
     }
 }
 

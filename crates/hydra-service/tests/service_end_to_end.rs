@@ -8,8 +8,9 @@
 
 use hydra_core::session::Hydra;
 use hydra_engine::row::Row;
+use hydra_query::exec::ExecStrategy;
 use hydra_service::client::HydraClient;
-use hydra_service::protocol::{ScenarioSpec, StreamRequest};
+use hydra_service::protocol::{QueryRequest, ScenarioSpec, StreamRequest};
 use hydra_service::registry::SummaryRegistry;
 use hydra_service::server::serve;
 use hydra_workload::retail_client_fixture;
@@ -87,8 +88,17 @@ fn concurrent_disjoint_shards_concatenate_bit_identically() {
                     ScenarioSpec::scaled("stress", 1.0).with_row_override("store_sales", 50_000);
                 let report = client.scenario("retail", &spec).expect("scenario");
                 let detail = client.describe("retail").expect("describe");
+                // A summary-direct analytical answer is served mid-stream
+                // too: the server interrogates the summary without touching
+                // (or being blocked by) the tuple path both streams are on.
+                let answer = client
+                    .query_request(
+                        QueryRequest::new("retail", "select count(*) from store_sales")
+                            .summary_only(),
+                    )
+                    .expect("query mid-stream");
                 let streams_still_running = done.load(Ordering::SeqCst) < 2;
-                (report, detail, streams_still_running)
+                (report, detail, answer, streams_still_running)
             })
         };
 
@@ -97,10 +107,18 @@ fn concurrent_disjoint_shards_concatenate_bit_identically() {
             .map(|h| h.join().expect("stream thread"));
         let first = rows.next().unwrap();
         let second = rows.next().unwrap();
-        let (report, detail, still_running) = scenario_handle.join().expect("scenario thread");
+        let (report, detail, answer, still_running) =
+            scenario_handle.join().expect("scenario thread");
         assert!(
             still_running,
             "scenario must be served while the streams are in flight, not after"
+        );
+        assert_eq!(answer.strategy(), ExecStrategy::SummaryDirect);
+        assert_eq!(answer.scanned_tuples, 0);
+        assert_eq!(
+            answer.single().expect("one global row").aggregates[0].as_i64(),
+            Some(2_000),
+            "mid-stream query must count the full fact table"
         );
         (first, second, report, detail)
     });
@@ -203,6 +221,77 @@ fn persistent_registry_survives_a_server_restart() {
     client.shutdown().expect("shutdown");
     server.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wire_queries_round_trip_and_report_out_of_class() {
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = retail_package(&session, 1_200, 400, 6);
+
+    // Local ground truth: the same package solved locally answers the same
+    // queries (the vendor pipeline is deterministic).
+    let local = session.regenerate(&package).expect("local solve");
+
+    let server = serve(
+        SummaryRegistry::in_memory(Hydra::builder().compare_aqps(false).build()),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let mut client = HydraClient::connect(server.local_addr()).expect("connect");
+    client.publish("retail", &package).expect("publish");
+
+    // A grouped, joined aggregate: the wire answer equals the local
+    // summary-direct answer row for row, and no tuples were regenerated.
+    let sql = "select count(*), avg(item.i_current_price) from store_sales, item \
+               where store_sales.ss_item_fk = item.i_item_sk \
+               group by item.i_category";
+    let wire = client.query("retail", sql).expect("wire query");
+    let expected = session.query(&local, sql).expect("local query");
+    assert_eq!(wire.strategy(), ExecStrategy::SummaryDirect);
+    assert_eq!(wire.scanned_tuples, 0);
+    assert_eq!(wire.rows, expected.rows);
+    assert_eq!(wire.group_columns, expected.group_columns);
+
+    // Unknown summary name: a reported error, connection stays usable.
+    assert!(matches!(
+        client.query("ghost", "select count(*) from store_sales"),
+        Err(hydra_service::ServiceError::Remote(_))
+    ));
+
+    // Out-of-class + summary_only: reported, not silently scanned.
+    let out_of_class = "select count(*) from store_sales group by store_sales.ss_sk";
+    let err = client
+        .query_request(QueryRequest::new("retail", out_of_class).summary_only())
+        .unwrap_err();
+    match err {
+        hydra_service::ServiceError::Remote(message) => {
+            assert!(
+                message.contains("out of the summary-direct class"),
+                "error must explain the class violation: {message}"
+            );
+        }
+        other => panic!("expected a remote error, got {other:?}"),
+    }
+
+    // The same query without summary_only is answered by the scan fallback
+    // and says so.
+    let scanned = client.query("retail", out_of_class).expect("scan fallback");
+    assert_eq!(scanned.strategy(), ExecStrategy::TupleScan);
+    assert_eq!(scanned.scanned_tuples, 1_200);
+    assert_eq!(scanned.rows.len(), 1_200);
+
+    // Malformed SQL: a reported (spanned) parse error, connection usable.
+    assert!(matches!(
+        client.query("retail", "select median(x) from store_sales"),
+        Err(hydra_service::ServiceError::Remote(_))
+    ));
+    let again = client
+        .query("retail", "select count(*) from store_sales")
+        .expect("connection still healthy");
+    assert_eq!(again.single().unwrap().aggregates[0].as_i64(), Some(1_200));
+
+    client.shutdown().expect("shutdown");
+    server.join();
 }
 
 #[test]

@@ -19,6 +19,10 @@ pub enum SummaryError {
     /// A foreign key referenced a relation that has not been summarized yet
     /// (violates the dimensions-first processing order).
     DimensionNotSummarized { table: String, dimension: String },
+    /// An aggregate query is outside the summary-direct class (the payload
+    /// names the offending construct); callers that can regenerate tuples
+    /// should fall back to a scan.
+    OutOfClass(String),
     /// Generic invalid input.
     Invalid(String),
 }
@@ -34,6 +38,9 @@ impl fmt::Display for SummaryError {
                 f,
                 "relation `{table}` references dimension `{dimension}` which has no summary yet"
             ),
+            SummaryError::OutOfClass(reason) => {
+                write!(f, "out of the summary-direct class: {reason}")
+            }
             SummaryError::Invalid(msg) => write!(f, "invalid input: {msg}"),
         }
     }

@@ -1,0 +1,799 @@
+//! Summary-direct aggregate query execution.
+//!
+//! The paper's central claim is that the LP-solved summary *is* the
+//! database: every volumetric question in the closed SPJ workload class is
+//! answerable from region cardinalities alone.  This module makes that claim
+//! operational: [`SummaryExecutor`] evaluates COUNT / SUM / AVG / GROUP BY
+//! aggregates with conjunctive predicates and key–FK joins **directly
+//! against the block structure** of [`RelationSummary`] — O(blocks), never
+//! O(tuples) — producing answers bit-identical to regenerating every tuple
+//! and scanning it.
+//!
+//! Per root (fact) block the evaluation is closed-form:
+//!
+//! * predicates on the auto-numbered primary key become an **interval
+//!   intersection** with the block's pk range `[start, start+count)`;
+//! * predicates on value columns accept or reject the whole block (every
+//!   tuple of a block shares its value vector);
+//! * each foreign key is one value per block, so a join edge resolves by one
+//!   `O(log B)` [`PkBlockIndex`] lookup into the referenced dimension — the
+//!   paper's deterministic alignment is what makes this **fan-out** a point
+//!   lookup rather than a scan;
+//! * aggregate contributions are `value × multiplicity` (or an arithmetic
+//!   series for aggregates over the pk axis), fed into the shared
+//!   order-independent [`Aggregator`] kernel.
+//!
+//! ## The closed class, and what falls outside it
+//!
+//! Everything the parser can represent is summary-direct except queries that
+//! would need per-tuple resolution of the fact table's auto-numbered primary
+//! key: `GROUP BY` on the root pk (every tuple its own group) and pk
+//! predicates whose literals are not exactly representable on the integer
+//! pk axis.  [`SummaryExecutor::classify`] reports the reason; callers (the
+//! `hydra-datagen` query engine) fall back to a sharded tuple scan.
+
+use crate::error::{SummaryError, SummaryResult};
+use crate::index::PkBlockIndex;
+use crate::summary::{DatabaseSummary, RelationSummary, SummaryRow};
+use hydra_catalog::schema::{Schema, Table};
+use hydra_catalog::types::Value;
+use hydra_query::exec::{
+    AggFunc, AggInput, AggregateQuery, Aggregator, ColumnRef, ExecStrategy, QueryAnswer,
+};
+use hydra_query::predicate::{ColumnPredicate, CompareOp};
+use std::collections::BTreeMap;
+
+/// The primary-key column a generated tuple stream auto-numbers for a
+/// relation: the summary's recorded pk column, falling back to the schema's
+/// declared primary key.  (Identical to the resolution in
+/// `hydra_datagen::stream::TupleStream` — the executor must agree with the
+/// generator about which column is the pk axis.)
+pub fn auto_pk_column(table: &Table, summary: &RelationSummary) -> Option<String> {
+    summary
+        .pk_column
+        .clone()
+        .or_else(|| table.primary_key_column().map(str::to_string))
+}
+
+/// One dimension relation reachable from the query's join tree.
+struct DimAccess<'a> {
+    summary: &'a RelationSummary,
+    index: PkBlockIndex,
+    pk_column: Option<String>,
+    /// Dim-predicate conjuncts on the dim's pk column (evaluated against the
+    /// joined pk value).
+    pk_conjuncts: Vec<ColumnPredicate>,
+    /// Remaining dim-predicate conjuncts (evaluated against block values).
+    value_conjuncts: Vec<ColumnPredicate>,
+}
+
+/// One join edge, in an order where the fact side is always resolved first.
+struct EdgeStep {
+    fact_table: String,
+    fk_column: String,
+    dim_table: String,
+}
+
+/// A dimension row resolved for one fact-side context: the joined primary
+/// key and the summary block that regenerates it.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedDim {
+    /// The dimension primary key the fact side references.
+    pub pk: i64,
+    /// Index of the dim summary block containing `pk`.
+    pub block: usize,
+}
+
+/// Resolves the dimension side of a query's join tree for one fact-side
+/// lookup (a summary block or a single regenerated tuple).
+///
+/// Both evaluation strategies share this resolver — block-closed-form
+/// summary execution and the per-tuple scan fallback — so join semantics
+/// (inner joins over deterministic pk blocks, repeated edges into one
+/// dimension constraining the same row) are identical by construction.
+pub struct JoinResolver<'a> {
+    dims: BTreeMap<String, DimAccess<'a>>,
+    steps: Vec<EdgeStep>,
+}
+
+impl<'a> JoinResolver<'a> {
+    /// Builds a resolver for `query` rooted at `root`.  Every non-root table
+    /// must have a summary in `summary` and a table in `schema`.
+    pub fn new(
+        query: &AggregateQuery,
+        root: &str,
+        schema: &'a Schema,
+        summary: &'a DatabaseSummary,
+    ) -> SummaryResult<Self> {
+        let mut dims = BTreeMap::new();
+        for table in &query.spj.tables {
+            if table == root {
+                continue;
+            }
+            let t = schema
+                .table(table)
+                .ok_or_else(|| SummaryError::Catalog(format!("unknown table `{table}`")))?;
+            let s = summary
+                .relation(table)
+                .ok_or_else(|| SummaryError::Catalog(format!("no summary for `{table}`")))?;
+            let pk_column = auto_pk_column(t, s);
+            let (pk_conjuncts, value_conjuncts) = split_conjuncts(
+                query
+                    .spj
+                    .predicate(table)
+                    .map(|p| p.conjuncts())
+                    .unwrap_or(&[]),
+                pk_column.as_deref(),
+            );
+            dims.insert(
+                table.clone(),
+                DimAccess {
+                    summary: s,
+                    index: s.block_index(),
+                    pk_column,
+                    pk_conjuncts,
+                    value_conjuncts,
+                },
+            );
+        }
+        // Order the edges so that an edge's fact side is always the root or
+        // an already-resolved dimension.
+        let mut steps: Vec<EdgeStep> = Vec::new();
+        let mut pending: Vec<&hydra_query::query::JoinEdge> = query.spj.joins.iter().collect();
+        let mut reachable: Vec<String> = vec![root.to_string()];
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|edge| {
+                if reachable.contains(&edge.fact_table) {
+                    steps.push(EdgeStep {
+                        fact_table: edge.fact_table.clone(),
+                        fk_column: edge.fk_column.clone(),
+                        dim_table: edge.dim_table.clone(),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            for step in &steps {
+                if !reachable.iter().any(|t| t == &step.dim_table) {
+                    reachable.push(step.dim_table.clone());
+                }
+            }
+            if pending.len() == before {
+                return Err(SummaryError::Query(hydra_query::QueryError::Unsupported(
+                    "join graph is not connected to the root fact table".into(),
+                )));
+            }
+        }
+        // Every FROM table must be reachable through a join edge: a table
+        // with no edge would be a cross join, which neither evaluation
+        // strategy implements — reject it instead of silently ignoring the
+        // table (which would misanswer on both paths identically).
+        for table in dims.keys() {
+            if !steps.iter().any(|s| &s.dim_table == table) {
+                return Err(SummaryError::Query(hydra_query::QueryError::Unsupported(
+                    format!(
+                        "table `{table}` has no join edge connecting it to `{root}` \
+                         (cross joins are outside the SPJ class)"
+                    ),
+                )));
+            }
+        }
+        Ok(JoinResolver { dims, steps })
+    }
+
+    /// Resolves every join for one fact-side context.  `root_lookup` reads a
+    /// column of the fact block's value vector (or of the scanned tuple).
+    /// Returns `None` when any edge fails to join (inner-join semantics) or
+    /// any dimension predicate rejects the joined row.
+    pub fn resolve<'v>(
+        &self,
+        root_lookup: impl Fn(&str) -> Option<&'v Value>,
+    ) -> Option<BTreeMap<&str, ResolvedDim>> {
+        let mut out: BTreeMap<&str, ResolvedDim> = BTreeMap::new();
+        for step in &self.steps {
+            let dim = &self.dims[&step.dim_table];
+            // The fk value lives on the fact side: the root context or an
+            // already-resolved dimension's block values.
+            let fk_value: Option<i64> = if let Some(resolved) = out.get(step.fact_table.as_str()) {
+                let fact_dim = &self.dims[&step.fact_table];
+                fact_dim.summary.rows[resolved.block]
+                    .values
+                    .get(&step.fk_column)
+                    .and_then(Value::as_i64)
+            } else {
+                root_lookup(&step.fk_column).and_then(Value::as_i64)
+            };
+            let pk = fk_value?;
+            let block = if pk < 0 {
+                return None;
+            } else {
+                dim.index.locate(pk as u64)?.block
+            };
+            if let Some(prior) = out.get(step.dim_table.as_str()) {
+                // A second edge into the same dimension constrains the same
+                // row: both fks must agree.
+                if prior.pk != pk {
+                    return None;
+                }
+                continue;
+            }
+            // Dimension predicate: pk conjuncts against the joined key,
+            // value conjuncts against the block's shared value vector.
+            let pk_value = Value::Integer(pk);
+            if !dim.pk_conjuncts.iter().all(|c| c.matches(&pk_value)) {
+                return None;
+            }
+            let values = &dim.summary.rows[block].values;
+            if !dim
+                .value_conjuncts
+                .iter()
+                .all(|c| values.get(&c.column).map(|v| c.matches(v)).unwrap_or(false))
+            {
+                return None;
+            }
+            out.insert(step.dim_table.as_str(), ResolvedDim { pk, block });
+        }
+        Some(out)
+    }
+
+    /// Reads a column of a resolved dimension: the pk column yields the
+    /// joined key, every other column the block's shared value (NULL when
+    /// the summary does not carry it — exactly what regeneration emits).
+    pub fn dim_value(&self, table: &str, column: &str, resolved: &ResolvedDim) -> Value {
+        let dim = &self.dims[table];
+        if dim.pk_column.as_deref() == Some(column) {
+            return Value::Integer(resolved.pk);
+        }
+        dim.summary.rows[resolved.block]
+            .values
+            .get(column)
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+}
+
+/// Splits predicate conjuncts into those on the auto-numbered pk column and
+/// the rest.
+fn split_conjuncts(
+    conjuncts: &[ColumnPredicate],
+    pk_column: Option<&str>,
+) -> (Vec<ColumnPredicate>, Vec<ColumnPredicate>) {
+    let mut pk = Vec::new();
+    let mut other = Vec::new();
+    for c in conjuncts {
+        if Some(c.column.as_str()) == pk_column {
+            pk.push(c.clone());
+        } else {
+            other.push(c.clone());
+        }
+    }
+    (pk, other)
+}
+
+/// The exact i128 bounds `[lo, hi)` a pk conjunct imposes on the integer pk
+/// axis, matching [`Value`]'s numeric comparison semantics.  Returns `None`
+/// for literal classes the closed form cannot represent (classification
+/// routes those to the scan fallback).
+fn conjunct_pk_bounds(c: &ColumnPredicate) -> Option<(i128, i128)> {
+    const UNBOUNDED_LO: i128 = i128::MIN / 4;
+    const UNBOUNDED_HI: i128 = i128::MAX / 4;
+    let (floor, is_integral): (i128, bool) = match &c.value {
+        Value::Integer(v) => (*v as i128, true),
+        Value::Double(d) if d.is_nan() => return None,
+        Value::Double(d) => {
+            let f = d.floor();
+            // `as` saturates on infinite / astronomically large literals;
+            // clamp further into the unbounded sentinels so the `+ 1`
+            // arithmetic below can never overflow i128.  Any literal this
+            // far out dwarfs every possible pk (< 2^64), so the clamp
+            // cannot change which rows match.
+            ((f as i128).clamp(UNBOUNDED_LO, UNBOUNDED_HI), *d == f)
+        }
+        _ => return None,
+    };
+    Some(match (c.op, is_integral) {
+        (CompareOp::Eq, true) => (floor, floor + 1),
+        (CompareOp::Eq, false) => (1, 0), // empty
+        (CompareOp::Lt, true) => (UNBOUNDED_LO, floor),
+        (CompareOp::Lt, false) => (UNBOUNDED_LO, floor + 1),
+        (CompareOp::Le, _) => (UNBOUNDED_LO, floor + 1),
+        (CompareOp::Gt, _) => (floor + 1, UNBOUNDED_HI),
+        (CompareOp::Ge, true) => (floor, UNBOUNDED_HI),
+        (CompareOp::Ge, false) => (floor + 1, UNBOUNDED_HI),
+    })
+}
+
+/// A summary-direct query executor over one database summary.
+pub struct SummaryExecutor<'a> {
+    schema: &'a Schema,
+    summary: &'a DatabaseSummary,
+}
+
+impl<'a> SummaryExecutor<'a> {
+    /// Creates an executor over a schema and its solved summary.
+    pub fn new(schema: &'a Schema, summary: &'a DatabaseSummary) -> Self {
+        SummaryExecutor { schema, summary }
+    }
+
+    fn root_of(
+        &self,
+        query: &AggregateQuery,
+    ) -> SummaryResult<(String, &'a Table, &'a RelationSummary)> {
+        let root = query
+            .spj
+            .root_table()
+            .map_err(SummaryError::Query)?
+            .to_string();
+        let table = self
+            .schema
+            .table(&root)
+            .ok_or_else(|| SummaryError::Catalog(format!("unknown table `{root}`")))?;
+        let summary = self
+            .summary
+            .relation(&root)
+            .ok_or_else(|| SummaryError::Catalog(format!("no summary for `{root}`")))?;
+        Ok((root, table, summary))
+    }
+
+    /// Decides whether `query` is in the summary-direct class.  `Err(reason)`
+    /// names the first construct that forces per-tuple evaluation.
+    pub fn classify(&self, query: &AggregateQuery) -> SummaryResult<Result<(), String>> {
+        let (root, table, summary) = self.root_of(query)?;
+        let pk_column = auto_pk_column(table, summary);
+        if let Some(pk) = &pk_column {
+            for col in &query.group_by {
+                if col.table == root && &col.column == pk {
+                    return Ok(Err(format!(
+                        "GROUP BY `{col}` keys on the fact table's auto-numbered primary \
+                         key (every tuple its own group)"
+                    )));
+                }
+            }
+            let (pk_conjuncts, _) = split_conjuncts(
+                query
+                    .spj
+                    .predicate(&root)
+                    .map(|p| p.conjuncts())
+                    .unwrap_or(&[]),
+                Some(pk.as_str()),
+            );
+            for c in &pk_conjuncts {
+                if conjunct_pk_bounds(c).is_none() {
+                    return Ok(Err(format!(
+                        "predicate `{c}` compares the auto-numbered primary key with a \
+                         non-numeric literal"
+                    )));
+                }
+            }
+            // Beyond 2^53 tuples the scan's f64 comparison of pk-vs-double
+            // literals rounds; stay exactly faithful by scanning (unreachable
+            // at any practical scale, but the guarantee is "bit-equal").
+            if summary.total_rows >= (1u64 << 53)
+                && pk_conjuncts
+                    .iter()
+                    .any(|c| matches!(c.value, Value::Double(_)))
+            {
+                return Ok(Err(
+                    "pk-axis double comparison beyond 2^53 rows is not exactly \
+                     representable in closed form"
+                        .into(),
+                ));
+            }
+        }
+        Ok(Ok(()))
+    }
+
+    /// Answers `query` from block structure alone.
+    ///
+    /// Errors with [`SummaryError::OutOfClass`] when the query is out of
+    /// the summary-direct class ([`SummaryExecutor::classify`] explains
+    /// why); callers that can regenerate tuples should fall back to a scan.
+    pub fn execute(&self, query: &AggregateQuery) -> SummaryResult<QueryAnswer> {
+        if let Err(reason) = self.classify(query)? {
+            return Err(SummaryError::OutOfClass(reason));
+        }
+        let (root, table, root_summary) = self.root_of(query)?;
+        let pk_column = auto_pk_column(table, root_summary);
+        let (pk_conjuncts, value_conjuncts) = split_conjuncts(
+            query
+                .spj
+                .predicate(&root)
+                .map(|p| p.conjuncts())
+                .unwrap_or(&[]),
+            pk_column.as_deref(),
+        );
+        // Intersect every pk conjunct once, up front.
+        let mut pk_lo = i128::MIN / 4;
+        let mut pk_hi = i128::MAX / 4;
+        for c in &pk_conjuncts {
+            let (lo, hi) = conjunct_pk_bounds(c).expect("classified in-class");
+            pk_lo = pk_lo.max(lo);
+            pk_hi = pk_hi.min(hi);
+        }
+        let resolver = JoinResolver::new(query, &root, self.schema, self.summary)?;
+
+        let mut aggregator = Aggregator::for_query(query);
+        let mut start = 0u64;
+        let mut blocks = 0u64;
+        for row in &root_summary.rows {
+            let block_lo = start as i128;
+            let block_hi = (start + row.count) as i128;
+            start += row.count;
+            blocks += 1;
+            // Interval intersection of pk predicates with the block's range.
+            let lo = block_lo.max(pk_lo);
+            let hi = block_hi.min(pk_hi);
+            if lo >= hi {
+                continue;
+            }
+            // Value predicates accept or reject the whole block.
+            if !value_conjuncts.iter().all(|c| {
+                row.values
+                    .get(&c.column)
+                    .map(|v| c.matches(v))
+                    .unwrap_or(false)
+            }) {
+                continue;
+            }
+            // Join fan-out: one O(log B) index lookup per edge.
+            let Some(resolved) = resolver.resolve(|col| row.values.get(col)) else {
+                continue;
+            };
+            let n = (hi - lo) as u64;
+            let key = self.group_key(query, &root, row, &resolver, &resolved);
+            let inputs = self.agg_inputs(
+                query,
+                &root,
+                pk_column.as_deref(),
+                row,
+                &resolver,
+                &resolved,
+                lo as i64,
+                hi as i64,
+                n,
+            );
+            let input_refs: Vec<AggInput<'_>> = inputs.iter().map(owned_input_as_ref).collect();
+            aggregator.add(key, &input_refs);
+        }
+        Ok(aggregator.into_answer(query, ExecStrategy::SummaryDirect, blocks, 0))
+    }
+
+    /// The GROUP BY key for one root block under one join resolution.
+    fn group_key(
+        &self,
+        query: &AggregateQuery,
+        root: &str,
+        row: &SummaryRow,
+        resolver: &JoinResolver<'_>,
+        resolved: &BTreeMap<&str, ResolvedDim>,
+    ) -> Vec<Value> {
+        query
+            .group_by
+            .iter()
+            .map(|col| self.column_value(col, root, row, resolver, resolved))
+            .collect()
+    }
+
+    /// Reads one referenced column for a root block context.
+    fn column_value(
+        &self,
+        col: &ColumnRef,
+        root: &str,
+        row: &SummaryRow,
+        resolver: &JoinResolver<'_>,
+        resolved: &BTreeMap<&str, ResolvedDim>,
+    ) -> Value {
+        if col.table == root {
+            return row.values.get(&col.column).cloned().unwrap_or(Value::Null);
+        }
+        match resolved.get(col.table.as_str()) {
+            Some(dim) => resolver.dim_value(&col.table, &col.column, dim),
+            None => Value::Null,
+        }
+    }
+
+    /// Builds the per-aggregate contributions of one root block.
+    #[allow(clippy::too_many_arguments)]
+    fn agg_inputs(
+        &self,
+        query: &AggregateQuery,
+        root: &str,
+        pk_column: Option<&str>,
+        row: &SummaryRow,
+        resolver: &JoinResolver<'_>,
+        resolved: &BTreeMap<&str, ResolvedDim>,
+        lo: i64,
+        hi: i64,
+        n: u64,
+    ) -> Vec<OwnedInput> {
+        query
+            .aggregates
+            .iter()
+            .map(|agg| match (&agg.func, &agg.target) {
+                (AggFunc::Count, _) | (_, None) => OwnedInput::Tuples { n },
+                (_, Some(col)) => {
+                    if col.table == root && Some(col.column.as_str()) == pk_column {
+                        OwnedInput::IntRange { lo, hi }
+                    } else {
+                        OwnedInput::Repeat {
+                            value: self.column_value(col, root, row, resolver, resolved),
+                            n,
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Owned variant of [`AggInput`] (block evaluation materializes dim values).
+enum OwnedInput {
+    Tuples { n: u64 },
+    Repeat { value: Value, n: u64 },
+    IntRange { lo: i64, hi: i64 },
+}
+
+fn owned_input_as_ref(input: &OwnedInput) -> AggInput<'_> {
+    match input {
+        OwnedInput::Tuples { n } => AggInput::Tuples { n: *n },
+        OwnedInput::Repeat { value, n } => AggInput::Repeat { value, n: *n },
+        OwnedInput::IntRange { lo, hi } => AggInput::IntRange { lo: *lo, hi: *hi },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
+    use hydra_catalog::types::DataType;
+    use hydra_query::exec::AggExpr;
+    use hydra_query::parser::parse_aggregate_query_for_schema;
+
+    /// A two-relation star: `sales` references `item`.
+    fn fixture() -> (Schema, DatabaseSummary) {
+        let schema = SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_pk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("i_cat", DataType::Varchar(None)))
+                    .column(ColumnBuilder::new("i_price", DataType::Double))
+            })
+            .table("sales", |t| {
+                t.column(ColumnBuilder::new("s_pk", DataType::BigInt).primary_key())
+                    .column(
+                        ColumnBuilder::new("s_item_fk", DataType::BigInt)
+                            .references("item", "i_pk"),
+                    )
+                    .column(ColumnBuilder::new("s_qty", DataType::Integer))
+            })
+            .build()
+            .unwrap();
+
+        let mut item = RelationSummary::new("item", Some("i_pk".to_string()));
+        for (count, cat, price) in [
+            (10u64, "Music", 1.5),
+            (5, "Books", 2.0),
+            (20, "Music", 0.25),
+        ] {
+            let mut v = BTreeMap::new();
+            v.insert("i_cat".to_string(), Value::str(cat));
+            v.insert("i_price".to_string(), Value::Double(price));
+            item.push_row(count, v);
+        }
+        // item pk blocks: [0,10) Music/1.5, [10,15) Books/2.0, [15,35) Music/0.25
+        let mut sales = RelationSummary::new("sales", Some("s_pk".to_string()));
+        for (count, fk, qty) in [
+            (100u64, 3i64, 2i64), // joins Music/1.5
+            (50, 12, 4),          // joins Books/2.0
+            (25, 20, 1),          // joins Music/0.25
+            (7, 99, 9),           // dangling fk: never joins
+        ] {
+            let mut v = BTreeMap::new();
+            v.insert("s_item_fk".to_string(), Value::Integer(fk));
+            v.insert("s_qty".to_string(), Value::Integer(qty));
+            sales.push_row(count, v);
+        }
+        let mut db = DatabaseSummary::new();
+        db.insert(item);
+        db.insert(sales);
+        (schema, db)
+    }
+
+    fn run(sql: &str) -> QueryAnswer {
+        let (schema, db) = fixture();
+        let q = parse_aggregate_query_for_schema("q", sql, &schema).unwrap();
+        SummaryExecutor::new(&schema, &db).execute(&q).unwrap()
+    }
+
+    #[test]
+    fn count_star_single_table() {
+        let answer = run("select count(*) from sales");
+        assert_eq!(answer.strategy(), ExecStrategy::SummaryDirect);
+        assert_eq!(answer.single().unwrap().aggregates[0], Value::Integer(182));
+        assert_eq!(answer.fact_blocks, 4);
+        assert_eq!(answer.scanned_tuples, 0);
+    }
+
+    #[test]
+    fn predicate_selects_whole_blocks() {
+        let answer = run("select count(*) from sales where sales.s_qty >= 2");
+        assert_eq!(answer.single().unwrap().aggregates[0], Value::Integer(157));
+    }
+
+    #[test]
+    fn pk_predicate_splits_a_block() {
+        // [0,100) is block 0; restrict to pks [40, 60).
+        let answer =
+            run("select count(*), sum(sales.s_pk) from sales where sales.s_pk >= 40 and sales.s_pk < 60");
+        let row = answer.single().unwrap();
+        assert_eq!(row.aggregates[0], Value::Integer(20));
+        let expected: i64 = (40..60).sum();
+        assert_eq!(row.aggregates[1], Value::Integer(expected));
+    }
+
+    #[test]
+    fn join_fan_out_and_group_by_dim_column() {
+        let answer = run("select count(*), sum(sales.s_qty) from sales, item \
+             where sales.s_item_fk = item.i_pk group by item.i_cat");
+        // Books ← block 1 (50 × qty 4); Music ← blocks 0 and 2 (100×2 + 25×1).
+        assert_eq!(answer.rows.len(), 2);
+        assert_eq!(answer.rows[0].key[0], Value::str("Books"));
+        assert_eq!(answer.rows[0].aggregates[0], Value::Integer(50));
+        assert_eq!(answer.rows[0].aggregates[1], Value::Integer(200));
+        assert_eq!(answer.rows[1].key[0], Value::str("Music"));
+        assert_eq!(answer.rows[1].aggregates[0], Value::Integer(125));
+        assert_eq!(answer.rows[1].aggregates[1], Value::Integer(225));
+    }
+
+    #[test]
+    fn dim_predicate_filters_fact_blocks() {
+        let answer = run("select count(*), avg(item.i_price) from sales, item \
+             where sales.s_item_fk = item.i_pk and item.i_cat = 'Music'");
+        let row = answer.single().unwrap();
+        assert_eq!(row.aggregates[0], Value::Integer(125));
+        // 100 × 1.5 + 25 × 0.25 over 125 tuples.
+        let expected = (100.0 * 1.5 + 25.0 * 0.25) / 125.0;
+        assert_eq!(row.aggregates[1], Value::Double(expected));
+    }
+
+    #[test]
+    fn empty_relation_and_empty_selection() {
+        let (schema, mut db) = fixture();
+        db.insert(RelationSummary::new("sales", Some("s_pk".to_string())));
+        let q = parse_aggregate_query_for_schema(
+            "q",
+            "select count(*), sum(sales.s_qty), avg(sales.s_qty) from sales",
+            &schema,
+        )
+        .unwrap();
+        let answer = SummaryExecutor::new(&schema, &db).execute(&q).unwrap();
+        let row = answer.single().unwrap();
+        assert_eq!(row.aggregates[0], Value::Integer(0));
+        assert_eq!(row.aggregates[1], Value::Null);
+        assert_eq!(row.aggregates[2], Value::Null);
+
+        // A predicate selecting zero blocks behaves the same.
+        let answer = run("select avg(sales.s_qty) from sales where sales.s_qty > 1000");
+        assert_eq!(answer.single().unwrap().aggregates[0], Value::Null);
+
+        // A grouped query over nothing returns no rows.
+        let answer =
+            run("select count(*) from sales where sales.s_qty > 1000 group by sales.s_qty");
+        assert!(answer.is_empty());
+    }
+
+    #[test]
+    fn group_by_root_pk_is_out_of_class() {
+        let (schema, db) = fixture();
+        let q = parse_aggregate_query_for_schema(
+            "q",
+            "select count(*) from sales group by sales.s_pk",
+            &schema,
+        )
+        .unwrap();
+        let exec = SummaryExecutor::new(&schema, &db);
+        let reason = exec.classify(&q).unwrap().unwrap_err();
+        assert!(reason.contains("auto-numbered primary key"), "{reason}");
+        assert!(matches!(exec.execute(&q), Err(SummaryError::OutOfClass(_))));
+
+        // GROUP BY a *dimension* pk stays in class (it is the fk value).
+        let q = parse_aggregate_query_for_schema(
+            "q",
+            "select count(*) from sales, item where sales.s_item_fk = item.i_pk \
+             group by item.i_pk",
+            &schema,
+        )
+        .unwrap();
+        assert!(exec.classify(&q).unwrap().is_ok());
+        let answer = exec.execute(&q).unwrap();
+        assert_eq!(answer.rows.len(), 3);
+        assert_eq!(answer.rows[0].key[0], Value::Integer(3));
+    }
+
+    #[test]
+    fn double_literals_on_the_pk_axis() {
+        let answer = run("select count(*) from sales where sales.s_pk < 10.5");
+        assert_eq!(answer.single().unwrap().aggregates[0], Value::Integer(11));
+        let answer = run("select count(*) from sales where sales.s_pk = 10.5");
+        assert_eq!(answer.single().unwrap().aggregates[0], Value::Integer(0));
+        let answer = run("select count(*) from sales where sales.s_pk >= 99.0");
+        assert_eq!(answer.single().unwrap().aggregates[0], Value::Integer(83));
+    }
+
+    #[test]
+    fn sum_over_doubles_uses_the_multiset_definition() {
+        let answer =
+            run("select sum(item.i_price) from sales, item where sales.s_item_fk = item.i_pk");
+        // The multiset: 1.5 × 100, 2.0 × 50, 0.25 × 25 summed ascending.
+        let expected = 0.25 * 25.0 + (1.5 * 100.0 + 2.0 * 50.0);
+        assert_eq!(
+            answer.single().unwrap().aggregates[0],
+            Value::Double(expected)
+        );
+    }
+
+    #[test]
+    fn astronomically_large_pk_literals_do_not_overflow() {
+        // Literals beyond i128 saturate + clamp instead of overflowing the
+        // `+ 1` interval arithmetic (previously a debug-build panic).
+        for (op, huge, expect_all) in [
+            (CompareOp::Gt, 2e40, false),
+            (CompareOp::Ge, 2e40, false),
+            (CompareOp::Eq, 2e40, false),
+            (CompareOp::Lt, 2e40, true),
+            (CompareOp::Le, 2e40, true),
+            (CompareOp::Gt, -2e40, true),
+            (CompareOp::Lt, -2e40, false),
+            (CompareOp::Gt, f64::INFINITY, false),
+            (CompareOp::Lt, f64::INFINITY, true),
+            (CompareOp::Gt, f64::NEG_INFINITY, true),
+        ] {
+            let (schema, db) = fixture();
+            let mut spj = hydra_query::SpjQuery::new("huge");
+            spj.set_predicate(
+                "sales",
+                hydra_query::TablePredicate::always_true()
+                    .with(ColumnPredicate::new("s_pk", op, huge)),
+            );
+            let q = AggregateQuery::new(spj, vec![AggExpr::count()], vec![]);
+            let answer = SummaryExecutor::new(&schema, &db).execute(&q).unwrap();
+            let count = answer.single().unwrap().aggregates[0].as_i64().unwrap();
+            let expected = if expect_all { 182 } else { 0 };
+            assert_eq!(count, expected, "s_pk {op} {huge}");
+        }
+    }
+
+    #[test]
+    fn cross_joins_are_rejected_not_silently_dropped() {
+        // Two FROM tables with no join edge: neither strategy implements a
+        // cross join, so the resolver must refuse instead of ignoring the
+        // dangling table (which would misanswer identically on both paths).
+        let (schema, db) = fixture();
+        let mut spj = hydra_query::SpjQuery::new("cross");
+        spj.add_table("sales");
+        spj.add_table("item");
+        let q = AggregateQuery::new(
+            spj,
+            vec![AggExpr::count(), AggExpr::sum("item", "i_price")],
+            vec![],
+        );
+        let err = SummaryExecutor::new(&schema, &db).execute(&q).unwrap_err();
+        assert!(
+            err.to_string().contains("no join edge"),
+            "cross join must be reported: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_summary_is_an_error_not_a_misanswer() {
+        let (schema, db) = fixture();
+        let mut spj = hydra_query::SpjQuery::new("q");
+        spj.add_table("ghost");
+        let q = AggregateQuery::new(spj, vec![AggExpr::count()], vec![]);
+        assert!(matches!(
+            SummaryExecutor::new(&schema, &db).execute(&q),
+            Err(SummaryError::Catalog(_))
+        ));
+    }
+}

@@ -48,6 +48,7 @@ pub mod axes;
 pub mod backend;
 pub mod builder;
 pub mod error;
+pub mod exec;
 pub mod index;
 pub mod solve;
 pub mod strategy;
@@ -61,6 +62,7 @@ pub use builder::{
     SummaryBuilderConfig, SummaryCache,
 };
 pub use error::{SummaryError, SummaryResult};
+pub use exec::{JoinResolver, ResolvedDim, SummaryExecutor};
 pub use index::{BlockPos, PkBlockIndex};
 pub use strategy::{AlignedSummary, SummaryStrategy};
 pub use summary::{DatabaseSummary, RelationSummary, SummaryRow};

@@ -74,3 +74,39 @@ pub fn retail_client_fixture(
     .generate();
     (db, queries)
 }
+
+/// A ready-made small supplier (TPC-H-like snowflake) client environment:
+/// the lineitem → orders → customer → nation → region warehouse with
+/// explicit sizes for the two biggest relations plus a deterministic SPJ
+/// workload — the snowflake counterpart of [`retail_client_fixture`],
+/// exercising *nested* foreign-key conditions end to end.
+///
+/// ```
+/// use hydra_workload::supplier_client_fixture;
+/// let (db, queries) = supplier_client_fixture(2_000, 700, 4);
+/// assert_eq!(queries.len(), 4);
+/// assert_eq!(db.table("lineitem").unwrap().row_count(), 2_000);
+/// ```
+pub fn supplier_client_fixture(
+    lineitem_rows: u64,
+    orders_rows: u64,
+    num_queries: usize,
+) -> (
+    hydra_engine::database::Database,
+    Vec<hydra_query::query::SpjQuery>,
+) {
+    let schema = supplier_schema();
+    let mut targets = supplier_row_targets(0.05);
+    targets.insert("lineitem".to_string(), lineitem_rows);
+    targets.insert("orders".to_string(), orders_rows);
+    let db = generate_client_database(&schema, &targets, &DataGenConfig::default());
+    let queries = WorkloadGenerator::new(
+        schema,
+        WorkloadGenConfig {
+            num_queries,
+            ..Default::default()
+        },
+    )
+    .generate();
+    (db, queries)
+}

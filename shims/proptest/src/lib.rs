@@ -39,6 +39,17 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count to actually run: the `PROPTEST_CASES` environment
+    /// variable overrides the configured count (exactly like real proptest),
+    /// so CI can crank differential suites to hundreds of cases without
+    /// touching the source.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
 }
 
 /// Deterministic per-(test, case) RNG used by the `proptest!` macro.
@@ -286,7 +297,7 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                for __case in 0..__config.cases {
+                for __case in 0..__config.effective_cases() {
                     let mut __rng = $crate::test_rng(stringify!($name), __case);
                     $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
                     $body

@@ -55,6 +55,18 @@
 //! use hydra::core::scenario::Scenario;
 //! let what_if = session.scenario(&Scenario::scaled("x1000", 1000.0), &package).unwrap();
 //! assert!(what_if.feasible);
+//!
+//! // Analytical aggregates are answered summary-direct — from block
+//! // cardinalities alone, without materializing a tuple.
+//! use hydra::ExecStrategy;
+//! let answer = session
+//!     .query(&result, "select count(*), avg(item.i_current_price) \
+//!                      from store_sales, item \
+//!                      where store_sales.ss_item_fk = item.i_item_sk \
+//!                      group by item.i_category")
+//!     .unwrap();
+//! assert_eq!(answer.strategy(), ExecStrategy::SummaryDirect);
+//! assert_eq!(answer.scanned_tuples, 0);
 //! ```
 
 pub use hydra_catalog as catalog;
@@ -70,4 +82,6 @@ pub use hydra_workload as workload;
 
 pub use hydra_core::session::{Hydra, HydraBuilder};
 pub use hydra_core::{RegenerationResult, TransferPackage};
+pub use hydra_datagen::exec::{ExecMode, QueryEngine};
+pub use hydra_query::exec::{AggregateQuery, ExecStrategy, QueryAnswer};
 pub use hydra_service::{HydraClient, SummaryRegistry};
