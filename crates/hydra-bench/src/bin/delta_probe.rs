@@ -1,0 +1,32 @@
+//! Quick wall-clock probe of the delta re-profiling pipeline stages
+//! (fixture → stateful base solve → 1-query delta → full re-profile); the
+//! `delta_reprofile` bench prints the full comparison series.
+
+use hydra_bench::{delta_of, retail_delta_fixture};
+use hydra_core::session::Hydra;
+use std::time::Instant;
+
+fn main() {
+    let t = Instant::now();
+    let (package, extras) = retail_delta_fixture(20);
+    println!("fixture: {:.1}s", t.elapsed().as_secs_f64());
+    let session = Hydra::builder()
+        .compare_aqps(false)
+        .summary_cache(false)
+        .build();
+    let t = Instant::now();
+    let state = session.regenerate_stateful(&package).unwrap();
+    println!("stateful base solve: {:.1}s", t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    let out = session
+        .profile_delta(&state, &delta_of(&extras, 1))
+        .unwrap();
+    println!(
+        "delta(1): {:.2}s\n{}",
+        t.elapsed().as_secs_f64(),
+        out.report.to_display_table()
+    );
+    let t = Instant::now();
+    session.regenerate(&out.state.package).unwrap();
+    println!("full re-profile: {:.1}s", t.elapsed().as_secs_f64());
+}

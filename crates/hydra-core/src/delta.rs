@@ -1,0 +1,402 @@
+//! Incremental workload evolution at the vendor site.
+//!
+//! A [`RegenerationState`] is a regeneration that *remembers how it was
+//! solved*: the published package, the extracted constraint set with
+//! per-query provenance, and the per-relation solve baseline (partition +
+//! solved region counts + constraint signatures).  Against that state, a
+//! [`hydra_query::delta::WorkloadDelta`] — queries added, retired, or
+//! re-annotated after a fresh client run — is applied **incrementally**:
+//!
+//! 1. the delta merges into the workload and constraint set without
+//!    re-extracting untouched annotated plans;
+//! 2. relations whose constraint signature is unchanged reuse their previous
+//!    summary bit-identically (no partitioning, no LP);
+//! 3. changed relations re-solve with their previous partition refined in
+//!    place and the previous LP support warm-starting the simplex;
+//! 4. the structural outcome is reported as a
+//!    [`hydra_summary::delta::SummaryDiff`] (blocks added / removed /
+//!    resized per relation).
+//!
+//! The incremental result satisfies the merged constraint set exactly as a
+//! from-scratch [`VendorSite::regenerate`] over the merged package does —
+//! the property the `delta_differential` proptest harness pins down.
+
+use crate::error::HydraResult;
+use crate::report::build_aqp_comparisons;
+use crate::transfer::TransferPackage;
+use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
+use hydra_datagen::dataless::DatalessDatabase;
+use hydra_query::delta::{ConstraintSet, WorkloadDelta};
+use hydra_summary::builder::SummaryBuilder;
+use hydra_summary::delta::{DeltaBuildReport, SolveBaseline, SummaryDiff};
+use hydra_summary::verify::verify_summary;
+use std::collections::BTreeMap;
+
+/// A regeneration plus everything needed to evolve it incrementally.
+#[derive(Debug, Clone)]
+pub struct RegenerationState {
+    /// The (merged) package this state was solved from.
+    pub package: TransferPackage,
+    /// The solved regeneration (summary, reports, schema).
+    pub regeneration: RegenerationResult,
+    /// The extracted constraint set, with per-query provenance retained for
+    /// incremental merging.
+    pub constraints: ConstraintSet,
+    /// Per-relation solve artifacts (signatures, partitions, region counts).
+    baseline: SolveBaseline,
+}
+
+impl RegenerationState {
+    /// Number of relations with retained solve artifacts.
+    pub fn baseline_relations(&self) -> usize {
+        self.baseline.len()
+    }
+}
+
+/// The outcome of applying a workload delta to a [`RegenerationState`].
+#[derive(Debug, Clone)]
+pub struct DeltaOutcome {
+    /// The evolved state (merged package, rebuilt regeneration, refreshed
+    /// baseline) — feed it to the next [`VendorSite::apply_delta`].
+    pub state: RegenerationState,
+    /// Structural diff against the previous summary (blocks added / removed
+    /// / resized per relation).
+    pub diff: SummaryDiff,
+    /// What re-solved, what was reused, and what the warm starts contributed.
+    pub report: DeltaBuildReport,
+}
+
+/// Row targets implied by a package's metadata, honoring the configured
+/// override (the same resolution [`VendorSite::regenerate`] applies).
+fn resolve_row_targets(config: &HydraConfig, package: &TransferPackage) -> BTreeMap<String, u64> {
+    match &config.row_target_override {
+        Some(overrides) => overrides.clone(),
+        None => package
+            .metadata
+            .schema
+            .table_names()
+            .iter()
+            .map(|t| (t.clone(), package.metadata.row_count(t)))
+            .collect(),
+    }
+}
+
+impl VendorSite {
+    /// [`VendorSite::regenerate`] retaining the per-relation solve artifacts
+    /// needed for incremental evolution.  The attached summary cache (if
+    /// any) is not consulted — the baseline subsumes it for delta flows —
+    /// but it *is* seeded with the solved relations, so scenario sweeps
+    /// over the same package stay as warm as after a plain regeneration.
+    pub fn regenerate_stateful(&self, package: &TransferPackage) -> HydraResult<RegenerationState> {
+        let schema = package.metadata.schema.clone();
+        let constraints = ConstraintSet::from_workload(&package.workload)?;
+        let row_targets = resolve_row_targets(&self.config, package);
+        let builder = SummaryBuilder::new(self.config.builder.clone());
+        let (summary, build_report, baseline) = builder.build_retaining(
+            &schema,
+            &row_targets,
+            constraints.by_table(),
+            Some(&package.metadata),
+        )?;
+        // The baseline subsumes the summary cache for delta flows, but
+        // scenario sweeps over the same package still read the session
+        // cache — seed it so a stateful solve warms them exactly like a
+        // plain `regenerate` would (the baseline signatures *are* the cache
+        // keys).
+        if let Some(cache) = &self.cache {
+            for relation in baseline.relations.values() {
+                cache.put(
+                    relation.signature,
+                    relation.summary.clone(),
+                    relation.stats.clone(),
+                );
+            }
+        }
+        let accuracy = verify_summary(&summary, constraints.by_table())?;
+        let aqp_comparisons = if self.config.compare_aqps {
+            let dataless = DatalessDatabase::new(schema.clone(), summary.clone());
+            build_aqp_comparisons(&dataless, &package.workload)?
+        } else {
+            Vec::new()
+        };
+        Ok(RegenerationState {
+            package: package.clone(),
+            regeneration: RegenerationResult {
+                summary,
+                build_report,
+                accuracy,
+                aqp_comparisons,
+                schema,
+            },
+            constraints,
+            baseline,
+        })
+    }
+
+    /// Applies a workload delta to a previous stateful regeneration: the
+    /// constraint merge, the summary rebuild (reuse / warm / cold per
+    /// relation) and the structural diff, end to end.
+    pub fn apply_delta(
+        &self,
+        prev: &RegenerationState,
+        delta: &WorkloadDelta,
+    ) -> HydraResult<DeltaOutcome> {
+        // 1. Merge the delta into the workload and the constraint set
+        //    (constraints of untouched queries are reused verbatim).
+        let merged_workload = prev.package.workload.apply_delta(delta)?;
+        let constraints = prev.constraints.merge_delta(&merged_workload, delta)?;
+
+        // 2. Revise the client metadata where the delta observed new row
+        //    counts (a drifted warehouse).
+        let mut metadata = prev.package.metadata.clone();
+        for (table, rows) in &delta.row_counts {
+            if let Some(stats) = metadata.tables.get_mut(table) {
+                stats.row_count = *rows;
+            } else {
+                metadata.tables.insert(
+                    table.clone(),
+                    hydra_catalog::stats::TableStatistics {
+                        row_count: *rows,
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+        let package = TransferPackage::new(metadata, merged_workload);
+        let schema = package.metadata.schema.clone();
+
+        // 3. Incremental rebuild against the previous baseline.
+        let row_targets = resolve_row_targets(&self.config, &package);
+        let builder = SummaryBuilder::new(self.config.builder.clone());
+        let built = builder.build_delta(
+            &schema,
+            &row_targets,
+            constraints.by_table(),
+            Some(&package.metadata),
+            &prev.baseline,
+        )?;
+
+        // 4. Verify against the *merged* constraint set, exactly as a
+        //    from-scratch regeneration would.
+        let accuracy = verify_summary(&built.summary, constraints.by_table())?;
+        let aqp_comparisons = if self.config.compare_aqps {
+            let dataless = DatalessDatabase::new(schema.clone(), built.summary.clone());
+            build_aqp_comparisons(&dataless, &package.workload)?
+        } else {
+            Vec::new()
+        };
+
+        Ok(DeltaOutcome {
+            state: RegenerationState {
+                package,
+                regeneration: RegenerationResult {
+                    summary: built.summary,
+                    build_report: built.report,
+                    accuracy,
+                    aqp_comparisons,
+                    schema,
+                },
+                constraints,
+                baseline: built.baseline,
+            },
+            diff: built.diff,
+            report: built.delta_report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientSite;
+    use hydra_engine::database::Database;
+    use hydra_engine::exec::Executor;
+    use hydra_query::query::SpjQuery;
+    use hydra_summary::delta::DeltaAction;
+    use hydra_workload::retail_client_fixture;
+
+    fn fixture() -> (Database, Vec<SpjQuery>) {
+        retail_client_fixture(1_500, 500, 8)
+    }
+
+    fn vendor() -> VendorSite {
+        VendorSite::new(HydraConfig::without_aqp_comparison())
+    }
+
+    /// Harvests one extra query (unused seed range) against the client DB.
+    fn harvested_delta(db: &Database, queries: &[SpjQuery]) -> WorkloadDelta {
+        let executor = Executor::new(db);
+        let mut delta = WorkloadDelta::new();
+        for query in queries {
+            let (_, aqp) = executor.run_query(query).unwrap();
+            delta = delta.add_annotated(query.clone(), aqp);
+        }
+        delta
+    }
+
+    #[test]
+    fn stateful_regeneration_matches_stateless() {
+        let (db, queries) = fixture();
+        let package = ClientSite::new(db)
+            .prepare_package(&queries, false)
+            .unwrap();
+        let stateless = vendor().regenerate(&package).unwrap();
+        let stateful = vendor().regenerate_stateful(&package).unwrap();
+        assert_eq!(stateless.summary, stateful.regeneration.summary);
+        assert_eq!(stateless.accuracy, stateful.regeneration.accuracy);
+        assert!(stateful.baseline_relations() > 0);
+    }
+
+    #[test]
+    fn empty_delta_reuses_every_relation() {
+        let (db, queries) = fixture();
+        let package = ClientSite::new(db)
+            .prepare_package(&queries, false)
+            .unwrap();
+        let state = vendor().regenerate_stateful(&package).unwrap();
+        let outcome = vendor().apply_delta(&state, &WorkloadDelta::new()).unwrap();
+        assert_eq!(
+            outcome.report.reused(),
+            outcome.report.relations.len(),
+            "{}",
+            outcome.report.to_display_table()
+        );
+        assert!(outcome.diff.is_unchanged());
+        assert_eq!(
+            outcome.state.regeneration.summary,
+            state.regeneration.summary
+        );
+    }
+
+    #[test]
+    fn retire_and_add_queries_incrementally() {
+        use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+
+        let (db, queries) = fixture();
+        let package = ClientSite::new(db.clone())
+            .prepare_package(&queries, false)
+            .unwrap();
+        let state = vendor().regenerate_stateful(&package).unwrap();
+
+        // A narrow new observation: a local-predicate query on web_sales
+        // (which references no dimension in this query), plus retiring one
+        // of the original queries.
+        let mut narrow = SpjQuery::new("delta-q1");
+        narrow.add_table("web_sales");
+        narrow.set_predicate(
+            "web_sales",
+            TablePredicate::always_true().with(ColumnPredicate::new(
+                "ws_quantity",
+                CompareOp::Lt,
+                40,
+            )),
+        );
+        let delta = harvested_delta(&db, &[narrow]);
+        let outcome = vendor().apply_delta(&state, &delta).unwrap();
+        assert_eq!(outcome.state.package.query_count(), 9);
+        // Only web_sales is touched: every other relation is reused, and
+        // referencing relations cascade reuse through identical dimension
+        // summaries.
+        assert_eq!(
+            outcome.report.reused(),
+            outcome.report.relations.len() - 1,
+            "only web_sales re-solves: {}",
+            outcome.report.to_display_table()
+        );
+        let ws = outcome
+            .report
+            .relations
+            .iter()
+            .find(|r| r.table == "web_sales")
+            .unwrap();
+        assert_ne!(ws.action, DeltaAction::Reused);
+
+        // Equivalence: a from-scratch regeneration of the merged package
+        // satisfies the same constraints with the same row counts.
+        let scratch = vendor().regenerate(&outcome.state.package).unwrap();
+        for (name, relation) in &scratch.summary.relations {
+            assert_eq!(
+                relation.total_rows,
+                outcome
+                    .state
+                    .regeneration
+                    .summary
+                    .relation(name)
+                    .unwrap()
+                    .total_rows,
+                "{name} row count"
+            );
+        }
+        assert_eq!(
+            scratch.accuracy.fraction_within(0.0),
+            outcome.state.regeneration.accuracy.fraction_within(0.0),
+            "incremental and from-scratch satisfy the same constraints exactly"
+        );
+
+        // A second delta chains off the evolved state: retiring the narrow
+        // query restores the original constraint set, so web_sales re-solves
+        // and everything else is reused again.
+        let delta2 = WorkloadDelta::new().retire("delta-q1");
+        let outcome2 = vendor().apply_delta(&outcome.state, &delta2).unwrap();
+        assert_eq!(outcome2.state.package.query_count(), 8);
+        assert_eq!(
+            outcome2.report.reused(),
+            outcome2.report.relations.len() - 1
+        );
+    }
+
+    #[test]
+    fn row_count_revision_rescales_the_relation() {
+        let (db, queries) = fixture();
+        let package = ClientSite::new(db)
+            .prepare_package(&queries, false)
+            .unwrap();
+        let state = vendor().regenerate_stateful(&package).unwrap();
+        let old_rows = state
+            .regeneration
+            .summary
+            .relation("store_sales")
+            .unwrap()
+            .total_rows;
+        let delta = WorkloadDelta::new().with_row_count("store_sales", old_rows * 2);
+        let outcome = vendor().apply_delta(&state, &delta).unwrap();
+        assert_eq!(
+            outcome
+                .state
+                .regeneration
+                .summary
+                .relation("store_sales")
+                .unwrap()
+                .total_rows,
+            old_rows * 2
+        );
+        let ss = outcome
+            .report
+            .relations
+            .iter()
+            .find(|r| r.table == "store_sales")
+            .unwrap();
+        assert_ne!(ss.action, DeltaAction::Reused);
+        let diff = outcome
+            .diff
+            .relations
+            .iter()
+            .find(|r| r.table == "store_sales")
+            .unwrap();
+        assert_eq!(diff.rows_before, old_rows);
+        assert_eq!(diff.rows_after, old_rows * 2);
+    }
+
+    #[test]
+    fn invalid_delta_surfaces_as_query_error() {
+        let (db, queries) = fixture();
+        let package = ClientSite::new(db)
+            .prepare_package(&queries, false)
+            .unwrap();
+        let state = vendor().regenerate_stateful(&package).unwrap();
+        let err = vendor()
+            .apply_delta(&state, &WorkloadDelta::new().retire("no-such-query"))
+            .unwrap_err();
+        assert!(err.to_string().contains("workload delta rejected"));
+    }
+}

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod delta;
 pub mod error;
 pub mod pipeline;
 pub mod report;
@@ -58,6 +59,7 @@ pub mod transfer;
 pub mod vendor;
 
 pub use client::ClientSite;
+pub use delta::{DeltaOutcome, RegenerationState};
 pub use error::{HydraError, HydraResult};
 pub use pipeline::{run_end_to_end, EndToEndResult};
 pub use report::{AqpEdgeComparison, QueryAqpComparison, RegenerationReport};

@@ -41,6 +41,7 @@
 //! ```
 
 use crate::client::ClientSite;
+use crate::delta::{DeltaOutcome, RegenerationState};
 use crate::error::HydraResult;
 use crate::scenario::{construct_scenario_with_cache, Scenario, ScenarioResult};
 use crate::transfer::TransferPackage;
@@ -250,6 +251,33 @@ impl Hydra {
     /// session cache when their constraint signature is unchanged.
     pub fn regenerate(&self, package: &TransferPackage) -> HydraResult<RegenerationResult> {
         self.vendor().regenerate(package)
+    }
+
+    /// [`Hydra::regenerate`] retaining the per-relation solve artifacts
+    /// (constraint signatures, region partitions, LP supports) that make the
+    /// regeneration *evolvable*: feed the returned state and a
+    /// [`hydra_query::delta::WorkloadDelta`] to [`Hydra::profile_delta`] and
+    /// only the relations the delta actually touches re-solve.
+    pub fn regenerate_stateful(&self, package: &TransferPackage) -> HydraResult<RegenerationState> {
+        self.vendor().regenerate_stateful(package)
+    }
+
+    /// Applies a workload delta (queries added / retired / re-annotated,
+    /// revised row counts) to a previous stateful regeneration
+    /// *incrementally*: unchanged relations are reused bit-identically,
+    /// changed relations re-solve warm-started from their previous LP
+    /// support, and the outcome reports a structural
+    /// [`hydra_summary::delta::SummaryDiff`] plus a per-relation
+    /// reuse/warm/cold account.
+    ///
+    /// The evolved summary satisfies the merged constraint set exactly as a
+    /// from-scratch [`Hydra::regenerate`] of the merged package does.
+    pub fn profile_delta(
+        &self,
+        prev: &RegenerationState,
+        delta: &hydra_query::delta::WorkloadDelta,
+    ) -> HydraResult<DeltaOutcome> {
+        self.vendor().apply_delta(prev, delta)
     }
 
     /// Constructs a what-if scenario over a package. Across a sweep of

@@ -97,7 +97,7 @@ pub struct VendorSite {
     /// Configuration.
     pub config: HydraConfig,
     /// Optional cache of solved per-relation summaries (scenario sweeps).
-    cache: Option<Arc<dyn SummaryCache>>,
+    pub(crate) cache: Option<Arc<dyn SummaryCache>>,
 }
 
 impl VendorSite {

@@ -40,6 +40,8 @@
 //! assert!((sol.values[1] - 6.0).abs() < 1e-6);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod diagnostics;
 pub mod problem;
 pub mod refine;
@@ -51,4 +53,5 @@ pub use diagnostics::{ConstraintViolation, ViolationReport};
 pub use problem::{Constraint, ConstraintOp, LpProblem};
 pub use refine::{refine_toward, repair_rounded_counts};
 pub use rounding::largest_remainder_round;
+pub use simplex::{WarmOutcome, WarmStart};
 pub use solver::{LpError, LpSolution, LpSolver, SolveStatus};

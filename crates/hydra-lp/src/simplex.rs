@@ -26,14 +26,58 @@ const EPS: f64 = 1e-9;
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimplexOutcome {
     /// An optimal (or feasible, for pure feasibility problems) solution.
-    Optimal { values: Vec<f64>, objective: f64 },
+    Optimal {
+        /// Value per structural variable.
+        values: Vec<f64>,
+        /// Objective value achieved.
+        objective: f64,
+    },
     /// The constraint system has no feasible point.
-    Infeasible { phase1_objective: f64 },
+    Infeasible {
+        /// The positive phase-1 optimum certifying infeasibility.
+        phase1_objective: f64,
+    },
     /// The objective is unbounded below over the feasible region.
     Unbounded,
     /// The pivot budget was exhausted (should not happen with Bland's rule;
     /// kept as a defensive terminal state).
     IterationLimit,
+}
+
+/// A warm-start hint: the structural columns expected to carry the optimal
+/// basis, typically the support of a previously solved, structurally similar
+/// LP (delta re-profiling maps the old solution's nonzero regions into the
+/// new problem's column space).
+///
+/// Warm starting is *advisory*: phase 1 first pivots only over the hinted
+/// columns (plus slacks and artificials), and if that restricted pass cannot
+/// drive the artificials out — a stale or incompatible basis — the solver
+/// transparently continues over the full column set, so a warm solve accepts
+/// exactly the problems a cold solve accepts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarmStart {
+    /// Structural column indices to prioritize during phase 1.
+    pub columns: Vec<usize>,
+}
+
+impl WarmStart {
+    /// A warm start over the given structural columns.
+    pub fn new(columns: Vec<usize>) -> Self {
+        WarmStart { columns }
+    }
+}
+
+/// What a warm-start hint contributed to a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmOutcome {
+    /// No (usable) hint was supplied; the solve was cold.
+    NotAttempted,
+    /// The hinted columns alone produced a feasible basis — phase 1 never
+    /// had to look at the rest of the column space.
+    Hit,
+    /// The hint was tried but was stale or incompatible; the solver fell
+    /// back to the full (cold-equivalent) pivot space and still solved.
+    FellBack,
 }
 
 /// A simplex outcome plus the dual prices of the user constraints, when
@@ -215,7 +259,21 @@ impl Simplex {
     /// [`Simplex::solve`] additionally recovering constraint duals (see
     /// [`SolveDetail`]).
     pub fn solve_detailed(&self, problem: &LpProblem) -> SolveDetail {
+        self.solve_detailed_warm(problem, None).0
+    }
+
+    /// [`Simplex::solve_detailed`] with an optional [`WarmStart`]: phase 1
+    /// first pivots only over the hinted structural columns (plus auxiliary
+    /// columns) and widens to the full column set only if that restricted
+    /// pass cannot reach feasibility.  Behaviour with `None` is identical to
+    /// a cold solve.
+    pub fn solve_detailed_warm(
+        &self,
+        problem: &LpProblem,
+        warm: Option<&WarmStart>,
+    ) -> (SolveDetail, WarmOutcome) {
         let n = problem.num_vars;
+        let mut warm_outcome = WarmOutcome::NotAttempted;
 
         // Materialize all rows: user constraints plus upper-bound rows.
         struct Row {
@@ -249,18 +307,24 @@ impl Simplex {
             // the LP is unbounded unless coefficients are >= 0.
             let has_negative_cost = problem.objective.iter().any(|(_, c)| *c < 0.0);
             if has_negative_cost {
-                return SolveDetail {
-                    outcome: SimplexOutcome::Unbounded,
-                    duals: None,
-                };
+                return (
+                    SolveDetail {
+                        outcome: SimplexOutcome::Unbounded,
+                        duals: None,
+                    },
+                    warm_outcome,
+                );
             }
-            return SolveDetail {
-                outcome: SimplexOutcome::Optimal {
-                    values: vec![0.0; n],
-                    objective: 0.0,
+            return (
+                SolveDetail {
+                    outcome: SimplexOutcome::Optimal {
+                        values: vec![0.0; n],
+                        objective: 0.0,
+                    },
+                    duals: Some(Vec::new()),
                 },
-                duals: Some(Vec::new()),
-            };
+                warm_outcome,
+            );
         }
 
         // Count auxiliary columns.
@@ -372,6 +436,11 @@ impl Simplex {
             rows: m,
             cols,
         };
+        // Phase-1 infeasibility cutoff (see the comment further down); also
+        // used to decide whether a warm-restricted pass closed feasibility.
+        let rhs_scale = rows.iter().map(|r| r.rhs.abs()).fold(0.0f64, f64::max);
+        let phase1_cutoff = (1e-10 * rhs_scale).max(1e-6);
+
         if !artificial_cols.is_empty() {
             for &j in &artificial_cols {
                 tableau.cost[j] = 1.0;
@@ -388,20 +457,53 @@ impl Simplex {
                     }
                 }
             }
-            let allowed: Vec<bool> = (0..cols).map(|_| true).collect();
-            match tableau.optimize(&allowed, max_pivots) {
-                SimplexResult::Optimal => {}
-                SimplexResult::Unbounded => {
-                    // Phase-1 objective is bounded below by zero; treat as limit.
-                    return SolveDetail {
-                        outcome: SimplexOutcome::IterationLimit,
-                        duals: None,
-                    };
+            // Warm-restricted pass: pivot only over the hinted structural
+            // columns (plus every auxiliary column).  A hint with any
+            // out-of-range column is stale by definition and skipped.
+            let mut closed_by_warm = false;
+            if let Some(w) = warm {
+                if !w.columns.is_empty() && w.columns.iter().all(|&j| j < n) {
+                    let mut mask = vec![false; cols];
+                    for &j in &w.columns {
+                        mask[j] = true;
+                    }
+                    for slot in mask.iter_mut().take(cols).skip(n) {
+                        *slot = true;
+                    }
+                    if matches!(tableau.optimize(&mask, max_pivots), SimplexResult::Optimal)
+                        && tableau.objective_value() <= phase1_cutoff
+                    {
+                        closed_by_warm = true;
+                        warm_outcome = WarmOutcome::Hit;
+                    } else {
+                        // Stale basis: keep whatever progress the restricted
+                        // pivots made and widen to the full column set.
+                        warm_outcome = WarmOutcome::FellBack;
+                    }
                 }
-                SimplexResult::IterationLimit => {
-                    return SolveDetail {
-                        outcome: SimplexOutcome::IterationLimit,
-                        duals: None,
+            }
+            if !closed_by_warm {
+                let allowed: Vec<bool> = (0..cols).map(|_| true).collect();
+                match tableau.optimize(&allowed, max_pivots) {
+                    SimplexResult::Optimal => {}
+                    SimplexResult::Unbounded => {
+                        // Phase-1 objective is bounded below by zero; treat as limit.
+                        return (
+                            SolveDetail {
+                                outcome: SimplexOutcome::IterationLimit,
+                                duals: None,
+                            },
+                            warm_outcome,
+                        );
+                    }
+                    SimplexResult::IterationLimit => {
+                        return (
+                            SolveDetail {
+                                outcome: SimplexOutcome::IterationLimit,
+                                duals: None,
+                            },
+                            warm_outcome,
+                        );
                     }
                 }
             }
@@ -419,8 +521,7 @@ impl Simplex {
             // (1e-10) so that a *real* contradiction among small-scale
             // constraints is still caught even when an unrelated huge row
             // target sits in the same system.
-            let rhs_scale = rows.iter().map(|r| r.rhs.abs()).fold(0.0f64, f64::max);
-            if phase1 > (1e-10 * rhs_scale).max(1e-6) {
+            if phase1 > phase1_cutoff {
                 // Phase-1 duals: slacks cost 0, artificials cost 1.
                 let artificial_start = n + num_slack;
                 let duals = duals_from(&tableau, &|col| {
@@ -430,12 +531,15 @@ impl Simplex {
                         0.0
                     }
                 });
-                return SolveDetail {
-                    outcome: SimplexOutcome::Infeasible {
-                        phase1_objective: phase1,
+                return (
+                    SolveDetail {
+                        outcome: SimplexOutcome::Infeasible {
+                            phase1_objective: phase1,
+                        },
+                        duals,
                     },
-                    duals,
-                };
+                    warm_outcome,
+                );
             }
             // Drive any artificial variables still in the basis out of it
             // (degenerate rows); if impossible the row is redundant.
@@ -480,16 +584,22 @@ impl Simplex {
         match tableau.optimize(&allowed, max_pivots) {
             SimplexResult::Optimal => {}
             SimplexResult::Unbounded => {
-                return SolveDetail {
-                    outcome: SimplexOutcome::Unbounded,
-                    duals: None,
-                }
+                return (
+                    SolveDetail {
+                        outcome: SimplexOutcome::Unbounded,
+                        duals: None,
+                    },
+                    warm_outcome,
+                )
             }
             SimplexResult::IterationLimit => {
-                return SolveDetail {
-                    outcome: SimplexOutcome::IterationLimit,
-                    duals: None,
-                }
+                return (
+                    SolveDetail {
+                        outcome: SimplexOutcome::IterationLimit,
+                        duals: None,
+                    },
+                    warm_outcome,
+                )
             }
         }
 
@@ -497,10 +607,13 @@ impl Simplex {
         let duals = duals_from(&tableau, &|_| 0.0);
         let values = tableau.extract(n);
         let objective: f64 = problem.objective.iter().map(|(j, c)| c * values[*j]).sum();
-        SolveDetail {
-            outcome: SimplexOutcome::Optimal { values, objective },
-            duals,
-        }
+        (
+            SolveDetail {
+                outcome: SimplexOutcome::Optimal { values, objective },
+                duals,
+            },
+            warm_outcome,
+        )
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::diagnostics::ViolationReport;
 use crate::problem::{Constraint, ConstraintOp, LpProblem};
-use crate::simplex::{Simplex, SimplexOutcome};
+use crate::simplex::{Simplex, SimplexOutcome, WarmOutcome, WarmStart};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -51,7 +51,10 @@ pub enum LpError {
     /// The solver exceeded its pivot budget.
     IterationLimit,
     /// The problem was infeasible and least-violation recovery was disabled.
-    Infeasible { phase1_objective: f64 },
+    Infeasible {
+        /// The positive phase-1 optimum certifying infeasibility.
+        phase1_objective: f64,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -265,6 +268,25 @@ impl LpSolver {
 
     /// Solves the problem.
     pub fn solve(&self, problem: &LpProblem) -> Result<LpSolution, LpError> {
+        self.solve_warm(problem, None).map(|(solution, _)| solution)
+    }
+
+    /// [`LpSolver::solve`] with an optional [`WarmStart`] — the support of a
+    /// previously solved, structurally similar LP mapped into this problem's
+    /// column space (delta re-profiling).
+    ///
+    /// The hint is advisory on every path: the dense simplex runs a
+    /// warm-restricted phase 1 first, the delayed-column-generation fast
+    /// path seeds its working set with the hinted columns, and a stale or
+    /// incompatible hint falls back to the cold pivot space — so a warm
+    /// solve reaches a feasible optimum on every problem the cold solver
+    /// handles.  The returned [`WarmOutcome`] reports what the hint
+    /// contributed.
+    pub fn solve_warm(
+        &self,
+        problem: &LpProblem,
+        warm: Option<&WarmStart>,
+    ) -> Result<(LpSolution, WarmOutcome), LpError> {
         let start = Instant::now();
 
         // Fast path for HYDRA's fact-relation LPs: tens of thousands of
@@ -275,62 +297,91 @@ impl LpSolver {
         // excluded column proves infeasibility of the *full* problem, and any
         // restricted feasible point zero-pads to a full feasible point.
         if problem.objective.is_empty() && problem.num_vars >= WORKING_SET_MIN_VARS {
-            match self.column_generation_feasibility(problem) {
+            let (generated, cg_outcome) = self.column_generation_feasibility(problem, warm);
+            match generated {
                 ColumnGeneration::Feasible(values) => {
                     let report = ViolationReport::evaluate(problem, &values);
-                    return Ok(LpSolution {
-                        objective: 0.0,
-                        status: SolveStatus::Feasible,
-                        total_violation: report.total_absolute_violation,
-                        solve_time: start.elapsed(),
-                        num_vars: problem.num_vars,
-                        num_constraints: problem.num_constraints(),
-                        values,
-                    });
+                    return Ok((
+                        LpSolution {
+                            objective: 0.0,
+                            status: SolveStatus::Feasible,
+                            total_violation: report.total_absolute_violation,
+                            solve_time: start.elapsed(),
+                            num_vars: problem.num_vars,
+                            num_constraints: problem.num_constraints(),
+                            values,
+                        },
+                        cg_outcome,
+                    ));
                 }
                 ColumnGeneration::Infeasible { phase1_objective } => {
                     if !self.recover_least_violation {
                         return Err(LpError::Infeasible { phase1_objective });
                     }
-                    if let Some(solution) = self.column_generation_least_violation(problem, start) {
-                        return Ok(solution);
+                    if let Some(solution) =
+                        self.column_generation_least_violation(problem, start, warm)
+                    {
+                        return Ok((solution, cg_outcome));
                     }
                 }
                 ColumnGeneration::GaveUp => {}
             }
         }
 
-        match self.simplex.solve(problem) {
+        let (detail, warm_outcome) = self.simplex.solve_detailed_warm(problem, warm);
+        match detail.outcome {
             SimplexOutcome::Optimal { values, objective } => {
                 let report = ViolationReport::evaluate(problem, &values);
-                Ok(LpSolution {
-                    values,
-                    objective,
-                    status: SolveStatus::Feasible,
-                    total_violation: report.total_absolute_violation,
-                    solve_time: start.elapsed(),
-                    num_vars: problem.num_vars,
-                    num_constraints: problem.num_constraints(),
-                })
+                Ok((
+                    LpSolution {
+                        values,
+                        objective,
+                        status: SolveStatus::Feasible,
+                        total_violation: report.total_absolute_violation,
+                        solve_time: start.elapsed(),
+                        num_vars: problem.num_vars,
+                        num_constraints: problem.num_constraints(),
+                    },
+                    warm_outcome,
+                ))
             }
             SimplexOutcome::Infeasible { phase1_objective } => {
                 if !self.recover_least_violation {
                     return Err(LpError::Infeasible { phase1_objective });
                 }
-                self.solve_least_violation(problem, start)
+                // Credit the *recovery* solve's warm outcome — the strict
+                // pass necessarily fell short, but the hint can still close
+                // the elastic system's phase 1.
+                self.solve_least_violation(problem, start, warm)
             }
             SimplexOutcome::Unbounded => Err(LpError::Unbounded),
             SimplexOutcome::IterationLimit => Err(LpError::IterationLimit),
         }
     }
 
-    /// Runs delayed column generation for pure feasibility.
-    fn column_generation_feasibility(&self, problem: &LpProblem) -> ColumnGeneration {
+    /// Runs delayed column generation for pure feasibility.  A warm start
+    /// seeds the working set with the hinted columns: a previous solution's
+    /// support is usually a feasible basis already, so the first restricted
+    /// solve closes feasibility without any pricing rounds.
+    fn column_generation_feasibility(
+        &self,
+        problem: &LpProblem,
+        warm: Option<&WarmStart>,
+    ) -> (ColumnGeneration, WarmOutcome) {
         let n = problem.num_vars;
         let mut selected = initial_working_set(problem);
-        for _round in 0..COLUMN_GENERATION_ROUNDS {
+        let mut warm_outcome = WarmOutcome::NotAttempted;
+        if let Some(w) = warm {
+            if !w.columns.is_empty() && w.columns.iter().all(|&j| j < n) {
+                selected.extend(w.columns.iter().copied());
+                // Provisional: upgraded to `Hit` if the seeded working set
+                // closes feasibility without a single pricing round.
+                warm_outcome = WarmOutcome::FellBack;
+            }
+        }
+        for round in 0..COLUMN_GENERATION_ROUNDS {
             if selected.len() >= n {
-                return ColumnGeneration::GaveUp;
+                return (ColumnGeneration::GaveUp, warm_outcome);
             }
             let (sub, columns) = restrict(problem, &selected);
             let detail = self.simplex.solve_detailed(&sub);
@@ -340,11 +391,25 @@ impl LpSolver {
                     for (slot, &j) in columns.iter().enumerate() {
                         full[j] = values[slot];
                     }
-                    return ColumnGeneration::Feasible(full);
+                    // Credit the hint only when the seeded working set
+                    // closed feasibility without pricing rounds *and* the
+                    // found solution actually rests on hinted columns — a
+                    // junk hint riding on the heuristic seed is not a hit.
+                    if round == 0
+                        && warm_outcome == WarmOutcome::FellBack
+                        && warm.is_some_and(|w| {
+                            w.columns
+                                .iter()
+                                .any(|&j| full.get(j).is_some_and(|v| *v > 1e-9))
+                        })
+                    {
+                        warm_outcome = WarmOutcome::Hit;
+                    }
+                    return (ColumnGeneration::Feasible(full), warm_outcome);
                 }
                 crate::simplex::SimplexOutcome::Infeasible { phase1_objective } => {
                     let Some(duals) = detail.duals else {
-                        return ColumnGeneration::GaveUp;
+                        return (ColumnGeneration::GaveUp, warm_outcome);
                     };
                     // Price excluded columns against the phase-1 duals: the
                     // structural phase-1 cost is 0, so rc_j = -y·A_j.
@@ -352,13 +417,16 @@ impl LpSolver {
                     if added == 0 {
                         // No column can lower the positive phase-1 optimum:
                         // the full problem is infeasible, certified.
-                        return ColumnGeneration::Infeasible { phase1_objective };
+                        return (
+                            ColumnGeneration::Infeasible { phase1_objective },
+                            warm_outcome,
+                        );
                     }
                 }
-                _ => return ColumnGeneration::GaveUp,
+                _ => return (ColumnGeneration::GaveUp, warm_outcome),
             }
         }
-        ColumnGeneration::GaveUp
+        (ColumnGeneration::GaveUp, warm_outcome)
     }
 
     /// Runs delayed column generation for the least-violation relaxation.
@@ -370,9 +438,15 @@ impl LpSolver {
         &self,
         problem: &LpProblem,
         start: Instant,
+        warm: Option<&WarmStart>,
     ) -> Option<LpSolution> {
         let n = problem.num_vars;
         let mut selected = initial_working_set(problem);
+        if let Some(w) = warm {
+            if w.columns.iter().all(|&j| j < n) {
+                selected.extend(w.columns.iter().copied());
+            }
+        }
         for _round in 0..COLUMN_GENERATION_ROUNDS {
             if selected.len() >= n {
                 return None;
@@ -437,11 +511,22 @@ impl LpSolver {
         &self,
         problem: &LpProblem,
         start: Instant,
-    ) -> Result<LpSolution, LpError> {
+        warm: Option<&WarmStart>,
+    ) -> Result<(LpSolution, WarmOutcome), LpError> {
         let n = problem.num_vars;
         let soft = soften(problem);
 
-        match self.simplex.solve(&soft) {
+        // Structural columns keep their indices in the softened problem, so
+        // the hint stays valid — extended with the violation variables, which
+        // are what makes the elastic system feasible in the first place.
+        let soft_warm = warm.map(|w| {
+            let mut columns = w.columns.clone();
+            columns.extend(n..soft.num_vars);
+            WarmStart::new(columns)
+        });
+
+        let (detail, warm_outcome) = self.simplex.solve_detailed_warm(&soft, soft_warm.as_ref());
+        match detail.outcome {
             SimplexOutcome::Optimal { values, .. } => {
                 let values: Vec<f64> = values.into_iter().take(n).collect();
                 let report = ViolationReport::evaluate(problem, &values);
@@ -452,15 +537,18 @@ impl LpSolver {
                         SolveStatus::LeastViolation
                     };
                 let objective: f64 = problem.objective.iter().map(|(j, c)| c * values[*j]).sum();
-                Ok(LpSolution {
-                    values,
-                    objective,
-                    status,
-                    total_violation: report.total_absolute_violation,
-                    solve_time: start.elapsed(),
-                    num_vars: problem.num_vars,
-                    num_constraints: problem.num_constraints(),
-                })
+                Ok((
+                    LpSolution {
+                        values,
+                        objective,
+                        status,
+                        total_violation: report.total_absolute_violation,
+                        solve_time: start.elapsed(),
+                        num_vars: problem.num_vars,
+                        num_constraints: problem.num_constraints(),
+                    },
+                    warm_outcome,
+                ))
             }
             SimplexOutcome::Infeasible { phase1_objective } => {
                 Err(LpError::Infeasible { phase1_objective })
@@ -543,5 +631,169 @@ mod tests {
         assert_eq!(sol.status, SolveStatus::LeastViolation);
         assert!(sol.values[0] <= 10.0 + 1e-6);
         assert!(sol.values[0] >= 4.0 - 1e-6);
+    }
+
+    /// The support (nonzero columns) of a solution — what delta re-profiling
+    /// carries from one solve to the next.
+    fn support(solution: &LpSolution) -> Vec<usize> {
+        solution
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 1e-9)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// A HYDRA-shaped feasibility LP: block equalities plus a total sum.
+    fn blocky_lp(total: f64) -> LpProblem {
+        let n = 60;
+        let mut lp = LpProblem::new(n);
+        for k in 0..12 {
+            let lo = k * 5;
+            let terms: Vec<(usize, f64)> = (lo..lo + 5).map(|j| (j, 1.0)).collect();
+            lp.add_constraint(terms, ConstraintOp::Eq, 40.0);
+        }
+        lp.add_constraint((0..n).map(|j| (j, 1.0)).collect(), ConstraintOp::Eq, total);
+        lp
+    }
+
+    #[test]
+    fn warm_start_from_previous_support_hits() {
+        let lp = blocky_lp(480.0);
+        let solver = LpSolver::default();
+        let cold = solver.solve(&lp).unwrap();
+        assert_eq!(cold.status, SolveStatus::Feasible);
+
+        // Re-solve the same structure with a revised RHS (a re-annotation
+        // delta): the old support is still a feasible basis.
+        let warm_hint = WarmStart::new(support(&cold));
+        let (warm_sol, outcome) = solver.solve_warm(&lp, Some(&warm_hint)).unwrap();
+        assert_eq!(outcome, WarmOutcome::Hit);
+        assert_eq!(warm_sol.status, SolveStatus::Feasible);
+        assert!(lp.is_feasible(&warm_sol.values, 1e-5));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_feasibility_on_all_fixtures() {
+        // Every fixture the cold solver handles must be handled warm too —
+        // with a good hint, a junk hint, and an empty hint.
+        let fixtures: Vec<LpProblem> = {
+            let mut v = Vec::new();
+            let mut lp = LpProblem::new(3);
+            lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], ConstraintOp::Eq, 9.0);
+            lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 2.0);
+            v.push(lp);
+            v.push(blocky_lp(480.0));
+            // The PR 3 mixed-scale phase-1 tolerance fixture: a huge row
+            // target plus small-scale equalities that are exactly feasible.
+            let mut lp = LpProblem::new(3);
+            lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 1e10);
+            lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 5.0);
+            lp.add_constraint(vec![(1, 1.0), (2, 1.0)], ConstraintOp::Eq, 12.0);
+            v.push(lp);
+            // Inequalities + upper bounds.
+            let mut lp = LpProblem::new(2);
+            lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+            lp.set_upper_bound(0, 3.0);
+            v.push(lp);
+            v
+        };
+        let solver = LpSolver::default();
+        for (i, lp) in fixtures.iter().enumerate() {
+            let cold = solver.solve(lp).unwrap();
+            let hints = [
+                WarmStart::new(support(&cold)),
+                WarmStart::new((0..lp.num_vars).rev().collect()),
+                WarmStart::new(Vec::new()),
+            ];
+            for hint in &hints {
+                let (warm_sol, _) = solver.solve_warm(lp, Some(hint)).unwrap();
+                assert_eq!(warm_sol.status, cold.status, "fixture {i}");
+                assert!(
+                    lp.is_feasible(&warm_sol.values, 1e-5),
+                    "fixture {i} warm solution infeasible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_warm_basis_falls_back_to_cold() {
+        // A hint pointing at columns that cannot span a feasible basis: only
+        // x0 is hinted, but feasibility needs x1 (x0 is capped below the
+        // demand).  The restricted pass must fail over to the full space.
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 10.0);
+        lp.set_upper_bound(0, 3.0);
+        let solver = LpSolver::default();
+        let (sol, outcome) = solver
+            .solve_warm(&lp, Some(&WarmStart::new(vec![0])))
+            .unwrap();
+        assert_eq!(outcome, WarmOutcome::FellBack);
+        assert_eq!(sol.status, SolveStatus::Feasible);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+
+        // An incompatible hint (columns out of range — a basis saved against
+        // a different problem) is skipped entirely, not an error.
+        let (sol, outcome) = solver
+            .solve_warm(&lp, Some(&WarmStart::new(vec![0, 99])))
+            .unwrap();
+        assert_eq!(outcome, WarmOutcome::NotAttempted);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn warm_start_respects_mixed_scale_infeasibility_detection() {
+        // The PR 3 regression shape: a huge row target must not mask a real
+        // small-scale contradiction — warm-started or not.
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 1e10);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 7.0);
+        let strict = LpSolver::strict();
+        let cold = strict.solve(&lp).unwrap_err();
+        assert!(matches!(cold, LpError::Infeasible { .. }));
+        let warm = strict
+            .solve_warm(&lp, Some(&WarmStart::new(vec![0, 1])))
+            .unwrap_err();
+        assert!(matches!(warm, LpError::Infeasible { .. }));
+
+        // The recovering solver reaches the same least-violation compromise
+        // (unit scale, where the violation is relatively significant too).
+        let mut lp = LpProblem::new(2);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Eq, 3.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 5.0);
+        lp.add_constraint(vec![(1, 1.0)], ConstraintOp::Eq, 7.0);
+        let solver = LpSolver::default();
+        let cold = solver.solve(&lp).unwrap();
+        let (warm, _) = solver
+            .solve_warm(&lp, Some(&WarmStart::new(vec![0, 1])))
+            .unwrap();
+        assert_eq!(cold.status, SolveStatus::LeastViolation);
+        assert_eq!(warm.status, SolveStatus::LeastViolation);
+        assert!((cold.total_violation - warm.total_violation).abs() < 1e-5);
+    }
+
+    #[test]
+    fn warm_start_seeds_the_column_generation_path() {
+        // Big enough to take the delayed-column-generation fast path
+        // (>= WORKING_SET_MIN_VARS), structured like a fact-relation LP.
+        let n = 1500usize;
+        let mut lp = LpProblem::new(n);
+        for k in 0..10 {
+            let lo = k * 150;
+            let terms: Vec<(usize, f64)> = (lo..lo + 150).map(|j| (j, 1.0)).collect();
+            lp.add_constraint(terms, ConstraintOp::Eq, 100.0);
+        }
+        lp.add_constraint((0..n).map(|j| (j, 1.0)).collect(), ConstraintOp::Eq, 1000.0);
+        let solver = LpSolver::default();
+        let cold = solver.solve(&lp).unwrap();
+        assert_eq!(cold.status, SolveStatus::Feasible);
+        let (warm_sol, outcome) = solver
+            .solve_warm(&lp, Some(&WarmStart::new(support(&cold))))
+            .unwrap();
+        assert_eq!(outcome, WarmOutcome::Hit);
+        assert!(lp.is_feasible(&warm_sol.values, 1e-5));
     }
 }

@@ -6,10 +6,18 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionError {
     /// A constraint box has a different dimensionality than the space.
-    DimensionMismatch { expected: usize, got: usize },
+    DimensionMismatch {
+        /// Dimensionality of the attribute space.
+        expected: usize,
+        /// Dimensionality of the offending box.
+        got: usize,
+    },
     /// The region budget was exceeded (the workload induces more regions —
     /// LP variables — than the configured limit).
-    TooManyRegions { limit: usize },
+    TooManyRegions {
+        /// The configured region budget.
+        limit: usize,
+    },
     /// The space has an empty axis.
     EmptyAxis(String),
 }

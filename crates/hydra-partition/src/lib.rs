@@ -45,10 +45,13 @@
 //! assert_eq!(partition.regions().len(), 4);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod grid;
 pub mod interval;
 pub mod nbox;
+pub mod refine;
 pub mod region;
 pub mod signature;
 pub mod space;
@@ -57,6 +60,7 @@ pub use error::{PartitionError, PartitionResult};
 pub use grid::GridPartition;
 pub use interval::Interval;
 pub use nbox::NBox;
+pub use refine::PartitionRefinement;
 pub use region::{Region, RegionPartition, RegionPartitioner};
 pub use signature::Signature;
 pub use space::AttributeSpace;

@@ -141,6 +141,13 @@ impl RegionPartition {
         self.constraints.len()
     }
 
+    /// The constraint box unions this partition was built against, in the
+    /// order the signatures index them (used by incremental refinement to
+    /// detect unchanged boxes and moved predicate boundaries).
+    pub fn constraint_unions(&self) -> &[Vec<NBox>] {
+        &self.constraints
+    }
+
     /// Indices of the regions covered by the given constraint.
     pub fn regions_in_constraint(&self, constraint: usize) -> Vec<usize> {
         self.regions
@@ -282,6 +289,13 @@ impl RegionPartitioner {
     /// Number of constraints added so far.
     pub fn num_constraints(&self) -> usize {
         self.constraints.len()
+    }
+
+    /// Deconstructs the partitioner into its space, constraint unions and
+    /// region budget (used by [`RegionPartitioner::refine`], which needs to
+    /// compare them against a previous partition before sweeping).
+    pub(crate) fn parts(self) -> (AttributeSpace, Vec<Vec<NBox>>, usize) {
+        (self.space, self.constraints, self.max_regions)
     }
 
     /// Runs the partitioning.

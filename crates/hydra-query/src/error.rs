@@ -41,6 +41,9 @@ pub enum QueryError {
     Unsupported(String),
     /// An AQP was malformed (e.g. annotation missing).
     MalformedAqp(String),
+    /// A workload delta could not be applied (unknown query retired,
+    /// duplicate add, retire + re-annotate of the same query, …).
+    Delta(String),
 }
 
 impl QueryError {
@@ -83,6 +86,7 @@ impl fmt::Display for QueryError {
             QueryError::UnknownReference(msg) => write!(f, "unknown reference: {msg}"),
             QueryError::Unsupported(msg) => write!(f, "unsupported query: {msg}"),
             QueryError::MalformedAqp(msg) => write!(f, "malformed AQP: {msg}"),
+            QueryError::Delta(msg) => write!(f, "workload delta rejected: {msg}"),
         }
     }
 }

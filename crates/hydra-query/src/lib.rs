@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod aqp;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod parser;
@@ -57,6 +58,7 @@ pub mod query;
 pub mod workload;
 
 pub use aqp::{AnnotatedQueryPlan, AqpNode, FkCondition, VolumetricConstraint};
+pub use delta::{ConstraintSet, WorkloadDelta};
 pub use error::{QueryError, QueryResult, Span};
 pub use exec::{
     AggExpr, AggFunc, AggregateQuery, Aggregator, AnswerRow, ColumnRef, ExecStrategy, QueryAnswer,

@@ -8,12 +8,17 @@
 //!
 //! Publishes the retail fixture, lists and describes it, streams two
 //! disjoint shards of the fact table (verifying they concatenate to the
-//! full prefix), runs a what-if scenario, and asks the server to shut down.
+//! full prefix), runs a what-if scenario, evolves the workload with an
+//! incremental `DeltaPublish` (verifying the version bump and the
+//! structural diff), and asks the server to shut down.
 
 use hydra_core::session::Hydra;
+use hydra_query::delta::WorkloadDelta;
+use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+use hydra_query::query::SpjQuery;
 use hydra_service::client::HydraClient;
 use hydra_service::protocol::{ScenarioSpec, StreamRequest};
-use hydra_workload::retail_client_fixture;
+use hydra_workload::{harvest_workload, retail_client_fixture};
 
 fn main() {
     let addr = std::env::args()
@@ -23,7 +28,7 @@ fn main() {
     // Client site: profile a small retail warehouse.
     let session = Hydra::builder().compare_aqps(false).build();
     let (db, queries) = retail_client_fixture(1_200, 400, 6);
-    let package = session.profile(db, &queries).expect("profile");
+    let package = session.profile(db.clone(), &queries).expect("profile");
 
     let mut client = HydraClient::connect(addr.as_str()).expect("connect");
     let info = client.publish("smoke", &package).expect("publish");
@@ -81,6 +86,37 @@ fn main() {
         report.scenario, report.feasible, report.total_violation, report.cached_relations
     );
     assert!(report.feasible, "uniform scaling must stay feasible");
+
+    // Workload evolution: a newly observed query arrives; ship only the
+    // delta and let the server re-solve just the relation it touches.
+    let mut drift = SpjQuery::new("drift-1");
+    drift.add_table("web_sales");
+    drift.set_predicate(
+        "web_sales",
+        TablePredicate::always_true().with(ColumnPredicate::new("ws_quantity", CompareOp::Lt, 30)),
+    );
+    let harvested = harvest_workload(&db, &[drift]).expect("harvest delta query");
+    let entry = harvested.entries.into_iter().next().expect("one entry");
+    let delta = WorkloadDelta::new().add_annotated(entry.query, entry.aqp.expect("annotated"));
+    let published = client
+        .delta_publish("smoke", &delta)
+        .expect("delta publish");
+    assert_eq!(published.info.version, 2, "delta must bump the version");
+    assert_eq!(
+        published.report.reused(),
+        published.report.relations.len() - 1,
+        "only web_sales re-solves"
+    );
+    assert_eq!(published.diff.changed_relations(), vec!["web_sales"]);
+    println!(
+        "delta-published `{}` v{}: {} reused, {} warm, {} cold; changed: {:?}",
+        published.info.name,
+        published.info.version,
+        published.report.reused(),
+        published.report.warm_solved(),
+        published.report.cold_solved(),
+        published.diff.changed_relations()
+    );
 
     client.shutdown().expect("shutdown");
     println!("service round-trip OK");

@@ -6,11 +6,12 @@
 
 use crate::error::{ServiceError, ServiceResult};
 use crate::protocol::{
-    read_frame, write_frame, QueryRequest, Request, Response, ScenarioReport, ScenarioSpec,
-    StreamRequest, StreamStart, StreamStats, SummaryDetail, SummaryInfo,
+    read_frame, write_frame, DeltaPublished, QueryRequest, Request, Response, ScenarioReport,
+    ScenarioSpec, StreamRequest, StreamStart, StreamStats, SummaryDetail, SummaryInfo,
 };
 use hydra_core::transfer::TransferPackage;
 use hydra_engine::row::Row;
+use hydra_query::delta::WorkloadDelta;
 use hydra_query::exec::QueryAnswer;
 use serde::Serialize;
 use std::io::{BufReader, BufWriter, Write};
@@ -58,6 +59,26 @@ impl HydraClient {
         })?;
         match self.receive()? {
             Response::Published(info) => Ok(info),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Evolves a registered summary incrementally: ships a
+    /// [`WorkloadDelta`] (queries added / retired / re-annotated, revised
+    /// row counts); the server merges it, re-solves only the touched
+    /// relations (warm-started), bumps the version atomically, and returns
+    /// the structural diff plus the per-relation reuse/warm/cold report.
+    pub fn delta_publish(
+        &mut self,
+        name: &str,
+        delta: &WorkloadDelta,
+    ) -> ServiceResult<DeltaPublished> {
+        self.send(&Request::DeltaPublish {
+            name: name.to_string(),
+            delta: delta.clone(),
+        })?;
+        match self.receive()? {
+            Response::DeltaPublished(published) => Ok(published),
             other => Self::unexpected(other),
         }
     }

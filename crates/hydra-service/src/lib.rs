@@ -64,7 +64,7 @@ pub mod wire;
 
 pub use client::HydraClient;
 pub use error::{ServiceError, ServiceResult};
-pub use protocol::{QueryRequest, Request, Response, ScenarioSpec, StreamRequest};
+pub use protocol::{DeltaPublished, QueryRequest, Request, Response, ScenarioSpec, StreamRequest};
 pub use registry::{RegistryEntry, SummaryRegistry};
 pub use server::{serve, serve_shared, ServerHandle};
 pub use wire::FrameSink;

@@ -22,7 +22,9 @@ use crate::error::{ServiceError, ServiceResult};
 use hydra_core::scenario::Scenario;
 use hydra_core::transfer::TransferPackage;
 use hydra_engine::row::Row;
+use hydra_query::delta::WorkloadDelta;
 use hydra_query::exec::QueryAnswer;
+use hydra_summary::delta::{DeltaBuildReport, SummaryDiff};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -93,6 +95,17 @@ pub enum Request {
         name: String,
         /// The client-site synopsis to regenerate from.
         package: TransferPackage,
+    },
+    /// Evolve a registered summary *incrementally*: the delta (queries
+    /// added / retired / re-annotated, revised row counts) merges into the
+    /// entry's workload, only the relations it touches re-solve (warm-started
+    /// from the previous LP basis), the registry version is bumped
+    /// atomically, and the structural diff comes back over the wire.
+    DeltaPublish {
+        /// Registry name of the summary to evolve.
+        name: String,
+        /// The workload evolution step.
+        delta: WorkloadDelta,
     },
     /// List every registered summary.
     List,
@@ -260,6 +273,8 @@ impl ScenarioSpec {
 pub enum Response {
     /// The summary was solved and registered.
     Published(SummaryInfo),
+    /// A delta was merged and the evolved summary registered.
+    DeltaPublished(DeltaPublished),
     /// The registry listing.
     SummaryList(Vec<SummaryInfo>),
     /// One summary described relation by relation.
@@ -284,6 +299,19 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
+}
+
+/// Outcome of a `DeltaPublish`: the bumped registry description, the
+/// structural diff against the previous version, and the per-relation
+/// reuse / warm / cold account of the incremental rebuild.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaPublished {
+    /// The evolved entry's registry description (version bumped).
+    pub info: SummaryInfo,
+    /// Blocks added / removed / resized per relation.
+    pub diff: SummaryDiff,
+    /// What re-solved, what was reused, what the warm starts contributed.
+    pub report: DeltaBuildReport,
 }
 
 /// Registry-level description of one published summary.

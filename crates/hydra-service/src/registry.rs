@@ -15,12 +15,16 @@
 //! deployment model.
 
 use crate::error::{ServiceError, ServiceResult};
-use crate::protocol::{RelationInfo, ScenarioReport, ScenarioSpec, SummaryDetail, SummaryInfo};
+use crate::protocol::{
+    DeltaPublished, RelationInfo, ScenarioReport, ScenarioSpec, SummaryDetail, SummaryInfo,
+};
+use hydra_core::delta::RegenerationState;
 use hydra_core::session::Hydra;
 use hydra_core::transfer::TransferPackage;
 use hydra_core::vendor::RegenerationResult;
 use hydra_datagen::generator::DynamicGenerator;
 use hydra_lp::solver::SolveStatus;
+use hydra_query::delta::WorkloadDelta;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
@@ -41,16 +45,18 @@ pub struct StoredSummary {
 }
 
 /// One published, solved summary.
+///
+/// Entries are solved *statefully*: alongside the summary they retain the
+/// per-relation solve artifacts (constraint signatures, partitions, LP
+/// supports) that make [`SummaryRegistry::delta_publish`] incremental.
 #[derive(Debug)]
 pub struct RegistryEntry {
     /// Registry name.
     pub name: String,
     /// Version (starts at 1, bumped on re-publish).
     pub version: u32,
-    /// The package this entry was solved from.
-    pub package: TransferPackage,
-    /// The solved regeneration (summary, reports, schema).
-    pub regeneration: RegenerationResult,
+    /// The evolvable regeneration state (package + summary + baseline).
+    state: RegenerationState,
     detail: SummaryDetail,
 }
 
@@ -62,15 +68,35 @@ impl RegistryEntry {
         version: u32,
         package: TransferPackage,
     ) -> ServiceResult<Self> {
-        let regeneration = session.regenerate(&package)?;
-        let detail = describe(name, version, &package, &regeneration)?;
+        let state = session.regenerate_stateful(&package)?;
+        let detail = describe(name, version, &state.package, &state.regeneration)?;
         Ok(RegistryEntry {
             name: name.to_string(),
             version,
-            package,
-            regeneration,
+            state,
             detail,
         })
+    }
+
+    /// Wraps an already-evolved state (delta publish) as an entry.
+    fn from_state(name: &str, version: u32, state: RegenerationState) -> ServiceResult<Self> {
+        let detail = describe(name, version, &state.package, &state.regeneration)?;
+        Ok(RegistryEntry {
+            name: name.to_string(),
+            version,
+            state,
+            detail,
+        })
+    }
+
+    /// The package this entry was solved from.
+    pub fn package(&self) -> &TransferPackage {
+        &self.state.package
+    }
+
+    /// The solved regeneration (summary, reports, schema).
+    pub fn regeneration(&self) -> &RegenerationResult {
+        &self.state.regeneration
     }
 
     /// Registry-level description (name, version, sizes).
@@ -85,7 +111,7 @@ impl RegistryEntry {
 
     /// A dynamic generator over this entry's summary (streams / seeks).
     pub fn generator(&self) -> DynamicGenerator {
-        self.regeneration.generator()
+        self.regeneration().generator()
     }
 }
 
@@ -266,8 +292,7 @@ impl SummaryRegistry {
                 let mut reversioned = RegistryEntry {
                     name: entry.name.clone(),
                     version,
-                    package: entry.package.clone(),
-                    regeneration: entry.regeneration.clone(),
+                    state: entry.state.clone(),
                     detail: entry.detail.clone(),
                 };
                 reversioned.detail.info.version = version;
@@ -299,7 +324,7 @@ impl SummaryRegistry {
         let stored = StoredSummary {
             name: entry.name.clone(),
             version: entry.version,
-            package: entry.package.clone(),
+            package: entry.package().clone(),
         };
         let json =
             serde_json::to_string(&stored).map_err(|e| ServiceError::Protocol(e.to_string()))?;
@@ -308,6 +333,60 @@ impl SummaryRegistry {
         std::fs::write(&tmp, json)?;
         std::fs::rename(&tmp, &path)?;
         Ok(())
+    }
+
+    /// Applies a workload delta to the registered summary `name`
+    /// *incrementally*: relations the delta does not touch are reused from
+    /// the entry's solve baseline, changed relations re-solve warm-started,
+    /// the version is bumped atomically, and the structural
+    /// [`hydra_summary::delta::SummaryDiff`] plus the per-relation
+    /// reuse/warm/cold report are returned (and shipped over the wire by
+    /// `DeltaPublish`).
+    ///
+    /// Solving happens outside the registry lock.  If a racing publish or
+    /// delta lands on the same name while this delta solves, the merge is
+    /// transparently retried against the new base — so versions stay
+    /// strictly monotonic and a reader never observes a summary that mixes
+    /// two bases.
+    pub fn delta_publish(
+        &self,
+        name: &str,
+        delta: &WorkloadDelta,
+    ) -> ServiceResult<DeltaPublished> {
+        loop {
+            let base = self
+                .get(name)
+                .ok_or_else(|| ServiceError::Protocol(format!("unknown summary `{name}`")))?;
+            let outcome = self
+                .session
+                .profile_delta(&base.state, delta)
+                .map_err(ServiceError::Hydra)?;
+            let entry = Arc::new(RegistryEntry::from_state(
+                name,
+                base.version + 1,
+                outcome.state,
+            )?);
+            {
+                let mut entries = self.entries.write().expect("registry lock poisoned");
+                match entries.get(name) {
+                    Some(current) if Arc::ptr_eq(current, &base) => {
+                        entries.insert(name.to_string(), Arc::clone(&entry));
+                    }
+                    Some(_) => continue, // base moved while we solved; re-merge
+                    None => {
+                        return Err(ServiceError::Protocol(format!(
+                            "summary `{name}` disappeared while the delta solved"
+                        )))
+                    }
+                }
+            }
+            self.persist_entry(&entry)?;
+            return Ok(DeltaPublished {
+                info: entry.info(),
+                diff: outcome.diff,
+                report: outcome.report,
+            });
+        }
     }
 
     /// The registered entry for `name`, if any.
@@ -347,7 +426,9 @@ impl SummaryRegistry {
         let entry = self
             .get(name)
             .ok_or_else(|| ServiceError::Protocol(format!("unknown summary `{name}`")))?;
-        let result = self.session.scenario(&spec.to_scenario(), &entry.package)?;
+        let result = self
+            .session
+            .scenario(&spec.to_scenario(), entry.package())?;
         let relation_rows: BTreeMap<String, u64> = result
             .regeneration
             .summary

@@ -175,6 +175,15 @@ fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -> ServiceRe
                 };
                 write_frame(&mut writer, &response)?;
             }
+            Request::DeltaPublish { name, delta } => {
+                let response = match registry.delta_publish(&name, &delta) {
+                    Ok(published) => Response::DeltaPublished(published),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                };
+                write_frame(&mut writer, &response)?;
+            }
             Request::List => {
                 let infos = registry.list().iter().map(|e| e.info()).collect();
                 write_frame(&mut writer, &Response::SummaryList(infos))?;
@@ -262,7 +271,8 @@ fn handle_query(registry: &SummaryRegistry, request: &crate::protocol::QueryRequ
         ExecMode::Auto
     };
     // Query the registered entry in place — no summary clone per request.
-    let engine = QueryEngine::over(&entry.regeneration.schema, &entry.regeneration.summary);
+    let regeneration = entry.regeneration();
+    let engine = QueryEngine::over(&regeneration.schema, &regeneration.summary);
     match engine.query_mode(&request.sql, mode) {
         Ok(answer) => Response::QueryResult(answer),
         Err(e) => Response::Error {

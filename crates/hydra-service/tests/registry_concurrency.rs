@@ -57,7 +57,7 @@ fn variants() -> Vec<(TransferPackage, Vec<Row>)> {
 /// it belongs to; any mix of two variants inside one entry is a torn read.
 fn assert_entry_consistent(entry: &hydra_service::RegistryEntry, truth: &BTreeMap<u64, Vec<Row>>) {
     let total = entry
-        .regeneration
+        .regeneration()
         .summary
         .relation("store_sales")
         .expect("fact relation present")
@@ -68,7 +68,7 @@ fn assert_entry_consistent(entry: &hydra_service::RegistryEntry, truth: &BTreeMa
 
     // Package ↔ summary: the solved summary must match its own package.
     assert_eq!(
-        entry.package.metadata.row_count("store_sales"),
+        entry.package().metadata.row_count("store_sales"),
         total,
         "entry's package and summary disagree (torn publish)"
     );
@@ -77,7 +77,7 @@ fn assert_entry_consistent(entry: &hydra_service::RegistryEntry, truth: &BTreeMa
     assert_eq!(detail.info.version, entry.version);
     assert_eq!(
         detail.info.total_rows,
-        entry.regeneration.summary.total_rows()
+        entry.regeneration().summary.total_rows()
     );
     let fact = detail
         .relations
@@ -221,6 +221,191 @@ fn publish_stream_describe_interleavings_never_tear() {
     assert_eq!(final_entry.version, 7);
     assert_entry_consistent(&final_entry, &truth);
     assert_eq!(registry.len(), 2);
+    server.shutdown();
+}
+
+/// Racing `DeltaPublish` + `Stream` + `Query` against one name: no reader
+/// may ever observe a torn summary, and versions must stay strictly
+/// monotonic even when concurrent deltas force server-side re-merges.
+///
+/// Every delta touches only `web_sales` (a narrow local-predicate query
+/// added, later retired), so `store_sales` must stay **bit-identical**
+/// across all versions — a full wire stream of the fact table during the
+/// delta storm is compared byte-for-byte against the baseline, which makes
+/// any torn or half-rebuilt summary observable.
+#[test]
+fn racing_delta_publishes_never_tear_and_versions_stay_monotonic() {
+    use hydra_query::delta::WorkloadDelta;
+    use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+    use hydra_query::query::SpjQuery;
+    use hydra_service::protocol::QueryRequest;
+    use hydra_workload::harvest_workload;
+
+    const THREADS: usize = 3;
+    const ROUNDS: usize = 2;
+
+    let (db, queries) = retail_client_fixture(400, 150, 4);
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = session.profile(db.clone(), &queries).expect("profile");
+
+    // Per-(thread, round) deltas, pre-harvested against the client data.
+    // Round 1 retires the query round 0 added, so retire paths race too.
+    let narrow_query = |tid: usize, round: usize| -> SpjQuery {
+        let mut q = SpjQuery::new(format!("delta-{tid}-{round}"));
+        q.add_table("web_sales");
+        q.set_predicate(
+            "web_sales",
+            TablePredicate::always_true().with(ColumnPredicate::new(
+                "ws_quantity",
+                CompareOp::Lt,
+                (10 + 13 * (tid * ROUNDS + round)) as i64,
+            )),
+        );
+        q
+    };
+    let deltas: Vec<Vec<WorkloadDelta>> = (0..THREADS)
+        .map(|tid| {
+            (0..ROUNDS)
+                .map(|round| {
+                    let harvested =
+                        harvest_workload(&db, &[narrow_query(tid, round)]).expect("harvest");
+                    let entry = harvested.entries.into_iter().next().expect("one entry");
+                    let mut delta = WorkloadDelta::new()
+                        .add_annotated(entry.query, entry.aqp.expect("annotated"));
+                    if round > 0 {
+                        delta = delta.retire(format!("delta-{tid}-{}", round - 1));
+                    }
+                    delta
+                })
+                .collect()
+        })
+        .collect();
+
+    let registry = Arc::new(SummaryRegistry::in_memory(
+        Hydra::builder().compare_aqps(false).build(),
+    ));
+    let seed = registry.publish("evolving", package).expect("seed");
+    assert_eq!(seed.version, 1);
+    // Ground truth: the fact table's exact bits — invariant across deltas.
+    let fact_truth: Vec<Row> = seed
+        .generator()
+        .stream("store_sales")
+        .expect("stream")
+        .collect();
+    let server = serve_shared(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let all_versions: Vec<u32> = std::thread::scope(|scope| {
+        let publishers: Vec<_> = deltas
+            .into_iter()
+            .map(|thread_deltas| {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let mut versions = Vec::new();
+                    for delta in &thread_deltas {
+                        let published = registry
+                            .delta_publish("evolving", delta)
+                            .expect("delta publish");
+                        // Only web_sales re-solves; everything else reuses.
+                        assert_eq!(
+                            published.report.reused(),
+                            published.report.relations.len() - 1,
+                            "{}",
+                            published.report.to_display_table()
+                        );
+                        versions.push(published.info.version);
+                    }
+                    versions
+                })
+            })
+            .collect();
+
+        // In-process reader: self-consistent entries, monotonic versions.
+        let reader = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let fact_truth = &fact_truth;
+            scope.spawn(move || {
+                let mut last_version = 0u32;
+                let mut observed = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let entry = registry.get("evolving").expect("present");
+                    assert!(entry.version >= last_version, "version went backwards");
+                    last_version = entry.version;
+                    let detail = entry.detail();
+                    assert_eq!(detail.info.version, entry.version);
+                    assert_eq!(
+                        detail.info.total_rows,
+                        entry.regeneration().summary.total_rows()
+                    );
+                    // The fact table is untouched by every delta: any
+                    // deviation is a torn or half-rebuilt summary.
+                    let slice: Vec<Row> = entry
+                        .generator()
+                        .stream_range("store_sales", 100..164)
+                        .expect("range stream")
+                        .collect();
+                    assert_eq!(&slice, &fact_truth[100..164], "fact table changed");
+                    observed += 1;
+                }
+                observed
+            })
+        };
+
+        // Wire reader: full fact stream + summary-direct query while the
+        // delta storm runs.
+        let wire_reader = {
+            let stop = Arc::clone(&stop);
+            let fact_truth = &fact_truth;
+            scope.spawn(move || {
+                let mut client = HydraClient::connect(addr).expect("connect");
+                let mut observed = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let (rows, _) = client
+                        .stream_collect(StreamRequest::full("evolving", "store_sales"))
+                        .expect("stream");
+                    assert_eq!(&rows, fact_truth, "wire stream tore across versions");
+                    let answer = client
+                        .query_request(
+                            QueryRequest::new("evolving", "select count(*) from web_sales")
+                                .summary_only(),
+                        )
+                        .expect("query");
+                    assert_eq!(
+                        answer.single().expect("one row").aggregates[0].as_i64(),
+                        Some(150),
+                        "web_sales row count must be invariant across deltas"
+                    );
+                    observed += 1;
+                }
+                observed
+            })
+        };
+
+        let mut all_versions: Vec<u32> = publishers
+            .into_iter()
+            .flat_map(|p| p.join().expect("publisher"))
+            .collect();
+        stop.store(true, Ordering::SeqCst);
+        assert!(reader.join().expect("reader") > 0);
+        assert!(wire_reader.join().expect("wire reader") > 0);
+        all_versions.sort_unstable();
+        all_versions
+    });
+
+    // Strictly monotonic: every delta got its own version, no duplicates,
+    // ending exactly at 1 + THREADS*ROUNDS.
+    let expected: Vec<u32> = (2..=(1 + (THREADS * ROUNDS) as u32)).collect();
+    assert_eq!(all_versions, expected, "duplicate or skipped versions");
+    let final_entry = registry.get("evolving").expect("final");
+    assert_eq!(final_entry.version, 1 + (THREADS * ROUNDS) as u32);
+    // Terminal workload: the 4 originals plus each thread's last query.
+    assert_eq!(
+        final_entry.package().query_count(),
+        4 + THREADS,
+        "each thread's retire+add chain must net one extra query"
+    );
     server.shutdown();
 }
 

@@ -294,6 +294,94 @@ fn wire_queries_round_trip_and_report_out_of_class() {
     server.join();
 }
 
+/// The CI `delta-differential` job drives exactly this flow against a
+/// `hydra-serve` binary on an ephemeral port; this test pins the same
+/// round-trip in-process: publish → DeltaPublish over the wire → version
+/// bump + structural diff + reuse report come back, and the evolved summary
+/// serves queries reflecting the merged workload.
+#[test]
+fn delta_publish_round_trips_over_the_wire() {
+    use hydra_query::delta::WorkloadDelta;
+    use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+    use hydra_query::query::SpjQuery;
+    use hydra_workload::harvest_workload;
+
+    let session = Hydra::builder().compare_aqps(false).build();
+    let (db, queries) = retail_client_fixture(1_200, 400, 6);
+    let package = session.profile(db.clone(), &queries).expect("profile");
+
+    let server = serve(
+        SummaryRegistry::in_memory(Hydra::builder().compare_aqps(false).build()),
+        "127.0.0.1:0",
+    )
+    .expect("bind");
+    let mut client = HydraClient::connect(server.local_addr()).expect("connect");
+    let info = client.publish("retail", &package).expect("publish");
+    assert_eq!(info.version, 1);
+
+    // The delta: one narrow query on web_sales, harvested client-side, plus
+    // a drifted web_sales row count — shipped over the wire.
+    let mut narrow = SpjQuery::new("drift-1");
+    narrow.add_table("web_sales");
+    narrow.set_predicate(
+        "web_sales",
+        TablePredicate::always_true().with(ColumnPredicate::new("ws_quantity", CompareOp::Lt, 35)),
+    );
+    let harvested = harvest_workload(&db, &[narrow]).expect("harvest");
+    let entry = harvested.entries.into_iter().next().expect("entry");
+    let matching = entry.aqp.as_ref().expect("annotated").root.cardinality;
+    let delta = WorkloadDelta::new().add_annotated(entry.query, entry.aqp.expect("annotated"));
+
+    let published = client.delta_publish("retail", &delta).expect("delta");
+    assert_eq!(published.info.version, 2);
+    assert_eq!(published.info.queries, 7);
+    // Only web_sales re-solved; the rest of the schema was reused.
+    assert_eq!(
+        published.report.reused(),
+        published.report.relations.len() - 1,
+        "{}",
+        published.report.to_display_table()
+    );
+    // The structural diff singles out web_sales.
+    assert_eq!(published.diff.changed_relations(), vec!["web_sales"]);
+
+    // The evolved summary answers the *new* query's constraint exactly,
+    // summary-direct.
+    let answer = client
+        .query_request(
+            QueryRequest::new(
+                "retail",
+                "select count(*) from web_sales where web_sales.ws_quantity < 35",
+            )
+            .summary_only(),
+        )
+        .expect("query");
+    assert_eq!(
+        answer.single().expect("row").aggregates[0].as_i64(),
+        Some(matching as i64),
+        "evolved summary must satisfy the delta query's annotated cardinality"
+    );
+
+    // Describe reflects the bumped version; the fact table is untouched.
+    let detail = client.describe("retail").expect("describe");
+    assert_eq!(detail.info.version, 2);
+
+    // Error paths: unknown name, invalid delta — both reported, connection
+    // stays usable.
+    assert!(matches!(
+        client.delta_publish("nope", &WorkloadDelta::new()),
+        Err(hydra_service::ServiceError::Remote(_))
+    ));
+    assert!(matches!(
+        client.delta_publish("retail", &WorkloadDelta::new().retire("ghost")),
+        Err(hydra_service::ServiceError::Remote(_))
+    ));
+    assert_eq!(client.list().expect("list").len(), 1);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
 #[test]
 fn error_paths_keep_the_connection_usable() {
     let server = serve(

@@ -40,6 +40,10 @@ pub struct SolveRequest<'a> {
     /// Whether other relations reference this one (request an interior
     /// solution so FK projections keep distinguishing blocks).
     pub referenced: bool,
+    /// The relation's previous solve, when this is a delta re-profile: a
+    /// warm-start hint for partitioning and the LP.  Backends are free to
+    /// ignore it; honoring it must not change which problems are solvable.
+    pub warm: Option<&'a SolvedRelation>,
 }
 
 /// A strategy for turning one relation's constraints into an integral tuple
@@ -102,7 +106,7 @@ impl LpBackend for SimplexBackend {
     }
 
     fn solve_relation(&self, request: &SolveRequest<'_>) -> SummaryResult<SolvedRelation> {
-        crate::solve::formulate_and_solve_with(
+        crate::solve::formulate_and_solve_delta(
             request.table,
             request.axes,
             request.constraints,
@@ -111,6 +115,7 @@ impl LpBackend for SimplexBackend {
             &self.solver,
             request.max_regions,
             request.referenced,
+            request.warm,
         )
     }
 }
@@ -235,6 +240,7 @@ mod tests {
                 summaries: &BTreeMap::new(),
                 max_regions: 100_000,
                 referenced: false,
+                warm: None,
             })
             .unwrap()
     }
@@ -307,6 +313,7 @@ mod tests {
                 summaries: &BTreeMap::new(),
                 max_regions: 16,
                 referenced: false,
+                warm: None,
             })
             .unwrap_err();
         assert!(matches!(err, SummaryError::Invalid(_)), "got {err:?}");

@@ -22,12 +22,17 @@
 
 use crate::axes::RelationAxes;
 use crate::backend::{LpBackend, SimplexBackend, SolveRequest};
+use crate::delta::{
+    DeltaAction, DeltaBuild, DeltaBuildReport, RelationBaseline, RelationDeltaStats, SolveBaseline,
+    SummaryDiff,
+};
 use crate::error::{SummaryError, SummaryResult};
 use crate::solve::LpStats;
 use crate::strategy::{AlignedSummary, SummaryStrategy};
 use crate::summary::{DatabaseSummary, RelationSummary};
 use hydra_catalog::metadata::DatabaseMetadata;
 use hydra_catalog::schema::{Schema, Table};
+use hydra_lp::simplex::WarmOutcome;
 use hydra_query::aqp::VolumetricConstraint;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
@@ -284,36 +289,8 @@ impl SummaryBuilder {
         let order = schema
             .topological_order()
             .map_err(|e| SummaryError::Catalog(e.to_string()))?;
-
-        // Relations that are the target of a foreign key get interior LP
-        // solutions (see `solve::solve_formulated`).
-        let referenced: std::collections::BTreeSet<&str> = order
-            .iter()
-            .flat_map(|t| {
-                t.foreign_keys()
-                    .iter()
-                    .map(|fk| fk.referenced_table.as_str())
-            })
-            .collect();
-
-        // Referential strata: a relation's depth is one more than the deepest
-        // relation it references; relations within one stratum are mutually
-        // independent and safe to solve concurrently.
-        let mut depth: BTreeMap<&str, usize> = BTreeMap::new();
-        let mut strata: Vec<Vec<&Table>> = Vec::new();
-        for table in &order {
-            let d = table
-                .foreign_keys()
-                .iter()
-                .map(|fk| depth.get(fk.referenced_table.as_str()).map_or(0, |d| d + 1))
-                .max()
-                .unwrap_or(0);
-            depth.insert(table.name.as_str(), d);
-            if strata.len() <= d {
-                strata.resize_with(d + 1, Vec::new);
-            }
-            strata[d].push(table);
-        }
+        let referenced = referenced_set(&order);
+        let strata = referential_strata(&order);
 
         let mut summaries: BTreeMap<String, RelationSummary> = BTreeMap::new();
         let mut report = SummaryBuildReport::default();
@@ -360,44 +337,42 @@ impl SummaryBuilder {
         cache: Option<&dyn SummaryCache>,
         referenced: &std::collections::BTreeSet<&str>,
     ) -> SummaryResult<Vec<(RelationSummary, RelationBuildStats)>> {
-        let workers = self.config.parallelism.min(stratum.len()).max(1);
-        if workers == 1 {
-            return stratum
-                .iter()
-                .map(|table| {
-                    self.build_relation(
-                        table,
-                        summaries,
-                        row_targets,
-                        constraints_by_table,
-                        metadata,
-                        cache,
-                        referenced.contains(table.name.as_str()),
-                    )
-                })
-                .collect();
-        }
+        self.run_stratum(stratum.len(), |index| {
+            self.build_relation(
+                stratum[index],
+                summaries,
+                row_targets,
+                constraints_by_table,
+                metadata,
+                cache,
+                referenced.contains(stratum[index].name.as_str()),
+            )
+        })
+    }
 
-        type SlotResult = Option<SummaryResult<(RelationSummary, RelationBuildStats)>>;
+    /// Runs `f(0..count)` across the configured worker threads, returning
+    /// results in index order regardless of thread scheduling (the shared
+    /// fan-out under both the cache-based and the delta build flows).
+    fn run_stratum<T: Send>(
+        &self,
+        count: usize,
+        f: impl Fn(usize) -> SummaryResult<T> + Sync,
+    ) -> SummaryResult<Vec<T>> {
+        let workers = self.config.parallelism.min(count).max(1);
+        if workers == 1 {
+            return (0..count).map(f).collect();
+        }
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<SlotResult>> =
-            Mutex::new((0..stratum.len()).map(|_| None).collect());
+        let results: Mutex<Vec<Option<SummaryResult<T>>>> =
+            Mutex::new((0..count).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= stratum.len() {
+                    if index >= count {
                         break;
                     }
-                    let outcome = self.build_relation(
-                        stratum[index],
-                        summaries,
-                        row_targets,
-                        constraints_by_table,
-                        metadata,
-                        cache,
-                        referenced.contains(stratum[index].name.as_str()),
-                    );
+                    let outcome = f(index);
                     results.lock().unwrap()[index] = Some(outcome);
                 });
             }
@@ -472,6 +447,7 @@ impl SummaryBuilder {
             summaries,
             max_regions: self.config.max_regions,
             referenced: is_referenced,
+            warm: None,
         })?;
         let summary = self
             .config
@@ -541,6 +517,267 @@ impl SummaryBuilder {
         is_referenced.hash(&mut hasher);
         hasher.finish()
     }
+
+    /// [`SummaryBuilder::build`] that additionally *retains* every
+    /// relation's solve artifacts (constraint signature, region partition,
+    /// solved region counts) as a [`SolveBaseline`] — the seed for later
+    /// [`SummaryBuilder::build_delta`] calls.
+    pub fn build_retaining(
+        &self,
+        schema: &Schema,
+        row_targets: &BTreeMap<String, u64>,
+        constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+        metadata: Option<&DatabaseMetadata>,
+    ) -> SummaryResult<(DatabaseSummary, SummaryBuildReport, SolveBaseline)> {
+        let built =
+            self.build_evolving(schema, row_targets, constraints_by_table, metadata, None)?;
+        Ok((built.summary, built.report, built.baseline))
+    }
+
+    /// Rebuilds the summary *incrementally* against a previous baseline:
+    /// relations whose constraint signature is unchanged are reused outright
+    /// (bit-identical, no partitioning, no LP), and changed relations
+    /// re-solve with the previous partition refined in place and the
+    /// previous solution's support warm-starting the simplex.
+    ///
+    /// The result satisfies the new constraint set exactly as a from-scratch
+    /// [`SummaryBuilder::build`] over it does (the `delta_differential`
+    /// harness pins this down property by property).
+    pub fn build_delta(
+        &self,
+        schema: &Schema,
+        row_targets: &BTreeMap<String, u64>,
+        constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+        metadata: Option<&DatabaseMetadata>,
+        prev: &SolveBaseline,
+    ) -> SummaryResult<DeltaBuild> {
+        self.build_evolving(
+            schema,
+            row_targets,
+            constraints_by_table,
+            metadata,
+            Some(prev),
+        )
+    }
+
+    /// The shared driver behind [`SummaryBuilder::build_retaining`]
+    /// (`prev = None`) and [`SummaryBuilder::build_delta`].
+    fn build_evolving(
+        &self,
+        schema: &Schema,
+        row_targets: &BTreeMap<String, u64>,
+        constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+        metadata: Option<&DatabaseMetadata>,
+        prev: Option<&SolveBaseline>,
+    ) -> SummaryResult<DeltaBuild> {
+        let start = Instant::now();
+        let order = schema
+            .topological_order()
+            .map_err(|e| SummaryError::Catalog(e.to_string()))?;
+        let referenced = referenced_set(&order);
+        let strata = referential_strata(&order);
+
+        let mut summaries: BTreeMap<String, RelationSummary> = BTreeMap::new();
+        let mut report = SummaryBuildReport::default();
+        let mut delta_report = DeltaBuildReport::default();
+        let mut baseline = SolveBaseline::default();
+
+        for stratum in &strata {
+            let built = self.run_stratum(stratum.len(), |index| {
+                let table = stratum[index];
+                self.build_relation_evolving(
+                    table,
+                    &summaries,
+                    row_targets,
+                    constraints_by_table,
+                    metadata,
+                    referenced.contains(table.name.as_str()),
+                    prev.and_then(|p| p.relations.get(&table.name)),
+                )
+            })?;
+            for (summary, stats, rel_baseline, action) in built {
+                if stats.from_cache {
+                    report.cached_relations += 1;
+                }
+                let (lp_variables, solve_micros) = match action {
+                    DeltaAction::Reused => (0, 0),
+                    _ => (stats.lp.variables, stats.lp.solve_time.as_micros() as u64),
+                };
+                delta_report.relations.push(RelationDeltaStats {
+                    table: stats.table.clone(),
+                    action,
+                    lp_variables,
+                    solve_micros,
+                });
+                report.relations.push(stats);
+                baseline
+                    .relations
+                    .insert(summary.table.clone(), rel_baseline);
+                summaries.insert(summary.table.clone(), summary);
+            }
+        }
+
+        let mut db = DatabaseSummary::new();
+        for (_, s) in summaries {
+            db.insert(s);
+        }
+        report.total_time = start.elapsed();
+        report.summary_bytes = db.size_bytes();
+        delta_report.total_micros = report.total_time.as_micros() as u64;
+        // A full build has no previous summary to diff against; skip the
+        // block census instead of diffing against an empty database (the
+        // caller discards it anyway — see `build_retaining`).
+        let diff = match prev {
+            Some(p) => SummaryDiff::between(&p.to_summary(), &db),
+            None => SummaryDiff::default(),
+        };
+        Ok(DeltaBuild {
+            summary: db,
+            report,
+            delta_report,
+            baseline,
+            diff,
+        })
+    }
+
+    /// Solves or reuses one relation under the delta flow (see
+    /// [`SummaryBuilder::build_delta`] for the decision rules).
+    #[allow(clippy::too_many_arguments)]
+    fn build_relation_evolving(
+        &self,
+        table: &Table,
+        summaries: &BTreeMap<String, RelationSummary>,
+        row_targets: &BTreeMap<String, u64>,
+        constraints_by_table: &BTreeMap<String, Vec<VolumetricConstraint>>,
+        metadata: Option<&DatabaseMetadata>,
+        is_referenced: bool,
+        prev: Option<&RelationBaseline>,
+    ) -> SummaryResult<(
+        RelationSummary,
+        RelationBuildStats,
+        RelationBaseline,
+        DeltaAction,
+    )> {
+        let row_target = row_targets.get(&table.name).copied().unwrap_or(0);
+        let constraints = constraints_by_table
+            .get(&table.name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+
+        let mut fk_domains: BTreeMap<String, u64> = BTreeMap::new();
+        for fk in table.foreign_keys() {
+            let width = summaries
+                .get(&fk.referenced_table)
+                .map(|s| s.total_rows)
+                .or_else(|| row_targets.get(&fk.referenced_table).copied())
+                .unwrap_or(0);
+            fk_domains.insert(fk.referenced_table.clone(), width.max(1));
+        }
+        let stats_source = if self.config.use_statistics_fillers {
+            metadata.and_then(|m| m.tables.get(&table.name))
+        } else {
+            None
+        };
+
+        let signature = self.cache_key(
+            table,
+            row_target,
+            &fk_domains,
+            constraints,
+            stats_source,
+            summaries,
+            is_referenced,
+        );
+
+        // Unchanged constraint signature: skip the relation entirely — no
+        // partitioning, no LP, and the reused summary is bit-identical, so
+        // referencing relations with unchanged constraints reuse in turn
+        // (their signatures hash the dimension summaries they project onto).
+        if let Some(prev) = prev {
+            if prev.signature == signature {
+                let mut stats = prev.stats.clone();
+                stats.from_cache = true;
+                let baseline = RelationBaseline {
+                    signature,
+                    solved: prev.solved.clone(),
+                    summary: prev.summary.clone(),
+                    stats: stats.clone(),
+                };
+                return Ok((prev.summary.clone(), stats, baseline, DeltaAction::Reused));
+            }
+        }
+
+        let axes = RelationAxes::build(table, constraints, &fk_domains)?;
+        let solved = self.config.lp_backend.solve_relation(&SolveRequest {
+            table,
+            axes: &axes,
+            constraints,
+            row_target,
+            summaries,
+            max_regions: self.config.max_regions,
+            referenced: is_referenced,
+            warm: prev.map(|p| &p.solved),
+        })?;
+        let summary = self
+            .config
+            .strategy
+            .summarize(table, &axes, &solved, stats_source);
+        let stats = RelationBuildStats {
+            table: table.name.clone(),
+            referenced_columns: axes.columns.len(),
+            workload_constraints: constraints.len(),
+            lp: solved.stats.clone(),
+            summary_rows: summary.row_count(),
+            total_rows: summary.total_rows,
+            from_cache: false,
+        };
+        let action = match (prev, solved.stats.warm) {
+            (Some(_), WarmOutcome::Hit) => DeltaAction::WarmSolved,
+            _ => DeltaAction::ColdSolved,
+        };
+        let baseline = RelationBaseline {
+            signature,
+            solved,
+            summary: summary.clone(),
+            stats: stats.clone(),
+        };
+        Ok((summary, stats, baseline, action))
+    }
+}
+
+/// The set of relations that are the target of some foreign key (those get
+/// interior LP solutions; see `solve::solve_formulated`).
+fn referenced_set<'a>(order: &[&'a Table]) -> std::collections::BTreeSet<&'a str> {
+    order
+        .iter()
+        .flat_map(|t| {
+            t.foreign_keys()
+                .iter()
+                .map(|fk| fk.referenced_table.as_str())
+        })
+        .collect()
+}
+
+/// Referential strata of a topological order: a relation's depth is one more
+/// than the deepest relation it references; relations within one stratum are
+/// mutually independent and safe to solve concurrently.
+fn referential_strata<'a>(order: &[&'a Table]) -> Vec<Vec<&'a Table>> {
+    let mut depth: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut strata: Vec<Vec<&'a Table>> = Vec::new();
+    for &table in order {
+        let d = table
+            .foreign_keys()
+            .iter()
+            .map(|fk| depth.get(fk.referenced_table.as_str()).map_or(0, |d| d + 1))
+            .max()
+            .unwrap_or(0);
+        depth.insert(table.name.as_str(), d);
+        if strata.len() <= d {
+            strata.resize_with(d + 1, Vec::new);
+        }
+        strata[d].push(table);
+    }
+    strata
 }
 
 #[cfg(test)]
@@ -820,6 +1057,115 @@ mod tests {
             .map(|r| r.count)
             .sum();
         assert_eq!(achieved, 40);
+    }
+
+    #[test]
+    fn delta_build_reuses_unchanged_and_warm_solves_changed() {
+        let schema = toy_schema();
+        let constraints = figure1_constraints();
+        let builder = SummaryBuilder::default();
+        let (first, report1, baseline) = builder
+            .build_retaining(&schema, &row_targets(), &constraints, None)
+            .unwrap();
+        assert_eq!(report1.cached_relations, 0);
+        assert_eq!(baseline.len(), 3);
+        assert_eq!(baseline.to_summary(), first);
+
+        // Identity delta: every relation reused, bit-identical summary,
+        // structurally empty diff.
+        let built = builder
+            .build_delta(&schema, &row_targets(), &constraints, None, &baseline)
+            .unwrap();
+        assert_eq!(built.summary, first);
+        assert_eq!(built.delta_report.reused(), 3);
+        assert!(built.diff.is_unchanged());
+        assert_eq!(built.report.cached_relations, 3);
+
+        // A cardinality re-annotation on S only (same boxes, new demand):
+        // S re-solves (warm — the previous partition is reused outright and
+        // the old support closes phase 1), T is untouched, and R re-solves
+        // because its FK projection reads the changed S summary.
+        let mut revised = constraints.clone();
+        revised.get_mut("S").unwrap()[0].cardinality = 50;
+        let built = builder
+            .build_delta(&schema, &row_targets(), &revised, None, &baseline)
+            .unwrap();
+        let by_table: BTreeMap<&str, &crate::delta::RelationDeltaStats> = built
+            .delta_report
+            .relations
+            .iter()
+            .map(|r| (r.table.as_str(), r))
+            .collect();
+        assert_eq!(by_table["T"].action, crate::delta::DeltaAction::Reused);
+        assert_ne!(by_table["S"].action, crate::delta::DeltaAction::Reused);
+        assert_ne!(by_table["R"].action, crate::delta::DeltaAction::Reused);
+        assert_eq!(
+            by_table["S"].action,
+            crate::delta::DeltaAction::WarmSolved,
+            "re-annotation keeps the partition and the old support feasible-adjacent"
+        );
+        // The incremental result satisfies the revised constraints exactly
+        // as a from-scratch build does.
+        let (scratch, _) = builder
+            .build(&schema, &row_targets(), &revised, None)
+            .unwrap();
+        for table in ["R", "S", "T"] {
+            assert_eq!(
+                built.summary.relation(table).unwrap().total_rows,
+                scratch.relation(table).unwrap().total_rows,
+                "{table} row count"
+            );
+        }
+        let s = built.summary.relation("S").unwrap();
+        let pred = TablePredicate::always_true()
+            .with(ColumnPredicate::new("A", CompareOp::Ge, 20))
+            .with(ColumnPredicate::new("A", CompareOp::Lt, 60));
+        let achieved: u64 = s
+            .rows
+            .iter()
+            .filter(|r| pred.evaluate(|c| r.values.get(c)))
+            .map(|r| r.count)
+            .sum();
+        assert_eq!(achieved, 50);
+        // T carried over bit-identically; S shows up in the diff.
+        assert_eq!(
+            built.summary.relation("T").unwrap(),
+            first.relation("T").unwrap()
+        );
+        assert!(built.diff.changed_relations().contains(&"S"));
+        let diff_t = built
+            .diff
+            .relations
+            .iter()
+            .find(|r| r.table == "T")
+            .unwrap();
+        assert!(diff_t.is_unchanged());
+    }
+
+    #[test]
+    fn delta_build_matches_parallel_and_sequential() {
+        let schema = toy_schema();
+        let constraints = figure1_constraints();
+        let sequential = SummaryBuilder::default();
+        let parallel = SummaryBuilder::new(SummaryBuilderConfig::default().with_parallelism(4));
+        let (_, _, base_seq) = sequential
+            .build_retaining(&schema, &row_targets(), &constraints, None)
+            .unwrap();
+        let (_, _, base_par) = parallel
+            .build_retaining(&schema, &row_targets(), &constraints, None)
+            .unwrap();
+        let mut revised = constraints.clone();
+        revised.get_mut("S").unwrap()[0].cardinality = 55;
+        let a = sequential
+            .build_delta(&schema, &row_targets(), &revised, None, &base_seq)
+            .unwrap();
+        let b = parallel
+            .build_delta(&schema, &row_targets(), &revised, None, &base_par)
+            .unwrap();
+        assert_eq!(
+            a.summary, b.summary,
+            "delta builds must be parallelism-invariant"
+        );
     }
 
     #[test]

@@ -18,7 +18,12 @@ pub enum SummaryError {
     Query(QueryError),
     /// A foreign key referenced a relation that has not been summarized yet
     /// (violates the dimensions-first processing order).
-    DimensionNotSummarized { table: String, dimension: String },
+    DimensionNotSummarized {
+        /// The relation being summarized.
+        table: String,
+        /// The referenced dimension that has no summary yet.
+        dimension: String,
+    },
     /// An aggregate query is outside the summary-direct class (the payload
     /// names the offending construct); callers that can regenerate tuples
     /// should fall back to a scan.

@@ -43,10 +43,13 @@
 //! tuple generation random access (and therefore sharding) over the
 //! regenerated relation.
 
+#![warn(missing_docs)]
+
 pub mod align;
 pub mod axes;
 pub mod backend;
 pub mod builder;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod index;
@@ -60,6 +63,9 @@ pub use backend::{GridBackend, LpBackend, SimplexBackend, SolveRequest};
 pub use builder::{
     InMemorySummaryCache, RelationBuildStats, SummaryBuildReport, SummaryBuilder,
     SummaryBuilderConfig, SummaryCache,
+};
+pub use delta::{
+    DeltaAction, DeltaBuild, DeltaBuildReport, RelationDiff, SolveBaseline, SummaryDiff,
 };
 pub use error::{SummaryError, SummaryResult};
 pub use exec::{JoinResolver, ResolvedDim, SummaryExecutor};

@@ -13,7 +13,9 @@ use crate::summary::RelationSummary;
 use hydra_catalog::schema::Table;
 use hydra_lp::problem::{ConstraintOp, LpProblem};
 use hydra_lp::rounding::largest_remainder_round;
+use hydra_lp::simplex::{WarmOutcome, WarmStart};
 use hydra_lp::solver::{LpSolver, SolveStatus};
+use hydra_partition::refine::check_refinable;
 use hydra_partition::region::{RegionPartition, RegionPartitioner};
 use hydra_query::aqp::VolumetricConstraint;
 use std::collections::BTreeMap;
@@ -46,6 +48,9 @@ pub struct LpStats {
     /// the group median (their residual error is part of
     /// [`LpStats::total_violation`]).
     pub conflicting_constraints: usize,
+    /// What a warm-start hint contributed to this solve
+    /// ([`WarmOutcome::NotAttempted`] on cold, from-scratch builds).
+    pub warm: WarmOutcome,
 }
 
 /// The solved placement of a relation's rows across its regions.
@@ -197,7 +202,33 @@ pub(crate) fn solve_formulated(
     partition_time: Duration,
     pre: &BoxedConstraints,
 ) -> SummaryResult<SolvedRelation> {
-    let solution = solver.solve(lp)?;
+    solve_formulated_warm(
+        partition,
+        lp,
+        row_target,
+        solver,
+        interior,
+        partition_time,
+        pre,
+        None,
+    )
+}
+
+/// [`solve_formulated`] with an optional LP warm-start hint (the previous
+/// solution's support mapped into this partition's column space by
+/// [`hydra_partition::refine`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_formulated_warm(
+    partition: RegionPartition,
+    lp: &LpProblem,
+    row_target: u64,
+    solver: &LpSolver,
+    interior: bool,
+    partition_time: Duration,
+    pre: &BoxedConstraints,
+    warm_hint: Option<&WarmStart>,
+) -> SummaryResult<SolvedRelation> {
+    let (solution, warm) = solver.solve_warm(lp, warm_hint)?;
     let mut values = solution.values.clone();
     if interior && solution.status == SolveStatus::Feasible {
         let volumes: Vec<f64> = partition
@@ -243,6 +274,7 @@ pub(crate) fn solve_formulated(
             coalesced_constraints: pre.coalesced_constraints,
             empty_constraints: pre.empty_constraints,
             conflicting_constraints: pre.conflicting_constraints,
+            warm,
         },
         partition,
     })
@@ -288,19 +320,71 @@ pub fn formulate_and_solve_with(
     max_regions: usize,
     interior: bool,
 ) -> SummaryResult<SolvedRelation> {
+    formulate_and_solve_delta(
+        table,
+        axes,
+        constraints,
+        row_target,
+        summaries,
+        solver,
+        max_regions,
+        interior,
+        None,
+    )
+}
+
+/// [`formulate_and_solve_with`] for delta re-profiling: when the relation
+/// was solved before, its previous partition and region counts seed both the
+/// partitioning (the previous partition is reused outright if the constraint
+/// boxes are unchanged; otherwise only the moved boundaries re-cut the
+/// space) and the LP (the previous solution's support warm-starts the
+/// simplex).  A stale or dimensionally incompatible previous solve is
+/// silently ignored — the build degrades to a cold partition + solve.
+#[allow(clippy::too_many_arguments)]
+pub fn formulate_and_solve_delta(
+    table: &Table,
+    axes: &RelationAxes,
+    constraints: &[VolumetricConstraint],
+    row_target: u64,
+    summaries: &BTreeMap<String, RelationSummary>,
+    solver: &LpSolver,
+    max_regions: usize,
+    interior: bool,
+    previous: Option<&SolvedRelation>,
+) -> SummaryResult<SolvedRelation> {
     let partition_start = Instant::now();
     let pre = boxed_constraints(table, axes, constraints, summaries)?;
 
-    // Partition the space against the constraint boxes.
+    // Partition the space against the constraint boxes — incrementally when
+    // a compatible previous partition is available.
     let mut partitioner = RegionPartitioner::new(axes.space.clone()).with_max_regions(max_regions);
     for (_, boxes) in &pre.boxed {
         partitioner = partitioner.add_constraint_union(boxes.clone());
     }
-    let partition = partitioner.partition()?;
+    let usable_previous =
+        previous.filter(|prev| check_refinable(&prev.partition, axes.space.dims()).is_ok());
+    let (partition, warm_hint) = match usable_previous {
+        Some(prev) => {
+            // The previous solution's support (nonzero regions) is all the
+            // warm start needs; a basic solution keeps it small no matter
+            // how many regions the partition has.
+            let support: Vec<usize> = prev
+                .region_counts
+                .iter()
+                .enumerate()
+                .filter(|(_, count)| **count > 0)
+                .map(|(region, _)| region)
+                .collect();
+            let refinement = partitioner.refine(&prev.partition, &support)?;
+            let hint = WarmStart::new(refinement.warm_columns());
+            (refinement.partition, Some(hint))
+        }
+        None => (partitioner.partition()?, None),
+    };
     let partition_time = partition_start.elapsed();
 
     let lp = formulate_lp(table, &partition, &pre.boxed, row_target);
-    solve_formulated(
+    solve_formulated_warm(
         partition,
         &lp,
         row_target,
@@ -308,6 +392,7 @@ pub fn formulate_and_solve_with(
         interior,
         partition_time,
         &pre,
+        warm_hint.as_ref(),
     )
 }
 

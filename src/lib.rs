@@ -81,7 +81,9 @@ pub use hydra_summary as summary;
 pub use hydra_workload as workload;
 
 pub use hydra_core::session::{Hydra, HydraBuilder};
-pub use hydra_core::{RegenerationResult, TransferPackage};
+pub use hydra_core::{DeltaOutcome, RegenerationResult, RegenerationState, TransferPackage};
 pub use hydra_datagen::exec::{ExecMode, QueryEngine};
+pub use hydra_query::delta::{ConstraintSet, WorkloadDelta};
 pub use hydra_query::exec::{AggregateQuery, ExecStrategy, QueryAnswer};
 pub use hydra_service::{HydraClient, SummaryRegistry};
+pub use hydra_summary::delta::{DeltaBuildReport, SummaryDiff};

@@ -1,0 +1,401 @@
+//! Differential harness for incremental workload evolution.
+//!
+//! The contract under test: for any base workload and any evolution delta —
+//! queries **added**, queries **retired**, and (when the warehouse itself
+//! drifted) annotations **revised** by a fresh client run — the summary
+//! produced by [`Hydra::profile_delta`] must satisfy the merged constraint
+//! set *exactly as* a from-scratch [`Hydra::regenerate`] of the merged
+//! package does:
+//!
+//! * identical relation sets and identical per-relation regenerated row
+//!   counts — always;
+//! * identical constraint-satisfaction report *structure* (same constraints,
+//!   same order, same targets), identical per-relation LP status and optimal
+//!   total violation — always (the per-relation LPs are the same on both
+//!   paths; only the chosen optimal vertex may differ);
+//! * in the **strict regime** — both paths round every constraint exactly,
+//!   the common case for consistent harvested workloads — the reports are
+//!   identical constraint by constraint and the PR 4 query engine returns
+//!   **identical answers** for every workload query (each SPJ body re-asked
+//!   as `count(*)` on both summaries);
+//! * outside it (an LP vertex whose largest-remainder rounding the integral
+//!   repair could not fully fix — a property of either path equally), the
+//!   satisfaction quality must still track within tight bounds and query
+//!   answers within integral rounding slack.
+//!
+//! Cases are generated from a single seed (deterministic: the same seed
+//! always replays the same base workload, client data and delta), and the
+//! seeds in `tests/proptest-regressions/delta_differential.txt` are replayed
+//! first — pinned regressions survive the repo the same way real proptest's
+//! regression files do.
+
+use hydra::core::vendor::RegenerationResult;
+use hydra::lp::solver::SolveStatus;
+use hydra::query::delta::WorkloadDelta;
+use hydra::query::query::SpjQuery;
+use hydra::workload::{
+    generate_client_database, harvest_workload, retail_row_targets, retail_schema, DataGenConfig,
+    WorkloadGenConfig, WorkloadGenerator,
+};
+use hydra::{ExecMode, Hydra, QueryEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// What one differential case exercised (used by the pinned-seed test to
+/// make sure the strict, bit-sharp regime is actually covered).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CaseOutcome {
+    /// Both paths satisfied every constraint exactly (the strict regime).
+    fully_feasible: bool,
+    added: usize,
+    retired: usize,
+    reannotated: usize,
+    queries_compared: usize,
+}
+
+/// Rewrites an SPJ query as a COUNT(*) aggregate over the same body.
+fn count_sql(query: &SpjQuery) -> String {
+    query.to_sql().replacen("select *", "select count(*)", 1)
+}
+
+fn fully_feasible(result: &RegenerationResult) -> bool {
+    result
+        .build_report
+        .relations
+        .iter()
+        .all(|r| r.lp.status == SolveStatus::Feasible)
+}
+
+/// Runs one end-to-end differential case derived deterministically from
+/// `case_seed`.
+fn run_case(case_seed: u64) -> CaseOutcome {
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let schema = retail_schema();
+
+    // --- Base warehouse + workload -------------------------------------
+    let fact_rows = rng.gen_range(600u64..1400);
+    let web_rows = rng.gen_range(200u64..500);
+    let mut targets = retail_row_targets(0.01);
+    targets.insert("store_sales".to_string(), fact_rows);
+    targets.insert("web_sales".to_string(), web_rows);
+    let data_config = DataGenConfig {
+        seed: rng.gen_range(0u64..1 << 48),
+        ..Default::default()
+    };
+    let db = generate_client_database(&schema, &targets, &data_config);
+
+    let n_base = rng.gen_range(3usize..=6);
+    let n_add = rng.gen_range(0usize..=2);
+    // One batch ⇒ distinct query names across base and added queries.
+    let all_queries = WorkloadGenerator::new(
+        schema.clone(),
+        WorkloadGenConfig {
+            num_queries: n_base + n_add,
+            seed: rng.gen_range(0u64..1 << 48),
+            ..Default::default()
+        },
+    )
+    .generate();
+    let base_queries = &all_queries[..n_base];
+    let added_queries = &all_queries[n_base..];
+
+    let session = Hydra::builder().compare_aqps(false).build();
+    let package = session
+        .profile(db.clone(), base_queries)
+        .expect("base profile");
+    let state = session.regenerate_stateful(&package).expect("base solve");
+
+    // --- The delta ------------------------------------------------------
+    let n_retire = rng.gen_range(0usize..=(n_base - 1).min(2));
+    let retired: Vec<String> = {
+        let mut names: Vec<String> = base_queries.iter().map(|q| q.name.clone()).collect();
+        // Deterministic shuffle-by-sampling.
+        let mut picked = Vec::new();
+        for _ in 0..n_retire {
+            let idx = rng.gen_range(0usize..names.len());
+            picked.push(names.swap_remove(idx));
+        }
+        picked
+    };
+    let surviving: Vec<SpjQuery> = base_queries
+        .iter()
+        .filter(|q| !retired.contains(&q.name))
+        .cloned()
+        .collect();
+
+    // 1-in-4 cases the warehouse itself drifts: the client regenerates its
+    // data at a new scale and re-annotates every surviving query against
+    // it, shipping revised row counts alongside — annotations stay mutually
+    // consistent, exactly as a real re-profiling run would produce.
+    let drifted = rng.gen_bool(0.25);
+    let delta_db = if drifted {
+        let factor = rng.gen_range(1.1f64..1.6);
+        let mut drifted_targets = targets.clone();
+        drifted_targets.insert(
+            "store_sales".to_string(),
+            (fact_rows as f64 * factor) as u64,
+        );
+        drifted_targets.insert("web_sales".to_string(), (web_rows as f64 * factor) as u64);
+        generate_client_database(&schema, &drifted_targets, &data_config)
+    } else {
+        db.clone()
+    };
+
+    let mut delta = WorkloadDelta::new();
+    for name in &retired {
+        delta = delta.retire(name.clone());
+    }
+    let mut reannotated = 0usize;
+    if drifted {
+        let harvested = harvest_workload(&delta_db, &surviving).expect("re-harvest");
+        for entry in harvested.entries {
+            delta = delta.reannotate(entry.aqp.expect("annotated"));
+            reannotated += 1;
+        }
+        for table in schema.table_names() {
+            delta = delta.with_row_count(table.clone(), delta_db.row_count(table.as_str()));
+        }
+    }
+    let harvested_adds = harvest_workload(&delta_db, added_queries).expect("harvest adds");
+    for entry in harvested_adds.entries {
+        delta = delta.add_annotated(entry.query, entry.aqp.expect("annotated"));
+    }
+
+    // --- Incremental vs from-scratch ------------------------------------
+    let outcome = session.profile_delta(&state, &delta).expect("delta");
+    let incremental = &outcome.state.regeneration;
+    let scratch_session = Hydra::builder()
+        .compare_aqps(false)
+        .summary_cache(false)
+        .build();
+    let scratch = scratch_session
+        .regenerate(&outcome.state.package)
+        .expect("from-scratch");
+
+    // Identical relation sets with identical regenerated row counts.
+    assert_eq!(
+        incremental.summary.relations.len(),
+        scratch.summary.relations.len()
+    );
+    for (name, relation) in &scratch.summary.relations {
+        assert_eq!(
+            relation.total_rows,
+            incremental
+                .summary
+                .relation(name)
+                .unwrap_or_else(|| panic!("incremental summary lost `{name}`"))
+                .total_rows,
+            "row count of `{name}` diverged (seed {case_seed})"
+        );
+    }
+
+    // The constraint-satisfaction reports cover the identical constraint
+    // multiset, in the same order.
+    assert_eq!(
+        incremental.accuracy.len(),
+        scratch.accuracy.len(),
+        "reports cover different constraint sets (seed {case_seed})"
+    );
+    for (a, b) in incremental
+        .accuracy
+        .checks
+        .iter()
+        .zip(&scratch.accuracy.checks)
+    {
+        assert_eq!(a.label, b.label, "constraint order diverged");
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.target, b.target);
+    }
+
+    // The per-relation LPs are the same on both paths, so status and
+    // optimal total violation must agree even when the system is
+    // inconsistent (only the chosen vertex may differ).
+    let by_table = |r: &RegenerationResult| -> BTreeMap<String, (SolveStatus, f64)> {
+        r.build_report
+            .relations
+            .iter()
+            .map(|s| (s.table.clone(), (s.lp.status, s.lp.total_violation)))
+            .collect()
+    };
+    let inc_stats = by_table(incremental);
+    for (table, (status, violation)) in by_table(&scratch) {
+        let (inc_status, inc_violation) = inc_stats
+            .get(&table)
+            .unwrap_or_else(|| panic!("incremental build lost `{table}`"));
+        assert_eq!(
+            *inc_status, status,
+            "LP status of `{table}` diverged (seed {case_seed})"
+        );
+        let tolerance = 1e-6 * (1.0 + violation.abs());
+        assert!(
+            (inc_violation - violation).abs() <= tolerance,
+            "optimal violation of `{table}` diverged: {inc_violation} vs {violation} \
+             (seed {case_seed})"
+        );
+    }
+
+    // Satisfaction quality must track between the two paths, always: the
+    // LPs are identical, so the only residual freedom is which optimal
+    // vertex was reached and how integral rounding repaired it — bounded,
+    // never systematic.
+    assert!(
+        (incremental.accuracy.fraction_within(0.0) - scratch.accuracy.fraction_within(0.0)).abs()
+            <= 0.10,
+        "exact-satisfaction fractions diverged (seed {case_seed}): {} vs {}\n{}",
+        incremental.accuracy.fraction_within(0.0),
+        scratch.accuracy.fraction_within(0.0),
+        incremental.accuracy.to_display_table()
+    );
+    assert!(
+        (incremental.accuracy.mean_relative_error() - scratch.accuracy.mean_relative_error()).abs()
+            <= 0.02,
+        "mean relative errors diverged (seed {case_seed}): {} vs {}",
+        incremental.accuracy.mean_relative_error(),
+        scratch.accuracy.mean_relative_error()
+    );
+
+    // The bit-sharp regime: when both paths round cleanly (every constraint
+    // satisfied exactly — the common case for consistent harvested
+    // workloads), the reports and all query answers must be identical.
+    // The pinned regression seeds guarantee this path stays covered.
+    let strict = fully_feasible(incremental)
+        && fully_feasible(&scratch)
+        && incremental.accuracy.fraction_within(0.0) == 1.0
+        && scratch.accuracy.fraction_within(0.0) == 1.0;
+    if strict {
+        for (a, b) in incremental
+            .accuracy
+            .checks
+            .iter()
+            .zip(&scratch.accuracy.checks)
+        {
+            assert_eq!(
+                a.achieved, b.achieved,
+                "achieved cardinality of `{}` diverged (seed {case_seed})",
+                a.label
+            );
+        }
+    }
+
+    // Every workload query re-asked as COUNT(*) through the PR 4 query
+    // engine: identical answers in the strict regime; within integral
+    // rounding slack otherwise.
+    let inc_engine = QueryEngine::over(&incremental.schema, &incremental.summary);
+    let scratch_engine = QueryEngine::over(&scratch.schema, &scratch.summary);
+    let mut queries_compared = 0usize;
+    for entry in &outcome.state.package.workload.entries {
+        let sql = count_sql(&entry.query);
+        let a = inc_engine.query_mode(&sql, ExecMode::Auto);
+        let b = scratch_engine.query_mode(&sql, ExecMode::Auto);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                let a = a.single().expect("count row").aggregates[0]
+                    .as_i64()
+                    .expect("integer count");
+                let b = b.single().expect("count row").aggregates[0]
+                    .as_i64()
+                    .expect("integer count");
+                if strict {
+                    assert_eq!(
+                        a, b,
+                        "query `{}` answered differently (seed {case_seed}, sql: {sql})",
+                        entry.query.name
+                    );
+                } else {
+                    let slack = 3 + (a.max(b) as f64 * 0.05) as i64;
+                    assert!(
+                        (a - b).abs() <= slack,
+                        "query `{}` answers diverged beyond rounding slack: {a} vs {b} \
+                         (seed {case_seed}, sql: {sql})",
+                        entry.query.name
+                    );
+                }
+                queries_compared += 1;
+            }
+            (Err(ea), Err(eb)) => {
+                // Both engines must agree a query is unanswerable.
+                assert_eq!(ea.to_string(), eb.to_string());
+            }
+            (a, b) => panic!(
+                "engines disagreed on answerability of `{sql}`: {a:?} vs {b:?} \
+                 (seed {case_seed})"
+            ),
+        }
+    }
+    assert!(
+        queries_compared > 0,
+        "no workload query was comparable (seed {case_seed})"
+    );
+
+    // Incremental bookkeeping sanity: reused + warm + cold covers every
+    // relation, and reused relations carried over bit-identically.
+    assert_eq!(
+        outcome.report.reused() + outcome.report.warm_solved() + outcome.report.cold_solved(),
+        outcome.report.relations.len()
+    );
+
+    CaseOutcome {
+        fully_feasible: strict,
+        added: delta.added.len(),
+        retired: delta.retired.len(),
+        reannotated,
+        queries_compared,
+    }
+}
+
+/// Replays the committed regression seeds first — the delta analogue of a
+/// `proptest-regressions` file.  The pinned set is chosen to cover every
+/// delta shape (pure add, retire-only, data drift with wholesale
+/// re-annotation, mixed) and must keep the strict fully-feasible path
+/// exercised.
+#[test]
+fn pinned_regression_seeds_replay() {
+    let pinned = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/proptest-regressions/delta_differential.txt"
+    ))
+    .expect("pinned regression seeds present");
+    let mut outcomes = Vec::new();
+    for line in pinned.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let seed: u64 = line
+            .strip_prefix("seed = ")
+            .unwrap_or_else(|| panic!("malformed regression line: {line}"))
+            .parse()
+            .expect("seed parses");
+        outcomes.push((seed, run_case(seed)));
+    }
+    assert!(outcomes.len() >= 6, "regression file lost its pinned seeds");
+    assert!(
+        outcomes.iter().any(|(_, o)| o.fully_feasible),
+        "no pinned seed exercises the strict fully-feasible path: {outcomes:?}"
+    );
+    assert!(
+        outcomes.iter().any(|(_, o)| o.added > 0),
+        "no pinned seed adds queries"
+    );
+    assert!(
+        outcomes.iter().any(|(_, o)| o.retired > 0),
+        "no pinned seed retires queries"
+    );
+    assert!(
+        outcomes.iter().any(|(_, o)| o.reannotated > 0),
+        "no pinned seed re-annotates (data drift)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random base workloads × random deltas: incremental ≡ from-scratch.
+    /// CI cranks this to 512 cases via `PROPTEST_CASES`.
+    #[test]
+    fn incremental_profile_equals_from_scratch(case_seed in 0u64..(1u64 << 48)) {
+        run_case(case_seed);
+    }
+}
