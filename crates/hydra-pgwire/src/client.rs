@@ -1,0 +1,213 @@
+//! A minimal in-tree PostgreSQL simple-query client.
+//!
+//! Exists for the differential and end-to-end tests: it speaks *only* the
+//! wire bytes (startup → simple query → terminate), so a test that passes
+//! through [`PgClient`] proves the server is legible to a real PostgreSQL
+//! driver, not merely to our own serde types.  It reuses the same codec as
+//! the server — the codec proptests cover both directions.
+
+use crate::codec::{
+    encode_startup, read_backend_message, write_frontend, BackendMessage, FrontendMessage,
+    StartupPacket,
+};
+use crate::error::{PgResult, PgWireError, ServerError};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One result set of a simple query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgRows {
+    /// Column names, in wire order (empty for statements without rows,
+    /// e.g. an acknowledged `BEGIN`).
+    pub columns: Vec<String>,
+    /// Column type OIDs, parallel to `columns`.
+    pub column_oids: Vec<u32>,
+    /// Rows in text format; `None` is SQL NULL.
+    pub rows: Vec<Vec<Option<String>>>,
+    /// The `CommandComplete` tag (e.g. `SELECT 42`), empty for an
+    /// `EmptyQueryResponse`.
+    pub tag: String,
+}
+
+/// A connected simple-query session.
+#[derive(Debug)]
+pub struct PgClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    parameters: Vec<(String, String)>,
+    backend_pid: Option<i32>,
+}
+
+impl PgClient {
+    /// Connects and completes the startup handshake. `database` selects the
+    /// registry entry (`name[@version]`); `None` binds to the sole entry of
+    /// a single-summary registry.
+    pub fn connect(addr: impl ToSocketAddrs, database: Option<&str>) -> PgResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = PgClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            parameters: Vec::new(),
+            backend_pid: None,
+        };
+        let mut params = vec![
+            ("user".to_string(), "hydra".to_string()),
+            (
+                "application_name".to_string(),
+                "hydra-pgwire-client".to_string(),
+            ),
+        ];
+        if let Some(db) = database {
+            params.push(("database".to_string(), db.to_string()));
+        }
+        let mut out = Vec::new();
+        encode_startup(
+            &StartupPacket::Startup {
+                major: 3,
+                minor: 0,
+                params,
+            },
+            &mut out,
+        );
+        client.writer.write_all(&out)?;
+        client.writer.flush()?;
+
+        loop {
+            match read_backend_message(&mut client.reader)? {
+                None => return Err(PgWireError::UnexpectedEof),
+                Some(BackendMessage::AuthenticationOk) => {}
+                Some(BackendMessage::ParameterStatus { name, value }) => {
+                    client.parameters.push((name, value));
+                }
+                Some(BackendMessage::BackendKeyData { pid, .. }) => {
+                    client.backend_pid = Some(pid);
+                }
+                Some(BackendMessage::ReadyForQuery { .. }) => return Ok(client),
+                Some(msg) => {
+                    if let Some(err) = msg.as_server_error() {
+                        return Err(PgWireError::Server(err));
+                    }
+                    return Err(PgWireError::Protocol(format!(
+                        "unexpected startup-phase message {msg:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// The `ParameterStatus` values announced at startup.
+    pub fn parameters(&self) -> &[(String, String)] {
+        &self.parameters
+    }
+
+    /// The backend pid from `BackendKeyData`, once connected.
+    pub fn backend_pid(&self) -> Option<i32> {
+        self.backend_pid
+    }
+
+    /// Sends one simple query and collects every result set until
+    /// `ReadyForQuery`. A server `ErrorResponse` is returned as
+    /// [`PgWireError::Server`] *after* draining to `ReadyForQuery`, so the
+    /// connection stays usable.
+    pub fn simple_query(&mut self, sql: &str) -> PgResult<Vec<PgRows>> {
+        write_frontend(
+            &mut self.writer,
+            &FrontendMessage::Query {
+                sql: sql.to_string(),
+            },
+        )?;
+        self.writer.flush()?;
+
+        let mut results = Vec::new();
+        let mut current: Option<PgRows> = None;
+        let mut error: Option<ServerError> = None;
+        loop {
+            match read_backend_message(&mut self.reader)? {
+                None => return Err(PgWireError::UnexpectedEof),
+                Some(BackendMessage::RowDescription { fields }) => {
+                    current = Some(PgRows {
+                        columns: fields.iter().map(|f| f.name.clone()).collect(),
+                        column_oids: fields.iter().map(|f| f.type_oid).collect(),
+                        rows: Vec::new(),
+                        tag: String::new(),
+                    });
+                }
+                Some(BackendMessage::DataRow { values }) => {
+                    let Some(rows) = current.as_mut() else {
+                        return Err(PgWireError::Protocol(
+                            "DataRow before RowDescription".into(),
+                        ));
+                    };
+                    let mut row = Vec::with_capacity(values.len());
+                    for value in values {
+                        row.push(match value {
+                            None => None,
+                            Some(bytes) => Some(String::from_utf8(bytes).map_err(|_| {
+                                PgWireError::Protocol("non-UTF-8 text-format value".into())
+                            })?),
+                        });
+                    }
+                    rows.rows.push(row);
+                }
+                Some(BackendMessage::CommandComplete { tag }) => {
+                    let mut rows = current.take().unwrap_or(PgRows {
+                        columns: Vec::new(),
+                        column_oids: Vec::new(),
+                        rows: Vec::new(),
+                        tag: String::new(),
+                    });
+                    rows.tag = tag;
+                    results.push(rows);
+                }
+                Some(BackendMessage::EmptyQueryResponse) => {
+                    results.push(PgRows {
+                        columns: Vec::new(),
+                        column_oids: Vec::new(),
+                        rows: Vec::new(),
+                        tag: String::new(),
+                    });
+                }
+                Some(msg @ BackendMessage::ErrorResponse { .. }) => {
+                    let err = msg.as_server_error().expect("ErrorResponse fields");
+                    let fatal = err.severity == "FATAL";
+                    error = Some(err);
+                    if fatal {
+                        return Err(PgWireError::Server(error.expect("just set")));
+                    }
+                }
+                Some(BackendMessage::ReadyForQuery { .. }) => {
+                    return match error {
+                        Some(err) => Err(PgWireError::Server(err)),
+                        None => Ok(results),
+                    };
+                }
+                Some(BackendMessage::ParameterStatus { .. }) => {}
+                Some(msg) => {
+                    return Err(PgWireError::Protocol(format!(
+                        "unexpected message during query: {msg:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// [`PgClient::simple_query`] for a single-statement query: exactly one
+    /// result set expected.
+    pub fn query(&mut self, sql: &str) -> PgResult<PgRows> {
+        let mut results = self.simple_query(sql)?;
+        match (results.len(), results.pop()) {
+            (1, Some(rows)) => Ok(rows),
+            (n, _) => Err(PgWireError::Protocol(format!(
+                "expected one result set, got {n}"
+            ))),
+        }
+    }
+
+    /// Sends `Terminate` and closes the session cleanly.
+    pub fn terminate(mut self) -> PgResult<()> {
+        write_frontend(&mut self.writer, &FrontendMessage::Terminate)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,641 @@
+//! Per-connection state machine: startup → auth-ok → idle ↔ query cycle.
+//!
+//! Each accepted socket walks the PostgreSQL v3 handshake (refusing SSL and
+//! GSS encryption with the protocol's single-byte `'N'`), binds to one
+//! registry entry named by the `database` startup parameter (with an
+//! optional `@version` pin), and then serves simple-query messages until
+//! `Terminate` or EOF.
+//!
+//! Query dispatch mirrors the engine's two execution strategies:
+//!
+//! * `SELECT * FROM <relation>` — a full regenerate-and-scan, streamed
+//!   through [`PgRowSink`] over the same `stream_range_into` path the frame
+//!   protocol's `FrameSink` uses;
+//! * any aggregate `SELECT` — parsed by `hydra-query` and executed with
+//!   [`ExecMode::Auto`]: summary-direct in O(blocks) when the query is in
+//!   the closed class, transparent regenerate-and-scan fallback otherwise.
+//!
+//! Parse errors carry their byte span onto the wire as the `P` field
+//! (1-based), so psql-style clients print a caret at the offending token.
+
+use crate::codec::{
+    read_frontend_message, read_startup_packet, write_backend, BackendMessage, FieldDescription,
+    FrontendMessage, StartupPacket,
+};
+use crate::error::{PgResult, PgWireError};
+use crate::sink::PgRowSink;
+use crate::types::{pg_text, pg_type_of, OID_FLOAT8, OID_INT4, OID_INT8};
+use hydra_catalog::schema::Schema;
+use hydra_datagen::exec::{ExecError, ExecMode, QueryEngine};
+use hydra_query::exec::{AggFunc, AggregateQuery};
+use hydra_query::parser::parse_aggregate_query_for_schema;
+use hydra_service::registry::{RegistryEntry, SummaryRegistry};
+use hydra_service::StreamRequest;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Server version advertised in `ParameterStatus`: a PostgreSQL-looking
+/// version string so version-sniffing drivers proceed, suffixed with the
+/// engine's real identity.
+const SERVER_VERSION: &str = "14.0 (hydra)";
+
+/// A wire-level error with PostgreSQL's severity / SQLSTATE split.
+#[derive(Debug, Clone)]
+struct PgError {
+    severity: &'static str,
+    code: &'static str,
+    message: String,
+    position: Option<u64>,
+}
+
+impl PgError {
+    fn fatal(code: &'static str, message: impl Into<String>) -> Self {
+        PgError {
+            severity: "FATAL",
+            code,
+            message: message.into(),
+            position: None,
+        }
+    }
+
+    fn error(code: &'static str, message: impl Into<String>) -> Self {
+        PgError {
+            severity: "ERROR",
+            code,
+            message: message.into(),
+            position: None,
+        }
+    }
+
+    fn to_message(&self) -> BackendMessage {
+        BackendMessage::error(
+            self.severity,
+            self.code,
+            self.message.clone(),
+            self.position,
+        )
+    }
+}
+
+/// Map a query-path failure onto PostgreSQL's error vocabulary.
+/// `offset` is the byte offset of the statement inside the full query
+/// string, so `P` positions stay caret-accurate in multi-statement queries.
+fn pg_error_of_exec(e: &ExecError, offset: usize) -> PgError {
+    use hydra_query::error::QueryError;
+    match e {
+        ExecError::Query(QueryError::Parse { message, span }) => PgError {
+            severity: "ERROR",
+            code: "42601",
+            message: message.clone(),
+            // The paper-side spans are 0-based byte offsets; the protocol's
+            // P field is 1-based.
+            position: span.map(|s| (offset + s.start + 1) as u64),
+        },
+        ExecError::Query(QueryError::UnknownReference(m)) => PgError::error("42P01", m.clone()),
+        ExecError::Query(QueryError::Unsupported(m)) => PgError::error("0A000", m.clone()),
+        ExecError::OutOfClass(reason) => PgError::error("0A000", reason.clone()),
+        other => PgError::error("XX000", other.to_string()),
+    }
+}
+
+/// Resolve the `database` startup parameter (`name[@version]`) to a pinned
+/// registry entry. With no parameter, a registry holding exactly one entry
+/// binds to it; anything else must name its summary.
+fn resolve_database(
+    registry: &SummaryRegistry,
+    database: Option<&str>,
+) -> Result<Arc<RegistryEntry>, PgError> {
+    let Some(spec) = database else {
+        let entries = registry.list();
+        return match entries.len() {
+            1 => Ok(entries.into_iter().next().expect("len checked")),
+            0 => Err(PgError::fatal("3D000", "no summaries are registered")),
+            n => Err(PgError::fatal(
+                "3D000",
+                format!("{n} summaries registered; connect with database=<name>[@version]"),
+            )),
+        };
+    };
+    let (name, version) = match spec.split_once('@') {
+        Some((name, version)) => {
+            let version: u32 = version.parse().map_err(|_| {
+                PgError::fatal(
+                    "3D000",
+                    format!("invalid version pin in database \"{spec}\""),
+                )
+            })?;
+            (name, Some(version))
+        }
+        None => (spec, None),
+    };
+    let entry = registry
+        .get(name)
+        .ok_or_else(|| PgError::fatal("3D000", format!("database \"{name}\" does not exist")))?;
+    if let Some(pinned) = version {
+        if pinned != entry.version {
+            return Err(PgError::fatal(
+                "3D000",
+                format!(
+                    "database \"{}\" is at version {}, but version {} was pinned",
+                    name, entry.version, pinned
+                ),
+            ));
+        }
+    }
+    Ok(entry)
+}
+
+/// Split a simple-query string into `;`-separated statements with their
+/// byte offsets, respecting single-quoted literals and double-quoted
+/// identifiers so a `;` inside a string does not split.
+fn split_statements(sql: &str) -> Vec<(usize, &str)> {
+    let bytes = sql.as_bytes();
+    let mut statements = Vec::new();
+    let mut start = 0;
+    let mut quote: Option<u8> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match quote {
+            Some(q) => {
+                if b == q {
+                    quote = None;
+                }
+            }
+            None => match b {
+                b'\'' | b'"' => quote = Some(b),
+                b';' => {
+                    statements.push((start, &sql[start..i]));
+                    start = i + 1;
+                }
+                _ => {}
+            },
+        }
+    }
+    statements.push((start, &sql[start..]));
+    statements
+}
+
+/// What a single trimmed statement asks for.
+enum Statement<'a> {
+    /// Whitespace only.
+    Empty,
+    /// `BEGIN` / `COMMIT` / `ROLLBACK` / `SET …` — acknowledged with a bare
+    /// completion tag so ORM session setup does not fail (there is nothing
+    /// transactional or settable in a regenerated database).
+    Acknowledge(&'static str),
+    /// `SELECT <integer>` — the classic liveness ping.
+    Ping(i64),
+    /// `SELECT * FROM <relation>` — full regenerate-and-scan.
+    Scan(&'a str),
+    /// Anything else: the aggregate query path.
+    Aggregate,
+}
+
+fn classify(stmt: &str) -> Statement<'_> {
+    let tokens: Vec<&str> = stmt.split_whitespace().collect();
+    let Some(first) = tokens.first() else {
+        return Statement::Empty;
+    };
+    let first_lower = first.to_ascii_lowercase();
+    match first_lower.as_str() {
+        "begin" => return Statement::Acknowledge("BEGIN"),
+        "commit" => return Statement::Acknowledge("COMMIT"),
+        "rollback" => return Statement::Acknowledge("ROLLBACK"),
+        "set" => return Statement::Acknowledge("SET"),
+        _ => {}
+    }
+    if first_lower == "select" {
+        if tokens.len() == 2 {
+            if let Ok(n) = tokens[1].parse::<i64>() {
+                return Statement::Ping(n);
+            }
+        }
+        if tokens.len() == 4 && tokens[1] == "*" && tokens[2].eq_ignore_ascii_case("from") {
+            return Statement::Scan(tokens[3]);
+        }
+    }
+    Statement::Aggregate
+}
+
+/// Look up a `table.column` group key's declared type for `RowDescription`.
+fn group_column_field(schema: &Schema, qualified: &str) -> FieldDescription {
+    let declared = qualified.split_once('.').and_then(|(table, column)| {
+        schema
+            .table(table)?
+            .columns()
+            .iter()
+            .find(|c| c.name == column)
+            .map(|c| c.data_type.clone())
+    });
+    let (type_oid, type_len) = declared
+        .as_ref()
+        .map(pg_type_of)
+        .unwrap_or((crate::types::OID_TEXT, -1));
+    FieldDescription {
+        name: qualified.to_string(),
+        type_oid,
+        type_len,
+    }
+}
+
+/// The wire type of one aggregate output column: `count` is int8, `avg` is
+/// float8, `sum` follows its target column (float8 over doubles, int8
+/// otherwise — the engine's exact integer sums).
+fn aggregate_field(
+    schema: &Schema,
+    query: &AggregateQuery,
+    index: usize,
+    name: &str,
+) -> FieldDescription {
+    let oid = match query.aggregates.get(index) {
+        Some(agg) => match agg.func {
+            AggFunc::Count => OID_INT8,
+            AggFunc::Avg => OID_FLOAT8,
+            AggFunc::Sum => {
+                let is_double = agg.target.as_ref().and_then(|target| {
+                    schema
+                        .table(&target.table)?
+                        .columns()
+                        .iter()
+                        .find(|c| c.name == target.column)
+                        .map(|c| matches!(c.data_type, hydra_catalog::types::DataType::Double))
+                });
+                if is_double.unwrap_or(false) {
+                    OID_FLOAT8
+                } else {
+                    OID_INT8
+                }
+            }
+        },
+        None => OID_FLOAT8,
+    };
+    FieldDescription {
+        name: name.to_string(),
+        type_oid: oid,
+        type_len: if oid == OID_INT8 || oid == OID_FLOAT8 {
+            8
+        } else {
+            4
+        },
+    }
+}
+
+/// Serve one accepted pg connection to completion. Returns `Ok` both for
+/// clean terminates and for peers that simply vanish; only unexpected
+/// internal failures surface as errors (logged by the accept loop).
+pub(crate) fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -> PgResult<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // Startup phase: refuse encryption upgrades until a real startup packet
+    // arrives; cancel requests close without a reply, exactly like a
+    // backend that has nothing to cancel.
+    let params = loop {
+        match read_startup_packet(&mut reader) {
+            Ok(None) | Err(PgWireError::UnexpectedEof) => return Ok(()),
+            Err(PgWireError::Io(e)) => return Err(PgWireError::Io(e)),
+            Err(e) => {
+                let msg = PgError::fatal("08P01", e.to_string()).to_message();
+                write_backend(&mut writer, &msg).ok();
+                writer.flush().ok();
+                return Ok(());
+            }
+            Ok(Some(StartupPacket::SslRequest)) | Ok(Some(StartupPacket::GssEncRequest)) => {
+                writer.write_all(b"N")?;
+                writer.flush()?;
+            }
+            Ok(Some(StartupPacket::Cancel { .. })) => return Ok(()),
+            Ok(Some(StartupPacket::Startup {
+                major,
+                minor,
+                params,
+            })) => {
+                if major != 3 {
+                    let msg = PgError::fatal(
+                        "08P01",
+                        format!("unsupported protocol version {major}.{minor}"),
+                    )
+                    .to_message();
+                    write_backend(&mut writer, &msg).ok();
+                    writer.flush().ok();
+                    return Ok(());
+                }
+                break params;
+            }
+        }
+    };
+
+    let database = params
+        .iter()
+        .find(|(k, _)| k == "database")
+        .map(|(_, v)| v.as_str());
+    let entry = match resolve_database(registry, database) {
+        Ok(entry) => entry,
+        Err(e) => {
+            write_backend(&mut writer, &e.to_message()).ok();
+            writer.flush().ok();
+            return Ok(());
+        }
+    };
+
+    // Handshake tail: trust auth, the parameters drivers sniff, a cancel
+    // key (never honored — there is no cancel machinery), then idle.
+    write_backend(&mut writer, &BackendMessage::AuthenticationOk)?;
+    for (name, value) in [
+        ("server_version", SERVER_VERSION),
+        ("server_encoding", "UTF8"),
+        ("client_encoding", "UTF8"),
+        ("DateStyle", "ISO, MDY"),
+        ("integer_datetimes", "on"),
+    ] {
+        write_backend(
+            &mut writer,
+            &BackendMessage::ParameterStatus {
+                name: name.to_string(),
+                value: value.to_string(),
+            },
+        )?;
+    }
+    write_backend(
+        &mut writer,
+        &BackendMessage::BackendKeyData {
+            pid: std::process::id() as i32,
+            secret: 0,
+        },
+    )?;
+    write_backend(&mut writer, &BackendMessage::ReadyForQuery { status: b'I' })?;
+    writer.flush()?;
+
+    // Idle ↔ query cycle.
+    loop {
+        match read_frontend_message(&mut reader) {
+            Ok(None) | Err(PgWireError::UnexpectedEof) => return Ok(()),
+            Ok(Some(FrontendMessage::Terminate)) => return Ok(()),
+            Ok(Some(FrontendMessage::Sync)) => {
+                write_backend(&mut writer, &BackendMessage::ReadyForQuery { status: b'I' })?;
+                writer.flush()?;
+            }
+            Ok(Some(FrontendMessage::Unknown { tag })) => {
+                let msg = PgError::error(
+                    "0A000",
+                    format!(
+                        "message type {:?} is not supported (simple-query protocol only)",
+                        tag as char
+                    ),
+                )
+                .to_message();
+                write_backend(&mut writer, &msg)?;
+                write_backend(&mut writer, &BackendMessage::ReadyForQuery { status: b'I' })?;
+                writer.flush()?;
+            }
+            Ok(Some(FrontendMessage::Query { sql })) => {
+                run_simple_query(&mut writer, registry, &entry, &sql)?;
+            }
+            Err(PgWireError::Io(e)) => return Err(PgWireError::Io(e)),
+            Err(e) => {
+                // Hostile or corrupt framing: best-effort FATAL, then close
+                // — there is no way to resynchronize a byte stream.
+                let msg = PgError::fatal("08P01", e.to_string()).to_message();
+                write_backend(&mut writer, &msg).ok();
+                writer.flush().ok();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Run one `Query` message: every `;`-separated statement in order, error
+/// aborts the rest, and exactly one closing `ReadyForQuery`.
+fn run_simple_query<W: Write>(
+    writer: &mut W,
+    registry: &SummaryRegistry,
+    entry: &RegistryEntry,
+    sql: &str,
+) -> PgResult<()> {
+    let statements = split_statements(sql);
+    let mut ran_any = false;
+    for (offset, stmt) in statements {
+        match classify(stmt) {
+            Statement::Empty => continue,
+            statement => {
+                ran_any = true;
+                if let Err(e) = run_statement(writer, registry, entry, statement, stmt, offset) {
+                    match e {
+                        StatementFailure::Sql(pg) => {
+                            write_backend(writer, &pg.to_message())?;
+                            break;
+                        }
+                        StatementFailure::Wire(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+    if !ran_any {
+        write_backend(writer, &BackendMessage::EmptyQueryResponse)?;
+    }
+    write_backend(writer, &BackendMessage::ReadyForQuery { status: b'I' })?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// A statement either failed as SQL (report and keep the connection) or the
+/// wire itself broke (close the connection).
+enum StatementFailure {
+    Sql(PgError),
+    Wire(PgWireError),
+}
+
+impl From<PgWireError> for StatementFailure {
+    fn from(e: PgWireError) -> Self {
+        StatementFailure::Wire(e)
+    }
+}
+
+fn run_statement<W: Write>(
+    writer: &mut W,
+    registry: &SummaryRegistry,
+    entry: &RegistryEntry,
+    statement: Statement<'_>,
+    stmt: &str,
+    offset: usize,
+) -> Result<(), StatementFailure> {
+    match statement {
+        Statement::Empty => Ok(()),
+        Statement::Acknowledge(tag) => {
+            write_backend(writer, &BackendMessage::CommandComplete { tag: tag.into() })?;
+            Ok(())
+        }
+        Statement::Ping(n) => {
+            let (oid, len) = if i32::try_from(n).is_ok() {
+                (OID_INT4, 4)
+            } else {
+                (OID_INT8, 8)
+            };
+            write_backend(
+                writer,
+                &BackendMessage::RowDescription {
+                    fields: vec![FieldDescription {
+                        name: "?column?".to_string(),
+                        type_oid: oid,
+                        type_len: len,
+                    }],
+                },
+            )?;
+            write_backend(
+                writer,
+                &BackendMessage::DataRow {
+                    values: vec![Some(n.to_string().into_bytes())],
+                },
+            )?;
+            write_backend(
+                writer,
+                &BackendMessage::CommandComplete {
+                    tag: "SELECT 1".to_string(),
+                },
+            )?;
+            Ok(())
+        }
+        Statement::Scan(table) => run_scan(writer, registry, entry, table),
+        Statement::Aggregate => run_aggregate(writer, entry, stmt, offset),
+    }
+}
+
+/// `SELECT * FROM <relation>`: regenerate the whole relation through the
+/// dynamic generator and stream it as `DataRow`s, paced by the session's
+/// velocity governor exactly like the frame protocol's `Stream` request.
+fn run_scan<W: Write>(
+    writer: &mut W,
+    registry: &SummaryRegistry,
+    entry: &RegistryEntry,
+    table: &str,
+) -> Result<(), StatementFailure> {
+    let generator = entry.generator();
+    let total = generator
+        .summary
+        .relation(table)
+        .ok_or_else(|| {
+            StatementFailure::Sql(PgError::error(
+                "42P01",
+                format!("relation \"{table}\" does not exist"),
+            ))
+        })?
+        .total_rows;
+    let rate = registry.session().velocity();
+    let mut sink = PgRowSink::new(writer, StreamRequest::DEFAULT_BATCH_ROWS as usize);
+    let stats = generator
+        .stream_range_into(table, 0..total, &mut sink, rate)
+        .map_err(|e| StatementFailure::Sql(PgError::error("XX000", e.to_string())))?;
+    let rows = stats.rows;
+    if let Some(e) = sink.error {
+        return Err(StatementFailure::Wire(PgWireError::Io(e)));
+    }
+    write_backend(
+        writer,
+        &BackendMessage::CommandComplete {
+            tag: format!("SELECT {rows}"),
+        },
+    )?;
+    Ok(())
+}
+
+/// The aggregate path: parse against the entry's schema, execute with the
+/// automatic summary-direct / scan-fallback strategy, and stream the
+/// grouped answer.
+fn run_aggregate<W: Write>(
+    writer: &mut W,
+    entry: &RegistryEntry,
+    stmt: &str,
+    offset: usize,
+) -> Result<(), StatementFailure> {
+    let regeneration = entry.regeneration();
+    let schema = &regeneration.schema;
+    let query = parse_aggregate_query_for_schema("pgwire", stmt, schema)
+        .map_err(|e| StatementFailure::Sql(pg_error_of_exec(&ExecError::Query(e), offset)))?;
+    let engine = QueryEngine::over(schema, &regeneration.summary);
+    let answer = engine
+        .execute_mode(&query, ExecMode::Auto)
+        .map_err(|e| StatementFailure::Sql(pg_error_of_exec(&e, offset)))?;
+
+    let mut fields =
+        Vec::with_capacity(answer.group_columns.len() + answer.aggregate_columns.len());
+    let mut group_types = Vec::with_capacity(answer.group_columns.len());
+    for qualified in &answer.group_columns {
+        let field = group_column_field(schema, qualified);
+        group_types.push(qualified.split_once('.').and_then(|(table, column)| {
+            schema
+                .table(table)?
+                .columns()
+                .iter()
+                .find(|c| c.name == column)
+                .map(|c| c.data_type.clone())
+        }));
+        fields.push(field);
+    }
+    for (i, name) in answer.aggregate_columns.iter().enumerate() {
+        fields.push(aggregate_field(schema, &query, i, name));
+    }
+    write_backend(writer, &BackendMessage::RowDescription { fields })?;
+
+    for row in &answer.rows {
+        let mut values = Vec::with_capacity(row.key.len() + row.aggregates.len());
+        for (i, key) in row.key.iter().enumerate() {
+            values.push(
+                pg_text(key, group_types.get(i).and_then(|t| t.as_ref())).map(String::into_bytes),
+            );
+        }
+        for agg in &row.aggregates {
+            values.push(pg_text(agg, None).map(String::into_bytes));
+        }
+        write_backend(writer, &BackendMessage::DataRow { values })?;
+    }
+    write_backend(
+        writer,
+        &BackendMessage::CommandComplete {
+            tag: format!("SELECT {}", answer.rows.len()),
+        },
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_splitting_respects_quotes() {
+        let sql = "select count(*) from t where c = 'a;b'; select 1;; \"odd;name\"";
+        let parts = split_statements(sql);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].1, "select count(*) from t where c = 'a;b'");
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[1].1, " select 1");
+        assert_eq!(sql.as_bytes()[parts[1].0], b' ');
+        assert_eq!(parts[2].1, "");
+        assert_eq!(parts[3].1, " \"odd;name\"");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(matches!(classify("  "), Statement::Empty));
+        assert!(matches!(classify("BEGIN"), Statement::Acknowledge("BEGIN")));
+        assert!(matches!(
+            classify("set search_path to x"),
+            Statement::Acknowledge("SET")
+        ));
+        assert!(matches!(classify("select 1"), Statement::Ping(1)));
+        assert!(matches!(
+            classify("SELECT * FROM item"),
+            Statement::Scan("item")
+        ));
+        assert!(matches!(
+            classify("select count(*) from item"),
+            Statement::Aggregate
+        ));
+        assert!(matches!(
+            classify("select * from item where x"),
+            Statement::Aggregate
+        ));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error model of the pgwire front-end.
+//!
+//! Two failure planes are kept distinct: [`PgWireError::Protocol`] means the
+//! *bytes* on the socket are not a legal PostgreSQL v3 conversation (the
+//! connection is closed after a best-effort `ErrorResponse`), while
+//! [`PgWireError::Server`] is a *well-formed* `ErrorResponse` received by the
+//! in-tree test client — the SQL failed, the connection survives.
+
+use std::fmt;
+use std::io;
+
+/// Convenient alias used throughout the crate.
+pub type PgResult<T> = Result<T, PgWireError>;
+
+/// A decoded PostgreSQL `ErrorResponse`, as seen by the client side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// Severity field (`S`), e.g. `ERROR` or `FATAL`.
+    pub severity: String,
+    /// SQLSTATE code field (`C`), e.g. `42601`.
+    pub code: String,
+    /// Human-readable message field (`M`).
+    pub message: String,
+    /// 1-based byte position into the query text (`P`), when the server
+    /// attributed the error to a location — the caret psql would print.
+    pub position: Option<u64>,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ({})", self.severity, self.message, self.code)?;
+        if let Some(p) = self.position {
+            write!(f, " at position {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything that can go wrong speaking the wire protocol.
+#[derive(Debug)]
+pub enum PgWireError {
+    /// Underlying socket failure.
+    Io(io::Error),
+    /// The peer sent bytes that are not a legal protocol message (bad
+    /// framing, oversized length field, embedded garbage). The connection
+    /// is not recoverable after this.
+    Protocol(String),
+    /// The server answered with an `ErrorResponse` (client side only).
+    Server(ServerError),
+    /// The server closed the connection where a message was required.
+    UnexpectedEof,
+}
+
+impl fmt::Display for PgWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgWireError::Io(e) => write!(f, "i/o error: {e}"),
+            PgWireError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            PgWireError::Server(e) => write!(f, "server error: {e}"),
+            PgWireError::UnexpectedEof => write!(f, "connection closed mid-message"),
+        }
+    }
+}
+
+impl std::error::Error for PgWireError {}
+
+impl From<io::Error> for PgWireError {
+    fn from(e: io::Error) -> Self {
+        PgWireError::Io(e)
+    }
+}

@@ -1,0 +1,62 @@
+//! # hydra-pgwire
+//!
+//! A PostgreSQL wire-protocol front-end for the HYDRA regeneration service:
+//! the dataless database as a drop-in test double for a real Postgres.
+//!
+//! The crate implements the **simple-query protocol** (v3 message framing)
+//! from scratch over `std::net` — no external dependencies — and translates
+//! incoming `SELECT`s into the existing `hydra-query` execution path:
+//!
+//! * in-class aggregate queries are answered **summary-direct** in
+//!   O(blocks), never materializing a tuple;
+//! * `SELECT * FROM <relation>` (and out-of-class aggregates, via the
+//!   engine's automatic fallback) regenerate tuples dynamically and stream
+//!   them through [`sink::PgRowSink`] — the same [`TupleSink`] generation
+//!   path the frame protocol's `FrameSink` uses, re-skinned as `DataRow`
+//!   messages.
+//!
+//! Both protocol front-ends serve one [`SummaryRegistry`]; the `database`
+//! startup parameter (`name[@version]`) selects the registry entry. Run
+//! them together under one [`ShutdownSignal`](hydra_service::ShutdownSignal)
+//! so either side's shutdown stops both accept loops.
+//!
+//! ```
+//! use hydra_core::session::Hydra;
+//! use hydra_pgwire::{serve_pg, PgClient};
+//! use hydra_service::registry::SummaryRegistry;
+//! use hydra_service::ShutdownSignal;
+//! use hydra_workload::retail_client_fixture;
+//! use std::sync::Arc;
+//!
+//! let session = Hydra::builder().compare_aqps(false).build();
+//! let registry = Arc::new(SummaryRegistry::in_memory(session.clone()));
+//! let (db, queries) = retail_client_fixture(300, 80, 4);
+//! let package = session.profile(db, &queries).unwrap();
+//! registry.publish("retail", package).unwrap();
+//!
+//! let server = serve_pg(registry, "127.0.0.1:0", ShutdownSignal::new()).unwrap();
+//! let mut client = PgClient::connect(server.local_addr(), Some("retail")).unwrap();
+//! let answer = client.query("select count(*) from store_sales").unwrap();
+//! assert_eq!(answer.columns, vec!["count(*)".to_string()]);
+//! client.terminate().unwrap();
+//! server.shutdown();
+//! ```
+//!
+//! [`TupleSink`]: hydra_datagen::sink::TupleSink
+//! [`SummaryRegistry`]: hydra_service::registry::SummaryRegistry
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+mod connection;
+pub mod error;
+pub mod server;
+pub mod sink;
+pub mod types;
+
+pub use client::{PgClient, PgRows};
+pub use codec::{BackendMessage, FieldDescription, FrontendMessage, StartupPacket};
+pub use error::{PgResult, PgWireError, ServerError};
+pub use server::{serve_pg, PgServerHandle};
+pub use sink::PgRowSink;

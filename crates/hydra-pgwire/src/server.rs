@@ -1,0 +1,125 @@
+//! The pgwire accept loop — the PostgreSQL face of a running registry.
+//!
+//! Structurally a twin of `hydra-service`'s frame server: one
+//! `std::net::TcpListener`, one thread per connection, one shared
+//! [`SummaryRegistry`] — but connections speak the PostgreSQL v3
+//! simple-query protocol instead of length-prefixed JSON frames.  Both
+//! front-ends are meant to run under one shared
+//! [`ShutdownSignal`], so a `Shutdown` frame
+//! on the service port (or a programmatic shutdown of either handle) stops
+//! this listener too — no orphaned accept loops.
+
+use crate::connection::handle_connection;
+use crate::error::PgResult;
+use hydra_service::registry::SummaryRegistry;
+use hydra_service::ShutdownSignal;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A pgwire server bound to a socket and accepting connections on a
+/// background thread.  Dropping the handle triggers the shared shutdown
+/// signal (stopping every co-registered listener) and drains connections.
+#[derive(Debug)]
+pub struct PgServerHandle {
+    local_addr: SocketAddr,
+    signal: ShutdownSignal,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Starts a PostgreSQL wire-protocol listener over `registry` on `addr`
+/// (port 0 for ephemeral), stopping when `signal` triggers.
+///
+/// Pass the [`ShutdownSignal`](hydra_service::ServerHandle::shutdown_signal)
+/// of an existing frame server to couple the two listeners' lifetimes, or a
+/// fresh signal for a pg-only server.
+pub fn serve_pg(
+    registry: Arc<SummaryRegistry>,
+    addr: impl ToSocketAddrs,
+    signal: ShutdownSignal,
+) -> PgResult<PgServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    signal.register_listener(local_addr);
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let accept_registry = Arc::clone(&registry);
+    let accept_signal = signal.clone();
+    let accept_active = Arc::clone(&active);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_signal.is_triggered() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let registry = Arc::clone(&accept_registry);
+            let active = Arc::clone(&accept_active);
+            active.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(move || {
+                // Peer-level failures (dead sockets, hostile bytes) are
+                // resolved inside the connection; nothing to surface here.
+                let _ = handle_connection(stream, &registry);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+
+    Ok(PgServerHandle {
+        local_addr,
+        signal,
+        active,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl PgServerHandle {
+    /// The address the pg listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shutdown signal this listener is registered on.
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        self.signal.clone()
+    }
+
+    /// True once a shutdown was requested anywhere on the shared signal.
+    pub fn is_shutting_down(&self) -> bool {
+        self.signal.is_triggered()
+    }
+
+    /// Blocks until the shared signal stops the accept loop, then drains
+    /// in-flight connections.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    /// Triggers the shared signal (stopping every co-registered listener)
+    /// and blocks until this accept loop has exited.
+    pub fn shutdown(mut self) {
+        self.signal.trigger();
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for _ in 0..200 {
+            if self.active.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for PgServerHandle {
+    fn drop(&mut self) {
+        self.signal.trigger();
+        self.join_inner();
+    }
+}

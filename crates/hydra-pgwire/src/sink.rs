@@ -1,0 +1,187 @@
+//! [`PgRowSink`] — the pg-wire sibling of `hydra-service`'s `FrameSink`.
+//!
+//! Plugs the dynamic generator's [`TupleSink`] contract straight into a
+//! PostgreSQL connection: `begin` emits the `RowDescription` for the
+//! relation, every accepted tuple becomes one text-format `DataRow`, and
+//! the writer is flushed every `batch_rows` tuples so a dead client surfaces
+//! as a write error quickly and generation stops early via `aborted()`
+//! instead of producing tuples nobody can receive.
+
+use crate::codec::{encode_backend, BackendMessage, FieldDescription};
+use crate::types::{pg_text, pg_type_of};
+use hydra_catalog::schema::Table;
+use hydra_catalog::types::DataType;
+use hydra_datagen::sink::TupleSink;
+use hydra_engine::row::Row;
+use std::io::Write;
+
+/// Streams regenerated tuples to a PostgreSQL client as `DataRow` messages.
+#[derive(Debug)]
+pub struct PgRowSink<'a, W: Write> {
+    writer: &'a mut W,
+    batch_rows: usize,
+    since_flush: usize,
+    scratch: Vec<u8>,
+    column_types: Vec<DataType>,
+    /// Tuples accepted so far (feeds the `SELECT n` completion tag).
+    pub rows: u64,
+    /// First write error; once set the sink reports `aborted()` and drops
+    /// all further tuples.
+    pub error: Option<std::io::Error>,
+}
+
+impl<'a, W: Write> PgRowSink<'a, W> {
+    /// A sink writing to `writer`, flushing every `batch_rows` tuples
+    /// (clamped to `1..=65536`, mirroring the frame protocol's batch
+    /// bounds).
+    pub fn new(writer: &'a mut W, batch_rows: usize) -> Self {
+        PgRowSink {
+            writer,
+            batch_rows: batch_rows.clamp(1, 1 << 16),
+            since_flush: 0,
+            scratch: Vec::new(),
+            column_types: Vec::new(),
+            rows: 0,
+            error: None,
+        }
+    }
+
+    fn emit(&mut self, message: &BackendMessage) {
+        if self.error.is_some() {
+            return;
+        }
+        self.scratch.clear();
+        encode_backend(message, &mut self.scratch);
+        if let Err(e) = self.writer.write_all(&self.scratch) {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.flush() {
+            self.error = Some(e);
+        }
+        self.since_flush = 0;
+    }
+}
+
+impl<W: Write> TupleSink for PgRowSink<'_, W> {
+    fn begin(&mut self, table: &Table, _expected_rows: u64) {
+        self.column_types = table
+            .columns()
+            .iter()
+            .map(|c| c.data_type.clone())
+            .collect();
+        let fields = table
+            .columns()
+            .iter()
+            .map(|c| {
+                let (type_oid, type_len) = pg_type_of(&c.data_type);
+                FieldDescription {
+                    name: c.name.clone(),
+                    type_oid,
+                    type_len,
+                }
+            })
+            .collect();
+        self.emit(&BackendMessage::RowDescription { fields });
+        self.flush();
+    }
+
+    fn accept(&mut self, row: Row) {
+        let values = row
+            .iter()
+            .enumerate()
+            .map(|(i, v)| pg_text(v, self.column_types.get(i)).map(String::into_bytes))
+            .collect();
+        self.emit(&BackendMessage::DataRow { values });
+        self.rows += 1;
+        self.since_flush += 1;
+        if self.since_flush >= self.batch_rows {
+            self.flush();
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.error.is_some()
+    }
+
+    fn finish(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_backend, Decoded};
+    use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder, Table};
+    use hydra_catalog::types::Value;
+
+    fn table() -> Table {
+        SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("i_sold_date", DataType::Date))
+                    .column(ColumnBuilder::new("i_category", DataType::Varchar(None)))
+            })
+            .build()
+            .unwrap()
+            .table("item")
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn emits_description_then_typed_rows() {
+        let mut out = Vec::new();
+        let mut sink = PgRowSink::new(&mut out, 16);
+        sink.begin(&table(), 1);
+        sink.accept(vec![Value::Integer(7), Value::Integer(0), Value::Null]);
+        sink.finish();
+        assert!(sink.error.is_none());
+        assert_eq!(sink.rows, 1);
+
+        let Ok(Decoded::Complete { message, consumed }) = decode_backend(&out) else {
+            panic!("expected RowDescription");
+        };
+        let BackendMessage::RowDescription { fields } = message else {
+            panic!("expected RowDescription, got {message:?}");
+        };
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0].type_oid, crate::types::OID_INT8);
+        assert_eq!(fields[1].type_oid, crate::types::OID_DATE);
+        assert_eq!(fields[2].type_oid, crate::types::OID_TEXT);
+
+        let Ok(Decoded::Complete { message, .. }) = decode_backend(&out[consumed..]) else {
+            panic!("expected DataRow");
+        };
+        let BackendMessage::DataRow { values } = message else {
+            panic!("expected DataRow, got {message:?}");
+        };
+        assert_eq!(values[0].as_deref(), Some(b"7".as_slice()));
+        assert_eq!(values[1].as_deref(), Some(b"1970-01-01".as_slice()));
+        assert_eq!(values[2], None);
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_failure_aborts_the_stream() {
+        let mut writer = FailingWriter;
+        let mut sink = PgRowSink::new(&mut writer, 4);
+        sink.begin(&table(), 10);
+        assert!(sink.aborted(), "broken pipe must abort generation early");
+    }
+}

@@ -2,7 +2,7 @@
 //! smoke driver and a minimal usage example.
 //!
 //! ```sh
-//! cargo run --release -p hydra-service --bin hydra-serve -- --addr 127.0.0.1:0 &
+//! cargo run --release -p hydra --bin hydra-serve -- --addr 127.0.0.1:0 &
 //! cargo run --release -p hydra-service --example service_roundtrip -- 127.0.0.1:PORT
 //! ```
 //!

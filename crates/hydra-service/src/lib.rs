@@ -66,5 +66,5 @@ pub use client::HydraClient;
 pub use error::{ServiceError, ServiceResult};
 pub use protocol::{DeltaPublished, QueryRequest, Request, Response, ScenarioSpec, StreamRequest};
 pub use registry::{RegistryEntry, SummaryRegistry};
-pub use server::{serve, serve_shared, ServerHandle};
+pub use server::{serve, serve_shared, serve_with_signal, ServerHandle, ShutdownSignal};
 pub use wire::FrameSink;

@@ -15,16 +15,78 @@ use crate::wire::FrameSink;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// A shared shutdown switch that can stop *several* listeners at once.
+///
+/// One logical server may expose more than one network surface — the frame
+/// protocol listener plus a PostgreSQL wire-protocol listener, both over the
+/// same registry.  A protocol-driven `Shutdown` frame (or a programmatic
+/// [`ServerHandle::shutdown`]) must stop **every** accept loop, not just the
+/// one that received it; otherwise the process lingers with an orphaned
+/// listener.  Each accept loop registers its bound address here; triggering
+/// the signal sets the flag and wakes every registered listener so its
+/// blocking `accept` observes the flag and exits.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownSignal {
+    inner: Arc<SignalInner>,
+}
+
+#[derive(Debug, Default)]
+struct SignalInner {
+    triggered: AtomicBool,
+    listeners: Mutex<Vec<SocketAddr>>,
+}
+
+impl ShutdownSignal {
+    /// A fresh, untriggered signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once a shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.inner.triggered.load(Ordering::SeqCst)
+    }
+
+    /// Requests a shutdown: sets the flag and wakes every registered accept
+    /// loop.  Idempotent — repeated triggers re-wake, which is harmless.
+    pub fn trigger(&self) {
+        self.inner.triggered.store(true, Ordering::SeqCst);
+        let listeners = self
+            .inner
+            .listeners
+            .lock()
+            .expect("shutdown signal lock poisoned")
+            .clone();
+        for addr in listeners {
+            wake_accept_loop(addr);
+        }
+    }
+
+    /// Registers a listener address to be woken on [`ShutdownSignal::trigger`].
+    /// If the signal already fired, the listener is woken immediately so a
+    /// late-registered accept loop cannot outlive the shutdown.
+    pub fn register_listener(&self, addr: SocketAddr) {
+        self.inner
+            .listeners
+            .lock()
+            .expect("shutdown signal lock poisoned")
+            .push(addr);
+        if self.is_triggered() {
+            wake_accept_loop(addr);
+        }
+    }
+}
 
 /// A regeneration server bound to a socket and accepting connections on a
 /// background thread.  Dropping the handle shuts the server down.
 #[derive(Debug)]
 pub struct ServerHandle {
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    signal: ShutdownSignal,
     active: Arc<AtomicUsize>,
     accept_thread: Option<JoinHandle<()>>,
     registry: Arc<SummaryRegistry>,
@@ -42,29 +104,40 @@ pub fn serve_shared(
     registry: Arc<SummaryRegistry>,
     addr: impl ToSocketAddrs,
 ) -> ServiceResult<ServerHandle> {
+    serve_with_signal(registry, addr, ShutdownSignal::new())
+}
+
+/// [`serve_shared`] under a caller-supplied [`ShutdownSignal`], so several
+/// protocol front-ends (this frame server, a pgwire server) stop together:
+/// a `Shutdown` frame received here triggers the shared signal, and an
+/// external trigger stops this accept loop.
+pub fn serve_with_signal(
+    registry: Arc<SummaryRegistry>,
+    addr: impl ToSocketAddrs,
+    signal: ShutdownSignal,
+) -> ServiceResult<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
+    signal.register_listener(local_addr);
     let active = Arc::new(AtomicUsize::new(0));
 
     let accept_registry = Arc::clone(&registry);
-    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_signal = signal.clone();
     let accept_active = Arc::clone(&active);
     let accept_thread = std::thread::spawn(move || {
         for stream in listener.incoming() {
-            if accept_shutdown.load(Ordering::SeqCst) {
+            if accept_signal.is_triggered() {
                 break;
             }
             let Ok(stream) = stream else { continue };
             let registry = Arc::clone(&accept_registry);
-            let shutdown = Arc::clone(&accept_shutdown);
+            let signal = accept_signal.clone();
             let active = Arc::clone(&accept_active);
             active.fetch_add(1, Ordering::SeqCst);
             std::thread::spawn(move || {
                 let peer_shutdown = handle_connection(stream, &registry).unwrap_or(false);
                 if peer_shutdown {
-                    shutdown.store(true, Ordering::SeqCst);
-                    wake_accept_loop(local_addr);
+                    signal.trigger();
                 }
                 active.fetch_sub(1, Ordering::SeqCst);
             });
@@ -73,7 +146,7 @@ pub fn serve_shared(
 
     Ok(ServerHandle {
         local_addr,
-        shutdown,
+        signal,
         active,
         accept_thread: Some(accept_thread),
         registry,
@@ -98,10 +171,18 @@ impl ServerHandle {
         &self.registry
     }
 
+    /// The shutdown signal shared by this server's accept loop.  Clone it
+    /// into other protocol front-ends (e.g. a pgwire listener) so a
+    /// `Shutdown` frame — or a programmatic shutdown of either side — stops
+    /// every listener together.
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        self.signal.clone()
+    }
+
     /// True once a shutdown was requested (programmatically or by a client's
     /// `Shutdown` frame).
     pub fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.signal.is_triggered()
     }
 
     /// Blocks until the server stops accepting (a client sent `Shutdown`, or
@@ -112,10 +193,10 @@ impl ServerHandle {
     }
 
     /// Requests a shutdown and blocks until the accept loop has exited and
-    /// in-flight connections have drained.
+    /// in-flight connections have drained.  Every other listener sharing
+    /// this server's [`ShutdownSignal`] is stopped too.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        wake_accept_loop(self.local_addr);
+        self.signal.trigger();
         self.join_inner();
     }
 
@@ -136,8 +217,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        wake_accept_loop(self.local_addr);
+        self.signal.trigger();
         self.join_inner();
     }
 }

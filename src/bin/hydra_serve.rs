@@ -1,13 +1,17 @@
 //! `hydra-serve` — the regeneration server binary.
 //!
 //! ```text
-//! hydra-serve [--addr HOST:PORT] [--registry-dir DIR] [--seed-retail ROWS]
-//!             [--velocity ROWS_PER_SEC] [--parallelism N]
+//! hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] [--registry-dir DIR]
+//!             [--seed-retail ROWS] [--velocity ROWS_PER_SEC] [--parallelism N]
 //! ```
 //!
-//! * `--addr` (default `127.0.0.1:7871`): listen address; port `0` picks an
-//!   ephemeral port.  The bound address is printed as
+//! * `--addr` (default `127.0.0.1:7871`): frame-protocol listen address;
+//!   port `0` picks an ephemeral port.  The bound address is printed as
 //!   `hydra-serve listening on HOST:PORT` once the server is up.
+//! * `--pg-addr HOST:PORT`: additionally serve the PostgreSQL simple-query
+//!   protocol on this address, over the **same** registry (the `database`
+//!   startup parameter selects the summary, `name@version` pins a version).
+//!   Printed as `hydra-serve pg listening on HOST:PORT`.
 //! * `--registry-dir DIR`: persist published packages to `DIR/<name>.json`
 //!   and re-solve whatever is found there on startup.  Without it the
 //!   registry is in-memory.
@@ -19,15 +23,20 @@
 //! * `--parallelism N`: worker threads for per-relation solving.
 //!
 //! The server runs until a client sends a `Shutdown` frame (see
-//! `HydraClient::shutdown`), then drains in-flight connections and exits 0.
+//! `HydraClient::shutdown`); both listeners share one `ShutdownSignal`, so
+//! the frame-driven shutdown stops the pg accept loop too, drains in-flight
+//! connections on both, and exits 0.
 
 use hydra_core::session::Hydra;
 use hydra_service::registry::SummaryRegistry;
+use hydra_service::ShutdownSignal;
 use hydra_workload::retail_client_fixture;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Options {
     addr: String,
+    pg_addr: Option<String>,
     registry_dir: Option<String>,
     seed_retail: Option<u64>,
     velocity: Option<f64>,
@@ -37,6 +46,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         addr: "127.0.0.1:7871".to_string(),
+        pg_addr: None,
         registry_dir: None,
         seed_retail: None,
         velocity: None,
@@ -47,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--addr" => options.addr = value("--addr")?,
+            "--pg-addr" => options.pg_addr = Some(value("--pg-addr")?),
             "--registry-dir" => options.registry_dir = Some(value("--registry-dir")?),
             "--seed-retail" => {
                 options.seed_retail = Some(
@@ -69,8 +80,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: hydra-serve [--addr HOST:PORT] [--registry-dir DIR] \
-                     [--seed-retail ROWS] [--velocity ROWS_PER_SEC] [--parallelism N]"
+                    "usage: hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] \
+                     [--registry-dir DIR] [--seed-retail ROWS] \
+                     [--velocity ROWS_PER_SEC] [--parallelism N]"
                         .to_string(),
                 )
             }
@@ -131,7 +143,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let server = match hydra_service::server::serve(registry, options.addr.as_str()) {
+    let registry = Arc::new(registry);
+    let signal = ShutdownSignal::new();
+    let server = match hydra_service::server::serve_with_signal(
+        Arc::clone(&registry),
+        options.addr.as_str(),
+        signal.clone(),
+    ) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("hydra-serve: cannot bind {}: {e}", options.addr);
@@ -139,7 +157,29 @@ fn main() -> ExitCode {
         }
     };
     println!("hydra-serve listening on {}", server.local_addr());
+
+    // The pg listener shares the frame server's shutdown signal: a frame
+    // `Shutdown` stops both accept loops, and vice versa — no orphans.
+    let pg_server = match &options.pg_addr {
+        Some(pg_addr) => {
+            match hydra_pgwire::serve_pg(Arc::clone(&registry), pg_addr.as_str(), signal) {
+                Ok(pg_server) => {
+                    println!("hydra-serve pg listening on {}", pg_server.local_addr());
+                    Some(pg_server)
+                }
+                Err(e) => {
+                    eprintln!("hydra-serve: cannot bind pg {pg_addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
     server.join();
+    if let Some(pg_server) = pg_server {
+        pg_server.join();
+    }
     println!("hydra-serve: shut down cleanly");
     ExitCode::SUCCESS
 }

@@ -19,6 +19,7 @@
 //! | [`workload`] | `hydra-workload` | synthetic client schemas, data generators, SPJ workloads |
 //! | [`core`] | `hydra-core` | client site, transfer package, vendor site, scenarios, reports |
 //! | [`service`] | `hydra-service` | TCP regeneration server, persistent summary registry, typed client |
+//! | [`pgwire`] | `hydra-pgwire` | PostgreSQL simple-query front-end over the same registry |
 //!
 //! ## Quickstart
 //!
@@ -75,6 +76,7 @@ pub use hydra_datagen as datagen;
 pub use hydra_engine as engine;
 pub use hydra_lp as lp;
 pub use hydra_partition as partition;
+pub use hydra_pgwire as pgwire;
 pub use hydra_query as query;
 pub use hydra_service as service;
 pub use hydra_summary as summary;
@@ -83,7 +85,8 @@ pub use hydra_workload as workload;
 pub use hydra_core::session::{Hydra, HydraBuilder};
 pub use hydra_core::{DeltaOutcome, RegenerationResult, RegenerationState, TransferPackage};
 pub use hydra_datagen::exec::{ExecMode, QueryEngine};
+pub use hydra_pgwire::{serve_pg, PgClient};
 pub use hydra_query::delta::{ConstraintSet, WorkloadDelta};
 pub use hydra_query::exec::{AggregateQuery, ExecStrategy, QueryAnswer};
-pub use hydra_service::{HydraClient, SummaryRegistry};
+pub use hydra_service::{HydraClient, ShutdownSignal, SummaryRegistry};
 pub use hydra_summary::delta::{DeltaBuildReport, SummaryDiff};
