@@ -49,16 +49,43 @@ impl VelocityGovernor {
     /// Records that `n` tuples are about to be emitted and sleeps long enough
     /// to keep the emission rate at (or below) the target.
     pub fn pace(&mut self, n: u64) {
+        self.note(n);
+        if let Some(wait) = self.delay_for(0) {
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// Records that `n` tuples were emitted **without sleeping** — the
+    /// cooperative half of [`pace`](Self::pace) for event-loop callers that
+    /// must not block a worker thread.  Pair with [`delay_for`](Self::delay_for)
+    /// (or [`budget`](Self::budget)) to schedule the wait elsewhere, e.g. on
+    /// a reactor timer wheel.
+    pub fn note(&mut self, n: u64) {
         self.emitted += n;
-        let Some(rate) = self.target_rows_per_sec else {
-            return;
-        };
-        let due = self.emitted as f64 / rate;
+    }
+
+    /// How long emission must pause before `extra` *more* tuples (beyond
+    /// those already noted) are due under the target rate.  `None` when
+    /// unthrottled or when that many tuples are already due now.  Capped at
+    /// the same 60 s bound as [`pace`](Self::pace)'s sleep.
+    pub fn delay_for(&self, extra: u64) -> Option<Duration> {
+        let rate = self.target_rows_per_sec?;
+        let due = (self.emitted + extra) as f64 / rate;
         let elapsed = self.started.elapsed().as_secs_f64();
         let wait = due - elapsed;
         if wait > 0.0 {
-            std::thread::sleep(Duration::from_secs_f64(wait.min(Self::MAX_PACE_SLEEP_SECS)));
+            Some(Duration::from_secs_f64(wait.min(Self::MAX_PACE_SLEEP_SECS)))
+        } else {
+            None
         }
+    }
+
+    /// How many tuples may be emitted *right now* without overshooting the
+    /// target rate.  `None` means unthrottled (no budget at all).
+    pub fn budget(&self) -> Option<u64> {
+        let rate = self.target_rows_per_sec?;
+        let due = (rate * self.started.elapsed().as_secs_f64()).floor() as u64;
+        Some(due.saturating_sub(self.emitted))
     }
 
     /// Number of tuples emitted through this governor.
@@ -114,6 +141,35 @@ mod tests {
             achieved <= 11_500.0,
             "achieved rate {achieved:.0} exceeds the target by more than 15%"
         );
+    }
+
+    #[test]
+    fn cooperative_api_matches_pace_semantics() {
+        // note() + delay_for(0) is pace() without the sleep.
+        let mut g = VelocityGovernor::with_rate(1000.0);
+        g.note(100);
+        let wait = g
+            .delay_for(0)
+            .expect("100 rows at 1000/s are ahead of schedule");
+        assert!(wait <= Duration::from_millis(100));
+        assert!(wait >= Duration::from_millis(50), "got {wait:?}");
+        // Unthrottled: no delay, no budget.
+        let mut g = VelocityGovernor::unthrottled();
+        g.note(1_000_000);
+        assert!(g.delay_for(0).is_none());
+        assert!(g.budget().is_none());
+    }
+
+    #[test]
+    fn budget_counts_due_tuples() {
+        let mut g = VelocityGovernor::with_rate(10_000.0);
+        assert_eq!(g.budget(), Some(0), "nothing is due at t=0");
+        std::thread::sleep(Duration::from_millis(20));
+        let due = g.budget().expect("throttled governor has a budget");
+        assert!(due >= 100, "~200 rows should be due after 20 ms, got {due}");
+        g.note(due);
+        let after = g.budget().unwrap();
+        assert!(after <= due, "noting the emission consumes the budget");
     }
 
     #[test]

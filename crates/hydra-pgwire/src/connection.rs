@@ -38,11 +38,11 @@ use std::sync::Arc;
 /// Server version advertised in `ParameterStatus`: a PostgreSQL-looking
 /// version string so version-sniffing drivers proceed, suffixed with the
 /// engine's real identity.
-const SERVER_VERSION: &str = "14.0 (hydra)";
+pub(crate) const SERVER_VERSION: &str = "14.0 (hydra)";
 
 /// A wire-level error with PostgreSQL's severity / SQLSTATE split.
 #[derive(Debug, Clone)]
-struct PgError {
+pub(crate) struct PgError {
     severity: &'static str,
     code: &'static str,
     message: String,
@@ -50,7 +50,7 @@ struct PgError {
 }
 
 impl PgError {
-    fn fatal(code: &'static str, message: impl Into<String>) -> Self {
+    pub(crate) fn fatal(code: &'static str, message: impl Into<String>) -> Self {
         PgError {
             severity: "FATAL",
             code,
@@ -59,7 +59,7 @@ impl PgError {
         }
     }
 
-    fn error(code: &'static str, message: impl Into<String>) -> Self {
+    pub(crate) fn error(code: &'static str, message: impl Into<String>) -> Self {
         PgError {
             severity: "ERROR",
             code,
@@ -68,7 +68,7 @@ impl PgError {
         }
     }
 
-    fn to_message(&self) -> BackendMessage {
+    pub(crate) fn to_message(&self) -> BackendMessage {
         BackendMessage::error(
             self.severity,
             self.code,
@@ -102,7 +102,7 @@ fn pg_error_of_exec(e: &ExecError, offset: usize) -> PgError {
 /// Resolve the `database` startup parameter (`name[@version]`) to a pinned
 /// registry entry. With no parameter, a registry holding exactly one entry
 /// binds to it; anything else must name its summary.
-fn resolve_database(
+pub(crate) fn resolve_database(
     registry: &SummaryRegistry,
     database: Option<&str>,
 ) -> Result<Arc<RegistryEntry>, PgError> {
@@ -149,7 +149,7 @@ fn resolve_database(
 /// Split a simple-query string into `;`-separated statements with their
 /// byte offsets, respecting single-quoted literals and double-quoted
 /// identifiers so a `;` inside a string does not split.
-fn split_statements(sql: &str) -> Vec<(usize, &str)> {
+pub(crate) fn split_statements(sql: &str) -> Vec<(usize, &str)> {
     let bytes = sql.as_bytes();
     let mut statements = Vec::new();
     let mut start = 0;
@@ -176,7 +176,7 @@ fn split_statements(sql: &str) -> Vec<(usize, &str)> {
 }
 
 /// What a single trimmed statement asks for.
-enum Statement<'a> {
+pub(crate) enum Statement<'a> {
     /// Whitespace only.
     Empty,
     /// `BEGIN` / `COMMIT` / `ROLLBACK` / `SET …` — acknowledged with a bare
@@ -191,7 +191,7 @@ enum Statement<'a> {
     Aggregate,
 }
 
-fn classify(stmt: &str) -> Statement<'_> {
+pub(crate) fn classify(stmt: &str) -> Statement<'_> {
     let tokens: Vec<&str> = stmt.split_whitespace().collect();
     let Some(first) = tokens.first() else {
         return Statement::Empty;
@@ -280,6 +280,32 @@ fn aggregate_field(
     }
 }
 
+/// The fixed post-auth handshake tail both server variants emit: trust
+/// auth, the parameters drivers sniff, a cancel key (never honored — there
+/// is no cancel machinery), then idle.  Shared so the reactor handler and
+/// the threaded baseline stay byte-identical.
+pub(crate) fn handshake_messages() -> Vec<BackendMessage> {
+    let mut messages = vec![BackendMessage::AuthenticationOk];
+    for (name, value) in [
+        ("server_version", SERVER_VERSION),
+        ("server_encoding", "UTF8"),
+        ("client_encoding", "UTF8"),
+        ("DateStyle", "ISO, MDY"),
+        ("integer_datetimes", "on"),
+    ] {
+        messages.push(BackendMessage::ParameterStatus {
+            name: name.to_string(),
+            value: value.to_string(),
+        });
+    }
+    messages.push(BackendMessage::BackendKeyData {
+        pid: std::process::id() as i32,
+        secret: 0,
+    });
+    messages.push(BackendMessage::ReadyForQuery { status: b'I' });
+    messages
+}
+
 /// Serve one accepted pg connection to completion. Returns `Ok` both for
 /// clean terminates and for peers that simply vanish; only unexpected
 /// internal failures surface as errors (logged by the accept loop).
@@ -339,32 +365,9 @@ pub(crate) fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -
         }
     };
 
-    // Handshake tail: trust auth, the parameters drivers sniff, a cancel
-    // key (never honored — there is no cancel machinery), then idle.
-    write_backend(&mut writer, &BackendMessage::AuthenticationOk)?;
-    for (name, value) in [
-        ("server_version", SERVER_VERSION),
-        ("server_encoding", "UTF8"),
-        ("client_encoding", "UTF8"),
-        ("DateStyle", "ISO, MDY"),
-        ("integer_datetimes", "on"),
-    ] {
-        write_backend(
-            &mut writer,
-            &BackendMessage::ParameterStatus {
-                name: name.to_string(),
-                value: value.to_string(),
-            },
-        )?;
+    for message in handshake_messages() {
+        write_backend(&mut writer, &message)?;
     }
-    write_backend(
-        &mut writer,
-        &BackendMessage::BackendKeyData {
-            pid: std::process::id() as i32,
-            secret: 0,
-        },
-    )?;
-    write_backend(&mut writer, &BackendMessage::ReadyForQuery { status: b'I' })?;
     writer.flush()?;
 
     // Idle ↔ query cycle.
@@ -442,7 +445,7 @@ fn run_simple_query<W: Write>(
 
 /// A statement either failed as SQL (report and keep the connection) or the
 /// wire itself broke (close the connection).
-enum StatementFailure {
+pub(crate) enum StatementFailure {
     Sql(PgError),
     Wire(PgWireError),
 }
@@ -453,7 +456,7 @@ impl From<PgWireError> for StatementFailure {
     }
 }
 
-fn run_statement<W: Write>(
+pub(crate) fn run_statement<W: Write>(
     writer: &mut W,
     registry: &SummaryRegistry,
     entry: &RegistryEntry,

@@ -51,6 +51,7 @@ pub mod client;
 pub mod codec;
 mod connection;
 pub mod error;
+pub mod reactor;
 pub mod server;
 pub mod sink;
 pub mod types;
@@ -58,5 +59,8 @@ pub mod types;
 pub use client::{PgClient, PgRows};
 pub use codec::{BackendMessage, FieldDescription, FrontendMessage, StartupPacket};
 pub use error::{PgResult, PgWireError, ServerError};
-pub use server::{serve_pg, PgServerHandle};
+pub use reactor::PgProtocol;
+pub use server::{
+    serve_pg, serve_pg_threaded, serve_pg_with_options, PgServerHandle, ThreadedPgServerHandle,
+};
 pub use sink::PgRowSink;

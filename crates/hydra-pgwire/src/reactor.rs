@@ -1,0 +1,439 @@
+//! The pgwire front-end as a reactor state machine.
+//!
+//! The non-blocking twin of the blocking `connection` module: the same
+//! handshake, the same statement dispatch, the same error vocabulary,
+//! byte-identical wire output — restructured for
+//! [`hydra-reactor`](hydra_reactor)'s division of labour.  The codec's
+//! [`Decoded`] prefix parsers were reactor-shaped from day one, so the
+//! connection handler is a direct composition:
+//!
+//! * [`PgProtocol`] mints a connection handler per accepted socket;
+//! * the handler walks startup → auth-ok → idle on the event loop, feeding
+//!   [`decode_startup`] / [`decode_frontend`] and answering handshake
+//!   traffic (SSL refusals, parameter status, `ReadyForQuery`) inline;
+//! * each `Query` message becomes a query task on the worker pool:
+//!   one `;`-separated statement per poll slice, with `SELECT * FROM`
+//!   scans further sliced into rate-budgeted chunks that `Yield` between
+//!   pulses, `Sleep` on the timer wheel for velocity pacing, and
+//!   `AwaitDrain` when the connection's write queue passes high water.
+
+use crate::codec::{
+    decode_frontend, decode_startup, encode_backend, BackendMessage, Decoded, FrontendMessage,
+    StartupPacket,
+};
+use crate::connection::{
+    classify, handshake_messages, resolve_database, run_statement, split_statements, PgError,
+    Statement, StatementFailure,
+};
+use crate::types::pg_text;
+use hydra_catalog::types::DataType;
+use hydra_datagen::generator::DynamicGenerator;
+use hydra_datagen::governor::VelocityGovernor;
+use hydra_reactor::{ConnHandle, ConnHandler, ConnTask, HandlerOutcome, Protocol, TaskPoll};
+use hydra_service::registry::{RegistryEntry, SummaryRegistry};
+use hydra_service::StreamRequest;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rows per `SELECT *` scan pulse: one flush-batch of the blocking
+/// [`crate::sink::PgRowSink`], so the wire sees `DataRow`s land at the
+/// same cadence as the threaded baseline.
+const SCAN_PULSE_ROWS: u64 = StreamRequest::DEFAULT_BATCH_ROWS;
+
+/// The pgwire listener-level factory: one per pg listener, holding the
+/// shared registry (the `database` startup parameter selects an entry per
+/// connection).
+pub struct PgProtocol {
+    registry: Arc<SummaryRegistry>,
+}
+
+impl PgProtocol {
+    /// A protocol serving `registry`.
+    pub fn new(registry: Arc<SummaryRegistry>) -> PgProtocol {
+        PgProtocol { registry }
+    }
+}
+
+impl Protocol for PgProtocol {
+    fn connect(&self) -> Box<dyn ConnHandler> {
+        Box::new(PgConnHandler {
+            registry: Arc::clone(&self.registry),
+            phase: Phase::Startup,
+        })
+    }
+}
+
+/// Connection lifecycle on the event loop.
+enum Phase {
+    /// Awaiting a startup packet (SSL/GSS refusals loop here).
+    Startup,
+    /// Handshake complete; the connection is bound to one registry entry
+    /// and serves simple-query messages.
+    Ready(Arc<RegistryEntry>),
+}
+
+/// Per-connection incremental decoder walking the v3 handshake and then
+/// slicing frontend messages into worker-pool tasks.
+struct PgConnHandler {
+    registry: Arc<SummaryRegistry>,
+    phase: Phase,
+}
+
+/// Encodes a backend message into the handler's inline output buffer.
+fn emit(out: &mut Vec<u8>, message: &BackendMessage) {
+    encode_backend(message, out);
+}
+
+impl ConnHandler for PgConnHandler {
+    fn on_bytes(&mut self, buf: &[u8], out: &mut Vec<u8>) -> (usize, HandlerOutcome) {
+        match &self.phase {
+            Phase::Startup => self.on_startup(buf, out),
+            Phase::Ready(entry) => {
+                let entry = Arc::clone(entry);
+                self.on_message(buf, out, entry)
+            }
+        }
+    }
+}
+
+impl PgConnHandler {
+    fn on_startup(&mut self, buf: &[u8], out: &mut Vec<u8>) -> (usize, HandlerOutcome) {
+        match decode_startup(buf) {
+            Ok(Decoded::Incomplete) => (0, HandlerOutcome::Continue),
+            Err(e) => {
+                emit(out, &PgError::fatal("08P01", e.to_string()).to_message());
+                (buf.len(), HandlerOutcome::Close)
+            }
+            Ok(Decoded::Complete { message, consumed }) => match message {
+                StartupPacket::SslRequest | StartupPacket::GssEncRequest => {
+                    out.push(b'N');
+                    (consumed, HandlerOutcome::Continue)
+                }
+                // Nothing to cancel: close without a reply, exactly like a
+                // backend that does not recognize the key.
+                StartupPacket::Cancel { .. } => (consumed, HandlerOutcome::Close),
+                StartupPacket::Startup {
+                    major,
+                    minor,
+                    params,
+                } => {
+                    if major != 3 {
+                        let e = PgError::fatal(
+                            "08P01",
+                            format!("unsupported protocol version {major}.{minor}"),
+                        );
+                        emit(out, &e.to_message());
+                        return (consumed, HandlerOutcome::Close);
+                    }
+                    let database = params
+                        .iter()
+                        .find(|(k, _)| k == "database")
+                        .map(|(_, v)| v.as_str());
+                    match resolve_database(&self.registry, database) {
+                        Ok(entry) => {
+                            for message in handshake_messages() {
+                                emit(out, &message);
+                            }
+                            self.phase = Phase::Ready(entry);
+                            (consumed, HandlerOutcome::Continue)
+                        }
+                        Err(e) => {
+                            emit(out, &e.to_message());
+                            (consumed, HandlerOutcome::Close)
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        buf: &[u8],
+        out: &mut Vec<u8>,
+        entry: Arc<RegistryEntry>,
+    ) -> (usize, HandlerOutcome) {
+        match decode_frontend(buf) {
+            Ok(Decoded::Incomplete) => (0, HandlerOutcome::Continue),
+            Err(e) => {
+                // Hostile or corrupt framing: best-effort FATAL, then close
+                // — there is no way to resynchronize a byte stream.
+                emit(out, &PgError::fatal("08P01", e.to_string()).to_message());
+                (buf.len(), HandlerOutcome::Close)
+            }
+            Ok(Decoded::Complete { message, consumed }) => match message {
+                FrontendMessage::Terminate => (consumed, HandlerOutcome::Close),
+                FrontendMessage::Sync => {
+                    emit(out, &BackendMessage::ReadyForQuery { status: b'I' });
+                    (consumed, HandlerOutcome::Continue)
+                }
+                FrontendMessage::Unknown { tag } => {
+                    let e = PgError::error(
+                        "0A000",
+                        format!(
+                            "message type {:?} is not supported (simple-query protocol only)",
+                            tag as char
+                        ),
+                    );
+                    emit(out, &e.to_message());
+                    emit(out, &BackendMessage::ReadyForQuery { status: b'I' });
+                    (consumed, HandlerOutcome::Continue)
+                }
+                FrontendMessage::Query { sql } => (
+                    consumed,
+                    HandlerOutcome::Task(Box::new(PgQueryTask {
+                        registry: Arc::clone(&self.registry),
+                        entry,
+                        sql,
+                        started: false,
+                        statements: Vec::new(),
+                        next: 0,
+                        ran_any: false,
+                        scan: None,
+                    })),
+                ),
+            },
+        }
+    }
+}
+
+/// One simple-query message's worth of work: every `;`-separated statement
+/// in order, error aborts the rest, and exactly one closing
+/// `ReadyForQuery` — the cooperative re-implementation of
+/// `run_simple_query`.
+struct PgQueryTask {
+    registry: Arc<SummaryRegistry>,
+    entry: Arc<RegistryEntry>,
+    sql: String,
+    started: bool,
+    /// `(byte offset, statement text)` pairs, split on first poll.
+    statements: Vec<(usize, String)>,
+    next: usize,
+    ran_any: bool,
+    /// A `SELECT * FROM` scan in flight within the current statement.
+    scan: Option<Box<ScanState>>,
+}
+
+impl ConnTask for PgQueryTask {
+    fn poll(&mut self, conn: &ConnHandle) -> TaskPoll {
+        // Abort-on-disconnect: stop generating for a vanished peer.
+        if conn.is_dead() {
+            return TaskPoll::Done;
+        }
+        if !self.started {
+            self.started = true;
+            self.statements = split_statements(&self.sql)
+                .into_iter()
+                .map(|(offset, stmt)| (offset, stmt.to_string()))
+                .collect();
+        }
+        if let Some(scan) = &mut self.scan {
+            return match scan.pump(conn) {
+                ScanPoll::Reactor(poll) => poll,
+                ScanPoll::Finished => {
+                    self.scan = None;
+                    self.next += 1;
+                    TaskPoll::Yield
+                }
+                ScanPoll::Failed(e) => {
+                    self.scan = None;
+                    self.fail(conn, e)
+                }
+            };
+        }
+        // Next statement, one per poll slice (fairness on the fixed pool).
+        while self.next < self.statements.len() {
+            let (offset, stmt) = &self.statements[self.next];
+            let statement = classify(stmt);
+            if matches!(statement, Statement::Empty) {
+                self.next += 1;
+                continue;
+            }
+            self.ran_any = true;
+            match statement {
+                Statement::Scan(table) => {
+                    match ScanState::open(&self.registry, &self.entry, table, conn) {
+                        Ok(scan) => {
+                            self.scan = Some(scan);
+                            return TaskPoll::Yield;
+                        }
+                        Err(e) => return self.fail(conn, e),
+                    }
+                }
+                statement => {
+                    // Non-streaming statements produce bounded output: run
+                    // the threaded dispatch against an in-memory writer and
+                    // push the bytes.  (A Vec write cannot fail, so the
+                    // Wire arm is unreachable.)
+                    let mut bytes = Vec::new();
+                    match run_statement(
+                        &mut bytes,
+                        &self.registry,
+                        &self.entry,
+                        statement,
+                        stmt,
+                        *offset,
+                    ) {
+                        Ok(()) => {
+                            conn.push(bytes);
+                            self.next += 1;
+                            return TaskPoll::Yield;
+                        }
+                        Err(StatementFailure::Sql(e)) => return self.fail(conn, e),
+                        Err(StatementFailure::Wire(_)) => return TaskPoll::DoneClose,
+                    }
+                }
+            }
+        }
+        // All statements processed.
+        let mut bytes = Vec::new();
+        if !self.ran_any {
+            emit(&mut bytes, &BackendMessage::EmptyQueryResponse);
+        }
+        emit(&mut bytes, &BackendMessage::ReadyForQuery { status: b'I' });
+        conn.push(bytes);
+        TaskPoll::Done
+    }
+}
+
+impl PgQueryTask {
+    /// A statement failed as SQL: report it, abort the remaining
+    /// statements, close the cycle with `ReadyForQuery` — the connection
+    /// stays usable.
+    fn fail(&mut self, conn: &ConnHandle, e: PgError) -> TaskPoll {
+        let mut bytes = Vec::new();
+        emit(&mut bytes, &e.to_message());
+        emit(&mut bytes, &BackendMessage::ReadyForQuery { status: b'I' });
+        conn.push(bytes);
+        TaskPoll::Done
+    }
+}
+
+/// What one scan pump slice decided.
+enum ScanPoll {
+    /// Hand this poll result to the reactor (`Yield`/`Sleep`/`AwaitDrain`).
+    Reactor(TaskPoll),
+    /// The scan completed (its `CommandComplete` is pushed).
+    Finished,
+    /// The scan failed mid-stream; the query cycle aborts.
+    Failed(PgError),
+}
+
+/// A `SELECT * FROM <relation>` scan sliced into rate-budgeted pulses —
+/// the cooperative twin of `run_scan` + `PgRowSink`.
+struct ScanState {
+    generator: DynamicGenerator,
+    table: String,
+    cursor: u64,
+    end: u64,
+    governor: VelocityGovernor,
+    column_types: Vec<DataType>,
+}
+
+impl ScanState {
+    /// Resolves the relation, pushes its `RowDescription`, and returns the
+    /// ready scan — same checks and error strings as `run_scan`.
+    fn open(
+        registry: &SummaryRegistry,
+        entry: &RegistryEntry,
+        table: &str,
+        conn: &ConnHandle,
+    ) -> Result<Box<ScanState>, PgError> {
+        let generator = entry.generator();
+        let total = generator
+            .summary
+            .relation(table)
+            .ok_or_else(|| PgError::error("42P01", format!("relation \"{table}\" does not exist")))?
+            .total_rows;
+        let schema_table = generator.schema.table(table).ok_or_else(|| {
+            PgError::error("42P01", format!("relation \"{table}\" does not exist"))
+        })?;
+        let column_types: Vec<DataType> = schema_table
+            .columns()
+            .iter()
+            .map(|c| c.data_type.clone())
+            .collect();
+        let fields = schema_table
+            .columns()
+            .iter()
+            .map(|c| {
+                let (type_oid, type_len) = crate::types::pg_type_of(&c.data_type);
+                crate::codec::FieldDescription {
+                    name: c.name.clone(),
+                    type_oid,
+                    type_len,
+                }
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        emit(&mut bytes, &BackendMessage::RowDescription { fields });
+        conn.push(bytes);
+        let governor = match registry.session().velocity() {
+            Some(rate) => VelocityGovernor::with_rate(rate),
+            None => VelocityGovernor::unthrottled(),
+        };
+        Ok(Box::new(ScanState {
+            generator,
+            table: table.to_string(),
+            cursor: 0,
+            end: total,
+            governor,
+            column_types,
+        }))
+    }
+
+    /// One pulse: generate up to a rate-budgeted chunk of rows and push
+    /// them as `DataRow`s, then the `CommandComplete` once the relation is
+    /// exhausted (after waiting out the final pacing deficit, like the
+    /// per-row governor of the blocking path).
+    fn pump(&mut self, conn: &ConnHandle) -> ScanPoll {
+        if conn.over_high_water() {
+            return ScanPoll::Reactor(TaskPoll::AwaitDrain);
+        }
+        let remaining = self.end - self.cursor;
+        if remaining == 0 {
+            if let Some(wait) = self.governor.delay_for(0) {
+                return ScanPoll::Reactor(TaskPoll::Sleep(wait));
+            }
+            let mut bytes = Vec::new();
+            emit(
+                &mut bytes,
+                &BackendMessage::CommandComplete {
+                    tag: format!("SELECT {}", self.governor.emitted()),
+                },
+            );
+            conn.push(bytes);
+            return ScanPoll::Finished;
+        }
+        let goal = SCAN_PULSE_ROWS.min(remaining);
+        if let Some(budget) = self.governor.budget() {
+            if budget < goal {
+                let wait = self
+                    .governor
+                    .delay_for(goal)
+                    .unwrap_or(Duration::from_millis(1));
+                return ScanPoll::Reactor(TaskPoll::Sleep(wait));
+            }
+        }
+        let tuples = match self
+            .generator
+            .stream_range(&self.table, self.cursor..self.cursor + goal)
+        {
+            Ok(tuples) => tuples,
+            Err(e) => return ScanPoll::Failed(PgError::error("XX000", e.to_string())),
+        };
+        let mut bytes = Vec::new();
+        for row in tuples {
+            let values = row
+                .iter()
+                .enumerate()
+                .map(|(i, v)| pg_text(v, self.column_types.get(i)).map(String::into_bytes))
+                .collect();
+            emit(&mut bytes, &BackendMessage::DataRow { values });
+        }
+        conn.push(bytes);
+        self.cursor += goal;
+        self.governor.note(goal);
+        ScanPoll::Reactor(TaskPoll::Yield)
+    }
+}

@@ -1,33 +1,39 @@
-//! The pgwire accept loop — the PostgreSQL face of a running registry.
+//! The pgwire listener — the PostgreSQL face of a running registry.
 //!
-//! Structurally a twin of `hydra-service`'s frame server: one
-//! `std::net::TcpListener`, one thread per connection, one shared
-//! [`SummaryRegistry`] — but connections speak the PostgreSQL v3
-//! simple-query protocol instead of length-prefixed JSON frames.  Both
-//! front-ends are meant to run under one shared
-//! [`ShutdownSignal`], so a `Shutdown` frame
+//! Since the reactor-core refactor this is a thin configuration layer over
+//! [`hydra-reactor`](hydra_reactor), structurally a twin of
+//! `hydra-service`'s frame server: [`serve_pg`] binds a listener on a
+//! shared epoll event loop, v3 messages are decoded incrementally on the
+//! loop by [`crate::reactor::PgProtocol`], and queries execute as
+//! cooperative tasks on a **fixed** worker pool.  Both front-ends are
+//! meant to run under one shared [`ShutdownSignal`], so a `Shutdown` frame
 //! on the service port (or a programmatic shutdown of either handle) stops
 //! this listener too — no orphaned accept loops.
+//!
+//! The pre-reactor thread-per-connection server survives as
+//! [`serve_pg_threaded`]: the comparison baseline for the connection
+//! torture tests.  Both speak byte-identical wire protocol.
 
 use crate::connection::handle_connection;
 use crate::error::PgResult;
+use crate::reactor::PgProtocol;
+use hydra_reactor::{AcceptGate, ReactorBuilder, ReactorConfig, ReactorHandle, SharedMetrics};
 use hydra_service::registry::SummaryRegistry;
 use hydra_service::ShutdownSignal;
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A pgwire server bound to a socket and accepting connections on a
-/// background thread.  Dropping the handle triggers the shared shutdown
-/// signal (stopping every co-registered listener) and drains connections.
+/// A pgwire server bound to a socket on a shared reactor event loop.
+/// Dropping the handle triggers the shared shutdown signal (stopping every
+/// co-registered listener) and drains connections.
 #[derive(Debug)]
 pub struct PgServerHandle {
     local_addr: SocketAddr,
     signal: ShutdownSignal,
-    active: Arc<AtomicUsize>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<ReactorHandle>,
 }
 
 /// Starts a PostgreSQL wire-protocol listener over `registry` on `addr`
@@ -41,20 +47,109 @@ pub fn serve_pg(
     addr: impl ToSocketAddrs,
     signal: ShutdownSignal,
 ) -> PgResult<PgServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let local_addr = listener.local_addr()?;
-    signal.register_listener(local_addr);
+    serve_pg_with_options(registry, addr, signal, ReactorConfig::default())
+}
+
+/// [`serve_pg`] with explicit reactor tuning (worker count, connection
+/// ceiling, write-queue cap, stall deadline).
+pub fn serve_pg_with_options(
+    registry: Arc<SummaryRegistry>,
+    addr: impl ToSocketAddrs,
+    signal: ShutdownSignal,
+    config: ReactorConfig,
+) -> PgResult<PgServerHandle> {
+    let mut builder = ReactorBuilder::new().config(config);
+    let protocol = Arc::new(PgProtocol::new(registry));
+    let local_addr = builder.listen(addr, protocol)?;
+    let reactor = builder.start(signal.clone())?;
+    Ok(PgServerHandle {
+        local_addr,
+        signal,
+        reactor: Some(reactor),
+    })
+}
+
+impl PgServerHandle {
+    /// The address the pg listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shutdown signal this listener's event loop runs under.
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        self.signal.clone()
+    }
+
+    /// True once a shutdown was requested anywhere on the shared signal.
+    pub fn is_shutting_down(&self) -> bool {
+        self.signal.is_triggered()
+    }
+
+    /// Live reactor counters (connections, in-flight tasks, peak queued
+    /// bytes) — what the torture tests assert fd hygiene and
+    /// abort-on-disconnect against.
+    pub fn metrics(&self) -> SharedMetrics {
+        self.reactor
+            .as_ref()
+            .expect("reactor runs for the handle's lifetime")
+            .metrics()
+    }
+
+    /// Blocks until the shared signal stops the event loop, then drains
+    /// in-flight connections.
+    pub fn join(mut self) {
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join();
+        }
+    }
+
+    /// Triggers the shared signal (stopping every co-registered listener)
+    /// and blocks until the event loop has exited.
+    pub fn shutdown(mut self) {
+        self.signal.trigger();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join();
+        }
+    }
+}
+
+impl Drop for PgServerHandle {
+    fn drop(&mut self) {
+        self.signal.trigger();
+        // Dropping the reactor handle joins the event loop.
+        self.reactor.take();
+    }
+}
+
+/// The pre-reactor thread-per-connection pg server: one blocking accept
+/// loop, one thread per connection.  Kept as the baseline the torture
+/// tests compare the reactor against — byte-identical wire protocol at
+/// thread-count scale.
+#[derive(Debug)]
+pub struct ThreadedPgServerHandle {
+    local_addr: SocketAddr,
+    signal: ShutdownSignal,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Starts a thread-per-connection pg server over `registry` on `addr`,
+/// stopping when `signal` triggers.  The accept loop blocks on an
+/// [`AcceptGate`], so a trigger — even one racing the bind — wakes it
+/// race-free.
+pub fn serve_pg_threaded(
+    registry: Arc<SummaryRegistry>,
+    addr: impl ToSocketAddrs,
+    signal: ShutdownSignal,
+) -> PgResult<ThreadedPgServerHandle> {
+    let gate = AcceptGate::bind(addr, signal.clone())?;
+    let local_addr = gate.local_addr();
     let active = Arc::new(AtomicUsize::new(0));
 
     let accept_registry = Arc::clone(&registry);
-    let accept_signal = signal.clone();
     let accept_active = Arc::clone(&active);
     let accept_thread = std::thread::spawn(move || {
-        for stream in listener.incoming() {
-            if accept_signal.is_triggered() {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
+        while let Ok(Some(stream)) = gate.accept() {
             let registry = Arc::clone(&accept_registry);
             let active = Arc::clone(&accept_active);
             active.fetch_add(1, Ordering::SeqCst);
@@ -67,7 +162,7 @@ pub fn serve_pg(
         }
     });
 
-    Ok(PgServerHandle {
+    Ok(ThreadedPgServerHandle {
         local_addr,
         signal,
         active,
@@ -75,30 +170,29 @@ pub fn serve_pg(
     })
 }
 
-impl PgServerHandle {
+impl ThreadedPgServerHandle {
     /// The address the pg listener is bound to.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// The shutdown signal this listener is registered on.
+    /// The shutdown signal this listener's accept loop runs under.
     pub fn shutdown_signal(&self) -> ShutdownSignal {
         self.signal.clone()
     }
 
-    /// True once a shutdown was requested anywhere on the shared signal.
-    pub fn is_shutting_down(&self) -> bool {
-        self.signal.is_triggered()
+    /// Connections currently being served (each on its own thread).
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
     }
 
     /// Blocks until the shared signal stops the accept loop, then drains
-    /// in-flight connections.
+    /// in-flight connections for a bounded grace period.
     pub fn join(mut self) {
         self.join_inner();
     }
 
-    /// Triggers the shared signal (stopping every co-registered listener)
-    /// and blocks until this accept loop has exited.
+    /// Triggers the shared signal and blocks until the accept loop exits.
     pub fn shutdown(mut self) {
         self.signal.trigger();
         self.join_inner();
@@ -108,6 +202,8 @@ impl PgServerHandle {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        // Give in-flight query handlers a bounded grace period; idle
+        // keep-alive connections do not block shutdown forever.
         for _ in 0..200 {
             if self.active.load(Ordering::SeqCst) == 0 {
                 break;
@@ -117,7 +213,7 @@ impl PgServerHandle {
     }
 }
 
-impl Drop for PgServerHandle {
+impl Drop for ThreadedPgServerHandle {
     fn drop(&mut self) {
         self.signal.trigger();
         self.join_inner();

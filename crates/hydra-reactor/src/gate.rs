@@ -1,0 +1,122 @@
+//! An interruptible blocking accept loop for the threaded baseline
+//! servers.
+//!
+//! The reactor replaces thread-per-connection serving, but the old
+//! blocking servers stay in the tree as a comparison baseline for the
+//! torture tests and the `connection_scaling` bench.  They used to break
+//! out of `accept` by having `ShutdownSignal` *connect to them* — the
+//! racy hack this PR retires.  `AcceptGate` gives them the honest version:
+//! a non-blocking listener `poll(2)`-ed together with a self-pipe that the
+//! shared [`ShutdownSignal`] writes on trigger.
+
+use crate::signal::ShutdownSignal;
+use crate::sys::wait_readable;
+use crate::wake::WakePipe;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+
+/// A TCP listener whose blocking [`accept`](AcceptGate::accept) returns
+/// `Ok(None)` as soon as the attached [`ShutdownSignal`] triggers —
+/// including triggers that happened *before* the gate was created.
+#[derive(Debug)]
+pub struct AcceptGate {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    pipe: WakePipe,
+    signal: ShutdownSignal,
+}
+
+impl AcceptGate {
+    /// Binds `addr` (port 0 for ephemeral) and registers the gate's waker
+    /// on `signal`.
+    pub fn bind(addr: impl ToSocketAddrs, signal: ShutdownSignal) -> io::Result<AcceptGate> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let pipe = WakePipe::new()?;
+        signal.register_waker(pipe.waker());
+        Ok(AcceptGate {
+            listener,
+            local_addr,
+            pipe,
+            signal,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The signal this gate stops on.
+    pub fn shutdown_signal(&self) -> &ShutdownSignal {
+        &self.signal
+    }
+
+    /// Blocks until a connection arrives (`Ok(Some(..))`, restored to
+    /// blocking mode for thread-per-connection use) or the signal triggers
+    /// (`Ok(None)`).  Transient accept errors (aborted handshakes, interrupts)
+    /// are retried internally.
+    pub fn accept(&self) -> io::Result<Option<TcpStream>> {
+        loop {
+            if self.signal.is_triggered() {
+                return Ok(None);
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    return Ok(Some(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    wait_readable(&[self.listener.as_raw_fd(), self.pipe.fd()], None)?;
+                    self.pipe.drain();
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn accepts_connections_then_stops_on_trigger() {
+        let signal = ShutdownSignal::new();
+        let gate = AcceptGate::bind("127.0.0.1:0", signal.clone()).expect("bind");
+        let addr = gate.local_addr();
+
+        let client = std::thread::spawn(move || {
+            let _stream = TcpStream::connect(addr).expect("connect");
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        let accepted = gate.accept().expect("accept");
+        assert!(accepted.is_some(), "connection should be delivered");
+        client.join().expect("client join");
+
+        let signal_clone = signal.clone();
+        let trigger = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            signal_clone.trigger();
+        });
+        let accepted = gate.accept().expect("accept");
+        assert!(accepted.is_none(), "trigger must unblock accept");
+        trigger.join().expect("trigger join");
+    }
+
+    #[test]
+    fn pre_triggered_signal_never_blocks() {
+        // Regression for the shutdown-during-accept-storm race: the signal
+        // fires before the gate registers.  accept() must return instantly.
+        let signal = ShutdownSignal::new();
+        signal.trigger();
+        let gate = AcceptGate::bind("127.0.0.1:0", signal).expect("bind");
+        let accepted = gate.accept().expect("accept");
+        assert!(accepted.is_none());
+    }
+}

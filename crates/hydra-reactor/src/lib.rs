@@ -1,0 +1,267 @@
+//! # hydra-reactor — the shared non-blocking core under both front-ends
+//!
+//! A hand-rolled epoll reactor over `std::os::fd` (the workspace vendors
+//! everything; there is no mio or tokio here): one event-loop thread doing
+//! non-blocking accept, incremental protocol decoding, and bounded write
+//! queues, plus a **fixed** worker pool executing request tasks off the
+//! loop.  Ten thousand idle or slow connections cost ten thousand fds and
+//! buffers — never ten thousand threads.
+//!
+//! The division of labour:
+//!
+//! * A [`Protocol`] mints one [`ConnHandler`] per accepted connection.
+//! * The handler is a pure incremental parser: fed the receive buffer, it
+//!   consumes complete messages, writes immediate replies (handshakes)
+//!   into an output buffer, and hands heavier requests back as boxed
+//!   [`ConnTask`]s.
+//! * Tasks run on the worker pool, pushing response bytes through a
+//!   [`ConnHandle`] and cooperating via [`TaskPoll`]: `Yield` between
+//!   work slices, `Sleep` for velocity pacing (a timer wheel replaces
+//!   every `thread::sleep`), `AwaitDrain` when the connection's bounded
+//!   write queue passes high water — backpressure parks the *task*, never
+//!   a thread.
+//! * [`ShutdownSignal`] wakes the loop through a self-pipe [`Waker`];
+//!   the old wake-by-connect listener hack (and its lost-trigger race) is
+//!   gone.
+//!
+//! The threaded baseline servers keep working through [`AcceptGate`],
+//! which gives a blocking accept loop the same race-free wakeup.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+mod conn;
+mod gate;
+mod pool;
+mod reactor;
+mod signal;
+mod sys;
+mod timer;
+mod wake;
+
+pub use conn::ConnHandle;
+pub use gate::AcceptGate;
+pub use reactor::{ReactorBuilder, ReactorHandle};
+pub use signal::ShutdownSignal;
+pub use timer::TimerWheel;
+pub use wake::{WakePipe, Waker};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a [`ConnHandler`] wants the reactor to do after a parse step.
+pub enum HandlerOutcome {
+    /// Keep parsing: more input is needed (or the consumed message was
+    /// answered inline through the output buffer).
+    Continue,
+    /// A complete request was parsed; run this task on the worker pool.
+    /// The handler will not be fed again until the task completes, so
+    /// pipelined requests simply wait in the receive buffer.
+    Task(Box<dyn ConnTask>),
+    /// Flush anything queued, then close the connection.
+    Close,
+}
+
+/// An incremental, non-blocking protocol decoder for one connection.
+///
+/// Runs on the reactor thread: implementations must only parse and
+/// serialize — no I/O, no blocking, no heavy compute (that belongs in a
+/// [`ConnTask`]).
+pub trait ConnHandler: Send {
+    /// Feeds the current receive buffer.  Returns how many bytes were
+    /// consumed and what to do next.  Immediate replies (greetings,
+    /// handshakes, trivial acks) are appended to `out` and flushed by the
+    /// reactor.
+    ///
+    /// Returning `(0, HandlerOutcome::Continue)` means "incomplete
+    /// message, feed me again when more bytes arrive".
+    fn on_bytes(&mut self, buf: &[u8], out: &mut Vec<u8>) -> (usize, HandlerOutcome);
+}
+
+/// What a [`ConnTask`] reports after one poll slice.
+pub enum TaskPoll {
+    /// More work remains; requeue me (lets other tasks interleave on the
+    /// fixed pool).
+    Yield,
+    /// Request complete; the connection resumes parsing.
+    Done,
+    /// Request complete; flush and close the connection (e.g. `Shutdown`).
+    DoneClose,
+    /// Re-poll me after this delay (velocity pacing via the timer wheel —
+    /// the task must NOT sleep on the worker thread).
+    Sleep(Duration),
+    /// The write queue is over high water; re-poll me once it drains
+    /// below low water (backpressure parking).
+    AwaitDrain,
+}
+
+/// A unit of request work executed on the worker pool, cooperatively
+/// sliced so a fixed number of threads can serve thousands of
+/// connections.
+///
+/// Each poll should do a bounded slice of work (generate a few thousand
+/// rows, run one statement), push any output through the [`ConnHandle`],
+/// and return a [`TaskPoll`].  Poll [`ConnHandle::is_dead`] between
+/// slices: aborting generation for disconnected peers is a contract the
+/// torture tests enforce.
+pub trait ConnTask: Send {
+    /// Runs one slice of the request.
+    fn poll(&mut self, conn: &ConnHandle) -> TaskPoll;
+}
+
+/// A listener-level protocol: mints a fresh [`ConnHandler`] per accepted
+/// connection.  One reactor can host several (the frame protocol and
+/// pgwire share one loop in `hydra-serve`).
+pub trait Protocol: Send + Sync {
+    /// Called on accept; returns the connection's decoder state machine.
+    fn connect(&self) -> Box<dyn ConnHandler>;
+}
+
+/// Tuning knobs for a reactor instance.
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Worker threads executing [`ConnTask`]s.  `0` means automatic:
+    /// `max(2, available_parallelism)`.
+    pub workers: usize,
+    /// Maximum simultaneously open connections; beyond this, accepting
+    /// pauses and new connections wait in the kernel backlog.
+    pub max_connections: usize,
+    /// Per-connection write-queue high-water mark in bytes.  Tasks park
+    /// (`AwaitDrain`) above it and resume below half of it.
+    pub write_queue_cap: usize,
+    /// A connection whose queue is non-empty and makes no write progress
+    /// for this long is forcibly disconnected (the stalled-reader
+    /// deadline).
+    pub stall_timeout: Duration,
+    /// After shutdown triggers, in-flight requests get this long to finish
+    /// and flush before remaining connections are force-closed.
+    pub shutdown_grace: Duration,
+    /// Receive-buffer cap per connection; reading pauses (backpressure on
+    /// the client) once this much unparsed input is buffered.  Must be at
+    /// least the largest legal message.
+    pub read_buffer_cap: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            workers: 0,
+            max_connections: 8192,
+            write_queue_cap: 4 << 20,
+            stall_timeout: Duration::from_secs(30),
+            shutdown_grace: Duration::from_secs(5),
+            // Largest frame/pg message (64 MiB) plus header slack.
+            read_buffer_cap: (64 << 20) + 64,
+        }
+    }
+}
+
+impl ReactorConfig {
+    /// Resolves `workers == 0` to the automatic thread count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .max(2)
+        }
+    }
+}
+
+/// Live counters exported by a running reactor; the observability the
+/// torture tests assert against (fd hygiene, task aborts, queue bounds).
+///
+/// All counters are monotonically consistent but individually relaxed:
+/// read them after quiescing (e.g. once clients disconnected) for exact
+/// assertions.
+#[derive(Debug, Default)]
+pub struct ReactorMetrics {
+    connections_accepted: AtomicU64,
+    connections_closed: AtomicU64,
+    active_connections: AtomicU64,
+    tasks_started: AtomicU64,
+    tasks_completed: AtomicU64,
+    tasks_inflight: AtomicU64,
+    peak_queued_bytes: AtomicU64,
+    stalled_disconnects: AtomicU64,
+}
+
+impl ReactorMetrics {
+    /// Total connections ever accepted.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::SeqCst)
+    }
+
+    /// Total connections closed (gracefully or not).
+    pub fn connections_closed(&self) -> u64 {
+        self.connections_closed.load(Ordering::SeqCst)
+    }
+
+    /// Currently open connections.
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Ordering::SeqCst)
+    }
+
+    /// Total tasks handed to the worker pool.
+    pub fn tasks_started(&self) -> u64 {
+        self.tasks_started.load(Ordering::SeqCst)
+    }
+
+    /// Total tasks that finished (or were dropped with their connection).
+    pub fn tasks_completed(&self) -> u64 {
+        self.tasks_completed.load(Ordering::SeqCst)
+    }
+
+    /// Tasks currently running, parked, or sleeping.  Returns to zero
+    /// when streams complete *or their client disconnects* — the
+    /// abort-on-disconnect observable.
+    pub fn tasks_inflight(&self) -> u64 {
+        self.tasks_inflight.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of any single connection's write queue, in bytes.
+    /// Bounded by `write_queue_cap` plus one task slice.
+    pub fn peak_queued_bytes(&self) -> u64 {
+        self.peak_queued_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Connections forcibly closed by the stall deadline.
+    pub fn stalled_disconnects(&self) -> u64 {
+        self.stalled_disconnects.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn note_accept(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::SeqCst);
+        self.active_connections.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_close(&self) {
+        self.connections_closed.fetch_add(1, Ordering::SeqCst);
+        self.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_task_started(&self) {
+        self.tasks_started.fetch_add(1, Ordering::SeqCst);
+        self.tasks_inflight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_task_finished(&self) {
+        self.tasks_completed.fetch_add(1, Ordering::SeqCst);
+        self.tasks_inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_queued_bytes(&self, total: usize) {
+        self.peak_queued_bytes
+            .fetch_max(total as u64, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_stall(&self) {
+        self.stalled_disconnects.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Convenience alias used throughout the server crates.
+pub type SharedMetrics = Arc<ReactorMetrics>;

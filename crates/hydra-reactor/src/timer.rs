@@ -1,0 +1,214 @@
+//! A hashed timer wheel: the reactor's replacement for every
+//! `thread::sleep` in the serving path (velocity pacing, stall deadlines,
+//! shutdown grace).
+//!
+//! Deadlines hash into one of [`SLOTS`] buckets by their position in a
+//! repeating [`GRANULARITY`] grid.  The event loop asks
+//! [`next_timeout`](TimerWheel::next_timeout) how long `epoll_wait` may
+//! block, and on each wakeup calls [`expire`](TimerWheel::expire) to
+//! collect due tokens.  Entries more than one revolution out simply stay
+//! in their slot and are skipped until their revolution comes around —
+//! the classic trade: O(1) insert/expire against a bounded per-revolution
+//! re-scan for far-future timers.
+//!
+//! Firing is *deadline*-accurate, not slot-accurate: `expire` never emits
+//! an entry before its recorded `Instant`, so a velocity governor pacing
+//! on the wheel can only ever be late (slower than target), never early.
+
+use std::time::{Duration, Instant};
+
+/// Number of buckets in the wheel.
+const SLOTS: usize = 256;
+/// Width of one bucket.  One revolution covers `SLOTS * GRANULARITY` ≈ 1 s.
+const GRANULARITY: Duration = Duration::from_millis(4);
+
+#[derive(Debug, Clone)]
+struct Entry {
+    deadline: Instant,
+    token: u64,
+}
+
+/// The wheel.  Single-threaded: owned and driven by the reactor loop.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// Time origin; slot index of a deadline is derived from its offset.
+    epoch: Instant,
+    /// Grid index (monotonic, not wrapped) up to which slots are drained.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel whose grid starts at `now`.
+    pub fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: vec![Vec::new(); SLOTS],
+            epoch: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timers are pending (the loop may block indefinitely).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn grid_index(&self, t: Instant) -> u64 {
+        let offset = t.saturating_duration_since(self.epoch);
+        (offset.as_nanos() / GRANULARITY.as_nanos()) as u64
+    }
+
+    /// Schedules `token` to fire at `deadline`.  Tokens are opaque; the
+    /// same token may be scheduled more than once.
+    pub fn insert(&mut self, token: u64, deadline: Instant) {
+        // A deadline at or behind the cursor would land in an
+        // already-drained grid cell; clamp it into the next cell so it
+        // still fires (on the very next expire call).
+        let cell = self.grid_index(deadline).max(self.cursor);
+        self.slots[(cell % SLOTS as u64) as usize].push(Entry { deadline, token });
+        self.len += 1;
+    }
+
+    /// How long the event loop may block before the earliest pending
+    /// deadline.  `None` means no timers: block until I/O or a wake.
+    ///
+    /// Scans every pending entry: slot order only approximates deadline
+    /// order across revolutions, and the reactor keeps at most a few
+    /// thousand timers (one per sleeping connection), so an exact O(n)
+    /// minimum is both correct and cheap — never an oversleep.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let best = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|entry| entry.deadline)
+            .min()?;
+        Some(best.saturating_duration_since(now))
+    }
+
+    /// Collects every token whose deadline is at or before `now` into
+    /// `due`, in deadline order.
+    pub fn expire(&mut self, now: Instant, due: &mut Vec<u64>) {
+        if self.len == 0 {
+            self.cursor = self.cursor.max(self.grid_index(now));
+            return;
+        }
+        let start = due.len();
+        let target = self.grid_index(now).max(self.cursor);
+        // Drain every grid cell the clock has passed, re-filing entries
+        // whose revolution has not come yet.  Bounded at SLOTS cells per
+        // call: beyond one revolution the scan would revisit slots.
+        let first = self.cursor;
+        let last = target.min(first + SLOTS as u64 - 1);
+        for cell in first..=last {
+            let slot = &mut self.slots[(cell % SLOTS as u64) as usize];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].deadline <= now {
+                    due.push(slot.swap_remove(i).token);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = target;
+        // swap_remove scrambles order within a slot; callers treat the due
+        // set as unordered, but a stable report reads better in tests.
+        due[start..].sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_never_early() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.insert(1, t0 + Duration::from_millis(50));
+        wheel.insert(2, t0 + Duration::from_millis(10));
+        wheel.insert(3, t0 + Duration::from_millis(90));
+        assert_eq!(wheel.len(), 3);
+
+        let mut due = Vec::new();
+        wheel.expire(t0 + Duration::from_millis(5), &mut due);
+        assert!(due.is_empty(), "nothing due at 5ms: {due:?}");
+
+        wheel.expire(t0 + Duration::from_millis(60), &mut due);
+        due.sort_unstable();
+        assert_eq!(due, vec![1, 2]);
+
+        due.clear();
+        wheel.expire(t0 + Duration::from_millis(200), &mut due);
+        assert_eq!(due, vec![3]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn next_timeout_tracks_earliest() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        assert_eq!(wheel.next_timeout(t0), None);
+        wheel.insert(1, t0 + Duration::from_millis(500));
+        wheel.insert(2, t0 + Duration::from_millis(20));
+        let timeout = wheel.next_timeout(t0).expect("pending timer");
+        assert!(timeout <= Duration::from_millis(20), "{timeout:?}");
+        assert!(timeout >= Duration::from_millis(1), "{timeout:?}");
+    }
+
+    #[test]
+    fn far_future_entries_survive_revolutions() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        // ~1s revolution; 5s is several revolutions out.
+        wheel.insert(9, t0 + Duration::from_secs(5));
+        let mut due = Vec::new();
+        for step in 1..=4 {
+            wheel.expire(t0 + Duration::from_secs(step), &mut due);
+            assert!(due.is_empty(), "fired early at {step}s");
+        }
+        wheel.expire(t0 + Duration::from_secs(6), &mut due);
+        assert_eq!(due, vec![9]);
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        let now = t0 + Duration::from_secs(1);
+        wheel.expire(now, &mut Vec::new()); // advance cursor
+        wheel.insert(4, t0); // already past
+        assert!(wheel.next_timeout(now).expect("pending") <= GRANULARITY * 2);
+        let mut due = Vec::new();
+        wheel.expire(now + GRANULARITY, &mut due);
+        assert_eq!(due, vec![4]);
+    }
+
+    #[test]
+    fn dense_timers_all_fire_once() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        for i in 0..1000u64 {
+            wheel.insert(i, t0 + Duration::from_millis(i % 97));
+        }
+        let mut due = Vec::new();
+        let mut clock = t0;
+        while !wheel.is_empty() {
+            clock += Duration::from_millis(7);
+            wheel.expire(clock, &mut due);
+            assert!(clock <= t0 + Duration::from_secs(2), "wheel drained late");
+        }
+        due.sort_unstable();
+        let expect: Vec<u64> = (0..1000).collect();
+        assert_eq!(due, expect);
+    }
+}

@@ -1,0 +1,201 @@
+//! The self-pipe waker: how anything outside the reactor thread (worker
+//! pool completions, `ShutdownSignal::trigger`, write-queue pushes) makes
+//! a blocked `epoll_wait`/`poll` return *now*.
+//!
+//! Implemented over a non-blocking `UnixStream` pair rather than `pipe(2)`
+//! purely because std exposes socketpairs safely; the semantics are the
+//! classic self-pipe trick: wake by writing one byte, drain on wakeup.  A
+//! coalescing flag keeps a burst of wakes down to a single byte in flight,
+//! so the pipe can never fill up and `wake` never blocks.
+
+use std::io::{Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct WakeInner {
+    tx: UnixStream,
+    /// True while a wake byte is in flight and not yet drained.
+    pending: AtomicBool,
+}
+
+/// The readable half owned by the event loop.  Register [`fd`](Self::fd)
+/// for readability and call [`drain`](Self::drain) on every wakeup.
+#[derive(Debug)]
+pub struct WakePipe {
+    rx: UnixStream,
+    inner: Arc<WakeInner>,
+}
+
+/// A cheap, cloneable, thread-safe handle that interrupts the event loop.
+#[derive(Clone, Debug)]
+pub struct Waker {
+    inner: Arc<WakeInner>,
+}
+
+impl WakePipe {
+    /// Creates the pipe; both halves are non-blocking.
+    pub fn new() -> std::io::Result<WakePipe> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(WakePipe {
+            rx,
+            inner: Arc::new(WakeInner {
+                tx,
+                pending: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// A new waker for this pipe.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The fd to register for readability in the event loop.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes any queued wake bytes and re-arms the coalescing flag.
+    /// Call once per loop iteration when the wake fd reports readable.
+    ///
+    /// Ordering matters: the pipe is emptied *before* the flag resets.  A
+    /// `wake()` racing into the gap is coalesced away (flag already set,
+    /// byte already consumed or never written) — which is safe precisely
+    /// because wakers publish their payload (completion, dirty token,
+    /// shutdown flag) before waking, and the event loop processes all of
+    /// those after draining, within the same iteration.  The reverse
+    /// order had a poisoned terminal state: reset-then-read let a racing
+    /// wake's byte be swallowed while the flag stayed set, after which
+    /// every future wake was coalesced into nothing and the loop slept
+    /// through its completions forever.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.rx).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+        self.inner.pending.store(false, Ordering::SeqCst);
+    }
+}
+
+impl Waker {
+    /// Interrupts the event loop.  Idempotent while a wake is already in
+    /// flight; never blocks.
+    pub fn wake(&self) {
+        if self.inner.pending.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        loop {
+            match (&self.inner.tx).write(&[1u8]) {
+                // A full socket buffer (only possible if drain is badly
+                // starved) still means the loop will wake: bytes are
+                // already in flight.
+                Ok(_) => return,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Any other failure wrote nothing: clear the flag so a
+                // later wake retries instead of being coalesced into a
+                // byte that never existed.
+                Err(_) => {
+                    self.inner.pending.store(false, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sys::wait_readable;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_makes_fd_readable_and_drain_resets() {
+        let pipe = WakePipe::new().expect("pipe");
+        let waker = pipe.waker();
+
+        let ready = wait_readable(&[pipe.fd()], Some(Duration::from_millis(10))).expect("poll");
+        assert_eq!(ready, vec![false], "no wake yet");
+
+        waker.wake();
+        waker.wake(); // coalesces
+        let ready = wait_readable(&[pipe.fd()], Some(Duration::from_secs(2))).expect("poll");
+        assert_eq!(ready, vec![true]);
+
+        pipe.drain();
+        let ready = wait_readable(&[pipe.fd()], Some(Duration::from_millis(10))).expect("poll");
+        assert_eq!(ready, vec![false], "drained");
+
+        // Wakes keep working after a drain.
+        waker.wake();
+        let ready = wait_readable(&[pipe.fd()], Some(Duration::from_secs(2))).expect("poll");
+        assert_eq!(ready, vec![true]);
+    }
+
+    /// The poisoned-flag regression: a `wake()` landing between `drain`'s
+    /// flag reset and its pipe read must not leave the pair in a state
+    /// (`pending = true`, pipe empty) where every *later* wake is silently
+    /// coalesced away — that lost wakeup deadlocks the event loop with a
+    /// completion parked in the pool forever.  A free-running noise waker
+    /// races thousands of drains to hit the window; after each drain, a
+    /// fresh wake must always make the fd readable.
+    #[test]
+    fn wake_issued_after_drain_is_never_lost() {
+        use std::sync::atomic::AtomicBool;
+        use std::time::Instant;
+
+        let pipe = WakePipe::new().expect("pipe");
+        let waker = pipe.waker();
+        let noise = pipe.waker();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let noise_thread = {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    noise.wake();
+                }
+            })
+        };
+
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut rounds = 0u64;
+        while Instant::now() < deadline {
+            pipe.drain();
+            // This wake starts strictly after drain returned, so it must
+            // be observable no matter how the noise waker raced the drain.
+            waker.wake();
+            let ready =
+                wait_readable(&[pipe.fd()], Some(Duration::from_secs(2))).expect("poll wake fd");
+            assert!(
+                ready[0],
+                "wake after drain was lost (coalescing flag poisoned) after {rounds} rounds"
+            );
+            rounds += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        noise_thread.join().expect("noise thread");
+    }
+
+    #[test]
+    fn wake_from_other_thread() {
+        let pipe = WakePipe::new().expect("pipe");
+        let waker = pipe.waker();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let ready = wait_readable(&[pipe.fd()], Some(Duration::from_secs(5))).expect("poll");
+        assert_eq!(ready, vec![true]);
+        t.join().expect("join");
+    }
+}

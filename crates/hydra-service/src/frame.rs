@@ -1,0 +1,500 @@
+//! The frame protocol as a reactor state machine.
+//!
+//! This module is the non-blocking twin of the threaded connection loop in
+//! [`crate::server`]: the same requests, the same responses, the same error
+//! strings, byte-identical wire output — but decomposed into the three
+//! pieces the reactor core wants:
+//!
+//! * [`FrameProtocol`] mints a connection handler per accepted connection;
+//! * the handler incrementally slices complete frames off the receive
+//!   buffer ([`decode_frame`]) on the event loop — parsing only, no I/O,
+//!   no JSON deserialization;
+//! * each complete frame becomes a task on the worker pool, which
+//!   deserializes the request, answers one-shot requests in a single poll,
+//!   and serves `Stream` requests as a cooperative chunked state machine:
+//!   generate a bounded slice of rows, push the encoded batches, then
+//!   `Yield` (fairness), `Sleep` (velocity pacing via the timer wheel), or
+//!   `AwaitDrain` (write-queue backpressure) — never blocking a thread.
+//!
+//! ## Wire parity with the threaded server
+//!
+//! The torture suite holds this path to *byte identity* against the
+//! blocking baseline, which pins down three subtleties:
+//!
+//! * **Batch boundaries.** The blocking [`crate::wire::FrameSink`] buffers
+//!   rows and emits a `Batch` frame exactly every `batch_rows` tuples, so
+//!   the task keeps its partial batch across poll slices instead of
+//!   flushing at slice edges.
+//! * **Frame-cap splitting.** An oversized batch splits in half
+//!   recursively, exactly like the sink, down to the same single-tuple
+//!   error message.
+//! * **Pacing.** The blocking driver paces *after every row including the
+//!   last*, so a finished stream still waits out its final deficit before
+//!   `StreamEnd` — the task mirrors that with a trailing `Sleep` so
+//!   elapsed-time stats and rate caps agree.
+//!
+//! One deliberate divergence: a framing-level violation (oversized length
+//! prefix) desynchronizes the byte stream, so the reactor answers with an
+//! `Error` frame and then *closes* the connection, where the threaded
+//! server answered and limped on over garbage.
+
+use crate::error::ServiceError;
+use crate::protocol::{
+    decode_frame, encode_frame, FrameDecoded, Request, Response, StreamRequest, StreamStart,
+    StreamStats,
+};
+use crate::registry::SummaryRegistry;
+use hydra_datagen::generator::DynamicGenerator;
+use hydra_datagen::governor::VelocityGovernor;
+use hydra_engine::row::Row;
+use hydra_reactor::{ConnHandle, ConnHandler, ConnTask, HandlerOutcome, Protocol, TaskPoll};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hydra_reactor::ShutdownSignal;
+
+/// Rows generated per worker-pool poll slice of a streaming task.  Small
+/// enough that thousands of concurrent streams interleave fairly on a
+/// fixed pool; large enough that per-slice seek and scheduling overhead is
+/// noise.
+const STREAM_SLICE_ROWS: u64 = 8192;
+
+/// Serves one request, producing the response frame's message.  The shared
+/// one-shot dispatch behind both the threaded connection loop and the
+/// reactor task — `Stream` and `Shutdown` never reach it (both need
+/// connection-level control flow and are handled by their callers).
+pub(crate) fn respond(registry: &SummaryRegistry, request: Request) -> Response {
+    match request {
+        Request::Publish { name, package } => match registry.publish(&name, package) {
+            Ok(entry) => Response::Published(entry.info()),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::DeltaPublish { name, delta } => match registry.delta_publish(&name, &delta) {
+            Ok(published) => Response::DeltaPublished(published),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::List => Response::SummaryList(registry.list().iter().map(|e| e.info()).collect()),
+        Request::Describe { name } => match registry.get(&name) {
+            Some(entry) => Response::Described(entry.detail()),
+            None => Response::Error {
+                message: format!("unknown summary `{name}`"),
+            },
+        },
+        Request::Query(request) => {
+            use hydra_datagen::exec::{ExecMode, QueryEngine};
+            let Some(entry) = registry.get(&request.name) else {
+                return Response::Error {
+                    message: format!("unknown summary `{}`", request.name),
+                };
+            };
+            let mode = if request.summary_only {
+                ExecMode::SummaryOnly
+            } else {
+                ExecMode::Auto
+            };
+            // Query the registered entry in place — no summary clone per
+            // request.
+            let regeneration = entry.regeneration();
+            let engine = QueryEngine::over(&regeneration.schema, &regeneration.summary);
+            match engine.query_mode(&request.sql, mode) {
+                Ok(answer) => Response::QueryResult(answer),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Scenario { name, spec } => match registry.scenario(&name, &spec) {
+            Ok(report) => Response::ScenarioOutcome(report),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Stream(_) | Request::Shutdown => Response::Error {
+            message: "request requires connection-level handling".to_string(),
+        },
+    }
+}
+
+/// The frame protocol's listener-level factory: one per frame listener,
+/// holding the shared registry and the server's shutdown signal (a
+/// `Shutdown` frame trips it for every front-end on the reactor).
+pub struct FrameProtocol {
+    registry: Arc<SummaryRegistry>,
+    signal: ShutdownSignal,
+}
+
+impl FrameProtocol {
+    /// A protocol serving `registry`, tripping `signal` on a client
+    /// `Shutdown` request.
+    pub fn new(registry: Arc<SummaryRegistry>, signal: ShutdownSignal) -> FrameProtocol {
+        FrameProtocol { registry, signal }
+    }
+}
+
+impl Protocol for FrameProtocol {
+    fn connect(&self) -> Box<dyn ConnHandler> {
+        Box::new(FrameHandler {
+            registry: Arc::clone(&self.registry),
+            signal: self.signal.clone(),
+        })
+    }
+}
+
+/// Per-connection incremental decoder: slices complete frames off the
+/// receive buffer and hands each one to the worker pool as a [`FrameTask`].
+struct FrameHandler {
+    registry: Arc<SummaryRegistry>,
+    signal: ShutdownSignal,
+}
+
+impl ConnHandler for FrameHandler {
+    fn on_bytes(&mut self, buf: &[u8], out: &mut Vec<u8>) -> (usize, HandlerOutcome) {
+        match decode_frame(buf) {
+            Ok(FrameDecoded::Incomplete) => (0, HandlerOutcome::Continue),
+            Ok(FrameDecoded::Complete { payload, consumed }) => (
+                consumed,
+                HandlerOutcome::Task(Box::new(FrameTask {
+                    registry: Arc::clone(&self.registry),
+                    signal: self.signal.clone(),
+                    state: TaskState::Init { payload },
+                })),
+            ),
+            Err(e) => {
+                // The byte stream is desynchronized; answer, then close.
+                if let Ok(frame) = encode_frame(&Response::Error {
+                    message: e.to_string(),
+                }) {
+                    out.extend_from_slice(&frame);
+                }
+                (buf.len(), HandlerOutcome::Close)
+            }
+        }
+    }
+}
+
+/// One request's worth of work on the worker pool.
+struct FrameTask {
+    registry: Arc<SummaryRegistry>,
+    signal: ShutdownSignal,
+    state: TaskState,
+}
+
+enum TaskState {
+    /// The raw frame payload, not yet deserialized.
+    Init {
+        /// JSON bytes of the request.
+        payload: Vec<u8>,
+    },
+    /// A `Stream` request in flight.
+    Stream(Box<StreamState>),
+}
+
+impl ConnTask for FrameTask {
+    fn poll(&mut self, conn: &ConnHandle) -> TaskPoll {
+        // Abort-on-disconnect: no point deserializing, generating or
+        // encoding for a peer that is gone.
+        if conn.is_dead() {
+            return TaskPoll::Done;
+        }
+        match &mut self.state {
+            TaskState::Init { payload } => {
+                let payload = std::mem::take(payload);
+                self.begin(payload, conn)
+            }
+            TaskState::Stream(stream) => match stream.pump(conn) {
+                Ok(poll) => poll,
+                Err(e) => {
+                    // Mirrors the threaded server: a stream that dies after
+                    // its header (frame-cap violation, generation failure)
+                    // reports an Error frame and keeps the connection.
+                    push_error(conn, e.to_string());
+                    TaskPoll::Done
+                }
+            },
+        }
+    }
+}
+
+impl FrameTask {
+    /// First poll: deserialize the request and either answer it in one
+    /// shot or set up the streaming state machine.
+    fn begin(&mut self, payload: Vec<u8>, conn: &ConnHandle) -> TaskPoll {
+        let request = match parse_request(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // Malformed *payload* in a well-framed message: answered,
+                // not fatal — framing is still in sync (same contract as
+                // the threaded server).
+                push_error(conn, e.to_string());
+                return TaskPoll::Done;
+            }
+        };
+        match request {
+            Request::Shutdown => {
+                // Trigger *before* queueing the reply: the reactor thread
+                // flushes the queue concurrently, and a client must find
+                // the signal tripped the moment it reads `ShuttingDown`.
+                // The shutdown grace period lets this reply drain.
+                self.signal.trigger();
+                push(conn, &Response::ShuttingDown);
+                TaskPoll::DoneClose
+            }
+            Request::Stream(request) => match StreamState::open(&self.registry, &request) {
+                Ok((header, stream)) => {
+                    conn.push(header);
+                    self.state = TaskState::Stream(stream);
+                    TaskPoll::Yield
+                }
+                Err(e) => {
+                    // Header-stage failure (unknown summary/table, bad
+                    // rate): the connection stays usable.
+                    push_error(conn, e.to_string());
+                    TaskPoll::Done
+                }
+            },
+            Request::Query(request) => {
+                let response = respond(&self.registry, Request::Query(request));
+                match encode_frame(&response) {
+                    Ok(frame) => conn.push(frame),
+                    Err(e) => {
+                        // A pathological answer can exceed the frame cap;
+                        // nothing was pushed, so the connection is in sync.
+                        push_error(
+                            conn,
+                            format!(
+                                "query answer could not be framed: {e}; \
+                                 refine the GROUP BY or stream the relation instead"
+                            ),
+                        );
+                    }
+                }
+                TaskPoll::Done
+            }
+            other => {
+                let response = respond(&self.registry, other);
+                match encode_frame(&response) {
+                    Ok(frame) => {
+                        conn.push(frame);
+                        TaskPoll::Done
+                    }
+                    // An unframeable response outside Query closed the
+                    // threaded connection too (its write_frame error
+                    // propagated); keep that contract.
+                    Err(_) => TaskPoll::DoneClose,
+                }
+            }
+        }
+    }
+}
+
+/// The streaming state machine: a cooperative re-implementation of
+/// `handle_stream` + `FrameSink`, sliced into bounded polls.
+struct StreamState {
+    generator: DynamicGenerator,
+    table: String,
+    /// Next row to generate.
+    cursor: u64,
+    /// One past the last row of the (clamped) range.
+    end: u64,
+    batch_rows: usize,
+    governor: VelocityGovernor,
+    /// Partial batch carried across poll slices so `Batch` frame
+    /// boundaries are byte-identical to the blocking `FrameSink`.
+    row_buf: Vec<Row>,
+}
+
+impl StreamState {
+    /// Resolves and validates a `Stream` request exactly like the threaded
+    /// `handle_stream` (same checks, same order, same error strings),
+    /// returning the encoded `StreamStart` header and the ready state.
+    fn open(
+        registry: &SummaryRegistry,
+        request: &StreamRequest,
+    ) -> Result<(Vec<u8>, Box<StreamState>), ServiceError> {
+        let entry = registry
+            .get(&request.name)
+            .ok_or_else(|| ServiceError::Protocol(format!("unknown summary `{}`", request.name)))?;
+        let generator = entry.generator();
+        let total = generator
+            .summary
+            .relation(&request.table)
+            .ok_or_else(|| {
+                ServiceError::Protocol(format!(
+                    "summary `{}` has no relation `{}`",
+                    request.name, request.table
+                ))
+            })?
+            .total_rows;
+        let start = request.start.unwrap_or(0).min(total);
+        let end = request.end.unwrap_or(total).clamp(start, total);
+        // A wire-supplied rate is untrusted input: a zero, negative, NaN or
+        // absurdly small rate would park this stream's timer essentially
+        // forever.
+        if let Some(rate) = request.rows_per_sec {
+            if !rate.is_finite() || rate < 1e-3 {
+                return Err(ServiceError::Protocol(format!(
+                    "rows_per_sec must be a finite rate >= 0.001, got {rate}"
+                )));
+            }
+        }
+        let rate = request.rows_per_sec.or(registry.session().velocity());
+        let batch_rows = request
+            .batch_rows
+            .unwrap_or(StreamRequest::DEFAULT_BATCH_ROWS)
+            .clamp(1, 1 << 16) as usize;
+        let table = generator.schema.table(&request.table).ok_or_else(|| {
+            ServiceError::Protocol(format!(
+                "summary `{}` has no relation `{}`",
+                request.name, request.table
+            ))
+        })?;
+        let header = encode_frame(&Response::StreamStart(StreamStart {
+            table: table.name.clone(),
+            columns: table.columns().iter().map(|c| c.name.clone()).collect(),
+            start,
+            end,
+        }))?;
+        let governor = match rate {
+            Some(rate) => VelocityGovernor::with_rate(rate),
+            None => VelocityGovernor::unthrottled(),
+        };
+        Ok((
+            header,
+            Box::new(StreamState {
+                generator,
+                table: request.table.clone(),
+                cursor: start,
+                end,
+                batch_rows,
+                governor,
+                row_buf: Vec::with_capacity(batch_rows),
+            }),
+        ))
+    }
+
+    /// One poll slice: generate up to a bounded, rate-budgeted chunk of
+    /// rows, pushing full batches as they complete.
+    fn pump(&mut self, conn: &ConnHandle) -> Result<TaskPoll, ServiceError> {
+        if conn.over_high_water() {
+            return Ok(TaskPoll::AwaitDrain);
+        }
+        let remaining = self.end - self.cursor;
+        if remaining == 0 {
+            // The blocking driver paces after *every* row, the last one
+            // included, so the stream's elapsed time is never shorter than
+            // rows/rate; wait out the final deficit before the trailer.
+            if let Some(wait) = self.governor.delay_for(0) {
+                return Ok(TaskPoll::Sleep(wait));
+            }
+            self.flush_partial(conn)?;
+            let trailer = encode_frame(&Response::StreamEnd(StreamStats {
+                rows: self.governor.emitted(),
+                elapsed_micros: self.governor.elapsed().as_micros() as u64,
+                target_rows_per_sec: self.governor.target_rate(),
+            }))?;
+            conn.push(trailer);
+            return Ok(TaskPoll::Done);
+        }
+        // Emit in pulses of up to one batch (bounded by the slice cap): a
+        // throttled stream sleeps until the *whole* pulse is due, which puts
+        // each Batch frame on the wire at the same moment the blocking
+        // per-row pacing would have completed it.
+        let goal = (self.batch_rows as u64)
+            .min(remaining)
+            .min(STREAM_SLICE_ROWS);
+        if let Some(budget) = self.governor.budget() {
+            if budget < goal {
+                let wait = self
+                    .governor
+                    .delay_for(goal)
+                    .unwrap_or(Duration::from_millis(1));
+                return Ok(TaskPoll::Sleep(wait));
+            }
+        }
+        // `stream_range` borrows the generator, so each slice re-seeks via
+        // the summary's block index (O(log blocks)); range concatenation is
+        // bit-identical to one continuous scan (the shard-determinism suite
+        // proves it).
+        let tuples = self
+            .generator
+            .stream_range(&self.table, self.cursor..self.cursor + goal)
+            .map_err(|e| ServiceError::Hydra(hydra_core::error::HydraError::Engine(e)))?;
+        for row in tuples {
+            self.row_buf.push(row);
+            if self.row_buf.len() >= self.batch_rows {
+                let rows =
+                    std::mem::replace(&mut self.row_buf, Vec::with_capacity(self.batch_rows));
+                emit_split(conn, rows)?;
+            }
+        }
+        self.cursor += goal;
+        self.governor.note(goal);
+        Ok(TaskPoll::Yield)
+    }
+
+    /// Pushes the trailing partial batch, if any.
+    fn flush_partial(&mut self, conn: &ConnHandle) -> Result<(), ServiceError> {
+        if self.row_buf.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.row_buf);
+        emit_split(conn, rows)
+    }
+}
+
+/// Pushes one batch frame, splitting the batch in half (recursively) when
+/// its JSON encoding exceeds the frame cap — the same degradation the
+/// blocking [`crate::wire::FrameSink`] performs, byte for byte.
+fn emit_split(conn: &ConnHandle, rows: Vec<Row>) -> Result<(), ServiceError> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let batch = Response::Batch { rows };
+    match encode_frame(&batch) {
+        Ok(frame) => {
+            conn.push(frame);
+            Ok(())
+        }
+        Err(ServiceError::Protocol(_)) => {
+            let Response::Batch { rows } = batch else {
+                unreachable!("emit_split built a Batch")
+            };
+            if rows.len() == 1 {
+                return Err(ServiceError::Protocol(
+                    "a single tuple exceeds the frame size cap".to_string(),
+                ));
+            }
+            let mut first = rows;
+            let second = first.split_off(first.len() / 2);
+            emit_split(conn, first)?;
+            emit_split(conn, second)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Deserializes a frame payload with the same error taxonomy (and thus the
+/// same client-visible messages) as the blocking `read_frame`.
+fn parse_request(payload: &[u8]) -> Result<Request, ServiceError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ServiceError::Protocol(format!("frame payload is not UTF-8: {e}")))?;
+    Ok(serde_json::from_str(text)?)
+}
+
+/// Encodes and pushes a response; encode failures for these small control
+/// frames cannot happen (and are dropped if they somehow do — the peer
+/// will see the connection close instead).
+fn push(conn: &ConnHandle, response: &Response) {
+    if let Ok(frame) = encode_frame(response) {
+        conn.push(frame);
+    }
+}
+
+/// Pushes an `Error` response frame.
+fn push_error(conn: &ConnHandle, message: String) {
+    push(conn, &Response::Error { message });
+}

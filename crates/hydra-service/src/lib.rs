@@ -1,8 +1,9 @@
 //! # hydra-service
 //!
-//! The network face of the reproduction: a threaded TCP server that makes
-//! regeneration a shared, long-lived, concurrent resource — the paper's
-//! client/vendor deployment model made literal.  A client site ships its
+//! The network face of the reproduction: a TCP server, hosted on the
+//! `hydra-reactor` event loop, that makes regeneration a shared,
+//! long-lived, concurrent resource — the paper's client/vendor deployment
+//! model made literal.  A client site ships its
 //! transfer package to a running `hydra-serve`; the vendor side solves it
 //! once, registers the summary under a name in a persistent
 //! [`registry::SummaryRegistry`], and then serves any number of concurrent
@@ -57,6 +58,7 @@
 
 pub mod client;
 pub mod error;
+pub mod frame;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -64,7 +66,11 @@ pub mod wire;
 
 pub use client::HydraClient;
 pub use error::{ServiceError, ServiceResult};
+pub use frame::FrameProtocol;
 pub use protocol::{DeltaPublished, QueryRequest, Request, Response, ScenarioSpec, StreamRequest};
 pub use registry::{RegistryEntry, SummaryRegistry};
-pub use server::{serve, serve_shared, serve_with_signal, ServerHandle, ShutdownSignal};
+pub use server::{
+    serve, serve_shared, serve_threaded, serve_with_options, serve_with_signal, ReactorConfig,
+    ServerHandle, ShutdownSignal, ThreadedServerHandle,
+};
 pub use wire::FrameSink;

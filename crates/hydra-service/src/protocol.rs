@@ -84,6 +84,57 @@ pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> ServiceResult<Option<T>
     Ok(Some(serde_json::from_str(&text)?))
 }
 
+/// Outcome of one [`decode_frame`] attempt over a byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameDecoded {
+    /// A complete frame sat at the front of the buffer: its JSON payload
+    /// and the total bytes to consume (header + payload).
+    Complete {
+        /// The frame's payload, *not* yet parsed as JSON.
+        payload: Vec<u8>,
+        /// Bytes of the buffer this frame occupied.
+        consumed: usize,
+    },
+    /// Not enough bytes for a whole frame yet; feed more input.
+    Incomplete,
+}
+
+/// Incrementally decodes one frame from the front of `buf` without
+/// blocking — the non-blocking twin of [`read_frame`] used by the reactor's
+/// per-connection decode state machine.  Framing-level violations (an
+/// oversized length prefix) are unrecoverable for the connection and come
+/// back as errors; the JSON payload is deliberately not parsed here (that
+/// happens off the event loop).
+pub fn decode_frame(buf: &[u8]) -> ServiceResult<FrameDecoded> {
+    let Some(header) = buf.first_chunk::<4>() else {
+        return Ok(FrameDecoded::Incomplete);
+    };
+    let len = u32::from_be_bytes(*header);
+    if len > MAX_FRAME_BYTES {
+        return Err(ServiceError::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES} byte cap"
+        )));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(FrameDecoded::Incomplete);
+    }
+    Ok(FrameDecoded::Complete {
+        payload: buf[4..total].to_vec(),
+        consumed: total,
+    })
+}
+
+/// Encodes one message as a standalone frame (length prefix + JSON payload)
+/// into a fresh buffer — what reactor tasks push onto a connection's write
+/// queue.  Fails (without producing bytes) when the encoding exceeds the
+/// frame cap, exactly like [`write_frame`].
+pub fn encode_frame<T: Serialize>(message: &T) -> ServiceResult<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, message)?;
+    Ok(buf)
+}
+
 /// A client → server request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -501,6 +552,62 @@ mod tests {
         buf.extend_from_slice(b"{oops");
         assert!(matches!(
             read_frame::<_, Request>(&mut &buf[..]),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_decode_matches_blocking_read() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, &Request::List).unwrap();
+        write_frame(
+            &mut buf,
+            &Request::Describe {
+                name: "retail".to_string(),
+            },
+        )
+        .unwrap();
+
+        // Byte-at-a-time: every prefix short of the first frame is Incomplete.
+        let first_len = 4 + u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        for cut in 0..first_len {
+            assert_eq!(decode_frame(&buf[..cut]).unwrap(), FrameDecoded::Incomplete);
+        }
+        let FrameDecoded::Complete { payload, consumed } = decode_frame(&buf).unwrap() else {
+            panic!("first frame should be complete");
+        };
+        assert_eq!(consumed, first_len);
+        let request: Request =
+            serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+        assert_eq!(request, Request::List);
+
+        // The remainder decodes the second frame and consumes the buffer.
+        let FrameDecoded::Complete { payload, consumed } = decode_frame(&buf[first_len..]).unwrap()
+        else {
+            panic!("second frame should be complete");
+        };
+        assert_eq!(first_len + consumed, buf.len());
+        let request: Request =
+            serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+        assert!(matches!(request, Request::Describe { .. }));
+
+        // Oversized length prefix is a framing error, like read_frame.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        assert!(matches!(decode_frame(&bad), Err(ServiceError::Protocol(_))));
+    }
+
+    #[test]
+    fn encode_frame_round_trips_and_respects_cap() {
+        let frame = encode_frame(&Request::List).unwrap();
+        let got: Request = read_frame(&mut &frame[..]).unwrap().unwrap();
+        assert_eq!(got, Request::List);
+
+        let huge = Response::Error {
+            message: "x".repeat((MAX_FRAME_BYTES as usize) + 1),
+        };
+        assert!(matches!(
+            encode_frame(&huge),
             Err(ServiceError::Protocol(_))
         ));
     }

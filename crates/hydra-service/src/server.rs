@@ -1,94 +1,43 @@
-//! The threaded regeneration server.
+//! The regeneration server.
 //!
-//! One `std::net::TcpListener` accept loop, one thread per connection, one
-//! shared [`SummaryRegistry`].  Connections speak the frame protocol of
-//! [`crate::protocol`] and stay open across requests; tuple streams are
-//! served by driving a [`FrameSink`] through the exact in-process generation
-//! path (`DynamicGenerator::stream_range_into`), so concurrent clients can
-//! each pull disjoint row ranges of the same relation, paced per-connection
-//! by their own `VelocityGovernor`.
+//! Since the reactor-core refactor this is a thin configuration layer over
+//! [`hydra-reactor`](hydra_reactor): [`serve`] binds a listener on a shared
+//! epoll event loop, frames are decoded incrementally on the loop by
+//! [`crate::frame::FrameProtocol`], and requests execute as cooperative
+//! tasks on a **fixed** worker pool — ten thousand idle or slow clients
+//! cost ten thousand fds, never ten thousand threads.  Tuple streams run
+//! the exact in-process generation path in bounded slices, paced by a
+//! per-connection `VelocityGovernor` through the reactor's timer wheel and
+//! backpressured by each connection's bounded write queue.
+//!
+//! The pre-reactor thread-per-connection server survives as
+//! [`serve_threaded`]: the comparison baseline the connection torture
+//! tests and the `connection_scaling` bench measure the reactor against.
+//! Both speak byte-identical wire protocol.
 
 use crate::error::{ServiceError, ServiceResult};
+use crate::frame::{respond, FrameProtocol};
 use crate::protocol::{read_frame, write_frame, Request, Response, StreamRequest, StreamStats};
 use crate::registry::SummaryRegistry;
 use crate::wire::FrameSink;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A shared shutdown switch that can stop *several* listeners at once.
-///
-/// One logical server may expose more than one network surface — the frame
-/// protocol listener plus a PostgreSQL wire-protocol listener, both over the
-/// same registry.  A protocol-driven `Shutdown` frame (or a programmatic
-/// [`ServerHandle::shutdown`]) must stop **every** accept loop, not just the
-/// one that received it; otherwise the process lingers with an orphaned
-/// listener.  Each accept loop registers its bound address here; triggering
-/// the signal sets the flag and wakes every registered listener so its
-/// blocking `accept` observes the flag and exits.
-#[derive(Debug, Clone, Default)]
-pub struct ShutdownSignal {
-    inner: Arc<SignalInner>,
-}
+pub use hydra_reactor::{
+    AcceptGate, ReactorBuilder, ReactorConfig, ReactorHandle, SharedMetrics, ShutdownSignal,
+};
 
-#[derive(Debug, Default)]
-struct SignalInner {
-    triggered: AtomicBool,
-    listeners: Mutex<Vec<SocketAddr>>,
-}
-
-impl ShutdownSignal {
-    /// A fresh, untriggered signal.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// True once a shutdown has been requested.
-    pub fn is_triggered(&self) -> bool {
-        self.inner.triggered.load(Ordering::SeqCst)
-    }
-
-    /// Requests a shutdown: sets the flag and wakes every registered accept
-    /// loop.  Idempotent — repeated triggers re-wake, which is harmless.
-    pub fn trigger(&self) {
-        self.inner.triggered.store(true, Ordering::SeqCst);
-        let listeners = self
-            .inner
-            .listeners
-            .lock()
-            .expect("shutdown signal lock poisoned")
-            .clone();
-        for addr in listeners {
-            wake_accept_loop(addr);
-        }
-    }
-
-    /// Registers a listener address to be woken on [`ShutdownSignal::trigger`].
-    /// If the signal already fired, the listener is woken immediately so a
-    /// late-registered accept loop cannot outlive the shutdown.
-    pub fn register_listener(&self, addr: SocketAddr) {
-        self.inner
-            .listeners
-            .lock()
-            .expect("shutdown signal lock poisoned")
-            .push(addr);
-        if self.is_triggered() {
-            wake_accept_loop(addr);
-        }
-    }
-}
-
-/// A regeneration server bound to a socket and accepting connections on a
-/// background thread.  Dropping the handle shuts the server down.
+/// A regeneration server bound to a socket on a shared reactor event loop.
+/// Dropping the handle shuts the server down.
 #[derive(Debug)]
 pub struct ServerHandle {
     local_addr: SocketAddr,
     signal: ShutdownSignal,
-    active: Arc<AtomicUsize>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<ReactorHandle>,
     registry: Arc<SummaryRegistry>,
 }
 
@@ -110,53 +59,33 @@ pub fn serve_shared(
 /// [`serve_shared`] under a caller-supplied [`ShutdownSignal`], so several
 /// protocol front-ends (this frame server, a pgwire server) stop together:
 /// a `Shutdown` frame received here triggers the shared signal, and an
-/// external trigger stops this accept loop.
+/// external trigger stops this listener.
 pub fn serve_with_signal(
     registry: Arc<SummaryRegistry>,
     addr: impl ToSocketAddrs,
     signal: ShutdownSignal,
 ) -> ServiceResult<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let local_addr = listener.local_addr()?;
-    signal.register_listener(local_addr);
-    let active = Arc::new(AtomicUsize::new(0));
+    serve_with_options(registry, addr, signal, ReactorConfig::default())
+}
 
-    let accept_registry = Arc::clone(&registry);
-    let accept_signal = signal.clone();
-    let accept_active = Arc::clone(&active);
-    let accept_thread = std::thread::spawn(move || {
-        for stream in listener.incoming() {
-            if accept_signal.is_triggered() {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let registry = Arc::clone(&accept_registry);
-            let signal = accept_signal.clone();
-            let active = Arc::clone(&accept_active);
-            active.fetch_add(1, Ordering::SeqCst);
-            std::thread::spawn(move || {
-                let peer_shutdown = handle_connection(stream, &registry).unwrap_or(false);
-                if peer_shutdown {
-                    signal.trigger();
-                }
-                active.fetch_sub(1, Ordering::SeqCst);
-            });
-        }
-    });
-
+/// [`serve_with_signal`] with explicit reactor tuning (worker count,
+/// connection ceiling, write-queue cap, stall deadline).
+pub fn serve_with_options(
+    registry: Arc<SummaryRegistry>,
+    addr: impl ToSocketAddrs,
+    signal: ShutdownSignal,
+    config: ReactorConfig,
+) -> ServiceResult<ServerHandle> {
+    let mut builder = ReactorBuilder::new().config(config);
+    let protocol = Arc::new(FrameProtocol::new(Arc::clone(&registry), signal.clone()));
+    let local_addr = builder.listen(addr, protocol)?;
+    let reactor = builder.start(signal.clone())?;
     Ok(ServerHandle {
         local_addr,
         signal,
-        active,
-        accept_thread: Some(accept_thread),
+        reactor: Some(reactor),
         registry,
     })
-}
-
-/// Unblocks a blocking `accept` by making (and immediately dropping) a
-/// connection to the listener.
-fn wake_accept_loop(addr: SocketAddr) {
-    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
 }
 
 impl ServerHandle {
@@ -171,7 +100,7 @@ impl ServerHandle {
         &self.registry
     }
 
-    /// The shutdown signal shared by this server's accept loop.  Clone it
+    /// The shutdown signal shared by this server's event loop.  Clone it
     /// into other protocol front-ends (e.g. a pgwire listener) so a
     /// `Shutdown` frame — or a programmatic shutdown of either side — stops
     /// every listener together.
@@ -185,16 +114,127 @@ impl ServerHandle {
         self.signal.is_triggered()
     }
 
-    /// Blocks until the server stops accepting (a client sent `Shutdown`, or
+    /// Live reactor counters (connections, in-flight tasks, peak queued
+    /// bytes) — what the torture tests assert fd hygiene and
+    /// abort-on-disconnect against.
+    pub fn metrics(&self) -> SharedMetrics {
+        self.reactor
+            .as_ref()
+            .expect("reactor runs for the handle's lifetime")
+            .metrics()
+    }
+
+    /// Blocks until the server stops (a client sent `Shutdown`, or
     /// [`ServerHandle::shutdown`] was called from another thread), then
     /// drains in-flight connections.
+    pub fn join(mut self) {
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join();
+        }
+    }
+
+    /// Requests a shutdown and blocks until the event loop has exited and
+    /// in-flight connections have drained.  Every other listener sharing
+    /// this server's [`ShutdownSignal`] is stopped too.
+    pub fn shutdown(mut self) {
+        self.signal.trigger();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.signal.trigger();
+        // Dropping the reactor handle joins the event loop.
+        self.reactor.take();
+    }
+}
+
+/// The pre-reactor thread-per-connection server: one blocking accept loop,
+/// one thread per connection.  Kept as the baseline the torture tests and
+/// the `connection_scaling` bench compare the reactor against — it speaks
+/// byte-identical wire protocol but exhausts at thread-count scale.
+#[derive(Debug)]
+pub struct ThreadedServerHandle {
+    local_addr: SocketAddr,
+    signal: ShutdownSignal,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+    registry: Arc<SummaryRegistry>,
+}
+
+/// Starts a thread-per-connection server over `registry` on `addr`,
+/// stopping when `signal` triggers.  The accept loop blocks on an
+/// [`AcceptGate`], so a trigger — even one racing the bind — wakes it
+/// race-free.
+pub fn serve_threaded(
+    registry: Arc<SummaryRegistry>,
+    addr: impl ToSocketAddrs,
+    signal: ShutdownSignal,
+) -> ServiceResult<ThreadedServerHandle> {
+    let gate = AcceptGate::bind(addr, signal.clone())?;
+    let local_addr = gate.local_addr();
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let accept_registry = Arc::clone(&registry);
+    let accept_signal = signal.clone();
+    let accept_active = Arc::clone(&active);
+    let accept_thread = std::thread::spawn(move || {
+        while let Ok(Some(stream)) = gate.accept() {
+            let registry = Arc::clone(&accept_registry);
+            let signal = accept_signal.clone();
+            let active = Arc::clone(&accept_active);
+            active.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(move || {
+                let peer_shutdown = handle_connection(stream, &registry).unwrap_or(false);
+                if peer_shutdown {
+                    signal.trigger();
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+
+    Ok(ThreadedServerHandle {
+        local_addr,
+        signal,
+        active,
+        accept_thread: Some(accept_thread),
+        registry,
+    })
+}
+
+impl ThreadedServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The registry behind the server.
+    pub fn registry(&self) -> &Arc<SummaryRegistry> {
+        &self.registry
+    }
+
+    /// The shutdown signal shared by this server's accept loop.
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        self.signal.clone()
+    }
+
+    /// Connections currently being served (each on its own thread).
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server stops accepting, then drains in-flight
+    /// connections for a bounded grace period.
     pub fn join(mut self) {
         self.join_inner();
     }
 
     /// Requests a shutdown and blocks until the accept loop has exited and
-    /// in-flight connections have drained.  Every other listener sharing
-    /// this server's [`ShutdownSignal`] is stopped too.
+    /// in-flight connections have drained.
     pub fn shutdown(mut self) {
         self.signal.trigger();
         self.join_inner();
@@ -215,7 +255,7 @@ impl ServerHandle {
     }
 }
 
-impl Drop for ServerHandle {
+impl Drop for ThreadedServerHandle {
     fn drop(&mut self) {
         self.signal.trigger();
         self.join_inner();
@@ -246,37 +286,6 @@ fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -> ServiceRe
             }
         };
         match request {
-            Request::Publish { name, package } => {
-                let response = match registry.publish(&name, package) {
-                    Ok(entry) => Response::Published(entry.info()),
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
-                };
-                write_frame(&mut writer, &response)?;
-            }
-            Request::DeltaPublish { name, delta } => {
-                let response = match registry.delta_publish(&name, &delta) {
-                    Ok(published) => Response::DeltaPublished(published),
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
-                };
-                write_frame(&mut writer, &response)?;
-            }
-            Request::List => {
-                let infos = registry.list().iter().map(|e| e.info()).collect();
-                write_frame(&mut writer, &Response::SummaryList(infos))?;
-            }
-            Request::Describe { name } => {
-                let response = match registry.get(&name) {
-                    Some(entry) => Response::Described(entry.detail()),
-                    None => Response::Error {
-                        message: format!("unknown summary `{name}`"),
-                    },
-                };
-                write_frame(&mut writer, &response)?;
-            }
             Request::Stream(request) => {
                 if let Err(e) = handle_stream(&mut writer, registry, &request) {
                     // Header-stage failures (unknown summary/table) keep the
@@ -293,7 +302,7 @@ fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -> ServiceRe
                 }
             }
             Request::Query(request) => {
-                let response = handle_query(registry, &request);
+                let response = respond(registry, Request::Query(request));
                 // A pathological answer (e.g. an out-of-class GROUP BY on
                 // the fact pk over a huge summary) can exceed the frame
                 // cap.  `write_frame` serializes and checks the cap before
@@ -314,50 +323,17 @@ fn handle_connection(stream: TcpStream, registry: &SummaryRegistry) -> ServiceRe
                     }
                 }
             }
-            Request::Scenario { name, spec } => {
-                let response = match registry.scenario(&name, &spec) {
-                    Ok(report) => Response::ScenarioOutcome(report),
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
-                };
-                write_frame(&mut writer, &response)?;
-            }
             Request::Shutdown => {
                 write_frame(&mut writer, &Response::ShuttingDown)?;
                 writer.flush()?;
                 return Ok(true);
             }
+            other => {
+                let response = respond(registry, other);
+                write_frame(&mut writer, &response)?;
+            }
         }
         writer.flush()?;
-    }
-}
-
-/// Serves one `Query` request: resolves the registry entry, then answers the
-/// aggregate through the query engine — summary-direct for in-class queries
-/// (no tuples regenerated, one response frame), sharded tuple scan otherwise
-/// unless the client set `summary_only` (then out-of-class is an error, not a
-/// silent scan).
-fn handle_query(registry: &SummaryRegistry, request: &crate::protocol::QueryRequest) -> Response {
-    use hydra_datagen::exec::{ExecMode, QueryEngine};
-    let Some(entry) = registry.get(&request.name) else {
-        return Response::Error {
-            message: format!("unknown summary `{}`", request.name),
-        };
-    };
-    let mode = if request.summary_only {
-        ExecMode::SummaryOnly
-    } else {
-        ExecMode::Auto
-    };
-    // Query the registered entry in place — no summary clone per request.
-    let regeneration = entry.regeneration();
-    let engine = QueryEngine::over(&regeneration.schema, &regeneration.summary);
-    match engine.query_mode(&request.sql, mode) {
-        Ok(answer) => Response::QueryResult(answer),
-        Err(e) => Response::Error {
-            message: e.to_string(),
-        },
     }
 }
 

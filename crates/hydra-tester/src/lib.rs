@@ -12,8 +12,9 @@
 //!   protocols);
 //! * a frame-protocol listener ([`HydraClient`] side);
 //! * a PostgreSQL wire-protocol listener ([`PgClient`] side);
-//! * one [`ShutdownSignal`] coupling both accept loops, so dropping the
-//!   tester tears the whole double down.
+//! * one reactor event loop hosting both listeners under one
+//!   [`ShutdownSignal`], so dropping the tester tears the whole double
+//!   down (and [`HydraTester::metrics`] sees both protocols' traffic).
 //!
 //! ```
 //! use hydra_tester::HydraTester;
@@ -29,10 +30,11 @@
 
 use hydra_core::session::Hydra;
 use hydra_core::transfer::TransferPackage;
-use hydra_pgwire::{serve_pg, PgClient, PgServerHandle};
+use hydra_pgwire::{PgClient, PgProtocol};
 use hydra_service::protocol::SummaryInfo;
 use hydra_service::registry::{RegistryEntry, SummaryRegistry};
-use hydra_service::{serve_with_signal, HydraClient, ServerHandle, ShutdownSignal};
+use hydra_service::server::{ReactorBuilder, ReactorHandle, SharedMetrics};
+use hydra_service::{FrameProtocol, HydraClient, ShutdownSignal};
 use hydra_workload::{retail_client_fixture, supplier_client_fixture};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -43,15 +45,17 @@ const RETAIL_STORE_SALES: u64 = 400;
 const RETAIL_WEB_SALES: u64 = 120;
 const RETAIL_QUERIES: usize = 4;
 
-/// An ephemeral, fully wired Hydra test double: frame + pg listeners over
-/// one registry, torn down (and snapshotted on panic) when dropped.
+/// An ephemeral, fully wired Hydra test double: frame + pg listeners on
+/// **one shared reactor event loop** over one registry, torn down (and
+/// snapshotted on panic) when dropped.
 #[derive(Debug)]
 pub struct HydraTester {
     session: Hydra,
     registry: Arc<SummaryRegistry>,
     signal: ShutdownSignal,
-    frame: Option<ServerHandle>,
-    pg: Option<PgServerHandle>,
+    frame_addr: SocketAddr,
+    pg_addr: SocketAddr,
+    reactor: Option<ReactorHandle>,
 }
 
 impl Default for HydraTester {
@@ -68,20 +72,32 @@ impl HydraTester {
     }
 
     /// Boots a tester over a caller-configured session (velocity caps,
-    /// parallelism, solver backend…).
+    /// parallelism, solver backend…).  Both protocol listeners share one
+    /// reactor event loop, exactly like a production `hydra-serve`.
     pub fn with_session(session: Hydra) -> Self {
         let registry = Arc::new(SummaryRegistry::in_memory(session.clone()));
         let signal = ShutdownSignal::new();
-        let frame = serve_with_signal(Arc::clone(&registry), "127.0.0.1:0", signal.clone())
+        let mut builder = ReactorBuilder::new();
+        let frame_addr = builder
+            .listen(
+                "127.0.0.1:0",
+                Arc::new(FrameProtocol::new(Arc::clone(&registry), signal.clone())),
+            )
             .expect("bind ephemeral frame listener");
-        let pg = serve_pg(Arc::clone(&registry), "127.0.0.1:0", signal.clone())
+        let pg_addr = builder
+            .listen(
+                "127.0.0.1:0",
+                Arc::new(PgProtocol::new(Arc::clone(&registry))),
+            )
             .expect("bind ephemeral pg listener");
+        let reactor = builder.start(signal.clone()).expect("start shared reactor");
         HydraTester {
             session,
             registry,
             signal,
-            frame: Some(frame),
-            pg: Some(pg),
+            frame_addr,
+            pg_addr,
+            reactor: Some(reactor),
         }
     }
 
@@ -134,15 +150,21 @@ impl HydraTester {
 
     /// The frame-protocol listener's address.
     pub fn frame_addr(&self) -> SocketAddr {
-        self.frame
-            .as_ref()
-            .expect("frame server running")
-            .local_addr()
+        self.frame_addr
     }
 
     /// The PostgreSQL listener's address.
     pub fn pg_addr(&self) -> SocketAddr {
-        self.pg.as_ref().expect("pg server running").local_addr()
+        self.pg_addr
+    }
+
+    /// Live reactor counters for the shared event loop serving both
+    /// listeners — connection totals, in-flight tasks, peak queued bytes.
+    pub fn metrics(&self) -> SharedMetrics {
+        self.reactor
+            .as_ref()
+            .expect("reactor runs for the tester's lifetime")
+            .metrics()
     }
 
     /// A connected frame-protocol client.
@@ -183,9 +205,8 @@ impl Drop for HydraTester {
             }
         }
         self.signal.trigger();
-        // Handle drops join the accept loops; explicit order: pg first so
-        // the frame server's drain sees no new publishes.
-        self.pg.take();
-        self.frame.take();
+        // Dropping the reactor handle joins the event loop serving both
+        // listeners and drains in-flight connections.
+        self.reactor.take();
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] [--registry-dir DIR]
 //!             [--seed-retail ROWS] [--velocity ROWS_PER_SEC] [--parallelism N]
+//!             [--workers N] [--max-connections N]
 //! ```
 //!
 //! * `--addr` (default `127.0.0.1:7871`): frame-protocol listen address;
@@ -21,15 +22,22 @@
 //! * `--velocity R`: default server-side velocity cap (rows/second) for
 //!   streams that do not request their own rate.
 //! * `--parallelism N`: worker threads for per-relation solving.
+//! * `--workers N`: reactor worker threads executing requests and tuple
+//!   streams (default: available parallelism).  Connection count is
+//!   independent of this — ten thousand clients still run on `N` threads.
+//! * `--max-connections N`: connection ceiling across both listeners
+//!   (default 8192); excess accepts are closed immediately.
 //!
-//! The server runs until a client sends a `Shutdown` frame (see
-//! `HydraClient::shutdown`); both listeners share one `ShutdownSignal`, so
-//! the frame-driven shutdown stops the pg accept loop too, drains in-flight
-//! connections on both, and exits 0.
+//! Both listeners run on **one** reactor event loop (one epoll set, one
+//! worker pool, one `ShutdownSignal`).  The server runs until a client
+//! sends a `Shutdown` frame (see `HydraClient::shutdown`), which stops both
+//! listeners, drains in-flight connections, and exits 0.
 
 use hydra_core::session::Hydra;
+use hydra_pgwire::PgProtocol;
 use hydra_service::registry::SummaryRegistry;
-use hydra_service::ShutdownSignal;
+use hydra_service::server::{ReactorBuilder, ReactorConfig};
+use hydra_service::{FrameProtocol, ShutdownSignal};
 use hydra_workload::retail_client_fixture;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -41,6 +49,8 @@ struct Options {
     seed_retail: Option<u64>,
     velocity: Option<f64>,
     parallelism: usize,
+    workers: usize,
+    max_connections: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -51,6 +61,8 @@ fn parse_args() -> Result<Options, String> {
         seed_retail: None,
         velocity: None,
         parallelism: 1,
+        workers: 0,
+        max_connections: 8192,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -78,11 +90,22 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--parallelism: {e}"))?
             }
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-connections" => {
+                options.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] \
                      [--registry-dir DIR] [--seed-retail ROWS] \
-                     [--velocity ROWS_PER_SEC] [--parallelism N]"
+                     [--velocity ROWS_PER_SEC] [--parallelism N] \
+                     [--workers N] [--max-connections N]"
                         .to_string(),
                 )
             }
@@ -145,28 +168,31 @@ fn main() -> ExitCode {
 
     let registry = Arc::new(registry);
     let signal = ShutdownSignal::new();
-    let server = match hydra_service::server::serve_with_signal(
-        Arc::clone(&registry),
+    // One reactor hosts every protocol listener: one epoll set, one fixed
+    // worker pool, one shutdown signal — a frame `Shutdown` stops the pg
+    // listener too, and vice versa.
+    let mut builder = ReactorBuilder::new().config(ReactorConfig {
+        workers: options.workers,
+        max_connections: options.max_connections,
+        ..ReactorConfig::default()
+    });
+    let frame_addr = match builder.listen(
         options.addr.as_str(),
-        signal.clone(),
+        Arc::new(FrameProtocol::new(Arc::clone(&registry), signal.clone())),
     ) {
-        Ok(server) => server,
+        Ok(addr) => addr,
         Err(e) => {
             eprintln!("hydra-serve: cannot bind {}: {e}", options.addr);
             return ExitCode::FAILURE;
         }
     };
-    println!("hydra-serve listening on {}", server.local_addr());
-
-    // The pg listener shares the frame server's shutdown signal: a frame
-    // `Shutdown` stops both accept loops, and vice versa — no orphans.
-    let pg_server = match &options.pg_addr {
+    let pg_addr = match &options.pg_addr {
         Some(pg_addr) => {
-            match hydra_pgwire::serve_pg(Arc::clone(&registry), pg_addr.as_str(), signal) {
-                Ok(pg_server) => {
-                    println!("hydra-serve pg listening on {}", pg_server.local_addr());
-                    Some(pg_server)
-                }
+            match builder.listen(
+                pg_addr.as_str(),
+                Arc::new(PgProtocol::new(Arc::clone(&registry))),
+            ) {
+                Ok(addr) => Some(addr),
                 Err(e) => {
                     eprintln!("hydra-serve: cannot bind pg {pg_addr}: {e}");
                     return ExitCode::FAILURE;
@@ -175,11 +201,19 @@ fn main() -> ExitCode {
         }
         None => None,
     };
-
-    server.join();
-    if let Some(pg_server) = pg_server {
-        pg_server.join();
+    let reactor = match builder.start(signal) {
+        Ok(reactor) => reactor,
+        Err(e) => {
+            eprintln!("hydra-serve: cannot start reactor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("hydra-serve listening on {frame_addr}");
+    if let Some(pg_addr) = pg_addr {
+        println!("hydra-serve pg listening on {pg_addr}");
     }
+
+    reactor.join();
     println!("hydra-serve: shut down cleanly");
     ExitCode::SUCCESS
 }

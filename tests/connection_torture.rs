@@ -1,0 +1,658 @@
+//! Connection torture suite for the reactor core (ISSUE 7).
+//!
+//! The reactor's promise is that *connections* are cheap — only fds and
+//! state machines — while *work* runs on a fixed pool.  Each test attacks
+//! one way a hostile or unlucky client could break that promise:
+//!
+//! * **slow clients** dripping requests a byte at a time must not pin a
+//!   thread each, must not stall healthy peers, and must get responses
+//!   byte-identical to the pre-reactor blocking servers;
+//! * **connection churn** (drop before, during and after the handshake,
+//!   and mid-stream) must leak no fds, spawn no threads, and abort
+//!   server-side generation for vanished peers;
+//! * a **stalled reader** must cap the server's write-queue memory at the
+//!   configured bound and be evicted by the stall deadline while
+//!   neighbors stream on;
+//! * the reactor must hold **hundreds of concurrent connections on one
+//!   worker** (the CI smoke for the `connection_scaling` bench);
+//! * a **shutdown racing an accept storm** must never strand a listener
+//!   (the self-pipe waker regression).
+//!
+//! Several tests count process-wide fds and threads, so the suite
+//! serializes itself behind one mutex instead of relying on
+//! `--test-threads=1`.
+
+use hydra::pgwire::serve_pg_threaded;
+use hydra::service::protocol::{
+    read_frame, write_frame, QueryRequest, Request, Response, StreamRequest,
+};
+use hydra::service::registry::SummaryRegistry;
+use hydra::service::server::{serve_threaded, serve_with_options, ReactorConfig, ShutdownSignal};
+use hydra::service::HydraClient;
+use hydra::Hydra;
+use hydra_tester::HydraTester;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Serializes the fd/thread-counting tests against each other (the default
+/// harness runs tests on parallel threads, which would skew the counters).
+static COUNTERS: Mutex<()> = Mutex::new(());
+
+fn counters_lock() -> MutexGuard<'static, ()> {
+    COUNTERS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Open fds of this process (servers under test run in-process).
+fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd").expect("procfs").count()
+}
+
+/// OS threads of this process.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+/// Polls `predicate` until it holds or `deadline` elapses.
+fn eventually(deadline: Duration, what: &str, mut predicate: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while !predicate() {
+        assert!(Instant::now() < end, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One request as raw wire bytes (length prefix + JSON payload).
+fn frame_bytes(request: &Request) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, request).expect("encode request");
+    bytes
+}
+
+/// Reads one raw frame (4-byte header + payload) off the socket.
+fn read_frame_raw(stream: &mut TcpStream) -> Vec<u8> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header).expect("frame header");
+    let len = u32::from_be_bytes(header) as usize;
+    let mut frame = vec![0u8; 4 + len];
+    frame[..4].copy_from_slice(&header);
+    stream.read_exact(&mut frame[4..]).expect("frame payload");
+    frame
+}
+
+/// Decodes a raw frame collected by [`read_frame_raw`].
+fn parse_frame(raw: &[u8]) -> Response {
+    read_frame::<_, Response>(&mut &raw[..])
+        .expect("decode frame")
+        .expect("non-empty frame")
+}
+
+/// Writes `bytes` to `stream`, either at once or one byte at a time with a
+/// pause — the slow-client torture mode.
+fn send(stream: &mut TcpStream, bytes: &[u8], drip: Option<Duration>) {
+    match drip {
+        None => stream.write_all(bytes).expect("send"),
+        Some(pause) => {
+            for byte in bytes {
+                stream.write_all(std::slice::from_ref(byte)).expect("drip");
+                stream.flush().expect("flush");
+                std::thread::sleep(pause);
+            }
+        }
+    }
+}
+
+/// The fixed request script both frame servers must answer identically:
+/// registry introspection, a summary-direct aggregate, and a batched
+/// stream slice.
+fn frame_script() -> Vec<(Request, usize)> {
+    vec![
+        (Request::List, 1),
+        (
+            Request::Describe {
+                name: "retail".to_string(),
+            },
+            1,
+        ),
+        (
+            Request::Query(QueryRequest::new(
+                "retail",
+                "select count(*) from store_sales",
+            )),
+            1,
+        ),
+        // 40 rows in batches of 16: StreamStart + 3 batches + StreamEnd.
+        (
+            Request::Stream(
+                StreamRequest::full("retail", "web_sales")
+                    .range(0, 40)
+                    .batch_rows(16),
+            ),
+            5,
+        ),
+    ]
+}
+
+/// Runs [`frame_script`] against a frame server, returning every response
+/// frame raw.  `drip` selects the slow-client mode.
+fn run_frame_script(addr: SocketAddr, drip: Option<Duration>) -> Vec<Vec<u8>> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut frames = Vec::new();
+    for (request, responses) in frame_script() {
+        send(&mut stream, &frame_bytes(&request), drip);
+        for _ in 0..responses {
+            frames.push(read_frame_raw(&mut stream));
+        }
+    }
+    frames
+}
+
+/// PostgreSQL startup packet for `database`.
+fn pg_startup_bytes(database: &str) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&196_608u32.to_be_bytes()); // protocol 3.0
+    for (key, value) in [("user", "torture"), ("database", database)] {
+        payload.extend_from_slice(key.as_bytes());
+        payload.push(0);
+        payload.extend_from_slice(value.as_bytes());
+        payload.push(0);
+    }
+    payload.push(0);
+    let mut packet = ((payload.len() + 4) as u32).to_be_bytes().to_vec();
+    packet.extend_from_slice(&payload);
+    packet
+}
+
+/// PostgreSQL simple-query message.
+fn pg_query_bytes(sql: &str) -> Vec<u8> {
+    let mut packet = vec![b'Q'];
+    packet.extend_from_slice(&((sql.len() + 1 + 4) as u32).to_be_bytes());
+    packet.extend_from_slice(sql.as_bytes());
+    packet.push(0);
+    packet
+}
+
+/// Reads backend messages until (and including) `ReadyForQuery`, returning
+/// the raw bytes.
+fn pg_read_until_ready(stream: &mut TcpStream) -> Vec<u8> {
+    let mut collected = Vec::new();
+    loop {
+        let mut head = [0u8; 5];
+        stream.read_exact(&mut head).expect("pg message head");
+        let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
+        let mut payload = vec![0u8; len - 4];
+        stream.read_exact(&mut payload).expect("pg message payload");
+        collected.extend_from_slice(&head);
+        collected.extend_from_slice(&payload);
+        if head[0] == b'Z' {
+            return collected;
+        }
+    }
+}
+
+/// Runs a fixed pg session (handshake, aggregate, scan, multi-statement,
+/// error recovery) and returns all backend bytes.
+fn run_pg_script(addr: SocketAddr, drip: Option<Duration>) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect pg");
+    stream.set_nodelay(true).ok();
+    let mut collected = Vec::new();
+    send(&mut stream, &pg_startup_bytes("retail"), drip);
+    collected.extend_from_slice(&pg_read_until_ready(&mut stream));
+    for sql in [
+        "select count(*) from store_sales",
+        "select * from web_sales",
+        "begin; select 1; commit",
+        "select definitely not sql",
+    ] {
+        send(&mut stream, &pg_query_bytes(sql), drip);
+        collected.extend_from_slice(&pg_read_until_ready(&mut stream));
+    }
+    send(&mut stream, &[b'X', 0, 0, 0, 4], None); // Terminate
+    collected
+}
+
+/// Satellite 1 — slow clients: byte-dripped requests on both protocols,
+/// interleaved with a healthy peer, must cost no threads, must not stall
+/// the healthy peer, and must produce responses byte-identical to the
+/// blocking thread-per-connection baseline.
+#[test]
+fn slow_clients_match_blocking_baseline_without_thread_growth() {
+    let _guard = counters_lock();
+    let tester = HydraTester::retail();
+    let registry = Arc::clone(tester.registry());
+
+    // Baseline bytes from the pre-reactor blocking servers, collected
+    // first so their per-connection threads don't skew the thread counts.
+    let threaded = serve_threaded(Arc::clone(&registry), "127.0.0.1:0", ShutdownSignal::new())
+        .expect("threaded frame baseline");
+    let pg_threaded =
+        serve_pg_threaded(Arc::clone(&registry), "127.0.0.1:0", ShutdownSignal::new())
+            .expect("threaded pg baseline");
+    let baseline_frames = run_frame_script(threaded.local_addr(), None);
+    let baseline_pg = run_pg_script(pg_threaded.local_addr(), None);
+    threaded.shutdown();
+    pg_threaded.shutdown();
+
+    // Slow clients against the reactor: 3 frame + 2 pg drippers, each on a
+    // thread of ours (the only threads this should cost the process).
+    let frame_addr = tester.frame_addr();
+    let pg_addr = tester.pg_addr();
+    let threads_before = thread_count();
+    let drip = Some(Duration::from_millis(1));
+    let mut slow = Vec::new();
+    for _ in 0..3 {
+        slow.push(std::thread::spawn(move || {
+            run_frame_script(frame_addr, drip)
+        }));
+    }
+    let mut slow_pg = Vec::new();
+    for _ in 0..2 {
+        slow_pg.push(std::thread::spawn(move || run_pg_script(pg_addr, drip)));
+    }
+
+    // The healthy peer runs the same script at full speed, concurrently.
+    let healthy_started = Instant::now();
+    let healthy_frames = run_frame_script(frame_addr, None);
+    let healthy_elapsed = healthy_started.elapsed();
+
+    // No per-connection threads: everything beyond our own client threads
+    // would be the reactor spawning per connection.
+    assert!(
+        thread_count() <= threads_before + slow.len() + slow_pg.len(),
+        "reactor grew threads under slow clients"
+    );
+    // The healthy peer was not stalled behind the drippers (each dripper
+    // takes its full drip time; the healthy script is sub-second).
+    assert!(
+        healthy_elapsed < Duration::from_secs(5),
+        "healthy client stalled behind slow clients: {healthy_elapsed:?}"
+    );
+
+    // Byte-identical responses, dripped or not, reactor or blocking.  The
+    // stream's closing stats frame carries wall-clock timings, so it is
+    // compared structurally.
+    let mut sessions = vec![healthy_frames];
+    for handle in slow {
+        sessions.push(handle.join().expect("slow frame client"));
+    }
+    for frames in &sessions {
+        assert_eq!(frames.len(), baseline_frames.len());
+        for (got, want) in frames.iter().zip(&baseline_frames).take(frames.len() - 1) {
+            assert_eq!(got, want, "response bytes diverge from blocking baseline");
+        }
+        match (
+            parse_frame(frames.last().expect("stream end")),
+            parse_frame(baseline_frames.last().expect("stream end")),
+        ) {
+            (Response::StreamEnd(got), Response::StreamEnd(want)) => {
+                assert_eq!(got.rows, want.rows);
+                assert_eq!(got.target_rows_per_sec, want.target_rows_per_sec);
+            }
+            (got, want) => panic!("expected StreamEnd frames, got {got:?} / {want:?}"),
+        }
+    }
+    for handle in slow_pg {
+        let bytes = handle.join().expect("slow pg client");
+        assert_eq!(
+            bytes, baseline_pg,
+            "pg response bytes diverge from blocking baseline"
+        );
+    }
+}
+
+/// Satellite 2 — connection churn: a thousand rapid connect/disconnect
+/// cycles (pre-handshake, mid-handshake and mid-stream) leak no fds, grow
+/// no threads, and abort server-side generation for vanished peers.
+#[test]
+fn connection_churn_leaks_no_fds_and_aborts_generation() {
+    let _guard = counters_lock();
+    let tester = HydraTester::retail();
+    let frame_addr = tester.frame_addr();
+    let pg_addr = tester.pg_addr();
+    let metrics = tester.metrics();
+
+    // Let the freshly booted servers settle, then snapshot the baselines.
+    std::thread::sleep(Duration::from_millis(50));
+    let fd_base = fd_count();
+    let threads_base = thread_count();
+
+    let stream_request = frame_bytes(&Request::Stream(
+        // ~100 rows/s over 400 rows: hours of work if not aborted.
+        StreamRequest::full("retail", "store_sales").rows_per_sec(100.0),
+    ));
+    for i in 0..1_000 {
+        match i % 4 {
+            // Connect and vanish before saying anything.
+            0 => {
+                let _ = TcpStream::connect(frame_addr).expect("connect");
+            }
+            // Die mid-frame-header.
+            1 => {
+                let mut stream = TcpStream::connect(frame_addr).expect("connect");
+                stream.write_all(&[0, 0]).expect("partial header");
+            }
+            // Die before the pg startup packet.
+            2 => {
+                let _ = TcpStream::connect(pg_addr).expect("connect pg");
+            }
+            // Die mid-startup-packet.
+            _ => {
+                let mut stream = TcpStream::connect(pg_addr).expect("connect pg");
+                stream
+                    .write_all(&pg_startup_bytes("retail")[..5])
+                    .expect("partial startup");
+            }
+        }
+        // Every 100th cycle: start a long throttled stream, read its
+        // header, vanish mid-stream.
+        if i % 100 == 0 {
+            let mut stream = TcpStream::connect(frame_addr).expect("connect");
+            stream.write_all(&stream_request).expect("stream request");
+            let header = read_frame_raw(&mut stream);
+            assert!(matches!(parse_frame(&header), Response::StreamStart(_)));
+            drop(stream);
+        }
+        if i % 50 == 0 {
+            assert!(
+                thread_count() <= threads_base,
+                "thread count grew during churn (cycle {i})"
+            );
+        }
+    }
+
+    // Abort-on-disconnect: the mid-stream drops above left tasks whose
+    // peers are gone; they must notice and stop generating.
+    eventually(Duration::from_secs(10), "in-flight tasks to abort", || {
+        metrics.tasks_inflight() == 0
+    });
+    // Fd hygiene: every churned connection's fd is returned.
+    eventually(Duration::from_secs(10), "connections to close", || {
+        metrics.active_connections() == 0
+    });
+    eventually(
+        Duration::from_secs(10),
+        "fd count to return to baseline",
+        || fd_count() <= fd_base,
+    );
+    assert!(
+        metrics.connections_accepted() >= 1_000,
+        "churned connections were not accepted: {}",
+        metrics.connections_accepted()
+    );
+}
+
+/// Satellite 3 — backpressure: a reader that stops draining caps the
+/// server's write-queue memory at the configured bound and is evicted by
+/// the stall deadline, while a throttled stream and a summary-direct
+/// query on neighbor connections proceed unaffected.
+#[test]
+fn stalled_reader_is_capped_and_evicted_while_neighbors_proceed() {
+    let _guard = counters_lock();
+    let tester = HydraTester::retail();
+    let registry = Arc::clone(tester.registry());
+
+    const CAP: usize = 256 << 10;
+    let server = serve_with_options(
+        registry,
+        "127.0.0.1:0",
+        ShutdownSignal::new(),
+        ReactorConfig {
+            workers: 2,
+            write_queue_cap: CAP,
+            stall_timeout: Duration::from_millis(700),
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("custom-config server");
+    let metrics = server.metrics();
+
+    // The stalled reader pipelines hundreds of full-table streams —
+    // megabytes of demand — and never reads a byte.
+    let mut stalled = TcpStream::connect(server.local_addr()).expect("connect");
+    let one = frame_bytes(&Request::Stream(StreamRequest::full(
+        "retail",
+        "store_sales",
+    )));
+    let demand: Vec<u8> = one.iter().copied().cycle().take(one.len() * 400).collect();
+    let demand_responses = 400u64 * 40_000; // ≫ CAP: ~40 KB of rows per stream
+    stalled.write_all(&demand).expect("pipeline demand");
+
+    // Neighbors proceed while the stall builds and trips: a throttled
+    // stream completes with every row, a summary-direct query answers.
+    let mut client = HydraClient::connect(server.local_addr()).expect("connect client");
+    let (rows, _stats) = client
+        .stream_collect(StreamRequest::full("retail", "web_sales").rows_per_sec(300.0))
+        .expect("neighbor stream");
+    assert_eq!(rows.len(), 120, "neighbor stream lost rows during stall");
+    let answer = client
+        .query("retail", "select count(*) from store_sales")
+        .expect("neighbor query");
+    assert!(!answer.rows.is_empty());
+
+    // The stalled connection is evicted by the stall deadline...
+    eventually(Duration::from_secs(10), "stalled reader eviction", || {
+        metrics.stalled_disconnects() >= 1
+    });
+    // ...with the write queue never growing past the bound (+ one
+    // generation slice of overshoot), despite megabytes of demand.
+    let peak = metrics.peak_queued_bytes();
+    assert!(
+        peak <= (CAP + (512 << 10)) as u64,
+        "write queue exceeded its bound: peak {peak} bytes"
+    );
+    assert!(
+        peak < demand_responses,
+        "bound must be far below total demand to prove backpressure"
+    );
+
+    // The stalled socket really is dead: draining it hits EOF or a reset.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut sink = [0u8; 64 << 10];
+    loop {
+        match stalled.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Satellite 4 (CI smoke for the `connection_scaling` bench) — one worker
+/// thread holds hundreds of concurrent connections, all answered.
+#[test]
+fn reactor_accepts_256_concurrent_connections_on_one_worker() {
+    let _guard = counters_lock();
+    let session = Hydra::builder().compare_aqps(false).build();
+    let registry = Arc::new(SummaryRegistry::in_memory(session));
+    let server = serve_with_options(
+        registry,
+        "127.0.0.1:0",
+        ShutdownSignal::new(),
+        ReactorConfig {
+            workers: 1,
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("one-worker server");
+    let addr = server.local_addr();
+
+    let list = frame_bytes(&Request::List);
+    let mut connections: Vec<TcpStream> = (0..256)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect #{i}: {e}")))
+        .collect();
+    // All 256 still open, all served by the single worker.
+    for stream in &mut connections {
+        stream.write_all(&list).expect("send list");
+    }
+    for stream in &mut connections {
+        let frame = read_frame_raw(stream);
+        assert!(matches!(parse_frame(&frame), Response::SummaryList(_)));
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.active_connections(), 256);
+    assert_eq!(metrics.connections_accepted(), 256);
+}
+
+/// Satellite 5 — the `ShutdownSignal` race: a trigger landing during an
+/// accept storm (or even before the accept loop starts) must stop every
+/// listener; the old wake-by-connect hack could strand one.
+#[test]
+fn shutdown_during_accept_storm_leaves_no_stragglers() {
+    let _guard = counters_lock();
+    let session = Hydra::builder().compare_aqps(false).build();
+    let registry = Arc::new(SummaryRegistry::in_memory(session));
+
+    // A reactor under an accept storm, shut down at staggered offsets to
+    // sweep the trigger across the accept path.
+    for round in 0u64..15 {
+        let signal = ShutdownSignal::new();
+        let server = serve_with_options(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            signal.clone(),
+            ReactorConfig {
+                workers: 1,
+                ..ReactorConfig::default()
+            },
+        )
+        .expect("storm server");
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let hammers: Vec<_> = (0..3)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = TcpStream::connect(addr);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_micros(300 * round));
+        signal.trigger();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            server.join();
+            done_tx.send(()).ok();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("reactor join hung after shutdown during accept storm");
+        stop.store(true, Ordering::Relaxed);
+        for hammer in hammers {
+            hammer.join().expect("hammer thread");
+        }
+    }
+
+    // The pre-bind trigger race, both server variants: a signal tripped
+    // before the server starts must stop it immediately (the waker
+    // registration observes an already-triggered signal).
+    let signal = ShutdownSignal::new();
+    signal.trigger();
+    let server = serve_with_options(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        signal,
+        ReactorConfig::default(),
+    )
+    .expect("pre-triggered reactor");
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.join();
+        done_tx.send(()).ok();
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("pre-triggered reactor never stopped");
+
+    let signal = ShutdownSignal::new();
+    signal.trigger();
+    let threaded = serve_threaded(Arc::clone(&registry), "127.0.0.1:0", signal)
+        .expect("pre-triggered threaded server");
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        threaded.join();
+        done_tx.send(()).ok();
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("pre-triggered threaded accept loop never stopped");
+}
+
+/// Depth attack: one connection, one reactor, a hundred thousand strictly
+/// alternating request/response round trips.  Every iteration crosses the
+/// whole reactor machinery — readable event, incremental frame decode,
+/// worker-pool submit, response enqueue from the worker thread,
+/// dirty-list wake, flush — so a lost wake or completion anywhere in that
+/// handshake eventually surfaces here as a stalled read.  This is exactly
+/// the access pattern of the `connection_scaling` latency probe.
+#[test]
+fn single_connection_roundtrip_storm() {
+    let _guard = counters_lock();
+    let session = Hydra::builder().compare_aqps(false).build();
+    let registry = Arc::new(SummaryRegistry::in_memory(session));
+    let server = serve_with_options(
+        registry,
+        "127.0.0.1:0",
+        ShutdownSignal::new(),
+        ReactorConfig::default(),
+    )
+    .expect("storm server");
+    let metrics = server.metrics();
+
+    let iterations: usize = std::env::var("HYDRA_STORM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) {
+            10_000
+        } else {
+            100_000
+        });
+    let list = frame_bytes(&Request::List);
+    let mut probe = TcpStream::connect(server.local_addr()).expect("probe");
+    probe.set_nodelay(true).expect("nodelay");
+    probe
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    for i in 0..iterations {
+        probe.write_all(&list).expect("send list");
+        let mut header = [0u8; 4];
+        if let Err(e) = probe.read_exact(&mut header) {
+            panic!(
+                "round trip stalled at iteration {i}: {e} \
+                 (tasks started {} completed {}, inflight {}, queued peak {})",
+                metrics.tasks_started(),
+                metrics.tasks_completed(),
+                metrics.tasks_inflight(),
+                metrics.peak_queued_bytes(),
+            );
+        }
+        let len = u32::from_be_bytes(header) as usize;
+        let mut payload = vec![0u8; len];
+        probe.read_exact(&mut payload).expect("frame payload");
+        assert!(
+            matches!(
+                read_frame::<_, Response>(&mut &[&header[..], &payload[..]].concat()[..]),
+                Ok(Some(Response::SummaryList(_)))
+            ),
+            "unexpected response at iteration {i}"
+        );
+    }
+    assert_eq!(metrics.tasks_started(), iterations as u64);
+    // The client unblocks on the flushed response, which can beat the
+    // reactor's processing of the final completion by one loop iteration.
+    eventually(Duration::from_secs(5), "final completion", || {
+        metrics.tasks_completed() == iterations as u64
+    });
+}
