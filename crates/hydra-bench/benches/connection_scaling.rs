@@ -20,7 +20,7 @@
 //! push, not only when benches run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hydra_bench::retail_package;
+use hydra_bench::{retail_package, BenchReport};
 use hydra_core::session::Hydra;
 use hydra_service::protocol::{read_frame, write_frame, Request, Response, StreamRequest};
 use hydra_service::registry::SummaryRegistry;
@@ -41,6 +41,12 @@ const PROBE_REQUESTS: usize = 200;
 const CEILING_ATTEMPTS: usize = 2_048;
 /// Concurrent throttled streams in the fan-out experiment.
 const FANOUT_STREAMS: usize = 1_000;
+/// Reactor `List` p99 measured at the PR 7 baseline (µs), before the
+/// observability instrumentation landed.  The metrics record path must not
+/// measurably regress request latency: the bench asserts p99 stays within
+/// 2× this figure (override the budget with `HYDRA_BENCH_P99_BUDGET_US`
+/// on a noisy host).
+const PR7_BASELINE_LIST_P99_US: f64 = 115.0;
 
 fn boot_registry() -> Arc<SummaryRegistry> {
     let session = Hydra::builder().compare_aqps(false).build();
@@ -262,6 +268,15 @@ fn bench_connection_scaling(c: &mut Criterion) {
         completed >= FANOUT_STREAMS * 99 / 100,
         "reactor dropped streams: {completed}/{FANOUT_STREAMS}"
     );
+    let p99_budget_us = std::env::var("HYDRA_BENCH_P99_BUDGET_US")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(2.0 * PR7_BASELINE_LIST_P99_US);
+    assert!(
+        (p99 as f64) <= p99_budget_us,
+        "instrumented List p99 {p99} µs blew the {p99_budget_us} µs budget \
+         (2× the PR 7 baseline of {PR7_BASELINE_LIST_P99_US} µs)"
+    );
     reactor.shutdown();
 
     // --- thread-per-connection baseline ---
@@ -301,6 +316,22 @@ fn bench_connection_scaling(c: &mut Criterion) {
     });
     drop(probe);
     reactor.shutdown();
+
+    BenchReport::new("connection_scaling")
+        .metric("reactor_ceiling_conns", ceiling as f64)
+        .metric("reactor_list_p50_us", p50 as f64)
+        .metric("reactor_list_p99_us", p99 as f64)
+        .metric("reactor_fanout_streams_completed", completed as f64)
+        .metric("reactor_fanout_wall_s", wall.as_secs_f64())
+        .metric("reactor_fanout_peak_threads", peak as f64)
+        .metric("threaded_ceiling_conns", t_ceiling as f64)
+        .metric("threaded_list_p50_us", t_p50 as f64)
+        .metric("threaded_list_p99_us", t_p99 as f64)
+        .metric("threaded_fanout_streams_completed", t_completed as f64)
+        .metric("threaded_fanout_wall_s", t_wall.as_secs_f64())
+        .metric("threaded_fanout_peak_threads", t_peak as f64)
+        .metric("list_p99_budget_us", p99_budget_us)
+        .write();
 }
 
 criterion_group!(benches, bench_connection_scaling);

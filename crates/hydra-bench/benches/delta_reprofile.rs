@@ -17,7 +17,7 @@
 //! row counts between the two paths at every delta size.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hydra_bench::{delta_of, retail_delta_fixture};
+use hydra_bench::{delta_of, retail_delta_fixture, BenchReport};
 use hydra_core::session::Hydra;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,8 @@ fn bench_delta_reprofile(c: &mut Criterion) {
         base_solve.as_secs_f64()
     );
 
+    let mut report = BenchReport::new("delta_reprofile");
+    report.metric("base_solve_s", base_solve.as_secs_f64());
     println!(
         "delta size | full re-profile (ms) | delta re-profile (ms) | speedup | reused/warm/cold"
     );
@@ -66,6 +68,22 @@ fn bench_delta_reprofile(c: &mut Criterion) {
             2,
         );
         let speedup = full_time.as_secs_f64() / delta_time.as_secs_f64();
+        report
+            .metric(&format!("delta_{n}_full_ms"), full_time.as_secs_f64() * 1e3)
+            .metric(
+                &format!("delta_{n}_incremental_ms"),
+                delta_time.as_secs_f64() * 1e3,
+            )
+            .metric(&format!("delta_{n}_speedup"), speedup)
+            .metric(&format!("delta_{n}_reused"), outcome.report.reused() as f64)
+            .metric(
+                &format!("delta_{n}_warm"),
+                outcome.report.warm_solved() as f64,
+            )
+            .metric(
+                &format!("delta_{n}_cold"),
+                outcome.report.cold_solved() as f64,
+            );
         println!(
             "{:>10} | {:>20.1} | {:>21.1} | {:>6.1}x | {}/{}/{}",
             n,
@@ -125,6 +143,7 @@ fn bench_delta_reprofile(c: &mut Criterion) {
         b.iter(|| session.regenerate(&package).expect("full"))
     });
     group.finish();
+    report.write();
 }
 
 criterion_group!(benches, bench_delta_reprofile);

@@ -13,7 +13,7 @@
 //! visible rather than hiding).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hydra_bench::{regenerate, retail_package};
+use hydra_bench::{regenerate, retail_package, BenchReport};
 use hydra_datagen::sink::CountingSink;
 use hydra_engine::database::Database;
 use hydra_engine::exec::Executor;
@@ -29,11 +29,16 @@ fn bench_generation_velocity(c: &mut Criterion) {
     let rows = result.summary.relation("store_sales").unwrap().total_rows;
 
     // Velocity-tracking table (not a timing bench: the run time is the target).
+    let mut report = BenchReport::new("generation_velocity");
     println!("[E4] velocity regulation on store_sales ({rows} rows):");
     for target in [10_000.0, 100_000.0, 1_000_000.0] {
         let stats = generator
             .generate_with_velocity("store_sales", Some(target), Some(20_000))
             .unwrap();
+        report.metric(
+            &format!("achieved_rows_per_sec_at_{:.0}", target),
+            stats.achieved_rows_per_sec,
+        );
         println!(
             "[E4]   target {:>9.0} rows/s  ->  achieved {:>9.0} rows/s ({} rows)",
             target, stats.achieved_rows_per_sec, stats.rows
@@ -42,6 +47,10 @@ fn bench_generation_velocity(c: &mut Criterion) {
     let unthrottled = generator
         .generate_with_velocity("store_sales", None, None)
         .unwrap();
+    report.metric(
+        "unthrottled_rows_per_sec",
+        unthrottled.achieved_rows_per_sec,
+    );
     println!(
         "[E4]   unthrottled          ->  achieved {:>9.0} rows/s ({} rows)",
         unthrottled.achieved_rows_per_sec, unthrottled.rows
@@ -70,6 +79,7 @@ fn bench_generation_velocity(c: &mut Criterion) {
             assert_eq!(run.total_rows(), rows);
             best = best.max(run.achieved_rows_per_sec());
         }
+        report.metric(&format!("sharded_{shards}_rows_per_sec"), best);
         println!(
             "[E4]   {shards} shard(s)  ->  {best:>12.0} rows/s   ({:.2}x vs sequential)",
             if sequential_best > 0.0 {
@@ -79,6 +89,7 @@ fn bench_generation_velocity(c: &mut Criterion) {
             }
         );
     }
+    report.metric("sequential_rows_per_sec", sequential_best);
 
     let mut group = c.benchmark_group("E4_generation_velocity");
     group.sample_size(10);
@@ -117,6 +128,7 @@ fn bench_generation_velocity(c: &mut Criterion) {
         b.iter(|| Executor::new(&materialized).run(&plan).unwrap().rows.len());
     });
     group.finish();
+    report.write();
 }
 
 criterion_group!(benches, bench_generation_velocity);

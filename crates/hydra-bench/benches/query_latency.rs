@@ -13,7 +13,7 @@
 //! such).  Summary-direct latency is always measured for real.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hydra_bench::retail_package;
+use hydra_bench::{retail_package, BenchReport};
 use hydra_core::scenario::Scenario;
 use hydra_core::session::Hydra;
 use hydra_datagen::exec::{ExecMode, QueryEngine};
@@ -96,8 +96,9 @@ fn bench_query_latency(c: &mut Criterion) {
 
     // Measured scan throughput at the smallest scale anchors the
     // extrapolated entries of the series.
+    let mut report = BenchReport::new("query_latency");
     println!("[QL] summary-direct vs regenerate-and-scan on store_sales:");
-    for (name, sql) in QUERIES {
+    for (query_index, (name, sql)) in QUERIES.iter().enumerate() {
         let (anchor_rows, _, anchor_gen) = &generators[0];
         let scan_rate = scan_rows_per_sec(anchor_gen, sql, *anchor_rows);
         println!("[QL] {name}: {sql}");
@@ -128,6 +129,12 @@ fn bench_query_latency(c: &mut Criterion) {
                 "extrapolated"
             };
             let speedup = scan.as_secs_f64() / direct.as_secs_f64().max(1e-9);
+            report
+                .metric(
+                    &format!("q{}_summary_direct_{label}_us", query_index + 1),
+                    direct.as_secs_f64() * 1e6,
+                )
+                .metric(&format!("q{}_speedup_{label}", query_index + 1), speedup);
             println!(
                 "[QL]   rows={label:>4} ({blocks:>4} blocks)  summary-direct {:>10.1?}   \
                  scan {:>10.1?} ({scan_note})   speedup {speedup:>12.0}x",
@@ -176,6 +183,7 @@ fn bench_query_latency(c: &mut Criterion) {
         });
     });
     group.finish();
+    report.write();
 }
 
 criterion_group!(benches, bench_query_latency);

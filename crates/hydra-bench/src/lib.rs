@@ -4,6 +4,9 @@
 //! helpers so that the workloads, scale factors and seeds are consistent
 //! across experiments (and with the integration tests).
 
+pub mod report;
+pub use report::BenchReport;
+
 use hydra_core::client::ClientSite;
 use hydra_core::transfer::TransferPackage;
 use hydra_core::vendor::{HydraConfig, RegenerationResult, VendorSite};

@@ -1,0 +1,159 @@
+//! Machine-readable bench results.
+//!
+//! Every experiment bench ends by writing one `BENCH_<name>.json` next to
+//! its human-readable stdout, so trend tracking does not require scraping
+//! `[E*]` lines.  The schema is documented in `docs/ARCHITECTURE.md`
+//! (Observability § bench reports): a flat object of named scalar metrics
+//! plus the git revision and a Unix timestamp.
+//!
+//! The output directory is `$BENCH_OUT_DIR` when set (CI points it at an
+//! artifact directory), the current directory otherwise.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Accumulates named scalar results for one bench run and serialises them
+/// as `BENCH_<name>.json`.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// An empty report for the bench called `name`.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records one scalar metric (last write wins on duplicate names).
+    pub fn metric(&mut self, name: &str, value: f64) -> &mut Self {
+        if let Some(slot) = self.metrics.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((name.to_string(), value));
+        }
+        self
+    }
+
+    /// Serialises the report as one JSON object (sorted as inserted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string(&self.name)));
+        out.push_str(&format!("  \"git_rev\": {},\n", json_string(&git_rev())));
+        out.push_str(&format!("  \"timestamp_unix\": {},\n", unix_now()));
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {}: {}{comma}\n",
+                json_string(name),
+                json_number(*value)
+            ));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into `$BENCH_OUT_DIR` (or the current
+    /// directory) and returns the path.  Failures are printed, not fatal —
+    /// a bench must never die on a read-only working directory.
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = std::env::var_os("BENCH_OUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let result = std::fs::File::create(&path)
+            .and_then(|mut file| file.write_all(self.to_json().as_bytes()));
+        match result {
+            Ok(()) => {
+                println!("[bench-report] wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("[bench-report] cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Infinity; clamp them to null-adjacent sentinels so the
+/// file always parses.
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serialises_as_valid_json() {
+        let mut report = BenchReport::new("unit_test");
+        report.metric("p99_us", 115.0);
+        report.metric("streams", 1000.0);
+        report.metric("p99_us", 116.5); // overwrite
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"unit_test\""));
+        assert!(json.contains("\"p99_us\": 116.5"));
+        assert!(json.contains("\"streams\": 1000"));
+        assert!(json.contains("\"git_rev\": "));
+        assert!(json.contains("\"timestamp_unix\": "));
+        // One key per line, trailing-comma-free: a cheap structural check
+        // that the hand-rolled serialisation stays parseable.
+        assert!(!json.contains(",\n  }"));
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn non_finite_metrics_become_null() {
+        let mut report = BenchReport::new("edge");
+        report.metric("nan", f64::NAN);
+        assert!(report.to_json().contains("\"nan\": null"));
+    }
+}

@@ -52,7 +52,8 @@ use hydra_datagen::shard::ShardedRun;
 use hydra_datagen::sink::TupleSink;
 use hydra_engine::database::Database;
 use hydra_engine::table::MemTable;
-use hydra_query::exec::QueryAnswer;
+use hydra_obs::MetricsRegistry;
+use hydra_query::exec::{ExecStrategy, QueryAnswer};
 use hydra_query::query::SpjQuery;
 use hydra_summary::align::AlignmentStrategy;
 use hydra_summary::backend::LpBackend;
@@ -82,6 +83,7 @@ pub struct HydraBuilder {
     summary_cache: bool,
     anonymize: bool,
     velocity: Option<f64>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for HydraBuilder {
@@ -92,6 +94,7 @@ impl Default for HydraBuilder {
             summary_cache: true,
             anonymize: false,
             velocity: None,
+            metrics: None,
         }
     }
 }
@@ -105,7 +108,16 @@ impl HydraBuilder {
             summary_cache: true,
             anonymize: false,
             velocity: None,
+            metrics: None,
         }
+    }
+
+    /// Shares an observability registry with this session.  Every query,
+    /// LP solve and generation stream records into it; the default is a
+    /// fresh private registry per session.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Selects the LP solve backend (default:
@@ -200,6 +212,7 @@ impl HydraBuilder {
             cache,
             anonymize: self.anonymize,
             velocity: self.velocity,
+            metrics: self.metrics.unwrap_or_default(),
         }
     }
 }
@@ -215,6 +228,7 @@ pub struct Hydra {
     cache: Option<Arc<InMemorySummaryCache>>,
     anonymize: bool,
     velocity: Option<f64>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for Hydra {
@@ -234,6 +248,57 @@ impl Hydra {
         &self.config
     }
 
+    /// The session's observability registry: every regeneration, query and
+    /// stream records into it, and the serving layers expose it (Prometheus
+    /// `/metrics`, frame `Stats`, pg `hydra_metrics`).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Records one build report's per-relation LP outcomes.
+    fn record_build_report(&self, report: &hydra_summary::builder::SummaryBuildReport) {
+        use hydra_lp::simplex::WarmOutcome;
+        for relation in &report.relations {
+            let outcome = if relation.from_cache {
+                "reused"
+            } else {
+                match relation.lp.warm {
+                    WarmOutcome::NotAttempted => "cold",
+                    WarmOutcome::Hit => "warm_hit",
+                    WarmOutcome::FellBack => "warm_fellback",
+                }
+            };
+            self.metrics
+                .counter_labeled("hydra_lp_solves_total", "outcome", outcome)
+                .inc();
+            if !relation.from_cache {
+                self.metrics
+                    .histogram_labeled("hydra_lp_solve_seconds", "relation", &relation.table)
+                    .record_duration(relation.lp.solve_time);
+            }
+        }
+    }
+
+    /// Records one delta build report's per-relation reuse/warm/cold account.
+    fn record_delta_report(&self, report: &hydra_summary::delta::DeltaBuildReport) {
+        use hydra_summary::delta::DeltaAction;
+        for relation in &report.relations {
+            let outcome = match relation.action {
+                DeltaAction::Reused => "reused",
+                DeltaAction::WarmSolved => "warm_hit",
+                DeltaAction::ColdSolved => "cold",
+            };
+            self.metrics
+                .counter_labeled("hydra_lp_solves_total", "outcome", outcome)
+                .inc();
+            if relation.action != DeltaAction::Reused {
+                self.metrics
+                    .histogram_labeled("hydra_lp_solve_seconds", "relation", &relation.table)
+                    .record_duration(std::time::Duration::from_micros(relation.solve_micros));
+            }
+        }
+    }
+
     /// Client site: profiles the warehouse, executes the workload to obtain
     /// annotated query plans, and packages the synopsis for transfer
     /// (anonymized when the session was built with `.anonymize(true)`).
@@ -250,7 +315,9 @@ impl Hydra {
     /// session's `parallelism`, and solved relations are reused from the
     /// session cache when their constraint signature is unchanged.
     pub fn regenerate(&self, package: &TransferPackage) -> HydraResult<RegenerationResult> {
-        self.vendor().regenerate(package)
+        let result = self.vendor().regenerate(package)?;
+        self.record_build_report(&result.build_report);
+        Ok(result)
     }
 
     /// [`Hydra::regenerate`] retaining the per-relation solve artifacts
@@ -259,7 +326,9 @@ impl Hydra {
     /// [`hydra_query::delta::WorkloadDelta`] to [`Hydra::profile_delta`] and
     /// only the relations the delta actually touches re-solve.
     pub fn regenerate_stateful(&self, package: &TransferPackage) -> HydraResult<RegenerationState> {
-        self.vendor().regenerate_stateful(package)
+        let state = self.vendor().regenerate_stateful(package)?;
+        self.record_build_report(&state.regeneration.build_report);
+        Ok(state)
     }
 
     /// Applies a workload delta (queries added / retired / re-annotated,
@@ -277,7 +346,9 @@ impl Hydra {
         prev: &RegenerationState,
         delta: &hydra_query::delta::WorkloadDelta,
     ) -> HydraResult<DeltaOutcome> {
-        self.vendor().apply_delta(prev, delta)
+        let outcome = self.vendor().apply_delta(prev, delta)?;
+        self.record_delta_report(&outcome.report);
+        Ok(outcome)
     }
 
     /// Constructs a what-if scenario over a package. Across a sweep of
@@ -289,7 +360,9 @@ impl Hydra {
         package: &TransferPackage,
     ) -> HydraResult<ScenarioResult> {
         let cache = self.cache.clone().map(|c| c as Arc<dyn SummaryCache>);
-        construct_scenario_with_cache(scenario, package, self.config.clone(), cache)
+        let result = construct_scenario_with_cache(scenario, package, self.config.clone(), cache)?;
+        self.record_build_report(&result.regeneration.build_report);
+        Ok(result)
     }
 
     /// Answers an analytical SQL aggregate (COUNT / SUM / AVG, conjunctive
@@ -336,11 +409,21 @@ impl Hydra {
         // clone it (summary-direct latency is O(blocks), and should stay so).
         // Scan fallbacks respect the session's parallelism knob, like every
         // other multi-threaded path of the session.
-        Ok(
-            QueryEngine::over(&regeneration.schema, &regeneration.summary)
-                .with_scan_shards(self.config.builder.parallelism)
-                .query_mode(sql, mode)?,
-        )
+        let started = std::time::Instant::now();
+        let answer = QueryEngine::over(&regeneration.schema, &regeneration.summary)
+            .with_scan_shards(self.config.builder.parallelism)
+            .query_mode(sql, mode)?;
+        let strategy = match answer.strategy() {
+            ExecStrategy::SummaryDirect => "summary_direct",
+            ExecStrategy::TupleScan => "tuple_scan",
+        };
+        self.metrics
+            .counter_labeled("hydra_query_total", "strategy", strategy)
+            .inc();
+        self.metrics
+            .histogram_labeled("hydra_query_seconds", "strategy", strategy)
+            .record_duration(started.elapsed());
+        Ok(answer)
     }
 
     /// Streams one regenerated relation into a [`TupleSink`], optionally
@@ -357,12 +440,32 @@ impl Hydra {
         rows_per_sec: Option<f64>,
         limit: Option<u64>,
     ) -> HydraResult<GenerationStats> {
-        Ok(regeneration.generator().stream_into(
+        let stats = regeneration.generator().stream_into(
             table,
             sink,
             rows_per_sec.or(self.velocity),
             limit,
-        )?)
+        )?;
+        self.record_generation(&stats);
+        Ok(stats)
+    }
+
+    /// Records one completed generation stream's velocity account.
+    ///
+    /// [`Hydra::stream_table`] calls this automatically; the wire front-ends
+    /// (frame `Stream`, pg `SELECT *` scans) drive the generator directly and
+    /// call it themselves so `hydra_datagen_rows_total` and friends account
+    /// for every generated tuple regardless of the entry point.
+    pub fn record_generation(&self, stats: &GenerationStats) {
+        self.metrics
+            .counter_labeled("hydra_datagen_rows_total", "table", &stats.table)
+            .add(stats.rows);
+        self.metrics
+            .gauge("hydra_datagen_rows_per_sec")
+            .set(stats.achieved_rows_per_sec as i64);
+        self.metrics
+            .counter("hydra_governor_sleep_seconds_total")
+            .add(u64::try_from(stats.governor_sleep.as_nanos()).unwrap_or(u64::MAX));
     }
 
     /// The session's default generation velocity in rows per second, if one

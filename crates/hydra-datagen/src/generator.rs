@@ -25,6 +25,9 @@ pub struct GenerationStats {
     pub achieved_rows_per_sec: f64,
     /// Target rate, if the run was throttled.
     pub target_rows_per_sec: Option<f64>,
+    /// Total time the velocity governor slept to hold the target rate
+    /// (zero for unthrottled runs).
+    pub governor_sleep: Duration,
 }
 
 /// Regenerates relations from a database summary.
@@ -236,6 +239,7 @@ fn drive_stream(
         elapsed: governor.elapsed(),
         achieved_rows_per_sec: governor.achieved_rate(),
         target_rows_per_sec: governor.target_rate(),
+        governor_sleep: governor.slept(),
     }
 }
 

@@ -15,6 +15,7 @@ pub struct VelocityGovernor {
     target_rows_per_sec: Option<f64>,
     started: Instant,
     emitted: u64,
+    slept: Duration,
 }
 
 impl VelocityGovernor {
@@ -24,6 +25,7 @@ impl VelocityGovernor {
             target_rows_per_sec: Some(rows_per_sec.max(f64::MIN_POSITIVE)),
             started: Instant::now(),
             emitted: 0,
+            slept: Duration::ZERO,
         }
     }
 
@@ -33,6 +35,7 @@ impl VelocityGovernor {
             target_rows_per_sec: None,
             started: Instant::now(),
             emitted: 0,
+            slept: Duration::ZERO,
         }
     }
 
@@ -51,8 +54,24 @@ impl VelocityGovernor {
     pub fn pace(&mut self, n: u64) {
         self.note(n);
         if let Some(wait) = self.delay_for(0) {
+            self.slept += wait;
             std::thread::sleep(wait);
         }
+    }
+
+    /// Total time [`pace`](Self::pace) has slept so far (the throttling
+    /// cost the observability layer reports as governor sleep).  Cooperative
+    /// callers that schedule [`delay_for`](Self::delay_for) waits elsewhere
+    /// account those with [`note_slept`](Self::note_slept).
+    pub fn slept(&self) -> Duration {
+        self.slept
+    }
+
+    /// Accounts a wait served outside [`pace`](Self::pace) (e.g. on a
+    /// reactor timer wheel) so [`slept`](Self::slept) stays meaningful for
+    /// cooperative callers.
+    pub fn note_slept(&mut self, wait: Duration) {
+        self.slept += wait;
     }
 
     /// Records that `n` tuples were emitted **without sleeping** — the

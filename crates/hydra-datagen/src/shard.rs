@@ -27,7 +27,7 @@ use crate::stream::TupleStream;
 use hydra_catalog::schema::Table;
 use hydra_summary::summary::RelationSummary;
 use std::ops::Range;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Splits a relation's row space into balanced, contiguous shards.
 ///
@@ -140,6 +140,7 @@ impl<S> ShardedRun<S> {
             elapsed: self.elapsed,
             achieved_rows_per_sec: self.achieved_rows_per_sec(),
             target_rows_per_sec: None,
+            governor_sleep: std::time::Duration::ZERO,
         }
     }
 }
@@ -201,6 +202,7 @@ where
                                 0.0
                             },
                             target_rows_per_sec: None,
+                            governor_sleep: Duration::ZERO,
                         },
                     }
                 })

@@ -1,0 +1,173 @@
+//! Sharded counters and gauges.
+//!
+//! A counter is written from every worker thread, the reactor thread and
+//! test threads at once; a single `AtomicU64` would ping-pong its cache
+//! line between cores on every increment.  Each counter therefore owns a
+//! small fixed array of cache-line-padded shards, and every thread sticks
+//! to one shard chosen from a process-wide round-robin slot, so concurrent
+//! writers on different cores usually touch different lines.  Reads sum
+//! the shards — exact at quiescence, monotone always.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards per counter.  Power of two so slot selection is a mask.
+const SHARDS: usize = 8;
+
+/// Process-wide round-robin source for per-thread shard slots.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The shard this thread writes; assigned once on first use.
+    static SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+}
+
+/// One cache line worth of counter state.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard(AtomicU64);
+
+/// A monotonically increasing counter, sharded to keep the record path
+/// contention-free.
+#[derive(Default)]
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let slot = SLOT.with(|s| *s);
+        self.shards[slot].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards.  Exact once writers are
+    /// quiescent; a monotone lower bound while they are not.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// An instantaneous signed value: in-flight request counts, live
+/// connections, registry versions, high-water marks.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger — the high-water-mark mode
+    /// (write-queue peaks, ready-batch peaks).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge")
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_shards() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[test]
+    fn gauge_tracks_max_and_level() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        g.record_max(10);
+        g.record_max(7);
+        assert_eq!(g.value(), 10);
+        g.set(-3);
+        assert_eq!(g.value(), -3);
+    }
+}

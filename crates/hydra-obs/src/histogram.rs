@@ -1,0 +1,313 @@
+//! The log-linear histogram: fixed layout, lock-free record path,
+//! mergeable snapshots.
+//!
+//! Layout: values below 64 land in 64 exact unit buckets; every power-of-two
+//! octave above that is split into 64 linear sub-buckets, so the relative
+//! quantization error is bounded by 1/64 ≈ 1.6 % everywhere.  Octaves 6
+//! through 40 are covered (values up to 2^41 ≈ 36 minutes in nanoseconds,
+//! or 2 TiB in bytes); larger values saturate into the top bucket.  The
+//! whole layout is `64 + 35 × 64 = 2 304` buckets — `u64` adds on a fixed
+//! array, no allocation, no locks, no resizing.
+//!
+//! Exact `max`/`min` ride in dedicated atomics so tail reporting is not
+//! subject to bucket quantization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per octave (and the size of the exact low range).
+const LINEAR: usize = 64;
+/// First octave with sub-bucket resolution (values `< 2^(FIRST+1)` but
+/// `>= 2^FIRST = LINEAR`).
+const FIRST_OCTAVE: u32 = 6;
+/// Last covered octave; larger values saturate into the final bucket.
+const MAX_OCTAVE: u32 = 40;
+/// Number of sub-bucketed octave groups.
+const GROUPS: usize = (MAX_OCTAVE - FIRST_OCTAVE + 1) as usize;
+/// Total bucket count of the fixed layout.
+pub const TOTAL_BUCKETS: usize = LINEAR + GROUPS * LINEAR;
+
+/// Index of the bucket owning value `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    if octave > MAX_OCTAVE {
+        return TOTAL_BUCKETS - 1;
+    }
+    let group = (octave - FIRST_OCTAVE) as usize;
+    let sub = ((v >> (octave - FIRST_OCTAVE)) & (LINEAR as u64 - 1)) as usize;
+    LINEAR + group * LINEAR + sub
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    if i < LINEAR {
+        return i as u64;
+    }
+    let group = (i - LINEAR) / LINEAR;
+    let sub = (i - LINEAR) % LINEAR;
+    (1u64 << (group as u32 + FIRST_OCTAVE)) + (sub as u64) * (1u64 << group)
+}
+
+/// Midpoint of bucket `i`, used as its representative for quantiles.
+fn bucket_mid(i: usize) -> u64 {
+    if i < LINEAR {
+        return i as u64; // exact
+    }
+    let group = (i - LINEAR) / LINEAR;
+    bucket_lower(i) + (1u64 << group) / 2
+}
+
+/// A fixed-layout log-linear histogram with a lock-free record path.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..TOTAL_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records one value.  Three relaxed atomic RMWs; no locks, no
+    /// allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total recorded values (sum over buckets, so it always agrees with
+    /// the bucket contents a quantile walk sees).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy, mergeable with snapshots of other histograms.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].  Snapshots merge bucket-wise,
+/// which makes the merge associative and commutative — merging per-shard
+/// or per-layer snapshots in any order yields the same aggregate (the
+/// `obs_proptests` suite pins this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts in the fixed layout.
+    pub buckets: Vec<u64>,
+    /// Total recorded values (always the sum of `buckets`).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Exact largest recorded value (0 when empty).
+    pub max: u64,
+    /// Exact smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; TOTAL_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` into `self` bucket-wise.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): the representative value of the
+    /// bucket holding the rank-`⌈q·count⌉` observation, clamped into
+    /// `[min, max]` so the estimate never leaves the observed range.
+    /// Exact for values below 64; within 1/64 relative error above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn low_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for v in 0..64usize {
+            assert_eq!(snap.buckets[v], 1, "bucket {v}");
+        }
+        assert_eq!(snap.count, 64);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 63);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's lower bound must map back to that bucket, and
+        // bounds must be strictly increasing.
+        let mut prev = None;
+        for i in 0..TOTAL_BUCKETS {
+            let lower = bucket_lower(i);
+            assert_eq!(bucket_index(lower), i, "lower bound of bucket {i}");
+            if let Some(p) = prev {
+                assert!(lower > p, "bounds not increasing at bucket {i}");
+            }
+            prev = Some(lower);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[100u64, 1_000, 65_537, 1 << 20, (1 << 30) + 12345, 1 << 40] {
+            let i = bucket_index(v);
+            let mid = bucket_mid(i);
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 64.0, "value {v}: error {err}");
+        }
+    }
+
+    #[test]
+    fn huge_values_saturate() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.buckets[TOTAL_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.50) as f64;
+        let p99 = snap.quantile(0.99) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 {p99}");
+        assert_eq!(snap.quantile(1.0), 1000);
+        assert_eq!(snap.max, 1000);
+    }
+
+    #[test]
+    fn concurrent_records_count_exactly() {
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 40_000);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        a.record(100_000);
+        b.record(7);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 100_017);
+        assert_eq!(merged.min, 7);
+        assert_eq!(merged.max, 100_000);
+    }
+}

@@ -1,0 +1,56 @@
+//! # hydra-obs
+//!
+//! The observability core of the HYDRA stack: a dependency-free (std-only)
+//! metrics library every other crate in the workspace instruments itself
+//! with, plus one [`MetricsRegistry`] that turns the recorded state into a
+//! Prometheus text exposition, a flat sample list for the wire protocols,
+//! and a slow-request log.
+//!
+//! Three primitives, all lock-free on the record path:
+//!
+//! * [`Counter`] — a monotonically increasing `u64`, sharded across
+//!   cache-line-padded atomics so concurrent writers never bounce one line;
+//! * [`Gauge`] — a signed instantaneous value (`inc`/`dec`/`set`) with a
+//!   monotone [`Gauge::record_max`] mode for high-water marks;
+//! * [`Histogram`] — a log-linear latency/size histogram: 64 linear
+//!   sub-buckets per power-of-two octave (≤ 1/64 ≈ 1.6 % relative error,
+//!   values below 64 exact), a fixed 2 304-bucket layout, exact max/min
+//!   side-channels, and mergeable [`HistogramSnapshot`]s with
+//!   p50/p90/p99 estimation.
+//!
+//! [`Span`] is the tracing face: `registry.span("frame.query")` stamps a
+//! process-unique request id, and dropping the span records its duration
+//! into the per-op histogram, bumps the per-op request/error counters, and
+//! emits one structured stderr line through the optional [`SlowLog`] when
+//! the request ran over threshold.  A span is a plain value, so the wire
+//! layer can move it into a worker-pool task and the id follows the request
+//! across reactor → worker → query/solve/generate layers.
+//!
+//! ```
+//! use hydra_obs::MetricsRegistry;
+//! use std::time::Duration;
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.counter("hydra_reactor_accepts_total").add(3);
+//! registry
+//!     .histogram_labeled("hydra_request_seconds", "op", "frame.list")
+//!     .record_duration(Duration::from_micros(250));
+//! let text = registry.snapshot().render_prometheus();
+//! assert!(text.contains("hydra_reactor_accepts_total 3"));
+//! assert!(text.contains("hydra_request_seconds{op=\"frame.list\",quantile=\"0.99\"}"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod counter;
+mod histogram;
+mod registry;
+mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot, TOTAL_BUCKETS};
+pub use registry::{
+    FamilyDesc, MetricKind, MetricsRegistry, MetricsSnapshot, Sample, SampleName, Unit, FAMILIES,
+};
+pub use span::{SlowLog, Span, SpanOutcome};

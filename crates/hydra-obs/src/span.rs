@@ -1,0 +1,267 @@
+//! Tracing spans and the slow-request log.
+//!
+//! A [`Span`] is the per-request unit of tracing: created where the wire
+//! layer parses a request, moved into the worker-pool task that serves it,
+//! and dropped when the response is finished.  Its drop is the single
+//! recording point — duration into the per-op histogram, outcome into the
+//! per-op counters, and (when a [`SlowLog`] is armed and the threshold was
+//! exceeded) one structured line to the log sink.  The span carries a
+//! process-unique request id stamped by the registry, which is what lets a
+//! slow-log line be correlated across reactor → worker → query layers.
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The request succeeded.
+    Ok,
+    /// The request failed (counted in the per-op error counter).
+    Error,
+}
+
+/// Where slow-request lines go.
+enum SlowSink {
+    /// Production: one line to stderr.
+    Stderr,
+    /// Tests: lines accumulate in a shared buffer.
+    Buffer(Arc<Mutex<Vec<String>>>),
+}
+
+/// The slow-request log: requests whose span ran longer than `threshold`
+/// emit one structured line.  Off by default; armed per registry via
+/// [`MetricsRegistry::set_slow_log`](crate::MetricsRegistry::set_slow_log)
+/// (the `--slow-query-ms` flag on `hydra-serve`).
+pub struct SlowLog {
+    threshold: Duration,
+    sink: SlowSink,
+}
+
+impl SlowLog {
+    /// A slow log writing to stderr.
+    pub fn stderr(threshold: Duration) -> SlowLog {
+        SlowLog {
+            threshold,
+            sink: SlowSink::Stderr,
+        }
+    }
+
+    /// A slow log writing into a shared buffer, for tests.  Returns the
+    /// log and the buffer it appends to.
+    pub fn buffered(threshold: Duration) -> (SlowLog, Arc<Mutex<Vec<String>>>) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        (
+            SlowLog {
+                threshold,
+                sink: SlowSink::Buffer(Arc::clone(&buffer)),
+            },
+            buffer,
+        )
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    fn emit(&self, line: String) {
+        match &self.sink {
+            SlowSink::Stderr => eprintln!("{line}"),
+            SlowSink::Buffer(buffer) => buffer.lock().expect("slow-log buffer").push(line),
+        }
+    }
+}
+
+impl std::fmt::Debug for SlowLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowLog")
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+/// An RAII request span.  Obtained from
+/// [`MetricsRegistry::span`](crate::MetricsRegistry::span); recording
+/// happens on drop.
+#[must_use = "a span records on drop; binding it to _ discards the measurement"]
+pub struct Span {
+    id: u64,
+    op: &'static str,
+    started: Instant,
+    outcome: SpanOutcome,
+    /// What the request was (SQL text, frame kind) — slow-log context.
+    kind: Option<String>,
+    /// How it was served (summary-direct vs scan, …) — slow-log context.
+    detail: Option<String>,
+    hist: Arc<Histogram>,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    slow: Option<Arc<SlowLog>>,
+}
+
+impl Span {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: u64,
+        op: &'static str,
+        hist: Arc<Histogram>,
+        requests: Arc<Counter>,
+        errors: Arc<Counter>,
+        inflight: Arc<Gauge>,
+        slow: Option<Arc<SlowLog>>,
+    ) -> Span {
+        inflight.inc();
+        Span {
+            id,
+            op,
+            started: Instant::now(),
+            outcome: SpanOutcome::Ok,
+            kind: None,
+            detail: None,
+            hist,
+            requests,
+            errors,
+            inflight,
+            slow,
+        }
+    }
+
+    /// The process-unique request id stamped at creation.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The operation label this span records under.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Marks the request failed; the per-op error counter is bumped on
+    /// drop.
+    pub fn set_error(&mut self) {
+        self.outcome = SpanOutcome::Error;
+    }
+
+    /// Attaches what the request was (SQL text, frame kind) for the
+    /// slow-log line.
+    pub fn set_kind(&mut self, kind: impl Into<String>) {
+        self.kind = Some(kind.into());
+    }
+
+    /// Attaches how the request was served (e.g. `summary_direct` vs
+    /// `tuple_scan`) for the slow-log line.
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        self.detail = Some(detail.into());
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        self.hist.record_duration(elapsed);
+        self.requests.inc();
+        if self.outcome == SpanOutcome::Error {
+            self.errors.inc();
+        }
+        self.inflight.dec();
+        if let Some(slow) = &self.slow {
+            if elapsed >= slow.threshold() {
+                let mut line = format!(
+                    "hydra-slow-request id={} op={} duration_ms={:.3} outcome={}",
+                    self.id,
+                    self.op,
+                    elapsed.as_secs_f64() * 1e3,
+                    match self.outcome {
+                        SpanOutcome::Ok => "ok",
+                        SpanOutcome::Error => "error",
+                    }
+                );
+                if let Some(detail) = &self.detail {
+                    line.push_str(&format!(" detail={detail}"));
+                }
+                if let Some(kind) = &self.kind {
+                    // The kind (SQL text) goes last and quoted so the line
+                    // stays machine-splittable on spaces up to this field.
+                    line.push_str(&format!(" kind={:?}", kind));
+                }
+                slow.emit(line);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("id", &self.id)
+            .field("op", &self.op)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_duration_and_outcome() {
+        let registry = MetricsRegistry::new();
+        {
+            let _span = registry.span("frame.list");
+        }
+        {
+            let mut span = registry.span("frame.list");
+            span.set_error();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.value("hydra_requests_total", Some(("op", "frame.list"))),
+            Some(2.0)
+        );
+        assert_eq!(
+            snap.value("hydra_request_errors_total", Some(("op", "frame.list"))),
+            Some(1.0)
+        );
+        assert_eq!(snap.value("hydra_requests_inflight", None), Some(0.0));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let registry = MetricsRegistry::new();
+        let a = registry.span("x").id();
+        let b = registry.span("x").id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn slow_log_fires_only_over_threshold() {
+        let registry = MetricsRegistry::new();
+        let (slow, lines) = crate::SlowLog::buffered(Duration::from_millis(20));
+        registry.set_slow_log(Some(slow));
+        {
+            let _fast = registry.span("frame.list");
+        }
+        assert!(lines.lock().unwrap().is_empty(), "fast request logged");
+        {
+            let mut span = registry.span("frame.query");
+            span.set_kind("select count(*) from store_sales");
+            span.set_detail("summary_direct");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1, "slow request not logged");
+        let line = &lines[0];
+        assert!(line.starts_with("hydra-slow-request id="), "{line}");
+        assert!(line.contains("op=frame.query"), "{line}");
+        assert!(line.contains("detail=summary_direct"), "{line}");
+        assert!(line.contains("kind=\"select count(*)"), "{line}");
+    }
+}

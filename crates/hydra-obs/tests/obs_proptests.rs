@@ -1,0 +1,113 @@
+//! Property suite for the observability core: histogram merge algebra and
+//! concurrent-record exactness, the two invariants the cross-layer
+//! aggregation (per-shard snapshots merged for exposition) leans on.
+
+use hydra_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(parts: &[HistogramSnapshot]) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::empty();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+proptest! {
+    /// Merging per-shard snapshots in any grouping yields the same
+    /// aggregate: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), with the empty snapshot as
+    /// identity.
+    #[test]
+    fn merge_is_associative_with_identity(
+        a in proptest::collection::vec(0u64..1 << 42, 0..40),
+        b in proptest::collection::vec(0u64..1 << 42, 0..40),
+        c in proptest::collection::vec(0u64..1 << 42, 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut with_identity = HistogramSnapshot::empty();
+        with_identity.merge(&left);
+        prop_assert_eq!(&with_identity, &left);
+    }
+
+    /// A merge of disjoint shards equals one histogram fed everything:
+    /// same buckets, same count/sum, same exact min/max, same quantiles.
+    #[test]
+    fn merge_equals_single_histogram(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..1 << 42, 0..30), 1..6),
+    ) {
+        let all: Vec<u64> = shards.iter().flatten().copied().collect();
+        let combined = snapshot_of(&all);
+        let parts: Vec<_> = shards.iter().map(|s| snapshot_of(s)).collect();
+        let folded = merged(&parts);
+        prop_assert_eq!(&folded, &combined);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(folded.quantile(q), combined.quantile(q));
+        }
+    }
+
+    /// Quantile estimates never leave the observed range and stay within
+    /// the advertised 1/64 relative error of the true order statistic.
+    #[test]
+    fn quantiles_are_bounded_and_accurate(
+        mut values in proptest::collection::vec(1u64..1 << 40, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1] as f64;
+        let est = snap.quantile(q);
+        prop_assert!(est >= snap.min && est <= snap.max);
+        // The estimate is the midpoint of the bucket holding the true
+        // order statistic, so it is within one bucket width (2/64) of it.
+        let err = (est as f64 - truth).abs() / truth;
+        prop_assert!(err <= 2.0 / 64.0, "q={} truth={} est={} err={}", q, truth, est, err);
+    }
+}
+
+/// Hammering one histogram from many threads loses no samples: the bucket
+/// sum, `count`, and `sum` all agree with what was recorded.
+#[test]
+fn concurrent_records_are_exact() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = std::sync::Arc::new(Histogram::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = std::sync::Arc::clone(&h);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * 7_919 + i);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS)
+        .map(|t| (0..PER_THREAD).map(|i| t * 7_919 + i).sum::<u64>())
+        .sum();
+    assert_eq!(snap.sum, expected_sum);
+}

@@ -19,21 +19,28 @@
 //! (1-based), so psql-style clients print a caret at the offending token.
 
 use crate::codec::{
-    read_frontend_message, read_startup_packet, write_backend, BackendMessage, FieldDescription,
-    FrontendMessage, StartupPacket,
+    encode_backend, read_frontend_message, read_startup_packet, write_backend, BackendMessage,
+    FieldDescription, FrontendMessage, StartupPacket,
 };
 use crate::error::{PgResult, PgWireError};
 use crate::sink::PgRowSink;
-use crate::types::{pg_text, pg_type_of, OID_FLOAT8, OID_INT4, OID_INT8};
+use crate::types::{pg_text, pg_type_of, OID_FLOAT8, OID_INT4, OID_INT8, OID_TEXT};
 use hydra_catalog::schema::Schema;
 use hydra_datagen::exec::{ExecError, ExecMode, QueryEngine};
-use hydra_query::exec::{AggFunc, AggregateQuery};
+use hydra_obs::{MetricsRegistry, Span};
+use hydra_query::exec::{AggFunc, AggregateQuery, ExecStrategy};
 use hydra_query::parser::parse_aggregate_query_for_schema;
 use hydra_service::registry::{RegistryEntry, SummaryRegistry};
 use hydra_service::StreamRequest;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Name of the virtual table exposing the server's metrics snapshot
+/// (`SELECT * FROM hydra_metrics`): three columns — `name text`,
+/// `label text` (NULL for unlabeled samples), `value float8`.
+pub(crate) const METRICS_TABLE: &str = "hydra_metrics";
 
 /// Server version advertised in `ParameterStatus`: a PostgreSQL-looking
 /// version string so version-sniffing drivers proceed, suffixed with the
@@ -75,6 +82,12 @@ impl PgError {
             self.message.clone(),
             self.position,
         )
+    }
+
+    /// The error's SQLSTATE code (the `sqlstate` label of
+    /// `hydra_pg_errors_total`).
+    pub(crate) fn code(&self) -> &'static str {
+        self.code
     }
 }
 
@@ -464,6 +477,44 @@ pub(crate) fn run_statement<W: Write>(
     stmt: &str,
     offset: usize,
 ) -> Result<(), StatementFailure> {
+    let metrics = registry.session().metrics();
+    let op = match &statement {
+        Statement::Empty => return Ok(()),
+        Statement::Acknowledge(_) => "pg.ack",
+        Statement::Ping(_) => "pg.ping",
+        Statement::Scan(_) => "pg.scan",
+        Statement::Aggregate => "pg.aggregate",
+    };
+    let mut span = metrics.span(op);
+    span.set_kind(stmt.trim());
+    let result = dispatch_statement(
+        writer, registry, entry, &metrics, statement, stmt, offset, &mut span,
+    );
+    if let Err(failure) = &result {
+        span.set_error();
+        if let StatementFailure::Sql(pg) = failure {
+            metrics
+                .counter_labeled("hydra_pg_errors_total", "sqlstate", pg.code)
+                .inc();
+        }
+    }
+    result
+}
+
+/// The statement dispatch behind [`run_statement`], factored out so the
+/// span wrapper sees every arm's result (the `?`s in here must not skip
+/// the error accounting).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_statement<W: Write>(
+    writer: &mut W,
+    registry: &SummaryRegistry,
+    entry: &RegistryEntry,
+    metrics: &MetricsRegistry,
+    statement: Statement<'_>,
+    stmt: &str,
+    offset: usize,
+    span: &mut Span,
+) -> Result<(), StatementFailure> {
     match statement {
         Statement::Empty => Ok(()),
         Statement::Acknowledge(tag) => {
@@ -500,8 +551,66 @@ pub(crate) fn run_statement<W: Write>(
             )?;
             Ok(())
         }
+        Statement::Scan(table) if table.eq_ignore_ascii_case(METRICS_TABLE) => {
+            run_metrics_table(writer, metrics)
+        }
         Statement::Scan(table) => run_scan(writer, registry, entry, table),
-        Statement::Aggregate => run_aggregate(writer, entry, stmt, offset),
+        Statement::Aggregate => run_aggregate(writer, registry, entry, stmt, offset, span),
+    }
+}
+
+/// `SELECT * FROM hydra_metrics`: the server's metrics snapshot as a
+/// three-column virtual table (`name text`, `label text`, `value float8`)
+/// — the same flat samples the frame protocol's `Stats` request returns.
+fn run_metrics_table<W: Write>(
+    writer: &mut W,
+    metrics: &MetricsRegistry,
+) -> Result<(), StatementFailure> {
+    let fields = vec![
+        FieldDescription {
+            name: "name".to_string(),
+            type_oid: OID_TEXT,
+            type_len: -1,
+        },
+        FieldDescription {
+            name: "label".to_string(),
+            type_oid: OID_TEXT,
+            type_len: -1,
+        },
+        FieldDescription {
+            name: "value".to_string(),
+            type_oid: OID_FLOAT8,
+            type_len: 8,
+        },
+    ];
+    write_backend(writer, &BackendMessage::RowDescription { fields })?;
+    let samples = metrics.snapshot().samples();
+    let count = samples.len();
+    for sample in samples {
+        let values = vec![
+            Some(sample.name.into_bytes()),
+            sample.label.map(|(k, v)| format!("{k}={v}").into_bytes()),
+            Some(float8_text(sample.value).into_bytes()),
+        ];
+        write_backend(writer, &BackendMessage::DataRow { values })?;
+    }
+    write_backend(
+        writer,
+        &BackendMessage::CommandComplete {
+            tag: format!("SELECT {count}"),
+        },
+    )?;
+    Ok(())
+}
+
+/// Text rendering of a float8 sample value: integral values print without
+/// a fraction (`42`, like PostgreSQL's float8 output), everything else in
+/// Rust's shortest-roundtrip form.
+fn float8_text(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
     }
 }
 
@@ -530,10 +639,19 @@ fn run_scan<W: Write>(
     let stats = generator
         .stream_range_into(table, 0..total, &mut sink, rate)
         .map_err(|e| StatementFailure::Sql(PgError::error("XX000", e.to_string())))?;
+    // The datagen layer's account (rows, velocity, governor sleep) is real
+    // even when the client dies mid-stream, so record before the sink check.
+    registry.session().record_generation(&stats);
     let rows = stats.rows;
+    let data_bytes = sink.data_bytes;
     if let Some(e) = sink.error {
         return Err(StatementFailure::Wire(PgWireError::Io(e)));
     }
+    let metrics = registry.session().metrics();
+    metrics
+        .counter("hydra_pg_datarow_bytes_total")
+        .add(data_bytes);
+    metrics.counter("hydra_stream_rows_total").add(rows);
     write_backend(
         writer,
         &BackendMessage::CommandComplete {
@@ -548,18 +666,33 @@ fn run_scan<W: Write>(
 /// grouped answer.
 fn run_aggregate<W: Write>(
     writer: &mut W,
+    registry: &SummaryRegistry,
     entry: &RegistryEntry,
     stmt: &str,
     offset: usize,
+    span: &mut Span,
 ) -> Result<(), StatementFailure> {
     let regeneration = entry.regeneration();
     let schema = &regeneration.schema;
     let query = parse_aggregate_query_for_schema("pgwire", stmt, schema)
         .map_err(|e| StatementFailure::Sql(pg_error_of_exec(&ExecError::Query(e), offset)))?;
     let engine = QueryEngine::over(schema, &regeneration.summary);
+    let started = Instant::now();
     let answer = engine
         .execute_mode(&query, ExecMode::Auto)
         .map_err(|e| StatementFailure::Sql(pg_error_of_exec(&e, offset)))?;
+    let metrics = registry.session().metrics();
+    let strategy = match answer.strategy {
+        ExecStrategy::SummaryDirect => "summary_direct",
+        ExecStrategy::TupleScan => "tuple_scan",
+    };
+    metrics
+        .counter_labeled("hydra_query_total", "strategy", strategy)
+        .inc();
+    metrics
+        .histogram_labeled("hydra_query_seconds", "strategy", strategy)
+        .record_duration(started.elapsed());
+    span.set_detail(strategy);
 
     let mut fields =
         Vec::with_capacity(answer.group_columns.len() + answer.aggregate_columns.len());
@@ -581,6 +714,8 @@ fn run_aggregate<W: Write>(
     }
     write_backend(writer, &BackendMessage::RowDescription { fields })?;
 
+    let mut scratch = Vec::new();
+    let mut datarow_bytes = 0u64;
     for row in &answer.rows {
         let mut values = Vec::with_capacity(row.key.len() + row.aggregates.len());
         for (i, key) in row.key.iter().enumerate() {
@@ -591,8 +726,16 @@ fn run_aggregate<W: Write>(
         for agg in &row.aggregates {
             values.push(pg_text(agg, None).map(String::into_bytes));
         }
-        write_backend(writer, &BackendMessage::DataRow { values })?;
+        scratch.clear();
+        encode_backend(&BackendMessage::DataRow { values }, &mut scratch);
+        datarow_bytes += scratch.len() as u64;
+        writer
+            .write_all(&scratch)
+            .map_err(|e| StatementFailure::Wire(PgWireError::Io(e)))?;
     }
+    metrics
+        .counter("hydra_pg_datarow_bytes_total")
+        .add(datarow_bytes);
     write_backend(
         writer,
         &BackendMessage::CommandComplete {

@@ -23,12 +23,13 @@ use crate::codec::{
 };
 use crate::connection::{
     classify, handshake_messages, resolve_database, run_statement, split_statements, PgError,
-    Statement, StatementFailure,
+    Statement, StatementFailure, METRICS_TABLE,
 };
 use crate::types::pg_text;
 use hydra_catalog::types::DataType;
 use hydra_datagen::generator::DynamicGenerator;
 use hydra_datagen::governor::VelocityGovernor;
+use hydra_obs::{Counter, MetricsRegistry, Span};
 use hydra_reactor::{ConnHandle, ConnHandler, ConnTask, HandlerOutcome, Protocol, TaskPoll};
 use hydra_service::registry::{RegistryEntry, SummaryRegistry};
 use hydra_service::StreamRequest;
@@ -251,13 +252,25 @@ impl ConnTask for PgQueryTask {
             }
             self.ran_any = true;
             match statement {
-                Statement::Scan(table) => {
+                // `hydra_metrics` is a bounded virtual table, not a
+                // generated relation: it takes the non-streaming path
+                // below, where `run_statement` intercepts it.
+                Statement::Scan(table) if !table.eq_ignore_ascii_case(METRICS_TABLE) => {
                     match ScanState::open(&self.registry, &self.entry, table, conn) {
                         Ok(scan) => {
                             self.scan = Some(scan);
                             return TaskPoll::Yield;
                         }
-                        Err(e) => return self.fail(conn, e),
+                        Err(e) => {
+                            // The threaded path spans failed scans through
+                            // `run_statement`; account them here too.
+                            let metrics = self.registry.session().metrics();
+                            metrics.span("pg.scan").set_error();
+                            metrics
+                                .counter_labeled("hydra_pg_errors_total", "sqlstate", e.code())
+                                .inc();
+                            return self.fail(conn, e);
+                        }
                     }
                 }
                 statement => {
@@ -328,6 +341,11 @@ struct ScanState {
     end: u64,
     governor: VelocityGovernor,
     column_types: Vec<DataType>,
+    /// The scan's tracing span, open for the life of the stream.
+    span: Option<Span>,
+    metrics: Arc<MetricsRegistry>,
+    datarow_bytes: Arc<Counter>,
+    stream_rows: Arc<Counter>,
 }
 
 impl ScanState {
@@ -372,6 +390,11 @@ impl ScanState {
             Some(rate) => VelocityGovernor::with_rate(rate),
             None => VelocityGovernor::unthrottled(),
         };
+        let metrics = registry.session().metrics();
+        let mut span = metrics.span("pg.scan");
+        span.set_kind(format!("select * from {table}"));
+        let datarow_bytes = metrics.counter("hydra_pg_datarow_bytes_total");
+        let stream_rows = metrics.counter("hydra_stream_rows_total");
         Ok(Box::new(ScanState {
             generator,
             table: table.to_string(),
@@ -379,6 +402,10 @@ impl ScanState {
             end: total,
             governor,
             column_types,
+            span: Some(span),
+            metrics,
+            datarow_bytes,
+            stream_rows,
         }))
     }
 
@@ -403,6 +430,18 @@ impl ScanState {
                 },
             );
             conn.push(bytes);
+            self.metrics
+                .counter_labeled("hydra_datagen_rows_total", "table", &self.table)
+                .add(self.governor.emitted());
+            self.metrics
+                .gauge("hydra_datagen_rows_per_sec")
+                .set(self.governor.achieved_rate() as i64);
+            self.metrics
+                .counter("hydra_governor_sleep_seconds_total")
+                .add(u64::try_from(self.governor.slept().as_nanos()).unwrap_or(u64::MAX));
+            // The span closes at the completion tag, so its duration is
+            // the stream's (governor sleeps included).
+            self.span.take();
             return ScanPoll::Finished;
         }
         let goal = SCAN_PULSE_ROWS.min(remaining);
@@ -420,7 +459,17 @@ impl ScanState {
             .stream_range(&self.table, self.cursor..self.cursor + goal)
         {
             Ok(tuples) => tuples,
-            Err(e) => return ScanPoll::Failed(PgError::error("XX000", e.to_string())),
+            Err(e) => {
+                let failure = PgError::error("XX000", e.to_string());
+                if let Some(span) = self.span.as_mut() {
+                    span.set_error();
+                }
+                self.span.take();
+                self.metrics
+                    .counter_labeled("hydra_pg_errors_total", "sqlstate", failure.code())
+                    .inc();
+                return ScanPoll::Failed(failure);
+            }
         };
         let mut bytes = Vec::new();
         for row in tuples {
@@ -431,6 +480,8 @@ impl ScanState {
                 .collect();
             emit(&mut bytes, &BackendMessage::DataRow { values });
         }
+        self.datarow_bytes.add(bytes.len() as u64);
+        self.stream_rows.add(goal);
         conn.push(bytes);
         self.cursor += goal;
         self.governor.note(goal);

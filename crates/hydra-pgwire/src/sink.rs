@@ -25,6 +25,9 @@ pub struct PgRowSink<'a, W: Write> {
     column_types: Vec<DataType>,
     /// Tuples accepted so far (feeds the `SELECT n` completion tag).
     pub rows: u64,
+    /// Encoded `DataRow` bytes written so far (feeds
+    /// `hydra_pg_datarow_bytes_total`).
+    pub data_bytes: u64,
     /// First write error; once set the sink reports `aborted()` and drops
     /// all further tuples.
     pub error: Option<std::io::Error>,
@@ -42,6 +45,7 @@ impl<'a, W: Write> PgRowSink<'a, W> {
             scratch: Vec::new(),
             column_types: Vec::new(),
             rows: 0,
+            data_bytes: 0,
             error: None,
         }
     }
@@ -98,6 +102,10 @@ impl<W: Write> TupleSink for PgRowSink<'_, W> {
             .map(|(i, v)| pg_text(v, self.column_types.get(i)).map(String::into_bytes))
             .collect();
         self.emit(&BackendMessage::DataRow { values });
+        if self.error.is_none() {
+            // The scratch buffer still holds this row's encoding.
+            self.data_bytes += self.scratch.len() as u64;
+        }
         self.rows += 1;
         self.since_flush += 1;
         if self.since_flush >= self.batch_rows {

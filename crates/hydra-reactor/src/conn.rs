@@ -11,6 +11,7 @@
 
 use crate::wake::Waker;
 use crate::ReactorMetrics;
+use hydra_obs::{Counter, Gauge};
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::TcpStream;
@@ -36,6 +37,16 @@ pub(crate) enum FlushStatus {
     Closed,
 }
 
+/// The connection-level `hydra-obs` handles, resolved once per reactor
+/// and cloned per connection.
+#[derive(Debug, Clone)]
+pub(crate) struct ConnObs {
+    /// Bytes accepted by the kernel on any connection's socket.
+    pub bytes_out: Arc<Counter>,
+    /// High-water mark of any connection's write queue.
+    pub queue_peak: Arc<Gauge>,
+}
+
 /// State shared between the reactor thread and at most one in-flight task.
 #[derive(Debug)]
 pub(crate) struct ConnShared {
@@ -50,6 +61,7 @@ pub(crate) struct ConnShared {
     dirty_list: Arc<Mutex<Vec<u64>>>,
     waker: Waker,
     metrics: Arc<ReactorMetrics>,
+    obs: ConnObs,
 }
 
 impl ConnShared {
@@ -59,6 +71,7 @@ impl ConnShared {
         dirty_list: Arc<Mutex<Vec<u64>>>,
         waker: Waker,
         metrics: Arc<ReactorMetrics>,
+        obs: ConnObs,
     ) -> Arc<ConnShared> {
         Arc::new(ConnShared {
             token,
@@ -70,6 +83,7 @@ impl ConnShared {
             dirty_list,
             waker,
             metrics,
+            obs,
         })
     }
 
@@ -104,6 +118,7 @@ impl ConnShared {
             total
         };
         self.metrics.note_queued_bytes(total);
+        self.obs.queue_peak.record_max(total as i64);
         if notify && !self.dirty.swap(true, Ordering::SeqCst) {
             self.dirty_list
                 .lock()
@@ -136,6 +151,7 @@ impl ConnShared {
                 Ok(0) => return FlushStatus::Closed,
                 Ok(n) => {
                     wrote_any = true;
+                    self.obs.bytes_out.add(n as u64);
                     q.head += n;
                     self.queued.fetch_sub(n, Ordering::SeqCst);
                     if q.head >= front_len {

@@ -32,6 +32,7 @@
 
 mod conn;
 mod gate;
+mod obs;
 mod pool;
 mod reactor;
 mod signal;

@@ -19,7 +19,8 @@
 //! loop (pool, timer wheel, write queues), which is what keeps one
 //! stalled peer from costing anyone else a microsecond.
 
-use crate::conn::{ConnShared, FlushStatus};
+use crate::conn::{ConnObs, ConnShared, FlushStatus};
+use crate::obs::ReactorObs;
 use crate::pool::{Completion, TaskResult, WorkerPool};
 use crate::signal::ShutdownSignal;
 use crate::sys::{Poller, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
@@ -50,6 +51,7 @@ pub struct ReactorBuilder {
     config: ReactorConfig,
     listeners: Vec<(TcpListener, Arc<dyn Protocol>)>,
     addrs: Vec<SocketAddr>,
+    observe: Option<Arc<hydra_obs::MetricsRegistry>>,
 }
 
 impl Default for ReactorBuilder {
@@ -65,7 +67,17 @@ impl ReactorBuilder {
             config: ReactorConfig::default(),
             listeners: Vec::new(),
             addrs: Vec::new(),
+            observe: None,
         }
+    }
+
+    /// Records reactor-layer metrics (poll-wait and dispatch latency,
+    /// ready-batch sizes, accepts/closes/evictions, byte counters, write
+    /// queue peaks) into `registry`.  Without this the reactor records
+    /// into a private registry nobody scrapes.
+    pub fn observe(mut self, registry: Arc<hydra_obs::MetricsRegistry>) -> ReactorBuilder {
+        self.observe = Some(registry);
+        self
     }
 
     /// Replaces the whole configuration.
@@ -136,6 +148,8 @@ impl ReactorBuilder {
             });
         }
         let metrics: SharedMetrics = Arc::new(ReactorMetrics::default());
+        let obs_registry = self.observe.unwrap_or_default();
+        let obs = ReactorObs::resolve(&obs_registry);
         let pool = WorkerPool::new(self.config.effective_workers(), wake.waker());
         let low_water = (self.config.write_queue_cap / 2).max(1);
         let shutdown_grace = self.config.shutdown_grace;
@@ -151,6 +165,7 @@ impl ReactorBuilder {
             config: self.config,
             low_water,
             metrics: Arc::clone(&metrics),
+            obs,
             signal: signal.clone(),
             next_token: FIRST_CONN_TOKEN,
             accept_paused: false,
@@ -281,6 +296,7 @@ struct Inner {
     config: ReactorConfig,
     low_water: usize,
     metrics: SharedMetrics,
+    obs: ReactorObs,
     signal: ShutdownSignal,
     next_token: u64,
     accept_paused: bool,
@@ -303,7 +319,13 @@ impl Inner {
             }
             let timeout = self.wheel.next_timeout(Instant::now());
             events.clear();
+            let wait_started = Instant::now();
             self.poller.wait(&mut events, timeout)?;
+            let dispatch_started = Instant::now();
+            self.obs
+                .poll_wait
+                .record_duration(dispatch_started - wait_started);
+            self.obs.ready.record(events.len() as u64);
 
             for &(token, ev) in &events {
                 if token == TOKEN_WAKE {
@@ -329,9 +351,14 @@ impl Inner {
 
             due.clear();
             self.wheel.expire(Instant::now(), &mut due);
+            self.obs.timer_cascades.add(due.len() as u64);
             for token in due.drain(..) {
                 self.handle_timer(token);
             }
+
+            self.obs
+                .dispatch
+                .record_duration(dispatch_started.elapsed());
         }
     }
 
@@ -379,6 +406,10 @@ impl Inner {
             Arc::clone(&self.dirty),
             self.wake.waker(),
             Arc::clone(&self.metrics),
+            ConnObs {
+                bytes_out: Arc::clone(&self.obs.bytes_out),
+                queue_peak: Arc::clone(&self.obs.queue_peak),
+            },
         );
         let interest = EPOLLIN | EPOLLRDHUP;
         if self
@@ -390,6 +421,8 @@ impl Inner {
         }
         let handler = self.listeners[idx].protocol.connect();
         self.metrics.note_accept();
+        self.obs.accepts.inc();
+        self.obs.active.inc();
         self.conns.insert(
             token,
             Conn {
@@ -470,6 +503,7 @@ impl Inner {
                 }
                 Ok(n) => {
                     conn.read_buf.truncate(old + n);
+                    self.obs.bytes_in.add(n as u64);
                     if conn.read_buf.len() >= self.config.read_buffer_cap {
                         conn.read_paused = true;
                         break;
@@ -639,6 +673,7 @@ impl Inner {
         self.poller.delete(conn.stream.as_raw_fd());
         if stalled {
             self.metrics.note_stall();
+            self.obs.evictions.inc();
         }
         match conn.state {
             // A parked or sleeping task dies with its connection.
@@ -648,6 +683,8 @@ impl Inner {
             ConnState::Running | ConnState::Idle => {}
         }
         self.metrics.note_close();
+        self.obs.closes.inc();
+        self.obs.active.dec();
         drop(conn); // closes the fd
         if self.accept_paused && self.conns.len() < self.config.max_connections {
             self.resume_accepting();
@@ -699,6 +736,7 @@ impl Inner {
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.state = ConnState::Parked(task);
                 }
+                self.obs.parks.inc();
                 self.arm_stall_tick();
                 // The queue may already have drained; this resumes
                 // immediately in that case.

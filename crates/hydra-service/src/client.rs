@@ -166,6 +166,17 @@ impl HydraClient {
         Ok((rows, stats))
     }
 
+    /// Fetches a snapshot of the server's metrics registry as flat samples
+    /// (the frame-protocol twin of `GET /metrics`; histograms arrive
+    /// pre-expanded into `_count`/`_sum`/`_p50`/`_p90`/`_p99`/`_max`).
+    pub fn stats(&mut self) -> ServiceResult<Vec<crate::protocol::MetricSample>> {
+        self.send(&Request::Stats)?;
+        match self.receive()? {
+            Response::Stats { samples } => Ok(samples),
+            other => Self::unexpected(other),
+        }
+    }
+
     /// Asks the server to shut down cleanly.
     pub fn shutdown(&mut self) -> ServiceResult<()> {
         self.send(&Request::Shutdown)?;

@@ -40,16 +40,17 @@
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    decode_frame, encode_frame, FrameDecoded, Request, Response, StreamRequest, StreamStart,
-    StreamStats,
+    decode_frame, encode_frame, FrameDecoded, MetricSample, Request, Response, StreamRequest,
+    StreamStart, StreamStats,
 };
 use crate::registry::SummaryRegistry;
 use hydra_datagen::generator::DynamicGenerator;
 use hydra_datagen::governor::VelocityGovernor;
 use hydra_engine::row::Row;
+use hydra_obs::{Counter, MetricsRegistry, Span};
 use hydra_reactor::{ConnHandle, ConnHandler, ConnTask, HandlerOutcome, Protocol, TaskPoll};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hydra_reactor::ShutdownSignal;
 
@@ -100,12 +101,42 @@ pub(crate) fn respond(registry: &SummaryRegistry, request: Request) -> Response 
             // request.
             let regeneration = entry.regeneration();
             let engine = QueryEngine::over(&regeneration.schema, &regeneration.summary);
+            let started = Instant::now();
             match engine.query_mode(&request.sql, mode) {
-                Ok(answer) => Response::QueryResult(answer),
+                Ok(answer) => {
+                    let metrics = registry.session().metrics();
+                    let strategy = strategy_label(answer.strategy);
+                    metrics
+                        .counter_labeled("hydra_query_total", "strategy", strategy)
+                        .inc();
+                    metrics
+                        .histogram_labeled("hydra_query_seconds", "strategy", strategy)
+                        .record_duration(started.elapsed());
+                    Response::QueryResult(answer)
+                }
                 Err(e) => Response::Error {
                     message: e.to_string(),
                 },
             }
+        }
+        Request::Stats => {
+            let samples = registry
+                .session()
+                .metrics()
+                .snapshot()
+                .samples()
+                .into_iter()
+                .map(|s| {
+                    let (label_key, label_value) = s.label.unwrap_or_default();
+                    MetricSample {
+                        name: s.name,
+                        label_key,
+                        label_value,
+                        value: s.value,
+                    }
+                })
+                .collect();
+            Response::Stats { samples }
         }
         Request::Scenario { name, spec } => match registry.scenario(&name, &spec) {
             Ok(report) => Response::ScenarioOutcome(report),
@@ -119,19 +150,72 @@ pub(crate) fn respond(registry: &SummaryRegistry, request: Request) -> Response 
     }
 }
 
+/// The `strategy` label value of a query answer's execution strategy.
+pub(crate) fn strategy_label(strategy: hydra_query::exec::ExecStrategy) -> &'static str {
+    match strategy {
+        hydra_query::exec::ExecStrategy::SummaryDirect => "summary_direct",
+        hydra_query::exec::ExecStrategy::TupleScan => "tuple_scan",
+    }
+}
+
+/// Pre-resolved service-layer metric handles (one lookup at listener
+/// construction, relaxed atomics on the hot path), cloned per connection
+/// and per task.
+#[derive(Clone)]
+pub(crate) struct FrameObs {
+    /// Response-frame bytes queued for the wire (`hydra_frame_bytes_total`).
+    frame_bytes: Arc<Counter>,
+    /// Tuples pushed as stream batches (`hydra_stream_rows_total`).
+    stream_rows: Arc<Counter>,
+    /// The registry itself, for the per-table datagen families a stream
+    /// settles once, at completion (cold lookups are fine off the hot path).
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl FrameObs {
+    pub(crate) fn resolve(metrics: &Arc<MetricsRegistry>) -> FrameObs {
+        FrameObs {
+            frame_bytes: metrics.counter("hydra_frame_bytes_total"),
+            stream_rows: metrics.counter("hydra_stream_rows_total"),
+            metrics: Arc::clone(metrics),
+        }
+    }
+
+    /// Settles a completed stream's datagen account — the reactor path's
+    /// equivalent of `Hydra::record_generation` (the threaded front-ends
+    /// stream through the session and record there).
+    pub(crate) fn record_stream(&self, table: &str, governor: &VelocityGovernor) {
+        self.metrics
+            .counter_labeled("hydra_datagen_rows_total", "table", table)
+            .add(governor.emitted());
+        self.metrics
+            .gauge("hydra_datagen_rows_per_sec")
+            .set(governor.achieved_rate() as i64);
+        self.metrics
+            .counter("hydra_governor_sleep_seconds_total")
+            .add(u64::try_from(governor.slept().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
 /// The frame protocol's listener-level factory: one per frame listener,
 /// holding the shared registry and the server's shutdown signal (a
 /// `Shutdown` frame trips it for every front-end on the reactor).
 pub struct FrameProtocol {
     registry: Arc<SummaryRegistry>,
     signal: ShutdownSignal,
+    obs: FrameObs,
 }
 
 impl FrameProtocol {
     /// A protocol serving `registry`, tripping `signal` on a client
     /// `Shutdown` request.
     pub fn new(registry: Arc<SummaryRegistry>, signal: ShutdownSignal) -> FrameProtocol {
-        FrameProtocol { registry, signal }
+        let obs = FrameObs::resolve(&registry.session().metrics());
+        FrameProtocol {
+            registry,
+            signal,
+            obs,
+        }
     }
 }
 
@@ -140,6 +224,7 @@ impl Protocol for FrameProtocol {
         Box::new(FrameHandler {
             registry: Arc::clone(&self.registry),
             signal: self.signal.clone(),
+            obs: self.obs.clone(),
         })
     }
 }
@@ -149,6 +234,7 @@ impl Protocol for FrameProtocol {
 struct FrameHandler {
     registry: Arc<SummaryRegistry>,
     signal: ShutdownSignal,
+    obs: FrameObs,
 }
 
 impl ConnHandler for FrameHandler {
@@ -160,6 +246,8 @@ impl ConnHandler for FrameHandler {
                 HandlerOutcome::Task(Box::new(FrameTask {
                     registry: Arc::clone(&self.registry),
                     signal: self.signal.clone(),
+                    obs: self.obs.clone(),
+                    span: None,
                     state: TaskState::Init { payload },
                 })),
             ),
@@ -168,6 +256,7 @@ impl ConnHandler for FrameHandler {
                 if let Ok(frame) = encode_frame(&Response::Error {
                     message: e.to_string(),
                 }) {
+                    self.obs.frame_bytes.add(frame.len() as u64);
                     out.extend_from_slice(&frame);
                 }
                 (buf.len(), HandlerOutcome::Close)
@@ -180,6 +269,10 @@ impl ConnHandler for FrameHandler {
 struct FrameTask {
     registry: Arc<SummaryRegistry>,
     signal: ShutdownSignal,
+    obs: FrameObs,
+    /// The request's tracing span, held for the lifetime of a stream (a
+    /// one-shot request's span lives and dies inside [`FrameTask::begin`]).
+    span: Option<Span>,
     state: TaskState,
 }
 
@@ -205,13 +298,24 @@ impl ConnTask for FrameTask {
                 let payload = std::mem::take(payload);
                 self.begin(payload, conn)
             }
-            TaskState::Stream(stream) => match stream.pump(conn) {
-                Ok(poll) => poll,
+            TaskState::Stream(stream) => match stream.pump(conn, &self.obs) {
+                Ok(poll) => {
+                    if matches!(poll, TaskPoll::Done | TaskPoll::DoneClose) {
+                        // Close the stream's span at the trailer, not at
+                        // task drop, so its duration is the stream's.
+                        self.span.take();
+                    }
+                    poll
+                }
                 Err(e) => {
                     // Mirrors the threaded server: a stream that dies after
                     // its header (frame-cap violation, generation failure)
                     // reports an Error frame and keeps the connection.
-                    push_error(conn, e.to_string());
+                    if let Some(span) = self.span.as_mut() {
+                        span.set_error();
+                    }
+                    self.span.take();
+                    push_error(conn, &self.obs, e.to_string());
                     TaskPoll::Done
                 }
             },
@@ -223,16 +327,28 @@ impl FrameTask {
     /// First poll: deserialize the request and either answer it in one
     /// shot or set up the streaming state machine.
     fn begin(&mut self, payload: Vec<u8>, conn: &ConnHandle) -> TaskPoll {
+        let metrics = self.registry.session().metrics();
         let request = match parse_request(&payload) {
             Ok(request) => request,
             Err(e) => {
                 // Malformed *payload* in a well-framed message: answered,
                 // not fatal — framing is still in sync (same contract as
                 // the threaded server).
-                push_error(conn, e.to_string());
+                metrics.span("frame.invalid").set_error();
+                push_error(conn, &self.obs, e.to_string());
                 return TaskPoll::Done;
             }
         };
+        let mut span = metrics.span(op_name(&request));
+        match &request {
+            Request::Publish { name, .. }
+            | Request::DeltaPublish { name, .. }
+            | Request::Describe { name }
+            | Request::Scenario { name, .. } => span.set_kind(name.clone()),
+            Request::Query(q) => span.set_kind(q.sql.clone()),
+            Request::Stream(s) => span.set_kind(format!("{}.{}", s.name, s.table)),
+            Request::List | Request::Stats | Request::Shutdown => {}
+        }
         match request {
             Request::Shutdown => {
                 // Trigger *before* queueing the reply: the reactor thread
@@ -240,31 +356,47 @@ impl FrameTask {
                 // the signal tripped the moment it reads `ShuttingDown`.
                 // The shutdown grace period lets this reply drain.
                 self.signal.trigger();
-                push(conn, &Response::ShuttingDown);
+                push(conn, &self.obs, &Response::ShuttingDown);
                 TaskPoll::DoneClose
             }
             Request::Stream(request) => match StreamState::open(&self.registry, &request) {
                 Ok((header, stream)) => {
+                    self.obs.frame_bytes.add(header.len() as u64);
                     conn.push(header);
+                    // The span now spans the whole stream: it closes (and
+                    // records) at the trailer or on a mid-stream error.
+                    self.span = Some(span);
                     self.state = TaskState::Stream(stream);
                     TaskPoll::Yield
                 }
                 Err(e) => {
                     // Header-stage failure (unknown summary/table, bad
                     // rate): the connection stays usable.
-                    push_error(conn, e.to_string());
+                    span.set_error();
+                    push_error(conn, &self.obs, e.to_string());
                     TaskPoll::Done
                 }
             },
             Request::Query(request) => {
                 let response = respond(&self.registry, Request::Query(request));
+                match &response {
+                    Response::QueryResult(answer) => {
+                        span.set_detail(strategy_label(answer.strategy));
+                    }
+                    _ => span.set_error(),
+                }
                 match encode_frame(&response) {
-                    Ok(frame) => conn.push(frame),
+                    Ok(frame) => {
+                        self.obs.frame_bytes.add(frame.len() as u64);
+                        conn.push(frame);
+                    }
                     Err(e) => {
                         // A pathological answer can exceed the frame cap;
                         // nothing was pushed, so the connection is in sync.
+                        span.set_error();
                         push_error(
                             conn,
+                            &self.obs,
                             format!(
                                 "query answer could not be framed: {e}; \
                                  refine the GROUP BY or stream the relation instead"
@@ -276,18 +408,40 @@ impl FrameTask {
             }
             other => {
                 let response = respond(&self.registry, other);
+                if matches!(response, Response::Error { .. }) {
+                    span.set_error();
+                }
                 match encode_frame(&response) {
                     Ok(frame) => {
+                        self.obs.frame_bytes.add(frame.len() as u64);
                         conn.push(frame);
                         TaskPoll::Done
                     }
                     // An unframeable response outside Query closed the
                     // threaded connection too (its write_frame error
                     // propagated); keep that contract.
-                    Err(_) => TaskPoll::DoneClose,
+                    Err(_) => {
+                        span.set_error();
+                        TaskPoll::DoneClose
+                    }
                 }
             }
         }
+    }
+}
+
+/// The span operation label of a request.
+fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Publish { .. } => "frame.publish",
+        Request::DeltaPublish { .. } => "frame.delta_publish",
+        Request::List => "frame.list",
+        Request::Describe { .. } => "frame.describe",
+        Request::Stream(_) => "frame.stream",
+        Request::Query(_) => "frame.query",
+        Request::Scenario { .. } => "frame.scenario",
+        Request::Stats => "frame.stats",
+        Request::Shutdown => "frame.shutdown",
     }
 }
 
@@ -378,7 +532,7 @@ impl StreamState {
 
     /// One poll slice: generate up to a bounded, rate-budgeted chunk of
     /// rows, pushing full batches as they complete.
-    fn pump(&mut self, conn: &ConnHandle) -> Result<TaskPoll, ServiceError> {
+    fn pump(&mut self, conn: &ConnHandle, obs: &FrameObs) -> Result<TaskPoll, ServiceError> {
         if conn.over_high_water() {
             return Ok(TaskPoll::AwaitDrain);
         }
@@ -390,13 +544,15 @@ impl StreamState {
             if let Some(wait) = self.governor.delay_for(0) {
                 return Ok(TaskPoll::Sleep(wait));
             }
-            self.flush_partial(conn)?;
+            self.flush_partial(conn, obs)?;
             let trailer = encode_frame(&Response::StreamEnd(StreamStats {
                 rows: self.governor.emitted(),
                 elapsed_micros: self.governor.elapsed().as_micros() as u64,
                 target_rows_per_sec: self.governor.target_rate(),
             }))?;
+            obs.frame_bytes.add(trailer.len() as u64);
             conn.push(trailer);
+            obs.record_stream(&self.table, &self.governor);
             return Ok(TaskPoll::Done);
         }
         // Emit in pulses of up to one batch (bounded by the slice cap): a
@@ -428,7 +584,7 @@ impl StreamState {
             if self.row_buf.len() >= self.batch_rows {
                 let rows =
                     std::mem::replace(&mut self.row_buf, Vec::with_capacity(self.batch_rows));
-                emit_split(conn, rows)?;
+                emit_split(conn, obs, rows)?;
             }
         }
         self.cursor += goal;
@@ -437,25 +593,28 @@ impl StreamState {
     }
 
     /// Pushes the trailing partial batch, if any.
-    fn flush_partial(&mut self, conn: &ConnHandle) -> Result<(), ServiceError> {
+    fn flush_partial(&mut self, conn: &ConnHandle, obs: &FrameObs) -> Result<(), ServiceError> {
         if self.row_buf.is_empty() {
             return Ok(());
         }
         let rows = std::mem::take(&mut self.row_buf);
-        emit_split(conn, rows)
+        emit_split(conn, obs, rows)
     }
 }
 
 /// Pushes one batch frame, splitting the batch in half (recursively) when
 /// its JSON encoding exceeds the frame cap — the same degradation the
 /// blocking [`crate::wire::FrameSink`] performs, byte for byte.
-fn emit_split(conn: &ConnHandle, rows: Vec<Row>) -> Result<(), ServiceError> {
+fn emit_split(conn: &ConnHandle, obs: &FrameObs, rows: Vec<Row>) -> Result<(), ServiceError> {
     if rows.is_empty() {
         return Ok(());
     }
+    let batch_len = rows.len() as u64;
     let batch = Response::Batch { rows };
     match encode_frame(&batch) {
         Ok(frame) => {
+            obs.frame_bytes.add(frame.len() as u64);
+            obs.stream_rows.add(batch_len);
             conn.push(frame);
             Ok(())
         }
@@ -470,8 +629,8 @@ fn emit_split(conn: &ConnHandle, rows: Vec<Row>) -> Result<(), ServiceError> {
             }
             let mut first = rows;
             let second = first.split_off(first.len() / 2);
-            emit_split(conn, first)?;
-            emit_split(conn, second)
+            emit_split(conn, obs, first)?;
+            emit_split(conn, obs, second)
         }
         Err(e) => Err(e),
     }
@@ -488,13 +647,14 @@ fn parse_request(payload: &[u8]) -> Result<Request, ServiceError> {
 /// Encodes and pushes a response; encode failures for these small control
 /// frames cannot happen (and are dropped if they somehow do — the peer
 /// will see the connection close instead).
-fn push(conn: &ConnHandle, response: &Response) {
+fn push(conn: &ConnHandle, obs: &FrameObs, response: &Response) {
     if let Ok(frame) = encode_frame(response) {
+        obs.frame_bytes.add(frame.len() as u64);
         conn.push(frame);
     }
 }
 
 /// Pushes an `Error` response frame.
-fn push_error(conn: &ConnHandle, message: String) {
-    push(conn, &Response::Error { message });
+fn push_error(conn: &ConnHandle, obs: &FrameObs, message: String) {
+    push(conn, obs, &Response::Error { message });
 }

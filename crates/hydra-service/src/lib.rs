@@ -59,6 +59,7 @@
 pub mod client;
 pub mod error;
 pub mod frame;
+pub mod metrics_http;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -67,7 +68,10 @@ pub mod wire;
 pub use client::HydraClient;
 pub use error::{ServiceError, ServiceResult};
 pub use frame::FrameProtocol;
-pub use protocol::{DeltaPublished, QueryRequest, Request, Response, ScenarioSpec, StreamRequest};
+pub use metrics_http::MetricsProtocol;
+pub use protocol::{
+    DeltaPublished, MetricSample, QueryRequest, Request, Response, ScenarioSpec, StreamRequest,
+};
 pub use registry::{RegistryEntry, SummaryRegistry};
 pub use server::{
     serve, serve_shared, serve_threaded, serve_with_options, serve_with_signal, ReactorConfig,

@@ -179,6 +179,9 @@ pub enum Request {
         /// The distortion to apply.
         spec: ScenarioSpec,
     },
+    /// Snapshot the server's metrics registry (counters, gauges and
+    /// histogram quantiles) as flat samples.
+    Stats,
     /// Stop accepting connections and shut the server down cleanly.
     Shutdown,
 }
@@ -343,6 +346,12 @@ pub enum Response {
     ScenarioOutcome(ScenarioReport),
     /// The answer to a `Query` request (rows, strategy and cost counters).
     QueryResult(QueryAnswer),
+    /// A metrics snapshot: every counter, gauge and histogram-derived
+    /// quantile as one flat sample list.
+    Stats {
+        /// The snapshot's samples, in deterministic (family, label) order.
+        samples: Vec<MetricSample>,
+    },
     /// The server acknowledged a shutdown request and is stopping.
     ShuttingDown,
     /// The request failed; the connection stays usable.
@@ -350,6 +359,21 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
+}
+
+/// One flattened metric sample of a `Stats` response.  Histograms expand
+/// into `_count` / `_sum` / `_p50` / `_p90` / `_p99` / `_max` suffixed
+/// samples, so every value fits in one `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Sample name (family name, possibly suffixed for histogram facets).
+    pub name: String,
+    /// Label key, or the empty string for an unlabeled sample.
+    pub label_key: String,
+    /// Label value, or the empty string for an unlabeled sample.
+    pub label_value: String,
+    /// Sample value (seconds for `_seconds` families, else raw units).
+    pub value: f64,
 }
 
 /// Outcome of a `DeltaPublish`: the bumped registry description, the

@@ -301,6 +301,11 @@ impl SummaryRegistry {
             entries.insert(name.to_string(), Arc::clone(&entry));
             entry
         };
+        let metrics = self.session.metrics();
+        metrics.counter("hydra_registry_publishes_total").inc();
+        metrics
+            .gauge_labeled("hydra_registry_version", "name", name)
+            .set(i64::from(entry.version));
         self.persist_entry(&entry)?;
         Ok(entry)
     }
@@ -378,6 +383,30 @@ impl SummaryRegistry {
                             "summary `{name}` disappeared while the delta solved"
                         )))
                     }
+                }
+            }
+            let metrics = self.session.metrics();
+            metrics.counter("hydra_registry_delta_merges_total").inc();
+            metrics
+                .gauge_labeled("hydra_registry_version", "name", name)
+                .set(i64::from(entry.version));
+            let (added, removed, resized) =
+                outcome
+                    .diff
+                    .relations
+                    .iter()
+                    .fold((0u64, 0u64, 0u64), |(a, rm, rs), r| {
+                        (
+                            a + r.blocks_added as u64,
+                            rm + r.blocks_removed as u64,
+                            rs + r.blocks_resized as u64,
+                        )
+                    });
+            for (kind, churn) in [("added", added), ("removed", removed), ("resized", resized)] {
+                if churn > 0 {
+                    metrics
+                        .counter_labeled("hydra_registry_block_churn_total", "kind", kind)
+                        .add(churn);
                 }
             }
             self.persist_entry(&entry)?;

@@ -30,6 +30,7 @@
 
 use hydra_core::session::Hydra;
 use hydra_core::transfer::TransferPackage;
+use hydra_obs::MetricsRegistry;
 use hydra_pgwire::{PgClient, PgProtocol};
 use hydra_service::protocol::SummaryInfo;
 use hydra_service::registry::{RegistryEntry, SummaryRegistry};
@@ -77,7 +78,7 @@ impl HydraTester {
     pub fn with_session(session: Hydra) -> Self {
         let registry = Arc::new(SummaryRegistry::in_memory(session.clone()));
         let signal = ShutdownSignal::new();
-        let mut builder = ReactorBuilder::new();
+        let mut builder = ReactorBuilder::new().observe(session.metrics());
         let frame_addr = builder
             .listen(
                 "127.0.0.1:0",
@@ -167,6 +168,13 @@ impl HydraTester {
             .metrics()
     }
 
+    /// The session's observability registry, shared by the reactor and both
+    /// protocol layers — everything a production `/metrics` scrape would
+    /// see, queryable in-process.
+    pub fn obs(&self) -> Arc<MetricsRegistry> {
+        self.session.metrics()
+    }
+
     /// A connected frame-protocol client.
     pub fn client(&self) -> HydraClient {
         HydraClient::connect(self.frame_addr()).expect("connect frame client")
@@ -202,6 +210,12 @@ impl Drop for HydraTester {
             eprintln!("hydra-tester registry snapshot at panic:");
             for info in self.snapshot() {
                 eprintln!("  {info:?}");
+            }
+            eprintln!("hydra-tester metrics snapshot at panic:");
+            for line in self.obs().snapshot().render_prometheus().lines() {
+                if !line.starts_with('#') {
+                    eprintln!("  {line}");
+                }
             }
         }
         self.signal.trigger();

@@ -1,0 +1,170 @@
+//! End-to-end observability tests through the tester double: the frame
+//! `Stats` surface, the pg `hydra_metrics` virtual table, and the
+//! slow-request log — all fed by one shared registry across the reactor
+//! and both protocol front-ends.
+
+use hydra_core::session::Hydra;
+use hydra_obs::SlowLog;
+use hydra_service::protocol::StreamRequest;
+use hydra_tester::HydraTester;
+use std::time::Duration;
+
+/// Frame `Stats` returns the same registry a `/metrics` scrape renders,
+/// and the op counters reflect the requests this very client sent.
+#[test]
+fn frame_stats_reports_request_counters() {
+    let tester = HydraTester::retail();
+    let mut client = tester.client();
+    client.list().expect("list");
+    client.list().expect("list");
+    let described = client.describe("retail").expect("describe");
+    assert_eq!(described.info.name, "retail");
+
+    let samples = client.stats().expect("stats");
+    let value = |name: &str, key: &str, val: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.label_key == key && s.label_value == val)
+            .map(|s| s.value)
+    };
+    assert_eq!(
+        value("hydra_requests_total", "op", "frame.list"),
+        Some(2.0),
+        "two lists were sent"
+    );
+    assert_eq!(
+        value("hydra_requests_total", "op", "frame.describe"),
+        Some(1.0)
+    );
+    // The Stats request itself is spanned, but its own span closes only
+    // after the response is encoded — so it may or may not appear; the
+    // describe latency histogram must.
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "hydra_request_seconds_count" && s.label_value == "frame.describe"),
+        "describe latency histogram missing from {samples:?}"
+    );
+    // Every frame response was counted into the byte totals.
+    let frame_bytes = samples
+        .iter()
+        .find(|s| s.name == "hydra_frame_bytes_total")
+        .map(|s| s.value)
+        .unwrap_or_default();
+    assert!(frame_bytes > 0.0, "frame bytes counter never moved");
+}
+
+/// `SELECT * FROM hydra_metrics` exposes the same registry over pg wire.
+#[test]
+fn pg_virtual_table_serves_metrics() {
+    let tester = HydraTester::retail();
+    let mut pg = tester.pg(None);
+    let count = pg.query("select count(*) from store_sales").expect("count");
+    assert_eq!(count.rows.len(), 1);
+
+    let metrics = pg
+        .query("select * from hydra_metrics")
+        .expect("metrics table");
+    assert_eq!(metrics.columns, vec!["name", "label", "value"]);
+    assert!(
+        metrics.tag.starts_with("SELECT "),
+        "unexpected tag {:?}",
+        metrics.tag
+    );
+    let find = |name: &str, label: Option<&str>| {
+        metrics
+            .rows
+            .iter()
+            .find(|row| row[0].as_deref() == Some(name) && row[1].as_deref() == label)
+    };
+    // The aggregate that just ran is visible, strategy-labelled.
+    let agg = find("hydra_requests_total", Some("op=pg.aggregate"))
+        .expect("pg.aggregate request counter missing");
+    assert_eq!(agg[2].as_deref(), Some("1"));
+    assert!(
+        find("hydra_query_total", Some("strategy=summary_direct")).is_some()
+            || find("hydra_query_total", Some("strategy=tuple_scan")).is_some(),
+        "query engine strategy counter missing"
+    );
+    // Reactor counters share the registry (both listeners, one loop).
+    let accepts =
+        find("hydra_reactor_accepts_total", None).expect("reactor accepts counter missing");
+    let accepted: f64 = accepts[2].as_deref().unwrap().parse().unwrap();
+    assert!(accepted >= 1.0);
+}
+
+/// Requests over the slow threshold emit one structured log line carrying
+/// the request id, op, duration, and detail; fast requests stay silent.
+#[test]
+fn slow_request_log_fires_only_over_threshold() {
+    let session = Hydra::builder().compare_aqps(false).build();
+    // Threshold zero: everything is "slow", so every op must log.
+    let (slow, lines) = SlowLog::buffered(Duration::ZERO);
+    session.metrics().set_slow_log(Some(slow));
+    let tester = HydraTester::with_session(session);
+    tester.publish_retail("retail");
+    let mut client = tester.client();
+    client.list().expect("list");
+    let (rows, _) = client
+        .stream_collect(StreamRequest::full("retail", "store_sales").range(0, 10))
+        .expect("stream");
+    assert_eq!(rows.len(), 10);
+    drop(client);
+
+    // A wire stream must settle the datagen account even though it drives
+    // the generator directly rather than through `Hydra::stream_table`.
+    let snapshot = tester.obs().snapshot();
+    assert_eq!(
+        snapshot.value("hydra_datagen_rows_total", Some(("table", "store_sales"))),
+        Some(10.0),
+        "wire stream did not reach the datagen counters"
+    );
+
+    let logged = lines.lock().unwrap().clone();
+    let list_line = logged
+        .iter()
+        .find(|l| l.contains("op=frame.list"))
+        .expect("list was slower than 0ms yet never logged");
+    assert!(
+        list_line.starts_with("hydra-slow-request id="),
+        "{list_line}"
+    );
+    assert!(list_line.contains("duration_ms="), "{list_line}");
+    assert!(list_line.contains("outcome=ok"), "{list_line}");
+    let stream_line = logged
+        .iter()
+        .find(|l| l.contains("op=frame.stream"))
+        .expect("stream never logged");
+    assert!(
+        stream_line.contains("retail.store_sales"),
+        "stream line lacks its kind: {stream_line}"
+    );
+
+    // Raise the threshold out of reach: nothing new may be logged.
+    let (quiet, quiet_lines) = SlowLog::buffered(Duration::from_secs(3600));
+    tester.obs().set_slow_log(Some(quiet));
+    let mut client = tester.client();
+    client.list().expect("list");
+    drop(client);
+    assert!(
+        quiet_lines.lock().unwrap().is_empty(),
+        "fast request crossed a one-hour threshold"
+    );
+}
+
+/// The tester's obs registry is the session's: counters recorded anywhere
+/// in the stack are visible without any wire round-trip.
+#[test]
+fn obs_registry_is_shared_with_the_session() {
+    let tester = HydraTester::retail();
+    let mut client = tester.client();
+    client.list().expect("list");
+    drop(client);
+    let snapshot = tester.obs().snapshot();
+    assert!(
+        snapshot.counter_total("hydra_requests_total") >= 1,
+        "session registry missed the wire request"
+    );
+    let rendered = snapshot.render_prometheus();
+    assert!(rendered.contains("hydra_registry_publishes_total 1"));
+}

@@ -14,6 +14,9 @@
 //! `SELECT *` scan, and a clean `Terminate`.  Every pg answer is checked
 //! against the frame protocol's answer for the same question, then the
 //! frame `Shutdown` stops both listeners.
+//!
+//! Pass `--no-shutdown` as a trailing flag to leave the server running
+//! (the obs-smoke CI job scrapes `/metrics` after the round trip).
 
 use hydra::core::session::Hydra;
 use hydra::pgwire::types::pg_text;
@@ -24,8 +27,17 @@ use hydra::workload::retail_client_fixture;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let frame_addr = args.next().expect("usage: pgwire_roundtrip FRAME PG");
-    let pg_addr = args.next().expect("usage: pgwire_roundtrip FRAME PG");
+    let frame_addr = args
+        .next()
+        .expect("usage: pgwire_roundtrip FRAME PG [--no-shutdown]");
+    let pg_addr = args
+        .next()
+        .expect("usage: pgwire_roundtrip FRAME PG [--no-shutdown]");
+    let shutdown = match args.next().as_deref() {
+        None => true,
+        Some("--no-shutdown") => false,
+        Some(other) => panic!("unknown argument `{other}` (try --no-shutdown)"),
+    };
 
     // Client site: profile a small retail warehouse and publish it over
     // the frame protocol — the pg listener serves the same registry.
@@ -108,7 +120,9 @@ fn main() {
 
     pg.terminate().expect("pg terminate");
 
-    // The frame Shutdown stops *both* listeners — the server exits 0.
-    frame.shutdown().expect("frame shutdown");
+    if shutdown {
+        // The frame Shutdown stops *both* listeners — the server exits 0.
+        frame.shutdown().expect("frame shutdown");
+    }
     println!("pgwire round-trip OK");
 }

@@ -1,9 +1,10 @@
 //! `hydra-serve` — the regeneration server binary.
 //!
 //! ```text
-//! hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] [--registry-dir DIR]
-//!             [--seed-retail ROWS] [--velocity ROWS_PER_SEC] [--parallelism N]
-//!             [--workers N] [--max-connections N]
+//! hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] [--metrics-addr HOST:PORT]
+//!             [--registry-dir DIR] [--seed-retail ROWS] [--velocity ROWS_PER_SEC]
+//!             [--parallelism N] [--workers N] [--max-connections N]
+//!             [--slow-query-ms MS]
 //! ```
 //!
 //! * `--addr` (default `127.0.0.1:7871`): frame-protocol listen address;
@@ -25,44 +26,57 @@
 //! * `--workers N`: reactor worker threads executing requests and tuple
 //!   streams (default: available parallelism).  Connection count is
 //!   independent of this — ten thousand clients still run on `N` threads.
-//! * `--max-connections N`: connection ceiling across both listeners
+//! * `--max-connections N`: connection ceiling across all listeners
 //!   (default 8192); excess accepts are closed immediately.
+//! * `--metrics-addr HOST:PORT`: additionally serve `GET /metrics` in
+//!   Prometheus text exposition format on this address (HTTP/1.0, one
+//!   request per connection).  Printed as
+//!   `hydra-serve metrics listening on HOST:PORT`.
+//! * `--slow-query-ms MS`: log one structured line to stderr
+//!   (`hydra-slow-request id=… op=… duration_ms=…`) for every request
+//!   slower than `MS` milliseconds.  Off by default.
 //!
-//! Both listeners run on **one** reactor event loop (one epoll set, one
+//! All listeners run on **one** reactor event loop (one epoll set, one
 //! worker pool, one `ShutdownSignal`).  The server runs until a client
 //! sends a `Shutdown` frame (see `HydraClient::shutdown`), which stops both
 //! listeners, drains in-flight connections, and exits 0.
 
 use hydra_core::session::Hydra;
+use hydra_obs::SlowLog;
 use hydra_pgwire::PgProtocol;
 use hydra_service::registry::SummaryRegistry;
 use hydra_service::server::{ReactorBuilder, ReactorConfig};
-use hydra_service::{FrameProtocol, ShutdownSignal};
+use hydra_service::{FrameProtocol, MetricsProtocol, ShutdownSignal};
 use hydra_workload::retail_client_fixture;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Options {
     addr: String,
     pg_addr: Option<String>,
+    metrics_addr: Option<String>,
     registry_dir: Option<String>,
     seed_retail: Option<u64>,
     velocity: Option<f64>,
     parallelism: usize,
     workers: usize,
     max_connections: usize,
+    slow_query_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         addr: "127.0.0.1:7871".to_string(),
         pg_addr: None,
+        metrics_addr: None,
         registry_dir: None,
         seed_retail: None,
         velocity: None,
         parallelism: 1,
         workers: 0,
         max_connections: 8192,
+        slow_query_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -70,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
         match flag.as_str() {
             "--addr" => options.addr = value("--addr")?,
             "--pg-addr" => options.pg_addr = Some(value("--pg-addr")?),
+            "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")?),
             "--registry-dir" => options.registry_dir = Some(value("--registry-dir")?),
             "--seed-retail" => {
                 options.seed_retail = Some(
@@ -100,12 +115,20 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--max-connections: {e}"))?
             }
+            "--slow-query-ms" => {
+                options.slow_query_ms = Some(
+                    value("--slow-query-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slow-query-ms: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] \
-                     [--registry-dir DIR] [--seed-retail ROWS] \
-                     [--velocity ROWS_PER_SEC] [--parallelism N] \
-                     [--workers N] [--max-connections N]"
+                     [--metrics-addr HOST:PORT] [--registry-dir DIR] \
+                     [--seed-retail ROWS] [--velocity ROWS_PER_SEC] \
+                     [--parallelism N] [--workers N] [--max-connections N] \
+                     [--slow-query-ms MS]"
                         .to_string(),
                 )
             }
@@ -129,6 +152,11 @@ fn main() -> ExitCode {
         .parallelism(options.parallelism)
         .velocity(options.velocity)
         .build();
+    if let Some(ms) = options.slow_query_ms {
+        session
+            .metrics()
+            .set_slow_log(Some(SlowLog::stderr(Duration::from_millis(ms))));
+    }
 
     let registry = match &options.registry_dir {
         Some(dir) => match SummaryRegistry::persistent(session.clone(), dir) {
@@ -171,11 +199,13 @@ fn main() -> ExitCode {
     // One reactor hosts every protocol listener: one epoll set, one fixed
     // worker pool, one shutdown signal — a frame `Shutdown` stops the pg
     // listener too, and vice versa.
-    let mut builder = ReactorBuilder::new().config(ReactorConfig {
-        workers: options.workers,
-        max_connections: options.max_connections,
-        ..ReactorConfig::default()
-    });
+    let mut builder = ReactorBuilder::new()
+        .config(ReactorConfig {
+            workers: options.workers,
+            max_connections: options.max_connections,
+            ..ReactorConfig::default()
+        })
+        .observe(session.metrics());
     let frame_addr = match builder.listen(
         options.addr.as_str(),
         Arc::new(FrameProtocol::new(Arc::clone(&registry), signal.clone())),
@@ -201,6 +231,21 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    let metrics_addr = match &options.metrics_addr {
+        Some(metrics_addr) => {
+            match builder.listen(
+                metrics_addr.as_str(),
+                Arc::new(MetricsProtocol::new(session.metrics())),
+            ) {
+                Ok(addr) => Some(addr),
+                Err(e) => {
+                    eprintln!("hydra-serve: cannot bind metrics {metrics_addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let reactor = match builder.start(signal) {
         Ok(reactor) => reactor,
         Err(e) => {
@@ -211,6 +256,9 @@ fn main() -> ExitCode {
     println!("hydra-serve listening on {frame_addr}");
     if let Some(pg_addr) = pg_addr {
         println!("hydra-serve pg listening on {pg_addr}");
+    }
+    if let Some(metrics_addr) = metrics_addr {
+        println!("hydra-serve metrics listening on {metrics_addr}");
     }
 
     reactor.join();

@@ -20,6 +20,7 @@
 //! | [`core`] | `hydra-core` | client site, transfer package, vendor site, scenarios, reports |
 //! | [`service`] | `hydra-service` | TCP regeneration server, persistent summary registry, typed client |
 //! | [`pgwire`] | `hydra-pgwire` | PostgreSQL simple-query front-end over the same registry |
+//! | [`obs`] | `hydra-obs` | metrics, latency histograms, tracing spans, Prometheus exposition |
 //!
 //! ## Quickstart
 //!
@@ -75,6 +76,7 @@ pub use hydra_core as core;
 pub use hydra_datagen as datagen;
 pub use hydra_engine as engine;
 pub use hydra_lp as lp;
+pub use hydra_obs as obs;
 pub use hydra_partition as partition;
 pub use hydra_pgwire as pgwire;
 pub use hydra_query as query;

@@ -656,3 +656,154 @@ fn single_connection_roundtrip_storm() {
         metrics.tasks_completed() == iterations as u64
     });
 }
+
+/// Observability invariants under load: one reactor hosts the frame
+/// protocol and the `/metrics` endpoint over one shared registry, a storm
+/// of clients hammers `List` while a scraper polls `/metrics`, and at
+/// quiescence the books must balance exactly —
+///
+/// * every accepted connection is either closed or still live;
+/// * the reactor's bytes-out counter equals the bytes the clients (frame
+///   and scraper alike) actually received;
+/// * the request latency histogram counted every request the storm sent;
+/// * no scrape ever blocked behind the storm (bounded scrape latency —
+///   rendering happens on the worker pool, not the event loop).
+#[test]
+fn metrics_invariants_hold_under_connection_storm() {
+    use hydra::service::server::ReactorBuilder;
+    use hydra::service::{FrameProtocol, MetricsProtocol};
+
+    let _guard = counters_lock();
+    let session = Hydra::builder().compare_aqps(false).build();
+    let obs = session.metrics();
+    let registry = Arc::new(SummaryRegistry::in_memory(session.clone()));
+    let (db, queries) = hydra::workload::retail_client_fixture(200, 60, 3);
+    let package = session.profile(db, &queries).expect("profile retail");
+    registry.publish("retail", package).expect("publish retail");
+
+    let signal = ShutdownSignal::new();
+    let mut builder = ReactorBuilder::new().workers(2).observe(Arc::clone(&obs));
+    let frame_addr = builder
+        .listen(
+            "127.0.0.1:0",
+            Arc::new(FrameProtocol::new(Arc::clone(&registry), signal.clone())),
+        )
+        .expect("bind frame listener");
+    let metrics_addr = builder
+        .listen(
+            "127.0.0.1:0",
+            Arc::new(MetricsProtocol::new(Arc::clone(&obs))),
+        )
+        .expect("bind metrics listener");
+    let reactor = builder.start(signal.clone()).expect("start reactor");
+
+    const CLIENTS: usize = 16;
+    const REQUESTS_PER_CLIENT: usize = 100;
+    let list = frame_bytes(&Request::List);
+    let storm: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let list = list.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(frame_addr).expect("storm connect");
+                stream.set_nodelay(true).ok();
+                let mut received = 0u64;
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    stream.write_all(&list).expect("storm send");
+                    received += read_frame_raw(&mut stream).len() as u64;
+                }
+                received
+            })
+        })
+        .collect();
+
+    // Scrape concurrently with the storm; every scrape must come back in
+    // bounded time (the render runs on the worker pool, so a scrape can
+    // never wedge the event loop — and the event loop never waits on it).
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            let mut received = 0u64;
+            let mut scrapes = 0u64;
+            let mut worst = Duration::ZERO;
+            while !stop.load(Ordering::Relaxed) {
+                let started = Instant::now();
+                let mut conn = TcpStream::connect(metrics_addr).expect("scrape connect");
+                conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+                    .expect("scrape send");
+                let mut response = Vec::new();
+                conn.read_to_end(&mut response).expect("scrape read");
+                let elapsed = started.elapsed();
+                assert!(
+                    response.starts_with(b"HTTP/1.0 200"),
+                    "scrape failed mid-storm"
+                );
+                received += response.len() as u64;
+                scrapes += 1;
+                worst = worst.max(elapsed);
+            }
+            (received, scrapes, worst)
+        })
+    };
+
+    let mut client_bytes = 0u64;
+    for handle in storm {
+        client_bytes += handle.join().expect("storm client");
+    }
+    scrape_stop.store(true, Ordering::Relaxed);
+    let (scrape_bytes, scrapes, worst_scrape) = scraper.join().expect("scraper");
+    assert!(scrapes >= 1, "scraper never completed a scrape");
+    assert!(
+        worst_scrape < Duration::from_secs(2),
+        "a scrape blocked behind the storm: {worst_scrape:?}"
+    );
+
+    // Quiescence: every storm/scrape connection observed closed.
+    let total_requests = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    let value = |name: &str, label: Option<(&str, &str)>| {
+        obs.snapshot()
+            .value(name, label)
+            .unwrap_or_else(|| panic!("metric {name} {label:?} missing"))
+    };
+    eventually(Duration::from_secs(10), "all connections to close", || {
+        let snapshot = obs.snapshot();
+        snapshot.value("hydra_connections_active", None) == Some(0.0)
+    });
+
+    // Invariant 1: accepted == closed + live (live is zero by now).
+    assert_eq!(
+        value("hydra_reactor_accepts_total", None),
+        value("hydra_reactor_closes_total", None),
+        "accepted connections unaccounted for"
+    );
+    // Every participant was actually accepted on this reactor.
+    assert!(value("hydra_reactor_accepts_total", None) >= CLIENTS as f64 + scrapes as f64);
+
+    // Invariant 2: the reactor's bytes-out equals what the clients read —
+    // every frame response byte and every scrape byte, none invented,
+    // none lost.
+    assert_eq!(
+        value("hydra_reactor_bytes_out_total", None),
+        (client_bytes + scrape_bytes) as f64,
+        "reactor bytes-out diverges from bytes clients received"
+    );
+
+    // Invariant 3: the latency histogram counted every storm request, and
+    // the request counter agrees with it.
+    assert_eq!(
+        value("hydra_request_seconds_count", Some(("op", "frame.list"))),
+        total_requests,
+        "histogram lost requests"
+    );
+    assert_eq!(
+        value("hydra_requests_total", Some(("op", "frame.list"))),
+        total_requests
+    );
+    assert_eq!(
+        value("hydra_requests_total", Some(("op", "http.metrics"))),
+        scrapes as f64
+    );
+
+    signal.trigger();
+    reactor.join();
+}
