@@ -51,6 +51,13 @@ impl RegenerationState {
     pub fn baseline_relations(&self) -> usize {
         self.baseline.len()
     }
+
+    /// The per-relation solve artifacts backing this state.  Exposed so a
+    /// durable registry can serialize the full solved state and later
+    /// rebuild it via [`VendorSite::restore_stateful`] without re-solving.
+    pub fn baseline(&self) -> &SolveBaseline {
+        &self.baseline
+    }
 }
 
 /// The outcome of applying a workload delta to a [`RegenerationState`].
@@ -103,6 +110,54 @@ impl VendorSite {
         // cache — seed it so a stateful solve warms them exactly like a
         // plain `regenerate` would (the baseline signatures *are* the cache
         // keys).
+        if let Some(cache) = &self.cache {
+            for relation in baseline.relations.values() {
+                cache.put(
+                    relation.signature,
+                    relation.summary.clone(),
+                    relation.stats.clone(),
+                );
+            }
+        }
+        let accuracy = verify_summary(&summary, constraints.by_table())?;
+        let aqp_comparisons = if self.config.compare_aqps {
+            let dataless = DatalessDatabase::new(schema.clone(), summary.clone());
+            build_aqp_comparisons(&dataless, &package.workload)?
+        } else {
+            Vec::new()
+        };
+        Ok(RegenerationState {
+            package: package.clone(),
+            regeneration: RegenerationResult {
+                summary,
+                build_report,
+                accuracy,
+                aqp_comparisons,
+                schema,
+            },
+            constraints,
+            baseline,
+        })
+    }
+
+    /// Rebuilds a [`RegenerationState`] from a previously solved baseline —
+    /// the recovery path of a durable registry.  No partitioning and no LP
+    /// runs: the summary is reassembled from the baseline's solved
+    /// relations, the stored build report is reattached verbatim (so
+    /// descriptions stay bit-identical across a restart), and only the
+    /// cheap artifacts (constraint extraction, verification, optional AQP
+    /// comparisons) are recomputed.
+    pub fn restore_stateful(
+        &self,
+        package: &TransferPackage,
+        build_report: hydra_summary::builder::SummaryBuildReport,
+        baseline: SolveBaseline,
+    ) -> HydraResult<RegenerationState> {
+        let schema = package.metadata.schema.clone();
+        let constraints = ConstraintSet::from_workload(&package.workload)?;
+        let summary = baseline.to_summary();
+        // Seed the session cache exactly as a live solve would have, so
+        // post-recovery scenario sweeps stay warm.
         if let Some(cache) = &self.cache {
             for relation in baseline.relations.values() {
                 cache.put(

@@ -331,6 +331,22 @@ impl Hydra {
         Ok(state)
     }
 
+    /// Rebuilds a [`RegenerationState`] from a previously solved baseline
+    /// without running the LP solver — the recovery path of a durable
+    /// registry replaying its snapshot and write-ahead log.  The stored
+    /// build report is reattached verbatim, and **no** solve metrics are
+    /// recorded: recovery performs zero cold solves and the
+    /// `hydra_lp_solves_total` counters prove it.
+    pub fn restore_stateful(
+        &self,
+        package: &TransferPackage,
+        build_report: hydra_summary::builder::SummaryBuildReport,
+        baseline: hydra_summary::delta::SolveBaseline,
+    ) -> HydraResult<RegenerationState> {
+        self.vendor()
+            .restore_stateful(package, build_report, baseline)
+    }
+
     /// Applies a workload delta (queries added / retired / re-annotated,
     /// revised row counts) to a previous stateful regeneration
     /// *incrementally*: unchanged relations are reused bit-identically,

@@ -18,6 +18,7 @@
 //! budget is exhausted, which guarantees termination.
 
 use crate::problem::{ConstraintOp, LpProblem};
+use serde::{Deserialize, Serialize};
 
 /// Numerical tolerance used for pivot and optimality tests.
 const EPS: f64 = 1e-9;
@@ -68,7 +69,7 @@ impl WarmStart {
 }
 
 /// What a warm-start hint contributed to a solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WarmOutcome {
     /// No (usable) hint was supplied; the solve was cold.
     NotAttempted,

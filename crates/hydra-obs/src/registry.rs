@@ -71,8 +71,9 @@ pub struct FamilyDesc {
     pub help: &'static str,
 }
 
-/// Every family the stack records, pre-registered on construction.  Six
-/// layers: reactor, service (frame), pgwire, query, lp, datagen/registry.
+/// Every family the stack records, pre-registered on construction.  Seven
+/// layers: reactor, service (frame), pgwire, query, lp, datagen/registry,
+/// and wal (durability).
 pub const FAMILIES: &[FamilyDesc] = &[
     // -- reactor ---------------------------------------------------------
     FamilyDesc {
@@ -327,6 +328,47 @@ pub const FAMILIES: &[FamilyDesc] = &[
         label_key: "kind",
         layer: "registry",
         help: "Summary blocks added/removed/resized by delta merges",
+    },
+    FamilyDesc {
+        name: "hydra_registry_persist_errors_total",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        label_key: "",
+        layer: "registry",
+        help: "Registry disk persists that failed (the entry stays servable in memory)",
+    },
+    // -- durability (WAL + checkpoints) ----------------------------------
+    FamilyDesc {
+        name: "hydra_wal_records_total",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        label_key: "op",
+        layer: "wal",
+        help: "Records appended to the write-ahead log, by operation",
+    },
+    FamilyDesc {
+        name: "hydra_wal_bytes_total",
+        kind: MetricKind::Counter,
+        unit: Unit::Bytes,
+        label_key: "",
+        layer: "wal",
+        help: "Bytes appended to the write-ahead log (framing included)",
+    },
+    FamilyDesc {
+        name: "hydra_wal_checkpoints_total",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        label_key: "",
+        layer: "wal",
+        help: "Solved-state snapshots written (each truncates the WAL)",
+    },
+    FamilyDesc {
+        name: "hydra_wal_recovered_records_total",
+        kind: MetricKind::Counter,
+        unit: Unit::Count,
+        label_key: "source",
+        layer: "wal",
+        help: "Summary versions recovered at boot, by source (snapshot or wal)",
     },
 ];
 
@@ -756,7 +798,7 @@ mod tests {
             );
         }
         for layer in [
-            "reactor", "service", "pgwire", "query", "lp", "datagen", "registry",
+            "reactor", "service", "pgwire", "query", "lp", "datagen", "registry", "wal",
         ] {
             assert!(
                 FAMILIES.iter().any(|d| d.layer == layer),

@@ -145,18 +145,22 @@ pub(crate) fn resolve_database(
     let entry = registry
         .get(name)
         .ok_or_else(|| PgError::fatal("3D000", format!("database \"{name}\" does not exist")))?;
-    if let Some(pinned) = version {
-        if pinned != entry.version {
-            return Err(PgError::fatal(
-                "3D000",
-                format!(
-                    "database \"{}\" is at version {}, but version {} was pinned",
-                    name, entry.version, pinned
-                ),
-            ));
+    match version {
+        // A pinned connection binds to that retained version — current or
+        // historical (time travel) — for its whole lifetime.
+        Some(pinned) if pinned != entry.version => {
+            registry.get_version(name, pinned).ok_or_else(|| {
+                PgError::fatal(
+                    "3D000",
+                    format!(
+                        "database \"{}\" has no retained version {} (latest is {})",
+                        name, pinned, entry.version
+                    ),
+                )
+            })
         }
+        _ => Ok(entry),
     }
-    Ok(entry)
 }
 
 /// Split a simple-query string into `;`-separated statements with their

@@ -79,18 +79,24 @@ pub(crate) fn respond(registry: &SummaryRegistry, request: Request) -> Response 
             },
         },
         Request::List => Response::SummaryList(registry.list().iter().map(|e| e.info()).collect()),
-        Request::Describe { name } => match registry.get(&name) {
-            Some(entry) => Response::Described(entry.detail()),
-            None => Response::Error {
-                message: format!("unknown summary `{name}`"),
+        // `Describe`, `Query` and `Stream` resolve `name` or `name@version`
+        // specs: a bare name serves the latest version, a pinned spec any
+        // retained historical one (time travel).
+        Request::Describe { name } => match registry.resolve(&name) {
+            Ok(entry) => Response::Described(entry.detail()),
+            Err(e) => Response::Error {
+                message: e.to_string(),
             },
         },
         Request::Query(request) => {
             use hydra_datagen::exec::{ExecMode, QueryEngine};
-            let Some(entry) = registry.get(&request.name) else {
-                return Response::Error {
-                    message: format!("unknown summary `{}`", request.name),
-                };
+            let entry = match registry.resolve(&request.name) {
+                Ok(entry) => entry,
+                Err(e) => {
+                    return Response::Error {
+                        message: e.to_string(),
+                    }
+                }
             };
             let mode = if request.summary_only {
                 ExecMode::SummaryOnly
@@ -469,9 +475,7 @@ impl StreamState {
         registry: &SummaryRegistry,
         request: &StreamRequest,
     ) -> Result<(Vec<u8>, Box<StreamState>), ServiceError> {
-        let entry = registry
-            .get(&request.name)
-            .ok_or_else(|| ServiceError::Protocol(format!("unknown summary `{}`", request.name)))?;
+        let entry = registry.resolve(&request.name)?;
         let generator = entry.generator();
         let total = generator
             .summary

@@ -7,12 +7,28 @@
 //! (streams, describes, scenario re-solves) always observe either the old
 //! complete entry or the new complete entry, never a torn one.
 //!
-//! Persistence rides the existing transfer serde path: each entry is saved
-//! as `<dir>/<name>.json` holding the package (the client-site synopsis —
-//! small, anonymizable, and forward-compatible), and a restarted server
-//! re-solves the packages it finds on disk.  Summaries are derived data;
-//! the package is the durable artifact, exactly as in the paper's
-//! deployment model.
+//! Every name retains its **full version chain** in memory: publishing or
+//! delta-publishing `name` appends a new version rather than replacing the
+//! old one, and [`SummaryRegistry::resolve`] serves any retained version via
+//! a `name@version` spec (time travel).  `get`/`list` keep their historical
+//! meaning — the *latest* version per name.
+//!
+//! Two durability modes:
+//!
+//! * **Package persistence** ([`SummaryRegistry::persistent`]): each name's
+//!   latest package is saved as `<dir>/<name>.json` (written durably:
+//!   tmp file + fsync + rename + directory fsync) and a restarted server
+//!   re-solves the packages it finds on disk.  Cheap and
+//!   forward-compatible, but recovery pays a cold LP solve per name and
+//!   historical versions do not survive a restart.
+//!
+//! * **WAL + snapshots** ([`SummaryRegistry::durable`]): every publish and
+//!   delta append the operation *and the full solved state* to an
+//!   fsync'd write-ahead log **before** the version becomes visible, and
+//!   periodic checkpoints serialize all retained versions into an
+//!   immutable, checksummed snapshot file (truncating the WAL).  Boot is
+//!   snapshot-load + WAL-replay — **zero cold LP solves**, full version
+//!   chains intact, torn WAL tails truncated in place.
 
 use crate::error::{ServiceError, ServiceResult};
 use crate::protocol::{
@@ -25,11 +41,13 @@ use hydra_core::vendor::RegenerationResult;
 use hydra_datagen::generator::DynamicGenerator;
 use hydra_lp::solver::SolveStatus;
 use hydra_query::delta::WorkloadDelta;
+use hydra_summary::builder::SummaryBuildReport;
+use hydra_summary::delta::SolveBaseline;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// The on-disk envelope of one registry entry (`<dir>/<name>.json`).
@@ -42,6 +60,75 @@ pub struct StoredSummary {
     /// The published transfer package (the durable artifact; the summary is
     /// re-solved from it on load).
     pub package: TransferPackage,
+}
+
+/// The complete solved state of one version: the package it was solved
+/// from, the build report describing how, and the per-relation baseline
+/// (partitions, region counts, LP supports).  This is what the WAL and
+/// snapshot files carry — enough to rebuild a servable entry with **zero**
+/// LP solves via [`Hydra::restore_stateful`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolvedState {
+    /// The (merged) transfer package.
+    pub package: TransferPackage,
+    /// The build report of the original solve, reattached verbatim on
+    /// recovery so descriptions stay bit-identical across restarts.
+    pub report: SummaryBuildReport,
+    /// Per-relation solve artifacts.
+    pub baseline: SolveBaseline,
+}
+
+/// The operation a WAL record logs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WalOp {
+    /// A full publish; the package is `WalRecord::solved.package`.
+    Publish,
+    /// An incremental delta publish, retaining the delta that produced it.
+    Delta {
+        /// The workload delta that was merged.
+        delta: WorkloadDelta,
+    },
+}
+
+/// One write-ahead log record: the operation plus the full resulting solved
+/// state, appended (and fsync'd) before the version becomes visible.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Registry name.
+    pub name: String,
+    /// The version this record commits.
+    pub version: u32,
+    /// What produced it.
+    pub op: WalOp,
+    /// The full solved state of the committed version.
+    pub solved: SolvedState,
+}
+
+/// One retained version inside a snapshot file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotEntry {
+    name: String,
+    version: u32,
+    solved: SolvedState,
+}
+
+/// A checkpoint: every retained version of every name at snapshot time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct SnapshotFile {
+    entries: Vec<SnapshotEntry>,
+}
+
+/// What a durable boot recovered (reported by [`SummaryRegistry::durable`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Versions restored from the newest valid snapshot.
+    pub snapshot_versions: usize,
+    /// Versions restored by WAL replay (committed after the snapshot).
+    pub wal_versions: usize,
+    /// Torn-tail bytes truncated from the WAL (0 on a clean shutdown).
+    pub wal_truncated_bytes: u64,
+    /// Corrupt snapshot files that were skipped in favor of an older one.
+    pub snapshots_skipped: usize,
 }
 
 /// One published, solved summary.
@@ -87,6 +174,33 @@ impl RegistryEntry {
             state,
             detail,
         })
+    }
+
+    /// Rebuilds an entry from a previously solved state — the recovery path.
+    /// No LP runs: the summary is reassembled from the stored baseline.
+    fn restore(
+        session: &Hydra,
+        name: &str,
+        version: u32,
+        solved: SolvedState,
+    ) -> ServiceResult<Self> {
+        let state = session.restore_stateful(&solved.package, solved.report, solved.baseline)?;
+        let detail = describe(name, version, &state.package, &state.regeneration)?;
+        Ok(RegistryEntry {
+            name: name.to_string(),
+            version,
+            state,
+            detail,
+        })
+    }
+
+    /// The full solved state of this entry, as the WAL and snapshots log it.
+    fn solved_state(&self) -> SolvedState {
+        SolvedState {
+            package: self.state.package.clone(),
+            report: self.state.regeneration.build_report.clone(),
+            baseline: self.state.baseline().clone(),
+        }
     }
 
     /// The package this entry was solved from.
@@ -168,7 +282,8 @@ fn constraint_signature(constraints: &[hydra_query::aqp::VolumetricConstraint]) 
 }
 
 /// True iff `name` is a valid registry name (`[A-Za-z0-9_-]+`) — names double
-/// as file names, so anything path-like is rejected.
+/// as file names, so anything path-like is rejected (and `@` stays free for
+/// `name@version` specs).
 pub fn valid_name(name: &str) -> bool {
     !name.is_empty()
         && name
@@ -176,16 +291,82 @@ pub fn valid_name(name: &str) -> bool {
             .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
 }
 
+/// Removes leftover `*.tmp` staging files (a crash between write and rename
+/// strands them) so they cannot accumulate across restarts.
+fn sweep_tmp_files(dir: &Path) {
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in read.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|ext| ext == "tmp") {
+            match std::fs::remove_file(&path) {
+                Ok(()) => eprintln!(
+                    "hydra-service: removed stale temp file {} (crash leftover)",
+                    path.display()
+                ),
+                Err(e) => eprintln!(
+                    "hydra-service: could not remove stale temp file {}: {e}",
+                    path.display()
+                ),
+            }
+        }
+    }
+}
+
+/// Snapshot file name for sequence `seq`.
+fn snapshot_name(seq: u64) -> String {
+    format!("snapshot-{seq:010}.snap")
+}
+
+/// Sequence number parsed from a snapshot file name, if it is one.
+fn snapshot_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("snapshot-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+/// Every snapshot file in `dir`, sorted by ascending sequence number.
+fn snapshot_paths(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut snaps: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter_map(|p| snapshot_seq(&p).map(|seq| (seq, p)))
+        .collect();
+    snaps.sort();
+    Ok(snaps)
+}
+
+/// Mutable durable-mode state, held under one mutex that serializes commits
+/// (the WAL append order **is** the commit order).
+#[derive(Debug)]
+struct DurableState {
+    dir: PathBuf,
+    wal: hydra_wal::Wal,
+    /// Records appended since the last checkpoint.
+    records_in_wal: usize,
+    /// Checkpoint after this many WAL records.
+    checkpoint_every: usize,
+    next_snapshot_seq: u64,
+}
+
 /// A concurrent, optionally disk-backed store of solved summaries.
 #[derive(Debug)]
 pub struct SummaryRegistry {
     session: Hydra,
-    entries: RwLock<BTreeMap<String, Arc<RegistryEntry>>>,
+    /// Name → full version chain (version → entry).  Readers resolve the
+    /// latest version or any retained historical one.
+    entries: RwLock<BTreeMap<String, BTreeMap<u32, Arc<RegistryEntry>>>>,
     dir: Option<PathBuf>,
     /// Serializes disk writes so racing publishes of one name cannot leave
     /// an older version's file on disk after a newer version's; held only
     /// around file I/O, never while `entries` is locked.
     persist: Mutex<()>,
+    /// WAL + snapshot state (durable mode only).  Lock order: `durable`
+    /// before `entries`; never the reverse.
+    durable: Option<Mutex<DurableState>>,
+    recovery: RecoveryReport,
 }
 
 impl SummaryRegistry {
@@ -197,12 +378,15 @@ impl SummaryRegistry {
             entries: RwLock::new(BTreeMap::new()),
             dir: None,
             persist: Mutex::new(()),
+            durable: None,
+            recovery: RecoveryReport::default(),
         }
     }
 
     /// A disk-backed registry rooted at `dir`: the directory is created if
-    /// missing, every `*.json` package found in it is re-solved and
-    /// registered, and subsequent publishes are persisted there.
+    /// missing, stale `*.tmp` staging files from a crash mid-persist are
+    /// swept, every `*.json` package found is re-solved and registered, and
+    /// subsequent publishes are persisted there.
     ///
     /// A file that cannot be read, parsed or solved is **skipped** (with a
     /// diagnostic on stderr) rather than failing the whole load — one
@@ -211,11 +395,14 @@ impl SummaryRegistry {
     pub fn persistent(session: Hydra, dir: impl Into<PathBuf>) -> ServiceResult<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        sweep_tmp_files(&dir);
         let registry = SummaryRegistry {
             session,
             entries: RwLock::new(BTreeMap::new()),
             dir: Some(dir.clone()),
             persist: Mutex::new(()),
+            durable: None,
+            recovery: RecoveryReport::default(),
         };
         let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
@@ -224,13 +411,7 @@ impl SummaryRegistry {
         paths.sort();
         for path in paths {
             match Self::load_stored(&registry.session, &path) {
-                Ok(entry) => {
-                    registry
-                        .entries
-                        .write()
-                        .expect("registry lock poisoned")
-                        .insert(entry.name.clone(), Arc::new(entry));
-                }
+                Ok(entry) => registry.insert_version(Arc::new(entry)),
                 Err(e) => {
                     eprintln!(
                         "hydra-service: skipping registry file {}: {e}",
@@ -240,6 +421,165 @@ impl SummaryRegistry {
             }
         }
         Ok(registry)
+    }
+
+    /// A WAL-backed registry rooted at `dir`, checkpointing every
+    /// `checkpoint_every` WAL records.  Boot recovers the full version
+    /// chains from the newest valid snapshot plus WAL replay — **zero cold
+    /// LP solves** — truncating any torn WAL tail in place.  Every publish
+    /// and delta is appended (and fsync'd) to the WAL *before* its version
+    /// becomes visible, so an acknowledged version survives any crash.
+    pub fn durable(
+        session: Hydra,
+        dir: impl Into<PathBuf>,
+        checkpoint_every: usize,
+    ) -> ServiceResult<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        sweep_tmp_files(&dir);
+        let metrics = session.metrics();
+        let mut recovery = RecoveryReport::default();
+        let entries: RwLock<BTreeMap<String, BTreeMap<u32, Arc<RegistryEntry>>>> =
+            RwLock::new(BTreeMap::new());
+
+        // 1. Newest valid snapshot (older ones are the fallback chain).
+        let mut snaps = snapshot_paths(&dir)?;
+        let next_snapshot_seq = snaps.last().map_or(0, |(seq, _)| seq + 1);
+        snaps.reverse();
+        let mut snapshot: SnapshotFile = SnapshotFile::default();
+        for (_, path) in &snaps {
+            let loaded = hydra_wal::read_snapshot(path).and_then(|payload| {
+                let text = String::from_utf8(payload).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                serde_json::from_str::<SnapshotFile>(&text).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })
+            });
+            match loaded {
+                Ok(file) => {
+                    snapshot = file;
+                    break;
+                }
+                Err(e) => {
+                    recovery.snapshots_skipped += 1;
+                    eprintln!(
+                        "hydra-service: skipping corrupt snapshot {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        {
+            let mut map = entries.write().expect("registry lock poisoned");
+            for stored in snapshot.entries {
+                match RegistryEntry::restore(&session, &stored.name, stored.version, stored.solved)
+                {
+                    Ok(entry) => {
+                        map.entry(entry.name.clone())
+                            .or_default()
+                            .insert(entry.version, Arc::new(entry));
+                        recovery.snapshot_versions += 1;
+                        metrics
+                            .counter_labeled(
+                                "hydra_wal_recovered_records_total",
+                                "source",
+                                "snapshot",
+                            )
+                            .inc();
+                    }
+                    Err(e) => eprintln!(
+                        "hydra-service: skipping snapshot entry {}@{}: {e}",
+                        stored.name, stored.version
+                    ),
+                }
+            }
+        }
+
+        // 2. WAL replay: versions committed after the snapshot.  Replay
+        //    truncates a torn tail back to the last intact record.
+        let wal_path = dir.join("wal.log");
+        let replayed = hydra_wal::replay(&wal_path)?;
+        if replayed.truncated_bytes > 0 {
+            eprintln!(
+                "hydra-service: truncated {} torn bytes from {} (crash mid-append)",
+                replayed.truncated_bytes,
+                wal_path.display()
+            );
+        }
+        recovery.wal_truncated_bytes = replayed.truncated_bytes;
+        let records_in_wal = replayed.records.len();
+        for payload in replayed.records {
+            let record = String::from_utf8(payload)
+                .map_err(|e| ServiceError::Protocol(e.to_string()))
+                .and_then(|text| {
+                    serde_json::from_str::<WalRecord>(&text)
+                        .map_err(|e| ServiceError::Protocol(format!("corrupt WAL record: {e}")))
+                });
+            let record = match record {
+                Ok(record) => record,
+                Err(e) => {
+                    eprintln!("hydra-service: skipping WAL record: {e}");
+                    continue;
+                }
+            };
+            let already = {
+                let map = entries.read().expect("registry lock poisoned");
+                map.get(&record.name)
+                    .is_some_and(|chain| chain.contains_key(&record.version))
+            };
+            if already {
+                continue; // the snapshot already covers this record
+            }
+            match RegistryEntry::restore(&session, &record.name, record.version, record.solved) {
+                Ok(entry) => {
+                    entries
+                        .write()
+                        .expect("registry lock poisoned")
+                        .entry(entry.name.clone())
+                        .or_default()
+                        .insert(entry.version, Arc::new(entry));
+                    recovery.wal_versions += 1;
+                    metrics
+                        .counter_labeled("hydra_wal_recovered_records_total", "source", "wal")
+                        .inc();
+                }
+                Err(e) => eprintln!(
+                    "hydra-service: skipping WAL record {}@{}: {e}",
+                    record.name, record.version
+                ),
+            }
+        }
+
+        let wal = hydra_wal::Wal::open(&wal_path)?;
+        let registry = SummaryRegistry {
+            session,
+            entries,
+            dir: None,
+            persist: Mutex::new(()),
+            durable: Some(Mutex::new(DurableState {
+                dir,
+                wal,
+                records_in_wal,
+                checkpoint_every: checkpoint_every.max(1),
+                next_snapshot_seq,
+            })),
+            recovery,
+        };
+        // Refresh the version gauges for everything we recovered.
+        for entry in registry.list() {
+            registry
+                .session
+                .metrics()
+                .gauge_labeled("hydra_registry_version", "name", &entry.name)
+                .set(i64::from(entry.version));
+        }
+        Ok(registry)
+    }
+
+    /// What a durable boot recovered (all-zero for other modes).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Reads, parses and re-solves one persisted package file.
@@ -255,13 +595,118 @@ impl SummaryRegistry {
         &self.session
     }
 
-    /// Solves `package` and registers it under `name`, bumping the version
-    /// if the name is already taken.  Solving happens outside the registry
-    /// lock and the finished entry is swapped in atomically; persistence
-    /// happens after registration, also off-lock, so readers are never
-    /// stalled behind disk I/O.  If the disk write fails the entry stays
-    /// registered (and servable) but the error is returned — the caller can
-    /// retry the publish for durability.
+    /// Appends `entry` to its name's version chain.
+    fn insert_version(&self, entry: Arc<RegistryEntry>) {
+        self.entries
+            .write()
+            .expect("registry lock poisoned")
+            .entry(entry.name.clone())
+            .or_default()
+            .insert(entry.version, entry);
+    }
+
+    /// Re-labels an already-solved entry with a later version (a racing
+    /// publish landed while this one solved).
+    fn reversion(entry: Arc<RegistryEntry>, version: u32) -> Arc<RegistryEntry> {
+        if entry.version == version {
+            return entry;
+        }
+        let mut relabeled = RegistryEntry {
+            name: entry.name.clone(),
+            version,
+            state: entry.state.clone(),
+            detail: entry.detail.clone(),
+        };
+        relabeled.detail.info.version = version;
+        Arc::new(relabeled)
+    }
+
+    /// Appends one commit record to the WAL (fsync'd) — the durability
+    /// point.  Called with the durable mutex held; the version becomes
+    /// visible only after this returns `Ok`.
+    fn wal_append(&self, dur: &mut DurableState, record: &WalRecord) -> ServiceResult<()> {
+        let json =
+            serde_json::to_string(record).map_err(|e| ServiceError::Protocol(e.to_string()))?;
+        let bytes = dur.wal.append(json.as_bytes())?;
+        dur.records_in_wal += 1;
+        let metrics = self.session.metrics();
+        let op = match record.op {
+            WalOp::Publish => "publish",
+            WalOp::Delta { .. } => "delta",
+        };
+        metrics
+            .counter_labeled("hydra_wal_records_total", "op", op)
+            .inc();
+        metrics.counter("hydra_wal_bytes_total").add(bytes);
+        Ok(())
+    }
+
+    /// Checkpoints if the WAL has grown past the configured threshold.  A
+    /// failed checkpoint is logged, not fatal — the WAL still holds every
+    /// committed record.
+    fn maybe_checkpoint(&self, dur: &mut DurableState) {
+        if dur.records_in_wal < dur.checkpoint_every {
+            return;
+        }
+        if let Err(e) = self.checkpoint_locked(dur) {
+            eprintln!("hydra-service: checkpoint failed (WAL retained): {e}");
+        }
+    }
+
+    /// Serializes every retained version into a new immutable snapshot,
+    /// then truncates the WAL.  Crash-ordering: the snapshot becomes
+    /// visible (rename + dir fsync) *before* the WAL shrinks, so every
+    /// committed version is always in at least one of the two.
+    fn checkpoint_locked(&self, dur: &mut DurableState) -> ServiceResult<()> {
+        let entries: Vec<SnapshotEntry> = {
+            let map = self.entries.read().expect("registry lock poisoned");
+            map.values()
+                .flat_map(|chain| chain.values())
+                .map(|e| SnapshotEntry {
+                    name: e.name.clone(),
+                    version: e.version,
+                    solved: e.solved_state(),
+                })
+                .collect()
+        };
+        let payload = serde_json::to_string(&SnapshotFile { entries })
+            .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+        let seq = dur.next_snapshot_seq;
+        hydra_wal::write_snapshot(&dur.dir.join(snapshot_name(seq)), payload.as_bytes())?;
+        dur.next_snapshot_seq += 1;
+        dur.wal.truncate()?;
+        dur.records_in_wal = 0;
+        self.session
+            .metrics()
+            .counter("hydra_wal_checkpoints_total")
+            .inc();
+        // Keep the newest snapshot plus one fallback; prune the rest.
+        if let Ok(snaps) = snapshot_paths(&dur.dir) {
+            for (_, path) in snaps.iter().rev().skip(2) {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces a checkpoint now (durable mode only; no-op otherwise).
+    pub fn checkpoint(&self) -> ServiceResult<()> {
+        let Some(durable) = &self.durable else {
+            return Ok(());
+        };
+        let mut dur = durable.lock().expect("wal lock poisoned");
+        self.checkpoint_locked(&mut dur)
+    }
+
+    /// Solves `package` and registers it under `name`, appending a new
+    /// version to the name's chain.  Solving happens outside the registry
+    /// lock and the finished entry is swapped in atomically.  In durable
+    /// mode the WAL record is appended and fsync'd **before** the version
+    /// becomes visible; if the append fails, nothing is registered.  In
+    /// package-persistence mode a failed disk write leaves the entry
+    /// registered and servable — the failure is surfaced as a structured
+    /// stderr diagnostic plus the `hydra_registry_persist_errors_total`
+    /// counter, not an error.
     pub fn publish(
         &self,
         name: &str,
@@ -279,26 +724,35 @@ impl SummaryRegistry {
             provisional,
             package,
         )?);
-        let entry = {
+        let entry = if let Some(durable) = &self.durable {
+            let mut dur = durable.lock().expect("wal lock poisoned");
+            // The durable mutex serializes commits, so the version we
+            // compute here cannot be raced.
+            let entry = Self::reversion(entry, self.version_of(name) + 1);
+            let record = WalRecord {
+                name: entry.name.clone(),
+                version: entry.version,
+                op: WalOp::Publish,
+                solved: entry.solved_state(),
+            };
+            self.wal_append(&mut dur, &record)?;
+            self.insert_version(Arc::clone(&entry));
+            self.maybe_checkpoint(&mut dur);
+            entry
+        } else {
             let mut entries = self.entries.write().expect("registry lock poisoned");
             // A racing publish of the same name may have landed while we
             // solved; take the next version after whatever is registered now.
-            let version = entries
+            let current = entries
                 .get(name)
-                .map_or(provisional, |e| e.version.max(provisional - 1) + 1);
-            let entry = if version == entry.version {
-                entry
-            } else {
-                let mut reversioned = RegistryEntry {
-                    name: entry.name.clone(),
-                    version,
-                    state: entry.state.clone(),
-                    detail: entry.detail.clone(),
-                };
-                reversioned.detail.info.version = version;
-                Arc::new(reversioned)
-            };
-            entries.insert(name.to_string(), Arc::clone(&entry));
+                .and_then(|chain| chain.keys().next_back().copied())
+                .unwrap_or(0);
+            let entry = Self::reversion(entry, current.max(provisional - 1) + 1);
+            entries
+                .entry(name.to_string())
+                .or_default()
+                .insert(entry.version, Arc::clone(&entry));
+            drop(entries);
             entry
         };
         let metrics = self.session.metrics();
@@ -306,15 +760,17 @@ impl SummaryRegistry {
         metrics
             .gauge_labeled("hydra_registry_version", "name", name)
             .set(i64::from(entry.version));
-        self.persist_entry(&entry)?;
+        self.persist_entry_logged(&entry);
         Ok(entry)
     }
 
-    /// Persists one entry's package as `<dir>/<name>.json` — written to a
-    /// temporary file and renamed into place, so a crash mid-write can never
-    /// leave a truncated file where a healthy one stood.  Writers are
-    /// serialized and each re-checks that its entry is still the current
-    /// version, so racing publishes cannot leave a stale version on disk.
+    /// Persists one entry's package as `<dir>/<name>.json`, durably: the
+    /// bytes are written to a temporary file and fsync'd, the file is
+    /// renamed into place, and the parent directory is fsync'd — so a crash
+    /// can neither leave a truncated file where a healthy one stood nor
+    /// quietly undo the rename.  Writers are serialized and each re-checks
+    /// that its entry is still the current version, so racing publishes
+    /// cannot leave a stale version on disk.
     fn persist_entry(&self, entry: &RegistryEntry) -> ServiceResult<()> {
         let Some(dir) = &self.dir else {
             return Ok(());
@@ -335,9 +791,27 @@ impl SummaryRegistry {
             serde_json::to_string(&stored).map_err(|e| ServiceError::Protocol(e.to_string()))?;
         let tmp = dir.join(format!(".{}.json.tmp", entry.name));
         let path = dir.join(format!("{}.json", entry.name));
-        std::fs::write(&tmp, json)?;
+        hydra_wal::write_file_durable(&tmp, json.as_bytes())?;
         std::fs::rename(&tmp, &path)?;
+        hydra_wal::fsync_dir(dir)?;
         Ok(())
+    }
+
+    /// [`Self::persist_entry`], with failures surfaced as a diagnostic and
+    /// a counter instead of an error: the entry is already registered and
+    /// servable, so a sick disk must not fail the publish that produced it.
+    fn persist_entry_logged(&self, entry: &RegistryEntry) {
+        if let Err(e) = self.persist_entry(entry) {
+            self.session
+                .metrics()
+                .counter("hydra_registry_persist_errors_total")
+                .inc();
+            eprintln!(
+                "hydra-service: persist failed name={} version={} error={e} \
+                 (entry remains registered and servable; re-publish to retry durability)",
+                entry.name, entry.version
+            );
+        }
     }
 
     /// Applies a workload delta to the registered summary `name`
@@ -352,7 +826,8 @@ impl SummaryRegistry {
     /// delta lands on the same name while this delta solves, the merge is
     /// transparently retried against the new base — so versions stay
     /// strictly monotonic and a reader never observes a summary that mixes
-    /// two bases.
+    /// two bases.  In durable mode the WAL record (delta + solved state) is
+    /// appended and fsync'd before the new version becomes visible.
     pub fn delta_publish(
         &self,
         name: &str,
@@ -371,11 +846,39 @@ impl SummaryRegistry {
                 base.version + 1,
                 outcome.state,
             )?);
-            {
+            if let Some(durable) = &self.durable {
+                let mut dur = durable.lock().expect("wal lock poisoned");
+                match self.get(name) {
+                    Some(current) if Arc::ptr_eq(&current, &base) => {}
+                    Some(_) => continue, // base moved while we solved; re-merge
+                    None => {
+                        return Err(ServiceError::Protocol(format!(
+                            "summary `{name}` disappeared while the delta solved"
+                        )))
+                    }
+                }
+                let record = WalRecord {
+                    name: entry.name.clone(),
+                    version: entry.version,
+                    op: WalOp::Delta {
+                        delta: delta.clone(),
+                    },
+                    solved: entry.solved_state(),
+                };
+                self.wal_append(&mut dur, &record)?;
+                self.insert_version(Arc::clone(&entry));
+                self.maybe_checkpoint(&mut dur);
+            } else {
                 let mut entries = self.entries.write().expect("registry lock poisoned");
-                match entries.get(name) {
-                    Some(current) if Arc::ptr_eq(current, &base) => {
-                        entries.insert(name.to_string(), Arc::clone(&entry));
+                let latest = entries
+                    .get(name)
+                    .and_then(|chain| chain.values().next_back().cloned());
+                match latest {
+                    Some(current) if Arc::ptr_eq(&current, &base) => {
+                        entries
+                            .entry(name.to_string())
+                            .or_default()
+                            .insert(entry.version, Arc::clone(&entry));
                     }
                     Some(_) => continue, // base moved while we solved; re-merge
                     None => {
@@ -409,7 +912,7 @@ impl SummaryRegistry {
                         .add(churn);
                 }
             }
-            self.persist_entry(&entry)?;
+            self.persist_entry_logged(&entry);
             return Ok(DeltaPublished {
                 info: entry.info(),
                 diff: outcome.diff,
@@ -418,26 +921,69 @@ impl SummaryRegistry {
         }
     }
 
-    /// The registered entry for `name`, if any.
+    /// The latest registered entry for `name`, if any.
     pub fn get(&self, name: &str) -> Option<Arc<RegistryEntry>> {
         self.entries
             .read()
             .expect("registry lock poisoned")
             .get(name)
-            .cloned()
+            .and_then(|chain| chain.values().next_back().cloned())
     }
 
-    /// Every registered entry, in name order.
+    /// A specific retained version of `name`, if still held.
+    pub fn get_version(&self, name: &str, version: u32) -> Option<Arc<RegistryEntry>> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .and_then(|chain| chain.get(&version).cloned())
+    }
+
+    /// Resolves a `name` or `name@version` spec to an entry: a bare name
+    /// resolves to the latest version, a pinned spec to that retained
+    /// historical version (time travel).
+    pub fn resolve(&self, spec: &str) -> ServiceResult<Arc<RegistryEntry>> {
+        match spec.split_once('@') {
+            None => self
+                .get(spec)
+                .ok_or_else(|| ServiceError::Protocol(format!("unknown summary `{spec}`"))),
+            Some((name, pin)) => {
+                let version: u32 = pin.parse().map_err(|_| {
+                    ServiceError::Protocol(format!("invalid version pin in summary spec `{spec}`"))
+                })?;
+                if self.get(name).is_none() {
+                    return Err(ServiceError::Protocol(format!("unknown summary `{name}`")));
+                }
+                self.get_version(name, version).ok_or_else(|| {
+                    ServiceError::Protocol(format!(
+                        "summary `{name}` has no retained version {version}"
+                    ))
+                })
+            }
+        }
+    }
+
+    /// Every retained version of `name`, ascending (empty if unknown).
+    pub fn versions_of(&self, name: &str) -> Vec<u32> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .map(|chain| chain.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The latest version of every registered name, in name order.
     pub fn list(&self) -> Vec<Arc<RegistryEntry>> {
         self.entries
             .read()
             .expect("registry lock poisoned")
             .values()
-            .cloned()
+            .filter_map(|chain| chain.values().next_back().cloned())
             .collect()
     }
 
-    /// Number of registered summaries.
+    /// Number of registered names.
     pub fn len(&self) -> usize {
         self.entries.read().expect("registry lock poisoned").len()
     }
@@ -479,6 +1025,7 @@ impl SummaryRegistry {
             .read()
             .expect("registry lock poisoned")
             .get(name)
-            .map_or(0, |e| e.version)
+            .and_then(|chain| chain.keys().next_back().copied())
+            .unwrap_or(0)
     }
 }

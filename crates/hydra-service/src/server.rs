@@ -345,9 +345,7 @@ fn handle_stream<W: Write>(
     registry: &SummaryRegistry,
     request: &StreamRequest,
 ) -> ServiceResult<()> {
-    let entry = registry
-        .get(&request.name)
-        .ok_or_else(|| ServiceError::Protocol(format!("unknown summary `{}`", request.name)))?;
+    let entry = registry.resolve(&request.name)?;
     let generator = entry.generator();
     let total = generator
         .summary

@@ -1,0 +1,282 @@
+//! The durable registry end to end: WAL-backed commits, checkpointing,
+//! instant recovery with zero cold LP solves, time-travel resolution, and
+//! the fsync/persist-failure discipline of the package-persistence mode.
+
+use hydra_core::session::Hydra;
+use hydra_engine::database::Database;
+use hydra_query::delta::WorkloadDelta;
+use hydra_query::predicate::{ColumnPredicate, CompareOp, TablePredicate};
+use hydra_query::query::SpjQuery;
+use hydra_service::registry::SummaryRegistry;
+use hydra_workload::{harvest_workload, retail_client_fixture};
+use std::path::PathBuf;
+
+fn session() -> Hydra {
+    Hydra::builder().compare_aqps(false).build()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hydra-durable-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A narrow web_sales query harvested against `db`, as a workload delta.
+fn narrow_delta(db: &Database, id: &str, threshold: i64) -> WorkloadDelta {
+    let mut narrow = SpjQuery::new(id);
+    narrow.add_table("web_sales");
+    narrow.set_predicate(
+        "web_sales",
+        TablePredicate::always_true().with(ColumnPredicate::new(
+            "ws_quantity",
+            CompareOp::Lt,
+            threshold,
+        )),
+    );
+    let harvested = harvest_workload(db, &[narrow]).expect("harvest");
+    let entry = harvested.entries.into_iter().next().expect("entry");
+    WorkloadDelta::new().add_annotated(entry.query, entry.aqp.expect("annotated"))
+}
+
+/// Total LP solve count across every outcome label — the zero-cold-solve
+/// recovery assertion reads this off a freshly booted session's metrics.
+fn lp_solves(session: &Hydra) -> u64 {
+    ["cold", "warm_hit", "warm_fellback", "reused"]
+        .iter()
+        .map(|outcome| {
+            session
+                .metrics()
+                .counter_labeled("hydra_lp_solves_total", "outcome", outcome)
+                .value()
+        })
+        .sum()
+}
+
+/// The acceptance scenario: three names, each with two chained deltas on
+/// top of its publish (versions 1→3), restart on the same WAL dir, and the
+/// recovered registry holds every name and every version **bit-identically**
+/// without a single LP solve.
+#[test]
+fn durable_restart_recovers_all_versions_with_zero_lp_solves() {
+    let dir = temp_dir("recover");
+    let mut truth: Vec<(String, u32, String)> = Vec::new();
+
+    {
+        let session = session();
+        let registry = SummaryRegistry::durable(session.clone(), &dir, 1000).expect("open durable");
+        for (i, name) in ["retail-a", "retail-b", "retail-c"].iter().enumerate() {
+            let rows = 400 + 100 * i as u64;
+            let (db, queries) = retail_client_fixture(rows, 150, 4);
+            let package = session.profile(db.clone(), &queries).expect("profile");
+            registry.publish(name, package).expect("publish");
+            for (v, threshold) in [(2u32, 40), (3u32, 25)] {
+                let delta = narrow_delta(&db, &format!("{name}-drift-{v}"), threshold);
+                let published = registry.delta_publish(name, &delta).expect("delta");
+                assert_eq!(published.info.version, v);
+            }
+            for version in 1..=3 {
+                let entry = registry.get_version(name, version).expect("version");
+                truth.push((
+                    name.to_string(),
+                    version,
+                    serde_json::to_string(&entry.detail()).expect("encode"),
+                ));
+            }
+        }
+    }
+
+    // Reboot on a fresh session (fresh metrics, fresh cache) over the same
+    // directory.
+    let session = session();
+    let registry = SummaryRegistry::durable(session.clone(), &dir, 1000).expect("reopen");
+    let recovery = registry.recovery_report();
+    assert_eq!(
+        recovery.snapshot_versions + recovery.wal_versions,
+        9,
+        "3 names x 3 versions recovered: {recovery:?}"
+    );
+    assert_eq!(
+        lp_solves(&session),
+        0,
+        "recovery must not run the LP solver"
+    );
+    assert_eq!(registry.len(), 3);
+    for (name, version, detail) in &truth {
+        let entry = registry
+            .get_version(name, *version)
+            .unwrap_or_else(|| panic!("{name}@{version} missing after recovery"));
+        let recovered = serde_json::to_string(&entry.detail()).expect("encode");
+        assert_eq!(
+            &recovered, detail,
+            "{name}@{version} must recover bit-identical"
+        );
+        assert_eq!(registry.versions_of(name), vec![1, 2, 3]);
+    }
+    // Time travel: pinned resolution returns the historical entry, the bare
+    // name the latest, and a missing pin is a structured error.
+    assert_eq!(registry.resolve("retail-a@1").expect("pin v1").version, 1);
+    assert_eq!(registry.resolve("retail-a").expect("latest").version, 3);
+    let err = registry.resolve("retail-a@9").expect_err("missing version");
+    assert!(
+        err.to_string().contains("no retained version 9"),
+        "unexpected error: {err}"
+    );
+    let err = registry.resolve("nobody@1").expect_err("unknown name");
+    assert!(err.to_string().contains("unknown summary"), "{err}");
+
+    // The recovered registry is live: a new publish commits version 4.
+    let (db, queries) = retail_client_fixture(450, 150, 4);
+    let package = session.profile(db, &queries).expect("profile");
+    let entry = registry.publish("retail-a", package).expect("republish");
+    assert_eq!(entry.version, 4);
+    assert!(lp_solves(&session) > 0, "the live publish does solve");
+}
+
+/// A torn WAL tail (crash mid-append) is truncated back to the last intact
+/// record; everything acknowledged before the tear recovers.
+#[test]
+fn torn_wal_tail_is_discarded_cleanly() {
+    let dir = temp_dir("torn");
+    {
+        let session = session();
+        let registry = SummaryRegistry::durable(session.clone(), &dir, 1000).expect("open");
+        let (db, queries) = retail_client_fixture(400, 150, 4);
+        let package = session.profile(db.clone(), &queries).expect("profile");
+        registry.publish("retail", package).expect("publish v1");
+        let delta = narrow_delta(&db, "drift", 40);
+        registry.delta_publish("retail", &delta).expect("delta v2");
+    }
+    // Simulate a crash mid-append: garbage after the last intact record.
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).expect("read wal");
+    bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+    std::fs::write(&wal, &bytes).expect("tear wal");
+
+    let session = session();
+    let registry = SummaryRegistry::durable(session.clone(), &dir, 1000).expect("reopen");
+    let recovery = registry.recovery_report();
+    assert_eq!(recovery.wal_truncated_bytes, 3, "{recovery:?}");
+    assert_eq!(registry.versions_of("retail"), vec![1, 2]);
+    assert_eq!(lp_solves(&session), 0);
+}
+
+/// Checkpoints snapshot the full chain and truncate the WAL, so recovery
+/// reads the snapshot instead of replaying every record since boot.
+#[test]
+fn checkpoint_truncates_wal_and_recovery_reads_the_snapshot() {
+    let dir = temp_dir("checkpoint");
+    {
+        let session = session();
+        let registry = SummaryRegistry::durable(session.clone(), &dir, 1).expect("open");
+        let (db, queries) = retail_client_fixture(400, 150, 4);
+        let package = session.profile(db.clone(), &queries).expect("profile");
+        registry.publish("retail", package).expect("publish");
+        let delta = narrow_delta(&db, "drift", 40);
+        registry.delta_publish("retail", &delta).expect("delta");
+    }
+    assert_eq!(
+        std::fs::metadata(dir.join("wal.log"))
+            .expect("wal meta")
+            .len(),
+        0,
+        "checkpoint_every=1 must leave the WAL empty"
+    );
+    let snapshots = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|ext| ext == "snap"))
+        .count();
+    assert!(snapshots >= 1, "a snapshot file must exist");
+
+    let session = session();
+    let registry = SummaryRegistry::durable(session.clone(), &dir, 1).expect("reopen");
+    let recovery = registry.recovery_report();
+    assert_eq!(recovery.snapshot_versions, 2, "{recovery:?}");
+    assert_eq!(recovery.wal_versions, 0, "{recovery:?}");
+    assert_eq!(registry.versions_of("retail"), vec![1, 2]);
+    assert_eq!(lp_solves(&session), 0);
+}
+
+/// The package-persistence write path is durable: publishing issues an
+/// fsync on the staged file **and** an fsync on the registry directory
+/// (the rename itself lives in directory metadata).
+#[test]
+fn persist_write_path_issues_file_and_dir_syncs() {
+    let dir = temp_dir("syncs");
+    let session = session();
+    let registry = SummaryRegistry::persistent(session.clone(), &dir).expect("open");
+    let (db, queries) = retail_client_fixture(400, 150, 4);
+    let package = session.profile(db, &queries).expect("profile");
+
+    let (files_before, dirs_before) = hydra_wal::sync_counts();
+    registry.publish("retail", package).expect("publish");
+    let (files_after, dirs_after) = hydra_wal::sync_counts();
+    assert!(
+        files_after > files_before,
+        "publish must fsync the staged registry file"
+    );
+    assert!(
+        dirs_after > dirs_before,
+        "publish must fsync the registry directory after the rename"
+    );
+    assert!(dir.join("retail.json").exists());
+}
+
+/// Stale `.{name}.json.tmp` staging files (a crash between write and
+/// rename) are swept on startup instead of accumulating forever.
+#[test]
+fn stale_tmp_files_are_swept_on_startup() {
+    let dir = temp_dir("sweep");
+    std::fs::write(dir.join(".ghost.json.tmp"), b"{\"torn\":").expect("seed stale tmp");
+    let registry = SummaryRegistry::persistent(session(), &dir).expect("open");
+    assert!(
+        !dir.join(".ghost.json.tmp").exists(),
+        "stale staging file must be removed at startup"
+    );
+    assert!(
+        registry.is_empty(),
+        "a staging file is not a registry entry"
+    );
+}
+
+/// A failed disk persist must not fail the publish: the entry is already
+/// registered and servable.  The failure surfaces as the
+/// `hydra_registry_persist_errors_total` counter (plus a stderr
+/// diagnostic), and the entry is returned.
+#[test]
+fn persist_failure_keeps_the_entry_servable() {
+    let dir = temp_dir("persist-fail");
+    let session = session();
+    let registry = SummaryRegistry::persistent(session.clone(), &dir).expect("open");
+    let (db, queries) = retail_client_fixture(400, 150, 4);
+    let package = session.profile(db.clone(), &queries).expect("profile");
+
+    // Success path first: no error counted, file on disk.
+    registry
+        .publish("retail", package.clone())
+        .expect("publish");
+    let errors = session
+        .metrics()
+        .counter("hydra_registry_persist_errors_total");
+    assert_eq!(errors.value(), 0);
+    assert!(dir.join("retail.json").exists());
+
+    // Break the disk out from under the registry: the registry dir becomes
+    // a plain file, so every staged write fails with ENOTDIR/ENOENT.
+    std::fs::remove_dir_all(&dir).expect("remove dir");
+    std::fs::write(&dir, b"not a directory").expect("replace dir with file");
+
+    let entry = registry
+        .publish("retail", package)
+        .expect("publish must succeed even when the disk write fails");
+    assert_eq!(entry.version, 2);
+    assert_eq!(errors.value(), 1, "the failed persist must be counted");
+    let served = registry.get("retail").expect("still servable");
+    assert_eq!(served.version, 2);
+    let _ = std::fs::remove_file(&dir);
+}

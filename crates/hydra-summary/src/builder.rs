@@ -34,6 +34,7 @@ use hydra_catalog::metadata::DatabaseMetadata;
 use hydra_catalog::schema::{Schema, Table};
 use hydra_lp::simplex::WarmOutcome;
 use hydra_query::aqp::VolumetricConstraint;
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
@@ -166,7 +167,7 @@ impl SummaryCache for InMemorySummaryCache {
 
 /// Per-relation construction statistics (vendor-screen LP table; experiments
 /// E1/E3).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RelationBuildStats {
     /// Relation name.
     pub table: String,
@@ -185,7 +186,7 @@ pub struct RelationBuildStats {
 }
 
 /// The overall construction report.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SummaryBuildReport {
     /// Per-relation statistics, in processing order.
     pub relations: Vec<RelationBuildStats>,

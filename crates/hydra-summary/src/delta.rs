@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Everything retained about one relation's solve for future delta builds.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RelationBaseline {
     /// Fingerprint of every input that determined the solve (constraints,
     /// row target, FK domains, dimension summaries, backend, strategy).
@@ -41,7 +41,7 @@ pub struct RelationBaseline {
 }
 
 /// The retained solve artifacts of a whole build, keyed by relation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SolveBaseline {
     /// Per-relation baselines.
     pub relations: BTreeMap<String, RelationBaseline>,

@@ -18,12 +18,13 @@ use hydra_lp::solver::{LpSolver, SolveStatus};
 use hydra_partition::refine::check_refinable;
 use hydra_partition::region::{RegionPartition, RegionPartitioner};
 use hydra_query::aqp::VolumetricConstraint;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Statistics about one relation's LP (reported on the vendor screen and used
 /// by experiments E1/E3).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LpStats {
     /// Number of LP variables (= regions).
     pub variables: usize,
@@ -54,7 +55,7 @@ pub struct LpStats {
 }
 
 /// The solved placement of a relation's rows across its regions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolvedRelation {
     /// The region partition of the relation's attribute space.
     pub partition: RegionPartition,

@@ -76,7 +76,25 @@ impl HydraTester {
     /// parallelism, solver backend…).  Both protocol listeners share one
     /// reactor event loop, exactly like a production `hydra-serve`.
     pub fn with_session(session: Hydra) -> Self {
-        let registry = Arc::new(SummaryRegistry::in_memory(session.clone()));
+        Self::with_registry(SummaryRegistry::in_memory(session.clone()), session)
+    }
+
+    /// Boots a tester over a **durable** (WAL + snapshot) registry rooted
+    /// at `wal_dir`, checkpointing every `checkpoint_every` records — the
+    /// recovery path under test: reboot by building a second tester over
+    /// the same directory.
+    pub fn durable(
+        session: Hydra,
+        wal_dir: impl Into<std::path::PathBuf>,
+        checkpoint_every: usize,
+    ) -> Self {
+        let registry = SummaryRegistry::durable(session.clone(), wal_dir, checkpoint_every)
+            .expect("open durable registry");
+        Self::with_registry(registry, session)
+    }
+
+    fn with_registry(registry: SummaryRegistry, session: Hydra) -> Self {
+        let registry = Arc::new(registry);
         let signal = ShutdownSignal::new();
         let mut builder = ReactorBuilder::new().observe(session.metrics());
         let frame_addr = builder

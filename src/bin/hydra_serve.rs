@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] [--metrics-addr HOST:PORT]
-//!             [--registry-dir DIR] [--seed-retail ROWS] [--velocity ROWS_PER_SEC]
+//!             [--registry-dir DIR | --wal-dir DIR] [--checkpoint-every N]
+//!             [--seed-retail ROWS] [--velocity ROWS_PER_SEC]
 //!             [--parallelism N] [--workers N] [--max-connections N]
 //!             [--slow-query-ms MS]
 //! ```
@@ -15,8 +16,16 @@
 //!   startup parameter selects the summary, `name@version` pins a version).
 //!   Printed as `hydra-serve pg listening on HOST:PORT`.
 //! * `--registry-dir DIR`: persist published packages to `DIR/<name>.json`
-//!   and re-solve whatever is found there on startup.  Without it the
-//!   registry is in-memory.
+//!   and re-solve whatever is found there on startup.  Without it (and
+//!   without `--wal-dir`) the registry is in-memory.
+//! * `--wal-dir DIR`: full durability — every publish and delta is appended
+//!   (and fsync'd) to `DIR/wal.log` before it is acknowledged, and periodic
+//!   checkpoints snapshot the complete solved state.  Restart recovers all
+//!   names **and all retained versions** with zero cold LP solves
+//!   (snapshot-load + WAL-replay).  Mutually exclusive with
+//!   `--registry-dir`.
+//! * `--checkpoint-every N` (default 64): with `--wal-dir`, write a
+//!   snapshot and truncate the WAL after every `N` appended records.
 //! * `--seed-retail ROWS`: before serving, publish the synthetic retail
 //!   fixture (fact table of `ROWS` rows) as summary `retail`, so clients can
 //!   stream immediately without publishing anything.
@@ -57,6 +66,8 @@ struct Options {
     pg_addr: Option<String>,
     metrics_addr: Option<String>,
     registry_dir: Option<String>,
+    wal_dir: Option<String>,
+    checkpoint_every: usize,
     seed_retail: Option<u64>,
     velocity: Option<f64>,
     parallelism: usize,
@@ -71,6 +82,8 @@ fn parse_args() -> Result<Options, String> {
         pg_addr: None,
         metrics_addr: None,
         registry_dir: None,
+        wal_dir: None,
+        checkpoint_every: 64,
         seed_retail: None,
         velocity: None,
         parallelism: 1,
@@ -86,6 +99,12 @@ fn parse_args() -> Result<Options, String> {
             "--pg-addr" => options.pg_addr = Some(value("--pg-addr")?),
             "--metrics-addr" => options.metrics_addr = Some(value("--metrics-addr")?),
             "--registry-dir" => options.registry_dir = Some(value("--registry-dir")?),
+            "--wal-dir" => options.wal_dir = Some(value("--wal-dir")?),
+            "--checkpoint-every" => {
+                options.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
             "--seed-retail" => {
                 options.seed_retail = Some(
                     value("--seed-retail")?
@@ -125,7 +144,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: hydra-serve [--addr HOST:PORT] [--pg-addr HOST:PORT] \
-                     [--metrics-addr HOST:PORT] [--registry-dir DIR] \
+                     [--metrics-addr HOST:PORT] [--registry-dir DIR | --wal-dir DIR] \
+                     [--checkpoint-every N] \
                      [--seed-retail ROWS] [--velocity ROWS_PER_SEC] \
                      [--parallelism N] [--workers N] [--max-connections N] \
                      [--slow-query-ms MS]"
@@ -158,15 +178,38 @@ fn main() -> ExitCode {
             .set_slow_log(Some(SlowLog::stderr(Duration::from_millis(ms))));
     }
 
-    let registry = match &options.registry_dir {
-        Some(dir) => match SummaryRegistry::persistent(session.clone(), dir) {
+    if options.registry_dir.is_some() && options.wal_dir.is_some() {
+        eprintln!("hydra-serve: --registry-dir and --wal-dir are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    let registry = match (&options.registry_dir, &options.wal_dir) {
+        (Some(dir), None) => match SummaryRegistry::persistent(session.clone(), dir) {
             Ok(registry) => registry,
             Err(e) => {
                 eprintln!("hydra-serve: cannot open registry dir {dir}: {e}");
                 return ExitCode::FAILURE;
             }
         },
-        None => SummaryRegistry::in_memory(session.clone()),
+        (None, Some(dir)) => {
+            match SummaryRegistry::durable(session.clone(), dir, options.checkpoint_every) {
+                Ok(registry) => {
+                    let recovery = registry.recovery_report();
+                    println!(
+                        "hydra-serve: recovered {} version(s) from snapshot, {} from WAL \
+                         ({} torn bytes truncated)",
+                        recovery.snapshot_versions,
+                        recovery.wal_versions,
+                        recovery.wal_truncated_bytes
+                    );
+                    registry
+                }
+                Err(e) => {
+                    eprintln!("hydra-serve: cannot open WAL dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => SummaryRegistry::in_memory(session.clone()),
     };
     for entry in registry.list() {
         println!(
