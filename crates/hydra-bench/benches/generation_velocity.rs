@@ -14,11 +14,29 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hydra_bench::{regenerate, retail_package, BenchReport};
-use hydra_datagen::sink::CountingSink;
+use hydra_datagen::sink::{CountingSink, TupleSink};
 use hydra_engine::database::Database;
 use hydra_engine::exec::Executor;
 use hydra_query::plan::LogicalPlan;
-use std::time::Duration;
+use hydra_service::wire::FrameSink;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Discards everything, counting bytes — the wire bench must measure frame
+/// assembly, not kernel socket buffers.
+struct NullCounter {
+    bytes: u64,
+}
+
+impl Write for NullCounter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 fn bench_generation_velocity(c: &mut Criterion) {
     let package = retail_package(32, 30_000);
@@ -90,6 +108,86 @@ fn bench_generation_velocity(c: &mut Criterion) {
         );
     }
     report.metric("sequential_rows_per_sec", sequential_best);
+
+    // Memcpy-relative series: block-constant structure means streaming a
+    // relation is *supposed* to cost about as much as copying its wire bytes.
+    // Measure that honestly — a row-chunked copy of the same byte volume is
+    // the floor any per-tuple wire protocol can reach — and hard-assert the
+    // 2x acceptance bound so a regression fails CI, not just a README table.
+    let table = schema.table("store_sales").unwrap().clone();
+    let wire_run = || {
+        let mut counter = NullCounter { bytes: 0 };
+        let start = Instant::now();
+        let mut sink = FrameSink::new(&mut counter, 1024, (0, rows));
+        sink.begin(&table, rows);
+        let mut stream = generator.stream_range("store_sales", 0..rows).unwrap();
+        while let Some(block) = stream.next_block(u64::MAX) {
+            assert_eq!(sink.write_block(&block), block.len());
+        }
+        sink.finish();
+        assert!(sink.into_error().is_none());
+        (start.elapsed(), counter.bytes)
+    };
+    let (_, total_bytes) = wire_run(); // warm-up + byte volume
+    let wire_time = (0..5).map(|_| wire_run().0).min().unwrap();
+    let row_bytes = (total_bytes / rows.max(1)).max(1) as usize;
+    let src = vec![0x5au8; total_bytes as usize + row_bytes];
+    let mut dst: Vec<u8> = Vec::with_capacity(src.len());
+    let memcpy_time = (0..5)
+        .map(|_| {
+            dst.clear();
+            let start = Instant::now();
+            let mut off = 0usize;
+            while dst.len() < total_bytes as usize {
+                dst.extend_from_slice(&src[off..off + row_bytes]);
+                off += row_bytes;
+            }
+            criterion::black_box(&dst);
+            start.elapsed()
+        })
+        .min()
+        .unwrap();
+    let memcpy_bps = total_bytes as f64 / memcpy_time.as_secs_f64();
+    let wire_bps = total_bytes as f64 / wire_time.as_secs_f64();
+    let wire_ratio = wire_time.as_secs_f64() / memcpy_time.as_secs_f64();
+    let generation_time = Duration::from_secs_f64(rows as f64 / sequential_best.max(1.0));
+    let generation_ratio = generation_time.as_secs_f64() / memcpy_time.as_secs_f64();
+    report.metric("memcpy_bytes_per_sec", memcpy_bps);
+    report.metric("wire_bytes_per_sec", wire_bps);
+    report.metric("wire_rows_per_sec", rows as f64 / wire_time.as_secs_f64());
+    report.metric("wire_vs_memcpy_ratio", wire_ratio);
+    report.metric("generation_vs_memcpy_ratio", generation_ratio);
+    println!(
+        "[E4] memcpy floor ({} MiB in {}-byte rows)  ->  {:>8.0} MiB/s",
+        total_bytes >> 20,
+        row_bytes,
+        memcpy_bps / (1u64 << 20) as f64
+    );
+    println!(
+        "[E4]   wire streaming  ->  {:>8.0} MiB/s   ({wire_ratio:.2}x memcpy)",
+        wire_bps / (1u64 << 20) as f64
+    );
+    println!("[E4]   sequential generation  ->  {generation_ratio:.2}x memcpy");
+    for (name, ratio) in [
+        ("wire streaming", wire_ratio),
+        ("sequential generation", generation_ratio),
+    ] {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "{name} ratio must be a positive finite number, got {ratio}"
+        );
+        assert!(
+            ratio <= 2.0,
+            "{name} must stay within 2x of the memcpy floor, measured {ratio:.2}x \
+             ({:.1} ms vs memcpy {:.1} ms for {total_bytes} bytes)",
+            if name.starts_with("wire") {
+                wire_time.as_secs_f64() * 1e3
+            } else {
+                generation_time.as_secs_f64() * 1e3
+            },
+            memcpy_time.as_secs_f64() * 1e3,
+        );
+    }
 
     let mut group = c.benchmark_group("E4_generation_velocity");
     group.sample_size(10);

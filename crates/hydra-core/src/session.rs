@@ -48,6 +48,7 @@ use crate::transfer::TransferPackage;
 use crate::vendor::{HydraConfig, RegenerationResult, VendorSite};
 use hydra_datagen::exec::{ExecMode, QueryEngine};
 use hydra_datagen::generator::GenerationStats;
+use hydra_datagen::governor::VelocityGovernor;
 use hydra_datagen::shard::ShardedRun;
 use hydra_datagen::sink::TupleSink;
 use hydra_engine::database::Database;
@@ -177,8 +178,22 @@ impl HydraBuilder {
     /// streams unthrottled.  Each stream gets its own
     /// [`hydra_datagen::governor::VelocityGovernor`], so concurrent streams
     /// from one session are paced independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rate is given that is not finite and at least
+    /// [`VelocityGovernor::MIN_RATE`] (0.001 rows/s) — the same validation
+    /// the wire protocol applies, so a zero/subnormal/NaN rate fails at
+    /// configuration time instead of stalling every stream.
     pub fn velocity(mut self, rows_per_sec: impl Into<Option<f64>>) -> Self {
-        self.velocity = rows_per_sec.into();
+        let rate = rows_per_sec.into();
+        if let Some(rate) = rate {
+            assert!(
+                rate.is_finite() && rate >= VelocityGovernor::MIN_RATE,
+                "rows_per_sec must be a finite rate >= 0.001, got {rate}"
+            );
+        }
+        self.velocity = rate;
         self
     }
 
@@ -780,6 +795,30 @@ mod tests {
             .stream_table(&result, "store_sales", &mut sink, Some(1e9), Some(100))
             .unwrap();
         assert_eq!(stats.target_rows_per_sec, Some(1e9));
+    }
+
+    #[test]
+    fn builder_velocity_accepts_the_wire_minimum_and_none() {
+        let builder = Hydra::builder().velocity(1e-3).velocity(None);
+        assert_eq!(builder.build().velocity(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite rate >= 0.001")]
+    fn builder_velocity_rejects_zero() {
+        let _ = Hydra::builder().velocity(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite rate >= 0.001")]
+    fn builder_velocity_rejects_subnormal() {
+        let _ = Hydra::builder().velocity(f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite rate >= 0.001")]
+    fn builder_velocity_rejects_infinity() {
+        let _ = Hydra::builder().velocity(f64::INFINITY);
     }
 
     #[test]

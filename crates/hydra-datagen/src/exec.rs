@@ -21,6 +21,7 @@
 
 use crate::generator::DynamicGenerator;
 use crate::sink::TupleSink;
+use crate::stream::RowBlock;
 use hydra_catalog::schema::Schema;
 use hydra_catalog::types::Value;
 use hydra_engine::error::EngineError;
@@ -321,6 +322,104 @@ impl TupleSink for ScanSink<'_, '_> {
             })
             .collect();
         self.agg.add(key, &inputs);
+    }
+
+    fn write_block(&mut self, block: &RowBlock<'_>) -> u64 {
+        let ctx = self.ctx;
+        let n = block.len();
+        let template = block.template();
+        let is_auto = |name: &str| {
+            ctx.col_index
+                .get(name)
+                .is_some_and(|i| block.auto_columns().contains(i))
+        };
+        // The pk varies within the block, so any reference to it outside an
+        // aggregate target keeps the block's tuples distinguishable — take
+        // the bit-identical row-at-a-time path for those queries.
+        let pk_in_predicate = ctx.conjuncts.iter().any(|c| is_auto(&c.column));
+        let pk_in_group_key = ctx
+            .query
+            .group_by
+            .iter()
+            .any(|g| g.table == ctx.root && is_auto(&g.column));
+        // Probe the join fan-out on the template while recording whether the
+        // resolver ever reads an auto column (it resolves through root fk
+        // columns, which are block-constant; the probe guards the invariant).
+        let touched_auto = std::cell::Cell::new(false);
+        let resolved = ctx.resolver.resolve(|col| {
+            if is_auto(col) {
+                touched_auto.set(true);
+            }
+            ctx.column(template, col)
+        });
+        if pk_in_predicate || pk_in_group_key || touched_auto.get() {
+            for row in block.rows() {
+                self.accept(row);
+            }
+            return n;
+        }
+        // Everything below is block-constant: evaluate once, contribute for
+        // all `n` tuples; pk-targeted aggregates use the closed-form
+        // `IntRange` input over the block's pk range.
+        self.scanned += n;
+        if !ctx.conjuncts.iter().all(|c| {
+            ctx.column(template, &c.column)
+                .map(|v| c.matches(v))
+                .unwrap_or(false)
+        }) {
+            return n;
+        }
+        let Some(resolved) = resolved else {
+            return n;
+        };
+        let read = |colref: &hydra_query::exec::ColumnRef| -> Value {
+            if colref.table == ctx.root {
+                ctx.column(template, &colref.column)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            } else {
+                match resolved.get(colref.table.as_str()) {
+                    Some(dim) => ctx.resolver.dim_value(&colref.table, &colref.column, dim),
+                    None => Value::Null,
+                }
+            }
+        };
+        let key: Vec<Value> = ctx.query.group_by.iter().map(&read).collect();
+        /// The per-block shape of one aggregate's contribution.
+        enum BlockInput {
+            /// Count-only: the value is irrelevant.
+            Tuples,
+            /// Target is the auto-numbered pk: closed form over the range.
+            PkRange,
+            /// Target is block-constant: one value repeated `n` times.
+            Constant(Value),
+        }
+        let classified: Vec<BlockInput> = ctx
+            .query
+            .aggregates
+            .iter()
+            .map(|agg| match (&agg.func, &agg.target) {
+                (AggFunc::Count, _) | (_, None) => BlockInput::Tuples,
+                (_, Some(col)) if col.table == ctx.root && is_auto(&col.column) => {
+                    BlockInput::PkRange
+                }
+                (_, Some(col)) => BlockInput::Constant(read(col)),
+            })
+            .collect();
+        let pk_range = block.pk_range();
+        let inputs: Vec<AggInput<'_>> = classified
+            .iter()
+            .map(|c| match c {
+                BlockInput::Tuples => AggInput::Tuples { n },
+                BlockInput::PkRange => AggInput::IntRange {
+                    lo: pk_range.start as i64,
+                    hi: pk_range.end as i64,
+                },
+                BlockInput::Constant(value) => AggInput::Repeat { value, n },
+            })
+            .collect();
+        self.agg.add(key, &inputs);
+        n
     }
 }
 

@@ -211,26 +211,47 @@ impl DynamicGenerator {
 /// shared emission loop of [`DynamicGenerator::stream_into`] and
 /// [`DynamicGenerator::stream_range_into`].
 fn drive_stream(
-    stream: TupleStream<'_>,
+    mut stream: TupleStream<'_>,
     sink: &mut dyn TupleSink,
     rows_per_sec: Option<f64>,
     limit: Option<u64>,
 ) -> GenerationStats {
     let table = stream.table().name.clone();
-    let expected = stream.remaining().min(limit.unwrap_or(u64::MAX));
+    let limit = limit.unwrap_or(u64::MAX);
+    let expected = stream.remaining().min(limit);
     sink.begin(stream.table(), expected);
     let mut governor = match rows_per_sec {
         Some(rate) => VelocityGovernor::with_rate(rate),
         None => VelocityGovernor::unthrottled(),
     };
     let mut produced = 0u64;
-    for row in stream {
-        if produced >= limit.unwrap_or(u64::MAX) || sink.aborted() {
-            break;
+    if governor.target_rate().is_none() {
+        // Unthrottled: hand the sink whole columnar blocks so overriding
+        // sinks do O(1) work per block (the default expansion is
+        // bit-identical to the per-row loop below).
+        while produced < limit && !sink.aborted() {
+            let Some(block) = stream.next_block(limit - produced) else {
+                break;
+            };
+            let n = sink.write_block(&block);
+            produced += n;
+            governor.note(n);
+            if n < block.len() {
+                // The sink aborted mid-block; don't credit unconsumed rows.
+                break;
+            }
         }
-        sink.accept(row);
-        produced += 1;
-        governor.pace(1);
+    } else {
+        // Throttled: pace tuple by tuple so the emission schedule is exactly
+        // the configured velocity, not block-grained bursts.
+        for row in stream {
+            if produced >= limit || sink.aborted() {
+                break;
+            }
+            sink.accept(row);
+            produced += 1;
+            governor.pace(1);
+        }
     }
     sink.finish();
     GenerationStats {

@@ -13,17 +13,40 @@ use std::time::{Duration, Instant};
 pub struct VelocityGovernor {
     /// Target rate in rows per second; `None` = unthrottled.
     target_rows_per_sec: Option<f64>,
+    /// Statistics origin: [`elapsed`](Self::elapsed) and
+    /// [`achieved_rate`](Self::achieved_rate) always measure from here.
     started: Instant,
+    /// Pacing origin.  Normally equal to `started`, but re-anchored forward
+    /// after a stall so the schedule never owes more than
+    /// [`MAX_CATCHUP_SECS`](Self::MAX_CATCHUP_SECS) worth of catch-up tuples.
+    anchor: Instant,
     emitted: u64,
     slept: Duration,
 }
 
 impl VelocityGovernor {
+    /// Smallest accepted target rate, matching the wire-protocol validation
+    /// (`rows_per_sec must be a finite rate >= 0.001`).
+    pub const MIN_RATE: f64 = 1e-3;
+
     /// A governor with the given target velocity (rows/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows_per_sec` is finite and at least
+    /// [`MIN_RATE`](Self::MIN_RATE) — the same validation the wire path
+    /// applies, so a zero/subnormal/NaN rate fails loudly at construction
+    /// instead of turning every pace call into a 60 s sleep.
     pub fn with_rate(rows_per_sec: f64) -> Self {
+        assert!(
+            rows_per_sec.is_finite() && rows_per_sec >= Self::MIN_RATE,
+            "rows_per_sec must be a finite rate >= 0.001, got {rows_per_sec}"
+        );
+        let now = Instant::now();
         VelocityGovernor {
-            target_rows_per_sec: Some(rows_per_sec.max(f64::MIN_POSITIVE)),
-            started: Instant::now(),
+            target_rows_per_sec: Some(rows_per_sec),
+            started: now,
+            anchor: now,
             emitted: 0,
             slept: Duration::ZERO,
         }
@@ -31,9 +54,11 @@ impl VelocityGovernor {
 
     /// An unthrottled governor (generation proceeds at full speed).
     pub fn unthrottled() -> Self {
+        let now = Instant::now();
         VelocityGovernor {
             target_rows_per_sec: None,
-            started: Instant::now(),
+            started: now,
+            anchor: now,
             emitted: 0,
             slept: Duration::ZERO,
         }
@@ -48,6 +73,27 @@ impl VelocityGovernor {
     /// rates otherwise turn into effectively-infinite sleeps, and a
     /// non-finite deadline would panic `Duration::from_secs_f64`).
     const MAX_PACE_SLEEP_SECS: f64 = 60.0;
+
+    /// Largest emission deficit the schedule will try to catch up on.  After
+    /// a stall (reactor `AwaitDrain` park, slow peer, long LP pause) the
+    /// governor would otherwise consider *every* tuple since the stall start
+    /// due at once and release an unbounded burst; instead the pacing anchor
+    /// is moved forward so at most one second's worth of budget is released.
+    pub const MAX_CATCHUP_SECS: f64 = 1.0;
+
+    /// Re-anchors the pacing origin when the schedule has fallen more than
+    /// [`MAX_CATCHUP_SECS`](Self::MAX_CATCHUP_SECS) behind, capping the
+    /// post-stall burst.  Leaves `started` (the statistics origin) untouched.
+    fn clamp_catchup(&mut self) {
+        let Some(rate) = self.target_rows_per_sec else {
+            return;
+        };
+        let due_at = self.emitted as f64 / rate;
+        let deficit = self.anchor.elapsed().as_secs_f64() - due_at;
+        if deficit > Self::MAX_CATCHUP_SECS {
+            self.anchor += Duration::from_secs_f64(deficit - Self::MAX_CATCHUP_SECS);
+        }
+    }
 
     /// Records that `n` tuples are about to be emitted and sleeps long enough
     /// to keep the emission rate at (or below) the target.
@@ -86,11 +132,14 @@ impl VelocityGovernor {
     /// How long emission must pause before `extra` *more* tuples (beyond
     /// those already noted) are due under the target rate.  `None` when
     /// unthrottled or when that many tuples are already due now.  Capped at
-    /// the same 60 s bound as [`pace`](Self::pace)'s sleep.
-    pub fn delay_for(&self, extra: u64) -> Option<Duration> {
+    /// the same 60 s bound as [`pace`](Self::pace)'s sleep, and the schedule
+    /// forgives all but the last second of a stall (see
+    /// [`MAX_CATCHUP_SECS`](Self::MAX_CATCHUP_SECS)).
+    pub fn delay_for(&mut self, extra: u64) -> Option<Duration> {
+        self.clamp_catchup();
         let rate = self.target_rows_per_sec?;
         let due = (self.emitted + extra) as f64 / rate;
-        let elapsed = self.started.elapsed().as_secs_f64();
+        let elapsed = self.anchor.elapsed().as_secs_f64();
         let wait = due - elapsed;
         if wait > 0.0 {
             Some(Duration::from_secs_f64(wait.min(Self::MAX_PACE_SLEEP_SECS)))
@@ -100,10 +149,13 @@ impl VelocityGovernor {
     }
 
     /// How many tuples may be emitted *right now* without overshooting the
-    /// target rate.  `None` means unthrottled (no budget at all).
-    pub fn budget(&self) -> Option<u64> {
+    /// target rate.  `None` means unthrottled (no budget at all).  After a
+    /// stall the budget is capped at roughly one second's worth of tuples
+    /// rather than everything "missed" during the stall.
+    pub fn budget(&mut self) -> Option<u64> {
+        self.clamp_catchup();
         let rate = self.target_rows_per_sec?;
-        let due = (rate * self.started.elapsed().as_secs_f64()).floor() as u64;
+        let due = (rate * self.anchor.elapsed().as_secs_f64()).floor() as u64;
         Some(due.saturating_sub(self.emitted))
     }
 
@@ -189,6 +241,54 @@ mod tests {
         g.note(due);
         let after = g.budget().unwrap();
         assert!(after <= due, "noting the emission consumes the budget");
+    }
+
+    #[test]
+    fn stall_catchup_burst_is_capped() {
+        // 2 s stall at 1000 rows/s: the naive schedule would owe ~2000 tuples
+        // at once; the re-anchored schedule releases at most ~1.25x the
+        // per-second budget.
+        let mut g = VelocityGovernor::with_rate(1000.0);
+        std::thread::sleep(Duration::from_secs(2));
+        let burst = g.budget().expect("throttled governor has a budget");
+        assert!(
+            burst <= 1250,
+            "2 s stall released {burst} tuples in one call (> 1.25x the 1000/s budget)"
+        );
+        assert!(
+            burst >= 800,
+            "catch-up cap should still allow ~1 s of budget, got {burst}"
+        );
+        // Statistics keep measuring from construction, not from the anchor.
+        assert!(g.elapsed() >= Duration::from_secs(2));
+        // Once the burst is consumed, pacing resumes at the target rate.
+        g.note(burst);
+        let wait = g.delay_for(100).expect("next 100 tuples must be paced");
+        assert!(wait <= Duration::from_millis(150), "got {wait:?}");
+    }
+
+    #[test]
+    fn with_rate_accepts_the_wire_minimum() {
+        let g = VelocityGovernor::with_rate(VelocityGovernor::MIN_RATE);
+        assert_eq!(g.target_rate(), Some(1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite rate >= 0.001")]
+    fn with_rate_rejects_zero() {
+        let _ = VelocityGovernor::with_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite rate >= 0.001")]
+    fn with_rate_rejects_subnormal() {
+        let _ = VelocityGovernor::with_rate(f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite rate >= 0.001")]
+    fn with_rate_rejects_nan() {
+        let _ = VelocityGovernor::with_rate(f64::NAN);
     }
 
     #[test]

@@ -176,14 +176,17 @@ where
                     let mut stream =
                         TupleStream::with_range_using(table, summary, index, range.clone());
                     sink.begin(table, stream.remaining());
-                    // Each shard owns its sink, so tuples feed it directly —
-                    // an intermediate batch buffer would only add a push and
-                    // a second loop per tuple with nothing to amortize
-                    // (batched consumers use `TupleStream::fill_batch`).
+                    // Each shard owns its sink and feeds it whole columnar
+                    // blocks: sinks that exploit the block-constant structure
+                    // do O(1) work per block, everything else expands through
+                    // the bit-identical `write_block` default.
                     let mut rows = 0u64;
-                    for row in stream.by_ref() {
-                        sink.accept(row);
-                        rows += 1;
+                    while let Some(block) = stream.next_block(u64::MAX) {
+                        let n = sink.write_block(&block);
+                        rows += n;
+                        if n < block.len() {
+                            break;
+                        }
                     }
                     sink.finish();
                     let elapsed = shard_started.elapsed();

@@ -85,6 +85,77 @@ enum ColumnSource {
     Summary(String),
 }
 
+/// A maximal run of consecutive tuples that share one summary block.
+///
+/// Within a block every non-pk column is constant (the paper's core
+/// structural invariant); the primary key is the absolute row position, so
+/// the whole block is described by a template row plus a pk range.  Sinks
+/// that override [`crate::sink::TupleSink::write_block`] exploit this to do
+/// O(1) work per block; [`RowBlock::rows`] expands it back into the exact
+/// tuple sequence [`TupleStream::next`] would have produced.
+#[derive(Debug)]
+pub struct RowBlock<'a> {
+    /// The block's row with auto-number slots holding an `Integer(0)`
+    /// placeholder.
+    template: &'a Row,
+    /// Column positions that hold the auto-numbered primary key.
+    auto_columns: &'a [usize],
+    /// Absolute row positions `[start, end)` this block covers.
+    pk_range: Range<u64>,
+    /// Index of the backing summary row (the block ordinal).
+    ordinal: usize,
+}
+
+impl RowBlock<'_> {
+    /// Number of tuples in the block.
+    pub fn len(&self) -> u64 {
+        self.pk_range.end - self.pk_range.start
+    }
+
+    /// Whether the block holds no tuples (never true for blocks produced by
+    /// [`TupleStream::next_block`]).
+    pub fn is_empty(&self) -> bool {
+        self.pk_range.is_empty()
+    }
+
+    /// Absolute row positions `[start, end)` covered by this block.
+    pub fn pk_range(&self) -> Range<u64> {
+        self.pk_range.clone()
+    }
+
+    /// Index of the backing summary row.  Two consecutive blocks with the
+    /// same ordinal (split by a range/batch boundary) share their template,
+    /// which is what the wire-frame template caches key on.
+    pub fn ordinal(&self) -> usize {
+        self.ordinal
+    }
+
+    /// The constant row shared by every tuple of the block; positions listed
+    /// in [`auto_columns`](Self::auto_columns) hold an `Integer(0)`
+    /// placeholder to be patched with the pk.
+    pub fn template(&self) -> &Row {
+        self.template
+    }
+
+    /// Column positions in [`template`](Self::template) that carry the
+    /// auto-numbered primary key.
+    pub fn auto_columns(&self) -> &[usize] {
+        self.auto_columns
+    }
+
+    /// Expands the block into its tuples, bit-identical to the rows
+    /// [`TupleStream::next`] yields over the same pk range.
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        self.pk_range.clone().map(move |pk| {
+            let mut row = self.template.clone();
+            for &i in self.auto_columns {
+                row[i] = Value::Integer(pk as i64);
+            }
+            row
+        })
+    }
+}
+
 impl<'a> TupleStream<'a> {
     /// Creates a stream over one full relation (rows `[0, total)`).
     pub fn new(table: &'a Table, summary: &'a RelationSummary) -> Self {
@@ -206,6 +277,46 @@ impl<'a> TupleStream<'a> {
     /// The table being generated.
     pub fn table(&self) -> &'a Table {
         self.table
+    }
+
+    /// Produces the next run of up to `max` tuples that share one summary
+    /// block, advancing the stream past them.  Returns `None` when the
+    /// stream is exhausted (or `max == 0`).
+    ///
+    /// Interleaving `next_block` with [`next`](Iterator::next) is valid: the
+    /// block covers exactly the tuples `next` would have yielded, so
+    /// `block.rows()` concatenated across calls is bit-identical to the
+    /// row-at-a-time stream.  A block never spans a summary-row boundary and
+    /// is clamped to the stream's range, so callers see range/shard splits
+    /// as separate blocks with the same [`RowBlock::ordinal`].
+    pub fn next_block(&mut self, max: u64) -> Option<RowBlock<'_>> {
+        if max == 0 || self.next_pk >= self.end {
+            return None;
+        }
+        // Advance past exhausted summary rows.
+        while self.row_index < self.summary.rows.len()
+            && self.emitted_in_row >= self.summary.rows[self.row_index].count
+        {
+            self.row_index += 1;
+            self.emitted_in_row = 0;
+        }
+        if self.row_index >= self.summary.rows.len() {
+            return None;
+        }
+        if self.template_block != self.row_index {
+            self.rebuild_template();
+        }
+        let in_block = self.summary.rows[self.row_index].count - self.emitted_in_row;
+        let n = in_block.min(self.end - self.next_pk).min(max);
+        let start = self.next_pk;
+        self.emitted_in_row += n;
+        self.next_pk += n;
+        Some(RowBlock {
+            template: &self.template,
+            auto_columns: &self.auto_columns,
+            pk_range: start..start + n,
+            ordinal: self.row_index,
+        })
     }
 
     /// Moves up to `max` tuples into `out`, returning how many were produced.
@@ -412,6 +523,58 @@ mod tests {
             collected.append(&mut buffer);
         }
         assert_eq!(collected, full);
+    }
+
+    #[test]
+    fn blocks_expand_to_the_exact_row_stream() {
+        let table = table();
+        let summary = summary();
+        let full: Vec<Row> = TupleStream::new(&table, &summary).collect();
+        // Various chunk caps, including ones that split blocks mid-way.
+        for max in [1, 7, 100, 917, 938, u64::MAX] {
+            let mut stream = TupleStream::new(&table, &summary);
+            let mut rows: Vec<Row> = Vec::new();
+            let mut ordinals: Vec<usize> = Vec::new();
+            while let Some(block) = stream.next_block(max) {
+                assert!(!block.is_empty());
+                assert_eq!(block.len(), block.rows().count() as u64);
+                ordinals.push(block.ordinal());
+                rows.extend(block.rows());
+            }
+            assert_eq!(rows, full, "max {max}");
+            assert!(ordinals.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn blocks_never_span_summary_rows() {
+        let table = table();
+        let summary = summary();
+        let mut stream = TupleStream::new(&table, &summary);
+        let a = stream.next_block(u64::MAX).unwrap();
+        assert_eq!((a.pk_range(), a.ordinal()), (0..917, 0));
+        assert_eq!(a.template()[1], Value::Integer(40));
+        assert_eq!(a.auto_columns(), &[0]);
+        let b = stream.next_block(u64::MAX).unwrap();
+        assert_eq!((b.pk_range(), b.ordinal()), (917..938, 1));
+        assert!(stream.next_block(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn next_and_next_block_interleave() {
+        let table = table();
+        let summary = summary();
+        let full: Vec<Row> = TupleStream::new(&table, &summary).collect();
+        let mut stream = TupleStream::with_range(&table, &summary, 910..930);
+        let mut rows: Vec<Row> = Vec::new();
+        rows.push(stream.next().unwrap());
+        rows.extend(stream.next_block(5).unwrap().rows());
+        rows.push(stream.next().unwrap());
+        while let Some(block) = stream.next_block(u64::MAX) {
+            rows.extend(block.rows());
+        }
+        assert_eq!(rows, full[910..930]);
+        assert_eq!(stream.remaining(), 0);
     }
 
     #[test]

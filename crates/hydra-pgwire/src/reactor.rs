@@ -25,6 +25,7 @@ use crate::connection::{
     classify, handshake_messages, resolve_database, run_statement, split_statements, PgError,
     Statement, StatementFailure, METRICS_TABLE,
 };
+use crate::sink::DataRowTemplate;
 use crate::types::pg_text;
 use hydra_catalog::types::DataType;
 use hydra_datagen::generator::DynamicGenerator;
@@ -341,6 +342,8 @@ struct ScanState {
     end: u64,
     governor: VelocityGovernor,
     column_types: Vec<DataType>,
+    /// Cached `DataRow` encoding for the block under the cursor.
+    template: DataRowTemplate,
     /// The scan's tracing span, open for the life of the stream.
     span: Option<Span>,
     metrics: Arc<MetricsRegistry>,
@@ -402,6 +405,7 @@ impl ScanState {
             end: total,
             governor,
             column_types,
+            template: DataRowTemplate::new(),
             span: Some(span),
             metrics,
             datarow_bytes,
@@ -454,7 +458,7 @@ impl ScanState {
                 return ScanPoll::Reactor(TaskPoll::Sleep(wait));
             }
         }
-        let tuples = match self
+        let mut tuples = match self
             .generator
             .stream_range(&self.table, self.cursor..self.cursor + goal)
         {
@@ -472,13 +476,25 @@ impl ScanState {
             }
         };
         let mut bytes = Vec::new();
-        for row in tuples {
-            let values = row
-                .iter()
-                .enumerate()
-                .map(|(i, v)| pg_text(v, self.column_types.get(i)).map(String::into_bytes))
-                .collect();
-            emit(&mut bytes, &BackendMessage::DataRow { values });
+        while let Some(block) = tuples.next_block(u64::MAX) {
+            if DataRowTemplate::block_eligible(&block, &self.column_types) {
+                for pk in block.pk_range() {
+                    bytes.extend_from_slice(self.template.row_bytes(
+                        &block,
+                        pk,
+                        &self.column_types,
+                    ));
+                }
+            } else {
+                for row in block.rows() {
+                    let values = row
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| pg_text(v, self.column_types.get(i)).map(String::into_bytes))
+                        .collect();
+                    emit(&mut bytes, &BackendMessage::DataRow { values });
+                }
+            }
         }
         self.datarow_bytes.add(bytes.len() as u64);
         self.stream_rows.add(goal);

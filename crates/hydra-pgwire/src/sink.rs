@@ -12,8 +12,123 @@ use crate::types::{pg_text, pg_type_of};
 use hydra_catalog::schema::Table;
 use hydra_catalog::types::DataType;
 use hydra_datagen::sink::TupleSink;
+use hydra_datagen::stream::RowBlock;
 use hydra_engine::row::Row;
 use std::io::Write;
+
+/// Sentinel ordinal for "no template cached yet".
+const NO_BLOCK: usize = usize::MAX;
+
+/// Decimal digit count of `v` (as rendered by `i64`/`u64` formatting).
+fn dec_width(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        v.ilog10() as usize + 1
+    }
+}
+
+/// Overwrites `dst` (exactly the decimal width of `v`) with `v`'s digits.
+fn write_digits(mut v: u64, dst: &mut [u8]) {
+    for slot in dst.iter_mut().rev() {
+        *slot = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+}
+
+/// Cached wire encoding of one summary block's `DataRow`: the constant
+/// columns are rendered once per (block, pk digit width), so emitting a
+/// tuple is one memcpy of the cache plus patching the pk digit spans.
+///
+/// Shared by the blocking [`PgRowSink`] and the reactor's scan task, so both
+/// pg paths emit identical bytes.
+#[derive(Debug)]
+pub(crate) struct DataRowTemplate {
+    /// Which block ordinal `scratch` encodes (`NO_BLOCK` = none yet).
+    ordinal: usize,
+    /// One complete `DataRow` message, current pk's digits in the spans.
+    scratch: Vec<u8>,
+    /// Offsets in `scratch` where each auto column's digit span starts.
+    spans: Vec<usize>,
+    /// Digit width of the pk currently encoded in the spans.
+    width: usize,
+}
+
+impl DataRowTemplate {
+    pub(crate) fn new() -> Self {
+        DataRowTemplate {
+            ordinal: NO_BLOCK,
+            scratch: Vec::new(),
+            spans: Vec::new(),
+            width: 0,
+        }
+    }
+
+    /// Whether `block` may go through the template at all: every auto column
+    /// must render as the pk's plain decimal digits.  A `Date`-typed auto
+    /// column renders as an ISO date instead, so those blocks take the
+    /// row-at-a-time path.
+    pub(crate) fn block_eligible(block: &RowBlock<'_>, column_types: &[DataType]) -> bool {
+        block
+            .auto_columns()
+            .iter()
+            .all(|&i| !matches!(column_types.get(i), Some(DataType::Date)))
+    }
+
+    /// The complete `DataRow` message for the block's tuple at `pk`,
+    /// byte-identical to [`encode_backend`] of the materialized row.
+    pub(crate) fn row_bytes(
+        &mut self,
+        block: &RowBlock<'_>,
+        pk: u64,
+        column_types: &[DataType],
+    ) -> &[u8] {
+        let width = dec_width(pk);
+        // A pk above i64::MAX renders with a sign through the `as i64` cast;
+        // don't digit-patch those (they cannot occur for real relations).
+        if self.ordinal != block.ordinal() || width != self.width || pk > i64::MAX as u64 {
+            self.rebuild(block, pk, column_types);
+        } else {
+            for &span in &self.spans {
+                write_digits(pk, &mut self.scratch[span..span + width]);
+            }
+        }
+        &self.scratch
+    }
+
+    /// Re-encodes the message for `block` at `pk`'s digit width.
+    fn rebuild(&mut self, block: &RowBlock<'_>, pk: u64, column_types: &[DataType]) {
+        self.scratch.clear();
+        self.spans.clear();
+        let digits = (pk as i64).to_string();
+        self.width = digits.len();
+        let auto = block.auto_columns();
+        self.scratch.push(b'D');
+        self.scratch.extend_from_slice(&[0u8; 4]); // length, patched below
+        let ncols = block.template().len() as i16;
+        self.scratch.extend_from_slice(&ncols.to_be_bytes());
+        for (i, value) in block.template().iter().enumerate() {
+            if auto.contains(&i) {
+                self.scratch
+                    .extend_from_slice(&(digits.len() as i32).to_be_bytes());
+                self.spans.push(self.scratch.len());
+                self.scratch.extend_from_slice(digits.as_bytes());
+            } else {
+                match pg_text(value, column_types.get(i)) {
+                    None => self.scratch.extend_from_slice(&(-1i32).to_be_bytes()),
+                    Some(text) => {
+                        self.scratch
+                            .extend_from_slice(&(text.len() as i32).to_be_bytes());
+                        self.scratch.extend_from_slice(text.as_bytes());
+                    }
+                }
+            }
+        }
+        let len = (self.scratch.len() - 1) as i32;
+        self.scratch[1..5].copy_from_slice(&len.to_be_bytes());
+        self.ordinal = block.ordinal();
+    }
+}
 
 /// Streams regenerated tuples to a PostgreSQL client as `DataRow` messages.
 #[derive(Debug)]
@@ -22,6 +137,7 @@ pub struct PgRowSink<'a, W: Write> {
     batch_rows: usize,
     since_flush: usize,
     scratch: Vec<u8>,
+    template: DataRowTemplate,
     column_types: Vec<DataType>,
     /// Tuples accepted so far (feeds the `SELECT n` completion tag).
     pub rows: u64,
@@ -43,6 +159,7 @@ impl<'a, W: Write> PgRowSink<'a, W> {
             batch_rows: batch_rows.clamp(1, 1 << 16),
             since_flush: 0,
             scratch: Vec::new(),
+            template: DataRowTemplate::new(),
             column_types: Vec::new(),
             rows: 0,
             data_bytes: 0,
@@ -111,6 +228,38 @@ impl<W: Write> TupleSink for PgRowSink<'_, W> {
         if self.since_flush >= self.batch_rows {
             self.flush();
         }
+    }
+
+    fn write_block(&mut self, block: &RowBlock<'_>) -> u64 {
+        if !DataRowTemplate::block_eligible(block, &self.column_types) {
+            let mut accepted = 0;
+            for row in block.rows() {
+                if self.aborted() {
+                    break;
+                }
+                self.accept(row);
+                accepted += 1;
+            }
+            return accepted;
+        }
+        let mut consumed = 0;
+        for pk in block.pk_range() {
+            if self.error.is_some() {
+                break;
+            }
+            let bytes = self.template.row_bytes(block, pk, &self.column_types);
+            match self.writer.write_all(bytes) {
+                Ok(()) => self.data_bytes += bytes.len() as u64,
+                Err(e) => self.error = Some(e),
+            }
+            self.rows += 1;
+            self.since_flush += 1;
+            consumed += 1;
+            if self.since_flush >= self.batch_rows {
+                self.flush();
+            }
+        }
+        consumed
     }
 
     fn aborted(&self) -> bool {
@@ -191,5 +340,83 @@ mod tests {
         let mut sink = PgRowSink::new(&mut writer, 4);
         sink.begin(&table(), 10);
         assert!(sink.aborted(), "broken pipe must abort generation early");
+    }
+
+    use hydra_datagen::stream::TupleStream;
+    use hydra_summary::summary::RelationSummary;
+    use std::collections::BTreeMap;
+
+    /// Two blocks straddling the 2→3 pk digit-width boundary, with a quoted
+    /// varchar, a double, and a NULL — the shapes the template must encode.
+    fn blocky_fixture(pk_type: DataType) -> (Table, RelationSummary) {
+        let table = SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", pk_type.clone()).primary_key())
+                    .column(ColumnBuilder::new("i_manager_id", DataType::BigInt))
+                    .column(ColumnBuilder::new("i_category", DataType::Varchar(None)))
+                    .column(ColumnBuilder::new("i_price", DataType::Double))
+            })
+            .build()
+            .unwrap()
+            .table("item")
+            .unwrap()
+            .clone();
+        let mut summary = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        let mut v1 = BTreeMap::new();
+        v1.insert("i_manager_id".to_string(), Value::Integer(40));
+        v1.insert("i_category".to_string(), Value::str("Mu\"sic"));
+        v1.insert("i_price".to_string(), Value::Double(1.5));
+        summary.push_row(104, v1);
+        let mut v2 = BTreeMap::new();
+        v2.insert("i_manager_id".to_string(), Value::Integer(91));
+        v2.insert("i_price".to_string(), Value::Null);
+        summary.push_row(13, v2);
+        (table, summary)
+    }
+
+    fn drive(table: &Table, summary: &RelationSummary, batch_rows: usize, blocks: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut sink = PgRowSink::new(&mut out, batch_rows);
+        sink.begin(table, summary.total_rows);
+        let mut stream = TupleStream::new(table, summary);
+        if blocks {
+            while let Some(block) = stream.next_block(u64::MAX) {
+                assert_eq!(sink.write_block(&block), block.len());
+            }
+        } else {
+            for row in stream {
+                sink.accept(row);
+            }
+        }
+        let (rows, data_bytes) = (sink.rows, sink.data_bytes);
+        sink.finish();
+        assert!(sink.error.is_none());
+        assert_eq!(rows, summary.total_rows);
+        assert!(data_bytes > 0);
+        out
+    }
+
+    #[test]
+    fn template_datarows_match_the_per_row_encoder_byte_for_byte() {
+        let (table, summary) = blocky_fixture(DataType::BigInt);
+        for batch_rows in [1usize, 3, 100, 1000] {
+            let baseline = drive(&table, &summary, batch_rows, false);
+            let templated = drive(&table, &summary, batch_rows, true);
+            assert_eq!(baseline, templated, "batch_rows={batch_rows}");
+        }
+    }
+
+    #[test]
+    fn date_typed_auto_columns_fall_back_to_the_row_path() {
+        // A Date-typed pk renders ISO dates, which the digit template cannot
+        // patch; write_block must detect that and still match the row path.
+        let (table, summary) = blocky_fixture(DataType::Date);
+        let baseline = drive(&table, &summary, 16, false);
+        let templated = drive(&table, &summary, 16, true);
+        assert_eq!(baseline, templated);
+        assert!(
+            baseline.windows(10).any(|w| w == b"1970-04-11"),
+            "pk 100 must render as an ISO date"
+        );
     }
 }

@@ -44,9 +44,9 @@ use crate::protocol::{
     StreamStart, StreamStats,
 };
 use crate::registry::SummaryRegistry;
+use crate::wire::BatchEncoder;
 use hydra_datagen::generator::DynamicGenerator;
 use hydra_datagen::governor::VelocityGovernor;
-use hydra_engine::row::Row;
 use hydra_obs::{Counter, MetricsRegistry, Span};
 use hydra_reactor::{ConnHandle, ConnHandler, ConnTask, HandlerOutcome, Protocol, TaskPoll};
 use std::sync::Arc;
@@ -462,9 +462,11 @@ struct StreamState {
     end: u64,
     batch_rows: usize,
     governor: VelocityGovernor,
-    /// Partial batch carried across poll slices so `Batch` frame
-    /// boundaries are byte-identical to the blocking `FrameSink`.
-    row_buf: Vec<Row>,
+    /// Batch assembly shared with the blocking [`crate::wire::FrameSink`]
+    /// (same per-block row templates, same frame boundaries, same split
+    /// behavior), carrying the partial batch across poll slices so `Batch`
+    /// frames are byte-identical to the threaded path.
+    encoder: BatchEncoder,
 }
 
 impl StreamState {
@@ -529,7 +531,7 @@ impl StreamState {
                 end,
                 batch_rows,
                 governor,
-                row_buf: Vec::with_capacity(batch_rows),
+                encoder: BatchEncoder::new(batch_rows as u64),
             }),
         ))
     }
@@ -578,17 +580,18 @@ impl StreamState {
         // `stream_range` borrows the generator, so each slice re-seeks via
         // the summary's block index (O(log blocks)); range concatenation is
         // bit-identical to one continuous scan (the shard-determinism suite
-        // proves it).
-        let tuples = self
+        // proves it).  Rows flow block-wise through the shared encoder's
+        // cached templates, so each tuple is a memcpy plus a pk digit patch.
+        let mut tuples = self
             .generator
             .stream_range(&self.table, self.cursor..self.cursor + goal)
             .map_err(|e| ServiceError::Hydra(hydra_core::error::HydraError::Engine(e)))?;
-        for row in tuples {
-            self.row_buf.push(row);
-            if self.row_buf.len() >= self.batch_rows {
-                let rows =
-                    std::mem::replace(&mut self.row_buf, Vec::with_capacity(self.batch_rows));
-                emit_split(conn, obs, rows)?;
+        while let Some(block) = tuples.next_block(u64::MAX) {
+            for pk in block.pk_range() {
+                self.encoder.append_template_row(&block, pk);
+                if self.encoder.is_full() {
+                    self.encoder.flush(&mut emit_frame(conn, obs))?;
+                }
             }
         }
         self.cursor += goal;
@@ -598,45 +601,21 @@ impl StreamState {
 
     /// Pushes the trailing partial batch, if any.
     fn flush_partial(&mut self, conn: &ConnHandle, obs: &FrameObs) -> Result<(), ServiceError> {
-        if self.row_buf.is_empty() {
-            return Ok(());
-        }
-        let rows = std::mem::take(&mut self.row_buf);
-        emit_split(conn, obs, rows)
+        self.encoder.flush(&mut emit_frame(conn, obs))
     }
 }
 
-/// Pushes one batch frame, splitting the batch in half (recursively) when
-/// its JSON encoding exceeds the frame cap — the same degradation the
-/// blocking [`crate::wire::FrameSink`] performs, byte for byte.
-fn emit_split(conn: &ConnHandle, obs: &FrameObs, rows: Vec<Row>) -> Result<(), ServiceError> {
-    if rows.is_empty() {
-        return Ok(());
-    }
-    let batch_len = rows.len() as u64;
-    let batch = Response::Batch { rows };
-    match encode_frame(&batch) {
-        Ok(frame) => {
-            obs.frame_bytes.add(frame.len() as u64);
-            obs.stream_rows.add(batch_len);
-            conn.push(frame);
-            Ok(())
-        }
-        Err(ServiceError::Protocol(_)) => {
-            let Response::Batch { rows } = batch else {
-                unreachable!("emit_split built a Batch")
-            };
-            if rows.len() == 1 {
-                return Err(ServiceError::Protocol(
-                    "a single tuple exceeds the frame size cap".to_string(),
-                ));
-            }
-            let mut first = rows;
-            let second = first.split_off(first.len() / 2);
-            emit_split(conn, obs, first)?;
-            emit_split(conn, obs, second)
-        }
-        Err(e) => Err(e),
+/// An emit callback pushing finished frames onto the connection, keeping
+/// the frame/row counters the reactor's metrics report.
+fn emit_frame<'e>(
+    conn: &'e ConnHandle,
+    obs: &'e FrameObs,
+) -> impl FnMut(&[u8], u64) -> Result<(), ServiceError> + 'e {
+    move |frame: &[u8], rows: u64| {
+        obs.frame_bytes.add(frame.len() as u64);
+        obs.stream_rows.add(rows);
+        conn.push(frame.to_vec());
+        Ok(())
     }
 }
 

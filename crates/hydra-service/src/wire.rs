@@ -9,20 +9,261 @@
 //! connection's buffered stream, a slow client backpressures the generator
 //! naturally — and a velocity-governed stream is paced tuple by tuple
 //! upstream of the sink.
+//!
+//! Batch encoding exploits the summary's block-constant structure: frames
+//! are assembled byte-wise by a `BatchEncoder` whose per-block
+//! `RowTemplate` serializes the constant columns **once**, after which
+//! each tuple is a memcpy of the cached JSON with only the pk digit span
+//! patched.  The assembled bytes are identical to serializing
+//! `Response::Batch { rows }` through serde, which the unit tests assert
+//! frame by frame.
 
 use crate::error::ServiceError;
-use crate::protocol::{write_frame, Response, StreamStart};
+use crate::protocol::{write_frame, Response, StreamStart, MAX_FRAME_BYTES};
 use hydra_catalog::schema::Table;
 use hydra_datagen::sink::TupleSink;
+use hydra_datagen::stream::RowBlock;
 use hydra_engine::row::Row;
 use std::io::Write;
+
+/// JSON payload prefix of a `Response::Batch` frame — must match the serde
+/// encoding of `Response::Batch { rows }` up to the first row exactly.
+const BATCH_PREFIX: &[u8] = b"{\"Batch\":{\"rows\":[";
+/// JSON payload suffix closing [`BATCH_PREFIX`].
+const BATCH_SUFFIX: &[u8] = b"]}}";
+
+/// Sentinel ordinal for "no template cached yet".
+const NO_BLOCK: usize = usize::MAX;
+
+/// Decimal digit count of `v` (as rendered by `i64`/`u64` formatting).
+fn dec_width(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        v.ilog10() as usize + 1
+    }
+}
+
+/// Overwrites `dst` (exactly the decimal width of `v`) with `v`'s digits.
+fn write_digits(mut v: u64, dst: &mut [u8]) {
+    for slot in dst.iter_mut().rev() {
+        *slot = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+}
+
+/// Cached JSON encoding of one summary block's row: the constant columns are
+/// serialized once per (block, pk digit width); emitting a tuple is then one
+/// memcpy of the cache plus patching the pk digit spans in place.
+#[derive(Debug)]
+struct RowTemplate {
+    /// Which block ordinal `scratch` encodes (`NO_BLOCK` = none yet).
+    ordinal: usize,
+    /// Full JSON of one row, with the current pk's digits in the spans.
+    scratch: Vec<u8>,
+    /// Offsets in `scratch` where each auto column's digit span starts.
+    spans: Vec<usize>,
+    /// Digit width of the pk currently encoded in the spans.
+    width: usize,
+}
+
+impl RowTemplate {
+    fn new() -> Self {
+        RowTemplate {
+            ordinal: NO_BLOCK,
+            scratch: Vec::new(),
+            spans: Vec::new(),
+            width: 0,
+        }
+    }
+
+    /// Appends the JSON of the block's tuple at `pk` to `out`, byte-identical
+    /// to `serde_json::to_string(&row)` of the materialized row.
+    fn encode(&mut self, block: &RowBlock<'_>, pk: u64, out: &mut Vec<u8>) {
+        let width = dec_width(pk);
+        // A pk above i64::MAX renders with a sign through the `as i64` cast;
+        // don't digit-patch those (they cannot occur for real relations).
+        if self.ordinal != block.ordinal() || width != self.width || pk > i64::MAX as u64 {
+            self.rebuild(block, pk);
+        } else {
+            for &span in &self.spans {
+                write_digits(pk, &mut self.scratch[span..span + width]);
+            }
+        }
+        out.extend_from_slice(&self.scratch);
+    }
+
+    /// Re-serializes the template for `block` at `pk`'s digit width.
+    fn rebuild(&mut self, block: &RowBlock<'_>, pk: u64) {
+        self.scratch.clear();
+        self.spans.clear();
+        let digits = (pk as i64).to_string();
+        self.width = digits.len();
+        self.scratch.push(b'[');
+        let auto = block.auto_columns();
+        for (i, value) in block.template().iter().enumerate() {
+            if i > 0 {
+                self.scratch.push(b',');
+            }
+            if auto.contains(&i) {
+                self.scratch.extend_from_slice(b"{\"Integer\":");
+                self.spans.push(self.scratch.len());
+                self.scratch.extend_from_slice(digits.as_bytes());
+                self.scratch.push(b'}');
+            } else {
+                let json = serde_json::to_string(value)
+                    .expect("JSON encoding of an in-memory value is infallible");
+                self.scratch.extend_from_slice(json.as_bytes());
+            }
+        }
+        self.scratch.push(b']');
+        self.ordinal = block.ordinal();
+    }
+}
+
+/// Assembles `Response::Batch` frames byte-wise from encoded rows.
+///
+/// The pending frame is built in place — length placeholder, payload prefix,
+/// then comma-separated row JSON — so flushing a normal-sized batch patches
+/// the length and appends the suffix without re-copying the rows.  Batches
+/// whose payload would exceed [`MAX_FRAME_BYTES`] are split in half by row
+/// count, recursively, exactly like serializing and re-trying smaller
+/// batches would (the byte length of a sub-batch is computable from the row
+/// offsets because JSON encodings compose).
+///
+/// Shared by the threaded [`FrameSink`] and the reactor's stream task, so
+/// both wire paths emit identical bytes at identical frame boundaries.
+#[derive(Debug)]
+pub(crate) struct BatchEncoder {
+    batch_rows: usize,
+    /// Pending frame: `[4-byte len placeholder][prefix][row0,row1,...]`.
+    buf: Vec<u8>,
+    /// Offset in `buf` where each pending row's JSON starts.
+    starts: Vec<usize>,
+    template: RowTemplate,
+}
+
+/// Receives one complete frame (length header + payload) and its row count.
+pub(crate) type EmitFrame<'e> = dyn FnMut(&[u8], u64) -> Result<(), ServiceError> + 'e;
+
+impl BatchEncoder {
+    /// An encoder cutting batches at `batch_rows` tuples (clamped to
+    /// `1..=65536`, matching the historical `FrameSink` clamp).
+    pub(crate) fn new(batch_rows: u64) -> Self {
+        let batch_rows = batch_rows.clamp(1, 1 << 16) as usize;
+        let mut encoder = BatchEncoder {
+            batch_rows,
+            buf: Vec::new(),
+            starts: Vec::with_capacity(batch_rows),
+            template: RowTemplate::new(),
+        };
+        encoder.reset();
+        encoder
+    }
+
+    /// Rows buffered in the pending (not yet emitted) batch.
+    pub(crate) fn buffered_rows(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True once the pending batch has reached the batch-row cut.
+    pub(crate) fn is_full(&self) -> bool {
+        self.starts.len() >= self.batch_rows
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        self.buf.extend_from_slice(BATCH_PREFIX);
+        self.starts.clear();
+    }
+
+    fn begin_row(&mut self) {
+        if !self.starts.is_empty() {
+            self.buf.push(b',');
+        }
+        self.starts.push(self.buf.len());
+    }
+
+    /// Appends one row through the serde encoder (the row-at-a-time path).
+    pub(crate) fn append_json_row(&mut self, row: &Row) -> Result<(), ServiceError> {
+        self.begin_row();
+        let json = serde_json::to_string(row)?;
+        self.buf.extend_from_slice(json.as_bytes());
+        Ok(())
+    }
+
+    /// Appends the block's tuple at `pk` through the cached row template
+    /// (the columnar path) — byte-identical to
+    /// [`append_json_row`](Self::append_json_row) of the materialized row.
+    pub(crate) fn append_template_row(&mut self, block: &RowBlock<'_>, pk: u64) {
+        if !self.starts.is_empty() {
+            self.buf.push(b',');
+        }
+        self.starts.push(self.buf.len());
+        self.template.encode(block, pk, &mut self.buf);
+    }
+
+    /// Emits the pending batch as one or more frames through `emit` and
+    /// clears the buffer.  No-op when nothing is pending.
+    pub(crate) fn flush(&mut self, emit: &mut EmitFrame<'_>) -> Result<(), ServiceError> {
+        if self.starts.is_empty() {
+            return Ok(());
+        }
+        let payload_len = self.buf.len() - 4 + BATCH_SUFFIX.len();
+        let result = if payload_len as u64 <= MAX_FRAME_BYTES as u64 {
+            self.buf.extend_from_slice(BATCH_SUFFIX);
+            self.buf[..4].copy_from_slice(&(payload_len as u32).to_be_bytes());
+            emit(&self.buf, self.starts.len() as u64)
+        } else {
+            Self::emit_split(&self.buf, &self.starts, 0, self.starts.len(), emit)
+        };
+        self.reset();
+        result
+    }
+
+    /// Re-frames rows `[lo, hi)` of the oversized pending batch, halving by
+    /// row count until each frame fits under the cap.
+    fn emit_split(
+        buf: &[u8],
+        starts: &[usize],
+        lo: usize,
+        hi: usize,
+        emit: &mut EmitFrame<'_>,
+    ) -> Result<(), ServiceError> {
+        let first = starts[lo];
+        // Rows are comma-separated in `buf`; a sub-range ends just before
+        // the next row's separator (or at the buffer end for the last row).
+        let last = if hi == starts.len() {
+            buf.len()
+        } else {
+            starts[hi] - 1
+        };
+        let payload_len = BATCH_PREFIX.len() + (last - first) + BATCH_SUFFIX.len();
+        if payload_len as u64 <= MAX_FRAME_BYTES as u64 {
+            let mut frame = Vec::with_capacity(4 + payload_len);
+            frame.extend_from_slice(&(payload_len as u32).to_be_bytes());
+            frame.extend_from_slice(BATCH_PREFIX);
+            frame.extend_from_slice(&buf[first..last]);
+            frame.extend_from_slice(BATCH_SUFFIX);
+            emit(&frame, (hi - lo) as u64)
+        } else if hi - lo == 1 {
+            Err(ServiceError::Protocol(
+                "a single tuple exceeds the frame size cap".to_string(),
+            ))
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            Self::emit_split(buf, starts, lo, mid, emit)?;
+            Self::emit_split(buf, starts, mid, hi, emit)
+        }
+    }
+}
 
 /// A [`TupleSink`] that encodes tuples as framed wire batches.
 #[derive(Debug)]
 pub struct FrameSink<'a, W: Write> {
     writer: &'a mut W,
-    batch_rows: usize,
-    buffer: Vec<Row>,
+    encoder: BatchEncoder,
     rows: u64,
     /// First error encountered while writing; once set, the sink drops
     /// tuples (the stream is already dead) and the driver reports it.
@@ -35,11 +276,9 @@ impl<'a, W: Write> FrameSink<'a, W> {
     /// A sink writing batches of up to `batch_rows` tuples to `writer`,
     /// announcing the row range `[start, end)` in its header frame.
     pub fn new(writer: &'a mut W, batch_rows: u64, range: (u64, u64)) -> Self {
-        let batch_rows = batch_rows.clamp(1, 1 << 16) as usize;
         FrameSink {
             writer,
-            batch_rows,
-            buffer: Vec::with_capacity(batch_rows),
+            encoder: BatchEncoder::new(batch_rows),
             rows: 0,
             error: None,
             range,
@@ -57,47 +296,22 @@ impl<'a, W: Write> FrameSink<'a, W> {
     }
 
     fn flush_batch(&mut self) {
-        if self.error.is_some() || self.buffer.is_empty() {
+        if self.error.is_some() || self.encoder.buffered_rows() == 0 {
             return;
         }
-        let rows = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.batch_rows));
-        self.emit(rows);
-        if self.error.is_none() {
-            // Push the batch onto the wire now: streaming consumers see
-            // progress batch by batch, and a dead peer surfaces as a write
-            // error here instead of hiding in the connection's buffer.
-            if let Err(e) = self.writer.flush() {
-                self.error = Some(ServiceError::Io(e));
-            }
-        }
-    }
-
-    /// Writes one batch frame, splitting the batch in half (recursively)
-    /// when its JSON encoding exceeds the frame cap — wide rows at a large
-    /// `batch_rows` must degrade to smaller frames, not kill the stream.
-    fn emit(&mut self, rows: Vec<Row>) {
-        if self.error.is_some() || rows.is_empty() {
+        let writer = &mut *self.writer;
+        let mut emit = |frame: &[u8], _rows: u64| -> Result<(), ServiceError> {
+            writer.write_all(frame).map_err(ServiceError::Io)
+        };
+        if let Err(e) = self.encoder.flush(&mut emit) {
+            self.error = Some(e);
             return;
         }
-        let batch = Response::Batch { rows };
-        match write_frame(self.writer, &batch) {
-            Ok(()) => {}
-            Err(ServiceError::Protocol(_)) => {
-                let Response::Batch { rows } = batch else {
-                    unreachable!("emit built a Batch")
-                };
-                if rows.len() == 1 {
-                    self.error = Some(ServiceError::Protocol(
-                        "a single tuple exceeds the frame size cap".to_string(),
-                    ));
-                    return;
-                }
-                let mut first = rows;
-                let second = first.split_off(first.len() / 2);
-                self.emit(first);
-                self.emit(second);
-            }
-            Err(e) => self.error = Some(e),
+        // Push the batch onto the wire now: streaming consumers see
+        // progress batch by batch, and a dead peer surfaces as a write
+        // error here instead of hiding in the connection's buffer.
+        if let Err(e) = self.writer.flush() {
+            self.error = Some(ServiceError::Io(e));
         }
     }
 }
@@ -119,11 +333,30 @@ impl<W: Write> TupleSink for FrameSink<'_, W> {
         if self.error.is_some() {
             return;
         }
-        self.buffer.push(row);
+        if let Err(e) = self.encoder.append_json_row(&row) {
+            self.error = Some(e);
+            return;
+        }
         self.rows += 1;
-        if self.buffer.len() >= self.batch_rows {
+        if self.encoder.is_full() {
             self.flush_batch();
         }
+    }
+
+    fn write_block(&mut self, block: &RowBlock<'_>) -> u64 {
+        let mut consumed = 0;
+        for pk in block.pk_range() {
+            if self.error.is_some() {
+                break;
+            }
+            self.encoder.append_template_row(block, pk);
+            self.rows += 1;
+            consumed += 1;
+            if self.encoder.is_full() {
+                self.flush_batch();
+            }
+        }
+        consumed
     }
 
     /// Once a write has failed the peer is unreachable; the stream driver
@@ -134,6 +367,14 @@ impl<W: Write> TupleSink for FrameSink<'_, W> {
 
     fn finish(&mut self) {
         self.flush_batch();
+        // Flush unconditionally: a zero-row stream never enters
+        // `flush_batch`, but its `StreamStart` header must not sit in the
+        // connection's buffered writer after the stream is over.
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(ServiceError::Io(e));
+            }
+        }
     }
 }
 
@@ -143,6 +384,9 @@ mod tests {
     use crate::protocol::read_frame;
     use hydra_catalog::schema::{ColumnBuilder, SchemaBuilder};
     use hydra_catalog::types::{DataType, Value};
+    use hydra_datagen::stream::TupleStream;
+    use hydra_summary::summary::RelationSummary;
+    use std::collections::BTreeMap;
 
     fn table() -> Table {
         SchemaBuilder::new("db")
@@ -224,5 +468,102 @@ mod tests {
             frames >= 2,
             "an oversized batch must split into >= 2 frames"
         );
+    }
+
+    #[test]
+    fn zero_row_stream_flushes_its_header() {
+        /// A writer that only exposes bytes after an explicit flush — the
+        /// shape of the connection's buffered stream.
+        #[derive(Default)]
+        struct FlushGated {
+            pending: Vec<u8>,
+            flushed: Vec<u8>,
+        }
+        impl Write for FlushGated {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.pending.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushed.append(&mut self.pending);
+                Ok(())
+            }
+        }
+
+        let mut writer = FlushGated::default();
+        let table = table();
+        let mut sink = FrameSink::new(&mut writer, 16, (7, 7));
+        sink.begin(&table, 0);
+        sink.finish();
+        assert_eq!(sink.rows(), 0);
+        assert!(sink.into_error().is_none());
+        assert!(
+            writer.pending.is_empty(),
+            "finish must flush the StreamStart header of a zero-row stream"
+        );
+        let mut cursor = &writer.flushed[..];
+        match read_frame::<_, Response>(&mut cursor).unwrap().unwrap() {
+            Response::StreamStart(h) => assert_eq!((h.start, h.end), (7, 7)),
+            other => panic!("expected StreamStart, got {other:?}"),
+        }
+        assert!(read_frame::<_, Response>(&mut cursor).unwrap().is_none());
+    }
+
+    /// Builds a two-block summary with mixed value types and pks crossing a
+    /// digit-width boundary (97..=117), exercising template rebuilds.
+    fn blocky_fixture() -> (Table, RelationSummary) {
+        let table = SchemaBuilder::new("db")
+            .table("item", |t| {
+                t.column(ColumnBuilder::new("i_item_sk", DataType::BigInt).primary_key())
+                    .column(ColumnBuilder::new("i_manager_id", DataType::BigInt))
+                    .column(ColumnBuilder::new("i_category", DataType::Varchar(None)))
+                    .column(ColumnBuilder::new("i_price", DataType::Double))
+            })
+            .build()
+            .unwrap()
+            .table("item")
+            .unwrap()
+            .clone();
+        let mut summary = RelationSummary::new("item", Some("i_item_sk".to_string()));
+        let mut v1 = BTreeMap::new();
+        v1.insert("i_manager_id".to_string(), Value::Integer(40));
+        v1.insert("i_category".to_string(), Value::str("Mu\"sic"));
+        v1.insert("i_price".to_string(), Value::Double(1.5));
+        summary.push_row(104, v1);
+        let mut v2 = BTreeMap::new();
+        v2.insert("i_manager_id".to_string(), Value::Integer(91));
+        v2.insert("i_price".to_string(), Value::Null);
+        summary.push_row(13, v2);
+        (table, summary)
+    }
+
+    #[test]
+    fn template_frames_match_the_serde_baseline_byte_for_byte() {
+        let (table, summary) = blocky_fixture();
+        for batch_rows in [1u64, 3, 100, 1000] {
+            // Baseline: every row through the serde accept path.
+            let mut baseline: Vec<u8> = Vec::new();
+            let mut sink = FrameSink::new(&mut baseline, batch_rows, (0, 117));
+            sink.begin(&table, 117);
+            for row in TupleStream::new(&table, &summary) {
+                sink.accept(row);
+            }
+            sink.finish();
+            assert!(sink.into_error().is_none());
+            // Columnar: whole blocks through the cached row template.
+            let mut templated: Vec<u8> = Vec::new();
+            let mut sink = FrameSink::new(&mut templated, batch_rows, (0, 117));
+            sink.begin(&table, 117);
+            let mut stream = TupleStream::new(&table, &summary);
+            while let Some(block) = stream.next_block(u64::MAX) {
+                assert_eq!(sink.write_block(&block), block.len());
+            }
+            sink.finish();
+            assert!(sink.into_error().is_none());
+            assert_eq!(
+                baseline, templated,
+                "batch_rows={batch_rows}: template encoding diverged from serde"
+            );
+        }
     }
 }

@@ -415,6 +415,17 @@ fn error_paths_keep_the_connection_usable() {
         .stream_collect(StreamRequest::full("tiny", "store_sales").range(250, 9_999))
         .expect("clamped stream");
     assert_eq!(rows.len(), 50);
+
+    // A zero-row range is a complete, well-formed stream over the wire:
+    // StreamStart and StreamEnd must both arrive even though no batch ever
+    // forces the writer out (the header used to sit in the buffer until the
+    // connection moved on).
+    let (rows, stats) = client
+        .stream_collect(StreamRequest::full("tiny", "store_sales").range(250, 250))
+        .expect("zero-row stream completes");
+    assert!(rows.is_empty());
+    assert_eq!(stats.rows, 0);
+
     assert!(matches!(
         client.stream_collect(StreamRequest::full("tiny", "no_such_table")),
         Err(hydra_service::ServiceError::Remote(_))

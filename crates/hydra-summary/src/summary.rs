@@ -26,6 +26,18 @@ pub struct SummaryRow {
     pub values: BTreeMap<String, Value>,
 }
 
+/// One contiguous run of regenerated row positions covered by a single
+/// summary row, produced by [`RelationSummary::block_runs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockRun<'a> {
+    /// Index of the backing summary row (the block ordinal).
+    pub block: usize,
+    /// The run's row positions `[start, end)`, clamped to the query range.
+    pub rows: std::ops::Range<u64>,
+    /// The backing summary row (`#TUPLES` count + constant value vector).
+    pub row: &'a SummaryRow,
+}
+
 /// The summary of one relation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RelationSummary {
@@ -75,6 +87,46 @@ impl RelationSummary {
         let start: u64 = self.rows[..row].iter().map(|r| r.count).sum();
         let end = start + self.rows[row].count;
         Some(Interval::new(start as i64, end as i64))
+    }
+
+    /// Iterates the contiguous pk-block runs that intersect `range` (clamped
+    /// to `[0, total_rows)`), in block order.
+    ///
+    /// Each [`BlockRun`] covers the intersection of one summary row's pk
+    /// block with the range, so concatenating the runs tiles the (clamped)
+    /// range exactly — the block-granular dual of the tuple streams built on
+    /// this summary, and the shape the columnar generation path consumes.
+    /// Runs are never empty; blocks that don't intersect the range are
+    /// skipped.
+    ///
+    /// ```
+    /// use hydra_summary::summary::RelationSummary;
+    /// use std::collections::BTreeMap;
+    ///
+    /// let mut s = RelationSummary::new("item", Some("i_item_sk".to_string()));
+    /// s.push_row(917, BTreeMap::new());
+    /// s.push_row(21, BTreeMap::new());
+    /// let runs: Vec<_> = s.block_runs(900..930).map(|r| (r.block, r.rows)).collect();
+    /// assert_eq!(runs, vec![(0, 900..917), (1, 917..930)]);
+    /// ```
+    pub fn block_runs(&self, range: std::ops::Range<u64>) -> impl Iterator<Item = BlockRun<'_>> {
+        let lo = range.start.min(self.total_rows);
+        let hi = range.end.clamp(lo, self.total_rows);
+        let mut start = 0u64;
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(move |(block, row)| {
+                let block_start = start;
+                start += row.count;
+                let run_lo = block_start.max(lo);
+                let run_hi = start.min(hi);
+                (run_lo < run_hi).then_some(BlockRun {
+                    block,
+                    rows: run_lo..run_hi,
+                    row,
+                })
+            })
     }
 
     /// Number of summary rows.
@@ -272,6 +324,26 @@ mod tests {
         assert_eq!(s.pk_block(1), Some(Interval::new(917, 938)));
         assert_eq!(s.pk_block(2), Some(Interval::new(938, 963)));
         assert_eq!(s.pk_block(3), None);
+    }
+
+    #[test]
+    fn block_runs_tile_the_range() {
+        let s = item_summary();
+        // Full range: one run per block, matching pk_block exactly.
+        let full: Vec<_> = s.block_runs(0..s.total_rows).collect();
+        assert_eq!(full.len(), 3);
+        for run in &full {
+            let iv = s.pk_block(run.block).unwrap();
+            assert_eq!((iv.lo as u64, iv.hi as u64), (run.rows.start, run.rows.end));
+            assert_eq!(run.row, &s.rows[run.block]);
+        }
+        // A range straddling two block boundaries: clamped runs, exact tiling.
+        let runs: Vec<_> = s.block_runs(900..940).map(|r| (r.block, r.rows)).collect();
+        assert_eq!(runs, vec![(0, 900..917), (1, 917..938), (2, 938..940)]);
+        // Ranges beyond the relation are clamped; empty ranges yield nothing.
+        assert_eq!(s.block_runs(950..10_000).count(), 1);
+        assert_eq!(s.block_runs(963..970).count(), 0);
+        assert_eq!(s.block_runs(10..10).count(), 0);
     }
 
     #[test]
